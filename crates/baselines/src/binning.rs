@@ -1,0 +1,168 @@
+//! Feature binning for histogram-based tree learning.
+//!
+//! Each feature is quantised into at most 256 bins whose edges are
+//! (approximate) quantiles of the training distribution. Trees then
+//! search splits over bins instead of raw values — the standard
+//! LightGBM/XGBoost-histogram approach, which makes split finding
+//! O(n + bins) per feature.
+
+use crate::features::Tabular;
+
+/// Maximum number of bins per feature.
+pub const MAX_BINS: usize = 255;
+
+/// A binned copy of a tabular dataset.
+#[derive(Debug, Clone)]
+pub struct Binned {
+    /// Row-major bin indices, `n * d`.
+    pub codes: Vec<u8>,
+    /// Number of rows.
+    pub n: usize,
+    /// Number of features.
+    pub d: usize,
+    /// Per-feature bin upper edges (`edges[f][b]` is the largest raw
+    /// value mapped to bin `b`; the last bin is unbounded).
+    pub edges: Vec<Vec<f32>>,
+}
+
+impl Binned {
+    /// Bins a dataset using per-feature quantile edges.
+    pub fn from_tabular(tab: &Tabular) -> Binned {
+        let mut edges = Vec::with_capacity(tab.d);
+        let mut col = vec![0.0f32; tab.n];
+        for f in 0..tab.d {
+            for (i, slot) in col.iter_mut().enumerate() {
+                *slot = tab.x[i * tab.d + f];
+            }
+            edges.push(quantile_edges(&mut col));
+        }
+        let mut codes = vec![0u8; tab.n * tab.d];
+        for i in 0..tab.n {
+            let row = tab.row(i);
+            for (f, &v) in row.iter().enumerate() {
+                codes[i * tab.d + f] = bin_of(&edges[f], v);
+            }
+        }
+        Binned { codes, n: tab.n, d: tab.d, edges }
+    }
+
+    /// Bins a single raw feature row with the training edges.
+    pub fn encode_row(&self, row: &[f32]) -> Vec<u8> {
+        assert_eq!(row.len(), self.d, "row width mismatch");
+        row.iter().enumerate().map(|(f, &v)| bin_of(&self.edges[f], v)).collect()
+    }
+
+    /// Bin codes of row `i`.
+    pub fn row(&self, i: usize) -> &[u8] {
+        &self.codes[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Number of bins actually used by feature `f` (edges + 1).
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.edges[f].len() + 1
+    }
+}
+
+/// Computes quantile bin edges for one feature column (sorts in place).
+fn quantile_edges(col: &mut [f32]) -> Vec<f32> {
+    col.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+    let n = col.len();
+    let mut edges = Vec::new();
+    if n == 0 {
+        return edges;
+    }
+    let step = (n as f64 / (MAX_BINS + 1) as f64).max(1.0);
+    let mut prev = f32::NEG_INFINITY;
+    let mut pos = step;
+    while (pos as usize) < n && edges.len() < MAX_BINS {
+        let v = col[pos as usize];
+        if v > prev {
+            edges.push(v);
+            prev = v;
+        }
+        pos += step;
+    }
+    // Drop a trailing edge equal to the max so the last bin is non-empty.
+    if let Some(&last) = edges.last() {
+        if last >= col[n - 1] {
+            edges.pop();
+        }
+    }
+    edges
+}
+
+/// Maps a raw value to its bin index given the edges (`value <= edges[b]`
+/// → bin `b`; greater than all edges → last bin).
+fn bin_of(edges: &[f32], value: f32) -> u8 {
+    let idx = edges.partition_point(|&e| e < value);
+    idx.min(MAX_BINS) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tab(cols: Vec<Vec<f32>>, y: Vec<f32>) -> Tabular {
+        let n = cols[0].len();
+        let d = cols.len();
+        let mut x = Vec::with_capacity(n * d);
+        for i in 0..n {
+            for c in &cols {
+                x.push(c[i]);
+            }
+        }
+        Tabular { x, n, d, y }
+    }
+
+    #[test]
+    fn binning_preserves_order() {
+        let t = tab(vec![(0..100).map(|v| v as f32).collect()], vec![0.0; 100]);
+        let b = Binned::from_tabular(&t);
+        let mut prev = 0u8;
+        for i in 0..100 {
+            let code = b.row(i)[0];
+            assert!(code >= prev, "bins must be monotone in raw value");
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn constant_feature_gets_one_bin() {
+        let t = tab(vec![vec![5.0; 50]], vec![0.0; 50]);
+        let b = Binned::from_tabular(&t);
+        assert_eq!(b.n_bins(0), 1);
+        assert!(b.codes.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn encode_row_matches_training_codes() {
+        let t = tab(
+            vec![(0..64).map(|v| (v * v) as f32).collect(), (0..64).map(|v| -(v as f32)).collect()],
+            vec![0.0; 64],
+        );
+        let b = Binned::from_tabular(&t);
+        for i in 0..t.n {
+            let enc = b.encode_row(t.row(i));
+            assert_eq!(&enc[..], b.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn unseen_extreme_values_clamp_to_end_bins() {
+        let t = tab(vec![(0..100).map(|v| v as f32).collect()], vec![0.0; 100]);
+        let b = Binned::from_tabular(&t);
+        let low = b.encode_row(&[-1000.0])[0];
+        let high = b.encode_row(&[1000.0])[0];
+        assert_eq!(low, 0);
+        assert_eq!(high as usize, b.n_bins(0) - 1);
+    }
+
+    #[test]
+    fn binary_feature_two_bins() {
+        let t = tab(vec![[0.0, 1.0].repeat(50)], vec![0.0; 100]);
+        let b = Binned::from_tabular(&t);
+        assert_eq!(b.n_bins(0), 2);
+        assert_eq!(b.encode_row(&[0.0])[0], 0);
+        assert_eq!(b.encode_row(&[1.0])[0], 1);
+    }
+}

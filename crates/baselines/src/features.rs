@@ -1,0 +1,176 @@
+//! Tabular feature representations for the baseline learners.
+//!
+//! §VI-C of the paper: "For fair comparisons, we use the same input
+//! features for the above methods (except empirical average) as those
+//! used in DeepSD" — identity features, the three real-time vectors,
+//! their per-weekday histories, and the weather/traffic conditions.
+
+use deepsd_features::Item;
+
+/// A dense row-major tabular dataset.
+#[derive(Debug, Clone)]
+pub struct Tabular {
+    /// Row-major feature matrix, `n * d`.
+    pub x: Vec<f32>,
+    /// Number of rows.
+    pub n: usize,
+    /// Number of features.
+    pub d: usize,
+    /// Targets (gaps).
+    pub y: Vec<f32>,
+}
+
+impl Tabular {
+    /// Feature row `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.x[i * self.d..(i + 1) * self.d]
+    }
+}
+
+/// Numeric encoding for tree learners: categorical ids enter as ordinal
+/// values (trees split on them natively).
+pub fn tree_features(items: &[Item]) -> Tabular {
+    assert!(!items.is_empty(), "no items");
+    let mut x = Vec::new();
+    let mut y = Vec::with_capacity(items.len());
+    let mut d = 0;
+    for item in items {
+        let start = x.len();
+        x.push(item.key.area as f32);
+        x.push(item.key.t as f32);
+        x.push(item.weekday as f32);
+        x.extend_from_slice(&item.v_sd);
+        x.extend_from_slice(&item.v_lc);
+        x.extend_from_slice(&item.v_wt);
+        x.extend_from_slice(&item.h_sd);
+        x.extend_from_slice(&item.h_lc);
+        x.extend_from_slice(&item.h_wt);
+        x.extend_from_slice(&item.h_sd_next);
+        x.extend_from_slice(&item.h_lc_next);
+        x.extend_from_slice(&item.h_wt_next);
+        x.extend(item.weather_types.iter().map(|&t| t as f32));
+        x.extend_from_slice(&item.weather_scalars);
+        x.extend_from_slice(&item.traffic);
+        y.push(item.gap);
+        let row_d = x.len() - start;
+        if d == 0 {
+            d = row_d;
+        } else {
+            assert_eq!(d, row_d, "inconsistent item dims");
+        }
+    }
+    Tabular { n: items.len(), d, x, y }
+}
+
+/// Number of half-hour buckets used to one-hot the timeslot for linear
+/// models (a full 1440-way one-hot would dominate the design matrix).
+pub const LASSO_TIME_BUCKETS: usize = 48;
+
+/// Linear-model encoding: one-hot AreaID, half-hour time bucket and
+/// WeekID (LASSO "can not handle the categorical variables" — §VI-C),
+/// numeric everything else.
+pub fn lasso_features(items: &[Item], n_areas: usize) -> Tabular {
+    assert!(!items.is_empty(), "no items");
+    let mut x = Vec::new();
+    let mut y = Vec::with_capacity(items.len());
+    let mut d = 0;
+    for item in items {
+        let start = x.len();
+        // One-hot area.
+        let mut area = vec![0.0f32; n_areas];
+        area[item.key.area as usize] = 1.0;
+        x.extend_from_slice(&area);
+        // One-hot half-hour bucket.
+        let mut bucket = vec![0.0f32; LASSO_TIME_BUCKETS];
+        bucket[(item.key.t as usize * LASSO_TIME_BUCKETS / 1440).min(LASSO_TIME_BUCKETS - 1)] =
+            1.0;
+        x.extend_from_slice(&bucket);
+        // One-hot weekday.
+        let mut week = vec![0.0f32; 7];
+        week[item.weekday as usize] = 1.0;
+        x.extend_from_slice(&week);
+        x.extend_from_slice(&item.v_sd);
+        x.extend_from_slice(&item.v_lc);
+        x.extend_from_slice(&item.v_wt);
+        x.extend_from_slice(&item.h_sd);
+        x.extend_from_slice(&item.h_lc);
+        x.extend_from_slice(&item.h_wt);
+        x.extend_from_slice(&item.h_sd_next);
+        x.extend_from_slice(&item.weather_scalars);
+        x.extend_from_slice(&item.traffic);
+        y.push(item.gap);
+        let row_d = x.len() - start;
+        if d == 0 {
+            d = row_d;
+        } else {
+            assert_eq!(d, row_d, "inconsistent item dims");
+        }
+    }
+    Tabular { n: items.len(), d, x, y }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsd_features::ItemKey;
+
+    fn item(area: u16, t: u16, weekday: u8, gap: f32, l: usize) -> Item {
+        let dim = 2 * l;
+        Item {
+            key: ItemKey { area, day: 7, t },
+            weekday,
+            gap,
+            v_sd: vec![1.0; dim],
+            v_lc: vec![2.0; dim],
+            v_wt: vec![3.0; dim],
+            h_sd: vec![0.5; 7 * dim],
+            h_sd_next: vec![0.5; 7 * dim],
+            h_lc: vec![0.5; 7 * dim],
+            h_lc_next: vec![0.5; 7 * dim],
+            h_wt: vec![0.5; 7 * dim],
+            h_wt_next: vec![0.5; 7 * dim],
+            weather_types: vec![2; l],
+            weather_scalars: vec![0.4; dim],
+            traffic: vec![0.25; 4 * l],
+        }
+    }
+
+    #[test]
+    fn tree_features_shape() {
+        let l = 4;
+        let items = vec![item(0, 100, 1, 3.0, l), item(5, 900, 6, 0.0, l)];
+        let tab = tree_features(&items);
+        assert_eq!(tab.n, 2);
+        // 3 ids + 3·2L + 6·14L + L + 2L + 4L
+        let expected = 3 + 3 * 2 * l + 6 * 14 * l + l + 2 * l + 4 * l;
+        assert_eq!(tab.d, expected);
+        assert_eq!(tab.y, vec![3.0, 0.0]);
+        assert_eq!(tab.row(1)[0], 5.0);
+        assert_eq!(tab.row(1)[1], 900.0);
+    }
+
+    #[test]
+    fn lasso_features_one_hot_blocks() {
+        let l = 4;
+        let items = vec![item(2, 720, 3, 1.0, l)];
+        let n_areas = 6;
+        let tab = lasso_features(&items, n_areas);
+        let row = tab.row(0);
+        // Area one-hot.
+        assert_eq!(row[2], 1.0);
+        assert_eq!(row[..n_areas].iter().sum::<f32>(), 1.0);
+        // Time bucket: 720 min = noon → bucket 24.
+        let bucket = &row[n_areas..n_areas + LASSO_TIME_BUCKETS];
+        assert_eq!(bucket[24], 1.0);
+        assert_eq!(bucket.iter().sum::<f32>(), 1.0);
+        // Weekday one-hot.
+        let week = &row[n_areas + LASSO_TIME_BUCKETS..n_areas + LASSO_TIME_BUCKETS + 7];
+        assert_eq!(week[3], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no items")]
+    fn rejects_empty() {
+        let _ = tree_features(&[]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Random forest regressor — the paper's RF baseline (§VI-C).
+//!
+//! Bagging: each tree is fitted on a bootstrap sample with per-split
+//! feature subsampling; the forest predicts the mean of its trees.
+
+use crate::binning::Binned;
+use crate::features::Tabular;
+use crate::tree::{bootstrap_rows, RegressionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Random-forest hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Tree growth parameters (colsample is the per-split feature
+    /// fraction; √d-like fractions work well).
+    pub tree: TreeParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 40,
+            tree: TreeParams { max_depth: 12, min_samples_leaf: 5, min_gain: 1e-9, colsample: 0.2 },
+            seed: 9,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    #[serde(skip)]
+    binner: Option<Binned>,
+}
+
+impl RandomForest {
+    /// Fits the forest to a tabular dataset.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Tabular, params: &ForestParams) -> RandomForest {
+        assert!(data.n > 0, "empty dataset");
+        assert!(params.n_trees > 0, "need at least one tree");
+        let binned = Binned::from_tabular(data);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let trees = (0..params.n_trees)
+            .map(|_| {
+                let rows = bootstrap_rows(data.n, &mut rng);
+                RegressionTree::fit(&binned, &rows, &data.y, &params.tree, &mut rng)
+            })
+            .collect();
+        RandomForest { trees, binner: Some(binned) }
+    }
+
+    /// Predicts one raw feature row (mean of trees, clamped at zero).
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let binner = self.binner.as_ref().expect("fitted model retains its binner");
+        let codes = binner.encode_row(row);
+        let sum: f32 = self.trees.iter().map(|t| t.predict_codes(&codes)).sum();
+        (sum / self.trees.len() as f32).max(0.0)
+    }
+
+    /// Predicts every row of a tabular dataset.
+    pub fn predict(&self, data: &Tabular) -> Vec<f32> {
+        (0..data.n).map(|i| self.predict_row(data.row(i))).collect()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, f: impl Fn(f32, f32) -> f32) -> Tabular {
+        let mut x = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (i % 13) as f32;
+            let b = ((i * 5) % 19) as f32;
+            x.push(a);
+            x.push(b);
+            y.push(f(a, b));
+        }
+        Tabular { x, n, d: 2, y }
+    }
+
+    fn params(n_trees: usize) -> ForestParams {
+        ForestParams {
+            n_trees,
+            tree: TreeParams { max_depth: 8, min_samples_leaf: 2, min_gain: 1e-9, colsample: 1.0 },
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn fits_simple_signal() {
+        let data = toy(600, |a, b| 3.0 * a + b);
+        let forest = RandomForest::fit(&data, &params(25));
+        let preds = forest.predict(&data);
+        let mae: f32 = preds
+            .iter()
+            .zip(data.y.iter())
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f32>()
+            / data.n as f32;
+        assert!(mae < 2.0, "mae = {mae}");
+    }
+
+    #[test]
+    fn averaging_tames_variance() {
+        // A forest of many trees should not be worse than a single tree.
+        let data = toy(400, |a, b| a * b * 0.1 + a);
+        let mse = |n_trees| {
+            let forest = RandomForest::fit(&data, &params(n_trees));
+            forest
+                .predict(&data)
+                .iter()
+                .zip(data.y.iter())
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f32>()
+        };
+        assert!(mse(30) <= mse(1) * 1.1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = toy(200, |a, b| a + b);
+        let f1 = RandomForest::fit(&data, &params(10));
+        let f2 = RandomForest::fit(&data, &params(10));
+        assert_eq!(f1.predict(&data), f2.predict(&data));
+    }
+
+    #[test]
+    fn nonnegative_predictions() {
+        let data = toy(150, |a, _| a - 20.0);
+        let forest = RandomForest::fit(&data, &params(8));
+        assert!(forest.predict(&data).iter().all(|&p| p >= 0.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Gradient-boosted decision trees for squared loss — the paper's GBDT
+//! baseline (§VI-C; the authors use XGBoost).
+//!
+//! With squared loss the negative gradient is the residual, so each
+//! round fits a regression tree to the current residuals and the
+//! ensemble adds `shrinkage × tree` to the prediction.
+
+use crate::binning::Binned;
+use crate::features::Tabular;
+use crate::tree::{RegressionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// GBDT hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbdtParams {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Shrinkage / learning rate.
+    pub shrinkage: f32,
+    /// Row subsampling per round (`(0, 1]`).
+    pub subsample: f64,
+    /// Tree growth parameters.
+    pub tree: TreeParams,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            n_trees: 80,
+            shrinkage: 0.1,
+            subsample: 0.7,
+            tree: TreeParams { max_depth: 6, min_samples_leaf: 20, min_gain: 1e-6, colsample: 0.3 },
+            seed: 5,
+        }
+    }
+}
+
+/// A fitted gradient-boosting ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbdt {
+    base: f32,
+    shrinkage: f32,
+    trees: Vec<RegressionTree>,
+    #[serde(skip)]
+    binner: Option<Binned>,
+}
+
+impl Gbdt {
+    /// Fits the ensemble to a tabular dataset.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or degenerate parameters.
+    pub fn fit(data: &Tabular, params: &GbdtParams) -> Gbdt {
+        assert!(data.n > 0, "empty dataset");
+        assert!(params.n_trees > 0, "need at least one tree");
+        assert!(params.subsample > 0.0 && params.subsample <= 1.0, "bad subsample");
+        let binned = Binned::from_tabular(data);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        let base = data.y.iter().map(|&v| v as f64).sum::<f64>() / data.n as f64;
+        let base = base as f32;
+        let mut pred: Vec<f32> = vec![base; data.n];
+        let mut residual: Vec<f32> = vec![0.0; data.n];
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let all_rows: Vec<u32> = (0..data.n as u32).collect();
+        let sample_size = ((data.n as f64 * params.subsample).ceil() as usize).clamp(1, data.n);
+
+        for _ in 0..params.n_trees {
+            for ((r, &y), &p) in residual.iter_mut().zip(data.y.iter()).zip(pred.iter()) {
+                *r = y - p;
+            }
+            let rows: Vec<u32> = if sample_size == data.n {
+                all_rows.clone()
+            } else {
+                let mut shuffled = all_rows.clone();
+                shuffled.shuffle(&mut rng);
+                shuffled.truncate(sample_size);
+                shuffled
+            };
+            let tree = RegressionTree::fit(&binned, &rows, &residual, &params.tree, &mut rng);
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += params.shrinkage * tree.predict_codes(binned.row(i));
+            }
+            trees.push(tree);
+        }
+        Gbdt { base, shrinkage: params.shrinkage, trees, binner: Some(binned) }
+    }
+
+    /// Predicts one raw feature row. Predictions are clamped at zero
+    /// (gaps are non-negative).
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let binner = self.binner.as_ref().expect("fitted model retains its binner");
+        let codes = binner.encode_row(row);
+        let mut out = self.base;
+        for tree in &self.trees {
+            out += self.shrinkage * tree.predict_codes(&codes);
+        }
+        out.max(0.0)
+    }
+
+    /// Predicts every row of a tabular dataset.
+    pub fn predict(&self, data: &Tabular) -> Vec<f32> {
+        (0..data.n).map(|i| self.predict_row(data.row(i))).collect()
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, f: impl Fn(f32, f32) -> f32) -> Tabular {
+        let mut x = Vec::with_capacity(n * 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = (i % 17) as f32;
+            let b = ((i * 7) % 23) as f32;
+            x.push(a);
+            x.push(b);
+            y.push(f(a, b));
+        }
+        Tabular { x, n, d: 2, y }
+    }
+
+    fn small_params(n_trees: usize) -> GbdtParams {
+        GbdtParams {
+            n_trees,
+            shrinkage: 0.3,
+            subsample: 1.0,
+            tree: TreeParams { max_depth: 4, min_samples_leaf: 4, min_gain: 1e-9, colsample: 1.0 },
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn fits_additive_function() {
+        let data = toy(600, |a, b| a + 0.5 * b);
+        let model = Gbdt::fit(&data, &small_params(60));
+        let preds = model.predict(&data);
+        let mae: f32 = preds
+            .iter()
+            .zip(data.y.iter())
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f32>()
+            / data.n as f32;
+        assert!(mae < 0.8, "mae = {mae}");
+    }
+
+    #[test]
+    fn more_trees_reduce_training_error() {
+        let data = toy(500, |a, b| a * 0.7 + (b - 10.0).abs());
+        let err = |n_trees: usize| {
+            let model = Gbdt::fit(&data, &small_params(n_trees));
+            let preds = model.predict(&data);
+            preds
+                .iter()
+                .zip(data.y.iter())
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f32>()
+        };
+        assert!(err(40) < err(5));
+    }
+
+    #[test]
+    fn single_tree_predicts_near_mean_plus_step() {
+        let data = toy(200, |_, _| 4.0);
+        let model = Gbdt::fit(&data, &small_params(1));
+        let p = model.predict_row(data.row(0));
+        assert!((p - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn predictions_are_clamped_nonnegative() {
+        let data = toy(100, |a, _| a - 8.0); // many negative targets
+        let model = Gbdt::fit(&data, &small_params(10));
+        let preds = model.predict(&data);
+        assert!(preds.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let data = toy(800, |a, b| 2.0 * a + b);
+        let mut params = small_params(80);
+        params.subsample = 0.5;
+        params.tree.colsample = 0.5;
+        let model = Gbdt::fit(&data, &params);
+        let preds = model.predict(&data);
+        let mae: f32 = preds
+            .iter()
+            .zip(data.y.iter())
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f32>()
+            / data.n as f32;
+        assert!(mae < 2.5, "mae = {mae}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = toy(300, |a, b| a + b);
+        let m1 = Gbdt::fit(&data, &small_params(15));
+        let m2 = Gbdt::fit(&data, &small_params(15));
+        assert_eq!(m1.predict(&data), m2.predict(&data));
+    }
+}

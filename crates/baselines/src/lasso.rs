@@ -1,0 +1,296 @@
+//! LASSO linear regression via cyclic coordinate descent — the paper's
+//! LASSO baseline (§VI-C; the authors use scikit-learn).
+//!
+//! Minimises `1/(2n) ‖y − Xβ − β₀‖² + α ‖β‖₁` with soft-thresholding
+//! updates on standardised features; the intercept is unpenalised.
+
+use crate::features::Tabular;
+use serde::{Deserialize, Serialize};
+
+/// LASSO hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LassoParams {
+    /// ℓ1 penalty strength.
+    pub alpha: f32,
+    /// Maximum coordinate-descent sweeps.
+    pub max_iter: usize,
+    /// Convergence tolerance on the maximum coefficient change per sweep.
+    pub tol: f32,
+}
+
+impl Default for LassoParams {
+    fn default() -> Self {
+        LassoParams { alpha: 0.01, max_iter: 60, tol: 1e-4 }
+    }
+}
+
+/// A fitted LASSO model (stores standardisation statistics).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lasso {
+    intercept: f32,
+    coef: Vec<f32>,
+    mean: Vec<f32>,
+    scale: Vec<f32>,
+    /// Sweeps actually performed.
+    pub iterations: usize,
+}
+
+impl Lasso {
+    /// Fits the model by cyclic coordinate descent.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Tabular, params: &LassoParams) -> Lasso {
+        assert!(data.n > 0, "empty dataset");
+        let n = data.n;
+        let d = data.d;
+
+        // Standardise columns (constant columns get scale 1 → coef 0).
+        let mut mean = vec![0.0f32; d];
+        let mut scale = vec![0.0f32; d];
+        for i in 0..n {
+            let row = data.row(i);
+            for (f, &v) in row.iter().enumerate() {
+                mean[f] += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n as f32;
+        }
+        for i in 0..n {
+            let row = data.row(i);
+            for (f, &v) in row.iter().enumerate() {
+                let c = v - mean[f];
+                scale[f] += c * c;
+            }
+        }
+        for s in scale.iter_mut() {
+            *s = (*s / n as f32).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+
+        // Column-major standardised design matrix for fast coordinate
+        // sweeps.
+        let mut xt = vec![0.0f32; n * d];
+        for i in 0..n {
+            let row = data.row(i);
+            for f in 0..d {
+                xt[f * n + i] = (row[f] - mean[f]) / scale[f];
+            }
+        }
+
+        let y_mean = data.y.iter().sum::<f32>() / n as f32;
+        // Residual r = y_centred − Xβ, with β = 0 initially.
+        let mut residual: Vec<f32> = data.y.iter().map(|&v| v - y_mean).collect();
+        let mut coef = vec![0.0f32; d];
+        // Standardised columns all have ‖x‖²/n = 1 (up to numerical
+        // noise), but compute exactly for robustness.
+        let col_norm: Vec<f32> = (0..d)
+            .map(|f| {
+                let col = &xt[f * n..(f + 1) * n];
+                col.iter().map(|v| v * v).sum::<f32>() / n as f32
+            })
+            .collect();
+
+        let mut iterations = 0;
+        for _ in 0..params.max_iter {
+            iterations += 1;
+            let mut max_delta = 0.0f32;
+            for f in 0..d {
+                if col_norm[f] <= 1e-12 {
+                    continue;
+                }
+                let col = &xt[f * n..(f + 1) * n];
+                // rho = x_fᵀ r / n + coef_f * norm
+                let mut dot = 0.0f32;
+                for (x, r) in col.iter().zip(residual.iter()) {
+                    dot += x * r;
+                }
+                let rho = dot / n as f32 + coef[f] * col_norm[f];
+                let new = soft_threshold(rho, params.alpha) / col_norm[f];
+                let delta = new - coef[f];
+                if delta != 0.0 {
+                    for (x, r) in col.iter().zip(residual.iter_mut()) {
+                        *r -= delta * x;
+                    }
+                    coef[f] = new;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < params.tol {
+                break;
+            }
+        }
+
+        Lasso { intercept: y_mean, coef, mean, scale, iterations }
+    }
+
+    /// Predicts one raw feature row (clamped at zero — gaps are
+    /// non-negative).
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        assert_eq!(row.len(), self.coef.len(), "row width mismatch");
+        let mut out = self.intercept;
+        for ((&v, &c), (&m, &s)) in row
+            .iter()
+            .zip(self.coef.iter())
+            .zip(self.mean.iter().zip(self.scale.iter()))
+        {
+            if c != 0.0 {
+                out += c * (v - m) / s;
+            }
+        }
+        out.max(0.0)
+    }
+
+    /// Predicts every row of a tabular dataset.
+    pub fn predict(&self, data: &Tabular) -> Vec<f32> {
+        (0..data.n).map(|i| self.predict_row(data.row(i))).collect()
+    }
+
+    /// Number of non-zero coefficients.
+    pub fn nnz(&self) -> usize {
+        self.coef.iter().filter(|&&c| c != 0.0).count()
+    }
+
+    /// Coefficients on the standardised scale.
+    pub fn coefficients(&self) -> &[f32] {
+        &self.coef
+    }
+}
+
+fn soft_threshold(x: f32, alpha: f32) -> f32 {
+    if x > alpha {
+        x - alpha
+    } else if x < -alpha {
+        x + alpha
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, noise: f32) -> Tabular {
+        // y = 2 x0 − 3 x1 + 0 x2 (+ deterministic pseudo-noise)
+        let mut x = Vec::with_capacity(n * 3);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = ((i * 13) % 31) as f32 / 31.0;
+            let b = ((i * 7) % 17) as f32 / 17.0;
+            let c = ((i * 3) % 11) as f32 / 11.0;
+            x.extend_from_slice(&[a, b, c]);
+            y.push(2.0 * a - 3.0 * b + 5.0 + noise * ((i as f32) * 0.77).sin());
+        }
+        Tabular { x, n, d: 3, y }
+    }
+
+    #[test]
+    fn recovers_linear_signal() {
+        let data = toy(400, 0.0);
+        let model = Lasso::fit(&data, &LassoParams { alpha: 1e-4, max_iter: 300, tol: 1e-7 });
+        let preds = model.predict(&data);
+        // Predictions are clamped at 0; all targets here are ≥ 0.
+        let mae: f32 = preds
+            .iter()
+            .zip(data.y.iter())
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f32>()
+            / data.n as f32;
+        assert!(mae < 0.05, "mae = {mae}");
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn large_alpha_zeroes_everything() {
+        let data = toy(200, 0.1);
+        let model = Lasso::fit(&data, &LassoParams { alpha: 100.0, ..LassoParams::default() });
+        assert_eq!(model.nnz(), 0);
+        // Prediction degenerates to the target mean.
+        let mean = data.y.iter().sum::<f32>() / data.n as f32;
+        assert!((model.predict_row(data.row(0)) - mean).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sparsity_increases_with_alpha() {
+        let data = toy(300, 0.2);
+        let nnz = |alpha: f32| {
+            Lasso::fit(&data, &LassoParams { alpha, max_iter: 200, tol: 1e-7 }).nnz()
+        };
+        assert!(nnz(0.0001) >= nnz(0.5));
+    }
+
+    #[test]
+    fn irrelevant_feature_is_dropped() {
+        let data = toy(500, 0.0);
+        let model = Lasso::fit(&data, &LassoParams { alpha: 0.05, max_iter: 300, tol: 1e-7 });
+        let coefs = model.coefficients();
+        assert!(coefs[2].abs() < 0.05, "x2 is irrelevant: {coefs:?}");
+        assert!(coefs[0] > 0.0 && coefs[1] < 0.0);
+    }
+
+    #[test]
+    fn constant_feature_is_safe() {
+        let mut data = toy(100, 0.0);
+        // Overwrite x2 with a constant.
+        for i in 0..data.n {
+            data.x[i * 3 + 2] = 7.0;
+        }
+        let model = Lasso::fit(&data, &LassoParams::default());
+        assert!(model.predict_row(data.row(0)).is_finite());
+    }
+
+    #[test]
+    fn kkt_conditions_hold_at_convergence() {
+        // At the optimum: |x_fᵀ r / n| ≤ alpha for zero coefficients,
+        // and = alpha (in sign direction) for active ones.
+        let data = toy(300, 0.05);
+        let params = LassoParams { alpha: 0.02, max_iter: 500, tol: 1e-8 };
+        let model = Lasso::fit(&data, &params);
+        // Rebuild standardised design and residual.
+        let n = data.n;
+        let d = data.d;
+        let resid: Vec<f32> = (0..n)
+            .map(|i| data.y[i] - model_raw(&model, data.row(i)))
+            .collect();
+        for f in 0..d {
+            let mut dot = 0.0f32;
+            for (i, &r) in resid.iter().enumerate() {
+                let xs = (data.row(i)[f] - model.mean[f]) / model.scale[f];
+                dot += xs * r;
+            }
+            let grad = dot / n as f32;
+            if model.coef[f] == 0.0 {
+                assert!(grad.abs() <= params.alpha + 1e-3, "KKT violated at {f}: {grad}");
+            } else {
+                assert!(
+                    (grad - params.alpha * model.coef[f].signum()).abs() < 1e-3,
+                    "KKT active-set violated at {f}: {grad}"
+                );
+            }
+        }
+    }
+
+    /// Unclamped prediction, for the KKT check.
+    fn model_raw(model: &Lasso, row: &[f32]) -> f32 {
+        let mut out = model.intercept;
+        for ((&v, &c), (&m, &s)) in row
+            .iter()
+            .zip(model.coef.iter())
+            .zip(model.mean.iter().zip(model.scale.iter()))
+        {
+            out += c * (v - m) / s;
+        }
+        out
+    }
+}

@@ -1,0 +1,142 @@
+//! Criterion microbenches for the substrates: matrix algebra, autodiff,
+//! simulation throughput, feature extraction, model forward/backward and
+//! baseline tree fitting.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deepsd::{DeepSD, ModelConfig};
+use deepsd_baselines::{tree_features, Gbdt, GbdtParams, TreeParams};
+use deepsd_features::{Batch, FeatureConfig, FeatureExtractor, ItemKey};
+use deepsd_nn::layers::{Activation, Dense};
+use deepsd_nn::{seeded_rng, Matrix, ParamStore, Tape};
+use deepsd_simdata::{
+    orders::generate_area_orders, weather::generate_weather, City, CityConfig, OrderGenConfig,
+    SimConfig, SimDataset, WeatherConfig,
+};
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Matrix::from_fn(64, 280, |r, col| ((r * 7 + col) as f32 * 0.01).sin());
+    let b = Matrix::from_fn(280, 64, |r, col| ((r + col * 3) as f32 * 0.01).cos());
+    c.bench_function("matrix/matmul_64x280x64", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+    c.bench_function("matrix/matmul_tn_64x280x64", |bench| {
+        // aᵀ stored transposed: (aᵀ)ᵀ @ b == a @ b via the fused kernel.
+        let at = a.transpose();
+        bench.iter(|| std::hint::black_box(at.matmul_tn(&b)))
+    });
+}
+
+fn bench_autodiff(c: &mut Criterion) {
+    // A DeepSD-shaped MLP step: 40 → 64 → 32 → 1 on batch 64 with
+    // forward + backward.
+    let mut store = ParamStore::new();
+    let mut rng = seeded_rng(1);
+    let l1 = Dense::new(&mut store, "l1", 40, 64, Activation::LREL, &mut rng);
+    let l2 = Dense::new(&mut store, "l2", 64, 32, Activation::LREL, &mut rng);
+    let l3 = Dense::new(&mut store, "l3", 32, 1, Activation::Linear, &mut rng);
+    let x = Matrix::from_fn(64, 40, |r, col| ((r + col) as f32 * 0.02).sin());
+    let t = Matrix::from_fn(64, 1, |r, _| (r % 7) as f32);
+    c.bench_function("autodiff/mlp_forward_backward_b64", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let xi = tape.input(x.clone());
+            let h = l1.forward(&mut tape, &store, xi);
+            let h = l2.forward(&mut tape, &store, h);
+            let y = l3.forward(&mut tape, &store, h);
+            let loss = tape.mse_loss(y, &t);
+            std::hint::black_box(tape.backward(loss))
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let city = City::generate(CityConfig { n_areas: 8, ..CityConfig::default() }, &mut rng);
+    let weather = generate_weather(7, &WeatherConfig::default(), &mut rng);
+    let area = city.areas[0].clone();
+    c.bench_function("simdata/one_area_week_orders", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(generate_area_orders(
+                &city,
+                &area,
+                7,
+                &weather,
+                &OrderGenConfig::default(),
+                7,
+            ))
+        })
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let ds = SimDataset::generate(&SimConfig::smoke(9));
+    let cfg = FeatureConfig { window_l: 20, history_window: 6, ..FeatureConfig::default() };
+    c.bench_function("features/extract_item_cold_and_warm", |bench| {
+        let mut fx = FeatureExtractor::new(&ds, cfg.clone());
+        let mut t = 100u16;
+        bench.iter(|| {
+            t = if t >= 1400 { 100 } else { t + 5 };
+            std::hint::black_box(fx.extract(ItemKey { area: 2, day: 10, t }))
+        })
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    let ds = SimDataset::generate(&SimConfig::smoke(11));
+    let fcfg = FeatureConfig { window_l: 20, history_window: 4, ..FeatureConfig::default() };
+    let mut fx = FeatureExtractor::new(&ds, fcfg);
+    let keys: Vec<ItemKey> =
+        (0..64).map(|i| ItemKey { area: i % 6, day: 8, t: 200 + i * 15 }).collect();
+    let items = fx.extract_all(&keys);
+    let batch = Batch::from_items(&items);
+    let targets = Matrix::col_vector(batch.targets.clone());
+    let mut cfg = ModelConfig::advanced(ds.n_areas());
+    cfg.window_l = 20;
+    let model = DeepSD::new(cfg);
+    c.bench_function("deepsd/advanced_predict_b64", |bench| {
+        bench.iter(|| std::hint::black_box(model.predict(&batch)))
+    });
+    c.bench_function("deepsd/advanced_train_step_b64", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let y = model.forward(&mut tape, &batch, None);
+            let loss = tape.mse_loss(y, &targets);
+            std::hint::black_box(tape.backward(loss))
+        })
+    });
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    let ds = SimDataset::generate(&SimConfig::smoke(13));
+    let fcfg = FeatureConfig { window_l: 12, history_window: 3, ..FeatureConfig::default() };
+    let mut fx = FeatureExtractor::new(&ds, fcfg);
+    let keys: Vec<ItemKey> = (7..12u16)
+        .flat_map(|day| {
+            (0..6u16).flat_map(move |area| {
+                (0..24u16).map(move |i| ItemKey { area, day, t: 60 + i * 55 })
+            })
+        })
+        .collect();
+    let items = fx.extract_all(&keys);
+    let tab = tree_features(&items);
+    let params = GbdtParams {
+        n_trees: 10,
+        tree: TreeParams { max_depth: 5, min_samples_leaf: 10, min_gain: 1e-6, colsample: 0.3 },
+        ..GbdtParams::default()
+    };
+    c.bench_function("baselines/gbdt_fit_10_trees", |bench| {
+        bench.iter_batched(
+            || tab.clone(),
+            |data| std::hint::black_box(Gbdt::fit(&data, &params)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_autodiff, bench_simulator, bench_features, bench_model, bench_gbdt
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Fig. 1 — car-hailing demand curves for two contrasting areas on a
+//! Wednesday vs a Sunday (the motivating example of §I).
+//!
+//! Prints demand (orders per 10 minutes) as time series for the most
+//! "entertainment-like" area (weekend surge) and the most
+//! "commute-like" area (weekday double peak).
+//!
+//! Usage: `cargo run --release -p deepsd-bench --bin fig01_demand_curves [smoke|small|paper]`
+
+use deepsd_bench::{Pipeline, Report, Scale};
+
+fn demand_series(pipeline: &Pipeline, area: u16, day: u16) -> Vec<usize> {
+    let mut counts = vec![0usize; 144];
+    for o in pipeline.dataset.orders(area) {
+        if o.day == day {
+            counts[(o.ts / 10) as usize] += 1;
+        }
+    }
+    counts
+}
+
+fn sparkline(series: &[usize]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = series.iter().copied().max().unwrap_or(1).max(1);
+    series
+        .iter()
+        .map(|&v| BARS[(v * 7 / max).min(7)])
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let pipeline = Pipeline::build(scale);
+    let city = &pipeline.dataset.city;
+
+    // Pick a Wednesday and the following Sunday inside the data range
+    // (simulation starts on a Monday, so Wednesday = day 2 mod 7).
+    let week_start = (pipeline.scale.train_days.start / 7) * 7 + 7;
+    let wednesday = week_start + 2;
+    let sunday = week_start + 6;
+
+    // Select the two contrasting areas by their *observed* Sunday-to-
+    // Wednesday demand ratio (robust to cities lacking a specific
+    // archetype): the max-ratio area plays the paper's entertainment
+    // area, the min-ratio one the commute area.
+    let ratio_of = |area: u16| -> f64 {
+        let count = |day: u16| {
+            pipeline.dataset.orders(area).iter().filter(|o| o.day == day).count()
+        };
+        count(sunday) as f64 / count(wednesday).max(1) as f64
+    };
+    let areas: Vec<u16> = (0..pipeline.dataset.n_areas() as u16).collect();
+    let entertainment = *areas
+        .iter()
+        .max_by(|&&a, &&b| ratio_of(a).partial_cmp(&ratio_of(b)).unwrap())
+        .expect("non-empty city");
+    let commute = *areas
+        .iter()
+        .min_by(|&&a, &&b| ratio_of(a).partial_cmp(&ratio_of(b)).unwrap())
+        .expect("non-empty city");
+
+    let mut report = Report::new("fig01", "Fig. 1: Demand curves, Wednesday vs Sunday");
+    for (label, area) in [
+        ("weekend-surging area", entertainment),
+        ("commute-type area", commute),
+    ] {
+        let arch = city.area(area).archetype;
+        let wed = demand_series(&pipeline, area, wednesday);
+        let sun = demand_series(&pipeline, area, sunday);
+        report.line(format!("{label} (area {area}, {arch:?})"));
+        report.line(format!("  Wed (day {wednesday}) total={:>6}  {}", wed.iter().sum::<usize>(), sparkline(&wed)));
+        report.line(format!("  Sun (day {sunday}) total={:>6}  {}", sun.iter().sum::<usize>(), sparkline(&sun)));
+        let wed_total: usize = wed.iter().sum();
+        let sun_total: usize = sun.iter().sum();
+        let ratio = sun_total as f64 / wed_total.max(1) as f64;
+        report.kv("  Sunday/Wednesday ratio", format!("{ratio:.2}"));
+        report.blank();
+    }
+    report.line("Expected shape (paper Fig. 1): the entertainment area surges on Sunday;");
+    report.line("the commute area has Wed peaks at ~8:00 and ~19:00 that collapse on Sunday.");
+    report.finish(pipeline.scale.name);
+}

@@ -1,0 +1,49 @@
+//! Table III — effects of embedding: MAE / RMSE / per-epoch time of the
+//! basic and advanced models under embedding vs one-hot encodings.
+//!
+//! Usage: `cargo run --release -p deepsd-bench --bin table3_embedding [smoke|small|paper]`
+
+use deepsd::{Encoding, Variant};
+use deepsd_bench::report::f2;
+use deepsd_bench::{Pipeline, Report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let pipeline = Pipeline::build(scale);
+    let mut fx = pipeline.extractor();
+    let test_items = pipeline.test_items(&mut fx);
+
+    let mut report = Report::new("table3", "Table III: Effects of embedding");
+    report.line("Representation   Model      MAE     RMSE   s/epoch");
+    let mut summary: Vec<(Encoding, Variant, f64, f64, f64)> = Vec::new();
+    for encoding in [Encoding::OneHot, Encoding::Embedding] {
+        for variant in [Variant::Basic, Variant::Advanced] {
+            let mut cfg = pipeline.model_config(variant);
+            cfg.encoding = encoding;
+            let label = format!("{encoding:?}/{variant:?}");
+            let (_, train_report) = pipeline.train_model(&label, cfg, &mut fx, &test_items);
+            summary.push((
+                encoding,
+                variant,
+                train_report.final_mae,
+                train_report.final_rmse,
+                train_report.mean_epoch_seconds(),
+            ));
+        }
+    }
+    for (encoding, variant, mae, rmse, secs) in &summary {
+        report.line(format!(
+            "{:<16} {:<9}{} {} {:>8.1}s",
+            format!("{encoding:?}"),
+            format!("{variant:?}"),
+            f2(*mae),
+            f2(*rmse),
+            secs
+        ));
+    }
+    report.blank();
+    report.line("Expected shape (paper Table III): embedding beats one-hot on accuracy");
+    report.line("AND per-epoch time for both variants (paper basic: 3.56/15.57 @22.8s vs");
+    report.line("3.65/16.12 @26.4s; advanced: 3.30/13.99 @34.8s vs 3.42/14.52 @49.8s).");
+    report.finish(pipeline.scale.name);
+}

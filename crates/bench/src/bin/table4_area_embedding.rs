@@ -1,0 +1,148 @@
+//! Table IV + Fig. 12 — embedding-space structure: pairwise distances
+//! between area embeddings of a trained advanced model, checked against
+//! the actual similarity of the areas' demand curves (including the
+//! paper's "similar trend at different scales" phenomenon).
+//!
+//! Usage: `cargo run --release -p deepsd-bench --bin table4_area_embedding [smoke|small|paper]`
+
+use deepsd::Variant;
+use deepsd_bench::{Pipeline, Report, Scale};
+
+/// Daily demand curve (orders per 30 min averaged over train days).
+fn demand_curve(pipeline: &Pipeline, area: u16) -> Vec<f64> {
+    let mut curve = vec![0.0f64; 48];
+    let days = pipeline.scale.train_days.clone();
+    let n_days = days.len() as f64;
+    for o in pipeline.dataset.orders(area) {
+        if days.contains(&o.day) {
+            curve[(o.ts / 30) as usize] += 1.0;
+        }
+    }
+    for v in curve.iter_mut() {
+        *v /= n_days;
+    }
+    curve
+}
+
+/// Pearson correlation of two curves (scale-invariant similarity — the
+/// "trend" similarity of Fig. 12(c)/(d)).
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let pipeline = Pipeline::build(scale);
+    let mut fx = pipeline.extractor();
+    let test_items = pipeline.test_items(&mut fx);
+    let (ensemble, _) = pipeline.train_model(
+        "advanced",
+        pipeline.model_config(Variant::Advanced),
+        &mut fx,
+        &test_items,
+    );
+
+    let n = pipeline.dataset.n_areas();
+    let curves: Vec<Vec<f64>> = (0..n as u16).map(|a| demand_curve(&pipeline, a)).collect();
+
+    let mut report = Report::new("table4", "Table IV + Fig. 12: Area embedding structure");
+
+    // Table IV analogue: pairwise embedding distances among 4 sample
+    // areas picked as two similar pairs (highest curve correlation).
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            pairs.push((a, b, correlation(&curves[a], &curves[b])));
+        }
+    }
+    pairs.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap());
+    let (p1, p2) = (pairs[0], pairs[pairs.len() - 1]);
+    let sample = [p1.0, p1.1, p2.0, p2.1];
+    report.line("Pairwise embedding distances (4 sample areas: most-similar pair +");
+    report.line("least-similar pair by demand-curve correlation):");
+    report.line(format!(
+        "          {}",
+        sample.iter().map(|a| format!("A{a:<7}")).collect::<String>()
+    ));
+    for &a in &sample {
+        let row: String = sample
+            .iter()
+            .map(|&b| format!("{:<8.2}", ensemble.lead().area_distance(a, b).unwrap()))
+            .collect();
+        report.line(format!("A{a:<8} {row}"));
+    }
+    report.kv(
+        "similar pair",
+        format!("A{} ~ A{} (curve corr {:.2})", p1.0, p1.1, p1.2),
+    );
+    report.kv(
+        "dissimilar pair",
+        format!("A{} ~ A{} (curve corr {:.2})", p2.0, p2.1, p2.2),
+    );
+    report.blank();
+
+    // Global check: embedding distance should anti-correlate with
+    // demand-curve correlation across all area pairs.
+    let mut dist_corr_pairs: Vec<(f64, f64)> = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let d = ensemble.lead().area_distance(a, b).unwrap() as f64;
+            dist_corr_pairs.push((d, correlation(&curves[a], &curves[b])));
+        }
+    }
+    let ds: Vec<f64> = dist_corr_pairs.iter().map(|p| p.0).collect();
+    let cs: Vec<f64> = dist_corr_pairs.iter().map(|p| p.1).collect();
+    let relation = correlation(&ds, &cs);
+    report.kv("corr(embedding distance, curve similarity)", format!("{relation:.3}"));
+    report.line("Expected shape (paper §VI-D): negative — areas close in the embedding");
+    report.line("space share similar supply-demand patterns, regardless of scale.");
+    report.blank();
+
+    // Fig. 12(c)/(d) analogue: find a pair with high trend correlation
+    // but very different scales, and report its embedding distance
+    // percentile.
+    let scale_of = |c: &[f64]| c.iter().sum::<f64>();
+    let mut scale_mismatch: Option<(usize, usize, f64, f64)> = None;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let corr = correlation(&curves[a], &curves[b]);
+            let ratio = scale_of(&curves[a]) / scale_of(&curves[b]).max(1e-9);
+            let ratio = ratio.max(1.0 / ratio);
+            if corr > 0.85 && ratio > 2.0 {
+                let d = ensemble.lead().area_distance(a, b).unwrap() as f64;
+                scale_mismatch = Some((a, b, ratio, d));
+                break;
+            }
+        }
+        if scale_mismatch.is_some() {
+            break;
+        }
+    }
+    match scale_mismatch {
+        Some((a, b, ratio, d)) => {
+            let mut sorted = ds.clone();
+            sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let pct = sorted.partition_point(|&v| v < d) as f64 / sorted.len() as f64 * 100.0;
+            report.line(format!(
+                "Scale-mismatch pair A{a}/A{b}: volume ratio {ratio:.1}x, same trend;"
+            ));
+            report.line(format!(
+                "embedding distance {d:.2} is at the {pct:.0}th percentile of all pairs"
+            ));
+            report.line("(paper Fig. 12(c)/(d): such pairs stay close in the embedding space).");
+        }
+        None => report.line("No high-trend/large-scale-gap pair found at this scale."),
+    }
+    report.finish(pipeline.scale.name);
+}

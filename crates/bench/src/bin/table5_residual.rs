@@ -1,0 +1,62 @@
+//! Table V — effects of residual learning: Basic and Advanced DeepSD
+//! with the paper's block-residual wiring versus the Fig. 14
+//! concatenation wiring (no shortcut/direct connections).
+//!
+//! Usage: `cargo run --release -p deepsd-bench --bin table5_residual [smoke|small|paper]`
+
+use deepsd::Variant;
+use deepsd_bench::report::f2;
+use deepsd_bench::{Pipeline, Report, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let pipeline = Pipeline::build(scale);
+    let mut fx = pipeline.extractor();
+    let test_items = pipeline.test_items(&mut fx);
+
+    let mut rows = Vec::new();
+    for variant in [Variant::Basic, Variant::Advanced] {
+        let mut with = (0.0, 0.0);
+        let mut without = (0.0, 0.0);
+        for residual in [true, false] {
+            let mut cfg = pipeline.model_config(variant);
+            cfg.residual = residual;
+            let label = format!(
+                "{}{}",
+                match variant {
+                    Variant::Basic => "basic",
+                    Variant::Advanced => "advanced",
+                },
+                if residual { "+res" } else { "-res" }
+            );
+            let (_, report) = pipeline.train_model(&label, cfg, &mut fx, &test_items);
+            if residual {
+                with = (report.final_mae, report.final_rmse);
+            } else {
+                without = (report.final_mae, report.final_rmse);
+            }
+        }
+        rows.push((variant, with, without));
+    }
+
+    let mut report = Report::new("table5", "Table V: Effects of residual learning");
+    report.line("Model              With residual       Without residual");
+    report.line("                   MAE      RMSE       MAE      RMSE");
+    for (variant, with, without) in rows {
+        let name = match variant {
+            Variant::Basic => "Basic DeepSD   ",
+            Variant::Advanced => "Advanced DeepSD",
+        };
+        report.line(format!(
+            "{name} {} {}  {} {}",
+            f2(with.0),
+            f2(with.1),
+            f2(without.0),
+            f2(without.1)
+        ));
+    }
+    report.blank();
+    report.line("Expected shape (paper Table V): residual wiring wins for both variants");
+    report.line("(paper: basic 3.56/15.57 vs 3.63/16.40; advanced 3.30/13.99 vs 3.46/15.06).");
+    report.finish(pipeline.scale.name);
+}

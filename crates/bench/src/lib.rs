@@ -1,0 +1,14 @@
+//! # deepsd-bench — experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§VI), plus
+//! criterion microbenches for the substrates. This library hosts the
+//! shared experiment plumbing: scales, the simulate→featurise→train
+//! pipeline, and result reporting.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{Pipeline, Scale};
+pub use report::Report;

@@ -1,0 +1,167 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone)]
+pub struct Args {
+    command: String,
+    flags: HashMap<String, String>,
+}
+
+/// Argument parsing / validation failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv[1..]`: first token is the subcommand, the rest must
+    /// be `--key value` pairs.
+    pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        let mut it = argv.iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand".into()))?
+            .clone();
+        let mut flags = HashMap::new();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("expected --flag, got '{key}'")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+            if flags.insert(key.to_string(), value.clone()).is_some() {
+                return Err(ArgError(format!("--{key} given twice")));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// The subcommand name.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key).ok_or_else(|| ArgError(format!("missing required --{key}")))
+    }
+
+    /// Typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse '{raw}'"))),
+        }
+    }
+
+    /// Required typed flag.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let raw = self.require(key)?;
+        raw.parse().map_err(|_| ArgError(format!("--{key}: cannot parse '{raw}'")))
+    }
+
+    /// A day range flag in `start..end` form.
+    pub fn get_range(&self, key: &str, default: Range<u16>) -> Result<Range<u16>, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => {
+                let (a, b) = raw
+                    .split_once("..")
+                    .ok_or_else(|| ArgError(format!("--{key}: expected start..end")))?;
+                let start: u16 =
+                    a.parse().map_err(|_| ArgError(format!("--{key}: bad start '{a}'")))?;
+                let end: u16 =
+                    b.parse().map_err(|_| ArgError(format!("--{key}: bad end '{b}'")))?;
+                if start >= end {
+                    return Err(ArgError(format!("--{key}: empty range {start}..{end}")));
+                }
+                Ok(start..end)
+            }
+        }
+    }
+
+    /// Rejects flags outside the allowed set (typo protection).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{key} (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(&argv(&["train", "--epochs", "5", "--out", "m.json"])).unwrap();
+        assert_eq!(a.command(), "train");
+        assert_eq!(a.get("epochs"), Some("5"));
+        assert_eq!(a.get_or::<usize>("epochs", 1).unwrap(), 5);
+        assert_eq!(a.require("out").unwrap(), "m.json");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv(&["simulate"])).unwrap();
+        assert_eq!(a.get_or::<u16>("areas", 16).unwrap(), 16);
+        assert_eq!(a.get_range("train-days", 0..5).unwrap(), 0..5);
+    }
+
+    #[test]
+    fn range_parsing() {
+        let a = Args::parse(&argv(&["x", "--days", "7..24"])).unwrap();
+        assert_eq!(a.get_range("days", 0..1).unwrap(), 7..24);
+        let bad = Args::parse(&argv(&["x", "--days", "24..7"])).unwrap();
+        assert!(bad.get_range("days", 0..1).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Args::parse(&argv(&[])).is_err());
+        assert!(Args::parse(&argv(&["x", "oops"])).is_err());
+        assert!(Args::parse(&argv(&["x", "--k"])).is_err());
+        assert!(Args::parse(&argv(&["x", "--k", "1", "--k", "2"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = Args::parse(&argv(&["x", "--oops", "1"])).unwrap();
+        assert!(a.check_known(&["fine"]).is_err());
+        assert!(a.check_known(&["oops"]).is_ok());
+    }
+
+    #[test]
+    fn parse_errors_carry_messages() {
+        let a = Args::parse(&argv(&["x", "--n", "abc"])).unwrap();
+        let err = a.get_or::<usize>("n", 0).unwrap_err();
+        assert!(err.0.contains("abc"));
+    }
+}

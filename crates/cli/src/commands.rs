@@ -1,0 +1,237 @@
+//! CLI subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use deepsd::trainer::{evaluate_model, predict_items, train};
+use deepsd::{DeepSD, EnvBlocks, ModelConfig, TrainOptions, Variant};
+use deepsd_baselines::EmpiricalAverage;
+use deepsd_features::{test_keys, train_keys, FeatureConfig, FeatureExtractor, ItemKey};
+use deepsd_simdata::{
+    decode_dataset, encode_dataset, CityConfig, OrderGenConfig, SimConfig, SimDataset,
+};
+use std::fs;
+
+/// Top-level error type for commands.
+pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Usage text.
+pub const USAGE: &str = "\
+deepsd-cli — DeepSD (ICDE 2017) supply-demand gap prediction
+
+USAGE:
+  deepsd-cli simulate --out data.dsd [--areas 16] [--days 38] [--seed 7]
+                      [--volume 1.0] [--slack 1.0]
+  deepsd-cli inspect  --data data.dsd
+  deepsd-cli train    --data data.dsd --out model.json
+                      [--variant basic|advanced] [--env none|weather|full]
+                      [--train-days 7..24] [--eval-days 24..38]
+                      [--epochs 10] [--window 20] [--dropout 0.3]
+                      [--lr 0.001] [--best-k 4]
+  deepsd-cli evaluate --data data.dsd --model model.json [--test-days 24..38]
+  deepsd-cli predict  --data data.dsd --model model.json --day 30 --t 480
+                      [--area 3]
+";
+
+/// `simulate`: generate a dataset and write it as a binary blob.
+pub fn simulate(args: &Args) -> CmdResult {
+    args.check_known(&["out", "areas", "days", "seed", "volume", "slack"])?;
+    let out = args.require("out")?;
+    let config = SimConfig {
+        city: CityConfig {
+            n_areas: args.get_or("areas", 16u16)?,
+            seed: args.get_or("seed", 7u64)?,
+        },
+        n_days: args.get_or("days", 38u16)?,
+        orders: OrderGenConfig {
+            demand_volume: args.get_or("volume", 1.0f64)?,
+            supply_slack: args.get_or("slack", 1.0f64)?,
+        },
+        ..SimConfig::smoke(0)
+    };
+    eprintln!(
+        "simulating {} areas x {} days (seed {})…",
+        config.city.n_areas, config.n_days, config.city.seed
+    );
+    let ds = SimDataset::generate(&config);
+    let blob = encode_dataset(&ds);
+    fs::write(out, &blob)?;
+    println!(
+        "wrote {out}: {} orders ({} unanswered), {:.1} MiB",
+        ds.total_orders(),
+        ds.total_invalid(),
+        blob.len() as f64 / (1024.0 * 1024.0)
+    );
+    Ok(())
+}
+
+fn load_dataset(args: &Args) -> Result<SimDataset, Box<dyn std::error::Error>> {
+    let path = args.require("data")?;
+    let blob = fs::read(path)?;
+    Ok(decode_dataset(&blob)?)
+}
+
+/// `inspect`: print a dataset summary.
+pub fn inspect(args: &Args) -> CmdResult {
+    args.check_known(&["data"])?;
+    let ds = load_dataset(args)?;
+    println!("areas: {}", ds.n_areas());
+    println!("days:  {}", ds.n_days);
+    println!("orders: {} ({} unanswered, {:.1}%)",
+        ds.total_orders(),
+        ds.total_invalid(),
+        100.0 * ds.total_invalid() as f64 / ds.total_orders().max(1) as f64
+    );
+    println!("\narea  archetype        demand_scale  orders");
+    for area in &ds.city.areas {
+        println!(
+            "{:>4}  {:<15} {:>12.2} {:>8}",
+            area.id,
+            format!("{:?}", area.archetype),
+            area.demand_scale,
+            ds.orders(area.id).len()
+        );
+    }
+    Ok(())
+}
+
+fn feature_config(args: &Args) -> Result<FeatureConfig, ArgError> {
+    Ok(FeatureConfig {
+        window_l: args.get_or("window", 20usize)?,
+        history_window: args.get_or("history-window", 6usize)?,
+        train_stride: args.get_or("stride", 10usize)?,
+        ..FeatureConfig::default()
+    })
+}
+
+/// `train`: train a model on a dataset and write a JSON checkpoint.
+pub fn train_cmd(args: &Args) -> CmdResult {
+    args.check_known(&[
+        "data", "out", "variant", "env", "train-days", "eval-days", "epochs", "window",
+        "dropout", "lr", "best-k", "history-window", "stride",
+    ])?;
+    let ds = load_dataset(args)?;
+    let out = args.require("out")?;
+    let fcfg = feature_config(args)?;
+    let train_days = args.get_range("train-days", 7..(ds.n_days.saturating_sub(14)).max(8))?;
+    let eval_days = args.get_range("eval-days", train_days.end..ds.n_days)?;
+    if eval_days.end > ds.n_days {
+        return Err(Box::new(ArgError(format!(
+            "--eval-days ends at {} but the dataset has {} days",
+            eval_days.end, ds.n_days
+        ))));
+    }
+
+    let variant = match args.get("variant").unwrap_or("advanced") {
+        "basic" => Variant::Basic,
+        "advanced" => Variant::Advanced,
+        other => return Err(Box::new(ArgError(format!("unknown variant '{other}'")))),
+    };
+    let env = match args.get("env").unwrap_or("full") {
+        "none" => EnvBlocks::None,
+        "weather" => EnvBlocks::Weather,
+        "full" => EnvBlocks::WeatherTraffic,
+        other => return Err(Box::new(ArgError(format!("unknown env '{other}'")))),
+    };
+
+    let mut mcfg = match variant {
+        Variant::Basic => ModelConfig::basic(ds.n_areas()),
+        Variant::Advanced => ModelConfig::advanced(ds.n_areas()),
+    };
+    mcfg.window_l = fcfg.window_l;
+    mcfg.env = env;
+    mcfg.dropout = args.get_or("dropout", 0.3f32)?;
+
+    let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
+    let tr = train_keys(ds.n_areas() as u16, train_days.clone(), &fcfg);
+    let te = test_keys(ds.n_areas() as u16, eval_days.clone(), &fcfg);
+    let eval_items = fx.extract_all(&te);
+    eprintln!(
+        "training {variant:?} on {} items (days {train_days:?}), evaluating on {} items",
+        tr.len(),
+        eval_items.len()
+    );
+
+    let mut model = DeepSD::new(mcfg);
+    let opts = TrainOptions {
+        epochs: args.get_or("epochs", 10usize)?,
+        best_k: args.get_or("best-k", 4usize)?,
+        learning_rate: args.get_or("lr", 1e-3f32)?,
+        ..TrainOptions::default()
+    };
+    let report = train(&mut model, &mut fx, &tr, &eval_items, &opts);
+    for e in &report.epochs {
+        eprintln!(
+            "epoch {:>2}: loss {:>8.3}  MAE {:.3}  RMSE {:.3} ({:.1}s)",
+            e.epoch, e.train_loss, e.eval_mae, e.eval_rmse, e.seconds
+        );
+    }
+    println!("final: MAE {:.3}, RMSE {:.3}", report.final_mae, report.final_rmse);
+    fs::write(out, model.to_json())?;
+    println!("wrote {out} ({} parameters)", model.num_parameters());
+    Ok(())
+}
+
+fn load_model(args: &Args) -> Result<DeepSD, Box<dyn std::error::Error>> {
+    let path = args.require("model")?;
+    let json = fs::read_to_string(path)?;
+    Ok(DeepSD::from_json(&json)?)
+}
+
+/// `evaluate`: metrics of a checkpoint on a dataset split, with the
+/// empirical-average baseline for context.
+pub fn evaluate(args: &Args) -> CmdResult {
+    args.check_known(&["data", "model", "test-days", "window", "history-window", "stride"])?;
+    let ds = load_dataset(args)?;
+    let model = load_model(args)?;
+    let mut fcfg = feature_config(args)?;
+    fcfg.window_l = model.config().window_l;
+    let test_days = args.get_range("test-days", (ds.n_days.saturating_sub(14)).max(1)..ds.n_days)?;
+
+    let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
+    let te = test_keys(ds.n_areas() as u16, test_days.clone(), &fcfg);
+    let items = fx.extract_all(&te);
+    let eval = evaluate_model(&model, &items, 256);
+
+    // Context baseline: empirical average fitted on the preceding days.
+    let warmup = 0..test_days.start;
+    let avg_keys: Vec<ItemKey> = train_keys(ds.n_areas() as u16, warmup, &fcfg);
+    println!("test items: {} (days {test_days:?})", eval.n);
+    println!("model     MAE {:.3}  RMSE {:.3}", eval.mae, eval.rmse);
+    if !avg_keys.is_empty() {
+        let avg = EmpiricalAverage::fit(&fx, &avg_keys);
+        let truth: Vec<f32> = items.iter().map(|i| i.gap).collect();
+        let avg_eval = deepsd::evaluate(&avg.predict_all(&te), &truth);
+        println!("average   MAE {:.3}  RMSE {:.3}", avg_eval.mae, avg_eval.rmse);
+    }
+    Ok(())
+}
+
+/// `predict`: gap predictions for one timeslot (all areas, or one).
+pub fn predict(args: &Args) -> CmdResult {
+    args.check_known(&["data", "model", "day", "t", "area", "window", "history-window", "stride"])?;
+    let ds = load_dataset(args)?;
+    let model = load_model(args)?;
+    let mut fcfg = feature_config(args)?;
+    fcfg.window_l = model.config().window_l;
+    let day: u16 = args.require_parsed("day")?;
+    let t: u16 = args.require_parsed("t")?;
+    if day >= ds.n_days {
+        return Err(Box::new(ArgError(format!(
+            "--day {day} out of range (dataset has {} days)",
+            ds.n_days
+        ))));
+    }
+    let areas: Vec<u16> = match args.get("area") {
+        Some(_) => vec![args.require_parsed("area")?],
+        None => (0..ds.n_areas() as u16).collect(),
+    };
+    let mut fx = FeatureExtractor::new(&ds, fcfg);
+    let keys: Vec<ItemKey> = areas.iter().map(|&area| ItemKey { area, day, t }).collect();
+    let items = fx.extract_all(&keys);
+    let preds = predict_items(&model, &items, 256);
+    println!("day {day}, window [{t}, {}):", t + 10);
+    println!("area  predicted  actual");
+    for ((key, pred), item) in keys.iter().zip(preds.iter()).zip(items.iter()) {
+        println!("{:>4} {:>10.2} {:>7.0}", key.area, pred, item.gap);
+    }
+    Ok(())
+}

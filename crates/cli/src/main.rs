@@ -1,0 +1,39 @@
+//! `deepsd-cli` — command-line front end for the DeepSD reproduction.
+//!
+//! Subcommands: `simulate`, `inspect`, `train`, `evaluate`, `predict`.
+//! Run without arguments for usage.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        print!("{}", commands::USAGE);
+        return;
+    }
+    let parsed = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command() {
+        "simulate" => commands::simulate(&parsed),
+        "inspect" => commands::inspect(&parsed),
+        "train" => commands::train_cmd(&parsed),
+        "evaluate" => commands::evaluate(&parsed),
+        "predict" => commands::predict(&parsed),
+        other => {
+            eprintln!("error: unknown subcommand '{other}'\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end tests of the `deepsd-cli` binary: simulate → inspect →
+//! train → evaluate → predict over real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_deepsd-cli"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("deepsd-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn full_pipeline_roundtrip() {
+    let dir = tmpdir("full");
+    let data = dir.join("city.dsd");
+    let model = dir.join("model.json");
+
+    // simulate
+    let out = bin()
+        .args([
+            "simulate", "--out", data.to_str().unwrap(), "--areas", "4", "--days", "12",
+            "--seed", "5",
+        ])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists());
+
+    // inspect
+    let out = bin()
+        .args(["inspect", "--data", data.to_str().unwrap()])
+        .output()
+        .expect("run inspect");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("areas: 4"), "inspect output: {text}");
+    assert!(text.contains("days:  12"));
+
+    // train (tiny: 1 epoch, small window)
+    let out = bin()
+        .args([
+            "train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap(),
+            "--variant", "basic", "--epochs", "1", "--window", "8", "--train-days", "7..10",
+            "--eval-days", "10..12", "--stride", "60",
+        ])
+        .output()
+        .expect("run train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("final: MAE"), "train output: {text}");
+
+    // evaluate
+    let out = bin()
+        .args([
+            "evaluate", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "--test-days", "10..12",
+        ])
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success(), "evaluate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("model     MAE"));
+
+    // predict
+    let out = bin()
+        .args([
+            "predict", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "--day", "11", "--t", "480",
+        ])
+        .output()
+        .expect("run predict");
+    assert!(out.status.success(), "predict failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // One line per area plus header.
+    assert!(text.lines().count() >= 6, "predict output: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    // No args → usage on stdout, success.
+    let out = bin().output().expect("run bare");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    // Unknown subcommand → exit 2.
+    let out = bin().args(["frobnicate"]).output().expect("run unknown");
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unknown flag → clear message.
+    let out = bin()
+        .args(["simulate", "--oops", "1", "--out", "/tmp/never.dsd"])
+        .output()
+        .expect("run bad flag");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    // Missing file → error, not panic.
+    let out = bin()
+        .args(["inspect", "--data", "/tmp/definitely-not-there.dsd"])
+        .output()
+        .expect("run missing file");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn predict_rejects_out_of_range_day() {
+    let dir = tmpdir("range");
+    let data = dir.join("c.dsd");
+    let model = dir.join("m.json");
+    assert!(bin()
+        .args(["simulate", "--out", data.to_str().unwrap(), "--areas", "3", "--days", "10"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args([
+            "train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap(),
+            "--epochs", "1", "--window", "8", "--train-days", "7..8", "--eval-days", "8..10",
+            "--stride", "120",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args([
+            "predict", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "--day", "99", "--t", "480",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,547 @@
+//! The building blocks of DeepSD (§IV, §V).
+//!
+//! Every block registers its parameters in a shared
+//! [`deepsd_nn::ParamStore`] and records its computation on a
+//! [`deepsd_nn::Tape`]. Blocks are connected by the model (see
+//! [`crate::model`]), either through residual shortcuts (the paper's
+//! wiring) or plain concatenation (the Table V ablation).
+
+use crate::config::{Encoding, ModelConfig};
+use deepsd_nn::layers::{Activation, Dense, Embedding, OneHot, SoftmaxLayer};
+use deepsd_nn::{Matrix, NodeId, ParamStore, Tape};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A categorical encoder: either a trained embedding or a fixed one-hot
+/// expansion (Table III ablation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Encoder {
+    /// Trained embedding table.
+    Embedding(Embedding),
+    /// One-hot encoding.
+    OneHot(OneHot),
+}
+
+impl Encoder {
+    /// Creates an encoder per the configured encoding.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        encoding: Encoding,
+        rng: &mut StdRng,
+    ) -> Self {
+        match encoding {
+            Encoding::Embedding => Encoder::Embedding(Embedding::new(store, name, vocab, dim, rng)),
+            Encoding::OneHot => Encoder::OneHot(OneHot::new(vocab)),
+        }
+    }
+
+    /// Output width.
+    pub fn dim(&self) -> usize {
+        match self {
+            Encoder::Embedding(e) => e.dim(),
+            Encoder::OneHot(o) => o.vocab(),
+        }
+    }
+
+    /// Encodes a batch of ids.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, ids: &[usize]) -> NodeId {
+        match self {
+            Encoder::Embedding(e) => e.forward(tape, store, ids),
+            Encoder::OneHot(o) => o.forward(tape, ids),
+        }
+    }
+
+    /// The underlying embedding, when present (for the Table IV /
+    /// Fig. 12 analyses).
+    pub fn as_embedding(&self) -> Option<&Embedding> {
+        match self {
+            Encoder::Embedding(e) => Some(e),
+            Encoder::OneHot(_) => None,
+        }
+    }
+}
+
+/// Shared categorical encoders. The AreaID and WeekID encoders are used
+/// by both the identity part and the extended order part (Table I,
+/// "Occurred Parts"), so gradients from both paths accumulate into the
+/// same tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Encoders {
+    /// AreaID encoder (`R^n_areas → R^8`).
+    pub area: Encoder,
+    /// TimeID encoder (`R^1440 → R^6`).
+    pub time: Encoder,
+    /// WeekID encoder (`R^7 → R^3`).
+    pub week: Encoder,
+    /// Weather-type encoder (`R^10 → R^3`).
+    pub weather: Encoder,
+}
+
+impl Encoders {
+    /// Registers all encoder parameters.
+    pub fn new(store: &mut ParamStore, cfg: &ModelConfig, rng: &mut StdRng) -> Self {
+        Encoders {
+            area: Encoder::new(store, "emb.area", cfg.n_areas, cfg.area_dim, cfg.encoding, rng),
+            time: Encoder::new(
+                store,
+                "emb.time",
+                cfg.time_vocab(),
+                cfg.time_dim,
+                cfg.encoding,
+                rng,
+            ),
+            week: Encoder::new(store, "emb.week", 7, cfg.week_dim, cfg.encoding, rng),
+            weather: Encoder::new(store, "emb.weather", 10, cfg.weather_dim, cfg.encoding, rng),
+        }
+    }
+}
+
+/// Identity block (§IV-A, Fig. 4): encode AreaID, TimeID, WeekID and
+/// concatenate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IdentityBlock;
+
+impl IdentityBlock {
+    /// Records the identity part, returning `X_id`.
+    pub fn forward(
+        tape: &mut Tape,
+        store: &ParamStore,
+        encoders: &Encoders,
+        area_ids: &[usize],
+        time_ids: &[usize],
+        week_ids: &[usize],
+    ) -> NodeId {
+        let a = encoders.area.forward(tape, store, area_ids);
+        let t = encoders.time.forward(tape, store, time_ids);
+        let w = encoders.week.forward(tape, store, week_ids);
+        tape.concat(&[a, t, w])
+    }
+}
+
+/// Basic supply-demand block (§IV-B, Fig. 5): `V_sd → FC_64 → FC_32`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupplyDemandBlock {
+    fc1: Dense,
+    fc2: Dense,
+}
+
+impl SupplyDemandBlock {
+    /// Registers the block's parameters.
+    pub fn new(store: &mut ParamStore, cfg: &ModelConfig, rng: &mut StdRng) -> Self {
+        let act = Activation::LeakyRelu(cfg.lrel_slope);
+        SupplyDemandBlock {
+            fc1: Dense::new(store, "sd.fc1", cfg.vector_dim(), cfg.hidden1, act, rng),
+            fc2: Dense::new(store, "sd.fc2", cfg.hidden1, cfg.hidden2, act, rng),
+        }
+    }
+
+    /// Records the block, returning `X_sd`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, v_sd: NodeId) -> NodeId {
+        let h = self.fc1.forward(tape, store, v_sd);
+        self.fc2.forward(tape, store, h)
+    }
+}
+
+/// Environment block (§IV-C, Fig. 6): used for both weather and traffic.
+///
+/// Residual wiring: `R = FC_32(FC_64(concat(X_prev, V_env)))` and the
+/// block output is `X_prev ⊕ R`. Non-residual wiring (Fig. 14) processes
+/// `V_env` alone and the model concatenates block outputs at the end.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnvBlock {
+    fc1: Dense,
+    fc2: Dense,
+    residual: bool,
+}
+
+impl EnvBlock {
+    /// Registers an environment block over `env_dim`-wide input.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cfg: &ModelConfig,
+        env_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let act = Activation::LeakyRelu(cfg.lrel_slope);
+        let in_dim = if cfg.residual { cfg.hidden2 + env_dim } else { env_dim };
+        EnvBlock {
+            fc1: Dense::new(store, &format!("{name}.fc1"), in_dim, cfg.hidden1, act, rng),
+            fc2: Dense::new(store, &format!("{name}.fc2"), cfg.hidden1, cfg.hidden2, act, rng),
+            residual: cfg.residual,
+        }
+    }
+
+    /// Records the block. With residual wiring `prev` is required and the
+    /// output is `prev ⊕ R`; without it, `prev` is ignored and the raw
+    /// `FC` output is returned for later concatenation.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        prev: Option<NodeId>,
+        env: NodeId,
+    ) -> NodeId {
+        if self.residual {
+            let prev = prev.expect("residual env block needs a previous block");
+            let cat = tape.concat(&[prev, env]);
+            let h = self.fc1.forward(tape, store, cat);
+            let r = self.fc2.forward(tape, store, h);
+            tape.add(prev, r)
+        } else {
+            let h = self.fc1.forward(tape, store, env);
+            self.fc2.forward(tape, store, h)
+        }
+    }
+}
+
+/// Extended order block (§V-A, Fig. 9): the advanced model's two-stage
+/// structure, instantiated once per vector kind (supply-demand,
+/// last-call, waiting-time).
+///
+/// Stage 1 (Fig. 8): softmax weekday-combining weights
+/// `p = softmax([embed(AreaID) | embed(WeekID)] W)` produce the empirical
+/// vectors `E^{d,t} = Σ_w p_w H^(w),d,t` (Eq. 1) and `E^{d,t+C}`.
+///
+/// Stage 2: a shared linear projection maps `V`, `E^{d,t}`, `E^{d,t+C}`
+/// to a 16-d space; the future vector is estimated as
+/// `Proj(E^{t+C}) + (Proj(V) − Proj(E^t))`; the four projections are
+/// concatenated and passed through `FC_64 → FC_32`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtendedBlock {
+    combine: SoftmaxLayer,
+    proj: Dense,
+    fc1: Dense,
+    fc2: Dense,
+    residual: bool,
+    has_prev: bool,
+    uniform_combining: bool,
+}
+
+impl ExtendedBlock {
+    /// Registers an extended block. `has_prev` is true for every block
+    /// after the first in the extended order part.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cfg: &ModelConfig,
+        has_prev: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let act = Activation::LeakyRelu(cfg.lrel_slope);
+        let feat_dim = 4 * cfg.projection_dim;
+        let in_dim = if cfg.residual && has_prev { cfg.hidden2 + feat_dim } else { feat_dim };
+        ExtendedBlock {
+            combine: SoftmaxLayer::new(
+                store,
+                &format!("{name}.combine"),
+                cfg.combine_input_dim(),
+                7,
+                rng,
+            ),
+            proj: Dense::new(
+                store,
+                &format!("{name}.proj"),
+                cfg.vector_dim(),
+                cfg.projection_dim,
+                Activation::Linear,
+                rng,
+            ),
+            fc1: Dense::new(store, &format!("{name}.fc1"), in_dim, cfg.hidden1, act, rng),
+            fc2: Dense::new(store, &format!("{name}.fc2"), cfg.hidden1, cfg.hidden2, act, rng),
+            residual: cfg.residual,
+            has_prev,
+            uniform_combining: cfg.uniform_combining,
+        }
+    }
+
+    /// Records the weekday-combining weights `p` for a batch (also used
+    /// standalone for the Fig. 15 analysis).
+    pub fn combining_weights(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        encoders: &Encoders,
+        area_ids: &[usize],
+        week_ids: &[usize],
+    ) -> NodeId {
+        if self.uniform_combining {
+            // Ablation: fixed p = 1/7 regardless of area and weekday.
+            return tape.constant(Matrix::full(area_ids.len(), 7, 1.0 / 7.0));
+        }
+        let a = encoders.area.forward(tape, store, area_ids);
+        let w = encoders.week.forward(tape, store, week_ids);
+        let cat = tape.concat(&[a, w]);
+        self.combine.forward(tape, store, cat)
+    }
+
+    /// Records the block.
+    ///
+    /// * `v` — the real-time vector (`B × 2L`),
+    /// * `h` / `h_next` — stacked weekday histories at `t` and `t + C`
+    ///   (`B × 7·2L`), consumed as data by the weighted combination,
+    /// * `prev` — previous block output when `has_prev`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        encoders: &Encoders,
+        area_ids: &[usize],
+        week_ids: &[usize],
+        v: NodeId,
+        h: Matrix,
+        h_next: Matrix,
+        prev: Option<NodeId>,
+    ) -> NodeId {
+        let dim = tape.shape(v).1;
+        let p = self.combining_weights(tape, store, encoders, area_ids, week_ids);
+        let e_t = tape.weighted_combine(p, h, dim);
+        let e_next = tape.weighted_combine(p, h_next, dim);
+
+        let proj_v = self.proj.forward(tape, store, v);
+        let proj_e = self.proj.forward(tape, store, e_t);
+        let proj_e_next = self.proj.forward(tape, store, e_next);
+        // Proj(V^{t+C}) ≈ Proj(E^{t+C}) + (Proj(V^t) − Proj(E^t)).
+        let dev = tape.sub(proj_v, proj_e);
+        let est = tape.add(proj_e_next, dev);
+        let feats = tape.concat(&[proj_v, proj_e, proj_e_next, est]);
+
+        if self.residual && self.has_prev {
+            let prev = prev.expect("extended block expects a previous block output");
+            let cat = tape.concat(&[prev, feats]);
+            let h1 = self.fc1.forward(tape, store, cat);
+            let r = self.fc2.forward(tape, store, h1);
+            tape.add(prev, r)
+        } else {
+            let h1 = self.fc1.forward(tape, store, feats);
+            self.fc2.forward(tape, store, h1)
+        }
+    }
+}
+
+/// Assembles the weather condition vector `V_wc` on the tape (§IV-C,
+/// Fig. 6): per look-back minute, the encoded weather type concatenated
+/// with (temperature, pm2.5).
+pub fn weather_input(
+    tape: &mut Tape,
+    store: &ParamStore,
+    encoders: &Encoders,
+    l: usize,
+    weather_types: &[usize],
+    weather_scalars: Matrix,
+) -> NodeId {
+    let n = weather_scalars.rows();
+    assert_eq!(weather_types.len(), n * l, "weather type ids shape mismatch");
+    assert_eq!(weather_scalars.cols(), 2 * l, "weather scalars shape mismatch");
+    let scalars = tape.input(weather_scalars);
+    let mut parts = Vec::with_capacity(2 * l);
+    for ell in 1..=l {
+        let ids: Vec<usize> = (0..n).map(|i| weather_types[i * l + ell - 1]).collect();
+        let emb = encoders.weather.forward(tape, store, &ids);
+        let scal = tape.slice_cols(scalars, 2 * (ell - 1), 2);
+        parts.push(emb);
+        parts.push(scal);
+    }
+    tape.concat(&parts)
+}
+
+/// Final head (§IV-D): `concat(X_id, X) → FC_32 →` single linear neuron.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutputHead {
+    fc: Dense,
+    out: Dense,
+}
+
+impl OutputHead {
+    /// Registers the head over an `in_dim`-wide concatenation.
+    pub fn new(store: &mut ParamStore, cfg: &ModelConfig, in_dim: usize, rng: &mut StdRng) -> Self {
+        let act = Activation::LeakyRelu(cfg.lrel_slope);
+        OutputHead {
+            fc: Dense::new(store, "head.fc", in_dim, cfg.hidden2, act, rng),
+            out: Dense::new(store, "head.out", cfg.hidden2, 1, Activation::Linear, rng),
+        }
+    }
+
+    /// Records the head, returning the `B × 1` prediction node.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let h = self.fc.forward(tape, store, x);
+        self.out.forward(tape, store, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsd_nn::seeded_rng;
+
+    fn cfg() -> ModelConfig {
+        let mut c = ModelConfig::advanced(6);
+        c.window_l = 4;
+        c
+    }
+
+    #[test]
+    fn identity_block_output_width() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(1);
+        let enc = Encoders::new(&mut store, &cfg, &mut rng);
+        let mut tape = Tape::new();
+        let x = IdentityBlock::forward(&mut tape, &store, &enc, &[0, 5], &[100, 1439], &[0, 6]);
+        assert_eq!(tape.shape(x), (2, cfg.identity_dim()));
+    }
+
+    #[test]
+    fn identity_block_onehot_width() {
+        let mut cfg = cfg();
+        cfg.encoding = Encoding::OneHot;
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(2);
+        let enc = Encoders::new(&mut store, &cfg, &mut rng);
+        assert!(store.is_empty(), "one-hot encoders register no parameters");
+        let mut tape = Tape::new();
+        let x = IdentityBlock::forward(&mut tape, &store, &enc, &[0], &[0], &[0]);
+        assert_eq!(tape.shape(x), (1, 6 + 1440 + 7));
+    }
+
+    #[test]
+    fn supply_demand_block_shapes() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(3);
+        let block = SupplyDemandBlock::new(&mut store, &cfg, &mut rng);
+        let mut tape = Tape::new();
+        let v = tape.input(Matrix::zeros(3, cfg.vector_dim()));
+        let x = block.forward(&mut tape, &store, v);
+        assert_eq!(tape.shape(x), (3, cfg.hidden2));
+    }
+
+    #[test]
+    fn env_block_residual_keeps_width_and_uses_shortcut() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(4);
+        let block = EnvBlock::new(&mut store, "wc", &cfg, 10, &mut rng);
+        let mut tape = Tape::new();
+        let prev = tape.input(Matrix::full(2, cfg.hidden2, 5.0));
+        let env = tape.input(Matrix::zeros(2, 10));
+        let out = block.forward(&mut tape, &store, Some(prev), env);
+        assert_eq!(tape.shape(out), (2, cfg.hidden2));
+        // Zero parameters except biases → R ≈ bias-path only; the
+        // shortcut must carry the prev values: out = prev + R where R is
+        // whatever the net computes on zero env input; with freshly
+        // initialised biases at zero and zero env input the first layer
+        // output is fc1(concat(prev, 0)) which is generally non-zero, so
+        // just check the residual structure exists by differentiating:
+        let loss = tape.sum(out);
+        let grads = tape.backward(loss);
+        assert!(!grads.is_empty());
+    }
+
+    #[test]
+    fn env_block_non_residual_ignores_prev() {
+        let mut cfg = cfg();
+        cfg.residual = false;
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(5);
+        let block = EnvBlock::new(&mut store, "wc", &cfg, 10, &mut rng);
+        let mut tape = Tape::new();
+        let env = tape.input(Matrix::zeros(2, 10));
+        let out = block.forward(&mut tape, &store, None, env);
+        assert_eq!(tape.shape(out), (2, cfg.hidden2));
+    }
+
+    #[test]
+    fn extended_block_first_and_chained() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(6);
+        let enc = Encoders::new(&mut store, &cfg, &mut rng);
+        let first = ExtendedBlock::new(&mut store, "sd", &cfg, false, &mut rng);
+        let second = ExtendedBlock::new(&mut store, "lc", &cfg, true, &mut rng);
+        let dim = cfg.vector_dim();
+        let mut tape = Tape::new();
+        let v = tape.input(Matrix::full(2, dim, 0.3));
+        let h = Matrix::full(2, 7 * dim, 0.2);
+        let x1 = first.forward(
+            &mut tape, &store, &enc, &[1, 2], &[0, 6], v, h.clone(), h.clone(), None,
+        );
+        assert_eq!(tape.shape(x1), (2, cfg.hidden2));
+        let v2 = tape.input(Matrix::full(2, dim, 0.1));
+        let x2 = second.forward(
+            &mut tape, &store, &enc, &[1, 2], &[0, 6], v2, h.clone(), h, Some(x1),
+        );
+        assert_eq!(tape.shape(x2), (2, cfg.hidden2));
+    }
+
+    #[test]
+    fn combining_weights_are_distributions() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(7);
+        let enc = Encoders::new(&mut store, &cfg, &mut rng);
+        let block = ExtendedBlock::new(&mut store, "sd", &cfg, false, &mut rng);
+        let mut tape = Tape::new();
+        let p = block.combining_weights(&mut tape, &store, &enc, &[0, 3, 5], &[1, 1, 6]);
+        assert_eq!(tape.shape(p), (3, 7));
+        for r in 0..3 {
+            let s: f32 = tape.value(p).row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn weather_input_width() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(8);
+        let enc = Encoders::new(&mut store, &cfg, &mut rng);
+        let mut tape = Tape::new();
+        let n = 2;
+        let types = vec![0usize; n * cfg.window_l];
+        let scalars = Matrix::zeros(n, 2 * cfg.window_l);
+        let wc = weather_input(&mut tape, &store, &enc, cfg.window_l, &types, scalars);
+        assert_eq!(tape.shape(wc), (n, cfg.window_l * cfg.weather_lag_dim()));
+    }
+
+    #[test]
+    fn output_head_is_scalar_per_row() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(9);
+        let head = OutputHead::new(&mut store, &cfg, 49, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::zeros(5, 49));
+        let y = head.forward(&mut tape, &store, x);
+        assert_eq!(tape.shape(y), (5, 1));
+    }
+
+    #[test]
+    fn extended_block_gradients_flow_to_embeddings() {
+        // The combining weights must backpropagate into the shared
+        // area/week embeddings.
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(10);
+        let enc = Encoders::new(&mut store, &cfg, &mut rng);
+        let block = ExtendedBlock::new(&mut store, "sd", &cfg, false, &mut rng);
+        let dim = cfg.vector_dim();
+        let mut tape = Tape::new();
+        let v = tape.input(Matrix::full(1, dim, 0.5));
+        // Distinct weekday histories so p actually matters.
+        let h = Matrix::from_fn(1, 7 * dim, |_, c| (c / dim) as f32);
+        let x = block.forward(
+            &mut tape, &store, &enc, &[2], &[3], v, h.clone(), h, None,
+        );
+        let loss = tape.mean(x);
+        let grads = tape.backward(loss);
+        let area_param = enc.area.as_embedding().unwrap().param();
+        let g = grads.get(area_param).expect("area embedding gradient");
+        assert!(g.row(2).iter().any(|&v| v != 0.0), "used row must receive gradient");
+        assert!(g.row(0).iter().all(|&v| v == 0.0), "unused row stays zero");
+    }
+}

@@ -1,0 +1,194 @@
+//! Model configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which DeepSD variant to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// §IV: identity part + supply-demand block (+ environment blocks).
+    Basic,
+    /// §V: identity part + extended order part (supply-demand, last-call,
+    /// waiting-time blocks with learned weekday combining) +
+    /// environment blocks.
+    Advanced,
+}
+
+/// Categorical input encoding (the Table III ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Encoding {
+    /// Jointly trained embedding layers (the paper's choice).
+    Embedding,
+    /// One-hot representation fed directly into the dense layers.
+    OneHot,
+}
+
+/// Which environment blocks to attach (the Fig. 13 ablation; §VI-E
+/// cases A/B/C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnvBlocks {
+    /// Case A: order data only.
+    None,
+    /// Case B: + weather block.
+    Weather,
+    /// Case C: + weather and traffic blocks.
+    WeatherTraffic,
+}
+
+impl EnvBlocks {
+    /// Whether a weather block is present.
+    pub fn has_weather(self) -> bool {
+        !matches!(self, EnvBlocks::None)
+    }
+
+    /// Whether a traffic block is present.
+    pub fn has_traffic(self) -> bool {
+        matches!(self, EnvBlocks::WeatherTraffic)
+    }
+}
+
+/// Hyper-parameters of a DeepSD model. Defaults follow the paper
+/// (Table I, §VI-B).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Model variant.
+    pub variant: Variant,
+    /// Categorical encoding.
+    pub encoding: Encoding,
+    /// Environment blocks.
+    pub env: EnvBlocks,
+    /// Residual (shortcut) connections between blocks; `false` builds
+    /// the Fig. 14 concatenation wiring for the Table V ablation.
+    pub residual: bool,
+    /// Look-back window `L` (must match the feature pipeline).
+    pub window_l: usize,
+    /// Number of areas (AreaID vocabulary).
+    pub n_areas: usize,
+    /// AreaID embedding dimension (paper: 8).
+    pub area_dim: usize,
+    /// TimeID embedding dimension (paper: 6; vocabulary 1440).
+    pub time_dim: usize,
+    /// WeekID embedding dimension (paper: 3; vocabulary 7).
+    pub week_dim: usize,
+    /// Weather-type embedding dimension (paper: 3; vocabulary 10).
+    pub weather_dim: usize,
+    /// Projection dimensionality of the extended blocks (paper: 16).
+    pub projection_dim: usize,
+    /// Hidden width of each block's first FC layer (paper: 64).
+    pub hidden1: usize,
+    /// Output width of each block (paper: 32).
+    pub hidden2: usize,
+    /// Dropout rate after each block except identity (paper: 0.5).
+    pub dropout: f32,
+    /// Leaky-ReLU slope (paper: 0.001).
+    pub lrel_slope: f32,
+    /// Ablation: replace the learned weekday-combining softmax of the
+    /// extended blocks with fixed uniform weights `p = 1/7` (tests the
+    /// paper's claim that *learned* combining beats naive averaging,
+    /// §V-A / Fig. 15).
+    pub uniform_combining: bool,
+    /// Parameter initialisation seed.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// Paper-default basic model for `n_areas` areas.
+    pub fn basic(n_areas: usize) -> Self {
+        ModelConfig {
+            variant: Variant::Basic,
+            encoding: Encoding::Embedding,
+            env: EnvBlocks::WeatherTraffic,
+            residual: true,
+            window_l: 20,
+            n_areas,
+            area_dim: 8,
+            time_dim: 6,
+            week_dim: 3,
+            weather_dim: 3,
+            projection_dim: 16,
+            hidden1: 64,
+            hidden2: 32,
+            dropout: 0.5,
+            lrel_slope: 0.001,
+            uniform_combining: false,
+            seed: 17,
+        }
+    }
+
+    /// Paper-default advanced model for `n_areas` areas.
+    pub fn advanced(n_areas: usize) -> Self {
+        ModelConfig { variant: Variant::Advanced, ..Self::basic(n_areas) }
+    }
+
+    /// Width of each real-time vector (`2L`).
+    pub fn vector_dim(&self) -> usize {
+        2 * self.window_l
+    }
+
+    /// Width of a stacked weekday history (`7·2L`).
+    pub fn history_dim(&self) -> usize {
+        14 * self.window_l
+    }
+
+    /// TimeID vocabulary (fixed by the 1-minute slot grid).
+    pub fn time_vocab(&self) -> usize {
+        1440
+    }
+
+    /// Width of the identity part output under the configured encoding.
+    pub fn identity_dim(&self) -> usize {
+        match self.encoding {
+            Encoding::Embedding => self.area_dim + self.time_dim + self.week_dim,
+            Encoding::OneHot => self.n_areas + self.time_vocab() + 7,
+        }
+    }
+
+    /// Width of the input to the weekday-combining softmax.
+    pub fn combine_input_dim(&self) -> usize {
+        match self.encoding {
+            Encoding::Embedding => self.area_dim + self.week_dim,
+            Encoding::OneHot => self.n_areas + 7,
+        }
+    }
+
+    /// Per-lag width of the weather feature (embedded or one-hot type
+    /// plus temperature and pm2.5).
+    pub fn weather_lag_dim(&self) -> usize {
+        match self.encoding {
+            Encoding::Embedding => self.weather_dim + 2,
+            Encoding::OneHot => 10 + 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = ModelConfig::advanced(58);
+        assert_eq!(cfg.vector_dim(), 40);
+        assert_eq!(cfg.history_dim(), 280);
+        assert_eq!(cfg.identity_dim(), 17);
+        assert_eq!(cfg.combine_input_dim(), 11);
+        assert_eq!(cfg.weather_lag_dim(), 5);
+        assert_eq!(cfg.dropout, 0.5);
+    }
+
+    #[test]
+    fn onehot_dims() {
+        let mut cfg = ModelConfig::basic(58);
+        cfg.encoding = Encoding::OneHot;
+        assert_eq!(cfg.identity_dim(), 58 + 1440 + 7);
+        assert_eq!(cfg.combine_input_dim(), 65);
+        assert_eq!(cfg.weather_lag_dim(), 12);
+    }
+
+    #[test]
+    fn env_block_flags() {
+        assert!(!EnvBlocks::None.has_weather());
+        assert!(EnvBlocks::Weather.has_weather());
+        assert!(!EnvBlocks::Weather.has_traffic());
+        assert!(EnvBlocks::WeatherTraffic.has_traffic());
+    }
+}

@@ -1,0 +1,128 @@
+//! Evaluation metrics (§VI-A.1): MAE and RMSE, plus the
+//! threshold-filtered variants used by Fig. 10.
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mae(pred: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mae length mismatch");
+    assert!(!pred.is_empty(), "mae of empty slice");
+    pred.iter()
+        .zip(truth.iter())
+        .map(|(p, t)| (p - t).abs() as f64)
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(pred: &[f32], truth: &[f32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "rmse length mismatch");
+    assert!(!pred.is_empty(), "rmse of empty slice");
+    let mse = pred
+        .iter()
+        .zip(truth.iter())
+        .map(|(p, t)| {
+            let d = (p - t) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / pred.len() as f64;
+    mse.sqrt()
+}
+
+/// MAE/RMSE evaluated on the subset of items whose true gap is strictly
+/// below `threshold` (Fig. 10: "we evaluate the models on a subset of
+/// test data which has the gaps smaller than the threshold").
+///
+/// Returns `None` when no item qualifies.
+pub fn thresholded(pred: &[f32], truth: &[f32], threshold: f32) -> Option<(f64, f64)> {
+    assert_eq!(pred.len(), truth.len(), "thresholded length mismatch");
+    let pairs: (Vec<f32>, Vec<f32>) = pred
+        .iter()
+        .zip(truth.iter())
+        .filter(|(_, &t)| t < threshold)
+        .map(|(&p, &t)| (p, t))
+        .unzip();
+    if pairs.0.is_empty() {
+        return None;
+    }
+    Some((mae(&pairs.0, &pairs.1), rmse(&pairs.0, &pairs.1)))
+}
+
+/// A labelled evaluation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Number of evaluated items.
+    pub n: usize,
+}
+
+/// Computes both metrics at once.
+pub fn evaluate(pred: &[f32], truth: &[f32]) -> Evaluation {
+    Evaluation { mae: mae(pred, truth), rmse: rmse(pred, truth), n: pred.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_zero() {
+        let t = vec![1.0, 2.0, 3.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let p = vec![0.0, 0.0];
+        let t = vec![3.0, 4.0];
+        assert!((mae(&p, &t) - 3.5).abs() < 1e-9);
+        assert!((rmse(&p, &t) - (12.5f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_upper_bounds_mae() {
+        let p = vec![1.0, 5.0, 2.0, 8.0];
+        let t = vec![0.0, 0.0, 4.0, 1.0];
+        assert!(rmse(&p, &t) >= mae(&p, &t));
+    }
+
+    #[test]
+    fn rmse_penalises_outliers_more() {
+        // Same total absolute error, different concentration.
+        let spread = (vec![1.0, 1.0, 1.0, 1.0], vec![0.0; 4]);
+        let outlier = (vec![4.0, 0.0, 0.0, 0.0], vec![0.0; 4]);
+        assert!((mae(&spread.0, &spread.1) - mae(&outlier.0, &outlier.1)).abs() < 1e-9);
+        assert!(rmse(&outlier.0, &outlier.1) > rmse(&spread.0, &spread.1));
+    }
+
+    #[test]
+    fn thresholded_filters_by_truth() {
+        let p = vec![0.0, 10.0, 100.0];
+        let t = vec![1.0, 9.0, 200.0];
+        let (m, _) = thresholded(&p, &t, 10.0).unwrap();
+        // Only the first two items qualify: errors 1 and 1.
+        assert!((m - 1.0).abs() < 1e-9);
+        assert!(thresholded(&p, &t, 0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = rmse(&[], &[]);
+    }
+}

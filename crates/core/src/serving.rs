@@ -1,0 +1,166 @@
+//! Online serving: gap prediction from a live order stream.
+//!
+//! The paper closes with "we are currently working on incorporating our
+//! prediction model into the scheduling system of Didi" — this module is
+//! that deployment surface. An [`OnlinePredictor`] wraps a trained
+//! predictor, per-area rolling order windows
+//! ([`deepsd_features::OnlineWindow`]) fed by the live stream, and a
+//! historical dataset used for the per-weekday history stacks and
+//! environment feeds.
+//!
+//! Predictions from the online path are bit-identical to offline batch
+//! extraction when fed the same orders (see the tests).
+
+use crate::model::Predictor;
+use deepsd_features::{Batch, FeatureExtractor, Item, ItemKey, OnlineWindow};
+use deepsd_simdata::Order;
+
+/// Streaming gap predictor over all areas of a city.
+pub struct OnlinePredictor<'a, P: Predictor> {
+    model: P,
+    extractor: FeatureExtractor<'a>,
+    windows: Vec<OnlineWindow>,
+}
+
+impl<'a, P: Predictor> OnlinePredictor<'a, P> {
+    /// Creates a predictor. `extractor` supplies weekday histories,
+    /// weather/traffic feeds and ground truth; the real-time order state
+    /// comes exclusively from [`OnlinePredictor::observe`].
+    pub fn new(model: P, extractor: FeatureExtractor<'a>) -> Self {
+        let cfg = extractor.config().clone();
+        let windows = (0..extractor.n_areas() as u16)
+            .map(|area| OnlineWindow::new(area, &cfg))
+            .collect();
+        OnlinePredictor { model, extractor, windows }
+    }
+
+    /// Ingests one order from the live stream (any area; chronological).
+    pub fn observe(&mut self, order: Order) {
+        self.windows[order.loc_start as usize].observe(order);
+    }
+
+    /// Ingests a chronological slice of orders.
+    pub fn observe_all(&mut self, orders: &[Order]) {
+        for &o in orders {
+            self.observe(o);
+        }
+    }
+
+    /// Builds the feature item for one area at `(day, t)` from the
+    /// streamed state.
+    fn item(&mut self, area: u16, day: u16, t: u16) -> Item {
+        let window = &mut self.windows[area as usize];
+        window.advance_to(day, t);
+        let (v_sd, v_lc, v_wt) = window.vectors(t);
+        self.extractor
+            .extract_with_realtime(ItemKey { area, day, t }, &v_sd, &v_lc, &v_wt)
+    }
+
+    /// Predicts the gap of every area for the window `[t, t + C)` of
+    /// `day`, using only orders observed so far.
+    pub fn predict_all(&mut self, day: u16, t: u16) -> Vec<f32> {
+        let n = self.windows.len() as u16;
+        let items: Vec<Item> = (0..n).map(|area| self.item(area, day, t)).collect();
+        self.model.predict(&Batch::from_items(&items))
+    }
+
+    /// Predicts the gap of one area.
+    pub fn predict_area(&mut self, area: u16, day: u16, t: u16) -> f32 {
+        let item = self.item(area, day, t);
+        self.model.predict(&Batch::from_items(&[item]))[0]
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &P {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::model::DeepSD;
+    use crate::trainer::predict_items;
+    use deepsd_features::FeatureConfig;
+    use deepsd_simdata::{SimConfig, SimDataset};
+
+    fn setup(seed: u64) -> (SimDataset, FeatureConfig, DeepSD) {
+        let ds = SimDataset::generate(&SimConfig::smoke(seed));
+        let fcfg = FeatureConfig { window_l: 10, history_window: 3, ..FeatureConfig::default() };
+        let mut mcfg = ModelConfig::advanced(ds.n_areas());
+        mcfg.window_l = fcfg.window_l;
+        (ds, fcfg, DeepSD::new(mcfg))
+    }
+
+    #[test]
+    fn online_predictions_match_offline_extraction() {
+        let (ds, fcfg, model) = setup(121);
+        let day = 10u16;
+
+        // Offline reference.
+        let mut offline_fx = FeatureExtractor::new(&ds, fcfg.clone());
+        let keys: Vec<ItemKey> = (0..ds.n_areas() as u16)
+            .map(|area| ItemKey { area, day, t: 600 })
+            .collect();
+        let offline_items = offline_fx.extract_all(&keys);
+        let offline = predict_items(&model, &offline_items, 64);
+
+        // Online: stream every order of the day with ts < 600.
+        let serving_fx = FeatureExtractor::new(&ds, fcfg);
+        let mut predictor = OnlinePredictor::new(model, serving_fx);
+        for area in 0..ds.n_areas() as u16 {
+            let stream: Vec<Order> = ds
+                .orders(area)
+                .iter()
+                .filter(|o| o.day == day && o.ts < 600)
+                .copied()
+                .collect();
+            predictor.observe_all(&stream);
+        }
+        let online = predictor.predict_all(day, 600);
+
+        assert_eq!(online.len(), offline.len());
+        for (a, b) in online.iter().zip(offline.iter()) {
+            assert!((a - b).abs() < 1e-6, "online {a} vs offline {b}");
+        }
+    }
+
+    #[test]
+    fn predictions_change_with_streamed_orders() {
+        let (ds, fcfg, model) = setup(122);
+        let day = 9u16;
+        let area = (0..ds.n_areas() as u16)
+            .max_by_key(|&a| ds.orders(a).len())
+            .unwrap();
+
+        let fx1 = FeatureExtractor::new(&ds, fcfg.clone());
+        let mut empty_stream = OnlinePredictor::new(model.clone(), fx1);
+        let p_empty = empty_stream.predict_area(area, day, 540);
+
+        let fx2 = FeatureExtractor::new(&ds, fcfg);
+        let mut fed = OnlinePredictor::new(model, fx2);
+        let stream: Vec<Order> = ds
+            .orders(area)
+            .iter()
+            .filter(|o| o.day == day && o.ts < 540)
+            .copied()
+            .collect();
+        assert!(!stream.is_empty());
+        fed.observe_all(&stream);
+        let p_fed = fed.predict_area(area, day, 540);
+        assert_ne!(p_empty, p_fed, "streamed orders must influence the prediction");
+    }
+
+    #[test]
+    fn predict_area_matches_predict_all() {
+        let (ds, fcfg, model) = setup(123);
+        let fx = FeatureExtractor::new(&ds, fcfg);
+        let mut predictor = OnlinePredictor::new(model, fx);
+        let all = predictor.predict_all(8, 480);
+        for area in 0..ds.n_areas() as u16 {
+            let one = predictor.predict_area(area, 8, 480);
+            assert!((one - all[area as usize]).abs() < 1e-6);
+        }
+    }
+}

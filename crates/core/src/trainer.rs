@@ -1,0 +1,315 @@
+//! Training loop (§VI-B/§VI-C): mini-batch Adam, dropout, per-epoch
+//! evaluation and best-K snapshot averaging.
+
+use crate::metrics::{evaluate, Evaluation};
+use crate::model::{DeepSD, Ensemble, Predictor};
+use deepsd_features::{Batch, FeatureExtractor, Item, ItemKey};
+use deepsd_nn::{seeded_rng, Adam, Matrix, Snapshot, Tape};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Loss function minimised during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean squared error (pairs with the paper's RMSE metric).
+    Mse,
+    /// Huber loss — robust to the heavy gap tail.
+    Huber,
+}
+
+/// Training options. Defaults follow §VI-B/§VI-C of the paper (Adam,
+/// batch size 64, dropout handled by the model, final model averaged
+/// over the best 10 epochs).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Number of passes over the training keys.
+    pub epochs: usize,
+    /// Mini-batch size (paper: 64).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Number of best epochs whose parameters are averaged into the
+    /// final model (paper: 10). `1` keeps the single best epoch.
+    pub best_k: usize,
+    /// Global gradient max-abs clip (stabilises the heavy-tailed
+    /// targets); `None` disables clipping.
+    pub grad_clip: Option<f32>,
+    /// Multiplicative learning-rate decay applied after each epoch
+    /// (1.0 = constant rate).
+    pub lr_decay: f32,
+    /// Loss function.
+    pub loss: Loss,
+    /// Shuffling / dropout seed.
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 12,
+            batch_size: 64,
+            learning_rate: 7e-4,
+            best_k: 10,
+            grad_clip: Some(10.0),
+            lr_decay: 0.92,
+            loss: Loss::Mse,
+            seed: 99,
+        }
+    }
+}
+
+/// Per-epoch statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f64,
+    /// Evaluation MAE after the epoch.
+    pub eval_mae: f64,
+    /// Evaluation RMSE after the epoch.
+    pub eval_rmse: f64,
+    /// Wall-clock seconds spent in the epoch (training only).
+    pub seconds: f64,
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Statistics per epoch, in order.
+    pub epochs: Vec<EpochStats>,
+    /// Final evaluation of the averaged model.
+    pub final_mae: f64,
+    /// Final RMSE of the averaged model.
+    pub final_rmse: f64,
+}
+
+impl TrainReport {
+    /// Best (lowest) per-epoch evaluation MAE.
+    pub fn best_epoch_mae(&self) -> f64 {
+        self.epochs.iter().map(|e| e.eval_mae).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean epoch duration in seconds.
+    pub fn mean_epoch_seconds(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| e.seconds).sum::<f64>() / self.epochs.len() as f64
+    }
+}
+
+/// Trains `model` in place and returns only the report; the model is
+/// left at the single best epoch's parameters. See [`train_ensemble`]
+/// for the paper's best-K model averaging.
+pub fn train(
+    model: &mut DeepSD,
+    extractor: &mut FeatureExtractor<'_>,
+    train_keys: &[ItemKey],
+    eval_items: &[Item],
+    options: &TrainOptions,
+) -> TrainReport {
+    let (_, report) = train_ensemble(model, extractor, train_keys, eval_items, options);
+    report
+}
+
+/// Trains `model` on `train_keys` (features extracted on the fly) and
+/// evaluates after each epoch on pre-extracted `eval_items`.
+///
+/// After the last epoch, the `best_k` epochs with the lowest evaluation
+/// RMSE form a prediction-averaging [`Ensemble`] — the paper's "final
+/// model is the average of the models in the best 10 epochs" (§VI-C).
+/// The returned report's final metrics are the ensemble's; `model` is
+/// left restored to the single best epoch.
+pub fn train_ensemble(
+    model: &mut DeepSD,
+    extractor: &mut FeatureExtractor<'_>,
+    train_keys: &[ItemKey],
+    eval_items: &[Item],
+    options: &TrainOptions,
+) -> (Ensemble, TrainReport) {
+    assert!(!train_keys.is_empty(), "no training keys");
+    assert!(!eval_items.is_empty(), "no evaluation items");
+    assert!(options.batch_size > 0 && options.epochs > 0, "degenerate options");
+
+    let mut adam = Adam::new(options.learning_rate, 0.9, 0.999, 1e-8);
+    let mut rng = seeded_rng(options.seed);
+    let mut keys: Vec<ItemKey> = train_keys.to_vec();
+    let mut epochs = Vec::with_capacity(options.epochs);
+    let mut snapshots: Vec<(f64, Snapshot)> = Vec::new();
+
+    for epoch in 0..options.epochs {
+        let started = std::time::Instant::now();
+        keys.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in keys.chunks(options.batch_size) {
+            let items = extractor.extract_all(chunk);
+            let batch = Batch::from_items(&items);
+            let targets = Matrix::col_vector(batch.targets.clone());
+            let mut tape = Tape::new();
+            let pred = model.forward(&mut tape, &batch, Some(&mut rng));
+            let loss = match options.loss {
+                Loss::Mse => tape.mse_loss(pred, &targets),
+                Loss::Huber => tape.huber_loss(pred, &targets, 5.0),
+            };
+            loss_sum += tape.value(loss).get(0, 0) as f64;
+            batches += 1;
+            let mut grads = tape.backward(loss);
+            if let Some(clip) = options.grad_clip {
+                grads.clip_max_abs(clip);
+            }
+            adam.step(model.store_mut(), &grads);
+        }
+        let seconds = started.elapsed().as_secs_f64();
+
+        adam.lr *= options.lr_decay;
+        let eval = evaluate_model(model, eval_items, options.batch_size);
+        // Rank snapshots by RMSE: it matches the MSE training objective
+        // and is the metric where tail behaviour shows.
+        snapshots.push((eval.rmse, model.snapshot()));
+        epochs.push(EpochStats {
+            epoch,
+            train_loss: loss_sum / batches.max(1) as f64,
+            eval_mae: eval.mae,
+            eval_rmse: eval.rmse,
+            seconds,
+        });
+    }
+
+    // Best-K model averaging: ensemble over the best epochs' snapshots.
+    snapshots.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite RMSE"));
+    let k = options.best_k.max(1).min(snapshots.len());
+    let members: Vec<DeepSD> = snapshots
+        .iter()
+        .take(k)
+        .map(|(_, snap)| {
+            let mut member = model.clone();
+            member.restore(snap);
+            member
+        })
+        .collect();
+    model.restore(&snapshots[0].1);
+    let ensemble = Ensemble::new(members);
+
+    let final_eval = evaluate_model(&ensemble, eval_items, options.batch_size);
+    (ensemble, TrainReport { epochs, final_mae: final_eval.mae, final_rmse: final_eval.rmse })
+}
+
+/// Evaluates a predictor on pre-extracted items, batching for
+/// throughput.
+pub fn evaluate_model<P: Predictor>(model: &P, items: &[Item], batch_size: usize) -> Evaluation {
+    assert!(!items.is_empty(), "evaluation needs items");
+    let mut preds = Vec::with_capacity(items.len());
+    let mut truths = Vec::with_capacity(items.len());
+    for chunk in items.chunks(batch_size.max(1)) {
+        let batch = Batch::from_items(chunk);
+        preds.extend(model.predict(&batch));
+        truths.extend_from_slice(&batch.targets);
+    }
+    evaluate(&preds, &truths)
+}
+
+/// Predicts gaps for pre-extracted items, batching for throughput.
+pub fn predict_items<P: Predictor>(model: &P, items: &[Item], batch_size: usize) -> Vec<f32> {
+    let mut preds = Vec::with_capacity(items.len());
+    for chunk in items.chunks(batch_size.max(1)) {
+        let batch = Batch::from_items(chunk);
+        preds.extend(model.predict(&batch));
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EnvBlocks, ModelConfig};
+    use deepsd_features::{test_keys, train_keys, FeatureConfig};
+    use deepsd_simdata::{SimConfig, SimDataset};
+
+    fn tiny_setup() -> (SimDataset, FeatureConfig) {
+        let ds = SimDataset::generate(&SimConfig::smoke(51));
+        let fcfg = FeatureConfig {
+            window_l: 8,
+            history_window: 3,
+            train_stride: 60,
+            ..FeatureConfig::default()
+        };
+        (ds, fcfg)
+    }
+
+    #[test]
+    fn training_improves_over_initialisation() {
+        let (ds, fcfg) = tiny_setup();
+        let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
+        let tr_keys = train_keys(ds.n_areas() as u16, 7..12, &fcfg);
+        let te_keys = test_keys(ds.n_areas() as u16, 12..14, &fcfg);
+        let eval_items = fx.extract_all(&te_keys);
+
+        let mut mcfg = ModelConfig::basic(ds.n_areas());
+        mcfg.window_l = fcfg.window_l;
+        mcfg.env = EnvBlocks::None;
+        let mut model = DeepSD::new(mcfg);
+
+        let before = evaluate_model(&model, &eval_items, 64);
+        let report = train(
+            &mut model,
+            &mut fx,
+            &tr_keys,
+            &eval_items,
+            &TrainOptions { epochs: 3, best_k: 2, ..TrainOptions::default() },
+        );
+        assert_eq!(report.epochs.len(), 3);
+        assert!(
+            report.final_mae < before.mae,
+            "training must beat init: {} vs {}",
+            report.final_mae,
+            before.mae
+        );
+    }
+
+    #[test]
+    fn evaluate_model_matches_manual_metrics() {
+        let (ds, fcfg) = tiny_setup();
+        let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
+        let te_keys = test_keys(ds.n_areas() as u16, 12..14, &fcfg);
+        let items = fx.extract_all(&te_keys);
+        let mut mcfg = ModelConfig::basic(ds.n_areas());
+        mcfg.window_l = fcfg.window_l;
+        let model = DeepSD::new(mcfg);
+        let eval = evaluate_model(&model, &items, 32);
+        let preds = predict_items(&model, &items, 32);
+        let truths: Vec<f32> = items.iter().map(|i| i.gap).collect();
+        let manual = evaluate(&preds, &truths);
+        assert!((eval.mae - manual.mae).abs() < 1e-9);
+        assert!((eval.rmse - manual.rmse).abs() < 1e-9);
+        assert_eq!(eval.n, items.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "no training keys")]
+    fn train_rejects_empty_keys() {
+        let (ds, fcfg) = tiny_setup();
+        let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
+        let te_keys = test_keys(ds.n_areas() as u16, 12..14, &fcfg);
+        let eval_items = fx.extract_all(&te_keys);
+        let mut mcfg = ModelConfig::basic(ds.n_areas());
+        mcfg.window_l = fcfg.window_l;
+        let mut model = DeepSD::new(mcfg);
+        let _ = train(&mut model, &mut fx, &[], &eval_items, &TrainOptions::default());
+    }
+
+    #[test]
+    fn report_helpers() {
+        let report = TrainReport {
+            epochs: vec![
+                EpochStats { epoch: 0, train_loss: 5.0, eval_mae: 2.0, eval_rmse: 4.0, seconds: 1.0 },
+                EpochStats { epoch: 1, train_loss: 3.0, eval_mae: 1.5, eval_rmse: 3.0, seconds: 3.0 },
+            ],
+            final_mae: 1.4,
+            final_rmse: 2.9,
+        };
+        assert!((report.best_epoch_mae() - 1.5).abs() < 1e-12);
+        assert!((report.mean_epoch_seconds() - 2.0).abs() < 1e-12);
+    }
+}

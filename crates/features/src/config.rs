@@ -1,0 +1,116 @@
+//! Feature-pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the feature extraction pipeline, following §II and §VI-A
+/// of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Look-back window `L` in minutes (the paper fixes `L = 20`).
+    pub window_l: usize,
+    /// Prediction horizon `C` in minutes (the paper fixes `C = 10`).
+    pub horizon: usize,
+    /// Maximum number of past same-weekday days averaged into each
+    /// historical vector `H^(dow)`. The paper averages *all* prior
+    /// same-weekday days; a window keeps memory/time bounded and behaves
+    /// identically once more than `history_window` weeks have passed.
+    pub history_window: usize,
+    /// Stride between training items in minutes (paper: one item every
+    /// 5 minutes from 0:20 to 24:00).
+    pub train_stride: usize,
+    /// Stride between test items in minutes (paper: every 2 hours from
+    /// 7:30 to 23:30).
+    pub test_stride: usize,
+    /// First test timeslot of a day in minutes (paper: 7:30).
+    pub test_first: usize,
+    /// Last test timeslot of a day in minutes (paper: 23:30).
+    pub test_last: usize,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            window_l: 20,
+            horizon: 10,
+            history_window: 8,
+            train_stride: 5,
+            test_stride: 120,
+            test_first: 7 * 60 + 30,
+            test_last: 23 * 60 + 30,
+        }
+    }
+}
+
+impl FeatureConfig {
+    /// Dimensionality of each real-time vector (`2L`).
+    pub fn vector_dim(&self) -> usize {
+        2 * self.window_l
+    }
+
+    /// Dimensionality of a stacked 7-weekday history (`7 * 2L`).
+    pub fn history_dim(&self) -> usize {
+        7 * self.vector_dim()
+    }
+
+    /// Training timeslots of one day: `window_l, window_l + stride, …`
+    /// while the gap window `[t, t + horizon)` stays within the day.
+    pub fn train_slots(&self) -> Vec<u16> {
+        let mut out = Vec::new();
+        let mut t = self.window_l;
+        while t + self.horizon <= 1440 {
+            out.push(t as u16);
+            t += self.train_stride;
+        }
+        out
+    }
+
+    /// Test timeslots of one day.
+    pub fn test_slots(&self) -> Vec<u16> {
+        let mut out = Vec::new();
+        let mut t = self.test_first;
+        while t <= self.test_last && t + self.horizon <= 1440 {
+            out.push(t as u16);
+            t += self.test_stride;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_train_slot_count() {
+        // §VI-A: 283 items per area per training day.
+        let cfg = FeatureConfig::default();
+        assert_eq!(cfg.train_slots().len(), 283);
+        assert_eq!(cfg.train_slots()[0], 20);
+        assert_eq!(*cfg.train_slots().last().unwrap(), 1430);
+    }
+
+    #[test]
+    fn paper_test_slot_count() {
+        // t = 7:30, 9:30, …, 23:30 → 9 slots.
+        let cfg = FeatureConfig::default();
+        let slots = cfg.test_slots();
+        assert_eq!(slots.len(), 9);
+        assert_eq!(slots[0], 450);
+        assert_eq!(*slots.last().unwrap(), 1410);
+    }
+
+    #[test]
+    fn dims_follow_window() {
+        let cfg = FeatureConfig::default();
+        assert_eq!(cfg.vector_dim(), 40);
+        assert_eq!(cfg.history_dim(), 280);
+    }
+
+    #[test]
+    fn train_slots_respect_horizon() {
+        let cfg = FeatureConfig { horizon: 30, ..FeatureConfig::default() };
+        for t in cfg.train_slots() {
+            assert!(t as usize + 30 <= 1440);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The feature extractor: turns `(area, day, t)` keys into fully
+//! populated [`Item`]s against a simulated dataset.
+
+use crate::config::FeatureConfig;
+use crate::history::{AreaHistory, VectorKind};
+use crate::index::AreaIndex;
+use crate::items::{Item, ItemKey};
+use crate::scaling::{scale_counts, scale_pm25, scale_temperature};
+use deepsd_simdata::{SimDataset, SlotTime};
+
+/// Stateful extractor over one dataset. Holds per-area order indexes and
+/// history caches; extraction of an item is O(window) plus cached
+/// history lookups.
+pub struct FeatureExtractor<'a> {
+    dataset: &'a SimDataset,
+    config: FeatureConfig,
+    indexes: Vec<AreaIndex>,
+    histories: Vec<AreaHistory>,
+}
+
+impl<'a> FeatureExtractor<'a> {
+    /// Builds indexes for every area of the dataset.
+    pub fn new(dataset: &'a SimDataset, config: FeatureConfig) -> Self {
+        let n_days = dataset.n_days;
+        let indexes: Vec<AreaIndex> = (0..dataset.n_areas() as u16)
+            .map(|a| AreaIndex::build(dataset.orders(a), n_days))
+            .collect();
+        let histories = (0..dataset.n_areas()).map(|_| AreaHistory::new()).collect();
+        FeatureExtractor { dataset, config, indexes, histories }
+    }
+
+    /// The feature configuration in use.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &SimDataset {
+        self.dataset
+    }
+
+    /// Number of areas.
+    pub fn n_areas(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Ground-truth gap for a key (Definition 2).
+    pub fn gap(&self, key: ItemKey) -> u32 {
+        self.indexes[key.area as usize].gap(key.day, key.t, self.config.horizon)
+    }
+
+    /// Extracts the full feature item for a key.
+    ///
+    /// # Panics
+    /// Panics if `t < L` or the key addresses a day/area outside the
+    /// dataset.
+    pub fn extract(&mut self, key: ItemKey) -> Item {
+        let cfg = self.config.clone();
+        let l = cfg.window_l;
+        let index = &self.indexes[key.area as usize];
+        let history = &mut self.histories[key.area as usize];
+        let t_next = key.t + cfg.horizon as u16;
+
+        let mut v_sd = history.realtime(index, &cfg, VectorKind::SupplyDemand, key.day, key.t);
+        let mut v_lc = history.realtime(index, &cfg, VectorKind::LastCall, key.day, key.t);
+        let mut v_wt = history.realtime(index, &cfg, VectorKind::WaitingTime, key.day, key.t);
+        let mut h_sd = history.stack(index, &cfg, VectorKind::SupplyDemand, key.day, key.t);
+        let mut h_sd_next = history.stack(index, &cfg, VectorKind::SupplyDemand, key.day, t_next);
+        let mut h_lc = history.stack(index, &cfg, VectorKind::LastCall, key.day, key.t);
+        let mut h_lc_next = history.stack(index, &cfg, VectorKind::LastCall, key.day, t_next);
+        let mut h_wt = history.stack(index, &cfg, VectorKind::WaitingTime, key.day, key.t);
+        let mut h_wt_next = history.stack(index, &cfg, VectorKind::WaitingTime, key.day, t_next);
+        for v in [
+            &mut v_sd, &mut v_lc, &mut v_wt, &mut h_sd, &mut h_sd_next, &mut h_lc,
+            &mut h_lc_next, &mut h_wt, &mut h_wt_next,
+        ] {
+            scale_counts(v);
+        }
+
+        // Environment features over the look-back window, most recent
+        // minute first (lag ℓ = 1..=L).
+        let mut weather_types = Vec::with_capacity(l);
+        let mut weather_scalars = Vec::with_capacity(2 * l);
+        let mut traffic = Vec::with_capacity(4 * l);
+        for ell in 1..=l {
+            let minute = key.t - ell as u16;
+            let slot = SlotTime::new(key.day, minute);
+            let w = self.dataset.weather_at(slot);
+            weather_types.push(w.kind.id());
+            weather_scalars.push(scale_temperature(w.temperature));
+            weather_scalars.push(scale_pm25(w.pm25));
+            let tr = self.dataset.traffic_at(key.area, slot);
+            let total = tr.total_segments().max(1) as f32;
+            for lev in tr.levels {
+                traffic.push(lev as f32 / total);
+            }
+        }
+
+        let gap = self.gap(key) as f32;
+        Item {
+            key,
+            weekday: SlotTime::new(key.day, key.t).weekday() as u8,
+            gap,
+            v_sd,
+            v_lc,
+            v_wt,
+            h_sd,
+            h_sd_next,
+            h_lc,
+            h_lc_next,
+            h_wt,
+            h_wt_next,
+            weather_types,
+            weather_scalars,
+            traffic,
+        }
+    }
+
+    /// Extracts many items at once.
+    pub fn extract_all(&mut self, keys: &[ItemKey]) -> Vec<Item> {
+        keys.iter().map(|&k| self.extract(k)).collect()
+    }
+
+    /// Extracts an item using externally supplied *raw* real-time vectors
+    /// (e.g. from an [`crate::online::OnlineWindow`] fed by a live order
+    /// stream) while histories, environment features and the target come
+    /// from the indexed data. Scaling is applied here, so callers pass
+    /// unscaled counts.
+    ///
+    /// # Panics
+    /// Panics if vector lengths do not match `2L`.
+    pub fn extract_with_realtime(
+        &mut self,
+        key: ItemKey,
+        v_sd_raw: &[f32],
+        v_lc_raw: &[f32],
+        v_wt_raw: &[f32],
+    ) -> Item {
+        let dim = self.config.vector_dim();
+        assert_eq!(v_sd_raw.len(), dim, "v_sd width");
+        assert_eq!(v_lc_raw.len(), dim, "v_lc width");
+        assert_eq!(v_wt_raw.len(), dim, "v_wt width");
+        let mut item = self.extract(key);
+        let mut v_sd = v_sd_raw.to_vec();
+        let mut v_lc = v_lc_raw.to_vec();
+        let mut v_wt = v_wt_raw.to_vec();
+        for v in [&mut v_sd, &mut v_lc, &mut v_wt] {
+            scale_counts(v);
+        }
+        item.v_sd = v_sd;
+        item.v_lc = v_lc;
+        item.v_wt = v_wt;
+        item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsd_simdata::SimConfig;
+
+    fn small_config() -> FeatureConfig {
+        FeatureConfig { window_l: 10, history_window: 4, ..FeatureConfig::default() }
+    }
+
+    #[test]
+    fn extract_produces_consistent_dimensions() {
+        let ds = SimDataset::generate(&SimConfig::smoke(31));
+        let cfg = small_config();
+        let mut fx = FeatureExtractor::new(&ds, cfg.clone());
+        let item = fx.extract(ItemKey { area: 0, day: 8, t: 480 });
+        let dim = cfg.vector_dim();
+        assert_eq!(item.v_sd.len(), dim);
+        assert_eq!(item.v_lc.len(), dim);
+        assert_eq!(item.v_wt.len(), dim);
+        for h in [
+            &item.h_sd, &item.h_sd_next, &item.h_lc, &item.h_lc_next, &item.h_wt,
+            &item.h_wt_next,
+        ] {
+            assert_eq!(h.len(), 7 * dim);
+        }
+        assert_eq!(item.weather_types.len(), cfg.window_l);
+        assert_eq!(item.weather_scalars.len(), 2 * cfg.window_l);
+        assert_eq!(item.traffic.len(), 4 * cfg.window_l);
+        assert_eq!(item.weekday, 1); // day 8 = Tuesday
+    }
+
+    #[test]
+    fn gap_matches_manual_count() {
+        let ds = SimDataset::generate(&SimConfig::smoke(32));
+        let mut fx = FeatureExtractor::new(&ds, small_config());
+        let key = ItemKey { area: 2, day: 5, t: 500 };
+        let manual = ds
+            .orders(2)
+            .iter()
+            .filter(|o| o.day == 5 && o.ts >= 500 && o.ts < 510 && !o.valid)
+            .count() as u32;
+        assert_eq!(fx.gap(key), manual);
+        let item = fx.extract(key);
+        assert_eq!(item.gap, manual as f32);
+    }
+
+    #[test]
+    fn busy_morning_has_nonzero_features() {
+        let ds = SimDataset::generate(&SimConfig::smoke(33));
+        let mut fx = FeatureExtractor::new(&ds, small_config());
+        // Find the busiest area.
+        let busiest = (0..ds.n_areas() as u16)
+            .max_by_key(|&a| ds.orders(a).len())
+            .unwrap();
+        let item = fx.extract(ItemKey { area: busiest, day: 10, t: 8 * 60 + 30 });
+        assert!(item.v_sd.iter().sum::<f32>() > 0.0, "morning window should have orders");
+        assert!(item.h_sd.iter().sum::<f32>() > 0.0, "history should be populated by day 10");
+        assert!(item.traffic.iter().sum::<f32>() > 0.0);
+    }
+
+    #[test]
+    fn weather_types_are_in_vocab() {
+        let ds = SimDataset::generate(&SimConfig::smoke(34));
+        let mut fx = FeatureExtractor::new(&ds, small_config());
+        let item = fx.extract(ItemKey { area: 1, day: 3, t: 700 });
+        assert!(item.weather_types.iter().all(|&id| id < 10));
+    }
+
+    #[test]
+    fn traffic_fractions_sum_to_one_per_minute() {
+        let ds = SimDataset::generate(&SimConfig::smoke(35));
+        let mut fx = FeatureExtractor::new(&ds, small_config());
+        let item = fx.extract(ItemKey { area: 0, day: 2, t: 600 });
+        for chunk in item.traffic.chunks(4) {
+            let s: f32 = chunk.iter().sum();
+            assert!((s - 1.0).abs() < 0.05, "traffic fractions sum to {s}");
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic_and_cache_transparent() {
+        let ds = SimDataset::generate(&SimConfig::smoke(36));
+        let mut fx = FeatureExtractor::new(&ds, small_config());
+        let key = ItemKey { area: 3, day: 9, t: 1000 };
+        let a = fx.extract(key);
+        let b = fx.extract(key); // second call served from cache
+        assert_eq!(a.v_lc, b.v_lc);
+        assert_eq!(a.h_lc, b.h_lc);
+        assert_eq!(a.gap, b.gap);
+    }
+
+    #[test]
+    fn history_next_differs_from_current() {
+        let ds = SimDataset::generate(&SimConfig::smoke(37));
+        let mut fx = FeatureExtractor::new(&ds, small_config());
+        let busiest = (0..ds.n_areas() as u16)
+            .max_by_key(|&a| ds.orders(a).len())
+            .unwrap();
+        let item = fx.extract(ItemKey { area: busiest, day: 12, t: 8 * 60 });
+        // At the rising edge of the morning peak the history at t+10 must
+        // differ from the history at t.
+        assert_ne!(item.h_sd, item.h_sd_next);
+    }
+}

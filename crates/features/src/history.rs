@@ -1,0 +1,269 @@
+//! Per-weekday historical vectors (§V-A, first stage).
+//!
+//! For a vector kind `V ∈ {sd, lc, wt}`, the historical vector on weekday
+//! `w` is the average of the real-time vectors `V^{m,t}` over past days
+//! `m < d` with `weekday(m) = w` (Eq. before Eq. 1 in the paper). The
+//! seven weekday histories are stacked into one `7·2L` buffer; the model
+//! combines them with learned softmax weights (Eq. 1).
+//!
+//! Last-call and waiting-time vectors are window-dependent and therefore
+//! cached per `(kind, day, t)`; supply-demand vectors come straight from
+//! the minute-count arrays.
+
+use crate::config::FeatureConfig;
+use crate::index::AreaIndex;
+use crate::vectors::{v_lc, v_sd, v_wt};
+use std::collections::HashMap;
+
+/// Which real-time vector a computation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VectorKind {
+    /// Supply-demand vector (Definition 5).
+    SupplyDemand,
+    /// Last-call vector (Definition 6).
+    LastCall,
+    /// Waiting-time vector (Definition 7).
+    WaitingTime,
+}
+
+impl VectorKind {
+    /// All kinds, in block order.
+    pub const ALL: [VectorKind; 3] =
+        [VectorKind::SupplyDemand, VectorKind::LastCall, VectorKind::WaitingTime];
+}
+
+/// History computation over one area, with a per-`(kind, day, t)` cache
+/// for the window-dependent vector kinds.
+#[derive(Debug)]
+pub struct AreaHistory {
+    cache: HashMap<(VectorKind, u16, u16), Vec<f32>>,
+}
+
+impl Default for AreaHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AreaHistory {
+    /// Creates an empty history cache.
+    pub fn new() -> Self {
+        AreaHistory { cache: HashMap::new() }
+    }
+
+    /// Real-time vector of `kind` at `(day, t)` (cached for lc/wt).
+    pub fn realtime(
+        &mut self,
+        index: &AreaIndex,
+        cfg: &FeatureConfig,
+        kind: VectorKind,
+        day: u16,
+        t: u16,
+    ) -> Vec<f32> {
+        let l = cfg.window_l;
+        match kind {
+            VectorKind::SupplyDemand => v_sd(index, day, t, l),
+            VectorKind::LastCall | VectorKind::WaitingTime => self
+                .cache
+                .entry((kind, day, t))
+                .or_insert_with(|| match kind {
+                    VectorKind::LastCall => v_lc(index, day, t, l),
+                    VectorKind::WaitingTime => v_wt(index, day, t, l),
+                    VectorKind::SupplyDemand => unreachable!(),
+                })
+                .clone(),
+        }
+    }
+
+    /// Stacked 7-weekday history `[H^(Mon) | H^(Tue) | … | H^(Sun)]` of
+    /// `kind` at `(day, t)`, each part `2L`-dimensional.
+    ///
+    /// Weekdays with no prior occurrence before `day` contribute zeros.
+    /// At most `cfg.history_window` most-recent same-weekday days are
+    /// averaged.
+    pub fn stack(
+        &mut self,
+        index: &AreaIndex,
+        cfg: &FeatureConfig,
+        kind: VectorKind,
+        day: u16,
+        t: u16,
+    ) -> Vec<f32> {
+        let dim = cfg.vector_dim();
+        let mut out = vec![0.0f32; 7 * dim];
+        for w in 0..7u16 {
+            let mut acc = vec![0.0f32; dim];
+            let mut count = 0usize;
+            // Walk backwards over past days of weekday w.
+            let mut m = day;
+            while m > 0 && count < cfg.history_window {
+                m -= 1;
+                if (m % 7) as usize != w as usize {
+                    continue;
+                }
+                let v = self.realtime(index, cfg, kind, m, t);
+                for (a, b) in acc.iter_mut().zip(v.iter()) {
+                    *a += b;
+                }
+                count += 1;
+            }
+            if count > 0 {
+                let inv = 1.0 / count as f32;
+                for a in acc.iter_mut() {
+                    *a *= inv;
+                }
+            }
+            out[w as usize * dim..(w as usize + 1) * dim].copy_from_slice(&acc);
+        }
+        out
+    }
+
+    /// Number of cached window-dependent vectors.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Simple uniform empirical average over all prior days (any weekday):
+/// the paper's "Empirical Average" baseline building block, also useful
+/// as a sanity reference.
+pub fn uniform_history(
+    history: &mut AreaHistory,
+    index: &AreaIndex,
+    cfg: &FeatureConfig,
+    kind: VectorKind,
+    day: u16,
+    t: u16,
+) -> Vec<f32> {
+    let dim = cfg.vector_dim();
+    let mut acc = vec![0.0f32; dim];
+    let mut count = 0usize;
+    let lookback = (cfg.history_window * 7).min(day as usize);
+    for m in (day as usize - lookback)..day as usize {
+        let v = history.realtime(index, cfg, kind, m as u16, t);
+        for (a, b) in acc.iter_mut().zip(v.iter()) {
+            *a += b;
+        }
+        count += 1;
+    }
+    if count > 0 {
+        let inv = 1.0 / count as f32;
+        for a in acc.iter_mut() {
+            *a *= inv;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsd_simdata::Order;
+
+    fn cfg() -> FeatureConfig {
+        FeatureConfig { window_l: 4, ..FeatureConfig::default() }
+    }
+
+    /// Days 0..14; on each day put `day + 1` valid orders at minute 99.
+    fn index_with_daily_counts(n_days: u16) -> AreaIndex {
+        let mut orders = Vec::new();
+        for day in 0..n_days {
+            for k in 0..=day {
+                orders.push(Order {
+                    day,
+                    ts: 99,
+                    pid: (day as u32) * 100 + k as u32,
+                    loc_start: 0,
+                    loc_dest: 0,
+                    valid: true,
+                });
+            }
+        }
+        AreaIndex::build(&orders, n_days)
+    }
+
+    #[test]
+    fn stack_averages_same_weekday_days() {
+        let cfg = cfg();
+        let index = index_with_daily_counts(15);
+        let mut hist = AreaHistory::new();
+        // Query at day 14 (weekday 0), t = 100: minute 99 is lag ℓ = 1.
+        let stack = hist.stack(&index, &cfg, VectorKind::SupplyDemand, 14, 100);
+        let dim = cfg.vector_dim();
+        // Weekday 0 history: days 0 (count 1) and 7 (count 8) → mean 4.5.
+        assert!((stack[0] - 4.5).abs() < 1e-6);
+        // Weekday 3 history: days 3 (count 4) and 10 (count 11) → 7.5.
+        assert!((stack[3 * dim] - 7.5).abs() < 1e-6);
+        // All invalid parts are zero.
+        for w in 0..7 {
+            for ell in 0..cfg.window_l {
+                assert_eq!(stack[w * dim + cfg.window_l + ell], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn stack_is_zero_with_no_history() {
+        let cfg = cfg();
+        let index = index_with_daily_counts(3);
+        let mut hist = AreaHistory::new();
+        let stack = hist.stack(&index, &cfg, VectorKind::SupplyDemand, 0, 100);
+        assert!(stack.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stack_respects_history_window() {
+        let mut cfg = cfg();
+        cfg.history_window = 1;
+        let index = index_with_daily_counts(15);
+        let mut hist = AreaHistory::new();
+        let stack = hist.stack(&index, &cfg, VectorKind::SupplyDemand, 14, 100);
+        // Weekday 0: only day 7 (count 8) within window 1.
+        assert!((stack[0] - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stack_excludes_current_and_future_days() {
+        let cfg = cfg();
+        let index = index_with_daily_counts(15);
+        let mut hist = AreaHistory::new();
+        // Query day 7 (weekday 0): only day 0 contributes to weekday 0.
+        let stack = hist.stack(&index, &cfg, VectorKind::SupplyDemand, 7, 100);
+        assert!((stack[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lc_vectors_are_cached() {
+        let cfg = cfg();
+        let index = index_with_daily_counts(15);
+        let mut hist = AreaHistory::new();
+        assert_eq!(hist.cache_len(), 0);
+        let _ = hist.stack(&index, &cfg, VectorKind::LastCall, 14, 100);
+        let filled = hist.cache_len();
+        assert!(filled > 0);
+        // Second identical query must not grow the cache.
+        let _ = hist.stack(&index, &cfg, VectorKind::LastCall, 14, 100);
+        assert_eq!(hist.cache_len(), filled);
+    }
+
+    #[test]
+    fn uniform_history_averages_all_days() {
+        let cfg = cfg();
+        let index = index_with_daily_counts(8);
+        let mut hist = AreaHistory::new();
+        let u = uniform_history(&mut hist, &index, &cfg, VectorKind::SupplyDemand, 7, 100);
+        // Days 0..7 with counts 1..=7 → mean of (1+2+…+7)/7 = 4.
+        assert!((u[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn realtime_sd_matches_direct_computation() {
+        let cfg = cfg();
+        let index = index_with_daily_counts(5);
+        let mut hist = AreaHistory::new();
+        let via_history =
+            hist.realtime(&index, &cfg, VectorKind::SupplyDemand, 4, 100);
+        let direct = crate::vectors::v_sd(&index, 4, 100, cfg.window_l);
+        assert_eq!(via_history, direct);
+    }
+}

@@ -1,0 +1,270 @@
+//! Per-area order indexes: minute-level valid/invalid counts plus
+//! same-passenger order chains, the raw material for every feature vector.
+
+use deepsd_simdata::{Order, MINUTES_PER_DAY};
+
+const NO_LINK: u32 = u32::MAX;
+
+/// Index over one area's orders enabling O(window) feature queries.
+#[derive(Debug, Clone)]
+pub struct AreaIndex {
+    n_days: u16,
+    /// Orders, chronological (as produced by the simulator).
+    orders: Vec<Order>,
+    /// `day -> [start, end)` range into `orders`.
+    day_ranges: Vec<(u32, u32)>,
+    /// For each order, index of the *next* order by the same passenger on
+    /// the same day (`NO_LINK` if none).
+    next_same_pid: Vec<u32>,
+    /// For each order, index of the *previous* order by the same passenger
+    /// on the same day (`NO_LINK` if none).
+    prev_same_pid: Vec<u32>,
+    /// Valid orders per minute, `day * 1440 + minute`.
+    valid_per_minute: Vec<u16>,
+    /// Invalid orders per minute.
+    invalid_per_minute: Vec<u16>,
+}
+
+impl AreaIndex {
+    /// Builds the index from one area's chronological order stream.
+    ///
+    /// # Panics
+    /// Panics if orders are not sorted by `(day, ts)` or reference a day
+    /// `>= n_days`.
+    pub fn build(orders: &[Order], n_days: u16) -> AreaIndex {
+        let slots = MINUTES_PER_DAY as usize;
+        let mut valid_per_minute = vec![0u16; n_days as usize * slots];
+        let mut invalid_per_minute = vec![0u16; n_days as usize * slots];
+        let mut day_ranges = vec![(0u32, 0u32); n_days as usize];
+        let mut next_same_pid = vec![NO_LINK; orders.len()];
+        let mut prev_same_pid = vec![NO_LINK; orders.len()];
+
+        let mut prev_abs = 0u32;
+        let mut day_start = 0u32;
+        let mut current_day = 0u16;
+        // Per-day pid -> last order index map, reset at day boundaries.
+        let mut last_of_pid: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+
+        for (i, o) in orders.iter().enumerate() {
+            assert!(o.day < n_days, "order day {} out of {n_days}", o.day);
+            let abs = o.day as u32 * MINUTES_PER_DAY + o.ts as u32;
+            assert!(abs >= prev_abs, "orders must be chronological");
+            prev_abs = abs;
+            if o.day != current_day {
+                day_ranges[current_day as usize] = (day_start, i as u32);
+                for d in (current_day + 1)..o.day {
+                    day_ranges[d as usize] = (i as u32, i as u32);
+                }
+                current_day = o.day;
+                day_start = i as u32;
+                last_of_pid.clear();
+            }
+            let slot = o.day as usize * slots + o.ts as usize;
+            if o.valid {
+                valid_per_minute[slot] = valid_per_minute[slot].saturating_add(1);
+            } else {
+                invalid_per_minute[slot] = invalid_per_minute[slot].saturating_add(1);
+            }
+            if let Some(&prev) = last_of_pid.get(&o.pid) {
+                next_same_pid[prev as usize] = i as u32;
+                prev_same_pid[i] = prev;
+            }
+            last_of_pid.insert(o.pid, i as u32);
+        }
+        day_ranges[current_day as usize] = (day_start, orders.len() as u32);
+        let end = orders.len() as u32;
+        for range in day_ranges.iter_mut().skip(current_day as usize + 1) {
+            *range = (end, end);
+        }
+
+        AreaIndex {
+            n_days,
+            orders: orders.to_vec(),
+            day_ranges,
+            next_same_pid,
+            prev_same_pid,
+            valid_per_minute,
+            invalid_per_minute,
+        }
+    }
+
+    /// Number of indexed days.
+    pub fn n_days(&self) -> u16 {
+        self.n_days
+    }
+
+    /// Valid-order count at `(day, minute)`.
+    pub fn valid_at(&self, day: u16, minute: u16) -> u16 {
+        self.valid_per_minute[day as usize * MINUTES_PER_DAY as usize + minute as usize]
+    }
+
+    /// Invalid-order count at `(day, minute)`.
+    pub fn invalid_at(&self, day: u16, minute: u16) -> u16 {
+        self.invalid_per_minute[day as usize * MINUTES_PER_DAY as usize + minute as usize]
+    }
+
+    /// The supply-demand gap of `[t, t + horizon)` on `day`: the number of
+    /// invalid orders in the window (Definition 2).
+    pub fn gap(&self, day: u16, t: u16, horizon: usize) -> u32 {
+        let end = (t as usize + horizon).min(MINUTES_PER_DAY as usize);
+        (t as usize..end).map(|m| self.invalid_at(day, m as u16) as u32).sum()
+    }
+
+    /// Orders of one day, chronological.
+    pub fn day_orders(&self, day: u16) -> &[Order] {
+        let (s, e) = self.day_ranges[day as usize];
+        &self.orders[s as usize..e as usize]
+    }
+
+    /// Orders of one day within the timeslot range `[from_ts, to_ts)`,
+    /// plus the index offset of the first returned order (for link
+    /// lookups).
+    pub fn day_orders_in(&self, day: u16, from_ts: u16, to_ts: u16) -> (&[Order], usize) {
+        let (s, e) = self.day_ranges[day as usize];
+        let slice = &self.orders[s as usize..e as usize];
+        let lo = slice.partition_point(|o| o.ts < from_ts);
+        let hi = slice.partition_point(|o| o.ts < to_ts);
+        (&slice[lo..hi], s as usize + lo)
+    }
+
+    /// Next order of the same passenger on the same day, as a global
+    /// order index.
+    pub fn next_of(&self, order_idx: usize) -> Option<usize> {
+        let n = self.next_same_pid[order_idx];
+        (n != NO_LINK).then_some(n as usize)
+    }
+
+    /// Previous order of the same passenger on the same day.
+    pub fn prev_of(&self, order_idx: usize) -> Option<usize> {
+        let p = self.prev_same_pid[order_idx];
+        (p != NO_LINK).then_some(p as usize)
+    }
+
+    /// Order by global index.
+    pub fn order(&self, idx: usize) -> &Order {
+        &self.orders[idx]
+    }
+
+    /// Total orders indexed.
+    pub fn len(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// True when the area saw no orders.
+    pub fn is_empty(&self) -> bool {
+        self.orders.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(day: u16, ts: u16, pid: u32, valid: bool) -> Order {
+        Order { day, ts, pid, loc_start: 0, loc_dest: 0, valid }
+    }
+
+    #[test]
+    fn minute_counts() {
+        let orders = vec![
+            o(0, 10, 1, true),
+            o(0, 10, 2, false),
+            o(0, 10, 3, true),
+            o(0, 11, 4, false),
+            o(1, 10, 5, true),
+        ];
+        let idx = AreaIndex::build(&orders, 2);
+        assert_eq!(idx.valid_at(0, 10), 2);
+        assert_eq!(idx.invalid_at(0, 10), 1);
+        assert_eq!(idx.invalid_at(0, 11), 1);
+        assert_eq!(idx.valid_at(1, 10), 1);
+        assert_eq!(idx.valid_at(1, 11), 0);
+    }
+
+    #[test]
+    fn gap_counts_invalid_in_window() {
+        let orders = vec![
+            o(0, 100, 1, false),
+            o(0, 105, 2, false),
+            o(0, 109, 3, false),
+            o(0, 110, 4, false), // outside [100, 110)
+            o(0, 99, 0, false),  // outside
+        ];
+        let mut sorted = orders;
+        sorted.sort_by_key(|x| (x.day, x.ts));
+        let idx = AreaIndex::build(&sorted, 1);
+        assert_eq!(idx.gap(0, 100, 10), 3);
+        assert_eq!(idx.gap(0, 110, 10), 1);
+        assert_eq!(idx.gap(0, 120, 10), 0);
+    }
+
+    #[test]
+    fn gap_clamps_at_midnight() {
+        let orders = vec![o(0, 1439, 1, false)];
+        let idx = AreaIndex::build(&orders, 1);
+        assert_eq!(idx.gap(0, 1435, 10), 1);
+    }
+
+    #[test]
+    fn pid_chains_link_within_day() {
+        let orders = vec![
+            o(0, 10, 7, false),
+            o(0, 12, 7, false),
+            o(0, 15, 7, true),
+            o(1, 20, 7, true), // same pid, next day: no link
+        ];
+        let idx = AreaIndex::build(&orders, 2);
+        assert_eq!(idx.next_of(0), Some(1));
+        assert_eq!(idx.next_of(1), Some(2));
+        assert_eq!(idx.next_of(2), None);
+        assert_eq!(idx.next_of(3), None);
+        assert_eq!(idx.prev_of(3), None);
+        assert_eq!(idx.prev_of(2), Some(1));
+        assert_eq!(idx.prev_of(0), None);
+    }
+
+    #[test]
+    fn day_ranges_handle_empty_days() {
+        let orders = vec![o(0, 5, 1, true), o(2, 7, 2, true)];
+        let idx = AreaIndex::build(&orders, 4);
+        assert_eq!(idx.day_orders(0).len(), 1);
+        assert_eq!(idx.day_orders(1).len(), 0);
+        assert_eq!(idx.day_orders(2).len(), 1);
+        assert_eq!(idx.day_orders(3).len(), 0);
+    }
+
+    #[test]
+    fn day_orders_in_slices_by_ts() {
+        let orders = vec![
+            o(0, 5, 1, true),
+            o(0, 10, 2, true),
+            o(0, 15, 3, true),
+            o(0, 20, 4, true),
+        ];
+        let idx = AreaIndex::build(&orders, 1);
+        let (w, offset) = idx.day_orders_in(0, 10, 20);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].pid, 2);
+        assert_eq!(offset, 1);
+        let (all, _) = idx.day_orders_in(0, 0, 1440);
+        assert_eq!(all.len(), 4);
+        let (none, _) = idx.day_orders_in(0, 100, 200);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn rejects_unsorted_orders() {
+        let orders = vec![o(0, 10, 1, true), o(0, 5, 2, true)];
+        let _ = AreaIndex::build(&orders, 1);
+    }
+
+    #[test]
+    fn empty_area_is_fine() {
+        let idx = AreaIndex::build(&[], 3);
+        assert!(idx.is_empty());
+        assert_eq!(idx.gap(1, 100, 10), 0);
+        assert!(idx.day_orders(2).is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # deepsd-features — the DeepSD feature pipeline
+//!
+//! Implements §II and §V of the paper against a
+//! [`deepsd_simdata::SimDataset`]:
+//!
+//! * ground-truth supply-demand **gaps** (Definition 2),
+//! * real-time **supply-demand / last-call / waiting-time vectors**
+//!   (Definitions 5–7) via [`vectors`],
+//! * per-weekday **historical vector stacks** feeding the advanced
+//!   model's learned combining weights ([`history`], §V-A),
+//! * **environment features** (weather-type ids + scalars, traffic level
+//!   fractions; §IV-C),
+//! * the paper's **train/test item grids** (§VI-A) and mini-batch
+//!   flattening ([`items`], [`batch`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use deepsd_features::{Batch, FeatureConfig, FeatureExtractor, ItemKey};
+//! use deepsd_simdata::{SimConfig, SimDataset};
+//!
+//! let ds = SimDataset::generate(&SimConfig::smoke(1));
+//! let mut fx = FeatureExtractor::new(&ds, FeatureConfig::default());
+//! let item = fx.extract(ItemKey { area: 0, day: 8, t: 510 });
+//! assert_eq!(item.v_sd.len(), 40); // 2L with L = 20
+//! let batch = Batch::from_items(&[item]);
+//! assert_eq!(batch.n, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod config;
+pub mod extract;
+pub mod history;
+pub mod index;
+pub mod items;
+pub mod online;
+pub mod scaling;
+pub mod vectors;
+
+pub use batch::Batch;
+pub use config::FeatureConfig;
+pub use extract::FeatureExtractor;
+pub use history::{AreaHistory, VectorKind};
+pub use index::AreaIndex;
+pub use items::{test_keys, train_keys, Item, ItemKey};
+pub use online::OnlineWindow;

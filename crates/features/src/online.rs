@@ -1,0 +1,231 @@
+//! Online (streaming) feature computation.
+//!
+//! In production the order stream arrives live; the real-time vectors of
+//! Definitions 5–7 must be maintained incrementally rather than from a
+//! batch index. [`OnlineWindow`] holds the last `L` minutes of one
+//! area's orders and produces vectors identical to the offline
+//! [`crate::vectors`] functions (verified by tests and by the serving
+//! integration tests in the core crate).
+
+use crate::config::FeatureConfig;
+use deepsd_simdata::{Order, MINUTES_PER_DAY};
+use std::collections::VecDeque;
+
+/// Rolling per-area order window for streaming feature extraction.
+#[derive(Debug, Clone)]
+pub struct OnlineWindow {
+    l: u16,
+    area: u16,
+    day: u16,
+    /// Orders of the current day with `ts >= cursor - L`, chronological.
+    buffer: VecDeque<Order>,
+    cursor: u16,
+}
+
+impl OnlineWindow {
+    /// Creates a window of `cfg.window_l` minutes for one area.
+    pub fn new(area: u16, cfg: &FeatureConfig) -> OnlineWindow {
+        OnlineWindow { l: cfg.window_l as u16, area, day: 0, buffer: VecDeque::new(), cursor: 0 }
+    }
+
+    /// The area this window tracks.
+    pub fn area(&self) -> u16 {
+        self.area
+    }
+
+    /// Ingests one order. Orders must arrive chronologically; orders for
+    /// other areas are ignored, day changes reset the buffer (passenger
+    /// chains do not span days).
+    ///
+    /// # Panics
+    /// Panics if the stream goes backwards in time.
+    pub fn observe(&mut self, order: Order) {
+        if order.loc_start != self.area {
+            return;
+        }
+        let abs_new = order.day as u32 * MINUTES_PER_DAY + order.ts as u32;
+        let abs_cur = self.day as u32 * MINUTES_PER_DAY + self.cursor as u32;
+        assert!(abs_new >= abs_cur, "order stream must be chronological");
+        if order.day != self.day {
+            self.buffer.clear();
+            self.day = order.day;
+        }
+        self.cursor = order.ts;
+        self.buffer.push_back(order);
+        self.evict(order.ts.saturating_add(1));
+    }
+
+    /// Moves the clock forward to `(day, t)` without new orders.
+    pub fn advance_to(&mut self, day: u16, t: u16) {
+        if day != self.day {
+            self.buffer.clear();
+            self.day = day;
+        }
+        if t > self.cursor || day != self.day {
+            self.cursor = t;
+        }
+        self.evict(t);
+    }
+
+    /// Drops orders older than `t - L`.
+    fn evict(&mut self, t: u16) {
+        let min_ts = t.saturating_sub(self.l);
+        while let Some(front) = self.buffer.front() {
+            if front.ts < min_ts {
+                self.buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of buffered orders.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True when no orders are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Computes the three real-time vectors for the window `[t - L, t)`
+    /// of the current day — unscaled counts, exactly matching the offline
+    /// [`crate::vectors`] semantics.
+    ///
+    /// # Panics
+    /// Panics if `t < L`.
+    pub fn vectors(&self, t: u16) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let l = self.l as usize;
+        assert!(t >= self.l, "window [t-L, t) crosses midnight: t={t}");
+        let from = t - self.l;
+        let mut v_sd = vec![0.0f32; 2 * l];
+        let mut v_lc = vec![0.0f32; 2 * l];
+        let mut v_wt = vec![0.0f32; 2 * l];
+
+        // Group the in-window orders per passenger, preserving order.
+        let mut per_pid: std::collections::HashMap<u32, Vec<&Order>> =
+            std::collections::HashMap::new();
+        for o in &self.buffer {
+            if o.ts < from || o.ts >= t {
+                continue;
+            }
+            let ell = (t - o.ts) as usize;
+            let slot = if o.valid { ell - 1 } else { l + ell - 1 };
+            v_sd[slot] += 1.0;
+            per_pid.entry(o.pid).or_default().push(o);
+        }
+        for chain in per_pid.values() {
+            let first = chain[0];
+            let last = chain[chain.len() - 1];
+            // Last-call vector: the pid counts at its final in-window call.
+            let ell = (t - last.ts) as usize;
+            let slot = if last.valid { ell - 1 } else { l + ell - 1 };
+            v_lc[slot] += 1.0;
+            // Waiting-time vector: span from first to last in-window call.
+            let wait = ((last.ts - first.ts) as usize).min(l - 1);
+            let slot = if last.valid { wait } else { l + wait };
+            v_wt[slot] += 1.0;
+        }
+        (v_sd, v_lc, v_wt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::AreaIndex;
+    use crate::vectors::{v_lc, v_sd, v_wt};
+    use deepsd_simdata::{SimConfig, SimDataset};
+
+    fn cfg(l: usize) -> FeatureConfig {
+        FeatureConfig { window_l: l, ..FeatureConfig::default() }
+    }
+
+    #[test]
+    fn online_matches_offline_on_simulated_stream() {
+        let ds = SimDataset::generate(&SimConfig::smoke(71));
+        let l = 12usize;
+        for area in 0..3u16 {
+            let index = AreaIndex::build(ds.orders(area), ds.n_days);
+            let mut window = OnlineWindow::new(area, &cfg(l));
+            let day = 9u16;
+            let mut orders = ds.orders(area).iter().filter(|o| o.day == day).peekable();
+            for t in (l as u16 + 1)..1000 {
+                // Feed all orders with ts < t.
+                while let Some(o) = orders.peek() {
+                    if o.ts < t {
+                        window.observe(**orders.peek().unwrap());
+                        orders.next();
+                    } else {
+                        break;
+                    }
+                }
+                window.advance_to(day, t);
+                if t % 97 != 0 {
+                    continue; // spot-check a scattered subset
+                }
+                let (sd_on, lc_on, wt_on) = window.vectors(t);
+                assert_eq!(sd_on, v_sd(&index, day, t, l), "sd area {area} t {t}");
+                assert_eq!(lc_on, v_lc(&index, day, t, l), "lc area {area} t {t}");
+                assert_eq!(wt_on, v_wt(&index, day, t, l), "wt area {area} t {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn ignores_other_areas() {
+        let mut w = OnlineWindow::new(2, &cfg(5));
+        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 3, loc_dest: 0, valid: true });
+        assert!(w.is_empty());
+        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 2, loc_dest: 0, valid: true });
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn day_rollover_clears_buffer() {
+        let mut w = OnlineWindow::new(0, &cfg(5));
+        w.observe(Order { day: 0, ts: 1439, pid: 1, loc_start: 0, loc_dest: 0, valid: true });
+        assert_eq!(w.len(), 1);
+        w.observe(Order { day: 1, ts: 3, pid: 2, loc_start: 0, loc_dest: 0, valid: true });
+        assert_eq!(w.len(), 1);
+        w.advance_to(1, 8);
+        let (sd, _, _) = w.vectors(8); // window [3, 8) still holds ts = 3
+        assert_eq!(sd.iter().sum::<f32>(), 1.0); // only the day-1 order
+    }
+
+    #[test]
+    fn eviction_drops_stale_orders() {
+        let mut w = OnlineWindow::new(0, &cfg(5));
+        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 0, loc_dest: 0, valid: true });
+        w.observe(Order { day: 0, ts: 104, pid: 2, loc_start: 0, loc_dest: 0, valid: false });
+        w.advance_to(0, 106);
+        // Window [101, 106): the ts=100 order is gone.
+        assert_eq!(w.len(), 1);
+        let (sd, _, _) = w.vectors(106);
+        assert_eq!(sd.iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn rejects_time_travel() {
+        let mut w = OnlineWindow::new(0, &cfg(5));
+        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 0, loc_dest: 0, valid: true });
+        w.observe(Order { day: 0, ts: 50, pid: 2, loc_start: 0, loc_dest: 0, valid: true });
+    }
+
+    #[test]
+    fn retry_chain_semantics() {
+        let mut w = OnlineWindow::new(0, &cfg(8));
+        // pid 9 fails at 95 and 98, succeeds at 101.
+        for (ts, valid) in [(95u16, false), (98, false), (101, true)] {
+            w.observe(Order { day: 0, ts, pid: 9, loc_start: 0, loc_dest: 0, valid });
+        }
+        w.advance_to(0, 103);
+        let (_, lc, wt) = w.vectors(103);
+        // Last call at 101 (valid), lag 2.
+        assert_eq!(lc[1], 1.0);
+        // Wait 101 - 95 = 6, success.
+        assert_eq!(wt[6], 1.0);
+    }
+}

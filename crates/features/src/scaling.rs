@@ -1,0 +1,51 @@
+//! Input scaling constants.
+//!
+//! The network trains on raw gap targets but benefits from inputs in a
+//! small, comparable range. The scales below are fixed constants (not
+//! data-dependent statistics) so train/test and fine-tuning stay
+//! consistent by construction.
+
+/// Multiplier applied to all order/passenger count features (`V_sd`,
+/// `V_lc`, `V_wt` and their histories).
+pub const COUNT_SCALE: f32 = 0.1;
+
+/// Divisor for temperatures in °C.
+pub const TEMPERATURE_SCALE: f32 = 30.0;
+
+/// Divisor for PM2.5 in µg/m³.
+pub const PM25_SCALE: f32 = 150.0;
+
+/// Scales a count-feature buffer in place.
+pub fn scale_counts(v: &mut [f32]) {
+    for x in v.iter_mut() {
+        *x *= COUNT_SCALE;
+    }
+}
+
+/// Normalises a temperature reading.
+pub fn scale_temperature(celsius: f32) -> f32 {
+    celsius / TEMPERATURE_SCALE
+}
+
+/// Normalises a PM2.5 reading.
+pub fn scale_pm25(pm: f32) -> f32 {
+    pm / PM25_SCALE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_scaling_is_linear() {
+        let mut v = vec![0.0, 10.0, 25.0];
+        scale_counts(&mut v);
+        assert_eq!(v, vec![0.0, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn scalar_scales_are_order_one() {
+        assert!((scale_temperature(15.0) - 0.5).abs() < 1e-6);
+        assert!((scale_pm25(75.0) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,241 @@
+//! Real-time feature vectors (Definitions 5–7 of the paper).
+//!
+//! All three vectors are `2L`-dimensional: the first `L` entries describe
+//! "successful" passengers/orders per look-back minute (or wait length),
+//! the second `L` entries the unsuccessful ones.
+
+use crate::index::AreaIndex;
+
+/// Real-time supply-demand vector `V_sd^{d,t}` (Definition 5).
+///
+/// Entry `ℓ - 1` (for `ℓ ∈ 1..=L`) is the number of **valid** orders at
+/// timeslot `t - ℓ`; entry `L + ℓ - 1` is the number of **invalid**
+/// orders at `t - ℓ`.
+///
+/// # Panics
+/// Panics if `t < L` (the window would cross midnight backwards).
+pub fn v_sd(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
+    assert!(t as usize >= l, "window [t-L, t) crosses midnight: t={t}, L={l}");
+    let mut out = vec![0.0f32; 2 * l];
+    for ell in 1..=l {
+        let minute = t - ell as u16;
+        out[ell - 1] = index.valid_at(day, minute) as f32;
+        out[l + ell - 1] = index.invalid_at(day, minute) as f32;
+    }
+    out
+}
+
+/// Real-time last-call vector `V_lc^{d,t}` (Definition 6).
+///
+/// Among all passengers whose *last* request inside `[t - L, t)` happened
+/// at `t - ℓ`: entry `ℓ - 1` counts those whose last request was answered
+/// (they got the ride), entry `L + ℓ - 1` those whose last request went
+/// unanswered. A failed last call near `t` is the strongest predictor of
+/// an imminent gap.
+pub fn v_lc(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
+    assert!(t as usize >= l, "window [t-L, t) crosses midnight: t={t}, L={l}");
+    let mut out = vec![0.0f32; 2 * l];
+    let from = t - l as u16;
+    let (window, offset) = index.day_orders_in(day, from, t);
+    for (i, o) in window.iter().enumerate() {
+        let global = offset + i;
+        // `o` is the pid's last call inside the window iff the pid's next
+        // same-day order (if any) is at or after `t`.
+        let is_last = match index.next_of(global) {
+            None => true,
+            Some(n) => index.order(n).ts >= t,
+        };
+        if !is_last {
+            continue;
+        }
+        let ell = (t - o.ts) as usize; // 1..=L
+        let slot = if o.valid { ell - 1 } else { l + ell - 1 };
+        out[slot] += 1.0;
+    }
+    out
+}
+
+/// Real-time waiting-time vector `V_wt^{d,t}` (Definition 7).
+///
+/// For each passenger whose *first* request falls inside `[t - L, t)`,
+/// the wait is the span in minutes from that first request to the
+/// passenger's last request before `t`. Entry `w` (clamped to `L - 1`)
+/// counts passengers with wait `w` who got a ride on their last request;
+/// entry `L + w` counts those who did not.
+pub fn v_wt(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
+    assert!(t as usize >= l, "window [t-L, t) crosses midnight: t={t}, L={l}");
+    let mut out = vec![0.0f32; 2 * l];
+    let from = t - l as u16;
+    let (window, offset) = index.day_orders_in(day, from, t);
+    for (i, o) in window.iter().enumerate() {
+        let global = offset + i;
+        // First call inside the window: no previous same-day order at or
+        // after the window start.
+        let is_first = match index.prev_of(global) {
+            None => true,
+            Some(p) => index.order(p).ts < from,
+        };
+        if !is_first {
+            continue;
+        }
+        // Walk the retry chain to the pid's last call before `t`.
+        let mut last = global;
+        while let Some(n) = index.next_of(last) {
+            if index.order(n).ts >= t {
+                break;
+            }
+            last = n;
+        }
+        let last_order = index.order(last);
+        let wait = (last_order.ts - o.ts) as usize;
+        let w = wait.min(l - 1);
+        let slot = if last_order.valid { w } else { l + w };
+        out[slot] += 1.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepsd_simdata::Order;
+
+    fn o(ts: u16, pid: u32, valid: bool) -> Order {
+        Order { day: 0, ts, pid, loc_start: 0, loc_dest: 0, valid }
+    }
+
+    fn idx(orders: Vec<Order>) -> AreaIndex {
+        let mut sorted = orders;
+        sorted.sort_by_key(|x| (x.day, x.ts));
+        AreaIndex::build(&sorted, 1)
+    }
+
+    const L: usize = 5;
+
+    #[test]
+    fn v_sd_counts_by_lag() {
+        // t = 100, L = 5 → window minutes 95..99; lag ℓ = 100 - minute.
+        let index = idx(vec![
+            o(99, 1, true),  // ℓ = 1
+            o(99, 2, true),  // ℓ = 1
+            o(95, 3, false), // ℓ = 5
+            o(94, 4, true),  // outside
+            o(100, 5, true), // outside
+        ]);
+        let v = v_sd(&index, 0, 100, L);
+        assert_eq!(v[0], 2.0); // valid at ℓ=1
+        assert_eq!(v[L + 4], 1.0); // invalid at ℓ=5
+        assert_eq!(v.iter().sum::<f32>(), 3.0);
+    }
+
+    #[test]
+    fn v_sd_conservation() {
+        // Sum of V_sd equals the number of orders in the window.
+        let index = idx(vec![
+            o(96, 1, true),
+            o(97, 1, false),
+            o(98, 2, true),
+            o(99, 3, false),
+        ]);
+        let v = v_sd(&index, 0, 100, L);
+        assert_eq!(v.iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    fn v_lc_keeps_only_last_call_per_pid() {
+        // pid 7 calls at 95 (fail) and 98 (fail): only 98 counts, invalid.
+        let index = idx(vec![o(95, 7, false), o(98, 7, false), o(97, 8, true)]);
+        let v = v_lc(&index, 0, 100, L);
+        assert_eq!(v[L + 1], 1.0); // pid 7 invalid at ℓ = 2
+        assert_eq!(v[2], 1.0); // pid 8 valid at ℓ = 3
+        assert_eq!(v.iter().sum::<f32>(), 2.0);
+    }
+
+    #[test]
+    fn v_lc_ignores_pid_with_next_call_inside_window() {
+        let index = idx(vec![o(96, 7, false), o(99, 7, true)]);
+        let v = v_lc(&index, 0, 100, L);
+        // Only the 99 call counts (valid at ℓ = 1).
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v.iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn v_lc_respects_next_call_outside_window() {
+        // pid calls at 99 and again at 101 (>= t): the 99 call is still
+        // the last *within* the window.
+        let index = idx(vec![o(99, 7, false), o(101, 7, true)]);
+        let v = v_lc(&index, 0, 100, L);
+        assert_eq!(v[L], 1.0); // invalid at ℓ = 1
+    }
+
+    #[test]
+    fn v_wt_measures_first_to_last_span() {
+        // pid 7: first 95 (fail), retry 97 (fail), last 99 (valid).
+        // wait = 4 minutes, got ride → slot 4 of the valid part.
+        let index = idx(vec![o(95, 7, false), o(97, 7, false), o(99, 7, true)]);
+        let v = v_wt(&index, 0, 100, L);
+        assert_eq!(v[4], 1.0);
+        assert_eq!(v.iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn v_wt_single_call_is_zero_wait() {
+        let index = idx(vec![o(98, 1, true), o(97, 2, false)]);
+        let v = v_wt(&index, 0, 100, L);
+        assert_eq!(v[0], 1.0); // pid 1: wait 0, success
+        assert_eq!(v[L], 1.0); // pid 2: wait 0, failure
+    }
+
+    #[test]
+    fn v_wt_failed_chain_counts_as_failure() {
+        let index = idx(vec![o(95, 7, false), o(98, 7, false)]);
+        let v = v_wt(&index, 0, 100, L);
+        assert_eq!(v[L + 3], 1.0); // wait 3, no ride
+    }
+
+    #[test]
+    fn v_wt_chain_stops_at_window_end() {
+        // Last call at 102 is outside; wait measured to the 97 call.
+        let index = idx(vec![o(96, 7, false), o(97, 7, false), o(102, 7, true)]);
+        let v = v_wt(&index, 0, 100, L);
+        assert_eq!(v[L + 1], 1.0); // wait 1 (96→97), chain unresolved
+    }
+
+    #[test]
+    fn vectors_empty_window() {
+        let index = idx(vec![o(200, 1, true)]);
+        for v in [
+            v_sd(&index, 0, 100, L),
+            v_lc(&index, 0, 100, L),
+            v_wt(&index, 0, 100, L),
+        ] {
+            assert!(v.iter().all(|&x| x == 0.0));
+            assert_eq!(v.len(), 2 * L);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses midnight")]
+    fn v_sd_rejects_early_t() {
+        let index = idx(vec![]);
+        let _ = v_sd(&index, 0, 3, L);
+    }
+
+    #[test]
+    fn lc_count_never_exceeds_sd_count() {
+        // Last-call entries count pids; sd entries count orders; pids ≤
+        // orders for every window.
+        let index = idx(vec![
+            o(95, 1, false),
+            o(96, 1, false),
+            o(96, 2, true),
+            o(98, 3, false),
+            o(99, 3, false),
+        ]);
+        let sd = v_sd(&index, 0, 100, L);
+        let lc = v_lc(&index, 0, 100, L);
+        assert!(lc.iter().sum::<f32>() <= sd.iter().sum::<f32>());
+        assert_eq!(lc.iter().sum::<f32>(), 3.0); // three distinct pids
+    }
+}

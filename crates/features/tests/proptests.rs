@@ -1,0 +1,130 @@
+//! Property-based tests for the feature pipeline: conservation laws and
+//! consistency invariants that must hold for arbitrary order streams.
+
+use deepsd_features::{AreaIndex, FeatureConfig, VectorKind};
+use deepsd_features::vectors::{v_lc, v_sd, v_wt};
+use deepsd_simdata::Order;
+use proptest::prelude::*;
+
+const L: usize = 8;
+const T: u16 = 200;
+
+/// Arbitrary chronological one-day order stream near the query window.
+fn orders_strategy() -> impl Strategy<Value = Vec<Order>> {
+    proptest::collection::vec(
+        (180u16..220, 0u32..12, any::<bool>()),
+        0..40,
+    )
+    .prop_map(|mut raw| {
+        raw.sort_by_key(|&(ts, _, _)| ts);
+        raw.into_iter()
+            .map(|(ts, pid, valid)| Order {
+                day: 0,
+                ts,
+                pid,
+                loc_start: 0,
+                loc_dest: 0,
+                valid,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn v_sd_conserves_window_order_count(orders in orders_strategy()) {
+        let index = AreaIndex::build(&orders, 1);
+        let v = v_sd(&index, 0, T, L);
+        let expected = orders
+            .iter()
+            .filter(|o| o.ts >= T - L as u16 && o.ts < T)
+            .count() as f32;
+        prop_assert_eq!(v.iter().sum::<f32>(), expected);
+    }
+
+    #[test]
+    fn v_lc_counts_each_windowed_pid_once(orders in orders_strategy()) {
+        let index = AreaIndex::build(&orders, 1);
+        let v = v_lc(&index, 0, T, L);
+        let pids: std::collections::HashSet<u32> = orders
+            .iter()
+            .filter(|o| o.ts >= T - L as u16 && o.ts < T)
+            .map(|o| o.pid)
+            .collect();
+        prop_assert_eq!(v.iter().sum::<f32>(), pids.len() as f32);
+    }
+
+    #[test]
+    fn v_wt_counts_each_windowed_pid_once(orders in orders_strategy()) {
+        // "First call in [t-L, t)" means the passenger's earliest call
+        // inside the window, so every pid with at least one in-window
+        // call contributes exactly once — the same total as V_lc.
+        let index = AreaIndex::build(&orders, 1);
+        let wt = v_wt(&index, 0, T, L);
+        let lc = v_lc(&index, 0, T, L);
+        let pids: std::collections::HashSet<u32> = orders
+            .iter()
+            .filter(|o| o.ts >= T - L as u16 && o.ts < T)
+            .map(|o| o.pid)
+            .collect();
+        prop_assert_eq!(wt.iter().sum::<f32>(), pids.len() as f32);
+        prop_assert_eq!(wt.iter().sum::<f32>(), lc.iter().sum::<f32>());
+    }
+
+    #[test]
+    fn vectors_are_nonnegative(orders in orders_strategy()) {
+        let index = AreaIndex::build(&orders, 1);
+        for v in [v_sd(&index, 0, T, L), v_lc(&index, 0, T, L), v_wt(&index, 0, T, L)] {
+            prop_assert!(v.iter().all(|&x| x >= 0.0));
+            prop_assert_eq!(v.len(), 2 * L);
+        }
+    }
+
+    #[test]
+    fn lc_total_never_exceeds_sd_total(orders in orders_strategy()) {
+        let index = AreaIndex::build(&orders, 1);
+        let sd: f32 = v_sd(&index, 0, T, L).iter().sum();
+        let lc: f32 = v_lc(&index, 0, T, L).iter().sum();
+        prop_assert!(lc <= sd);
+    }
+
+    #[test]
+    fn gap_is_additive_over_subwindows(orders in orders_strategy()) {
+        let index = AreaIndex::build(&orders, 1);
+        let whole = index.gap(0, 190, 20);
+        let first = index.gap(0, 190, 10);
+        let second = index.gap(0, 200, 10);
+        prop_assert_eq!(whole, first + second);
+    }
+
+    #[test]
+    fn history_stack_averages_are_bounded_by_max_count(
+        counts in proptest::collection::vec(0u32..5, 14)
+    ) {
+        // Build 14 days with `counts[d]` valid orders at minute T-1.
+        let mut orders = Vec::new();
+        let mut pid = 0u32;
+        for (day, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                orders.push(Order {
+                    day: day as u16,
+                    ts: T - 1,
+                    pid,
+                    loc_start: 0,
+                    loc_dest: 0,
+                    valid: true,
+                });
+                pid += 1;
+            }
+        }
+        let index = AreaIndex::build(&orders, 14);
+        let cfg = FeatureConfig { window_l: L, history_window: 8, ..FeatureConfig::default() };
+        let mut hist = deepsd_features::AreaHistory::new();
+        let stack = hist.stack(&index, &cfg, VectorKind::SupplyDemand, 13, T);
+        let max = *counts.iter().max().unwrap() as f32;
+        prop_assert!(stack.iter().all(|&v| v <= max + 1e-6));
+        prop_assert!(stack.iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Parameter initialisation schemes.
+//!
+//! DeepSD's fully-connected layers use leaky-ReLU activations, for which
+//! He-style fan-in scaling is appropriate; embedding tables use small
+//! uniform noise so that untrained categories start near the origin of the
+//! embedding space.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Initialisation scheme for a parameter matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// Uniform in `[-a, a]`.
+    Uniform(f32),
+    /// Xavier/Glorot uniform: `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming uniform for (leaky-)ReLU: `a = sqrt(6 / fan_in)`.
+    HeUniform,
+}
+
+impl Init {
+    /// Samples a `rows x cols` matrix. `rows` is treated as fan-in and
+    /// `cols` as fan-out, matching the `x @ W` convention of the tape.
+    pub fn sample(self, rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        match self {
+            Init::Zeros => Matrix::zeros(rows, cols),
+            Init::Uniform(a) => sample_uniform(rows, cols, a, rng),
+            Init::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f32).sqrt();
+                sample_uniform(rows, cols, a, rng)
+            }
+            Init::HeUniform => {
+                let a = (6.0 / rows.max(1) as f32).sqrt();
+                sample_uniform(rows, cols, a, rng)
+            }
+        }
+    }
+}
+
+fn sample_uniform(rows: usize, cols: usize, a: f32, rng: &mut StdRng) -> Matrix {
+    if a == 0.0 {
+        return Matrix::zeros(rows, cols);
+    }
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+/// Convenience constructor for a deterministic RNG used across the crate.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = seeded_rng(1);
+        let m = Init::Zeros.sample(3, 4, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = seeded_rng(2);
+        let m = Init::Uniform(0.25).sample(10, 10, &mut rng);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.25));
+        // Not degenerate: some spread.
+        assert!(m.max_abs() > 0.01);
+    }
+
+    #[test]
+    fn xavier_bound_formula() {
+        let mut rng = seeded_rng(3);
+        let m = Init::XavierUniform.sample(50, 50, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn he_bound_formula() {
+        let mut rng = seeded_rng(4);
+        let m = Init::HeUniform.sample(24, 8, &mut rng);
+        let bound = (6.0f32 / 24.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = Init::XavierUniform.sample(4, 4, &mut seeded_rng(7));
+        let b = Init::XavierUniform.sample(4, 4, &mut seeded_rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Init::XavierUniform.sample(4, 4, &mut seeded_rng(7));
+        let b = Init::XavierUniform.sample(4, 4, &mut seeded_rng(8));
+        assert!(a.max_abs_diff(&b) > 0.0);
+    }
+}

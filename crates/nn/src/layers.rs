@@ -1,0 +1,373 @@
+//! Reusable layers built on top of the tape.
+//!
+//! Each layer owns only [`ParamId`] handles; the actual weights live in a
+//! shared [`ParamStore`]. `forward` records the layer's computation on a
+//! [`Tape`].
+
+use crate::init::Init;
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{NodeId, Tape};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied by a [`Dense`] layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation (the paper's final output neuron).
+    Linear,
+    /// Leaky rectified linear `max(slope * x, x)`.
+    LeakyRelu(f32),
+}
+
+impl Activation {
+    /// The paper's LReL: `max(0.001 x, x)` (§VI-B.2).
+    pub const LREL: Activation = Activation::LeakyRelu(0.001);
+
+    fn apply(self, tape: &mut Tape, x: NodeId) -> NodeId {
+        match self {
+            Activation::Linear => x,
+            Activation::LeakyRelu(slope) => tape.leaky_relu(x, slope),
+        }
+    }
+}
+
+/// Fully-connected layer `y = f(x W + b)` — the paper's `FC_sz`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weight: ParamId,
+    bias: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+}
+
+impl Dense {
+    /// Registers a new dense layer's parameters in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        let weight =
+            store.add_init(format!("{name}.weight"), in_dim, out_dim, Init::HeUniform, rng);
+        let bias = store.add_init(format!("{name}.bias"), 1, out_dim, Init::Zeros, rng);
+        Dense { weight, bias, in_dim, out_dim, activation }
+    }
+
+    /// Records `f(x W + b)` on the tape.
+    ///
+    /// # Panics
+    /// Panics if `x` does not have `in_dim` columns.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        assert_eq!(
+            tape.shape(x).1,
+            self.in_dim,
+            "Dense {}: input width mismatch",
+            store.name(self.weight)
+        );
+        let w = tape.param(store, self.weight);
+        let b = tape.param(store, self.bias);
+        let h = tape.matmul(x, w);
+        let h = tape.add_bias(h, b);
+        self.activation.apply(tape, h)
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Parameter handles `(weight, bias)`.
+    pub fn params(&self) -> (ParamId, ParamId) {
+        (self.weight, self.bias)
+    }
+}
+
+/// Embedding layer mapping categorical ids in `[0, vocab)` to `dim`-vectors.
+///
+/// The parameter matrix `W ∈ R^{vocab x dim}` is trained jointly with the
+/// rest of the network (§III-A: "We do not train the Embedding Layers
+/// separately").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a new embedding table in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let table =
+            store.add_init(format!("{name}.table"), vocab, dim, Init::Uniform(0.05), rng);
+        Embedding { table, vocab, dim }
+    }
+
+    /// Records a lookup of one id per batch row.
+    ///
+    /// # Panics
+    /// Panics if any id is out of vocabulary.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, ids: &[usize]) -> NodeId {
+        for &id in ids {
+            assert!(id < self.vocab, "embedding id {id} out of vocab {}", self.vocab);
+        }
+        let t = tape.param(store, self.table);
+        tape.gather(t, ids)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Parameter handle of the table.
+    pub fn param(&self) -> ParamId {
+        self.table
+    }
+
+    /// The current embedding vector of one id (for the paper's embedding
+    /// space analyses, Table IV / Fig. 12).
+    pub fn vector<'s>(&self, store: &'s ParamStore, id: usize) -> &'s [f32] {
+        assert!(id < self.vocab, "embedding id {id} out of vocab {}", self.vocab);
+        store.get(self.table).row(id)
+    }
+
+    /// Euclidean distance between two ids in the embedding space.
+    pub fn distance(&self, store: &ParamStore, a: usize, b: usize) -> f32 {
+        let va = self.vector(store, a);
+        let vb = self.vector(store, b);
+        va.iter()
+            .zip(vb.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// One-hot encoder used by the Table III ablation (embedding vs one-hot).
+///
+/// Stateless: produces a `B x vocab` constant matrix on the tape.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OneHot {
+    vocab: usize,
+}
+
+impl OneHot {
+    /// Creates a one-hot encoder for `vocab` categories.
+    pub fn new(vocab: usize) -> Self {
+        OneHot { vocab }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Encodes ids as a constant one-hot matrix node.
+    ///
+    /// # Panics
+    /// Panics if any id is out of vocabulary.
+    pub fn forward(&self, tape: &mut Tape, ids: &[usize]) -> NodeId {
+        let mut m = Matrix::zeros(ids.len(), self.vocab);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < self.vocab, "one-hot id {id} out of vocab {}", self.vocab);
+            m.set(r, id, 1.0);
+        }
+        tape.constant(m)
+    }
+}
+
+/// Softmax layer `p = softmax(x W)` — used to produce the weekday
+/// combining weights (Fig. 8).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoftmaxLayer {
+    weight: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl SoftmaxLayer {
+    /// Registers the layer's weight matrix in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let weight =
+            store.add_init(format!("{name}.weight"), in_dim, out_dim, Init::XavierUniform, rng);
+        SoftmaxLayer { weight, in_dim, out_dim }
+    }
+
+    /// Records `softmax(x W)` on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        assert_eq!(tape.shape(x).1, self.in_dim, "SoftmaxLayer input width mismatch");
+        let w = tape.param(store, self.weight);
+        let logits = tape.matmul(x, w);
+        tape.softmax_rows(logits)
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Parameter handle of the weight matrix.
+    pub fn param(&self) -> ParamId {
+        self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn dense_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(1);
+        let layer = Dense::new(&mut store, "fc", 5, 3, Activation::LREL, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::zeros(4, 5));
+        let y = layer.forward(&mut tape, &store, x);
+        assert_eq!(tape.shape(y), (4, 3));
+        assert_eq!(layer.in_dim(), 5);
+        assert_eq!(layer.out_dim(), 3);
+    }
+
+    #[test]
+    fn dense_zero_input_gives_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(2);
+        let layer = Dense::new(&mut store, "fc", 2, 2, Activation::Linear, &mut rng);
+        let (_, b) = layer.params();
+        *store.get_mut(b) = Matrix::from_vec(1, 2, vec![7.0, -3.0]);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::zeros(1, 2));
+        let y = layer.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).as_slice(), &[7.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn dense_rejects_wrong_width() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(3);
+        let layer = Dense::new(&mut store, "fc", 5, 3, Activation::Linear, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::zeros(1, 4));
+        let _ = layer.forward(&mut tape, &store, x);
+    }
+
+    #[test]
+    fn embedding_lookup_returns_table_rows() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(4);
+        let emb = Embedding::new(&mut store, "area", 10, 3, &mut rng);
+        let mut tape = Tape::new();
+        let e = emb.forward(&mut tape, &store, &[7, 2]);
+        assert_eq!(tape.shape(e), (2, 3));
+        assert_eq!(tape.value(e).row(0), emb.vector(&store, 7));
+        assert_eq!(tape.value(e).row(1), emb.vector(&store, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn embedding_rejects_out_of_vocab() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(5);
+        let emb = Embedding::new(&mut store, "area", 4, 2, &mut rng);
+        let mut tape = Tape::new();
+        let _ = emb.forward(&mut tape, &store, &[4]);
+    }
+
+    #[test]
+    fn embedding_distance_is_metric_like() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(6);
+        let emb = Embedding::new(&mut store, "area", 5, 4, &mut rng);
+        assert_eq!(emb.distance(&store, 2, 2), 0.0);
+        let d_ab = emb.distance(&store, 1, 3);
+        let d_ba = emb.distance(&store, 3, 1);
+        assert!((d_ab - d_ba).abs() < 1e-7);
+        assert!(d_ab > 0.0);
+    }
+
+    #[test]
+    fn one_hot_rows() {
+        let enc = OneHot::new(4);
+        let mut tape = Tape::new();
+        let x = enc.forward(&mut tape, &[2, 0]);
+        assert_eq!(tape.value(x).row(0), &[0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(tape.value(x).row(1), &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_layer_rows_are_distributions() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(7);
+        let layer = SoftmaxLayer::new(&mut store, "weekday", 6, 7, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_fn(3, 6, |r, c| (r + c) as f32 * 0.1));
+        let p = layer.forward(&mut tape, &store, x);
+        assert_eq!(tape.shape(p), (3, 7));
+        for r in 0..3 {
+            let row = tape.value(p).row(r);
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dense_trains_toward_target() {
+        // One gradient step must reduce the loss of a tiny regression task.
+        use crate::optim::Adam;
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(8);
+        let layer = Dense::new(&mut store, "fc", 1, 1, Activation::Linear, &mut rng);
+        let x_data = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+        let t = Matrix::from_vec(4, 1, vec![1.0, 3.0, 5.0, 7.0]);
+        let loss_of = |store: &ParamStore| {
+            let mut tape = Tape::new();
+            let x = tape.input(x_data.clone());
+            let y = layer.forward(&mut tape, store, x);
+            let l = tape.mse_loss(y, &t);
+            tape.value(l).get(0, 0)
+        };
+        let before = loss_of(&store);
+        let mut adam = Adam::new(0.05, 0.9, 0.999, 1e-8);
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let x = tape.input(x_data.clone());
+            let y = layer.forward(&mut tape, &store, x);
+            let l = tape.mse_loss(y, &t);
+            let grads = tape.backward(l);
+            adam.step(&mut store, &grads);
+        }
+        let after = loss_of(&store);
+        assert!(after < before * 0.05, "before={before}, after={after}");
+    }
+}

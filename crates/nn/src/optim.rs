@@ -1,0 +1,228 @@
+//! Optimisers.
+//!
+//! The paper trains DeepSD with Adam (§VI-B.3, batch size 64); SGD with
+//! momentum is provided for comparison and for the substrate's own tests.
+//! Optimiser state is indexed by parameter position so it grows naturally
+//! when fine-tuning appends new parameters to the store (§V-C).
+
+use crate::matrix::Matrix;
+use crate::params::ParamStore;
+use crate::tape::GradMap;
+use serde::{Deserialize, Serialize};
+
+/// Adaptive Moment Estimation (Kingma & Ba, 2014).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate (default `1e-3`).
+    pub lr: f32,
+    /// First-moment decay (default `0.9`).
+    pub beta1: f32,
+    /// Second-moment decay (default `0.999`).
+    pub beta2: f32,
+    /// Numerical stabiliser (default `1e-8`).
+    pub eps: f32,
+    t: u64,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with explicit hyper-parameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Default hyper-parameters sized to a store.
+    pub fn default_for(store: &ParamStore) -> Self {
+        let mut a = Adam::new(1e-3, 0.9, 0.999, 1e-8);
+        a.m.resize_with(store.len(), || None);
+        a.v.resize_with(store.len(), || None);
+        a
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update using the gradients in `grads`.
+    ///
+    /// Parameters without a gradient this step keep their moment state
+    /// untouched (their bias-correction still advances with `t`, matching
+    /// the common sparse-Adam simplification).
+    pub fn step(&mut self, store: &mut ParamStore, grads: &GradMap) {
+        self.t += 1;
+        if self.m.len() < store.len() {
+            self.m.resize_with(store.len(), || None);
+            self.v.resize_with(store.len(), || None);
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, grad) in grads.iter() {
+            let idx = id.index();
+            let value = store.get_mut(id);
+            let (rows, cols) = value.shape();
+            let m = self.m[idx].get_or_insert_with(|| Matrix::zeros(rows, cols));
+            let v = self.v[idx].get_or_insert_with(|| Matrix::zeros(rows, cols));
+            debug_assert_eq!(m.shape(), grad.shape(), "Adam moment shape mismatch");
+            let lr = self.lr;
+            let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+            for ((w, g), (mm, vv)) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice().iter())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+            {
+                *mm = b1 * *mm + (1.0 - b1) * g;
+                *vv = b2 * *vv + (1.0 - b2) * g * g;
+                let m_hat = *mm / bc1;
+                let v_hat = *vv / bc2;
+                *w -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+    }
+
+    /// Resets step count and moments (used when restarting training).
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0.0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Applies one SGD update.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &GradMap) {
+        if self.velocity.len() < store.len() {
+            self.velocity.resize_with(store.len(), || None);
+        }
+        for (id, grad) in grads.iter() {
+            let idx = id.index();
+            let value = store.get_mut(id);
+            let (rows, cols) = value.shape();
+            if self.momentum == 0.0 {
+                value.axpy(-self.lr, grad);
+                continue;
+            }
+            let vel = self.velocity[idx].get_or_insert_with(|| Matrix::zeros(rows, cols));
+            for ((w, g), v) in value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice().iter())
+                .zip(vel.as_mut_slice().iter_mut())
+            {
+                *v = self.momentum * *v + g;
+                *w -= self.lr * *v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+    use crate::tape::Tape;
+
+    /// loss(w) = (w - 3)^2, minimised at w = 3.
+    fn quadratic_grad(store: &ParamStore, id: crate::params::ParamId) -> (f32, GradMap) {
+        let mut tape = Tape::new();
+        let w = tape.param(store, id);
+        let target = Matrix::from_vec(1, 1, vec![3.0]);
+        let loss = tape.mse_loss(w, &target);
+        let value = tape.value(loss).get(0, 0);
+        let grads = tape.backward(loss);
+        (value, grads)
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 1, vec![-5.0]));
+        let mut adam = Adam::new(0.1, 0.9, 0.999, 1e-8);
+        for _ in 0..500 {
+            let (_, grads) = quadratic_grad(&store, id);
+            adam.step(&mut store, &grads);
+        }
+        let w = store.get(id).get(0, 0);
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 1, vec![10.0]));
+        let mut sgd = Sgd::new(0.1, 0.0);
+        for _ in 0..200 {
+            let (_, grads) = quadratic_grad(&store, id);
+            sgd.step(&mut store, &grads);
+        }
+        let w = store.get(id).get(0, 0);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 1, vec![10.0]));
+        let mut sgd = Sgd::new(0.05, 0.9);
+        for _ in 0..300 {
+            let (_, grads) = quadratic_grad(&store, id);
+            sgd.step(&mut store, &grads);
+        }
+        let w = store.get(id).get(0, 0);
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_moves_against_gradient_by_lr() {
+        // With bias correction, the very first Adam step is ±lr.
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+        let mut adam = Adam::new(0.01, 0.9, 0.999, 1e-8);
+        let (_, grads) = quadratic_grad(&store, id); // grad = 2*(0-3) = -6
+        adam.step(&mut store, &grads);
+        let w = store.get(id).get(0, 0);
+        assert!((w - 0.01).abs() < 1e-4, "w = {w}");
+    }
+
+    #[test]
+    fn adam_state_grows_with_store_for_finetuning() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::from_vec(1, 1, vec![0.0]));
+        let mut adam = Adam::default_for(&store);
+        let (_, grads) = quadratic_grad(&store, a);
+        adam.step(&mut store, &grads);
+        // Fine-tuning: new parameter appended after optimiser creation.
+        let b = store.add("b", Matrix::from_vec(1, 1, vec![0.0]));
+        let (_, grads_b) = quadratic_grad(&store, b);
+        adam.step(&mut store, &grads_b); // must not panic
+        assert_eq!(adam.steps(), 2);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+        let mut adam = Adam::default_for(&store);
+        let (_, grads) = quadratic_grad(&store, id);
+        adam.step(&mut store, &grads);
+        adam.reset();
+        assert_eq!(adam.steps(), 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Parameter storage shared by all layers of a model.
+//!
+//! Layers do not own their weights; they hold [`ParamId`] handles into a
+//! [`ParamStore`]. This indirection is what makes three of the paper's
+//! requirements easy:
+//!
+//! * **Snapshot averaging** (§VI-C: "our final model is the average of the
+//!   models in the best 10 epochs") — [`ParamStore::snapshot`] /
+//!   [`Snapshot::average`].
+//! * **Extendability / fine-tuning** (§V-C) — new blocks append fresh
+//!   parameters to an already-trained store; existing ids stay valid and the
+//!   optimiser simply grows its state.
+//! * **Checkpointing** — the store serialises with `serde`.
+
+use crate::init::Init;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Handle to one parameter matrix inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index of the parameter inside its store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Param {
+    name: String,
+    value: Matrix,
+}
+
+/// Flat collection of named parameter matrices.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+/// A frozen copy of every parameter value in a store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    values: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let id = ParamId(self.params.len());
+        self.params.push(Param { name: name.into(), value });
+        id
+    }
+
+    /// Registers a parameter sampled from an [`Init`] scheme.
+    pub fn add_init(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        init: Init,
+        rng: &mut StdRng,
+    ) -> ParamId {
+        self.add(name, init.sample(rows, cols, rng))
+    }
+
+    /// Number of parameter matrices.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Immutable access to a parameter value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to a parameter value.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p.name.as_str(), &p.value))
+    }
+
+    /// Looks a parameter up by name (first match).
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.params.iter().position(|p| p.name == name).map(ParamId)
+    }
+
+    /// Copies every current value into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { values: self.params.iter().map(|p| p.value.clone()).collect() }
+    }
+
+    /// Restores values from a snapshot taken on this store.
+    ///
+    /// Snapshots taken *before* new parameters were appended (fine-tuning)
+    /// are accepted: only the prefix they cover is restored.
+    ///
+    /// # Panics
+    /// Panics if the snapshot has more parameters than the store, or if any
+    /// shape disagrees.
+    pub fn restore(&mut self, snapshot: &Snapshot) {
+        assert!(
+            snapshot.values.len() <= self.params.len(),
+            "snapshot has {} params, store only {}",
+            snapshot.values.len(),
+            self.params.len()
+        );
+        for (p, v) in self.params.iter_mut().zip(snapshot.values.iter()) {
+            assert_eq!(p.value.shape(), v.shape(), "snapshot shape mismatch for {}", p.name);
+            p.value = v.clone();
+        }
+    }
+
+    /// Serialises the store to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore serialisation cannot fail")
+    }
+
+    /// Deserialises a store from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl Snapshot {
+    /// Number of parameter matrices captured.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Element-wise average of several snapshots (the paper's best-K
+    /// model averaging).
+    ///
+    /// # Panics
+    /// Panics if `snapshots` is empty or shapes are inconsistent.
+    pub fn average(snapshots: &[Snapshot]) -> Snapshot {
+        assert!(!snapshots.is_empty(), "average of zero snapshots");
+        let n = snapshots.len() as f32;
+        let mut values = snapshots[0].values.clone();
+        for s in &snapshots[1..] {
+            assert_eq!(s.values.len(), values.len(), "snapshot arity mismatch");
+            for (acc, v) in values.iter_mut().zip(s.values.iter()) {
+                acc.add_assign(v);
+            }
+        }
+        for v in values.iter_mut() {
+            v.scale(1.0 / n);
+        }
+        Snapshot { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        assert_eq!(store.get(id).as_slice(), &[1.0, 2.0]);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 2);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut store = ParamStore::new();
+        let a = store.add("alpha", Matrix::zeros(1, 1));
+        let b = store.add("beta", Matrix::zeros(1, 1));
+        assert_eq!(store.find("alpha"), Some(a));
+        assert_eq!(store.find("beta"), Some(b));
+        assert_eq!(store.find("gamma"), None);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let snap = store.snapshot();
+        store.get_mut(id).scale(10.0);
+        assert_eq!(store.get(id).as_slice(), &[10.0, 20.0]);
+        store.restore(&snap);
+        assert_eq!(store.get(id).as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn restore_accepts_prefix_snapshot_for_finetuning() {
+        let mut store = ParamStore::new();
+        let old = store.add("old", Matrix::from_vec(1, 1, vec![5.0]));
+        let snap = store.snapshot();
+        // Fine-tuning appends a new block's parameter afterwards.
+        let new = store.add("new", Matrix::from_vec(1, 1, vec![7.0]));
+        store.get_mut(old).scale(0.0);
+        store.restore(&snap);
+        assert_eq!(store.get(old).as_slice(), &[5.0]);
+        assert_eq!(store.get(new).as_slice(), &[7.0]); // untouched
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot has")]
+    fn restore_rejects_oversized_snapshot() {
+        let mut big = ParamStore::new();
+        big.add("a", Matrix::zeros(1, 1));
+        big.add("b", Matrix::zeros(1, 1));
+        let snap = big.snapshot();
+        let mut small = ParamStore::new();
+        small.add("a", Matrix::zeros(1, 1));
+        small.restore(&snap);
+    }
+
+    #[test]
+    fn snapshot_average_is_elementwise_mean() {
+        let mut s1 = ParamStore::new();
+        s1.add("w", Matrix::from_vec(1, 2, vec![1.0, 3.0]));
+        let mut s2 = ParamStore::new();
+        s2.add("w", Matrix::from_vec(1, 2, vec![3.0, 5.0]));
+        let avg = Snapshot::average(&[s1.snapshot(), s2.snapshot()]);
+        let mut out = ParamStore::new();
+        let id = out.add("w", Matrix::zeros(1, 2));
+        out.restore(&avg);
+        assert_eq!(out.get(id).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(11);
+        store.add_init("w", 3, 4, crate::init::Init::XavierUniform, &mut rng);
+        store.add("b", Matrix::from_vec(1, 4, vec![0.1, 0.2, 0.3, 0.4]));
+        let json = store.to_json();
+        let loaded = ParamStore::from_json(&json).expect("valid json");
+        assert_eq!(loaded.len(), store.len());
+        for (id, name, value) in store.iter() {
+            assert_eq!(loaded.name(id), name);
+            assert!(loaded.get(id).max_abs_diff(value) == 0.0);
+        }
+    }
+}

@@ -1,0 +1,891 @@
+//! Define-by-run reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a computation as a sequence of nodes; calling
+//! [`Tape::backward`] on a scalar node fills in gradients for every node
+//! that (transitively) produced it, including parameter leaves. The op set
+//! is exactly what the DeepSD architecture needs:
+//!
+//! * affine layers (`matmul` + `add_bias`) with leaky-ReLU activations,
+//! * embedding lookups (`gather`) for AreaID / TimeID / WeekID / weather
+//!   type,
+//! * column-wise `concat` (the paper's Concatenate Layer),
+//! * element-wise `add`/`sub` for the block-residual shortcut connections,
+//! * row-wise `softmax` plus `weighted_combine` for the learned weekday
+//!   combining weights of the advanced model (Eq. 1),
+//! * inverted `dropout`, and MSE / MAE / Huber losses.
+//!
+//! Parameters are leaves tagged with their [`ParamId`]; one parameter may
+//! back several leaves (DeepSD shares the AreaID and WeekID embeddings
+//! between the identity part and the extended order part), and gradients
+//! from all uses are accumulated per id.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+#[derive(Debug)]
+enum Op {
+    /// Input, constant or parameter leaf.
+    Leaf,
+    /// `a @ b`.
+    MatMul(NodeId, NodeId),
+    /// `x + bias` where `bias` is `1 x cols`, broadcast over rows.
+    AddBias(NodeId, NodeId),
+    /// Element-wise `a + b` (residual shortcut).
+    Add(NodeId, NodeId),
+    /// Element-wise `a - b`.
+    Sub(NodeId, NodeId),
+    /// Element-wise Hadamard product.
+    Mul(NodeId, NodeId),
+    /// `alpha * x`.
+    Scale(NodeId, f32),
+    /// `max(slope * x, x)`; DeepSD uses slope = 0.001.
+    LeakyRelu(NodeId, f32),
+    /// Column-wise concatenation.
+    Concat(Vec<NodeId>),
+    /// Column slice `[start, start + width)`.
+    Slice { input: NodeId, start: usize, width: usize },
+    /// Row-wise softmax; stores nothing extra (output is on the node).
+    SoftmaxRows(NodeId),
+    /// Row gather from a (parameter) table; `indices[b]` selects the row
+    /// backing output row `b`.
+    Gather { table: NodeId, indices: Vec<usize> },
+    /// `out[b, j] = sum_k weights[b, k] * basis[b, k * dim + j]`.
+    ///
+    /// `basis` is data (the stacked per-weekday history vectors), not a
+    /// differentiable node.
+    WeightedCombine { weights: NodeId, basis: Matrix, dim: usize },
+    /// Inverted dropout; `mask` entries are `0` or `1 / keep_prob`.
+    Dropout { input: NodeId, mask: Matrix },
+    /// Mean of `(pred - target)^2`.
+    MseLoss { pred: NodeId, target: Matrix },
+    /// Mean of `|pred - target|`.
+    MaeLoss { pred: NodeId, target: Matrix },
+    /// Mean Huber loss with threshold `delta`.
+    HuberLoss { pred: NodeId, target: Matrix, delta: f32 },
+    /// Mean of all entries (scalar).
+    Mean(NodeId),
+    /// Sum of all entries (scalar).
+    Sum(NodeId),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+    param: Option<ParamId>,
+}
+
+/// Gradients keyed by parameter id, produced by [`Tape::backward`].
+#[derive(Debug, Default)]
+pub struct GradMap {
+    by_index: Vec<Option<Matrix>>,
+}
+
+impl GradMap {
+    /// Gradient for a parameter, if it participated in the computation.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.by_index.get(id.index()).and_then(|g| g.as_ref())
+    }
+
+    /// Iterates over `(id, gradient)` pairs that are present.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.by_index
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (ParamId(i), g)))
+    }
+
+    /// Number of parameters with a gradient.
+    pub fn len(&self) -> usize {
+        self.by_index.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// True when no gradients are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest absolute gradient entry across all parameters.
+    pub fn max_abs(&self) -> f32 {
+        self.by_index
+            .iter()
+            .flatten()
+            .fold(0.0f32, |m, g| m.max(g.max_abs()))
+    }
+
+    /// Scales every gradient so the global max-abs does not exceed `limit`.
+    /// Returns the factor applied (1.0 when no clipping was needed).
+    pub fn clip_max_abs(&mut self, limit: f32) -> f32 {
+        let max = self.max_abs();
+        if max <= limit || max == 0.0 {
+            return 1.0;
+        }
+        let factor = limit / max;
+        for g in self.by_index.iter_mut().flatten() {
+            g.scale(factor);
+        }
+        factor
+    }
+
+    fn accumulate(&mut self, id: ParamId, grad: &Matrix) {
+        if self.by_index.len() <= id.index() {
+            self.by_index.resize_with(id.index() + 1, || None);
+        }
+        match &mut self.by_index[id.index()] {
+            Some(existing) => existing.add_assign(grad),
+            slot @ None => *slot = Some(grad.clone()),
+        }
+    }
+}
+
+/// A recording of one forward computation.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value held by a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// Shape of a node's value.
+    pub fn shape(&self, id: NodeId) -> (usize, usize) {
+        self.nodes[id.0].value.shape()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { value, op, param: None });
+        id
+    }
+
+    /// Records an input (differentiable only insofar as gradients flow
+    /// *through* it; inputs themselves receive no parameter gradient).
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Records a constant. Alias of [`Tape::input`]; the distinction is
+    /// documentation only.
+    pub fn constant(&mut self, value: Matrix) -> NodeId {
+        self.input(value)
+    }
+
+    /// Records a parameter leaf whose gradient will be reported under its
+    /// [`ParamId`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        let node = self.push(store.get(id).clone(), Op::Leaf);
+        self.nodes[node.0].param = Some(id);
+        node
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Adds a `1 x n` bias row to every row of `x`.
+    pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let mut value = self.value(x).clone();
+        value.add_row_broadcast(self.value(bias));
+        self.push(value, Op::AddBias(x, bias))
+    }
+
+    /// Element-wise addition (the residual connection `X ⊕ R`).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.value(a).clone().add(self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.value(a).clone().sub(self.value(b));
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Element-wise product.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.value(a).clone().hadamard(self.value(b));
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Scalar scaling.
+    pub fn scale(&mut self, x: NodeId, alpha: f32) -> NodeId {
+        let value = self.value(x).scaled(alpha);
+        self.push(value, Op::Scale(x, alpha))
+    }
+
+    /// Leaky ReLU `max(slope * x, x)`; the paper's LReL uses `slope = 0.001`.
+    pub fn leaky_relu(&mut self, x: NodeId, slope: f32) -> NodeId {
+        let value = self.value(x).map(|v| if v > 0.0 { v } else { slope * v });
+        self.push(value, Op::LeakyRelu(x, slope))
+    }
+
+    /// Column-wise concatenation of several nodes with equal row counts.
+    pub fn concat(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat of zero nodes");
+        let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        let value = Matrix::hconcat(&mats);
+        self.push(value, Op::Concat(parts.to_vec()))
+    }
+
+    /// Column slice `[start, start + width)`.
+    pub fn slice_cols(&mut self, x: NodeId, start: usize, width: usize) -> NodeId {
+        let value = self.value(x).columns(start, width);
+        self.push(value, Op::Slice { input: x, start, width })
+    }
+
+    /// Row-wise softmax (numerically stabilised).
+    pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
+        let input = self.value(x);
+        let mut value = Matrix::zeros(input.rows(), input.cols());
+        for r in 0..input.rows() {
+            let row = input.row(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            let out = value.row_mut(r);
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                let e = (v - max).exp();
+                *o = e;
+                denom += e;
+            }
+            for o in out.iter_mut() {
+                *o /= denom;
+            }
+        }
+        self.push(value, Op::SoftmaxRows(x))
+    }
+
+    /// Embedding lookup: output row `b` is `table.row(indices[b])`.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range for the table.
+    pub fn gather(&mut self, table: NodeId, indices: &[usize]) -> NodeId {
+        let value = self.value(table).gather_rows(indices);
+        self.push(value, Op::Gather { table, indices: indices.to_vec() })
+    }
+
+    /// Per-sample weighted combination of `k` stacked basis vectors:
+    /// `out[b, j] = Σ_k weights[b, k] * basis[b, k * dim + j]`.
+    ///
+    /// This realises Eq. (1) of the paper: the empirical supply-demand
+    /// vector as a softmax-weighted sum of the seven per-weekday historical
+    /// vectors. The basis is data, not a differentiable node.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree (`basis` must be `B x (k * dim)` for
+    /// `weights` `B x k`).
+    pub fn weighted_combine(&mut self, weights: NodeId, basis: Matrix, dim: usize) -> NodeId {
+        let w = self.value(weights);
+        let (b, k) = w.shape();
+        assert_eq!(basis.rows(), b, "weighted_combine: batch mismatch");
+        assert_eq!(basis.cols(), k * dim, "weighted_combine: basis width mismatch");
+        let mut value = Matrix::zeros(b, dim);
+        for r in 0..b {
+            let w_row = w.row(r);
+            let basis_row = basis.row(r);
+            let out_row = value.row_mut(r);
+            for (ki, &wk) in w_row.iter().enumerate() {
+                if wk == 0.0 {
+                    continue;
+                }
+                let seg = &basis_row[ki * dim..(ki + 1) * dim];
+                for (o, &v) in out_row.iter_mut().zip(seg.iter()) {
+                    *o += wk * v;
+                }
+            }
+        }
+        self.push(value, Op::WeightedCombine { weights, basis, dim })
+    }
+
+    /// Inverted dropout for training: zeroes each entry with probability
+    /// `rate` and scales survivors by `1 / (1 - rate)` so the expectation
+    /// is unchanged. At evaluation time simply do not insert this op.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= rate < 1`.
+    pub fn dropout(&mut self, x: NodeId, rate: f32, rng: &mut StdRng) -> NodeId {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        if rate == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - rate;
+        let input = self.value(x);
+        let mask = Matrix::from_fn(input.rows(), input.cols(), |_, _| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let value = input.clone().hadamard(&mask);
+        self.push(value, Op::Dropout { input: x, mask })
+    }
+
+    /// Scalar mean-squared-error loss node.
+    pub fn mse_loss(&mut self, pred: NodeId, target: &Matrix) -> NodeId {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "mse_loss shape mismatch");
+        let n = p.len().max(1) as f32;
+        let loss = p
+            .as_slice()
+            .iter()
+            .zip(target.as_slice().iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n;
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::MseLoss { pred, target: target.clone() },
+        )
+    }
+
+    /// Scalar mean-absolute-error loss node.
+    pub fn mae_loss(&mut self, pred: NodeId, target: &Matrix) -> NodeId {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "mae_loss shape mismatch");
+        let n = p.len().max(1) as f32;
+        let loss = p
+            .as_slice()
+            .iter()
+            .zip(target.as_slice().iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / n;
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::MaeLoss { pred, target: target.clone() },
+        )
+    }
+
+    /// Scalar Huber loss node (quadratic below `delta`, linear above).
+    pub fn huber_loss(&mut self, pred: NodeId, target: &Matrix, delta: f32) -> NodeId {
+        assert!(delta > 0.0, "huber delta must be positive");
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "huber_loss shape mismatch");
+        let n = p.len().max(1) as f32;
+        let loss = p
+            .as_slice()
+            .iter()
+            .zip(target.as_slice().iter())
+            .map(|(a, b)| {
+                let d = (a - b).abs();
+                if d <= delta {
+                    0.5 * d * d
+                } else {
+                    delta * (d - 0.5 * delta)
+                }
+            })
+            .sum::<f32>()
+            / n;
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::HuberLoss { pred, target: target.clone(), delta },
+        )
+    }
+
+    /// Mean of all entries as a `1 x 1` node.
+    pub fn mean(&mut self, x: NodeId) -> NodeId {
+        let value = Matrix::from_vec(1, 1, vec![self.value(x).mean()]);
+        self.push(value, Op::Mean(x))
+    }
+
+    /// Sum of all entries as a `1 x 1` node.
+    pub fn sum(&mut self, x: NodeId) -> NodeId {
+        let value = Matrix::from_vec(1, 1, vec![self.value(x).sum()]);
+        self.push(value, Op::Sum(x))
+    }
+
+    /// Runs reverse-mode differentiation from a scalar node, returning the
+    /// gradients of every parameter leaf that contributed to it.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&self, loss: NodeId) -> GradMap {
+        assert_eq!(self.shape(loss), (1, 1), "backward expects a scalar loss node");
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        let mut params = GradMap::default();
+
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(grad) = grads[idx].take() else { continue };
+            let node = &self.nodes[idx];
+            if let Some(pid) = node.param {
+                params.accumulate(pid, &grad);
+            }
+            match &node.op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    // dA = G @ Bᵀ ; dB = Aᵀ @ G
+                    let da = grad.matmul_nt(self.value(*b));
+                    let db = self.value(*a).matmul_tn(&grad);
+                    acc(&mut grads, *a, da);
+                    acc(&mut grads, *b, db);
+                }
+                Op::AddBias(x, bias) => {
+                    let db = grad.sum_rows();
+                    acc(&mut grads, *bias, db);
+                    acc(&mut grads, *x, grad);
+                }
+                Op::Add(a, b) => {
+                    acc(&mut grads, *a, grad.clone());
+                    acc(&mut grads, *b, grad);
+                }
+                Op::Sub(a, b) => {
+                    acc(&mut grads, *a, grad.clone());
+                    let mut neg = grad;
+                    neg.scale(-1.0);
+                    acc(&mut grads, *b, neg);
+                }
+                Op::Mul(a, b) => {
+                    let da = grad.clone().hadamard(self.value(*b));
+                    let db = grad.hadamard(self.value(*a));
+                    acc(&mut grads, *a, da);
+                    acc(&mut grads, *b, db);
+                }
+                Op::Scale(x, alpha) => {
+                    let mut g = grad;
+                    g.scale(*alpha);
+                    acc(&mut grads, *x, g);
+                }
+                Op::LeakyRelu(x, slope) => {
+                    let input = self.value(*x);
+                    let mut g = grad;
+                    for (gv, &iv) in g.as_mut_slice().iter_mut().zip(input.as_slice().iter()) {
+                        if iv <= 0.0 {
+                            *gv *= slope;
+                        }
+                    }
+                    acc(&mut grads, *x, g);
+                }
+                Op::Concat(parts) => {
+                    let mut offset = 0;
+                    for &p in parts {
+                        let width = self.value(p).cols();
+                        let g = grad.columns(offset, width);
+                        acc(&mut grads, p, g);
+                        offset += width;
+                    }
+                }
+                Op::Slice { input, start, width } => {
+                    let (rows, cols) = self.shape(*input);
+                    let mut g = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        g.row_mut(r)[*start..start + width].copy_from_slice(grad.row(r));
+                    }
+                    acc(&mut grads, *input, g);
+                }
+                Op::SoftmaxRows(x) => {
+                    // dX[b,i] = y[b,i] * (g[b,i] - Σ_j g[b,j] y[b,j])
+                    let y = &node.value;
+                    let mut g = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let y_row = y.row(r);
+                        let g_row = grad.row(r);
+                        let dot: f32 =
+                            y_row.iter().zip(g_row.iter()).map(|(a, b)| a * b).sum();
+                        for ((o, &yv), &gv) in
+                            g.row_mut(r).iter_mut().zip(y_row.iter()).zip(g_row.iter())
+                        {
+                            *o = yv * (gv - dot);
+                        }
+                    }
+                    acc(&mut grads, *x, g);
+                }
+                Op::Gather { table, indices } => {
+                    let (rows, cols) = self.shape(*table);
+                    let mut g = Matrix::zeros(rows, cols);
+                    for (b, &idx) in indices.iter().enumerate() {
+                        let src = grad.row(b);
+                        let dst = g.row_mut(idx);
+                        for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                            *d += s;
+                        }
+                    }
+                    acc(&mut grads, *table, g);
+                }
+                Op::WeightedCombine { weights, basis, dim } => {
+                    let (b, k) = self.shape(*weights);
+                    let mut g = Matrix::zeros(b, k);
+                    for r in 0..b {
+                        let grad_row = grad.row(r);
+                        let basis_row = basis.row(r);
+                        for ki in 0..k {
+                            let seg = &basis_row[ki * dim..(ki + 1) * dim];
+                            let mut s = 0.0f32;
+                            for (&gv, &bv) in grad_row.iter().zip(seg.iter()) {
+                                s += gv * bv;
+                            }
+                            g.set(r, ki, s);
+                        }
+                    }
+                    acc(&mut grads, *weights, g);
+                }
+                Op::Dropout { input, mask } => {
+                    let g = grad.hadamard(mask);
+                    acc(&mut grads, *input, g);
+                }
+                Op::MseLoss { pred, target } => {
+                    let scalar = grad.get(0, 0);
+                    let p = self.value(*pred);
+                    let n = p.len().max(1) as f32;
+                    let mut g = p.clone().sub(target);
+                    g.scale(2.0 * scalar / n);
+                    acc(&mut grads, *pred, g);
+                }
+                Op::MaeLoss { pred, target } => {
+                    let scalar = grad.get(0, 0);
+                    let p = self.value(*pred);
+                    let n = p.len().max(1) as f32;
+                    let mut g = Matrix::zeros(p.rows(), p.cols());
+                    for ((o, &a), &b) in g
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(p.as_slice().iter())
+                        .zip(target.as_slice().iter())
+                    {
+                        *o = (a - b).signum() * scalar / n;
+                    }
+                    acc(&mut grads, *pred, g);
+                }
+                Op::HuberLoss { pred, target, delta } => {
+                    let scalar = grad.get(0, 0);
+                    let p = self.value(*pred);
+                    let n = p.len().max(1) as f32;
+                    let mut g = Matrix::zeros(p.rows(), p.cols());
+                    for ((o, &a), &b) in g
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(p.as_slice().iter())
+                        .zip(target.as_slice().iter())
+                    {
+                        let d = a - b;
+                        *o = if d.abs() <= *delta { d } else { delta * d.signum() } * scalar / n;
+                    }
+                    acc(&mut grads, *pred, g);
+                }
+                Op::Mean(x) => {
+                    let (rows, cols) = self.shape(*x);
+                    let scalar = grad.get(0, 0) / (rows * cols).max(1) as f32;
+                    acc(&mut grads, *x, Matrix::full(rows, cols, scalar));
+                }
+                Op::Sum(x) => {
+                    let (rows, cols) = self.shape(*x);
+                    let scalar = grad.get(0, 0);
+                    acc(&mut grads, *x, Matrix::full(rows, cols, scalar));
+                }
+            }
+        }
+        params
+    }
+}
+
+fn acc(grads: &mut [Option<Matrix>], id: NodeId, grad: Matrix) {
+    match &mut grads[id.0] {
+        Some(existing) => existing.add_assign(&grad),
+        slot @ None => *slot = Some(grad),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    fn scalar(tape: &Tape, id: NodeId) -> f32 {
+        assert_eq!(tape.shape(id), (1, 1));
+        tape.value(id).get(0, 0)
+    }
+
+    #[test]
+    fn forward_matmul_add_bias() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+        let b = store.add("b", Matrix::from_vec(1, 2, vec![10.0, 20.0]));
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let wn = tape.param(&store, w);
+        let bn = tape.param(&store, b);
+        let h = tape.matmul(x, wn);
+        let y = tape.add_bias(h, bn);
+        assert_eq!(tape.value(y).as_slice(), &[13.0, 24.0]);
+    }
+
+    #[test]
+    fn backward_linear_gradients_exact() {
+        // loss = mean((x @ w - t)^2), x = [1, 2], w = [[3], [4]], t = [0]
+        // pred = 11; dloss/dpred = 2 * 11 = 22; dW = xᵀ * 22 = [22, 44]
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let wn = tape.param(&store, w);
+        let pred = tape.matmul(x, wn);
+        let loss = tape.mse_loss(pred, &Matrix::from_vec(1, 1, vec![0.0]));
+        assert!((scalar(&tape, loss) - 121.0).abs() < 1e-4);
+        let grads = tape.backward(loss);
+        let gw = grads.get(w).expect("w gradient");
+        assert!((gw.get(0, 0) - 22.0).abs() < 1e-4);
+        assert!((gw.get(1, 0) - 44.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shared_param_gradients_accumulate() {
+        // y = x @ w + x @ w; dL/dw should be twice the single-use gradient.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 1, vec![2.0]));
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_vec(1, 1, vec![3.0]));
+        let w1 = tape.param(&store, w);
+        let w2 = tape.param(&store, w);
+        let a = tape.matmul(x, w1);
+        let b = tape.matmul(x, w2);
+        let y = tape.add(a, b);
+        let loss = tape.sum(y);
+        let grads = tape.backward(loss);
+        // dy/dw = x (for each use) => total 6.
+        assert!((grads.get(w).unwrap().get(0, 0) - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn leaky_relu_forward_and_slope() {
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_vec(1, 2, vec![-1.0, 2.0]));
+        let y = tape.leaky_relu(x, 0.001);
+        assert!((tape.value(y).get(0, 0) + 0.001).abs() < 1e-7);
+        assert_eq!(tape.value(y).get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]));
+        let y = tape.softmax_rows(x);
+        for r in 0..2 {
+            let s: f32 = tape.value(y).row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Larger logits get larger probabilities.
+        let row = tape.value(y).row(0);
+        assert!(row[2] > row[1] && row[1] > row[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut tape = Tape::new();
+        let a = tape.input(Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let b = tape.input(Matrix::from_vec(1, 3, vec![101.0, 102.0, 103.0]));
+        let sa = tape.softmax_rows(a);
+        let sb = tape.softmax_rows(b);
+        assert!(tape.value(sa).max_abs_diff(tape.value(sb)) < 1e-5);
+    }
+
+    #[test]
+    fn concat_then_slice_gradient_routes_correctly() {
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let w2 = store.add("w2", Matrix::from_vec(1, 3, vec![3.0, 4.0, 5.0]));
+        let mut tape = Tape::new();
+        let a = tape.param(&store, w1);
+        let b = tape.param(&store, w2);
+        let c = tape.concat(&[a, b]);
+        assert_eq!(tape.value(c).as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Only sum the second part; w1 must get zero gradient contribution
+        // (i.e. no entry because the slice drops it... except slice backward
+        // routes zeros into the concat, which then splits to both).
+        let s = tape.slice_cols(c, 2, 3);
+        let loss = tape.sum(s);
+        let grads = tape.backward(loss);
+        let g1 = grads.get(w1).unwrap();
+        assert!(g1.as_slice().iter().all(|&v| v == 0.0));
+        let g2 = grads.get(w2).unwrap();
+        assert!(g2.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn gather_scatters_gradients_with_duplicates() {
+        let mut store = ParamStore::new();
+        let table = store.add("emb", Matrix::from_vec(3, 2, vec![0.0; 6]));
+        let mut tape = Tape::new();
+        let t = tape.param(&store, table);
+        let e = tape.gather(t, &[1, 1, 2]);
+        let loss = tape.sum(e);
+        let grads = tape.backward(loss);
+        let g = grads.get(table).unwrap();
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert_eq!(g.row(1), &[2.0, 2.0]); // used twice
+        assert_eq!(g.row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn weighted_combine_forward() {
+        let mut tape = Tape::new();
+        // Batch 1, k = 2, dim = 2; basis rows: [h0 | h1] = [1, 2 | 10, 20].
+        let w = tape.input(Matrix::from_vec(1, 2, vec![0.25, 0.75]));
+        let basis = Matrix::from_vec(1, 4, vec![1.0, 2.0, 10.0, 20.0]);
+        let y = tape.weighted_combine(w, basis, 2);
+        let out = tape.value(y);
+        assert!((out.get(0, 0) - (0.25 + 7.5)).abs() < 1e-5);
+        assert!((out.get(0, 1) - (0.5 + 15.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weighted_combine_gradient_is_basis_dot() {
+        let mut store = ParamStore::new();
+        let wp = store.add("w", Matrix::from_vec(1, 2, vec![0.3, 0.7]));
+        let mut tape = Tape::new();
+        let w = tape.param(&store, wp);
+        let basis = Matrix::from_vec(1, 4, vec![1.0, 2.0, 10.0, 20.0]);
+        let y = tape.weighted_combine(w, basis, 2);
+        let loss = tape.sum(y);
+        let grads = tape.backward(loss);
+        let g = grads.get(wp).unwrap();
+        assert!((g.get(0, 0) - 3.0).abs() < 1e-5); // 1 + 2
+        assert!((g.get(0, 1) - 30.0).abs() < 1e-5); // 10 + 20
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let mut tape = Tape::new();
+        let mut rng = seeded_rng(5);
+        let x = tape.input(Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = tape.dropout(x, 0.0, &mut rng);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dropout_mask_scales_survivors() {
+        let mut tape = Tape::new();
+        let mut rng = seeded_rng(6);
+        let x = tape.input(Matrix::full(1, 1000, 1.0));
+        let y = tape.dropout(x, 0.5, &mut rng);
+        let out = tape.value(y);
+        // Each survivor is 2.0, each dropped entry 0.0.
+        assert!(out.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        // Expectation preserved to within sampling noise.
+        assert!((out.mean() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn mae_loss_value_and_gradient_sign() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 2, vec![3.0, -1.0]));
+        let mut tape = Tape::new();
+        let p = tape.param(&store, w);
+        let loss = tape.mae_loss(p, &Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        assert!((scalar(&tape, loss) - 2.0).abs() < 1e-5); // (2 + 2) / 2
+        let grads = tape.backward(loss);
+        let g = grads.get(w).unwrap();
+        assert!(g.get(0, 0) > 0.0 && g.get(0, 1) < 0.0);
+    }
+
+    #[test]
+    fn huber_matches_mse_inside_delta() {
+        let mut tape = Tape::new();
+        let p = tape.input(Matrix::from_vec(1, 1, vec![0.5]));
+        let target = Matrix::from_vec(1, 1, vec![0.0]);
+        let h = tape.huber_loss(p, &target, 1.0);
+        assert!((scalar(&tape, h) - 0.125).abs() < 1e-6); // 0.5 * 0.25
+    }
+
+    #[test]
+    fn huber_is_linear_outside_delta() {
+        let mut tape = Tape::new();
+        let p = tape.input(Matrix::from_vec(1, 1, vec![10.0]));
+        let target = Matrix::from_vec(1, 1, vec![0.0]);
+        let h = tape.huber_loss(p, &target, 1.0);
+        assert!((scalar(&tape, h) - 9.5).abs() < 1e-5); // 1 * (10 - 0.5)
+    }
+
+    #[test]
+    fn residual_add_passes_gradient_to_both_branches() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = store.add("b", Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let mut tape = Tape::new();
+        let an = tape.param(&store, a);
+        let bn = tape.param(&store, b);
+        let y = tape.add(an, bn);
+        let loss = tape.sum(y);
+        let grads = tape.backward(loss);
+        for id in [a, b] {
+            let g = grads.get(id).unwrap();
+            assert!(g.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn clip_max_abs_scales_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 1, vec![1.0]));
+        let mut tape = Tape::new();
+        let p = tape.param(&store, w);
+        let y = tape.scale(p, 100.0);
+        let loss = tape.sum(y);
+        let mut grads = tape.backward(loss);
+        assert!((grads.max_abs() - 100.0).abs() < 1e-4);
+        let factor = grads.clip_max_abs(1.0);
+        assert!((factor - 0.01).abs() < 1e-6);
+        assert!((grads.max_abs() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::zeros(2, 2));
+        let _ = tape.backward(x);
+    }
+
+    #[test]
+    fn sub_and_scale_gradients() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::from_vec(1, 1, vec![5.0]));
+        let b = store.add("b", Matrix::from_vec(1, 1, vec![2.0]));
+        let mut tape = Tape::new();
+        let an = tape.param(&store, a);
+        let bn = tape.param(&store, b);
+        let d = tape.sub(an, bn);
+        let s = tape.scale(d, 3.0);
+        let loss = tape.sum(s);
+        let grads = tape.backward(loss);
+        assert!((grads.get(a).unwrap().get(0, 0) - 3.0).abs() < 1e-6);
+        assert!((grads.get(b).unwrap().get(0, 0) + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_gradient_is_uniform() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut tape = Tape::new();
+        let p = tape.param(&store, w);
+        let m = tape.mean(p);
+        let grads = tape.backward(m);
+        let g = grads.get(w).unwrap();
+        assert!(g.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the NN substrate.
+
+use deepsd_nn::{seeded_rng, Init, Matrix, ParamStore, Snapshot, Tape};
+use proptest::prelude::*;
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    1usize..8
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (m, k, n) in (small_dim(), small_dim(), small_dim())
+    ) {
+        let mut rng = seeded_rng(1);
+        let a = Init::Uniform(1.0).sample(m, k, &mut rng);
+        let b = Init::Uniform(1.0).sample(k, n, &mut rng);
+        let c = Init::Uniform(1.0).sample(k, n, &mut rng);
+        // a @ (b + c) == a @ b + a @ c
+        let lhs = a.matmul(&b.clone().add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_associates_with_scaling(
+        (m, k) in (small_dim(), small_dim()),
+        alpha in -3.0f32..3.0,
+    ) {
+        let mut rng = seeded_rng(2);
+        let a = Init::Uniform(1.0).sample(m, k, &mut rng);
+        let b = Init::Uniform(1.0).sample(k, m, &mut rng);
+        let lhs = a.scaled(alpha).matmul(&b);
+        let rhs = a.matmul(&b).scaled(alpha);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn transpose_matmul_identity((m, k, n) in (small_dim(), small_dim(), small_dim())) {
+        let mut rng = seeded_rng(3);
+        let a = Init::Uniform(1.0).sample(m, k, &mut rng);
+        let b = Init::Uniform(1.0).sample(k, n, &mut rng);
+        // (A B)ᵀ = Bᵀ Aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn hconcat_slice_roundtrip(
+        rows in 1usize..5,
+        w1 in 1usize..6,
+        w2 in 1usize..6,
+    ) {
+        let mut rng = seeded_rng(4);
+        let a = Init::Uniform(2.0).sample(rows, w1, &mut rng);
+        let b = Init::Uniform(2.0).sample(rows, w2, &mut rng);
+        let cat = Matrix::hconcat(&[&a, &b]);
+        prop_assert_eq!(cat.columns(0, w1), a);
+        prop_assert_eq!(cat.columns(w1, w2), b);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix(3, 5)) {
+        let mut tape = Tape::new();
+        let x = tape.input(m);
+        let s = tape.softmax_rows(x);
+        let v = tape.value(s);
+        for r in 0..v.rows() {
+            let sum: f32 = v.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(v.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn weighted_combine_with_onehot_weights_selects_basis(
+        k in 1usize..6,
+        dim in 1usize..5,
+        which in 0usize..6,
+    ) {
+        let which = which % k;
+        let mut tape = Tape::new();
+        let mut w = Matrix::zeros(1, k);
+        w.set(0, which, 1.0);
+        let wn = tape.input(w);
+        let mut rng = seeded_rng(5);
+        let basis = Init::Uniform(3.0).sample(1, k * dim, &mut rng);
+        let out = tape.weighted_combine(wn, basis.clone(), dim);
+        let expected = basis.columns(which * dim, dim);
+        prop_assert!(tape.value(out).max_abs_diff(&expected) < 1e-5);
+    }
+
+    #[test]
+    fn residual_add_backward_matches_sum_rule(m in matrix(2, 4)) {
+        // d/dx sum(x + x) = 2 everywhere.
+        let mut store = ParamStore::new();
+        let id = store.add("x", m);
+        let mut tape = Tape::new();
+        let x = tape.param(&store, id);
+        let y = tape.add(x, x);
+        let loss = tape.sum(y);
+        let grads = tape.backward(loss);
+        let g = grads.get(id).unwrap();
+        prop_assert!(g.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn dropout_expectation_is_preserved(rate in 0.0f32..0.9) {
+        let mut tape = Tape::new();
+        let mut rng = seeded_rng(6);
+        let x = tape.input(Matrix::full(1, 4000, 1.0));
+        let y = tape.dropout(x, rate, &mut rng);
+        let mean = tape.value(y).mean();
+        prop_assert!((mean - 1.0).abs() < 0.12, "rate {} mean {}", rate, mean);
+    }
+
+    #[test]
+    fn snapshot_average_commutes_with_restore(m in matrix(2, 3)) {
+        let mut s1 = ParamStore::new();
+        let id = s1.add("w", m.clone());
+        let snap1 = s1.snapshot();
+        s1.get_mut(id).scale(3.0);
+        let snap3 = s1.snapshot();
+        let avg = Snapshot::average(&[snap1, snap3]);
+        s1.restore(&avg);
+        let expected = m.scaled(2.0);
+        prop_assert!(s1.get(id).max_abs_diff(&expected) < 1e-4);
+    }
+
+    #[test]
+    fn mse_loss_is_nonnegative_and_zero_iff_equal(m in matrix(2, 3)) {
+        let mut tape = Tape::new();
+        let p = tape.input(m.clone());
+        let loss = tape.mse_loss(p, &m);
+        prop_assert!(tape.value(loss).get(0, 0).abs() < 1e-6);
+        let mut shifted = m.clone();
+        shifted.as_mut_slice()[0] += 1.0;
+        let mut tape2 = Tape::new();
+        let p2 = tape2.input(shifted);
+        let loss2 = tape2.mse_loss(p2, &m);
+        prop_assert!(tape2.value(loss2).get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn gather_then_sum_equals_row_sums(ids in proptest::collection::vec(0usize..4, 1..10)) {
+        let table = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        let mut tape = Tape::new();
+        let t = tape.input(table.clone());
+        let g = tape.gather(t, &ids);
+        let total = tape.sum(g);
+        let expected: f32 = ids
+            .iter()
+            .map(|&i| table.row(i).iter().sum::<f32>())
+            .sum();
+        prop_assert!((tape.value(total).get(0, 0) - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn leaky_relu_is_monotone(a in -5.0f32..5.0, b in -5.0f32..5.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_vec(1, 2, vec![lo, hi]));
+        let y = tape.leaky_relu(x, 0.001);
+        let v = tape.value(y);
+        prop_assert!(v.get(0, 0) <= v.get(0, 1) + 1e-7);
+    }
+}

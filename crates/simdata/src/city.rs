@@ -1,0 +1,321 @@
+//! City model: areas on a grid with functional archetypes.
+//!
+//! The paper's dataset covers 58 square areas (~3 km × 3 km) of Hangzhou.
+//! The simulator lays `n_areas` out on a grid and assigns each a
+//! functional archetype. Archetypes drive the weekly demand pattern and
+//! are the mechanism behind every qualitative phenomenon the paper
+//! discusses: entertainment areas that surge on weekends (Fig. 1a),
+//! residential/business areas with weekday commute peaks (Fig. 1b),
+//! areas whose supply-demand curves are scaled copies of each other
+//! (Fig. 12), and areas with idiosyncratic weekday dependence (Fig. 15).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Functional character of an area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Dormitory districts: sharp weekday morning outbound peak.
+    Residential,
+    /// Office districts: strong weekday evening peak, quiet weekends.
+    Business,
+    /// Nightlife/malls: evening and weekend surges.
+    Entertainment,
+    /// Outskirts: low, flat demand.
+    Suburban,
+    /// Mixed use: blend of residential and business shapes.
+    Mixed,
+    /// Stations/airport: all-day demand with shoulders, mild weekday bias.
+    TransportHub,
+}
+
+impl Archetype {
+    /// All archetypes in a stable order.
+    pub const ALL: [Archetype; 6] = [
+        Archetype::Residential,
+        Archetype::Business,
+        Archetype::Entertainment,
+        Archetype::Suburban,
+        Archetype::Mixed,
+        Archetype::TransportHub,
+    ];
+
+    /// Base order rate (expected orders per minute at the busiest hour of
+    /// a reference area of this type, before scale factors).
+    pub fn base_rate(self) -> f64 {
+        match self {
+            Archetype::Residential => 2.2,
+            Archetype::Business => 2.8,
+            Archetype::Entertainment => 2.0,
+            Archetype::Suburban => 0.5,
+            Archetype::Mixed => 1.8,
+            Archetype::TransportHub => 2.4,
+        }
+    }
+
+    /// How attractive the area is as a *destination* (used to sample
+    /// `o.loc_d`).
+    pub fn attractiveness(self) -> f64 {
+        match self {
+            Archetype::Residential => 1.2,
+            Archetype::Business => 1.5,
+            Archetype::Entertainment => 1.3,
+            Archetype::Suburban => 0.5,
+            Archetype::Mixed => 1.0,
+            Archetype::TransportHub => 1.6,
+        }
+    }
+
+    /// Number of road segments in an area of this type (drives the
+    /// traffic-condition quadruples of Definition 4).
+    pub fn road_segments(self) -> u16 {
+        match self {
+            Archetype::Residential => 120,
+            Archetype::Business => 160,
+            Archetype::Entertainment => 140,
+            Archetype::Suburban => 60,
+            Archetype::Mixed => 130,
+            Archetype::TransportHub => 100,
+        }
+    }
+}
+
+/// One square area of the city.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Area {
+    /// Area id in `[0, n_areas)`.
+    pub id: u16,
+    /// Grid coordinates (col, row).
+    pub grid: (u16, u16),
+    /// Functional archetype.
+    pub archetype: Archetype,
+    /// Per-area demand scale (log-normal-ish, so that areas of the same
+    /// archetype have *similar shapes at different scales* — the
+    /// phenomenon behind Fig. 12(c)/(d)).
+    pub demand_scale: f64,
+    /// Per-area supply tightness in (0, 1]; lower values mean the area is
+    /// chronically under-supplied and produces larger gaps.
+    pub supply_tightness: f64,
+    /// Weekday idiosyncrasy: a per-area multiplier for each day of week,
+    /// which creates the area-specific weekday dependence of Fig. 15.
+    pub weekday_bias: [f64; 7],
+}
+
+/// Configuration of the simulated city.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// Number of areas (the paper's dataset has 58).
+    pub n_areas: u16,
+    /// RNG seed controlling the city layout (areas, scales, biases).
+    pub seed: u64,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        CityConfig { n_areas: 58, seed: 7 }
+    }
+}
+
+/// A fully instantiated city: the area list plus the config it came from.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct City {
+    /// Generation parameters.
+    pub config: CityConfig,
+    /// Areas, indexed by id.
+    pub areas: Vec<Area>,
+}
+
+impl City {
+    /// Instantiates a city deterministically from its config.
+    pub fn generate(config: CityConfig, rng: &mut StdRng) -> City {
+        assert!(config.n_areas > 0, "city needs at least one area");
+        let grid_w = (config.n_areas as f64).sqrt().ceil() as u16;
+        let mut areas = Vec::with_capacity(config.n_areas as usize);
+        for id in 0..config.n_areas {
+            let grid = (id % grid_w, id / grid_w);
+            let archetype = Self::assign_archetype(grid, grid_w, rng);
+            // Log-normal-ish scale in roughly [0.25, 4].
+            let z: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+            let demand_scale = (0.7 * z).exp();
+            let supply_tightness = rng.gen_range(0.88..1.06);
+            let mut weekday_bias = [1.0f64; 7];
+            // Most areas are near-uniform; a minority get a pronounced
+            // single-day idiosyncrasy (cf. §V-A.1: "for some areas, the
+            // supply-demands in Tuesdays are very different").
+            if rng.gen::<f64>() < 0.4 {
+                let special = rng.gen_range(0..7);
+                weekday_bias[special] *= rng.gen_range(1.5..2.2);
+            }
+            for b in weekday_bias.iter_mut() {
+                *b *= rng.gen_range(0.95..1.05);
+            }
+            areas.push(Area {
+                id,
+                grid,
+                archetype,
+                demand_scale,
+                supply_tightness,
+                weekday_bias,
+            });
+        }
+        City { config, areas }
+    }
+
+    /// Archetype assignment with spatial structure: business core in the
+    /// centre, entertainment adjacent, residential ring, suburban edge.
+    fn assign_archetype(grid: (u16, u16), grid_w: u16, rng: &mut StdRng) -> Archetype {
+        let centre = (grid_w as f64 - 1.0) / 2.0;
+        let dx = grid.0 as f64 - centre;
+        let dy = grid.1 as f64 - centre;
+        let dist = (dx * dx + dy * dy).sqrt() / centre.max(1.0);
+        let roll: f64 = rng.gen();
+        if dist < 0.35 {
+            if roll < 0.55 {
+                Archetype::Business
+            } else if roll < 0.8 {
+                Archetype::Entertainment
+            } else {
+                Archetype::Mixed
+            }
+        } else if dist < 0.75 {
+            if roll < 0.45 {
+                Archetype::Residential
+            } else if roll < 0.65 {
+                Archetype::Mixed
+            } else if roll < 0.8 {
+                Archetype::Entertainment
+            } else if roll < 0.9 {
+                Archetype::Business
+            } else {
+                Archetype::TransportHub
+            }
+        } else if roll < 0.5 {
+            Archetype::Suburban
+        } else if roll < 0.85 {
+            Archetype::Residential
+        } else {
+            Archetype::TransportHub
+        }
+    }
+
+    /// Number of areas.
+    pub fn n_areas(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Area accessor.
+    pub fn area(&self, id: u16) -> &Area {
+        &self.areas[id as usize]
+    }
+
+    /// Destination sampling weights (attractiveness × scale), normalised.
+    pub fn destination_weights(&self) -> Vec<f64> {
+        let raw: Vec<f64> = self
+            .areas
+            .iter()
+            .map(|a| a.archetype.attractiveness() * a.demand_scale.max(0.1))
+            .collect();
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn city(n: u16, seed: u64) -> City {
+        let mut rng = StdRng::seed_from_u64(seed);
+        City::generate(
+            CityConfig { n_areas: n, seed },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn generates_requested_area_count() {
+        let c = city(58, 1);
+        assert_eq!(c.n_areas(), 58);
+        for (i, a) in c.areas.iter().enumerate() {
+            assert_eq!(a.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = city(20, 42);
+        let b = city(20, 42);
+        for (x, y) in a.areas.iter().zip(b.areas.iter()) {
+            assert_eq!(x.archetype, y.archetype);
+            assert_eq!(x.demand_scale, y.demand_scale);
+            assert_eq!(x.weekday_bias, y.weekday_bias);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_cities() {
+        let a = city(20, 1);
+        let b = city(20, 2);
+        let same = a
+            .areas
+            .iter()
+            .zip(b.areas.iter())
+            .all(|(x, y)| x.demand_scale == y.demand_scale);
+        assert!(!same);
+    }
+
+    #[test]
+    fn archetype_diversity_present() {
+        let c = city(58, 3);
+        let mut seen = std::collections::HashSet::new();
+        for a in &c.areas {
+            seen.insert(a.archetype);
+        }
+        assert!(seen.len() >= 4, "expected diverse archetypes, got {seen:?}");
+    }
+
+    #[test]
+    fn demand_scales_are_positive_and_spread() {
+        let c = city(58, 4);
+        let scales: Vec<f64> = c.areas.iter().map(|a| a.demand_scale).collect();
+        assert!(scales.iter().all(|&s| s > 0.0));
+        let min = scales.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = scales.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 2.0, "scales should span a real range");
+    }
+
+    #[test]
+    fn destination_weights_are_a_distribution() {
+        let c = city(30, 5);
+        let w = c.destination_weights();
+        assert_eq!(w.len(), 30);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn weekday_bias_is_reasonable() {
+        let c = city(100, 6);
+        for a in &c.areas {
+            for &b in &a.weekday_bias {
+                assert!(b > 0.5 && b < 3.0);
+            }
+        }
+        // Some areas must have a pronounced special day.
+        let special = c
+            .areas
+            .iter()
+            .filter(|a| a.weekday_bias.iter().any(|&b| b > 1.4))
+            .count();
+        assert!(special > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one area")]
+    fn rejects_zero_areas() {
+        let _ = city(0, 1);
+    }
+}

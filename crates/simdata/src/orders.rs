@@ -1,0 +1,332 @@
+//! Order generation: demand arrivals, driver supply, and passenger retry
+//! behaviour.
+//!
+//! Each minute of each day, an area receives `Poisson(λ)` fresh requests
+//! where λ follows the archetype's weekly intensity shape modulated by
+//! the area scale, its weekday bias and the weather. Driver capacity is
+//! `Poisson(µ)` with µ tracking a *dampened* version of the same shape —
+//! supply reacts more slowly than demand — so sharp peaks and bad weather
+//! produce unanswered (invalid) orders: the supply-demand gap.
+//!
+//! Passengers whose request goes unanswered retry with high probability
+//! within a few minutes. This behaviour is what makes the paper's
+//! last-call vector (Definition 6) and waiting-time vector (Definition 7)
+//! genuinely predictive: a burst of failed last calls now implies a gap
+//! in the next ten minutes.
+
+use crate::city::{Area, City};
+use crate::patterns::{intensity, weekly_mean_intensity};
+use crate::sampling::{poisson, Categorical};
+use crate::types::{Order, SlotTime, WeatherObs, MINUTES_PER_DAY};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Maximum retries a passenger attempts after a failed request.
+const MAX_RETRIES: u8 = 3;
+/// Probability of retrying after each failure.
+const RETRY_PROB: f64 = 0.55;
+/// Retry delay range in minutes (inclusive).
+const RETRY_DELAY: std::ops::RangeInclusive<u32> = 1..=4;
+
+/// Tuning knobs of the order generator.
+#[derive(Debug, Clone)]
+pub struct OrderGenConfig {
+    /// Global demand multiplier.
+    pub demand_volume: f64,
+    /// Global supply slack; < 1.0 widens gaps, > 1.0 narrows them.
+    pub supply_slack: f64,
+}
+
+impl Default for OrderGenConfig {
+    fn default() -> Self {
+        OrderGenConfig { demand_volume: 1.0, supply_slack: 1.0 }
+    }
+}
+
+struct PendingRetry {
+    pid: u32,
+    attempts: u8,
+}
+
+/// Generates all orders originating in one area across `days` days.
+///
+/// `weather` must hold `days * 1440` city-wide observations. The RNG is
+/// owned per-area so areas can be generated independently (and in
+/// parallel) while staying deterministic.
+pub fn generate_area_orders(
+    city: &City,
+    area: &Area,
+    days: u16,
+    weather: &[WeatherObs],
+    config: &OrderGenConfig,
+    seed: u64,
+) -> Vec<Order> {
+    assert_eq!(
+        weather.len(),
+        days as usize * MINUTES_PER_DAY as usize,
+        "weather stream length mismatch"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(area.id as u64 + 1)));
+    let destinations = Categorical::new(&city.destination_weights());
+    let supply_floor = weekly_mean_intensity(area.archetype);
+
+    let mut orders = Vec::new();
+    let mut next_pid: u32 = (area.id as u32) << 20;
+    // Ring buffer of retries keyed by minute mod (max delay + 1).
+    let ring_len = (*RETRY_DELAY.end() + 1) as usize;
+    let mut retry_ring: Vec<Vec<PendingRetry>> = (0..ring_len).map(|_| Vec::new()).collect();
+    let mut requests: Vec<(u32, u8)> = Vec::new(); // (pid, attempts)
+    // Standing pool of idle drivers. Inflow is Poisson(µ) per minute;
+    // each idle driver drifts to another area with probability
+    // 1 - POOL_RETAIN per minute, so the pool buffers short demand spikes
+    // but cannot absorb sustained overload (classic queueing behaviour:
+    // under sustained λ > µ the service rate converges to the inflow µ).
+    let mut driver_pool: u32 = 0;
+    const POOL_RETAIN: f64 = 0.9;
+
+    for day in 0..days {
+        let weekday = SlotTime::new(day, 0).weekday();
+        for minute in 0..MINUTES_PER_DAY {
+            let obs = &weather[day as usize * MINUTES_PER_DAY as usize + minute as usize];
+            let shape = intensity(area.archetype, weekday, minute);
+            let lambda = area.archetype.base_rate()
+                * area.demand_scale
+                * area.weekday_bias[weekday]
+                * shape
+                * obs.kind.demand_multiplier()
+                * config.demand_volume;
+            // Supply tracks a dampened shape: part instantaneous, part the
+            // weekly mean. It ignores the weekday bias (drivers do not know
+            // an area's special day) and reacts to weather by staying home.
+            // Drivers know the routine pattern (shape) and partially
+            // anticipate the area's weekday bias, but react to weather by
+            // staying home — so gaps concentrate on special days, bad
+            // weather and sharp peaks.
+            let anticipated_bias = 0.5 + 0.5 * area.weekday_bias[weekday];
+            let mu = area.archetype.base_rate()
+                * area.demand_scale
+                * (0.95 * shape + 0.2 * supply_floor + 0.05)
+                * anticipated_bias
+                * area.supply_tightness
+                * obs.kind.supply_multiplier()
+                // The driver fleet scales with the city's overall volume;
+                // `supply_slack` then modulates relative tightness.
+                * config.demand_volume
+                * config.supply_slack;
+
+            // Binomial retention keeps the pool an integer without the
+            // rounding starvation a fractional floor would cause at low
+            // overnight rates.
+            let mut retained = 0u32;
+            for _ in 0..driver_pool {
+                if rng.gen::<f64>() < POOL_RETAIN {
+                    retained += 1;
+                }
+            }
+            driver_pool = retained + poisson(mu, &mut rng);
+
+            requests.clear();
+            let fresh = poisson(lambda, &mut rng);
+            for _ in 0..fresh {
+                requests.push((next_pid, 0));
+                next_pid += 1;
+            }
+            let slot = (minute as usize) % ring_len;
+            for retry in retry_ring[slot].drain(..) {
+                requests.push((retry.pid, retry.attempts));
+            }
+            if requests.is_empty() {
+                continue;
+            }
+
+            let capacity = driver_pool as usize;
+            requests.shuffle(&mut rng);
+            let served = capacity.min(requests.len());
+            driver_pool -= served as u32;
+            for (i, &(pid, attempts)) in requests.iter().enumerate() {
+                let valid = i < served;
+                orders.push(Order {
+                    day,
+                    ts: minute as u16,
+                    pid,
+                    loc_start: area.id,
+                    loc_dest: destinations.sample(&mut rng) as u16,
+                    valid,
+                });
+                if !valid && attempts < MAX_RETRIES && rng.gen::<f64>() < RETRY_PROB {
+                    let delay = rng.gen_range(RETRY_DELAY);
+                    // Retries crossing midnight are dropped (the passenger
+                    // gives up with the day).
+                    if minute + delay < MINUTES_PER_DAY {
+                        let target = ((minute + delay) as usize) % ring_len;
+                        retry_ring[target].push(PendingRetry { pid, attempts: attempts + 1 });
+                    }
+                }
+            }
+        }
+        // Passengers do not carry retries across days.
+        for bucket in retry_ring.iter_mut() {
+            bucket.clear();
+        }
+    }
+    orders
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+    use crate::weather::{generate_weather, WeatherConfig};
+
+    fn setup(days: u16, seed: u64) -> (City, Vec<WeatherObs>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let city = City::generate(
+            CityConfig { n_areas: 6, seed },
+            &mut rng,
+        );
+        let weather = generate_weather(days, &WeatherConfig::default(), &mut rng);
+        (city, weather)
+    }
+
+    #[test]
+    fn orders_are_chronological_and_well_formed() {
+        let (city, weather) = setup(3, 11);
+        let area = &city.areas[0];
+        let orders =
+            generate_area_orders(&city, area, 3, &weather, &OrderGenConfig::default(), 11);
+        assert!(!orders.is_empty());
+        let mut prev = 0u32;
+        for o in &orders {
+            assert_eq!(o.loc_start, area.id);
+            assert!((o.loc_dest as usize) < city.n_areas());
+            assert!((o.ts as u32) < MINUTES_PER_DAY);
+            assert!(o.day < 3);
+            let abs = o.day as u32 * MINUTES_PER_DAY + o.ts as u32;
+            assert!(abs >= prev, "orders out of order");
+            prev = abs;
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (city, weather) = setup(2, 12);
+        let area = &city.areas[1];
+        let cfg = OrderGenConfig::default();
+        let a = generate_area_orders(&city, area, 2, &weather, &cfg, 12);
+        let b = generate_area_orders(&city, area, 2, &weather, &cfg, 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn some_orders_go_unanswered() {
+        let (city, weather) = setup(7, 13);
+        let cfg = OrderGenConfig::default();
+        let mut valid = 0usize;
+        let mut invalid = 0usize;
+        for area in &city.areas {
+            for o in generate_area_orders(&city, area, 7, &weather, &cfg, 13) {
+                if o.valid {
+                    valid += 1;
+                } else {
+                    invalid += 1;
+                }
+            }
+        }
+        assert!(valid > 0 && invalid > 0);
+        let invalid_frac = invalid as f64 / (valid + invalid) as f64;
+        // The gap must exist but stay a minority phenomenon.
+        assert!(
+            (0.01..0.45).contains(&invalid_frac),
+            "invalid fraction = {invalid_frac}"
+        );
+    }
+
+    #[test]
+    fn failed_passengers_retry() {
+        let (city, weather) = setup(5, 14);
+        let area = &city.areas[0];
+        let orders =
+            generate_area_orders(&city, area, 5, &weather, &OrderGenConfig::default(), 14);
+        // A pid appearing more than once means a retry happened.
+        let mut counts = std::collections::HashMap::new();
+        for o in &orders {
+            *counts.entry(o.pid).or_insert(0usize) += 1;
+        }
+        let retried = counts.values().filter(|&&c| c > 1).count();
+        assert!(retried > 0, "expected at least one retry chain");
+        // Retry chains are bounded by MAX_RETRIES + 1 orders.
+        assert!(counts.values().all(|&c| c <= (MAX_RETRIES as usize) + 1));
+    }
+
+    #[test]
+    fn retry_orders_follow_the_first_call() {
+        let (city, weather) = setup(3, 15);
+        let area = &city.areas[2];
+        let orders =
+            generate_area_orders(&city, area, 3, &weather, &OrderGenConfig::default(), 15);
+        let mut first_seen = std::collections::HashMap::new();
+        for o in &orders {
+            let abs = o.day as u32 * MINUTES_PER_DAY + o.ts as u32;
+            let entry = first_seen.entry(o.pid).or_insert(abs);
+            let delta = abs - *entry;
+            assert!(
+                delta <= (MAX_RETRIES as u32) * *RETRY_DELAY.end(),
+                "retry too late: {delta} minutes"
+            );
+        }
+    }
+
+    #[test]
+    fn demand_volume_scales_order_count() {
+        let (city, weather) = setup(2, 16);
+        let area = &city.areas[0];
+        let low = generate_area_orders(
+            &city,
+            area,
+            2,
+            &weather,
+            &OrderGenConfig { demand_volume: 0.5, supply_slack: 1.0 },
+            16,
+        );
+        let high = generate_area_orders(
+            &city,
+            area,
+            2,
+            &weather,
+            &OrderGenConfig { demand_volume: 2.0, supply_slack: 1.0 },
+            16,
+        );
+        assert!(high.len() as f64 > 2.5 * low.len() as f64);
+    }
+
+    #[test]
+    fn tighter_supply_creates_more_invalid_orders() {
+        let (city, weather) = setup(4, 17);
+        let area = &city.areas[0];
+        let invalid = |slack: f64| {
+            generate_area_orders(
+                &city,
+                area,
+                4,
+                &weather,
+                &OrderGenConfig { demand_volume: 1.0, supply_slack: slack },
+                17,
+            )
+            .iter()
+            .filter(|o| !o.valid)
+            .count()
+        };
+        assert!(invalid(0.6) > invalid(1.4));
+    }
+
+    #[test]
+    fn pids_are_namespaced_by_area() {
+        let (city, weather) = setup(1, 18);
+        let cfg = OrderGenConfig::default();
+        let a0 = generate_area_orders(&city, &city.areas[0], 1, &weather, &cfg, 18);
+        let a1 = generate_area_orders(&city, &city.areas[1], 1, &weather, &cfg, 18);
+        let set0: std::collections::HashSet<u32> = a0.iter().map(|o| o.pid).collect();
+        assert!(a1.iter().all(|o| !set0.contains(&o.pid)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Weekly demand-intensity curves per archetype.
+//!
+//! `intensity(archetype, weekday, minute)` returns the *shape* of demand
+//! (dimensionless, peak ≈ 1.0) at a given minute of a given day of week.
+//! Shapes are built from smooth Gaussian bumps so nearby minutes are
+//! correlated, and differ between weekdays and weekends exactly the way
+//! the paper's Fig. 1 illustrates: residential/business areas carry
+//! commute peaks on weekdays and flatten on weekends, entertainment areas
+//! surge on weekend afternoons and evenings.
+
+use crate::city::Archetype;
+use crate::types::MINUTES_PER_DAY;
+
+/// A Gaussian bump centred at `centre` minutes with width `sigma` and
+/// height `height`.
+#[derive(Debug, Clone, Copy)]
+struct Bump {
+    centre: f64,
+    sigma: f64,
+    height: f64,
+}
+
+impl Bump {
+    fn eval(&self, minute: f64) -> f64 {
+        let d = (minute - self.centre) / self.sigma;
+        self.height * (-0.5 * d * d).exp()
+    }
+}
+
+const MORNING_PEAK: f64 = 8.0 * 60.0;
+const EVENING_PEAK: f64 = 19.0 * 60.0;
+const NOON: f64 = 12.5 * 60.0;
+const NIGHT: f64 = 22.5 * 60.0;
+
+fn weekday_bumps(archetype: Archetype) -> Vec<Bump> {
+    match archetype {
+        Archetype::Residential => vec![
+            Bump { centre: MORNING_PEAK, sigma: 55.0, height: 1.0 },
+            Bump { centre: EVENING_PEAK, sigma: 80.0, height: 0.45 },
+            Bump { centre: NOON, sigma: 120.0, height: 0.15 },
+        ],
+        Archetype::Business => vec![
+            Bump { centre: MORNING_PEAK + 30.0, sigma: 50.0, height: 0.45 },
+            Bump { centre: EVENING_PEAK, sigma: 60.0, height: 1.0 },
+            Bump { centre: NOON, sigma: 90.0, height: 0.35 },
+        ],
+        Archetype::Entertainment => vec![
+            Bump { centre: NOON, sigma: 100.0, height: 0.25 },
+            Bump { centre: NIGHT, sigma: 90.0, height: 0.5 },
+        ],
+        Archetype::Suburban => vec![
+            Bump { centre: MORNING_PEAK, sigma: 90.0, height: 0.4 },
+            Bump { centre: EVENING_PEAK, sigma: 110.0, height: 0.35 },
+        ],
+        Archetype::Mixed => vec![
+            Bump { centre: MORNING_PEAK, sigma: 60.0, height: 0.7 },
+            Bump { centre: EVENING_PEAK, sigma: 70.0, height: 0.7 },
+            Bump { centre: NOON, sigma: 110.0, height: 0.25 },
+        ],
+        Archetype::TransportHub => vec![
+            Bump { centre: 9.5 * 60.0, sigma: 120.0, height: 0.8 },
+            Bump { centre: 15.0 * 60.0, sigma: 150.0, height: 0.6 },
+            Bump { centre: 20.5 * 60.0, sigma: 100.0, height: 0.75 },
+        ],
+    }
+}
+
+fn weekend_bumps(archetype: Archetype) -> Vec<Bump> {
+    match archetype {
+        Archetype::Residential => vec![
+            Bump { centre: 10.5 * 60.0, sigma: 110.0, height: 0.4 },
+            Bump { centre: EVENING_PEAK, sigma: 120.0, height: 0.35 },
+        ],
+        Archetype::Business => vec![Bump { centre: NOON, sigma: 150.0, height: 0.18 }],
+        Archetype::Entertainment => vec![
+            Bump { centre: 14.0 * 60.0, sigma: 120.0, height: 0.85 },
+            Bump { centre: NIGHT, sigma: 100.0, height: 1.0 },
+        ],
+        Archetype::Suburban => vec![Bump { centre: 13.0 * 60.0, sigma: 160.0, height: 0.3 }],
+        Archetype::Mixed => vec![
+            Bump { centre: 13.0 * 60.0, sigma: 140.0, height: 0.45 },
+            Bump { centre: NIGHT, sigma: 110.0, height: 0.4 },
+        ],
+        Archetype::TransportHub => vec![
+            Bump { centre: 10.0 * 60.0, sigma: 130.0, height: 0.7 },
+            Bump { centre: 17.5 * 60.0, sigma: 140.0, height: 0.75 },
+        ],
+    }
+}
+
+/// Baseline activity floor so demand never reaches exactly zero during
+/// the day; overnight (1:00–5:00) decays further.
+fn floor_level(minute: f64) -> f64 {
+    let hour = minute / 60.0;
+    if (1.0..5.0).contains(&hour) {
+        0.02
+    } else if !(6.0..23.5).contains(&hour) {
+        0.05
+    } else {
+        0.08
+    }
+}
+
+/// Demand-intensity shape for an archetype at `(weekday, minute)`.
+///
+/// `weekday` follows the paper's WeekID convention: 0 = Monday …
+/// 6 = Sunday. The returned value is non-negative, roughly in `[0, 1.2]`.
+///
+/// # Panics
+/// Panics if `weekday >= 7` or `minute >= 1440`.
+pub fn intensity(archetype: Archetype, weekday: usize, minute: u32) -> f64 {
+    assert!(weekday < 7, "weekday out of range");
+    assert!(minute < MINUTES_PER_DAY, "minute out of range");
+    let m = minute as f64;
+    let is_weekend = weekday >= 5;
+    let bumps = if is_weekend { weekend_bumps(archetype) } else { weekday_bumps(archetype) };
+    // Friday evenings behave half-way to a weekend for entertainment.
+    let friday_boost = if weekday == 4 && archetype == Archetype::Entertainment && m > 17.0 * 60.0
+    {
+        0.35 * Bump { centre: NIGHT, sigma: 100.0, height: 1.0 }.eval(m)
+    } else {
+        0.0
+    };
+    let sum: f64 = bumps.iter().map(|b| b.eval(m)).sum();
+    floor_level(m) + sum + friday_boost
+}
+
+/// Average intensity of an archetype over a whole week (used to size
+/// supply against demand).
+pub fn weekly_mean_intensity(archetype: Archetype) -> f64 {
+    let mut total = 0.0;
+    for weekday in 0..7 {
+        for minute in (0..MINUTES_PER_DAY).step_by(10) {
+            total += intensity(archetype, weekday, minute);
+        }
+    }
+    total / (7.0 * (MINUTES_PER_DAY / 10) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_is_nonnegative_everywhere() {
+        for archetype in Archetype::ALL {
+            for weekday in 0..7 {
+                for minute in (0..1440).step_by(15) {
+                    let v = intensity(archetype, weekday, minute);
+                    assert!(v >= 0.0, "{archetype:?} {weekday} {minute}: {v}");
+                    assert!(v < 2.0, "{archetype:?} {weekday} {minute}: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residential_peaks_in_weekday_morning() {
+        let morning = intensity(Archetype::Residential, 2, 8 * 60);
+        let noon = intensity(Archetype::Residential, 2, 12 * 60);
+        let night = intensity(Archetype::Residential, 2, 3 * 60);
+        assert!(morning > 2.0 * noon);
+        assert!(morning > 10.0 * night);
+    }
+
+    #[test]
+    fn business_peaks_in_weekday_evening() {
+        let evening = intensity(Archetype::Business, 1, 19 * 60);
+        let morning = intensity(Archetype::Business, 1, 8 * 60);
+        assert!(evening > morning);
+    }
+
+    #[test]
+    fn business_flattens_on_sunday() {
+        // The paper's Fig. 1(b): commute-area demand collapses on Sunday.
+        let wed_evening = intensity(Archetype::Business, 2, 19 * 60);
+        let sun_evening = intensity(Archetype::Business, 6, 19 * 60);
+        assert!(wed_evening > 3.0 * sun_evening);
+    }
+
+    #[test]
+    fn entertainment_surges_on_sunday() {
+        // The paper's Fig. 1(a): entertainment demand rises on Sunday.
+        let wed_afternoon = intensity(Archetype::Entertainment, 2, 14 * 60);
+        let sun_afternoon = intensity(Archetype::Entertainment, 6, 14 * 60);
+        assert!(sun_afternoon > 2.0 * wed_afternoon);
+    }
+
+    #[test]
+    fn friday_night_entertainment_boost() {
+        let thu_night = intensity(Archetype::Entertainment, 3, 22 * 60 + 30);
+        let fri_night = intensity(Archetype::Entertainment, 4, 22 * 60 + 30);
+        assert!(fri_night > thu_night);
+    }
+
+    #[test]
+    fn overnight_demand_is_low_for_all() {
+        for archetype in Archetype::ALL {
+            for weekday in 0..7 {
+                let v = intensity(archetype, weekday, 3 * 60);
+                assert!(v < 0.15, "{archetype:?} {weekday}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn weekly_means_are_ordered_sensibly() {
+        let sub = weekly_mean_intensity(Archetype::Suburban);
+        for archetype in [Archetype::Business, Archetype::Residential, Archetype::Mixed] {
+            assert!(weekly_mean_intensity(archetype) > sub);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weekday out of range")]
+    fn rejects_bad_weekday() {
+        let _ = intensity(Archetype::Mixed, 7, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "minute out of range")]
+    fn rejects_bad_minute() {
+        let _ = intensity(Archetype::Mixed, 0, 1440);
+    }
+
+    #[test]
+    fn curves_are_smooth() {
+        // No jump between adjacent minutes larger than 5% of peak.
+        for archetype in Archetype::ALL {
+            for weekday in [0usize, 6] {
+                let mut prev = intensity(archetype, weekday, 0);
+                for minute in 1..1440 {
+                    let v = intensity(archetype, weekday, minute);
+                    assert!(
+                        (v - prev).abs() < 0.06,
+                        "{archetype:?} {weekday} jump at {minute}"
+                    );
+                    prev = v;
+                }
+            }
+        }
+    }
+}

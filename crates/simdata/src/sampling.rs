@@ -1,0 +1,161 @@
+//! Small sampling utilities: Poisson draws and categorical sampling by
+//! cumulative weights.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws from a Poisson distribution with mean `lambda`.
+///
+/// Uses Knuth's multiplication method for small means and a normal
+/// approximation (rounded, clamped at zero) for large means, which is
+/// plenty for simulation purposes.
+pub fn poisson(lambda: f64, rng: &mut StdRng) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u32;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 1_000 {
+                return k; // numerical safety net, unreachable in practice
+            }
+        }
+    } else {
+        // Normal approximation N(lambda, lambda).
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let v = lambda + lambda.sqrt() * z;
+        v.round().max(0.0) as u32
+    }
+}
+
+/// Pre-computed cumulative distribution for fast categorical sampling.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds a sampler from non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0, "negative weight");
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "weights sum to zero");
+        Categorical { cumulative }
+    }
+
+    /// Samples an index in `[0, len)`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let roll = rng.gen::<f64>() * total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&roll).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there are no categories (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        assert_eq!(poisson(-1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn poisson_mean_is_close_small_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| poisson(2.5, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_is_close_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| poisson(50.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 50.0).abs() < 0.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_variance_tracks_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| poisson(4.0, &mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!((var - 4.0).abs() < 0.4, "var = {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cat = Categorical::new(&[1.0, 0.0, 3.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[cat.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn categorical_single_category() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cat = Categorical::new(&[0.7]);
+        for _ in 0..100 {
+            assert_eq!(cat.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn categorical_rejects_zero_total() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn categorical_rejects_empty() {
+        let _ = Categorical::new(&[]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-area traffic-condition process (Definition 4).
+//!
+//! Each area has a fixed number of road segments (by archetype). At each
+//! timeslot the segments are distributed over four congestion levels
+//! according to a *congestion pressure* derived from the area's current
+//! demand intensity and the weather, plus noise. This makes the traffic
+//! stream genuinely informative about imminent supply-demand gaps, which
+//! is what lets the traffic block of the model earn its keep (Fig. 13).
+
+use crate::city::Area;
+use crate::patterns::intensity;
+use crate::types::{TrafficObs, WeatherObs, WeatherType};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Congestion pressure in `[0, 1]` for an area at a given weekday/minute
+/// under given weather.
+pub fn congestion_pressure(
+    area: &Area,
+    weekday: usize,
+    minute: u32,
+    weather: &WeatherObs,
+) -> f64 {
+    let demand_shape = intensity(area.archetype, weekday, minute); // ~[0, 1.2]
+    let weather_factor = match weather.kind {
+        WeatherType::HeavyRain | WeatherType::Storm | WeatherType::Snow => 0.25,
+        WeatherType::LightRain | WeatherType::Fog => 0.12,
+        _ => 0.0,
+    };
+    (0.75 * demand_shape + weather_factor).clamp(0.0, 1.0)
+}
+
+/// Distributes an area's road segments over the four congestion levels
+/// for a given pressure, with multiplicative noise.
+///
+/// At pressure 0 nearly all segments sit at level 4 (free-flowing); at
+/// pressure 1 the mass shifts towards level 1 (jammed).
+pub fn traffic_obs(area: &Area, pressure: f64, rng: &mut StdRng) -> TrafficObs {
+    let total = area.archetype.road_segments() as f64;
+    let p = pressure.clamp(0.0, 1.0);
+    // Level weights interpolate between free-flow and jammed profiles.
+    let free = [0.02, 0.08, 0.25, 0.65];
+    let jam = [0.45, 0.30, 0.15, 0.10];
+    let mut counts = [0u16; 4];
+    let mut assigned = 0u32;
+    for i in 0..4 {
+        let w = free[i] * (1.0 - p) + jam[i] * p;
+        let noisy = w * rng.gen_range(0.85..1.15);
+        let c = (total * noisy).round().max(0.0) as u32;
+        counts[i] = c as u16;
+        assigned += c;
+    }
+    // Re-balance so totals stay close to the nominal segment count:
+    // put any difference on level 4 (the least informative bucket).
+    let nominal = total as i64;
+    let diff = nominal - assigned as i64;
+    let l4 = counts[3] as i64 + diff;
+    counts[3] = l4.max(0) as u16;
+    TrafficObs { levels: counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{City, CityConfig};
+    use crate::types::WeatherObs;
+    use rand::SeedableRng;
+
+    fn test_area() -> Area {
+        let mut rng = StdRng::seed_from_u64(1);
+        let city = City::generate(CityConfig { n_areas: 4, ..CityConfig::default() }, &mut rng);
+        city.areas[0].clone()
+    }
+
+    fn sunny() -> WeatherObs {
+        WeatherObs { kind: WeatherType::Sunny, temperature: 15.0, pm25: 50.0 }
+    }
+
+    fn storm() -> WeatherObs {
+        WeatherObs { kind: WeatherType::Storm, temperature: 12.0, pm25: 40.0 }
+    }
+
+    #[test]
+    fn pressure_in_unit_interval() {
+        let area = test_area();
+        for weekday in 0..7 {
+            for minute in (0..1440).step_by(30) {
+                let p = congestion_pressure(&area, weekday, minute, &sunny());
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn storms_increase_pressure() {
+        let area = test_area();
+        let clear = congestion_pressure(&area, 2, 8 * 60, &sunny());
+        let stormy = congestion_pressure(&area, 2, 8 * 60, &storm());
+        assert!(stormy > clear);
+    }
+
+    #[test]
+    fn total_segments_approximately_conserved() {
+        let area = test_area();
+        let nominal = area.archetype.road_segments() as i64;
+        let mut rng = StdRng::seed_from_u64(2);
+        for p in [0.0, 0.3, 0.7, 1.0] {
+            let obs = traffic_obs(&area, p, &mut rng);
+            let total = obs.total_segments() as i64;
+            assert!(
+                (total - nominal).abs() <= nominal / 5,
+                "total {total} vs nominal {nominal} at pressure {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_pressure_shifts_mass_to_congested_levels() {
+        let area = test_area();
+        let mut rng = StdRng::seed_from_u64(3);
+        let free = traffic_obs(&area, 0.0, &mut rng);
+        let jam = traffic_obs(&area, 1.0, &mut rng);
+        assert!(jam.levels[0] > free.levels[0]);
+        assert!(jam.levels[3] < free.levels[3]);
+        assert!(jam.congestion_score() > free.congestion_score());
+    }
+
+    #[test]
+    fn pressure_is_clamped() {
+        let area = test_area();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = traffic_obs(&area, -5.0, &mut rng);
+        let b = traffic_obs(&area, 7.0, &mut rng);
+        assert!(a.congestion_score() < b.congestion_score());
+    }
+}

@@ -1,0 +1,287 @@
+//! Core data types shared across the simulator: orders, weather and
+//! traffic observations, and timeslot arithmetic.
+//!
+//! These mirror the definitions of §II of the paper:
+//!
+//! * Definition 1 — a car-hailing order is the tuple
+//!   `(o.d, o.ts, o.pid, o.loc_s, o.loc_d)` plus the valid/invalid flag
+//!   (whether a driver answered).
+//! * Definition 3 — the weather condition is `(type, temperature, PM2.5)`,
+//!   shared by all areas at a given timeslot.
+//! * Definition 4 — the traffic condition of an area is the number of road
+//!   segments at each of four congestion levels.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of one-minute timeslots per day (§II: "each day into 1440
+/// timeslots").
+pub const MINUTES_PER_DAY: u32 = 1440;
+
+/// Days per week.
+pub const DAYS_PER_WEEK: u32 = 7;
+
+/// A single car-hailing request (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Order {
+    /// Day index since the start of the simulation (0-based).
+    pub day: u16,
+    /// Timeslot within the day, `0..MINUTES_PER_DAY`.
+    pub ts: u16,
+    /// Passenger id.
+    pub pid: u32,
+    /// Area id of the start location.
+    pub loc_start: u16,
+    /// Area id of the destination.
+    pub loc_dest: u16,
+    /// True when a driver answered the request (valid order); false when
+    /// it went unanswered (invalid order — these constitute the gap).
+    pub valid: bool,
+}
+
+/// Weather type vocabulary (10 entries, matching the paper's
+/// `wc.type ∈ R^10` embedding input, Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum WeatherType {
+    /// Clear sky.
+    Sunny = 0,
+    /// Scattered clouds.
+    Cloudy = 1,
+    /// Full overcast.
+    Overcast = 2,
+    /// Drizzle / light rain.
+    LightRain = 3,
+    /// Sustained heavy rain.
+    HeavyRain = 4,
+    /// Thunderstorm.
+    Storm = 5,
+    /// Fog.
+    Fog = 6,
+    /// Snowfall.
+    Snow = 7,
+    /// Smog / haze episode.
+    Haze = 8,
+    /// Strong wind.
+    Windy = 9,
+}
+
+impl WeatherType {
+    /// All weather types in id order.
+    pub const ALL: [WeatherType; 10] = [
+        WeatherType::Sunny,
+        WeatherType::Cloudy,
+        WeatherType::Overcast,
+        WeatherType::LightRain,
+        WeatherType::HeavyRain,
+        WeatherType::Storm,
+        WeatherType::Fog,
+        WeatherType::Snow,
+        WeatherType::Haze,
+        WeatherType::Windy,
+    ];
+
+    /// Stable categorical id in `[0, 10)`.
+    pub fn id(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`WeatherType::id`].
+    ///
+    /// # Panics
+    /// Panics for ids `>= 10`.
+    pub fn from_id(id: usize) -> WeatherType {
+        Self::ALL[id]
+    }
+
+    /// Multiplier on ride demand under this weather (bad weather increases
+    /// demand for cars — §I: "in bad weather ... the demand ... exceeds
+    /// the supply").
+    pub fn demand_multiplier(self) -> f64 {
+        match self {
+            WeatherType::Sunny => 1.0,
+            WeatherType::Cloudy => 1.02,
+            WeatherType::Overcast => 1.05,
+            WeatherType::LightRain => 1.15,
+            WeatherType::HeavyRain => 1.3,
+            WeatherType::Storm => 1.45,
+            WeatherType::Fog => 1.1,
+            WeatherType::Snow => 1.35,
+            WeatherType::Haze => 1.1,
+            WeatherType::Windy => 1.05,
+        }
+    }
+
+    /// Multiplier on driver supply under this weather (drivers stay home
+    /// or slow down in bad conditions).
+    pub fn supply_multiplier(self) -> f64 {
+        match self {
+            WeatherType::Sunny => 1.0,
+            WeatherType::Cloudy => 1.0,
+            WeatherType::Overcast => 0.98,
+            WeatherType::LightRain => 0.93,
+            WeatherType::HeavyRain => 0.85,
+            WeatherType::Storm => 0.78,
+            WeatherType::Fog => 0.9,
+            WeatherType::Snow => 0.82,
+            WeatherType::Haze => 0.95,
+            WeatherType::Windy => 0.97,
+        }
+    }
+}
+
+/// One weather observation (Definition 3). City-wide: all areas share the
+/// same weather at a timeslot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeatherObs {
+    /// Categorical weather type.
+    pub kind: WeatherType,
+    /// Temperature in °C.
+    pub temperature: f32,
+    /// PM2.5 concentration in µg/m³.
+    pub pm25: f32,
+}
+
+/// Traffic condition of one area at one timeslot (Definition 4): the
+/// number of road segments at congestion levels 1 (most congested) to 4
+/// (least congested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficObs {
+    /// `levels[0]` = most congested … `levels[3]` = least congested.
+    pub levels: [u16; 4],
+}
+
+impl TrafficObs {
+    /// Total number of road segments in the area.
+    pub fn total_segments(&self) -> u32 {
+        self.levels.iter().map(|&l| l as u32).sum()
+    }
+
+    /// Congestion score in `[0, 1]`: 1.0 when every segment is at
+    /// level 1, 0.0 when every segment is at level 4.
+    pub fn congestion_score(&self) -> f64 {
+        let total = self.total_segments();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (3 - i) as f64 * n as f64)
+            .sum();
+        weighted / (3.0 * total as f64)
+    }
+}
+
+/// A `(day, timeslot)` pair with weekday arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SlotTime {
+    /// Day index since simulation start.
+    pub day: u16,
+    /// Timeslot within the day.
+    pub ts: u16,
+}
+
+impl SlotTime {
+    /// Constructs a slot time.
+    ///
+    /// # Panics
+    /// Panics if `ts >= MINUTES_PER_DAY`.
+    pub fn new(day: u16, ts: u16) -> Self {
+        assert!((ts as u32) < MINUTES_PER_DAY, "timeslot {ts} out of range");
+        SlotTime { day, ts }
+    }
+
+    /// Day-of-week in `[0, 7)`; the simulation starts on a Monday, so
+    /// `0 = Monday … 6 = Sunday` (matching the paper's WeekID where
+    /// Monday = 0).
+    pub fn weekday(self) -> usize {
+        (self.day as u32 % DAYS_PER_WEEK) as usize
+    }
+
+    /// Absolute minute since simulation start.
+    pub fn absolute_minute(self) -> u32 {
+        self.day as u32 * MINUTES_PER_DAY + self.ts as u32
+    }
+
+    /// Slot shifted by `delta` minutes (may cross day boundaries).
+    ///
+    /// Returns `None` if the shift would go before day 0.
+    pub fn offset(self, delta: i32) -> Option<SlotTime> {
+        let abs = self.absolute_minute() as i64 + delta as i64;
+        if abs < 0 {
+            return None;
+        }
+        let day = (abs / MINUTES_PER_DAY as i64) as u16;
+        let ts = (abs % MINUTES_PER_DAY as i64) as u16;
+        Some(SlotTime { day, ts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weather_type_id_roundtrip() {
+        for t in WeatherType::ALL {
+            assert_eq!(WeatherType::from_id(t.id()), t);
+        }
+    }
+
+    #[test]
+    fn bad_weather_raises_demand_and_lowers_supply() {
+        assert!(WeatherType::Storm.demand_multiplier() > WeatherType::Sunny.demand_multiplier());
+        assert!(WeatherType::Storm.supply_multiplier() < WeatherType::Sunny.supply_multiplier());
+        assert!(
+            WeatherType::HeavyRain.demand_multiplier()
+                > WeatherType::LightRain.demand_multiplier()
+        );
+    }
+
+    #[test]
+    fn traffic_congestion_score_extremes() {
+        let all_jammed = TrafficObs { levels: [10, 0, 0, 0] };
+        let all_free = TrafficObs { levels: [0, 0, 0, 10] };
+        assert!((all_jammed.congestion_score() - 1.0).abs() < 1e-9);
+        assert!(all_free.congestion_score().abs() < 1e-9);
+        let empty = TrafficObs::default();
+        assert_eq!(empty.congestion_score(), 0.0);
+        assert_eq!(empty.total_segments(), 0);
+    }
+
+    #[test]
+    fn traffic_score_monotone_in_congestion() {
+        let lighter = TrafficObs { levels: [1, 2, 3, 4] };
+        let heavier = TrafficObs { levels: [4, 3, 2, 1] };
+        assert!(heavier.congestion_score() > lighter.congestion_score());
+    }
+
+    #[test]
+    fn slot_time_weekday_starts_monday() {
+        assert_eq!(SlotTime::new(0, 0).weekday(), 0); // Monday
+        assert_eq!(SlotTime::new(6, 0).weekday(), 6); // Sunday
+        assert_eq!(SlotTime::new(7, 0).weekday(), 0); // Monday again
+    }
+
+    #[test]
+    fn slot_time_offset_crosses_days() {
+        let t = SlotTime::new(1, 10);
+        assert_eq!(t.offset(-20), Some(SlotTime::new(0, 1430)));
+        assert_eq!(t.offset(1440), Some(SlotTime::new(2, 10)));
+        assert_eq!(t.offset(0), Some(t));
+        assert_eq!(SlotTime::new(0, 5).offset(-6), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slot_time_rejects_bad_ts() {
+        let _ = SlotTime::new(0, 1440);
+    }
+
+    #[test]
+    fn absolute_minute_is_consistent() {
+        let t = SlotTime::new(3, 100);
+        assert_eq!(t.absolute_minute(), 3 * 1440 + 100);
+    }
+}

@@ -1,0 +1,174 @@
+//! Weather process: a per-hour Markov chain over weather types plus
+//! AR(1) temperature (with a diurnal cycle) and PM2.5 series.
+//!
+//! All areas share one weather stream (Definition 3 of the paper:
+//! "All areas share the same weather condition at the same timeslot").
+
+use crate::types::{WeatherObs, WeatherType, MINUTES_PER_DAY};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Transition matrix of the hourly weather-type Markov chain. Row = from,
+/// column = to; rows sum to 1. States follow [`WeatherType::ALL`] order.
+const TRANSITIONS: [[f64; 10]; 10] = [
+    // Sunny
+    [0.70, 0.18, 0.04, 0.02, 0.00, 0.00, 0.01, 0.00, 0.03, 0.02],
+    // Cloudy
+    [0.20, 0.50, 0.15, 0.07, 0.01, 0.00, 0.02, 0.00, 0.03, 0.02],
+    // Overcast
+    [0.05, 0.20, 0.45, 0.18, 0.04, 0.01, 0.03, 0.01, 0.02, 0.01],
+    // LightRain
+    [0.02, 0.10, 0.20, 0.50, 0.12, 0.03, 0.02, 0.00, 0.00, 0.01],
+    // HeavyRain
+    [0.01, 0.04, 0.10, 0.30, 0.40, 0.12, 0.02, 0.00, 0.00, 0.01],
+    // Storm
+    [0.01, 0.04, 0.10, 0.25, 0.25, 0.30, 0.02, 0.00, 0.00, 0.03],
+    // Fog
+    [0.10, 0.20, 0.25, 0.08, 0.02, 0.00, 0.30, 0.01, 0.03, 0.01],
+    // Snow
+    [0.02, 0.08, 0.20, 0.05, 0.02, 0.00, 0.03, 0.55, 0.02, 0.03],
+    // Haze
+    [0.10, 0.15, 0.15, 0.05, 0.01, 0.00, 0.04, 0.00, 0.45, 0.05],
+    // Windy
+    [0.20, 0.20, 0.10, 0.05, 0.02, 0.01, 0.01, 0.01, 0.05, 0.35],
+];
+
+/// Configuration of the weather generator.
+#[derive(Debug, Clone)]
+pub struct WeatherConfig {
+    /// Mean daily temperature in °C (spring Hangzhou ≈ 15).
+    pub mean_temperature: f32,
+    /// Half-amplitude of the diurnal temperature cycle.
+    pub diurnal_amplitude: f32,
+    /// Mean PM2.5 level in µg/m³.
+    pub mean_pm25: f32,
+}
+
+impl Default for WeatherConfig {
+    fn default() -> Self {
+        WeatherConfig { mean_temperature: 15.0, diurnal_amplitude: 5.0, mean_pm25: 70.0 }
+    }
+}
+
+/// Generates a per-minute weather stream for `days` days.
+///
+/// Returns `days * 1440` observations in chronological order.
+pub fn generate_weather(days: u16, config: &WeatherConfig, rng: &mut StdRng) -> Vec<WeatherObs> {
+    let mut out = Vec::with_capacity(days as usize * MINUTES_PER_DAY as usize);
+    let mut kind = WeatherType::Sunny;
+    let mut temp_anomaly: f32 = 0.0;
+    let mut pm = config.mean_pm25;
+    for day in 0..days {
+        for minute in 0..MINUTES_PER_DAY {
+            if minute % 60 == 0 {
+                kind = step_markov(kind, rng);
+                // AR(1) anomalies evolve hourly.
+                temp_anomaly = 0.9 * temp_anomaly + rng.gen_range(-0.8..0.8);
+                let pm_kick: f32 = rng.gen_range(-6.0..6.0);
+                pm = (0.95 * pm + 0.05 * config.mean_pm25 + pm_kick).max(5.0);
+                if kind == WeatherType::Haze {
+                    pm += 8.0;
+                }
+                if matches!(kind, WeatherType::LightRain | WeatherType::HeavyRain) {
+                    pm = (pm - 5.0).max(5.0);
+                }
+            }
+            let diurnal = config.diurnal_amplitude
+                * (std::f32::consts::TAU * (minute as f32 / 1440.0 - 0.25)).sin();
+            // Mild seasonal drift across the simulation.
+            let seasonal = 0.05 * day as f32;
+            let temperature = config.mean_temperature + diurnal + temp_anomaly + seasonal;
+            out.push(WeatherObs { kind, temperature, pm25: pm });
+        }
+    }
+    out
+}
+
+fn step_markov(from: WeatherType, rng: &mut StdRng) -> WeatherType {
+    let row = &TRANSITIONS[from.id()];
+    let mut roll: f64 = rng.gen();
+    for (i, &p) in row.iter().enumerate() {
+        if roll < p {
+            return WeatherType::from_id(i);
+        }
+        roll -= p;
+    }
+    from
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transition_rows_sum_to_one() {
+        for (i, row) in TRANSITIONS.iter().enumerate() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn stream_length_matches_days() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = generate_weather(3, &WeatherConfig::default(), &mut rng);
+        assert_eq!(w.len(), 3 * 1440);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_weather(2, &WeatherConfig::default(), &mut StdRng::seed_from_u64(9));
+        let b = generate_weather(2, &WeatherConfig::default(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weather_type_constant_within_hour() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = generate_weather(1, &WeatherConfig::default(), &mut rng);
+        for hour in 0..24 {
+            let first = w[hour * 60].kind;
+            for minute in 0..60 {
+                assert_eq!(w[hour * 60 + minute].kind, first);
+            }
+        }
+    }
+
+    #[test]
+    fn sunny_dominates_long_run() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = generate_weather(60, &WeatherConfig::default(), &mut rng);
+        let sunny_ish = w
+            .iter()
+            .filter(|o| matches!(o.kind, WeatherType::Sunny | WeatherType::Cloudy))
+            .count() as f64
+            / w.len() as f64;
+        assert!(sunny_ish > 0.35, "sunny+cloudy fraction = {sunny_ish}");
+        let storm = w.iter().filter(|o| o.kind == WeatherType::Storm).count() as f64
+            / w.len() as f64;
+        assert!(storm < 0.1, "storm fraction = {storm}");
+    }
+
+    #[test]
+    fn temperature_has_diurnal_cycle() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = WeatherConfig::default();
+        let w = generate_weather(10, &cfg, &mut rng);
+        // Average 3 pm temperature must exceed average 3 am temperature.
+        let mut pm3 = 0.0f32;
+        let mut am3 = 0.0f32;
+        for day in 0..10usize {
+            pm3 += w[day * 1440 + 15 * 60].temperature;
+            am3 += w[day * 1440 + 3 * 60].temperature;
+        }
+        assert!(pm3 > am3 + 10.0, "pm3={pm3} am3={am3}");
+    }
+
+    #[test]
+    fn pm25_stays_positive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = generate_weather(30, &WeatherConfig::default(), &mut rng);
+        assert!(w.iter().all(|o| o.pm25 >= 5.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the simulator: determinism, schema validity
+//! and structural invariants over arbitrary configurations.
+
+use deepsd_simdata::sampling::{poisson, Categorical};
+use deepsd_simdata::{
+    CityConfig, OrderGenConfig, SimConfig, SimDataset, SlotTime, MINUTES_PER_DAY,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_sim(n_areas: u16, n_days: u16, seed: u64) -> SimConfig {
+    SimConfig {
+        city: CityConfig { n_areas, seed },
+        n_days,
+        orders: OrderGenConfig::default(),
+        ..SimConfig::smoke(seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn dataset_schema_is_valid(seed in 0u64..50, n_areas in 2u16..5) {
+        let ds = SimDataset::generate(&tiny_sim(n_areas, 8, seed));
+        for a in 0..n_areas {
+            let mut prev = 0u32;
+            for o in ds.orders(a) {
+                prop_assert_eq!(o.loc_start, a);
+                prop_assert!((o.loc_dest as usize) < ds.n_areas());
+                prop_assert!((o.ts as u32) < MINUTES_PER_DAY);
+                prop_assert!(o.day < 8);
+                let abs = o.day as u32 * MINUTES_PER_DAY + o.ts as u32;
+                prop_assert!(abs >= prev);
+                prev = abs;
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic(seed in 0u64..20) {
+        let a = SimDataset::generate(&tiny_sim(3, 7, seed));
+        let b = SimDataset::generate(&tiny_sim(3, 7, seed));
+        prop_assert_eq!(a.total_orders(), b.total_orders());
+        prop_assert_eq!(a.total_invalid(), b.total_invalid());
+        for area in 0..3u16 {
+            prop_assert_eq!(a.orders(area), b.orders(area));
+        }
+    }
+
+    #[test]
+    fn weather_and_traffic_are_total_functions(seed in 0u64..20) {
+        let ds = SimDataset::generate(&tiny_sim(3, 7, seed));
+        for day in 0..7u16 {
+            for ts in [0u16, 719, 1439] {
+                let slot = SlotTime::new(day, ts);
+                let w = ds.weather_at(slot);
+                prop_assert!(w.temperature.is_finite());
+                prop_assert!(w.pm25 >= 0.0);
+                for area in 0..3u16 {
+                    prop_assert!(ds.traffic_at(area, slot).total_segments() > 0);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn poisson_is_nonnegative_and_bounded_in_probability(lambda in 0.0f64..80.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = poisson(lambda, &mut rng);
+        // 20 sigma bound: astronomically unlikely to fail for a correct
+        // sampler.
+        prop_assert!((sample as f64) < lambda + 25.0 + 20.0 * lambda.sqrt());
+    }
+
+    #[test]
+    fn categorical_never_returns_zero_weight_category(
+        weights in proptest::collection::vec(0.0f64..5.0, 2..8),
+        seed in 0u64..500,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let cat = Categorical::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let i = cat.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight category {}", i);
+        }
+    }
+
+    #[test]
+    fn slot_time_offset_roundtrip(day in 0u16..30, ts in 0u16..1440, delta in -2000i32..2000) {
+        let t = SlotTime::new(day, ts);
+        if let Some(shifted) = t.offset(delta) {
+            prop_assert_eq!(shifted.offset(-delta), Some(t));
+            prop_assert_eq!(
+                shifted.absolute_minute() as i64,
+                t.absolute_minute() as i64 + delta as i64
+            );
+        } else {
+            prop_assert!(t.absolute_minute() as i64 + (delta as i64) < 0);
+        }
+    }
+}

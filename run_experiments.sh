@@ -1,0 +1,10 @@
+#!/bin/sh
+# Runs every experiment binary of the DeepSD reproduction at the given
+# scale (default: small) sequentially, logging to results/.
+set -u
+SCALE="${1:-small}"
+BINS="table2_comparison fig13_environment table5_residual table3_embedding fig16_finetune fig10_thresholds table4_area_embedding fig15_weekday_weights fig01_demand_curves fig11_curves ablation_design"
+for BIN in $BINS; do
+  echo "=== $BIN ($SCALE) ==="
+  cargo run --release -p deepsd-bench --bin "$BIN" "$SCALE" || echo "FAILED: $BIN"
+done

@@ -1,0 +1,8 @@
+#!/bin/sh
+set -u
+SCALE="${1:-small}"
+BINS="fig13_environment table5_residual table3_embedding fig16_finetune fig10_thresholds table4_area_embedding fig15_weekday_weights fig01_demand_curves fig11_curves ablation_design"
+for BIN in $BINS; do
+  echo "=== $BIN ($SCALE) ==="
+  cargo run --release -p deepsd-bench --bin "$BIN" "$SCALE" || echo "FAILED: $BIN"
+done

@@ -1,0 +1,21 @@
+//! # deepsd-repro — umbrella crate
+//!
+//! Re-exports the whole DeepSD (ICDE 2017) reproduction workspace for
+//! the repository-level examples and integration tests:
+//!
+//! * [`deepsd`] — the models, trainer, metrics and online serving;
+//! * [`deepsd_nn`] — the autodiff / layers substrate;
+//! * [`deepsd_simdata`] — the car-hailing city simulator;
+//! * [`deepsd_features`] — the feature pipeline;
+//! * [`deepsd_baselines`] — the comparison methods.
+//!
+//! See the repository README for the full tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+#![warn(missing_docs)]
+
+pub use deepsd;
+pub use deepsd_baselines;
+pub use deepsd_features;
+pub use deepsd_nn;
+pub use deepsd_simdata;
