@@ -1,12 +1,19 @@
 //! CLI subcommand implementations.
 
 use crate::args::{ArgError, Args};
-use deepsd::trainer::{evaluate_model, predict_items, train};
-use deepsd::{DeepSD, EnvBlocks, ModelConfig, TrainOptions, Variant};
+use deepsd::trainer::{evaluate_model, train};
+use deepsd::{
+    load_checkpoint, save_checkpoint, DeepSD, EnvBlocks, ModelConfig, OnlinePredictor,
+    TrainOptions, Variant,
+};
 use deepsd_baselines::EmpiricalAverage;
-use deepsd_features::{test_keys, train_keys, FeatureConfig, FeatureExtractor, ItemKey};
+use deepsd_features::{
+    test_keys, train_keys, FeatureConfig, FeatureExtractor, FeedHealth, FeedKind, IngestPolicy,
+    ItemKey,
+};
 use deepsd_simdata::{
-    decode_dataset, encode_dataset, CityConfig, OrderGenConfig, SimConfig, SimDataset,
+    decode_dataset, encode_dataset, CityConfig, FaultPlan, Order, OrderGenConfig, SimConfig,
+    SimDataset,
 };
 use std::fs;
 
@@ -29,6 +36,18 @@ USAGE:
   deepsd-cli evaluate --data data.dsd --model model.json [--test-days 24..38]
   deepsd-cli predict  --data data.dsd --model model.json --day 30 --t 480
                       [--area 3]
+                      [--ingest-policy reject|drop-late|reorder:<minutes>]
+                      [--fault-shuffle 5] [--fault-drop 0.1] [--fault-dup 0.1]
+                      [--fault-seed 7]
+                      [--blackout-weather 400..600] [--blackout-traffic 0..1439]
+
+`predict` streams the day's orders through the online serving path:
+`--ingest-policy` selects how late/duplicate/unknown-area orders are
+handled, the `--fault-*` flags inject seeded stream faults for drills,
+and `--blackout-*` declares environment-feed outages (minute ranges of
+the prediction day). Feed status and ingest counters are printed with
+the predictions. `train` writes checksummed checkpoints; `evaluate` and
+`predict` verify them on load (legacy bare-JSON models still load).
 ";
 
 /// `simulate`: generate a dataset and write it as a binary blob.
@@ -164,16 +183,21 @@ pub fn train_cmd(args: &Args) -> CmdResult {
             e.epoch, e.train_loss, e.eval_mae, e.eval_rmse, e.seconds
         );
     }
+    if report.divergence_recoveries > 0 {
+        eprintln!(
+            "warning: training diverged {} time(s); recovered by rollback + LR halving",
+            report.divergence_recoveries
+        );
+    }
     println!("final: MAE {:.3}, RMSE {:.3}", report.final_mae, report.final_rmse);
-    fs::write(out, model.to_json())?;
-    println!("wrote {out} ({} parameters)", model.num_parameters());
+    save_checkpoint(out, &model)?;
+    println!("wrote {out} ({} parameters, checksummed)", model.num_parameters());
     Ok(())
 }
 
 fn load_model(args: &Args) -> Result<DeepSD, Box<dyn std::error::Error>> {
     let path = args.require("model")?;
-    let json = fs::read_to_string(path)?;
-    Ok(DeepSD::from_json(&json)?)
+    Ok(load_checkpoint(path)?)
 }
 
 /// `evaluate`: metrics of a checkpoint on a dataset split, with the
@@ -205,9 +229,15 @@ pub fn evaluate(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `predict`: gap predictions for one timeslot (all areas, or one).
+/// `predict`: gap predictions for one timeslot (all areas, or one),
+/// served through the online streaming path with optional fault
+/// injection and feed blackouts.
 pub fn predict(args: &Args) -> CmdResult {
-    args.check_known(&["data", "model", "day", "t", "area", "window", "history-window", "stride"])?;
+    args.check_known(&[
+        "data", "model", "day", "t", "area", "window", "history-window", "stride",
+        "ingest-policy", "fault-shuffle", "fault-drop", "fault-dup", "fault-seed",
+        "blackout-weather", "blackout-traffic",
+    ])?;
     let ds = load_dataset(args)?;
     let model = load_model(args)?;
     let mut fcfg = feature_config(args)?;
@@ -224,14 +254,49 @@ pub fn predict(args: &Args) -> CmdResult {
         Some(_) => vec![args.require_parsed("area")?],
         None => (0..ds.n_areas() as u16).collect(),
     };
+
+    let policy = match args.get("ingest-policy") {
+        None => IngestPolicy::Reject,
+        Some(raw) => IngestPolicy::parse(raw).map_err(ArgError)?,
+    };
+    let plan = FaultPlan {
+        seed: args.get_or("fault-seed", 7u64)?,
+        shuffle_slack: args.get_or("fault-shuffle", 0u16)?,
+        drop_rate: args.get_or("fault-drop", 0.0f64)?,
+        duplicate_rate: args.get_or("fault-dup", 0.0f64)?,
+    };
+    let mut health = FeedHealth::default();
+    for (flag, kind) in
+        [("blackout-weather", FeedKind::Weather), ("blackout-traffic", FeedKind::Traffic)]
+    {
+        if args.get(flag).is_some() {
+            let r = args.get_range(flag, 0..1)?;
+            health.add_day_outage(kind, day, r.start, r.end);
+        }
+    }
+
     let mut fx = FeatureExtractor::new(&ds, fcfg);
-    let keys: Vec<ItemKey> = areas.iter().map(|&area| ItemKey { area, day, t }).collect();
-    let items = fx.extract_all(&keys);
-    let preds = predict_items(&model, &items, 256);
+    fx.set_feed_health(health);
+    let mut predictor = OnlinePredictor::with_policy(model, fx, policy);
+    for area in 0..ds.n_areas() as u16 {
+        let stream: Vec<Order> = ds
+            .orders(area)
+            .iter()
+            .filter(|o| o.day == day && o.ts < t)
+            .copied()
+            .collect();
+        predictor.observe_all(&plan.apply(&stream))?;
+    }
+
+    let report = predictor.predict_all_report(day, t);
     println!("day {day}, window [{t}, {}):", t + 10);
+    println!("policy: {policy}");
+    println!("feeds:  {}", report.feeds);
+    println!("ingest: {}", report.ingest);
     println!("area  predicted  actual");
-    for ((key, pred), item) in keys.iter().zip(preds.iter()).zip(items.iter()) {
-        println!("{:>4} {:>10.2} {:>7.0}", key.area, pred, item.gap);
+    for &area in &areas {
+        let actual = predictor.extractor().gap(ItemKey { area, day, t });
+        println!("{:>4} {:>10.2} {:>7}", area, report.predictions[area as usize], actual);
     }
     Ok(())
 }

@@ -139,3 +139,112 @@ fn predict_rejects_out_of_range_day() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn predict_survives_fault_injection_and_reports_counters() {
+    let dir = tmpdir("faults");
+    let data = dir.join("c.dsd");
+    let model = dir.join("m.ckpt");
+    assert!(bin()
+        .args(["simulate", "--out", data.to_str().unwrap(), "--areas", "4", "--days", "12"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args([
+            "train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap(),
+            "--variant", "basic", "--epochs", "1", "--window", "8", "--train-days", "7..9",
+            "--eval-days", "9..12", "--stride", "120",
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    // Shuffled + duplicated stream under the reorder policy, with a
+    // weather blackout over the prediction window.
+    let out = bin()
+        .args([
+            "predict", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "--day", "11", "--t", "600",
+            "--ingest-policy", "reorder:5", "--fault-shuffle", "5", "--fault-dup", "0.2",
+            "--blackout-weather", "550..700",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "faulty predict failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("policy: reorder:5"), "{text}");
+    assert!(text.contains("weather stale"), "{text}");
+    assert!(text.contains("ingest:"), "{text}");
+    assert!(text.lines().count() >= 8, "{text}");
+
+    // The same shuffled stream under the strict policy is a typed
+    // error, not a panic.
+    let out = bin()
+        .args([
+            "predict", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "--day", "11", "--t", "600", "--fault-shuffle", "5",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("behind cursor"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_with_typed_error() {
+    let dir = tmpdir("ckpt");
+    let data = dir.join("c.dsd");
+    let model = dir.join("m.ckpt");
+    assert!(bin()
+        .args(["simulate", "--out", data.to_str().unwrap(), "--areas", "3", "--days", "10"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args([
+            "train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap(),
+            "--epochs", "1", "--window", "8", "--train-days", "7..8", "--eval-days", "8..10",
+            "--stride", "120",
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    // Flip one byte in the checkpoint body.
+    let mut blob = std::fs::read(&model).unwrap();
+    let idx = blob.len() / 2;
+    blob[idx] ^= 0x40;
+    std::fs::write(&model, &blob).unwrap();
+
+    let out = bin()
+        .args([
+            "evaluate", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "--test-days", "8..10",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("checksum mismatch") || err.contains("malformed"),
+        "stderr: {err}"
+    );
+
+    // Truncation is also caught.
+    blob[idx] ^= 0x40;
+    std::fs::write(&model, &blob[..blob.len() - 20]).unwrap();
+    let out = bin()
+        .args([
+            "evaluate", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
+            "--test-days", "8..10",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("truncated"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

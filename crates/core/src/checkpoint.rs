@@ -1,0 +1,286 @@
+//! Checksummed model checkpoints.
+//!
+//! A serving fleet must never load garbage weights: a truncated upload,
+//! a corrupted disk block or a partially written file has to fail
+//! loudly with a typed error, not produce a model that silently emits
+//! nonsense. Checkpoints therefore wrap the model JSON in a small
+//! header carrying the body length and an FNV-1a digest, both verified
+//! on load.
+//!
+//! Layout (all ASCII header, binary-safe body):
+//! ```text
+//! DEEPSD-CKPT1 <body-len> <fnv1a64-hex>\n
+//! <model JSON bytes>
+//! ```
+//!
+//! [`load_checkpoint`] also accepts bare legacy JSON files (no header)
+//! so checkpoints written before this format still load — without
+//! integrity protection, which only the new format provides.
+
+use crate::model::DeepSD;
+
+/// Magic tag opening every checksummed checkpoint.
+pub const CHECKPOINT_MAGIC: &str = "DEEPSD-CKPT1";
+
+/// Why a checkpoint failed to load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file opens with neither the checkpoint magic nor JSON.
+    BadMagic,
+    /// The body is shorter than the header's declared length.
+    Truncated {
+        /// Bytes promised by the header.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The body's digest disagrees with the header: bit rot or tamper.
+    ChecksumMismatch {
+        /// Digest recorded in the header.
+        expected: u64,
+        /// Digest of the bytes on disk.
+        actual: u64,
+    },
+    /// The header or the model JSON failed to parse.
+    Malformed(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+            CheckpointError::BadMagic => {
+                write!(f, "not a {CHECKPOINT_MAGIC} checkpoint (or legacy model JSON)")
+            }
+            CheckpointError::Truncated { expected, actual } => {
+                write!(f, "checkpoint truncated: header promises {expected} bytes, found {actual}")
+            }
+            CheckpointError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint checksum mismatch: header {expected:016x}, body {actual:016x}"
+            ),
+            CheckpointError::Malformed(m) => write!(f, "checkpoint malformed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// 64-bit FNV-1a digest — no dependency, good bit-flip sensitivity for
+/// integrity (not security) checking.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serialises a model into the checksummed checkpoint format.
+pub fn encode_checkpoint(model: &DeepSD) -> Vec<u8> {
+    let body = model.to_json().into_bytes();
+    let mut out =
+        format!("{CHECKPOINT_MAGIC} {} {:016x}\n", body.len(), fnv1a64(&body)).into_bytes();
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Parses a checkpoint, verifying length and digest. Falls back to bare
+/// legacy JSON when the magic is absent and the payload starts with
+/// `{`.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<DeepSD, CheckpointError> {
+    let Some(rest) = strip_prefix_bytes(bytes, CHECKPOINT_MAGIC.as_bytes()) else {
+        // Legacy path: a bare JSON checkpoint from before this format.
+        if bytes.first() == Some(&b'{') {
+            let json = std::str::from_utf8(bytes)
+                .map_err(|e| CheckpointError::Malformed(format!("legacy json not utf-8: {e}")))?;
+            return DeepSD::from_json(json)
+                .map_err(|e| CheckpointError::Malformed(format!("legacy json: {e}")));
+        }
+        return Err(CheckpointError::BadMagic);
+    };
+    let newline = rest
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or(CheckpointError::Truncated { expected: 1, actual: 0 })?;
+    let header = std::str::from_utf8(&rest[..newline])
+        .map_err(|e| CheckpointError::Malformed(format!("header not utf-8: {e}")))?;
+    let mut fields = header.split_whitespace();
+    let len: usize = fields
+        .next()
+        .ok_or_else(|| CheckpointError::Malformed("header missing length".into()))?
+        .parse()
+        .map_err(|e| CheckpointError::Malformed(format!("bad length: {e}")))?;
+    let expected: u64 = fields
+        .next()
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| CheckpointError::Malformed("header missing/invalid digest".into()))?;
+    if fields.next().is_some() {
+        return Err(CheckpointError::Malformed("trailing header fields".into()));
+    }
+
+    let body = &rest[newline + 1..];
+    if body.len() < len {
+        return Err(CheckpointError::Truncated { expected: len, actual: body.len() });
+    }
+    if body.len() > len {
+        return Err(CheckpointError::Malformed(format!(
+            "{} trailing bytes after declared body",
+            body.len() - len
+        )));
+    }
+    let actual = fnv1a64(body);
+    if actual != expected {
+        return Err(CheckpointError::ChecksumMismatch { expected, actual });
+    }
+    let json = std::str::from_utf8(body)
+        .map_err(|e| CheckpointError::Malformed(format!("body not utf-8: {e}")))?;
+    DeepSD::from_json(json).map_err(|e| CheckpointError::Malformed(format!("model json: {e}")))
+}
+
+fn strip_prefix_bytes<'a>(bytes: &'a [u8], prefix: &[u8]) -> Option<&'a [u8]> {
+    if bytes.len() >= prefix.len() && &bytes[..prefix.len()] == prefix {
+        Some(&bytes[prefix.len()..])
+    } else {
+        None
+    }
+}
+
+/// Writes a checksummed checkpoint to disk.
+pub fn save_checkpoint(path: &str, model: &DeepSD) -> Result<(), CheckpointError> {
+    std::fs::write(path, encode_checkpoint(model))?;
+    Ok(())
+}
+
+/// Loads and verifies a checkpoint from disk (new format or legacy
+/// JSON).
+pub fn load_checkpoint(path: &str) -> Result<DeepSD, CheckpointError> {
+    decode_checkpoint(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    fn tiny_model() -> DeepSD {
+        let mut cfg = ModelConfig::basic(4);
+        cfg.window_l = 4;
+        DeepSD::new(cfg)
+    }
+
+    #[test]
+    fn roundtrip_preserves_model() {
+        let model = tiny_model();
+        let blob = encode_checkpoint(&model);
+        let loaded = decode_checkpoint(&blob).expect("clean checkpoint loads");
+        assert_eq!(loaded.num_parameters(), model.num_parameters());
+        assert_eq!(loaded.to_json(), model.to_json());
+    }
+
+    #[test]
+    fn every_body_bit_flip_is_detected() {
+        let model = tiny_model();
+        let blob = encode_checkpoint(&model);
+        let header_end = blob.iter().position(|&b| b == b'\n').unwrap() + 1;
+        // Flip a scattering of body bits; each must fail with a typed
+        // checksum (or, for JSON-structural bytes, malformed) error —
+        // never load as a model.
+        for offset in [0usize, 7, 101, 1009] {
+            let idx = header_end + offset % (blob.len() - header_end);
+            let mut bad = blob.clone();
+            bad[idx] ^= 0x10;
+            match decode_checkpoint(&bad) {
+                Err(CheckpointError::ChecksumMismatch { expected, actual }) => {
+                    assert_ne!(expected, actual)
+                }
+                Err(other) => panic!("bit flip at {idx} gave {other}"),
+                Ok(_) => panic!("bit flip at {idx} loaded a model"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let blob = encode_checkpoint(&tiny_model());
+        for keep in [blob.len() - 1, blob.len() / 2, blob.len() / 10] {
+            match decode_checkpoint(&blob[..keep]) {
+                Err(
+                    CheckpointError::Truncated { .. }
+                    | CheckpointError::Malformed(_)
+                    | CheckpointError::BadMagic,
+                ) => {}
+                Err(other) => panic!("truncation to {keep} gave {other}"),
+                Ok(_) => panic!("truncation to {keep} loaded a model"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut blob = encode_checkpoint(&tiny_model());
+        blob.extend_from_slice(b"extra");
+        assert!(matches!(decode_checkpoint(&blob), Err(CheckpointError::Malformed(_))));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        assert!(matches!(
+            decode_checkpoint(b"GARBAGE not a checkpoint"),
+            Err(CheckpointError::BadMagic)
+        ));
+        assert!(matches!(decode_checkpoint(b""), Err(CheckpointError::BadMagic)));
+    }
+
+    #[test]
+    fn legacy_bare_json_still_loads() {
+        let model = tiny_model();
+        let json = model.to_json();
+        let loaded = decode_checkpoint(json.as_bytes()).expect("legacy json loads");
+        assert_eq!(loaded.to_json(), json);
+        // But corrupt legacy JSON is still a typed error.
+        let mut corrupt = json.into_bytes();
+        let mid = corrupt.len() / 2;
+        corrupt.truncate(mid);
+        assert!(matches!(
+            decode_checkpoint(&corrupt),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_and_io_error() {
+        let model = tiny_model();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("deepsd-ckpt-test-{}.ckpt", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        save_checkpoint(&path, &model).expect("save");
+        let loaded = load_checkpoint(&path).expect("load");
+        assert_eq!(loaded.to_json(), model.to_json());
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(load_checkpoint(&path), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

@@ -45,14 +45,19 @@
 #![warn(missing_docs)]
 
 pub mod blocks;
+pub mod checkpoint;
 pub mod config;
 pub mod metrics;
 pub mod model;
 pub mod serving;
 pub mod trainer;
 
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, load_checkpoint, save_checkpoint, CheckpointError,
+    CHECKPOINT_MAGIC,
+};
 pub use config::{Encoding, EnvBlocks, ModelConfig, Variant};
 pub use metrics::{evaluate, mae, rmse, thresholded, Evaluation};
-pub use model::{DeepSD, Ensemble, Predictor};
-pub use serving::OnlinePredictor;
+pub use model::{BlockMask, DeepSD, Ensemble, Predictor};
+pub use serving::{OnlinePredictor, ServingReport};
 pub use trainer::{train, Loss, TrainOptions, TrainReport};

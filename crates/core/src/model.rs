@@ -23,6 +23,33 @@ enum OrderPart {
     },
 }
 
+/// Which environment blocks participate in a forward pass. Degraded
+/// serving (a weather or traffic feed that is fully down) zeroes the
+/// affected block's residual contribution by skipping it — exploiting
+/// the paper's block structure, where each residual block refines the
+/// previous representation and can be detached without invalidating the
+/// rest of the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMask {
+    /// Run the weather block (if the model has one).
+    pub weather: bool,
+    /// Run the traffic block (if the model has one).
+    pub traffic: bool,
+}
+
+impl Default for BlockMask {
+    fn default() -> Self {
+        BlockMask { weather: true, traffic: true }
+    }
+}
+
+impl BlockMask {
+    /// The mask that runs every block.
+    pub fn all() -> BlockMask {
+        BlockMask::default()
+    }
+}
+
 /// A complete DeepSD network. Owns its parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DeepSD {
@@ -158,7 +185,26 @@ impl DeepSD {
         &self,
         tape: &mut Tape,
         batch: &Batch,
+        dropout_rng: Option<&mut StdRng>,
+    ) -> NodeId {
+        self.forward_masked(tape, batch, dropout_rng, &BlockMask::all())
+    }
+
+    /// [`DeepSD::forward`] with selected environment blocks skipped.
+    ///
+    /// Under the residual wiring a skipped block contributes exactly
+    /// zero: the shortcut carries the previous block's output straight
+    /// through, so the rest of the network still sees a valid
+    /// representation. Under the concatenation wiring blocks cannot be
+    /// detached (the head's input width is fixed), so the mask is
+    /// ignored there and degraded feeds rely on neutralised inputs
+    /// instead.
+    pub fn forward_masked(
+        &self,
+        tape: &mut Tape,
+        batch: &Batch,
         mut dropout_rng: Option<&mut StdRng>,
+        mask: &BlockMask,
     ) -> NodeId {
         let cfg = &self.config;
         assert_eq!(batch.l, cfg.window_l, "batch window L mismatch");
@@ -222,8 +268,11 @@ impl DeepSD {
             }
         }
 
-        // Environment part.
-        if let Some(block) = &self.weather {
+        // Environment part. Under the concatenation wiring the mask is
+        // ignored: every block output feeds the head at a fixed width.
+        let run_weather = mask.weather || !cfg.residual;
+        let run_traffic = mask.traffic || !cfg.residual;
+        if let Some(block) = self.weather.as_ref().filter(|_| run_weather) {
             let wc = weather_input(
                 tape,
                 store,
@@ -238,7 +287,7 @@ impl DeepSD {
             x_prev = Some(x);
             concat_outputs.push(x);
         }
-        if let Some(block) = &self.traffic {
+        if let Some(block) = self.traffic.as_ref().filter(|_| run_traffic) {
             let tc = tape.input(Matrix::from_vec(n, 4 * cfg.window_l, batch.traffic.clone()));
             let prev = if cfg.residual { x_prev } else { None };
             let x = block.forward(tape, store, prev, tc);
@@ -262,8 +311,14 @@ impl DeepSD {
     /// Predicts gaps for a batch (no dropout). Outputs are clamped at
     /// zero since a gap is non-negative by definition.
     pub fn predict(&self, batch: &Batch) -> Vec<f32> {
+        self.predict_masked(batch, &BlockMask::all())
+    }
+
+    /// [`DeepSD::predict`] with selected environment blocks skipped
+    /// (degraded serving; see [`BlockMask`]).
+    pub fn predict_masked(&self, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
         let mut tape = Tape::new();
-        let y = self.forward(&mut tape, batch, None);
+        let y = self.forward_masked(&mut tape, batch, None, mask);
         tape.value(y).as_slice().iter().map(|&v| v.max(0.0)).collect()
     }
 
@@ -313,11 +368,22 @@ impl DeepSD {
 pub trait Predictor {
     /// Predicts gaps for one batch.
     fn predict(&self, batch: &Batch) -> Vec<f32>;
+
+    /// Predicts with selected environment blocks skipped (degraded
+    /// serving). Predictors without detachable blocks ignore the mask.
+    fn predict_masked(&self, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
+        let _ = mask;
+        self.predict(batch)
+    }
 }
 
 impl Predictor for DeepSD {
     fn predict(&self, batch: &Batch) -> Vec<f32> {
         DeepSD::predict(self, batch)
+    }
+
+    fn predict_masked(&self, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
+        DeepSD::predict_masked(self, batch, mask)
     }
 }
 
@@ -357,9 +423,13 @@ impl Ensemble {
 
 impl Predictor for Ensemble {
     fn predict(&self, batch: &Batch) -> Vec<f32> {
+        self.predict_masked(batch, &BlockMask::all())
+    }
+
+    fn predict_masked(&self, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
         let mut acc = vec![0.0f32; batch.n];
         for member in &self.members {
-            for (a, p) in acc.iter_mut().zip(member.predict(batch)) {
+            for (a, p) in acc.iter_mut().zip(member.predict_masked(batch, mask)) {
                 *a += p;
             }
         }
@@ -447,6 +517,51 @@ mod tests {
         let model = DeepSD::new(cfg);
         let preds = model.predict(&fake_batch(4));
         assert_eq!(preds.len(), 3);
+    }
+
+    #[test]
+    fn masked_predictions_skip_env_blocks() {
+        let model = DeepSD::new(tiny_cfg(Variant::Advanced, EnvBlocks::WeatherTraffic, true));
+        let batch = fake_batch(4);
+        let full = model.predict(&batch);
+        let no_weather = model.predict_masked(&batch, &BlockMask { weather: false, traffic: true });
+        let no_env = model.predict_masked(&batch, &BlockMask { weather: false, traffic: false });
+        assert_ne!(full, no_weather, "weather block must contribute");
+        assert_ne!(no_weather, no_env, "traffic block must contribute");
+        for p in no_weather.iter().chain(no_env.iter()) {
+            assert!(p.is_finite() && *p >= 0.0);
+        }
+        // The full mask is the identity.
+        assert_eq!(full, model.predict_masked(&batch, &BlockMask::all()));
+    }
+
+    #[test]
+    fn masking_no_env_model_is_identity() {
+        let model = DeepSD::new(tiny_cfg(Variant::Advanced, EnvBlocks::None, true));
+        let batch = fake_batch(4);
+        let mask = BlockMask { weather: false, traffic: false };
+        assert_eq!(model.predict(&batch), model.predict_masked(&batch, &mask));
+    }
+
+    #[test]
+    fn mask_is_ignored_under_concat_wiring() {
+        let model = DeepSD::new(tiny_cfg(Variant::Basic, EnvBlocks::WeatherTraffic, false));
+        let batch = fake_batch(4);
+        let mask = BlockMask { weather: false, traffic: false };
+        // Concatenation wiring cannot detach blocks; the mask must not
+        // change the head's input width (no panic) or the output.
+        assert_eq!(model.predict(&batch), model.predict_masked(&batch, &mask));
+    }
+
+    #[test]
+    fn ensemble_applies_mask_to_members() {
+        let cfg = tiny_cfg(Variant::Basic, EnvBlocks::WeatherTraffic, true);
+        let model = DeepSD::new(cfg);
+        let batch = fake_batch(4);
+        let mask = BlockMask { weather: false, traffic: false };
+        let solo = model.predict_masked(&batch, &mask);
+        let ens = Ensemble::new(vec![model]);
+        assert_eq!(Predictor::predict_masked(&ens, &batch, &mask), solo);
     }
 
     #[test]

@@ -8,42 +8,121 @@
 //! historical dataset used for the per-weekday history stacks and
 //! environment feeds.
 //!
+//! Real streams misbehave, so the serving layer is built to degrade
+//! rather than die:
+//!
+//! * malformed or out-of-order orders are handled per the configured
+//!   [`IngestPolicy`] — counted, dropped, reordered within a slack, or
+//!   surfaced as typed [`IngestError`]s, never a panic;
+//! * environment-feed outages route through the extractor's
+//!   [`FeedHealth`](deepsd_features::FeedHealth) schedule: stale feeds
+//!   serve the last known observation, and a feed that is fully
+//!   [`FeedState::Down`] has its model block skipped via [`BlockMask`];
+//! * [`OnlinePredictor::predict_all_report`] returns the predictions
+//!   together with the [`FeedStatus`] and cumulative [`IngestStats`] so
+//!   operators can see degraded serving instead of silently trusting it.
+//!
 //! Predictions from the online path are bit-identical to offline batch
 //! extraction when fed the same orders (see the tests).
 
-use crate::model::Predictor;
-use deepsd_features::{Batch, FeatureExtractor, Item, ItemKey, OnlineWindow};
+use crate::model::{BlockMask, Predictor};
+use deepsd_features::{
+    Batch, FeatureExtractor, FeedState, FeedStatus, IngestError, IngestPolicy, IngestStats, Item,
+    ItemKey, OnlineWindow,
+};
 use deepsd_simdata::Order;
+
+/// Predictions plus the serving-health context they were produced
+/// under.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Predicted gap per area.
+    pub predictions: Vec<f32>,
+    /// Environment feed health at the prediction time.
+    pub feeds: FeedStatus,
+    /// Cumulative ingest counters over the predictor's lifetime.
+    pub ingest: IngestStats,
+}
 
 /// Streaming gap predictor over all areas of a city.
 pub struct OnlinePredictor<'a, P: Predictor> {
     model: P,
     extractor: FeatureExtractor<'a>,
     windows: Vec<OnlineWindow>,
+    policy: IngestPolicy,
+    /// Counters for orders no window ever saw (unknown areas).
+    stray: IngestStats,
 }
 
 impl<'a, P: Predictor> OnlinePredictor<'a, P> {
-    /// Creates a predictor. `extractor` supplies weekday histories,
-    /// weather/traffic feeds and ground truth; the real-time order state
-    /// comes exclusively from [`OnlinePredictor::observe`].
+    /// Creates a predictor with the strict [`IngestPolicy::Reject`]
+    /// policy. `extractor` supplies weekday histories, weather/traffic
+    /// feeds and ground truth; the real-time order state comes
+    /// exclusively from [`OnlinePredictor::observe`].
     pub fn new(model: P, extractor: FeatureExtractor<'a>) -> Self {
+        OnlinePredictor::with_policy(model, extractor, IngestPolicy::Reject)
+    }
+
+    /// Creates a predictor with an explicit ingest policy governing how
+    /// late, duplicate and unknown-area orders are handled.
+    pub fn with_policy(model: P, extractor: FeatureExtractor<'a>, policy: IngestPolicy) -> Self {
         let cfg = extractor.config().clone();
         let windows = (0..extractor.n_areas() as u16)
-            .map(|area| OnlineWindow::new(area, &cfg))
+            .map(|area| OnlineWindow::with_policy(area, &cfg, policy))
             .collect();
-        OnlinePredictor { model, extractor, windows }
+        OnlinePredictor { model, extractor, windows, policy, stray: IngestStats::default() }
     }
 
-    /// Ingests one order from the live stream (any area; chronological).
-    pub fn observe(&mut self, order: Order) {
-        self.windows[order.loc_start as usize].observe(order);
-    }
-
-    /// Ingests a chronological slice of orders.
-    pub fn observe_all(&mut self, orders: &[Order]) {
-        for &o in orders {
-            self.observe(o);
+    /// Ingests one order from the live stream.
+    ///
+    /// An order for an area outside the deployment is never indexed
+    /// into a window: under [`IngestPolicy::Reject`] it returns
+    /// [`IngestError::UnknownArea`], under the tolerant policies it is
+    /// counted and dropped. Everything else is delegated to the area's
+    /// window, whose policy decides the fate of late or duplicate
+    /// orders.
+    pub fn observe(&mut self, order: Order) -> Result<(), IngestError> {
+        let area = order.loc_start as usize;
+        if area >= self.windows.len() {
+            self.stray.unknown_area += 1;
+            return match self.policy {
+                IngestPolicy::Reject => {
+                    Err(IngestError::UnknownArea { area: order.loc_start, n_areas: self.windows.len() })
+                }
+                _ => Ok(()),
+            };
         }
+        self.windows[area].observe(order)
+    }
+
+    /// Ingests a slice of orders, stopping at the first error (strict
+    /// policy only; tolerant policies never error).
+    pub fn observe_all(&mut self, orders: &[Order]) -> Result<(), IngestError> {
+        for &o in orders {
+            self.observe(o)?;
+        }
+        Ok(())
+    }
+
+    /// The ingest policy every window runs under.
+    pub fn policy(&self) -> IngestPolicy {
+        self.policy
+    }
+
+    /// Cumulative ingest counters: all per-area windows plus
+    /// unknown-area strays.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.windows.iter().fold(self.stray, |acc, w| acc.merge(&w.stats()))
+    }
+
+    /// The wrapped feature extractor (feed health, ground truth).
+    pub fn extractor(&self) -> &FeatureExtractor<'a> {
+        &self.extractor
+    }
+
+    /// Mutable access to the extractor, e.g. to declare feed outages.
+    pub fn extractor_mut(&mut self) -> &mut FeatureExtractor<'a> {
+        &mut self.extractor
     }
 
     /// Builds the feature item for one area at `(day, t)` from the
@@ -56,18 +135,39 @@ impl<'a, P: Predictor> OnlinePredictor<'a, P> {
             .extract_with_realtime(ItemKey { area, day, t }, &v_sd, &v_lc, &v_wt)
     }
 
+    /// The block mask for a feed status: a block is skipped only when
+    /// its feed is fully down (stale feeds still serve last-known
+    /// values through the features).
+    fn mask_for(status: &FeedStatus) -> BlockMask {
+        BlockMask {
+            weather: status.weather != FeedState::Down,
+            traffic: status.traffic != FeedState::Down,
+        }
+    }
+
+    /// Predicts the gap of every area for the window `[t, t + C)` of
+    /// `day` and reports the feed status and ingest counters the
+    /// predictions were made under.
+    pub fn predict_all_report(&mut self, day: u16, t: u16) -> ServingReport {
+        let n = self.windows.len() as u16;
+        let items: Vec<Item> = (0..n).map(|area| self.item(area, day, t)).collect();
+        let feeds = self.extractor.feed_status(day, t);
+        let mask = Self::mask_for(&feeds);
+        let predictions = self.model.predict_masked(&Batch::from_items(&items), &mask);
+        ServingReport { predictions, feeds, ingest: self.ingest_stats() }
+    }
+
     /// Predicts the gap of every area for the window `[t, t + C)` of
     /// `day`, using only orders observed so far.
     pub fn predict_all(&mut self, day: u16, t: u16) -> Vec<f32> {
-        let n = self.windows.len() as u16;
-        let items: Vec<Item> = (0..n).map(|area| self.item(area, day, t)).collect();
-        self.model.predict(&Batch::from_items(&items))
+        self.predict_all_report(day, t).predictions
     }
 
     /// Predicts the gap of one area.
     pub fn predict_area(&mut self, area: u16, day: u16, t: u16) -> f32 {
         let item = self.item(area, day, t);
-        self.model.predict(&Batch::from_items(&[item]))[0]
+        let mask = Self::mask_for(&self.extractor.feed_status(day, t));
+        self.model.predict_masked(&Batch::from_items(&[item]), &mask)[0]
     }
 
     /// The wrapped model.
@@ -82,7 +182,7 @@ mod tests {
     use crate::config::ModelConfig;
     use crate::model::DeepSD;
     use crate::trainer::predict_items;
-    use deepsd_features::FeatureConfig;
+    use deepsd_features::{FeatureConfig, FeedKind};
     use deepsd_simdata::{SimConfig, SimDataset};
 
     fn setup(seed: u64) -> (SimDataset, FeatureConfig, DeepSD) {
@@ -91,6 +191,14 @@ mod tests {
         let mut mcfg = ModelConfig::advanced(ds.n_areas());
         mcfg.window_l = fcfg.window_l;
         (ds, fcfg, DeepSD::new(mcfg))
+    }
+
+    fn day_stream(ds: &SimDataset, area: u16, day: u16, before: u16) -> Vec<Order> {
+        ds.orders(area)
+            .iter()
+            .filter(|o| o.day == day && o.ts < before)
+            .copied()
+            .collect()
     }
 
     #[test]
@@ -110,20 +218,17 @@ mod tests {
         let serving_fx = FeatureExtractor::new(&ds, fcfg);
         let mut predictor = OnlinePredictor::new(model, serving_fx);
         for area in 0..ds.n_areas() as u16 {
-            let stream: Vec<Order> = ds
-                .orders(area)
-                .iter()
-                .filter(|o| o.day == day && o.ts < 600)
-                .copied()
-                .collect();
-            predictor.observe_all(&stream);
+            predictor.observe_all(&day_stream(&ds, area, day, 600)).unwrap();
         }
-        let online = predictor.predict_all(day, 600);
+        let report = predictor.predict_all_report(day, 600);
 
-        assert_eq!(online.len(), offline.len());
-        for (a, b) in online.iter().zip(offline.iter()) {
+        assert_eq!(report.predictions.len(), offline.len());
+        for (a, b) in report.predictions.iter().zip(offline.iter()) {
             assert!((a - b).abs() < 1e-6, "online {a} vs offline {b}");
         }
+        assert!(!report.feeds.degraded());
+        assert_eq!(report.ingest.lost(), 0);
+        assert!(report.ingest.accepted > 0);
     }
 
     #[test]
@@ -140,14 +245,9 @@ mod tests {
 
         let fx2 = FeatureExtractor::new(&ds, fcfg);
         let mut fed = OnlinePredictor::new(model, fx2);
-        let stream: Vec<Order> = ds
-            .orders(area)
-            .iter()
-            .filter(|o| o.day == day && o.ts < 540)
-            .copied()
-            .collect();
+        let stream = day_stream(&ds, area, day, 540);
         assert!(!stream.is_empty());
-        fed.observe_all(&stream);
+        fed.observe_all(&stream).unwrap();
         let p_fed = fed.predict_area(area, day, 540);
         assert_ne!(p_empty, p_fed, "streamed orders must influence the prediction");
     }
@@ -162,5 +262,133 @@ mod tests {
             let one = predictor.predict_area(area, 8, 480);
             assert!((one - all[area as usize]).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn unknown_area_is_typed_error_under_reject() {
+        let (ds, fcfg, model) = setup(124);
+        let n_areas = ds.n_areas();
+        let fx = FeatureExtractor::new(&ds, fcfg);
+        let mut predictor = OnlinePredictor::new(model, fx);
+        let mut bad = ds.orders(0)[0];
+        bad.loc_start = n_areas as u16 + 5;
+        match predictor.observe(bad) {
+            Err(IngestError::UnknownArea { area, n_areas: n }) => {
+                assert_eq!(area, n_areas as u16 + 5);
+                assert_eq!(n, n_areas);
+            }
+            other => panic!("expected UnknownArea, got {other:?}"),
+        }
+        assert_eq!(predictor.ingest_stats().unknown_area, 1);
+    }
+
+    #[test]
+    fn unknown_area_is_counted_under_tolerant_policy() {
+        let (ds, fcfg, model) = setup(125);
+        let n_areas = ds.n_areas();
+        let fx = FeatureExtractor::new(&ds, fcfg);
+        let mut predictor =
+            OnlinePredictor::with_policy(model, fx, IngestPolicy::DropLate);
+        let mut bad = ds.orders(0)[0];
+        bad.loc_start = 999;
+        predictor.observe(bad).expect("tolerant policy swallows unknown areas");
+        let stats = predictor.ingest_stats();
+        assert_eq!(stats.unknown_area, 1);
+        assert_eq!(stats.accepted, 0);
+        // Serving still works.
+        let report = predictor.predict_all_report(8, 480);
+        assert_eq!(report.predictions.len(), n_areas);
+        assert!(report.predictions.iter().all(|p| p.is_finite()));
+        assert_eq!(report.ingest.unknown_area, 1);
+    }
+
+    #[test]
+    fn stale_feeds_match_offline_with_same_health() {
+        let (ds, fcfg, model) = setup(126);
+        let day = 10u16;
+        // Both feeds out for [550, 650) of the prediction day — within
+        // the default 120-minute staleness budget at t = 600.
+        let mut health = deepsd_features::FeedHealth::default();
+        health.add_day_outage(FeedKind::Weather, day, 550, 650);
+        health.add_day_outage(FeedKind::Traffic, day, 550, 650);
+
+        let mut offline_fx = FeatureExtractor::new(&ds, fcfg.clone());
+        offline_fx.set_feed_health(health.clone());
+        let keys: Vec<ItemKey> = (0..ds.n_areas() as u16)
+            .map(|area| ItemKey { area, day, t: 600 })
+            .collect();
+        let offline = predict_items(&model, &offline_fx.extract_all(&keys), 64);
+
+        let mut serving_fx = FeatureExtractor::new(&ds, fcfg);
+        serving_fx.set_feed_health(health);
+        let mut predictor = OnlinePredictor::new(model, serving_fx);
+        for area in 0..ds.n_areas() as u16 {
+            predictor.observe_all(&day_stream(&ds, area, day, 600)).unwrap();
+        }
+        let report = predictor.predict_all_report(day, 600);
+
+        assert_eq!(report.feeds.weather, FeedState::Stale { age_minutes: 50 });
+        assert_eq!(report.feeds.traffic, FeedState::Stale { age_minutes: 50 });
+        assert!(report.feeds.degraded());
+        // Stale feeds serve last-known values through the features; no
+        // block is masked, so online still matches offline exactly.
+        for (a, b) in report.predictions.iter().zip(offline.iter()) {
+            assert!(a.is_finite());
+            assert!((a - b).abs() < 1e-6, "online {a} vs offline {b}");
+        }
+    }
+
+    #[test]
+    fn down_feed_masks_its_block_and_stays_finite() {
+        let (ds, fcfg, model) = setup(127);
+        let day = 10u16;
+        // Weather has been out since the epoch: no last-known value
+        // exists, so the feed is fully down at any query time.
+        let mut health = deepsd_features::FeedHealth::default();
+        health.add_outage(
+            FeedKind::Weather,
+            deepsd_simdata::SlotTime::new(0, 0),
+            deepsd_simdata::SlotTime::new(day + 1, 0),
+        );
+
+        let mut offline_fx = FeatureExtractor::new(&ds, fcfg.clone());
+        offline_fx.set_feed_health(health.clone());
+        let keys: Vec<ItemKey> = (0..ds.n_areas() as u16)
+            .map(|area| ItemKey { area, day, t: 600 })
+            .collect();
+        let offline_items = offline_fx.extract_all(&keys);
+        let mask = BlockMask { weather: false, traffic: true };
+        let offline = model.predict_masked(&Batch::from_items(&offline_items), &mask);
+
+        let mut serving_fx = FeatureExtractor::new(&ds, fcfg.clone());
+        serving_fx.set_feed_health(health);
+        let mut predictor = OnlinePredictor::new(model.clone(), serving_fx);
+        for area in 0..ds.n_areas() as u16 {
+            predictor.observe_all(&day_stream(&ds, area, day, 600)).unwrap();
+        }
+        let report = predictor.predict_all_report(day, 600);
+
+        assert_eq!(report.feeds.weather, FeedState::Down);
+        assert_eq!(report.feeds.traffic, FeedState::Live);
+        for (a, b) in report.predictions.iter().zip(offline.iter()) {
+            assert!(a.is_finite());
+            assert!((a - b).abs() < 1e-6, "online {a} vs masked offline {b}");
+        }
+        // And the degraded predictions differ from fully-live serving
+        // (the weather block's residual contribution is gone).
+        let live_fx = FeatureExtractor::new(&ds, fcfg);
+        let mut live = OnlinePredictor::new(model, live_fx);
+        for area in 0..ds.n_areas() as u16 {
+            live.observe_all(&day_stream(&ds, area, day, 600)).unwrap();
+        }
+        let live_preds = live.predict_all(day, 600);
+        assert!(
+            report
+                .predictions
+                .iter()
+                .zip(live_preds.iter())
+                .any(|(a, b)| (a - b).abs() > 1e-9),
+            "masking the weather block must change some prediction"
+        );
     }
 }

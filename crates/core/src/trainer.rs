@@ -41,6 +41,15 @@ pub struct TrainOptions {
     pub loss: Loss,
     /// Shuffling / dropout seed.
     pub seed: u64,
+    /// How many times a diverged run (non-finite batch loss or
+    /// evaluation) may roll back to the last good snapshot with a
+    /// halved learning rate before training stops early.
+    #[serde(default = "default_max_divergence_recoveries")]
+    pub max_divergence_recoveries: usize,
+}
+
+fn default_max_divergence_recoveries() -> usize {
+    4
 }
 
 impl Default for TrainOptions {
@@ -54,6 +63,7 @@ impl Default for TrainOptions {
             lr_decay: 0.92,
             loss: Loss::Mse,
             seed: 99,
+            max_divergence_recoveries: default_max_divergence_recoveries(),
         }
     }
 }
@@ -82,6 +92,10 @@ pub struct TrainReport {
     pub final_mae: f64,
     /// Final RMSE of the averaged model.
     pub final_rmse: f64,
+    /// How many times training diverged and was rolled back to the last
+    /// good snapshot (0 for a healthy run).
+    #[serde(default)]
+    pub divergence_recoveries: usize,
 }
 
 impl TrainReport {
@@ -121,6 +135,13 @@ pub fn train(
 /// model is the average of the models in the best 10 epochs" (§VI-C).
 /// The returned report's final metrics are the ensemble's; `model` is
 /// left restored to the single best epoch.
+///
+/// Training is guarded against divergence: a non-finite batch loss or
+/// evaluation rolls the model back to the last good snapshot and
+/// restarts the optimiser at half the learning rate, up to
+/// [`TrainOptions::max_divergence_recoveries`] times. If every epoch
+/// diverges the last good parameters are returned instead of NaN
+/// weights.
 pub fn train_ensemble(
     model: &mut DeepSD,
     extractor: &mut FeatureExtractor<'_>,
@@ -138,11 +159,17 @@ pub fn train_ensemble(
     let mut epochs = Vec::with_capacity(options.epochs);
     let mut snapshots: Vec<(f64, Snapshot)> = Vec::new();
 
+    // Divergence guard: the parameters we can safely fall back to when a
+    // batch loss or evaluation turns non-finite.
+    let mut last_good = model.snapshot();
+    let mut recoveries = 0usize;
+
     for epoch in 0..options.epochs {
         let started = std::time::Instant::now();
         keys.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
+        let mut diverged = false;
         for chunk in keys.chunks(options.batch_size) {
             let items = extractor.extract_all(chunk);
             let batch = Batch::from_items(&items);
@@ -153,7 +180,12 @@ pub fn train_ensemble(
                 Loss::Mse => tape.mse_loss(pred, &targets),
                 Loss::Huber => tape.huber_loss(pred, &targets, 5.0),
             };
-            loss_sum += tape.value(loss).get(0, 0) as f64;
+            let loss_value = tape.value(loss).get(0, 0) as f64;
+            if !loss_value.is_finite() {
+                diverged = true;
+                break;
+            }
+            loss_sum += loss_value;
             batches += 1;
             let mut grads = tape.backward(loss);
             if let Some(clip) = options.grad_clip {
@@ -163,21 +195,59 @@ pub fn train_ensemble(
         }
         let seconds = started.elapsed().as_secs_f64();
 
-        adam.lr *= options.lr_decay;
-        let eval = evaluate_model(model, eval_items, options.batch_size);
-        // Rank snapshots by RMSE: it matches the MSE training objective
-        // and is the metric where tail behaviour shows.
-        snapshots.push((eval.rmse, model.snapshot()));
-        epochs.push(EpochStats {
-            epoch,
-            train_loss: loss_sum / batches.max(1) as f64,
-            eval_mae: eval.mae,
-            eval_rmse: eval.rmse,
-            seconds,
-        });
+        if !diverged {
+            adam.lr *= options.lr_decay;
+            let eval = evaluate_model(model, eval_items, options.batch_size);
+            if eval.rmse.is_finite() && eval.mae.is_finite() {
+                // Rank snapshots by RMSE: it matches the MSE training
+                // objective and is the metric where tail behaviour shows.
+                snapshots.push((eval.rmse, model.snapshot()));
+                epochs.push(EpochStats {
+                    epoch,
+                    train_loss: loss_sum / batches.max(1) as f64,
+                    eval_mae: eval.mae,
+                    eval_rmse: eval.rmse,
+                    seconds,
+                });
+                last_good = model.snapshot();
+                continue;
+            }
+            // Finite batch losses but non-finite evaluation: the final
+            // steps of the epoch still blew the parameters up.
+            diverged = true;
+        }
+        debug_assert!(diverged);
+
+        // Roll back to the last good snapshot and retry at half the
+        // learning rate with fresh optimiser moments (the old moments
+        // were computed from the diverging trajectory).
+        model.restore(&last_good);
+        recoveries += 1;
+        if recoveries > options.max_divergence_recoveries {
+            break;
+        }
+        adam = Adam::new(adam.lr * 0.5, 0.9, 0.999, 1e-8);
+    }
+
+    if snapshots.is_empty() {
+        // Every epoch diverged: serve the last good parameters rather
+        // than panicking or returning NaN weights.
+        model.restore(&last_good);
+        let ensemble = Ensemble::new(vec![model.clone()]);
+        let final_eval = evaluate_model(&ensemble, eval_items, options.batch_size);
+        return (
+            ensemble,
+            TrainReport {
+                epochs,
+                final_mae: final_eval.mae,
+                final_rmse: final_eval.rmse,
+                divergence_recoveries: recoveries,
+            },
+        );
     }
 
     // Best-K model averaging: ensemble over the best epochs' snapshots.
+    // Only finite-RMSE epochs were recorded, so the ordering is total.
     snapshots.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite RMSE"));
     let k = options.best_k.max(1).min(snapshots.len());
     let members: Vec<DeepSD> = snapshots
@@ -193,7 +263,15 @@ pub fn train_ensemble(
     let ensemble = Ensemble::new(members);
 
     let final_eval = evaluate_model(&ensemble, eval_items, options.batch_size);
-    (ensemble, TrainReport { epochs, final_mae: final_eval.mae, final_rmse: final_eval.rmse })
+    (
+        ensemble,
+        TrainReport {
+            epochs,
+            final_mae: final_eval.mae,
+            final_rmse: final_eval.rmse,
+            divergence_recoveries: recoveries,
+        },
+    )
 }
 
 /// Evaluates a predictor on pre-extracted items, batching for
@@ -260,12 +338,57 @@ mod tests {
             &TrainOptions { epochs: 3, best_k: 2, ..TrainOptions::default() },
         );
         assert_eq!(report.epochs.len(), 3);
+        assert_eq!(report.divergence_recoveries, 0, "healthy run must not roll back");
         assert!(
             report.final_mae < before.mae,
             "training must beat init: {} vs {}",
             report.final_mae,
             before.mae
         );
+    }
+
+    #[test]
+    fn diverged_training_rolls_back_and_stays_finite() {
+        let (ds, fcfg) = tiny_setup();
+        let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
+        let tr_keys = train_keys(ds.n_areas() as u16, 7..12, &fcfg);
+        let te_keys = test_keys(ds.n_areas() as u16, 12..14, &fcfg);
+        let eval_items = fx.extract_all(&te_keys);
+
+        let mut mcfg = ModelConfig::basic(ds.n_areas());
+        mcfg.window_l = fcfg.window_l;
+        mcfg.env = EnvBlocks::None;
+        let mut model = DeepSD::new(mcfg);
+        let init_snapshot = model.snapshot();
+
+        // An absurd learning rate with clipping disabled blows the
+        // parameters up immediately; the guard must roll back instead
+        // of emitting NaN weights or panicking in the snapshot sort.
+        let report = train(
+            &mut model,
+            &mut fx,
+            &tr_keys,
+            &eval_items,
+            &TrainOptions {
+                epochs: 4,
+                learning_rate: 1e12,
+                grad_clip: None,
+                max_divergence_recoveries: 2,
+                ..TrainOptions::default()
+            },
+        );
+        assert!(report.divergence_recoveries >= 1, "run at lr=1e12 must diverge");
+        assert!(report.final_mae.is_finite() && report.final_rmse.is_finite());
+        let preds = predict_items(&model, &eval_items, 64);
+        assert!(preds.iter().all(|p| p.is_finite()), "returned model must be usable");
+        // If every epoch diverged, the model is exactly the last good
+        // (here: initial) parameters.
+        if report.epochs.is_empty() {
+            let mut reference = model.clone();
+            reference.restore(&init_snapshot);
+            let a = predict_items(&reference, &eval_items, 64);
+            assert_eq!(a, preds, "all-diverged run must fall back to last good snapshot");
+        }
     }
 
     #[test]
@@ -308,6 +431,7 @@ mod tests {
             ],
             final_mae: 1.4,
             final_rmse: 2.9,
+            divergence_recoveries: 0,
         };
         assert!((report.best_epoch_mae() - 1.5).abs() < 1e-12);
         assert!((report.mean_epoch_seconds() - 2.0).abs() < 1e-12);

@@ -2,6 +2,7 @@
 //! populated [`Item`]s against a simulated dataset.
 
 use crate::config::FeatureConfig;
+use crate::feeds::{FeedHealth, FeedKind, FeedStatus};
 use crate::history::{AreaHistory, VectorKind};
 use crate::index::AreaIndex;
 use crate::items::{Item, ItemKey};
@@ -10,12 +11,15 @@ use deepsd_simdata::{SimDataset, SlotTime};
 
 /// Stateful extractor over one dataset. Holds per-area order indexes and
 /// history caches; extraction of an item is O(window) plus cached
-/// history lookups.
+/// history lookups. Environment lookups route through a [`FeedHealth`]
+/// schedule (default: always live) so feed outages degrade to
+/// last-known values instead of reading data that would not exist.
 pub struct FeatureExtractor<'a> {
     dataset: &'a SimDataset,
     config: FeatureConfig,
     indexes: Vec<AreaIndex>,
     histories: Vec<AreaHistory>,
+    feed_health: FeedHealth,
 }
 
 impl<'a> FeatureExtractor<'a> {
@@ -26,12 +30,41 @@ impl<'a> FeatureExtractor<'a> {
             .map(|a| AreaIndex::build(dataset.orders(a), n_days))
             .collect();
         let histories = (0..dataset.n_areas()).map(|_| AreaHistory::new()).collect();
-        FeatureExtractor { dataset, config, indexes, histories }
+        FeatureExtractor {
+            dataset,
+            config,
+            indexes,
+            histories,
+            feed_health: FeedHealth::default(),
+        }
     }
 
     /// The feature configuration in use.
     pub fn config(&self) -> &FeatureConfig {
         &self.config
+    }
+
+    /// The environment feed health schedule.
+    pub fn feed_health(&self) -> &FeedHealth {
+        &self.feed_health
+    }
+
+    /// Mutable access to the feed health schedule (for declaring
+    /// outages).
+    pub fn feed_health_mut(&mut self) -> &mut FeedHealth {
+        &mut self.feed_health
+    }
+
+    /// Replaces the feed health schedule.
+    pub fn set_feed_health(&mut self, health: FeedHealth) {
+        self.feed_health = health;
+    }
+
+    /// Status of both environment feeds as seen by an extraction at
+    /// `(day, t)` — evaluated at the most recent environment input
+    /// minute, `t - 1`.
+    pub fn feed_status(&self, day: u16, t: u16) -> FeedStatus {
+        self.feed_health.status_at(SlotTime::new(day, t.saturating_sub(1)))
     }
 
     /// The underlying dataset.
@@ -78,21 +111,39 @@ impl<'a> FeatureExtractor<'a> {
         }
 
         // Environment features over the look-back window, most recent
-        // minute first (lag ℓ = 1..=L).
+        // minute first (lag ℓ = 1..=L). Each lookup routes through the
+        // feed health schedule: live minutes read directly, stale
+        // minutes read the last known observation, down minutes yield
+        // neutral zeros (the serving layer additionally skips the
+        // affected residual block).
         let mut weather_types = Vec::with_capacity(l);
         let mut weather_scalars = Vec::with_capacity(2 * l);
         let mut traffic = Vec::with_capacity(4 * l);
         for ell in 1..=l {
             let minute = key.t - ell as u16;
-            let slot = SlotTime::new(key.day, minute);
-            let w = self.dataset.weather_at(slot);
-            weather_types.push(w.kind.id());
-            weather_scalars.push(scale_temperature(w.temperature));
-            weather_scalars.push(scale_pm25(w.pm25));
-            let tr = self.dataset.traffic_at(key.area, slot);
-            let total = tr.total_segments().max(1) as f32;
-            for lev in tr.levels {
-                traffic.push(lev as f32 / total);
+            let abs = SlotTime::new(key.day, minute).absolute_minute();
+            match self.feed_health.read_slot(FeedKind::Weather, abs) {
+                Some(read) => {
+                    let w = self.dataset.weather_at(read);
+                    weather_types.push(w.kind.id());
+                    weather_scalars.push(scale_temperature(w.temperature));
+                    weather_scalars.push(scale_pm25(w.pm25));
+                }
+                None => {
+                    weather_types.push(0);
+                    weather_scalars.push(0.0);
+                    weather_scalars.push(0.0);
+                }
+            }
+            match self.feed_health.read_slot(FeedKind::Traffic, abs) {
+                Some(read) => {
+                    let tr = self.dataset.traffic_at(key.area, read);
+                    let total = tr.total_segments().max(1) as f32;
+                    for lev in tr.levels {
+                        traffic.push(lev as f32 / total);
+                    }
+                }
+                None => traffic.extend_from_slice(&[0.0; 4]),
             }
         }
 
@@ -243,6 +294,50 @@ mod tests {
         assert_eq!(a.v_lc, b.v_lc);
         assert_eq!(a.h_lc, b.h_lc);
         assert_eq!(a.gap, b.gap);
+    }
+
+    #[test]
+    fn stale_feed_serves_last_known_value() {
+        let ds = SimDataset::generate(&SimConfig::smoke(38));
+        let cfg = small_config();
+        let key = ItemKey { area: 1, day: 6, t: 600 };
+        let mut live_fx = FeatureExtractor::new(&ds, cfg.clone());
+        let live = live_fx.extract(key);
+
+        let mut stale_fx = FeatureExtractor::new(&ds, cfg.clone());
+        // Outage covering the whole look-back window; last good minute
+        // is 500, well within the default staleness budget.
+        stale_fx.feed_health_mut().add_day_outage(FeedKind::Weather, 6, 501, 700);
+        let stale = stale_fx.extract(key);
+        assert_eq!(stale_fx.feed_status(6, 600).weather, crate::FeedState::Stale {
+            age_minutes: 99
+        });
+        // Every lag minute now reads the minute-500 observation.
+        let w500 = ds.weather_at(SlotTime::new(6, 500));
+        assert!(stale.weather_types.iter().all(|&id| id == w500.kind.id()));
+        assert!(stale
+            .weather_scalars
+            .chunks(2)
+            .all(|c| (c[0] - scale_temperature(w500.temperature)).abs() < 1e-6));
+        // Order features are untouched by an env outage.
+        assert_eq!(stale.v_sd, live.v_sd);
+        assert_eq!(stale.h_sd, live.h_sd);
+        assert_eq!(stale.traffic, live.traffic);
+        assert!(stale.weather_scalars.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn down_feed_yields_neutral_features() {
+        let ds = SimDataset::generate(&SimConfig::smoke(39));
+        let cfg = small_config();
+        let mut fx = FeatureExtractor::new(&ds, cfg);
+        // Traffic out since the start of the day, far beyond the budget.
+        fx.feed_health_mut().set_max_staleness(30);
+        fx.feed_health_mut().add_day_outage(FeedKind::Traffic, 6, 0, 1439);
+        let item = fx.extract(ItemKey { area: 0, day: 6, t: 600 });
+        assert_eq!(fx.feed_status(6, 600).traffic, crate::FeedState::Down);
+        assert!(item.traffic.iter().all(|&v| v == 0.0));
+        assert!(item.weather_scalars.iter().all(|v| v.is_finite()));
     }
 
     #[test]

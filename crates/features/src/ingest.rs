@@ -1,0 +1,201 @@
+//! Ingest policies, errors and counters for the streaming order path.
+//!
+//! A production order stream is never clean: messages arrive late
+//! (bounded broker skew), twice (at-least-once delivery) or malformed
+//! (unknown area ids). This module is the typed vocabulary the online
+//! pipeline uses instead of `panic!`: every anomaly either becomes an
+//! [`IngestError`] (strict policy) or a counter bump in [`IngestStats`]
+//! (tolerant policies), and operators can read the counters to see
+//! silent-failure rates.
+
+use deepsd_simdata::SlotTime;
+use serde::{Deserialize, Serialize};
+
+/// How the streaming ingest path treats anomalous orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestPolicy {
+    /// Strict: any non-chronological or unknown-area order is an error.
+    /// This is the historical behaviour, minus the panic.
+    Reject,
+    /// Tolerant: late and unknown-area orders are silently dropped and
+    /// counted.
+    DropLate,
+    /// Tolerant and lossless under bounded skew: orders arriving at most
+    /// `slack_minutes` behind the stream's high-water mark are re-sorted
+    /// into place (reproducing the clean-stream features exactly);
+    /// later ones are dropped and counted. Exact duplicates of buffered
+    /// orders are deduplicated.
+    ReorderWithinSlack {
+        /// Maximum tolerated lateness in minutes.
+        slack_minutes: u16,
+    },
+}
+
+impl Default for IngestPolicy {
+    fn default() -> Self {
+        IngestPolicy::Reject
+    }
+}
+
+impl IngestPolicy {
+    /// Parses the CLI spelling: `reject`, `drop-late`, `reorder:<slack>`.
+    pub fn parse(s: &str) -> Result<IngestPolicy, String> {
+        match s {
+            "reject" => Ok(IngestPolicy::Reject),
+            "drop-late" => Ok(IngestPolicy::DropLate),
+            other => match other.strip_prefix("reorder:") {
+                Some(n) => n
+                    .parse::<u16>()
+                    .map(|slack_minutes| IngestPolicy::ReorderWithinSlack { slack_minutes })
+                    .map_err(|_| format!("bad reorder slack '{n}'")),
+                None => Err(format!(
+                    "unknown ingest policy '{other}' (expected reject, drop-late or reorder:<minutes>)"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for IngestPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestPolicy::Reject => write!(f, "reject"),
+            IngestPolicy::DropLate => write!(f, "drop-late"),
+            IngestPolicy::ReorderWithinSlack { slack_minutes } => {
+                write!(f, "reorder:{slack_minutes}")
+            }
+        }
+    }
+}
+
+/// A rejected order, with enough context to log usefully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError {
+    /// The order is behind the stream's high-water mark and the policy
+    /// does not tolerate (this much) lateness.
+    NonChronological {
+        /// Area whose window rejected the order.
+        area: u16,
+        /// When the rejected order claims to have happened.
+        arrived: SlotTime,
+        /// The window's current high-water mark.
+        cursor: SlotTime,
+    },
+    /// `loc_start` addresses an area outside the deployment.
+    UnknownArea {
+        /// The out-of-range area id.
+        area: u16,
+        /// Number of areas actually served.
+        n_areas: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::NonChronological { area, arrived, cursor } => write!(
+                f,
+                "area {area}: order at day {} t {} behind cursor day {} t {}",
+                arrived.day, arrived.ts, cursor.day, cursor.ts
+            ),
+            IngestError::UnknownArea { area, n_areas } => {
+                write!(f, "order for unknown area {area} (deployment has {n_areas})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Monotone counters describing everything the ingest path did with the
+/// stream so far. Summed across per-area windows by the serving layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Orders accepted in arrival position.
+    pub accepted: u64,
+    /// Late orders re-sorted into place (`ReorderWithinSlack`).
+    pub reordered: u64,
+    /// Late orders dropped by a tolerant policy.
+    pub dropped_late: u64,
+    /// Exact duplicates of buffered orders discarded.
+    pub duplicates_dropped: u64,
+    /// Orders for areas outside the deployment.
+    pub unknown_area: u64,
+    /// Orders refused with an error (`Reject` policy).
+    pub rejected: u64,
+}
+
+impl IngestStats {
+    /// Element-wise sum (for aggregating per-window counters).
+    pub fn merge(&self, other: &IngestStats) -> IngestStats {
+        IngestStats {
+            accepted: self.accepted + other.accepted,
+            reordered: self.reordered + other.reordered,
+            dropped_late: self.dropped_late + other.dropped_late,
+            duplicates_dropped: self.duplicates_dropped + other.duplicates_dropped,
+            unknown_area: self.unknown_area + other.unknown_area,
+            rejected: self.rejected + other.rejected,
+        }
+    }
+
+    /// Orders that did not make it into the feature windows.
+    pub fn lost(&self) -> u64 {
+        self.dropped_late + self.duplicates_dropped + self.unknown_area + self.rejected
+    }
+}
+
+impl std::fmt::Display for IngestStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accepted {}, reordered {}, dropped-late {}, duplicates {}, unknown-area {}, rejected {}",
+            self.accepted,
+            self.reordered,
+            self.dropped_late,
+            self.duplicates_dropped,
+            self.unknown_area,
+            self.rejected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parse_roundtrip() {
+        for p in [
+            IngestPolicy::Reject,
+            IngestPolicy::DropLate,
+            IngestPolicy::ReorderWithinSlack { slack_minutes: 15 },
+        ] {
+            assert_eq!(IngestPolicy::parse(&p.to_string()).unwrap(), p);
+        }
+        assert!(IngestPolicy::parse("reorder:x").is_err());
+        assert!(IngestPolicy::parse("never-heard-of-it").is_err());
+    }
+
+    #[test]
+    fn stats_merge_and_lost() {
+        let a = IngestStats { accepted: 10, reordered: 2, dropped_late: 1, ..Default::default() };
+        let b = IngestStats { accepted: 5, unknown_area: 3, rejected: 1, ..Default::default() };
+        let m = a.merge(&b);
+        assert_eq!(m.accepted, 15);
+        assert_eq!(m.reordered, 2);
+        assert_eq!(m.lost(), 5);
+    }
+
+    #[test]
+    fn errors_render_context() {
+        let e = IngestError::NonChronological {
+            area: 3,
+            arrived: SlotTime::new(2, 100),
+            cursor: SlotTime::new(2, 200),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("area 3") && msg.contains("200"));
+        let u = IngestError::UnknownArea { area: 99, n_areas: 6 }.to_string();
+        assert!(u.contains("99") && u.contains('6'));
+    }
+}

@@ -32,8 +32,10 @@
 pub mod batch;
 pub mod config;
 pub mod extract;
+pub mod feeds;
 pub mod history;
 pub mod index;
+pub mod ingest;
 pub mod items;
 pub mod online;
 pub mod scaling;
@@ -42,7 +44,9 @@ pub mod vectors;
 pub use batch::Batch;
 pub use config::FeatureConfig;
 pub use extract::FeatureExtractor;
+pub use feeds::{FeedHealth, FeedKind, FeedState, FeedStatus, DEFAULT_MAX_STALENESS};
 pub use history::{AreaHistory, VectorKind};
 pub use index::AreaIndex;
+pub use ingest::{IngestError, IngestPolicy, IngestStats};
 pub use items::{test_keys, train_keys, Item, ItemKey};
 pub use online::OnlineWindow;

@@ -6,9 +6,17 @@
 //! area's orders and produces vectors identical to the offline
 //! [`crate::vectors`] functions (verified by tests and by the serving
 //! integration tests in the core crate).
+//!
+//! Real streams are not clean: the window accepts an
+//! [`IngestPolicy`](crate::IngestPolicy) deciding what happens to late,
+//! duplicate or otherwise anomalous orders — strict rejection with a
+//! typed [`IngestError`](crate::IngestError), counted dropping, or
+//! re-sorting within a bounded slack (which reproduces clean-stream
+//! features exactly; see the fault-tolerance tests in the core crate).
 
 use crate::config::FeatureConfig;
-use deepsd_simdata::{Order, MINUTES_PER_DAY};
+use crate::ingest::{IngestError, IngestPolicy, IngestStats};
+use deepsd_simdata::{Order, SlotTime, MINUTES_PER_DAY};
 use std::collections::VecDeque;
 
 /// Rolling per-area order window for streaming feature extraction.
@@ -17,15 +25,31 @@ pub struct OnlineWindow {
     l: u16,
     area: u16,
     day: u16,
-    /// Orders of the current day with `ts >= cursor - L`, chronological.
+    /// Orders of the current day with `ts >= cursor - L`, sorted by `ts`.
     buffer: VecDeque<Order>,
     cursor: u16,
+    policy: IngestPolicy,
+    stats: IngestStats,
 }
 
 impl OnlineWindow {
-    /// Creates a window of `cfg.window_l` minutes for one area.
+    /// Creates a window of `cfg.window_l` minutes for one area, with the
+    /// strict [`IngestPolicy::Reject`] policy.
     pub fn new(area: u16, cfg: &FeatureConfig) -> OnlineWindow {
-        OnlineWindow { l: cfg.window_l as u16, area, day: 0, buffer: VecDeque::new(), cursor: 0 }
+        OnlineWindow::with_policy(area, cfg, IngestPolicy::Reject)
+    }
+
+    /// Creates a window with an explicit ingest policy.
+    pub fn with_policy(area: u16, cfg: &FeatureConfig, policy: IngestPolicy) -> OnlineWindow {
+        OnlineWindow {
+            l: cfg.window_l as u16,
+            area,
+            day: 0,
+            buffer: VecDeque::new(),
+            cursor: 0,
+            policy,
+            stats: IngestStats::default(),
+        }
     }
 
     /// The area this window tracks.
@@ -33,26 +57,92 @@ impl OnlineWindow {
         self.area
     }
 
-    /// Ingests one order. Orders must arrive chronologically; orders for
-    /// other areas are ignored, day changes reset the buffer (passenger
-    /// chains do not span days).
-    ///
-    /// # Panics
-    /// Panics if the stream goes backwards in time.
-    pub fn observe(&mut self, order: Order) {
+    /// The ingest policy in force.
+    pub fn policy(&self) -> IngestPolicy {
+        self.policy
+    }
+
+    /// Ingest counters accumulated so far.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Ingests one order. Orders for other areas are ignored; day changes
+    /// reset the buffer (passenger chains do not span days). Orders
+    /// behind the stream's high-water mark are handled per the window's
+    /// [`IngestPolicy`]: rejected with [`IngestError::NonChronological`],
+    /// dropped and counted, or re-sorted into place when within the
+    /// policy's slack. Never panics.
+    pub fn observe(&mut self, order: Order) -> Result<(), IngestError> {
         if order.loc_start != self.area {
-            return;
+            return Ok(());
         }
         let abs_new = order.day as u32 * MINUTES_PER_DAY + order.ts as u32;
         let abs_cur = self.day as u32 * MINUTES_PER_DAY + self.cursor as u32;
-        assert!(abs_new >= abs_cur, "order stream must be chronological");
+        if abs_new < abs_cur {
+            return self.observe_late(order, abs_cur - abs_new);
+        }
         if order.day != self.day {
             self.buffer.clear();
             self.day = order.day;
         }
+        if self.policy != IngestPolicy::Reject && self.is_duplicate(&order) {
+            self.stats.duplicates_dropped += 1;
+            return Ok(());
+        }
         self.cursor = order.ts;
         self.buffer.push_back(order);
+        self.stats.accepted += 1;
         self.evict(order.ts.saturating_add(1));
+        Ok(())
+    }
+
+    /// Handles an order behind the high-water mark.
+    fn observe_late(&mut self, order: Order, lateness: u32) -> Result<(), IngestError> {
+        match self.policy {
+            IngestPolicy::Reject => {
+                self.stats.rejected += 1;
+                Err(IngestError::NonChronological {
+                    area: self.area,
+                    arrived: SlotTime::new(order.day, order.ts),
+                    cursor: SlotTime::new(self.day, self.cursor),
+                })
+            }
+            IngestPolicy::DropLate => {
+                self.stats.dropped_late += 1;
+                Ok(())
+            }
+            IngestPolicy::ReorderWithinSlack { slack_minutes } => {
+                // A late order from a previous day cannot join the
+                // current day's buffer (windows never cross midnight).
+                if lateness > slack_minutes as u32 || order.day != self.day {
+                    self.stats.dropped_late += 1;
+                    return Ok(());
+                }
+                if self.is_duplicate(&order) {
+                    self.stats.duplicates_dropped += 1;
+                    return Ok(());
+                }
+                self.insert_sorted(order);
+                self.stats.reordered += 1;
+                self.evict(self.cursor.saturating_add(1));
+                Ok(())
+            }
+        }
+    }
+
+    /// True when an identical order is already buffered.
+    fn is_duplicate(&self, order: &Order) -> bool {
+        self.buffer.iter().any(|o| o == order)
+    }
+
+    /// Inserts a late order keeping the buffer sorted by `ts`.
+    fn insert_sorted(&mut self, order: Order) {
+        let mut idx = self.buffer.len();
+        while idx > 0 && self.buffer[idx - 1].ts > order.ts {
+            idx -= 1;
+        }
+        self.buffer.insert(idx, order);
     }
 
     /// Moves the clock forward to `(day, t)` without new orders.
@@ -60,8 +150,8 @@ impl OnlineWindow {
         if day != self.day {
             self.buffer.clear();
             self.day = day;
-        }
-        if t > self.cursor || day != self.day {
+            self.cursor = t;
+        } else if t > self.cursor {
             self.cursor = t;
         }
         self.evict(t);
@@ -136,10 +226,14 @@ mod tests {
     use super::*;
     use crate::index::AreaIndex;
     use crate::vectors::{v_lc, v_sd, v_wt};
-    use deepsd_simdata::{SimConfig, SimDataset};
+    use deepsd_simdata::{shuffle_within_slack, SimConfig, SimDataset};
 
     fn cfg(l: usize) -> FeatureConfig {
         FeatureConfig { window_l: l, ..FeatureConfig::default() }
+    }
+
+    fn order(day: u16, ts: u16, pid: u32, valid: bool) -> Order {
+        Order { day, ts, pid, loc_start: 0, loc_dest: 0, valid }
     }
 
     #[test]
@@ -155,7 +249,7 @@ mod tests {
                 // Feed all orders with ts < t.
                 while let Some(o) = orders.peek() {
                     if o.ts < t {
-                        window.observe(**orders.peek().unwrap());
+                        window.observe(**orders.peek().unwrap()).unwrap();
                         orders.next();
                     } else {
                         break;
@@ -176,18 +270,20 @@ mod tests {
     #[test]
     fn ignores_other_areas() {
         let mut w = OnlineWindow::new(2, &cfg(5));
-        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 3, loc_dest: 0, valid: true });
+        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 3, loc_dest: 0, valid: true })
+            .unwrap();
         assert!(w.is_empty());
-        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 2, loc_dest: 0, valid: true });
+        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 2, loc_dest: 0, valid: true })
+            .unwrap();
         assert_eq!(w.len(), 1);
     }
 
     #[test]
     fn day_rollover_clears_buffer() {
         let mut w = OnlineWindow::new(0, &cfg(5));
-        w.observe(Order { day: 0, ts: 1439, pid: 1, loc_start: 0, loc_dest: 0, valid: true });
+        w.observe(order(0, 1439, 1, true)).unwrap();
         assert_eq!(w.len(), 1);
-        w.observe(Order { day: 1, ts: 3, pid: 2, loc_start: 0, loc_dest: 0, valid: true });
+        w.observe(order(1, 3, 2, true)).unwrap();
         assert_eq!(w.len(), 1);
         w.advance_to(1, 8);
         let (sd, _, _) = w.vectors(8); // window [3, 8) still holds ts = 3
@@ -197,8 +293,8 @@ mod tests {
     #[test]
     fn eviction_drops_stale_orders() {
         let mut w = OnlineWindow::new(0, &cfg(5));
-        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 0, loc_dest: 0, valid: true });
-        w.observe(Order { day: 0, ts: 104, pid: 2, loc_start: 0, loc_dest: 0, valid: false });
+        w.observe(order(0, 100, 1, true)).unwrap();
+        w.observe(order(0, 104, 2, false)).unwrap();
         w.advance_to(0, 106);
         // Window [101, 106): the ts=100 order is gone.
         assert_eq!(w.len(), 1);
@@ -207,11 +303,92 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "chronological")]
-    fn rejects_time_travel() {
+    fn reject_policy_errors_on_time_travel() {
         let mut w = OnlineWindow::new(0, &cfg(5));
-        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 0, loc_dest: 0, valid: true });
-        w.observe(Order { day: 0, ts: 50, pid: 2, loc_start: 0, loc_dest: 0, valid: true });
+        w.observe(order(0, 100, 1, true)).unwrap();
+        let err = w.observe(order(0, 50, 2, true)).unwrap_err();
+        match err {
+            IngestError::NonChronological { area, arrived, cursor } => {
+                assert_eq!(area, 0);
+                assert_eq!(arrived, SlotTime::new(0, 50));
+                assert_eq!(cursor, SlotTime::new(0, 100));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(w.stats().rejected, 1);
+        assert_eq!(w.len(), 1, "rejected order must not enter the buffer");
+    }
+
+    #[test]
+    fn drop_late_policy_counts_and_continues() {
+        let mut w = OnlineWindow::with_policy(0, &cfg(5), IngestPolicy::DropLate);
+        w.observe(order(0, 100, 1, true)).unwrap();
+        w.observe(order(0, 50, 2, true)).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.stats().dropped_late, 1);
+        assert_eq!(w.stats().accepted, 1);
+    }
+
+    #[test]
+    fn reorder_policy_restores_late_orders_within_slack() {
+        let policy = IngestPolicy::ReorderWithinSlack { slack_minutes: 10 };
+        let mut w = OnlineWindow::with_policy(0, &cfg(8), policy);
+        w.observe(order(0, 100, 1, true)).unwrap();
+        w.observe(order(0, 104, 2, false)).unwrap();
+        w.observe(order(0, 101, 3, true)).unwrap(); // 3 minutes late: restored
+        w.observe(order(0, 80, 4, true)).unwrap(); // 24 minutes late: dropped
+        assert_eq!(w.stats().reordered, 1);
+        assert_eq!(w.stats().dropped_late, 1);
+        w.advance_to(0, 105);
+        let (sd, _, _) = w.vectors(105);
+        assert_eq!(sd.iter().sum::<f32>(), 3.0);
+
+        // Same orders in clean order give identical vectors.
+        let mut clean = OnlineWindow::new(0, &cfg(8));
+        for o in [order(0, 100, 1, true), order(0, 101, 3, true), order(0, 104, 2, false)] {
+            clean.observe(o).unwrap();
+        }
+        clean.advance_to(0, 105);
+        assert_eq!(w.vectors(105), clean.vectors(105));
+    }
+
+    #[test]
+    fn reorder_policy_deduplicates_exact_copies() {
+        let policy = IngestPolicy::ReorderWithinSlack { slack_minutes: 5 };
+        let mut w = OnlineWindow::with_policy(0, &cfg(8), policy);
+        w.observe(order(0, 100, 1, true)).unwrap();
+        w.observe(order(0, 100, 1, true)).unwrap(); // exact duplicate
+        w.observe(order(0, 102, 1, true)).unwrap();
+        w.observe(order(0, 100, 1, true)).unwrap(); // late duplicate
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.stats().duplicates_dropped, 2);
+    }
+
+    #[test]
+    fn shuffled_stream_matches_clean_under_reorder_policy() {
+        let ds = SimDataset::generate(&SimConfig::smoke(77));
+        let l = 10usize;
+        let day = 8u16;
+        let area = 0u16;
+        let stream: Vec<Order> =
+            ds.orders(area).iter().filter(|o| o.day == day && o.ts < 700).copied().collect();
+        assert!(stream.len() > 50, "need a busy stream");
+        let shuffled = shuffle_within_slack(&stream, 6, 1234);
+        assert_ne!(shuffled, stream);
+
+        let mut clean = OnlineWindow::new(area, &cfg(l));
+        for &o in &stream {
+            clean.observe(o).unwrap();
+        }
+        let policy = IngestPolicy::ReorderWithinSlack { slack_minutes: 6 };
+        let mut faulty = OnlineWindow::with_policy(area, &cfg(l), policy);
+        for &o in &shuffled {
+            faulty.observe(o).unwrap();
+        }
+        clean.advance_to(day, 700);
+        faulty.advance_to(day, 700);
+        assert_eq!(clean.vectors(700), faulty.vectors(700), "reorder must be lossless");
+        assert_eq!(faulty.stats().dropped_late, 0);
     }
 
     #[test]
@@ -219,7 +396,7 @@ mod tests {
         let mut w = OnlineWindow::new(0, &cfg(8));
         // pid 9 fails at 95 and 98, succeeds at 101.
         for (ts, valid) in [(95u16, false), (98, false), (101, true)] {
-            w.observe(Order { day: 0, ts, pid: 9, loc_start: 0, loc_dest: 0, valid });
+            w.observe(order(0, ts, 9, valid)).unwrap();
         }
         w.advance_to(0, 103);
         let (_, lc, wt) = w.vectors(103);

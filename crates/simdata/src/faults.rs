@@ -1,0 +1,231 @@
+//! Deterministic fault injection for order streams and environment
+//! feeds.
+//!
+//! Production ingest pipelines see exactly the anomalies this module
+//! manufactures: out-of-order delivery within a bounded skew, dropped
+//! messages, duplicated messages, and sensor feeds that black out for
+//! minutes or hours. Every perturbation here is seeded and pure — the
+//! same inputs always produce the same faulty stream — so the
+//! fault-tolerance integration tests in the core crate are fully
+//! reproducible.
+
+use crate::types::{Order, SlotTime, MINUTES_PER_DAY};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A bundle of order-stream fault rates, convenient for driving every
+/// perturbation from one seeded plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every random decision in the plan.
+    pub seed: u64,
+    /// Maximum minutes an order may arrive behind the stream's high-water
+    /// mark (0 disables shuffling).
+    pub shuffle_slack: u16,
+    /// Probability of dropping each order.
+    pub drop_rate: f64,
+    /// Probability of emitting each order twice.
+    pub duplicate_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan { seed: 0, shuffle_slack: 0, drop_rate: 0.0, duplicate_rate: 0.0 }
+    }
+}
+
+impl FaultPlan {
+    /// Applies duplication, dropping and shuffling (in that order) to a
+    /// chronological stream.
+    pub fn apply(&self, orders: &[Order]) -> Vec<Order> {
+        let duplicated = duplicate_orders(orders, self.duplicate_rate, self.seed ^ 0xd0_d0);
+        let dropped = drop_orders(&duplicated, self.drop_rate, self.seed ^ 0xd7_07);
+        shuffle_within_slack(&dropped, self.shuffle_slack, self.seed ^ 0x5f_f1)
+    }
+}
+
+/// Absolute minute of an order since simulation start.
+fn abs_minute(o: &Order) -> u32 {
+    o.day as u32 * MINUTES_PER_DAY + o.ts as u32
+}
+
+/// Permutes a chronological stream so that no order arrives more than
+/// `slack` minutes behind the running maximum timestamp, and no order
+/// crosses a day boundary. An ingest policy that reorders within the
+/// same slack can reconstruct the original stream exactly.
+pub fn shuffle_within_slack(orders: &[Order], slack: u16, seed: u64) -> Vec<Order> {
+    let mut out = orders.to_vec();
+    if slack == 0 || out.len() < 2 {
+        return out;
+    }
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(slack as u64));
+    let mut start = 0usize;
+    while start < out.len() {
+        let base = abs_minute(&out[start]);
+        let day = out[start].day;
+        let mut end = start + 1;
+        while end < out.len()
+            && out[end].day == day
+            && abs_minute(&out[end]) - base <= slack as u32
+        {
+            end += 1;
+        }
+        out[start..end].shuffle(&mut rng);
+        start = end;
+    }
+    out
+}
+
+/// Drops each order independently with probability `rate`.
+pub fn drop_orders(orders: &[Order], rate: f64, seed: u64) -> Vec<Order> {
+    if rate <= 0.0 {
+        return orders.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x94d0_49bb));
+    orders.iter().filter(|_| rng.gen::<f64>() >= rate).copied().collect()
+}
+
+/// Emits each order twice (back to back, preserving chronology) with
+/// probability `rate` — the at-least-once delivery failure mode.
+pub fn duplicate_orders(orders: &[Order], rate: f64, seed: u64) -> Vec<Order> {
+    if rate <= 0.0 {
+        return orders.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xbf58_476d));
+    let mut out = Vec::with_capacity(orders.len() + orders.len() / 8);
+    for &o in orders {
+        out.push(o);
+        if rng.gen::<f64>() < rate {
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// Picks `count` deterministic, non-degenerate feed blackout windows
+/// inside `n_days`, each at most `max_len` minutes long. Returned as
+/// half-open `[from, until)` slot pairs for
+/// `deepsd_features::FeedHealth::add_outage`.
+pub fn blackout_windows(n_days: u16, count: usize, max_len: u16, seed: u64) -> Vec<(SlotTime, SlotTime)> {
+    assert!(n_days > 0, "blackouts need at least one day");
+    let max_len = max_len.clamp(1, (MINUTES_PER_DAY - 1) as u16);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xff51_afd7));
+    (0..count)
+        .map(|_| {
+            let day = rng.gen_range(0..n_days);
+            let len = rng.gen_range(1..=max_len);
+            let from = rng.gen_range(0..(MINUTES_PER_DAY as u16 - len));
+            (SlotTime::new(day, from), SlotTime::new(day, from + len))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize) -> Vec<Order> {
+        (0..n)
+            .map(|i| Order {
+                day: (i / 600) as u16,
+                ts: ((i % 600) * 2) as u16,
+                pid: i as u32,
+                loc_start: 0,
+                loc_dest: 1,
+                valid: i % 3 != 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shuffle_respects_slack_bound() {
+        let orders = stream(500);
+        let shuffled = shuffle_within_slack(&orders, 7, 42);
+        assert_eq!(shuffled.len(), orders.len());
+        let mut high_water = 0u32;
+        for o in &shuffled {
+            let abs = abs_minute(o);
+            high_water = high_water.max(abs);
+            assert!(high_water - abs <= 7, "displacement beyond slack");
+        }
+        // Same multiset of orders.
+        let mut a = orders.clone();
+        let mut b = shuffled.clone();
+        let key = |o: &Order| (o.day, o.ts, o.pid, o.valid);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_never_crosses_days() {
+        let orders = stream(1300);
+        let shuffled = shuffle_within_slack(&orders, 30, 7);
+        let mut max_day = 0u16;
+        for o in &shuffled {
+            assert!(o.day >= max_day, "day went backwards");
+            max_day = max_day.max(o.day);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_actually_shuffles() {
+        let orders = stream(400);
+        let a = shuffle_within_slack(&orders, 10, 5);
+        let b = shuffle_within_slack(&orders, 10, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, orders, "slack 10 over a dense stream must permute something");
+        assert_eq!(shuffle_within_slack(&orders, 0, 5), orders);
+    }
+
+    #[test]
+    fn drop_rate_zero_and_one() {
+        let orders = stream(200);
+        assert_eq!(drop_orders(&orders, 0.0, 1), orders);
+        assert!(drop_orders(&orders, 1.0, 1).is_empty());
+        let half = drop_orders(&orders, 0.5, 1);
+        assert!(half.len() > 40 && half.len() < 160, "len = {}", half.len());
+        assert_eq!(half, drop_orders(&orders, 0.5, 1));
+    }
+
+    #[test]
+    fn duplicates_are_adjacent_copies() {
+        let orders = stream(300);
+        let dup = duplicate_orders(&orders, 0.3, 9);
+        assert!(dup.len() > orders.len());
+        assert_eq!(dup, duplicate_orders(&orders, 0.3, 9));
+        // Every extra element equals its predecessor.
+        let mut extra = 0;
+        for w in dup.windows(2) {
+            if w[0] == w[1] {
+                extra += 1;
+            }
+        }
+        assert_eq!(dup.len() - orders.len(), extra);
+        assert_eq!(duplicate_orders(&orders, 0.0, 9), orders);
+    }
+
+    #[test]
+    fn plan_applies_all_faults_deterministically() {
+        let orders = stream(400);
+        let plan = FaultPlan { seed: 3, shuffle_slack: 5, drop_rate: 0.1, duplicate_rate: 0.1 };
+        let a = plan.apply(&orders);
+        let b = plan.apply(&orders);
+        assert_eq!(a, b);
+        assert_ne!(a, orders);
+        assert_eq!(FaultPlan::default().apply(&orders), orders);
+    }
+
+    #[test]
+    fn blackout_windows_are_well_formed() {
+        let wins = blackout_windows(14, 5, 180, 11);
+        assert_eq!(wins.len(), 5);
+        for (from, until) in &wins {
+            assert_eq!(from.day, until.day);
+            assert!(from.ts < until.ts);
+            assert!(until.ts - from.ts <= 180);
+        }
+        assert_eq!(wins, blackout_windows(14, 5, 180, 11));
+    }
+}

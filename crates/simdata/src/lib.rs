@@ -34,6 +34,7 @@
 pub mod city;
 pub mod codec;
 pub mod dataset;
+pub mod faults;
 pub mod orders;
 pub mod patterns;
 pub mod sampling;
@@ -44,6 +45,9 @@ pub mod weather;
 pub use city::{Archetype, Area, City, CityConfig};
 pub use codec::{decode_dataset, encode_dataset, CodecError};
 pub use dataset::{SimConfig, SimDataset};
+pub use faults::{
+    blackout_windows, drop_orders, duplicate_orders, shuffle_within_slack, FaultPlan,
+};
 pub use orders::OrderGenConfig;
 pub use types::{Order, SlotTime, TrafficObs, WeatherObs, WeatherType, MINUTES_PER_DAY};
 pub use weather::WeatherConfig;
