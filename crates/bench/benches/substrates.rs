@@ -7,7 +7,7 @@ use deepsd::{DeepSD, ModelConfig};
 use deepsd_baselines::{tree_features, Gbdt, GbdtParams, TreeParams};
 use deepsd_features::{Batch, FeatureConfig, FeatureExtractor, ItemKey};
 use deepsd_nn::layers::{Activation, Dense};
-use deepsd_nn::{seeded_rng, Matrix, ParamStore, Tape};
+use deepsd_nn::{matmul_ref, seeded_rng, set_num_threads, Matrix, ParamStore, Tape};
 use deepsd_simdata::{
     orders::generate_area_orders, weather::generate_weather, City, CityConfig, OrderGenConfig,
     SimConfig, SimDataset, WeatherConfig,
@@ -24,6 +24,33 @@ fn bench_matmul(c: &mut Criterion) {
         // aᵀ stored transposed: (aᵀ)ᵀ @ b == a @ b via the fused kernel.
         let at = a.transpose();
         bench.iter(|| std::hint::black_box(at.matmul_tn(&b)))
+    });
+}
+
+/// The blocked kernels at 256³ in all three orientations, against the
+/// scalar reference and at one thread, so regressions in blocking,
+/// packing or the parallel partition show up individually.
+fn bench_kernels(c: &mut Criterion) {
+    let a = Matrix::from_fn(256, 256, |r, col| ((r * 13 + col) as f32 * 0.01).sin());
+    let b = Matrix::from_fn(256, 256, |r, col| ((r + col * 5) as f32 * 0.01).cos());
+    let at = a.transpose();
+    let bt = b.transpose();
+    c.bench_function("kernels/matmul_nn_256", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+    c.bench_function("kernels/matmul_nn_256_1thread", |bench| {
+        set_num_threads(1);
+        bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        set_num_threads(0);
+    });
+    c.bench_function("kernels/matmul_tn_256", |bench| {
+        bench.iter(|| std::hint::black_box(at.matmul_tn(&b)))
+    });
+    c.bench_function("kernels/matmul_nt_256", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul_nt(&bt)))
+    });
+    c.bench_function("kernels/matmul_ref_256", |bench| {
+        bench.iter(|| std::hint::black_box(matmul_ref(&a, &b)))
     });
 }
 
@@ -137,6 +164,7 @@ fn bench_gbdt(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_matmul, bench_autodiff, bench_simulator, bench_features, bench_model, bench_gbdt
+    targets = bench_matmul, bench_kernels, bench_autodiff, bench_simulator, bench_features,
+        bench_model, bench_gbdt
 }
 criterion_main!(benches);

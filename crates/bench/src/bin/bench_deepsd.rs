@@ -1,0 +1,170 @@
+//! Performance-regression harness: kernel GFLOP/s for all three matmul
+//! orientations (blocked vs scalar reference, multi- and single-thread),
+//! end-to-end training throughput (items/sec, ms/epoch) and prediction
+//! latency (p50/p99), emitted as machine-readable `BENCH_deepsd.json`
+//! next to the human-readable `results/` report.
+//!
+//! Usage: `cargo run --release -p deepsd-bench --bin bench_deepsd [smoke|small|paper]`
+
+use deepsd::{Predictor, Variant};
+use deepsd_bench::{Pipeline, Report, Scale};
+use deepsd_features::Batch;
+use deepsd_nn::{matmul_ref, set_num_threads, Matrix};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Kernel throughput in GFLOP/s (2·m·k·n FLOPs per product).
+#[derive(Debug, Serialize)]
+struct KernelStats {
+    nn_gflops: f64,
+    nn_gflops_1thread: f64,
+    tn_gflops: f64,
+    nt_gflops: f64,
+    reference_gflops: f64,
+    /// Blocked single-thread over scalar reference at 256³.
+    speedup_1thread_vs_ref: f64,
+}
+
+/// End-to-end training throughput.
+#[derive(Debug, Serialize)]
+struct TrainStats {
+    items_per_sec: f64,
+    ms_per_epoch: f64,
+    epochs: usize,
+    train_items: usize,
+    final_rmse: f64,
+}
+
+/// Serving-shaped prediction latency over per-timeslot batches.
+#[derive(Debug, Serialize)]
+struct PredictStats {
+    p50_ms: f64,
+    p99_ms: f64,
+    batch_size: usize,
+    batches: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchOutput {
+    scale: String,
+    threads: usize,
+    kernels: KernelStats,
+    training: TrainStats,
+    predict: PredictStats,
+}
+
+/// Times `reps` runs of `f` (after one warmup) and returns GFLOP/s for
+/// `flops` floating-point operations per run.
+fn gflops(flops: f64, reps: usize, mut f: impl FnMut() -> Matrix) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    flops * reps as f64 / start.elapsed().as_secs_f64() / 1e9
+}
+
+fn kernel_stats() -> KernelStats {
+    const DIM: usize = 256;
+    const REPS: usize = 20;
+    let flops = 2.0 * (DIM * DIM * DIM) as f64;
+    let a = Matrix::from_fn(DIM, DIM, |r, c| ((r * 13 + c) as f32 * 0.01).sin());
+    let b = Matrix::from_fn(DIM, DIM, |r, c| ((r + c * 5) as f32 * 0.01).cos());
+    let at = a.transpose();
+    let bt = b.transpose();
+
+    let nn_gflops = gflops(flops, REPS, || a.matmul(&b));
+    let tn_gflops = gflops(flops, REPS, || at.matmul_tn(&b));
+    let nt_gflops = gflops(flops, REPS, || a.matmul_nt(&bt));
+    set_num_threads(1);
+    let nn_gflops_1thread = gflops(flops, REPS, || a.matmul(&b));
+    set_num_threads(0);
+    let reference_gflops = gflops(flops, REPS.min(5), || matmul_ref(&a, &b));
+
+    KernelStats {
+        nn_gflops,
+        nn_gflops_1thread,
+        tn_gflops,
+        nt_gflops,
+        reference_gflops,
+        speedup_1thread_vs_ref: nn_gflops_1thread / reference_gflops,
+    }
+}
+
+/// The `p`-th percentile of an unsorted sample, in the sample's unit.
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty sample");
+    samples.sort_by(|x, y| x.partial_cmp(y).expect("latencies are finite"));
+    let idx = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[idx]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let pipeline = Pipeline::build(scale);
+    let mut report = Report::new("bench_deepsd", "Performance-regression bench");
+
+    eprintln!("[kernels] timing 256^3 matmul orientations");
+    let kernels = kernel_stats();
+
+    let mut fx = pipeline.extractor();
+    let test_items = pipeline.test_items(&mut fx);
+    let (ensemble, train_report) = pipeline.train_model(
+        "bench",
+        pipeline.model_config(Variant::Advanced),
+        &mut fx,
+        &test_items,
+    );
+    let epoch_secs: f64 = train_report.epochs.iter().map(|e| e.seconds).sum();
+    let epochs = train_report.epochs.len().max(1);
+    let training = TrainStats {
+        items_per_sec: pipeline.train_keys.len() as f64 * epochs as f64 / epoch_secs.max(1e-9),
+        ms_per_epoch: epoch_secs * 1000.0 / epochs as f64,
+        epochs,
+        train_items: pipeline.train_keys.len(),
+        final_rmse: train_report.final_rmse,
+    };
+
+    // Serving-shaped latency: one batch per timeslot (all areas at once),
+    // like OnlinePredictor::predict_all scores them.
+    let batch_size = pipeline.dataset.n_areas();
+    let mut latencies: Vec<f64> = Vec::new();
+    for chunk in test_items.chunks(batch_size) {
+        let batch = Batch::from_items(chunk);
+        let start = Instant::now();
+        std::hint::black_box(ensemble.predict(&batch));
+        latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    let predict = PredictStats {
+        p50_ms: percentile(&mut latencies, 50.0),
+        p99_ms: percentile(&mut latencies, 99.0),
+        batch_size,
+        batches: latencies.len(),
+    };
+
+    let output = BenchOutput {
+        scale: pipeline.scale.name.to_string(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        kernels,
+        training,
+        predict,
+    };
+    let json = serde_json::to_string_pretty(&output).expect("bench output serializes");
+    std::fs::write("BENCH_deepsd.json", &json).expect("write BENCH_deepsd.json");
+    eprintln!("[bench] wrote BENCH_deepsd.json");
+
+    report.kv("matmul nn GFLOP/s", format!("{:.2}", output.kernels.nn_gflops));
+    report.kv("matmul nn GFLOP/s (1 thread)", format!("{:.2}", output.kernels.nn_gflops_1thread));
+    report.kv("matmul tn GFLOP/s", format!("{:.2}", output.kernels.tn_gflops));
+    report.kv("matmul nt GFLOP/s", format!("{:.2}", output.kernels.nt_gflops));
+    report.kv("scalar reference GFLOP/s", format!("{:.2}", output.kernels.reference_gflops));
+    report.kv(
+        "1-thread speedup vs reference",
+        format!("{:.2}x", output.kernels.speedup_1thread_vs_ref),
+    );
+    report.kv("train items/sec", format!("{:.1}", output.training.items_per_sec));
+    report.kv("ms/epoch", format!("{:.1}", output.training.ms_per_epoch));
+    report.kv("predict p50 ms", format!("{:.3}", output.predict.p50_ms));
+    report.kv("predict p99 ms", format!("{:.3}", output.predict.p99_ms));
+    report.finish(pipeline.scale.name);
+}

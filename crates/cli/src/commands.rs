@@ -32,10 +32,11 @@ USAGE:
                       [--variant basic|advanced] [--env none|weather|full]
                       [--train-days 7..24] [--eval-days 24..38]
                       [--epochs 10] [--window 20] [--dropout 0.3]
-                      [--lr 0.001] [--best-k 4]
+                      [--lr 0.001] [--best-k 4] [--threads 0]
   deepsd-cli evaluate --data data.dsd --model model.json [--test-days 24..38]
+                      [--threads 0]
   deepsd-cli predict  --data data.dsd --model model.json --day 30 --t 480
-                      [--area 3]
+                      [--area 3] [--threads 0]
                       [--ingest-policy reject|drop-late|reorder:<minutes>]
                       [--fault-shuffle 5] [--fault-drop 0.1] [--fault-dup 0.1]
                       [--fault-seed 7]
@@ -48,6 +49,9 @@ and `--blackout-*` declares environment-feed outages (minute ranges of
 the prediction day). Feed status and ingest counters are printed with
 the predictions. `train` writes checksummed checkpoints; `evaluate` and
 `predict` verify them on load (legacy bare-JSON models still load).
+`--threads` sets the worker-thread count for the parallel kernels and
+batch scoring (0 = auto-detect); results are bit-identical at any
+thread count.
 ";
 
 /// `simulate`: generate a dataset and write it as a binary blob.
@@ -125,7 +129,7 @@ fn feature_config(args: &Args) -> Result<FeatureConfig, ArgError> {
 pub fn train_cmd(args: &Args) -> CmdResult {
     args.check_known(&[
         "data", "out", "variant", "env", "train-days", "eval-days", "epochs", "window",
-        "dropout", "lr", "best-k", "history-window", "stride",
+        "dropout", "lr", "best-k", "history-window", "stride", "threads",
     ])?;
     let ds = load_dataset(args)?;
     let out = args.require("out")?;
@@ -174,6 +178,7 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         epochs: args.get_or("epochs", 10usize)?,
         best_k: args.get_or("best-k", 4usize)?,
         learning_rate: args.get_or("lr", 1e-3f32)?,
+        threads: args.get_or("threads", 0usize)?,
         ..TrainOptions::default()
     };
     let report = train(&mut model, &mut fx, &tr, &eval_items, &opts);
@@ -203,7 +208,10 @@ fn load_model(args: &Args) -> Result<DeepSD, Box<dyn std::error::Error>> {
 /// `evaluate`: metrics of a checkpoint on a dataset split, with the
 /// empirical-average baseline for context.
 pub fn evaluate(args: &Args) -> CmdResult {
-    args.check_known(&["data", "model", "test-days", "window", "history-window", "stride"])?;
+    args.check_known(&[
+        "data", "model", "test-days", "window", "history-window", "stride", "threads",
+    ])?;
+    deepsd::set_num_threads(args.get_or("threads", 0usize)?);
     let ds = load_dataset(args)?;
     let model = load_model(args)?;
     let mut fcfg = feature_config(args)?;
@@ -236,8 +244,9 @@ pub fn predict(args: &Args) -> CmdResult {
     args.check_known(&[
         "data", "model", "day", "t", "area", "window", "history-window", "stride",
         "ingest-policy", "fault-shuffle", "fault-drop", "fault-dup", "fault-seed",
-        "blackout-weather", "blackout-traffic",
+        "blackout-weather", "blackout-traffic", "threads",
     ])?;
+    deepsd::set_num_threads(args.get_or("threads", 0usize)?);
     let ds = load_dataset(args)?;
     let model = load_model(args)?;
     let mut fcfg = feature_config(args)?;

@@ -57,6 +57,7 @@ pub use checkpoint::{
     CHECKPOINT_MAGIC,
 };
 pub use config::{Encoding, EnvBlocks, ModelConfig, Variant};
+pub use deepsd_nn::{num_threads, set_num_threads};
 pub use metrics::{evaluate, mae, rmse, thresholded, Evaluation};
 pub use model::{BlockMask, DeepSD, Ensemble, Predictor};
 pub use serving::{OnlinePredictor, ServingReport};

@@ -32,6 +32,12 @@ use deepsd_features::{
 };
 use deepsd_simdata::Order;
 
+/// Areas per scoring batch in [`OnlinePredictor::predict_all_report`].
+/// Batches are scored on the configured worker threads; the network is
+/// row-wise independent, so the concatenated result is bit-identical to
+/// one monolithic batch at any thread count.
+const SERVE_BATCH: usize = 64;
+
 /// Predictions plus the serving-health context they were produced
 /// under.
 #[derive(Debug, Clone)]
@@ -54,7 +60,7 @@ pub struct OnlinePredictor<'a, P: Predictor> {
     stray: IngestStats,
 }
 
-impl<'a, P: Predictor> OnlinePredictor<'a, P> {
+impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
     /// Creates a predictor with the strict [`IngestPolicy::Reject`]
     /// policy. `extractor` supplies weekday histories, weather/traffic
     /// feeds and ground truth; the real-time order state comes
@@ -153,7 +159,12 @@ impl<'a, P: Predictor> OnlinePredictor<'a, P> {
         let items: Vec<Item> = (0..n).map(|area| self.item(area, day, t)).collect();
         let feeds = self.extractor.feed_status(day, t);
         let mask = Self::mask_for(&feeds);
-        let predictions = self.model.predict_masked(&Batch::from_items(&items), &mask);
+        // Item construction above is sequential (it mutates the per-area
+        // windows and the extractor's caches); scoring is the hot part
+        // and fans out over the worker threads.
+        let chunks: Vec<&[Item]> = items.chunks(SERVE_BATCH).collect();
+        let predictions =
+            crate::trainer::predict_chunks_masked(&self.model, &chunks, &mask).concat();
         ServingReport { predictions, feeds, ingest: self.ingest_stats() }
     }
 

@@ -2,11 +2,12 @@
 //! evaluation and best-K snapshot averaging.
 
 use crate::metrics::{evaluate, Evaluation};
-use crate::model::{DeepSD, Ensemble, Predictor};
+use crate::model::{BlockMask, DeepSD, Ensemble, Predictor};
 use deepsd_features::{Batch, FeatureExtractor, Item, ItemKey};
-use deepsd_nn::{seeded_rng, Adam, Matrix, Snapshot, Tape};
+use deepsd_nn::{seeded_rng, Adam, BackwardScratch, GradMap, Matrix, Snapshot, Tape};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
+use std::rc::Rc;
 
 /// Loss function minimised during training.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,6 +47,11 @@ pub struct TrainOptions {
     /// halved learning rate before training stops early.
     #[serde(default = "default_max_divergence_recoveries")]
     pub max_divergence_recoveries: usize,
+    /// Worker threads for the parallel matmul kernels and batch-level
+    /// prediction (`0` = auto-detect). Results are bit-identical at any
+    /// setting; this only trades latency for CPU.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 fn default_max_divergence_recoveries() -> usize {
@@ -64,6 +70,7 @@ impl Default for TrainOptions {
             loss: Loss::Mse,
             seed: 99,
             max_divergence_recoveries: default_max_divergence_recoveries(),
+            threads: 0,
         }
     }
 }
@@ -127,8 +134,9 @@ pub fn train(
     report
 }
 
-/// Trains `model` on `train_keys` (features extracted on the fly) and
-/// evaluates after each epoch on pre-extracted `eval_items`.
+/// Trains `model` on `train_keys` (features extracted once up front and
+/// cached for every epoch) and evaluates after each epoch on
+/// pre-extracted `eval_items`.
 ///
 /// After the last epoch, the `best_k` epochs with the lowest evaluation
 /// RMSE form a prediction-averaging [`Ensemble`] — the paper's "final
@@ -153,28 +161,41 @@ pub fn train_ensemble(
     assert!(!eval_items.is_empty(), "no evaluation items");
     assert!(options.batch_size > 0 && options.epochs > 0, "degenerate options");
 
+    deepsd_nn::set_num_threads(options.threads);
+
     let mut adam = Adam::new(options.learning_rate, 0.9, 0.999, 1e-8);
     let mut rng = seeded_rng(options.seed);
-    let mut keys: Vec<ItemKey> = train_keys.to_vec();
+    // Epoch feature cache: an item depends only on its key, so extraction
+    // runs exactly once per key here. Epochs shuffle the cached items in
+    // place (a pointer-level swap per item, no re-extraction, no clones);
+    // shuffling items instead of keys draws the same RNG sequence, so the
+    // batch composition per epoch is unchanged.
+    let mut cached: Vec<Item> = extractor.extract_all(train_keys);
     let mut epochs = Vec::with_capacity(options.epochs);
-    let mut snapshots: Vec<(f64, Snapshot)> = Vec::new();
+    let mut snapshots: Vec<(f64, Rc<Snapshot>)> = Vec::new();
+
+    // Reused across every batch of every epoch: the tape keeps its node
+    // storage, and backward writes into long-lived scratch/gradient
+    // buffers instead of reallocating them per step.
+    let mut tape = Tape::new();
+    let mut scratch = BackwardScratch::default();
+    let mut grads = GradMap::default();
 
     // Divergence guard: the parameters we can safely fall back to when a
     // batch loss or evaluation turns non-finite.
-    let mut last_good = model.snapshot();
+    let mut last_good = Rc::new(model.snapshot());
     let mut recoveries = 0usize;
 
     for epoch in 0..options.epochs {
         let started = std::time::Instant::now();
-        keys.shuffle(&mut rng);
+        cached.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         let mut diverged = false;
-        for chunk in keys.chunks(options.batch_size) {
-            let items = extractor.extract_all(chunk);
-            let batch = Batch::from_items(&items);
+        for chunk in cached.chunks(options.batch_size) {
+            let batch = Batch::from_items(chunk);
             let targets = Matrix::col_vector(batch.targets.clone());
-            let mut tape = Tape::new();
+            tape.reset();
             let pred = model.forward(&mut tape, &batch, Some(&mut rng));
             let loss = match options.loss {
                 Loss::Mse => tape.mse_loss(pred, &targets),
@@ -187,7 +208,7 @@ pub fn train_ensemble(
             }
             loss_sum += loss_value;
             batches += 1;
-            let mut grads = tape.backward(loss);
+            tape.backward_into(loss, &mut scratch, &mut grads);
             if let Some(clip) = options.grad_clip {
                 grads.clip_max_abs(clip);
             }
@@ -201,7 +222,10 @@ pub fn train_ensemble(
             if eval.rmse.is_finite() && eval.mae.is_finite() {
                 // Rank snapshots by RMSE: it matches the MSE training
                 // objective and is the metric where tail behaviour shows.
-                snapshots.push((eval.rmse, model.snapshot()));
+                // One parameter copy per good epoch, shared between the
+                // ranking list and the divergence guard.
+                let snap = Rc::new(model.snapshot());
+                snapshots.push((eval.rmse, Rc::clone(&snap)));
                 epochs.push(EpochStats {
                     epoch,
                     train_loss: loss_sum / batches.max(1) as f64,
@@ -209,7 +233,7 @@ pub fn train_ensemble(
                     eval_rmse: eval.rmse,
                     seconds,
                 });
-                last_good = model.snapshot();
+                last_good = snap;
                 continue;
             }
             // Finite batch losses but non-finite evaluation: the final
@@ -274,28 +298,75 @@ pub fn train_ensemble(
     )
 }
 
-/// Evaluates a predictor on pre-extracted items, batching for
-/// throughput.
-pub fn evaluate_model<P: Predictor>(model: &P, items: &[Item], batch_size: usize) -> Evaluation {
-    assert!(!items.is_empty(), "evaluation needs items");
-    let mut preds = Vec::with_capacity(items.len());
-    let mut truths = Vec::with_capacity(items.len());
-    for chunk in items.chunks(batch_size.max(1)) {
-        let batch = Batch::from_items(chunk);
-        preds.extend(model.predict(&batch));
-        truths.extend_from_slice(&batch.targets);
+/// Worker-thread count for batch-level parallelism, honouring the global
+/// kernel setting (`deepsd_nn::set_num_threads`; `0` = auto-detect).
+fn worker_threads(jobs: usize) -> usize {
+    let configured = deepsd_nn::num_threads();
+    let t = if configured == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        configured
+    };
+    t.clamp(1, jobs.max(1))
+}
+
+/// Scores item chunks on worker threads. Slot `i` of the result is the
+/// prediction vector for `chunks[i]`: each chunk is scored independently
+/// and lands in its own slot, so the flattened output is identical to
+/// the sequential loop at any thread count. Used by both offline
+/// evaluation and the online serving path.
+pub(crate) fn predict_chunks_masked<P: Predictor + Sync>(
+    model: &P,
+    chunks: &[&[Item]],
+    mask: &BlockMask,
+) -> Vec<Vec<f32>> {
+    let mut outputs: Vec<Vec<f32>> = vec![Vec::new(); chunks.len()];
+    let threads = worker_threads(chunks.len());
+    if threads <= 1 {
+        for (out, chunk) in outputs.iter_mut().zip(chunks) {
+            *out = model.predict_masked(&Batch::from_items(chunk), mask);
+        }
+        return outputs;
     }
+    let work: Vec<(&[Item], &mut Vec<f32>)> =
+        chunks.iter().copied().zip(outputs.iter_mut()).collect();
+    crossbeam::thread::scope(|scope| {
+        let per_thread = work.len().div_ceil(threads);
+        let mut rest = work;
+        while !rest.is_empty() {
+            let take = per_thread.min(rest.len());
+            let batch: Vec<_> = rest.drain(..take).collect();
+            scope.spawn(move |_| {
+                for (chunk, out) in batch {
+                    *out = model.predict_masked(&Batch::from_items(chunk), mask);
+                }
+            });
+        }
+    })
+    .expect("prediction worker panicked");
+    outputs
+}
+
+/// Evaluates a predictor on pre-extracted items, batching for throughput
+/// and scoring batches on the configured worker threads (results are
+/// identical to the sequential path).
+pub fn evaluate_model<P: Predictor + Sync>(
+    model: &P,
+    items: &[Item],
+    batch_size: usize,
+) -> Evaluation {
+    assert!(!items.is_empty(), "evaluation needs items");
+    let chunks: Vec<&[Item]> = items.chunks(batch_size.max(1)).collect();
+    let preds = predict_chunks_masked(model, &chunks, &BlockMask::all()).concat();
+    let truths: Vec<f32> = items.iter().map(|i| i.gap).collect();
     evaluate(&preds, &truths)
 }
 
-/// Predicts gaps for pre-extracted items, batching for throughput.
-pub fn predict_items<P: Predictor>(model: &P, items: &[Item], batch_size: usize) -> Vec<f32> {
-    let mut preds = Vec::with_capacity(items.len());
-    for chunk in items.chunks(batch_size.max(1)) {
-        let batch = Batch::from_items(chunk);
-        preds.extend(model.predict(&batch));
-    }
-    preds
+/// Predicts gaps for pre-extracted items, batching for throughput and
+/// scoring batches on the configured worker threads.
+pub fn predict_items<P: Predictor + Sync>(model: &P, items: &[Item], batch_size: usize) -> Vec<f32> {
+    let chunks: Vec<&[Item]> = items.chunks(batch_size.max(1)).collect();
+    predict_chunks_masked(model, &chunks, &BlockMask::all()).concat()
 }
 
 #[cfg(test)]
@@ -388,6 +459,42 @@ mod tests {
             reference.restore(&init_snapshot);
             let a = predict_items(&reference, &eval_items, 64);
             assert_eq!(a, preds, "all-diverged run must fall back to last good snapshot");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_across_thread_counts() {
+        let (ds, fcfg) = tiny_setup();
+        let run = |threads: usize| {
+            let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
+            let tr_keys = train_keys(ds.n_areas() as u16, 7..12, &fcfg);
+            let te_keys = test_keys(ds.n_areas() as u16, 12..14, &fcfg);
+            let eval_items = fx.extract_all(&te_keys);
+            let mut mcfg = ModelConfig::basic(ds.n_areas());
+            mcfg.window_l = fcfg.window_l;
+            mcfg.env = EnvBlocks::None;
+            let mut model = DeepSD::new(mcfg);
+            let report = train(
+                &mut model,
+                &mut fx,
+                &tr_keys,
+                &eval_items,
+                &TrainOptions { epochs: 2, best_k: 1, threads, ..TrainOptions::default() },
+            );
+            (model, report)
+        };
+        let (m1, r1) = run(1);
+        let (m2, r2) = run(2);
+        let (m8, r8) = run(8);
+        deepsd_nn::set_num_threads(0);
+        for ((other, report), label) in [(&(m2, r2), "2"), (&(m8, r8), "8")] {
+            assert_eq!(r1.final_rmse, report.final_rmse, "{label} threads: RMSE drifted");
+            for ((_, name, v1), (_, _, v2)) in m1.store().iter().zip(other.store().iter()) {
+                assert!(
+                    v1.max_abs_diff(v2) == 0.0,
+                    "final weights differ at {label} threads: {name}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,486 @@
+//! Cache-blocked, register-tiled, deterministically parallel GEMM kernels.
+//!
+//! These back the three matrix-product orientations used by backprop
+//! ([`Matrix::matmul`], [`Matrix::matmul_tn`], [`Matrix::matmul_nt`]).
+//! The design goals, in order:
+//!
+//! 1. **Bit-identical results at any thread count.** Every output cell is
+//!    accumulated by exactly one fused `+= a * b` per reduction index, in
+//!    strictly increasing reduction order, by exactly one thread. Blocking
+//!    only changes *which* thread computes a cell and in what order cells
+//!    are visited — never the reduction order within a cell — so the result
+//!    equals the scalar reference ([`matmul_ref`] and friends) bit for bit.
+//! 2. **Throughput.** Output rows are processed in `MR x NR` register tiles
+//!    whose inner loop the autovectorizer can turn into SIMD; the reduction
+//!    dimension is split into `KC`-long panels so the right-hand panel stays
+//!    in cache; strided operands (the left side of `tn`, the right side of
+//!    `nt`) are packed into contiguous panels before the tile loop. Unlike
+//!    the previous kernels there is no `a == 0.0` skip: on dense data the
+//!    branch mispredicts, and it silently turned `0.0 * NaN` into `0.0`.
+//! 3. **Fixed partition parallelism.** Output rows are split into `MC`-row
+//!    blocks and distributed over `crossbeam::thread::scope` workers in
+//!    contiguous runs (the seeded-per-area pattern of
+//!    `deepsd_simdata::SimDataset::generate`). Blocks never share output
+//!    cells, so no synchronisation is needed and determinism is structural.
+//!
+//! Thread count is process-global ([`set_num_threads`]; `0` = auto-detect)
+//! so the CLI `--threads` flag reaches every kernel call without threading
+//! a handle through the tape.
+
+use crate::matrix::Matrix;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Rows per register tile.
+const MR: usize = 4;
+/// Columns per register tile.
+const NR: usize = 8;
+/// Reduction-panel length (per-panel right-hand slab is `KC x n` floats).
+const KC: usize = 256;
+/// Output rows per parallel block (the unit of thread distribution).
+const MC: usize = 64;
+/// Below this many multiply-adds the scoped-thread setup costs more than it
+/// saves; run on the calling thread. Has no effect on results.
+const PAR_FLOP_THRESHOLD: usize = 128 * 1024;
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker-thread count used by the parallel kernels.
+///
+/// `0` (the default) auto-detects via `std::thread::available_parallelism`.
+/// Results are bit-identical for every setting; this only trades latency
+/// for CPU. Process-global and safe to call at any time.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Returns the configured worker-thread count (`0` = auto-detect).
+pub fn num_threads() -> usize {
+    NUM_THREADS.load(Ordering::Relaxed)
+}
+
+fn effective_threads(blocks: usize, flops: usize) -> usize {
+    if flops < PAR_FLOP_THRESHOLD {
+        return 1;
+    }
+    let configured = num_threads();
+    let t = if configured == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        configured
+    };
+    t.clamp(1, blocks.max(1))
+}
+
+/// Splits `out` (row-major, width `n`) into `MC`-row blocks and runs
+/// `work(first_row, block)` for each, distributing contiguous runs of
+/// blocks over scoped worker threads. The block partition is fixed (it
+/// depends only on the output shape), and blocks are disjoint `&mut`
+/// slices, so the computation is race-free and thread-count independent.
+fn run_blocks<F>(out: &mut [f32], n: usize, flops: usize, work: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let blocks: Vec<(usize, &mut [f32])> = out
+        .chunks_mut(MC * n)
+        .enumerate()
+        .map(|(b, chunk)| (b * MC, chunk))
+        .collect();
+    let threads = effective_threads(blocks.len(), flops);
+    if threads <= 1 {
+        for (row0, chunk) in blocks {
+            work(row0, chunk);
+        }
+        return;
+    }
+    let work_ref = &work;
+    crossbeam::thread::scope(|scope| {
+        let per_thread = blocks.len().div_ceil(threads);
+        let mut rest = blocks;
+        while !rest.is_empty() {
+            let take = per_thread.min(rest.len());
+            let batch: Vec<_> = rest.drain(..take).collect();
+            scope.spawn(move |_| {
+                for (row0, chunk) in batch {
+                    work_ref(row0, chunk);
+                }
+            });
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+/// Applies one reduction panel to an `h x n` output block.
+///
+/// Left-operand values are read as `a[i * a_stride + kk]` for output row
+/// `i` and panel index `kk`; `bp` is the `kc x n` row-major right panel.
+/// Each output cell receives exactly one `+= a * b` per `kk`, in increasing
+/// order, with the running value carried through the cell itself across
+/// panels — i.e. the exact left-to-right fold of the scalar reference.
+fn panel_update(
+    out: &mut [f32],
+    n: usize,
+    h: usize,
+    a: &[f32],
+    a_stride: usize,
+    kc: usize,
+    bp: &[f32],
+) {
+    let mut i = 0;
+    while i < h {
+        let hr = (h - i).min(MR);
+        let mut j = 0;
+        while j < n {
+            let wr = (n - j).min(NR);
+            if hr == MR && wr == NR {
+                micro_tile(out, n, i, j, a, a_stride, kc, bp);
+            } else {
+                edge_tile(out, n, i, j, hr, wr, a, a_stride, kc, bp);
+            }
+            j += wr;
+        }
+        i += hr;
+    }
+}
+
+/// Full `MR x NR` register tile: accumulators live in registers for the
+/// whole panel, and the `NR`-wide inner loop vectorizes.
+#[inline]
+fn micro_tile(
+    out: &mut [f32],
+    n: usize,
+    i: usize,
+    j: usize,
+    a: &[f32],
+    a_stride: usize,
+    kc: usize,
+    bp: &[f32],
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        let base = (i + r) * n + j;
+        accr.copy_from_slice(&out[base..base + NR]);
+    }
+    for kk in 0..kc {
+        let brow = &bp[kk * n + j..kk * n + j + NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[(i + r) * a_stride + kk];
+            for (c, &bv) in accr.iter_mut().zip(brow) {
+                *c += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let base = (i + r) * n + j;
+        out[base..base + NR].copy_from_slice(accr);
+    }
+}
+
+/// Ragged tile at the block edge: same per-cell fold, plain loops.
+#[allow(clippy::too_many_arguments)] // mirrors micro_tile; private hot path
+fn edge_tile(
+    out: &mut [f32],
+    n: usize,
+    i: usize,
+    j: usize,
+    hr: usize,
+    wr: usize,
+    a: &[f32],
+    a_stride: usize,
+    kc: usize,
+    bp: &[f32],
+) {
+    for r in 0..hr {
+        let arow = &a[(i + r) * a_stride..(i + r) * a_stride + kc];
+        let orow = &mut out[(i + r) * n + j..(i + r) * n + j + wr];
+        for (c, o) in orow.iter_mut().enumerate() {
+            let mut acc = *o;
+            for (kk, &av) in arow.iter().enumerate() {
+                acc += av * bp[kk * n + j + c];
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// `out (m x n) = a (m x k) @ b (k x n)`, all row-major. `out` must be
+/// zeroed. Rows of `b` already form contiguous reduction panels, so they
+/// are borrowed in place rather than copied.
+pub(crate) fn gemm_nn(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if out.is_empty() || k == 0 {
+        return;
+    }
+    let flops = (out.len() / n).saturating_mul(n).saturating_mul(k);
+    run_blocks(out, n, flops, |row0, block| {
+        let h = block.len() / n;
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = (k - k0).min(KC);
+            let bp = &b[k0 * n..(k0 + kc) * n];
+            panel_update(block, n, h, &a[row0 * k + k0..], k, kc, bp);
+            k0 += kc;
+        }
+    });
+}
+
+/// `out (m x n) = aᵀ @ b` where `a` is `r_dim x m` and `b` is `r_dim x n`.
+/// `out` must be zeroed. Columns of `a` are strided, so each block packs
+/// its slice of `aᵀ` into a contiguous `h x rc` panel first.
+pub(crate) fn gemm_tn(a: &[f32], r_dim: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if out.is_empty() || r_dim == 0 {
+        return;
+    }
+    let flops = m.saturating_mul(n).saturating_mul(r_dim);
+    run_blocks(out, n, flops, |row0, block| {
+        let h = block.len() / n;
+        let mut ap = vec![0.0f32; h * KC.min(r_dim)];
+        let mut r0 = 0;
+        while r0 < r_dim {
+            let rc = (r_dim - r0).min(KC);
+            for rr in 0..rc {
+                let base = (r0 + rr) * m + row0;
+                for (i, &v) in a[base..base + h].iter().enumerate() {
+                    ap[i * rc + rr] = v;
+                }
+            }
+            panel_update(block, n, h, &ap, rc, rc, &b[r0 * n..(r0 + rc) * n]);
+            r0 += rc;
+        }
+    });
+}
+
+/// `out (m x n) = a @ bᵀ` where `a` is `m x k` and `b` is `n x k`. `out`
+/// must be zeroed. Columns of `bᵀ` are strided rows of `b`, so each block
+/// packs the transposed panel (`kc x n`) before the tile loop.
+pub(crate) fn gemm_nt(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if out.is_empty() || k == 0 {
+        return;
+    }
+    let flops = (out.len() / n).saturating_mul(n).saturating_mul(k);
+    run_blocks(out, n, flops, |row0, block| {
+        let h = block.len() / n;
+        let mut bp = vec![0.0f32; KC.min(k) * n];
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = (k - k0).min(KC);
+            for (j, brow) in b.chunks_exact(k).enumerate() {
+                for (kk, &v) in brow[k0..k0 + kc].iter().enumerate() {
+                    bp[kk * n + j] = v;
+                }
+            }
+            panel_update(block, n, h, &a[row0 * k + k0..], k, kc, &bp);
+            k0 += kc;
+        }
+    });
+}
+
+/// Scalar reference `a @ b`: the plain ikj triple loop, one `+=` per
+/// reduction index in increasing order. This is the oracle the blocked
+/// kernels must match bit for bit.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: {}x{} @ {}x{} mismatch",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let n = b.cols();
+    let mut out = Matrix::zeros(a.rows(), n);
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (k, &a_ik) in a_row.iter().enumerate() {
+            let b_row = b.row(k);
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ik * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Scalar reference `aᵀ @ b` (reduction over rows, increasing row order).
+///
+/// # Panics
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_tn_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn: {}x{}ᵀ @ {}x{} mismatch",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let n = b.cols();
+    let mut out = Matrix::zeros(a.cols(), n);
+    for r in 0..a.rows() {
+        let a_row = a.row(r);
+        let b_row = b.row(r);
+        for (i, &av) in a_row.iter().enumerate() {
+            let out_row = out.row_mut(i);
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Scalar reference `a @ bᵀ` (per-cell dot product, increasing k order).
+///
+/// # Panics
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_nt_ref(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt: {}x{} @ {}x{}ᵀ mismatch",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        for j in 0..b.rows() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            out.set(i, j, acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: u32) -> Matrix {
+        // Cheap deterministic pseudo-random fill; values in [-2, 2).
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 8) as f32 / (1u32 << 22) as f32 - 2.0
+        })
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_nn_matches_reference_bitwise() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 130, 33), (70, 257, 9), (128, 40, 17)] {
+            let a = mat(m, k, 1 + m as u32);
+            let b = mat(k, n, 2 + n as u32);
+            assert_bits_eq(&a.matmul(&b), &matmul_ref(&a, &b));
+        }
+    }
+
+    #[test]
+    fn blocked_tn_matches_reference_bitwise() {
+        for &(r, m, n) in &[(1, 1, 1), (5, 3, 7), (130, 65, 33), (257, 70, 9)] {
+            let a = mat(r, m, 3 + m as u32);
+            let b = mat(r, n, 4 + n as u32);
+            assert_bits_eq(&a.matmul_tn(&b), &matmul_tn_ref(&a, &b));
+        }
+    }
+
+    #[test]
+    fn blocked_nt_matches_reference_bitwise() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 130, 33), (70, 257, 9)] {
+            let a = mat(m, k, 5 + m as u32);
+            let b = mat(n, k, 6 + n as u32);
+            assert_bits_eq(&a.matmul_nt(&b), &matmul_nt_ref(&a, &b));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let a = mat(150, 90, 11);
+        let b = mat(90, 70, 12);
+        let prev = num_threads();
+        set_num_threads(1);
+        let c1 = a.matmul(&b);
+        set_num_threads(2);
+        let c2 = a.matmul(&b);
+        set_num_threads(8);
+        let c8 = a.matmul(&b);
+        set_num_threads(prev);
+        assert_bits_eq(&c1, &c2);
+        assert_bits_eq(&c1, &c8);
+        assert_bits_eq(&c1, &matmul_ref(&a, &b));
+    }
+
+    #[test]
+    fn nan_propagates_through_matmul() {
+        // The old kernel's `a == 0.0` skip turned 0.0 * NaN into 0.0.
+        let mut a = Matrix::zeros(2, 3);
+        a.set(0, 1, 1.0); // row 0 mixes a zero with a finite entry
+        let mut b = mat(3, 4, 9);
+        b.set(0, 2, f32::NAN); // touched by a's zero at (0, 0)
+        let c = a.matmul(&b);
+        assert!(c.get(0, 2).is_nan(), "0.0 * NaN must propagate");
+        assert!(c.get(1, 2).is_nan(), "all-zero row still meets NaN column");
+    }
+
+    #[test]
+    fn nan_propagates_through_matmul_tn() {
+        let mut a = Matrix::zeros(3, 2);
+        let mut b = mat(3, 4, 10);
+        b.set(0, 1, f32::NAN);
+        let c = a.matmul_tn(&b);
+        assert!(c.get(0, 1).is_nan());
+        a.set(0, 0, f32::INFINITY);
+        let c = a.matmul_tn(&b);
+        assert!(c.get(0, 1).is_nan(), "inf * NaN stays NaN");
+    }
+
+    #[test]
+    fn nan_propagates_through_matmul_nt() {
+        let mut a = Matrix::zeros(2, 3);
+        a.set(0, 0, f32::NAN);
+        let b = mat(4, 3, 11);
+        let c = a.matmul_nt(&b);
+        for j in 0..4 {
+            assert!(c.get(0, j).is_nan(), "NaN row infects every dot product");
+        }
+    }
+
+    #[test]
+    fn inf_times_zero_is_nan_like_reference() {
+        let mut a = Matrix::zeros(1, 2);
+        a.set(0, 0, f32::INFINITY);
+        let mut b = Matrix::zeros(2, 1);
+        b.set(0, 0, 0.0);
+        b.set(1, 0, 1.0);
+        let c = a.matmul(&b);
+        assert_bits_eq(&c, &matmul_ref(&a, &b));
+        assert!(c.get(0, 0).is_nan(), "inf * 0.0 is NaN in IEEE 754");
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        let e = Matrix::zeros(0, 5).matmul(&Matrix::zeros(5, 3));
+        assert_eq!(e.shape(), (0, 3));
+        let z = Matrix::zeros(2, 0).matmul(&Matrix::zeros(0, 3));
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let rv = mat(1, 9, 13).matmul(&mat(9, 1, 14));
+        assert_bits_eq(&rv, &matmul_ref(&mat(1, 9, 13), &mat(9, 1, 14)));
+    }
+}

@@ -50,6 +50,7 @@
 
 pub mod gradcheck;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod matrix;
 pub mod optim;
@@ -57,8 +58,9 @@ pub mod params;
 pub mod tape;
 
 pub use init::{seeded_rng, Init};
+pub use kernels::{matmul_nt_ref, matmul_ref, matmul_tn_ref, num_threads, set_num_threads};
 pub use layers::{Activation, Dense, Embedding, OneHot, SoftmaxLayer};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
 pub use params::{ParamId, ParamStore, Snapshot};
-pub use tape::{GradMap, NodeId, Tape};
+pub use tape::{BackwardScratch, GradMap, NodeId, Tape};

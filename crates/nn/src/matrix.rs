@@ -6,6 +6,8 @@
 //! used by backprop, broadcast row operations, element-wise maps and
 //! reductions). All operations are bounds-checked in debug builds and rely
 //! on iterators/slices in release builds so the compiler can elide checks.
+//! The three general matrix products delegate to the cache-blocked,
+//! deterministically parallel kernels in [`crate::kernels`].
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -174,8 +176,10 @@ impl Matrix {
 
     /// `self @ other` (no transposition).
     ///
-    /// Classic ikj loop order so the inner loop walks both `other` and the
-    /// output row contiguously; this is the hot path of training.
+    /// Backed by the cache-blocked, register-tiled, deterministically
+    /// parallel kernel in [`crate::kernels`]; bit-identical to
+    /// [`crate::kernels::matmul_ref`] at any thread count. This is the hot
+    /// path of training.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
@@ -186,24 +190,14 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
-                }
-            }
-        }
+        crate::kernels::gemm_nn(&self.data, self.cols, &other.data, other.cols, &mut out.data);
         out
     }
 
     /// `selfᵀ @ other` without materialising the transpose.
+    ///
+    /// Blocked/parallel like [`Matrix::matmul`]; bit-identical to
+    /// [`crate::kernels::matmul_tn_ref`] at any thread count.
     ///
     /// # Panics
     /// Panics if `self.rows != other.rows`.
@@ -214,24 +208,21 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
-        let n = other.cols;
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::gemm_tn(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
         out
     }
 
     /// `self @ otherᵀ` without materialising the transpose.
+    ///
+    /// Blocked/parallel like [`Matrix::matmul`]; bit-identical to
+    /// [`crate::kernels::matmul_nt_ref`] at any thread count.
     ///
     /// # Panics
     /// Panics if `self.cols != other.cols`.
@@ -242,18 +233,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
+        crate::kernels::gemm_nt(&self.data, self.cols, &other.data, other.rows, &mut out.data);
         out
     }
 

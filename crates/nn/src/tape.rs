@@ -81,9 +81,16 @@ struct Node {
 }
 
 /// Gradients keyed by parameter id, produced by [`Tape::backward`].
+///
+/// A `GradMap` can be reused across batches via [`Tape::backward_into`]:
+/// buffers from the previous batch are parked internally and recycled on
+/// the next accumulation, so steady-state training performs no per-batch
+/// parameter-gradient allocations.
 #[derive(Debug, Default)]
 pub struct GradMap {
     by_index: Vec<Option<Matrix>>,
+    /// Parked buffers from a previous batch, recycled by `accumulate`.
+    pool: Vec<Option<Matrix>>,
 }
 
 impl GradMap {
@@ -132,15 +139,49 @@ impl GradMap {
         factor
     }
 
-    fn accumulate(&mut self, id: ParamId, grad: &Matrix) {
-        if self.by_index.len() <= id.index() {
-            self.by_index.resize_with(id.index() + 1, || None);
+    /// Parks every gradient buffer for recycling and empties the map.
+    ///
+    /// After this call the map reports no gradients; the next
+    /// `accumulate` for a parameter reuses its parked buffer (when the
+    /// shape still matches) instead of allocating.
+    pub fn reset_for_reuse(&mut self) {
+        if self.pool.len() < self.by_index.len() {
+            self.pool.resize_with(self.by_index.len(), || None);
         }
-        match &mut self.by_index[id.index()] {
-            Some(existing) => existing.add_assign(grad),
-            slot @ None => *slot = Some(grad.clone()),
+        for (slot, parked) in self.by_index.iter_mut().zip(self.pool.iter_mut()) {
+            if let Some(g) = slot.take() {
+                *parked = Some(g);
+            }
         }
     }
+
+    fn accumulate(&mut self, id: ParamId, grad: &Matrix) {
+        let idx = id.index();
+        if self.by_index.len() <= idx {
+            self.by_index.resize_with(idx + 1, || None);
+        }
+        if let Some(existing) = &mut self.by_index[idx] {
+            existing.add_assign(grad);
+            return;
+        }
+        let recycled = self.pool.get_mut(idx).and_then(|p| p.take());
+        let buf = match recycled {
+            Some(mut buf) if buf.shape() == grad.shape() => {
+                buf.as_mut_slice().copy_from_slice(grad.as_slice());
+                buf
+            }
+            _ => grad.clone(),
+        };
+        self.by_index[idx] = Some(buf);
+    }
+}
+
+/// Reusable scratch for [`Tape::backward_into`]: holds the per-node
+/// gradient slots between calls so steady-state training does not
+/// reallocate them every batch.
+#[derive(Default)]
+pub struct BackwardScratch {
+    node_grads: Vec<Option<Matrix>>,
 }
 
 /// A recording of one forward computation.
@@ -419,17 +460,44 @@ impl Tape {
         self.push(value, Op::Sum(x))
     }
 
+    /// Clears the recorded computation while keeping the node storage
+    /// allocation, so one tape can be reused across batches.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
     /// Runs reverse-mode differentiation from a scalar node, returning the
     /// gradients of every parameter leaf that contributed to it.
+    ///
+    /// Allocates fresh buffers every call; hot loops should prefer
+    /// [`Tape::backward_into`].
     ///
     /// # Panics
     /// Panics if `loss` is not `1 x 1`.
     pub fn backward(&self, loss: NodeId) -> GradMap {
-        assert_eq!(self.shape(loss), (1, 1), "backward expects a scalar loss node");
-        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
-
+        let mut scratch = BackwardScratch::default();
         let mut params = GradMap::default();
+        self.backward_into(loss, &mut scratch, &mut params);
+        params
+    }
+
+    /// Reverse-mode differentiation into caller-owned buffers.
+    ///
+    /// Equivalent to [`Tape::backward`] but reuses `scratch` (per-node
+    /// gradient slots) and `params` (per-parameter buffers, see
+    /// [`GradMap::reset_for_reuse`]) across calls, eliminating the
+    /// per-batch allocation churn of the training loop. `params` is reset
+    /// before accumulation, so it only ever holds this call's gradients.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward_into(&self, loss: NodeId, scratch: &mut BackwardScratch, params: &mut GradMap) {
+        assert_eq!(self.shape(loss), (1, 1), "backward expects a scalar loss node");
+        params.reset_for_reuse();
+        let grads = &mut scratch.node_grads;
+        grads.clear();
+        grads.resize_with(self.nodes.len(), || None);
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
 
         for idx in (0..self.nodes.len()).rev() {
             let Some(grad) = grads[idx].take() else { continue };
@@ -443,34 +511,34 @@ impl Tape {
                     // dA = G @ Bᵀ ; dB = Aᵀ @ G
                     let da = grad.matmul_nt(self.value(*b));
                     let db = self.value(*a).matmul_tn(&grad);
-                    acc(&mut grads, *a, da);
-                    acc(&mut grads, *b, db);
+                    acc(grads, *a, da);
+                    acc(grads, *b, db);
                 }
                 Op::AddBias(x, bias) => {
                     let db = grad.sum_rows();
-                    acc(&mut grads, *bias, db);
-                    acc(&mut grads, *x, grad);
+                    acc(grads, *bias, db);
+                    acc(grads, *x, grad);
                 }
                 Op::Add(a, b) => {
-                    acc(&mut grads, *a, grad.clone());
-                    acc(&mut grads, *b, grad);
+                    acc(grads, *a, grad.clone());
+                    acc(grads, *b, grad);
                 }
                 Op::Sub(a, b) => {
-                    acc(&mut grads, *a, grad.clone());
+                    acc(grads, *a, grad.clone());
                     let mut neg = grad;
                     neg.scale(-1.0);
-                    acc(&mut grads, *b, neg);
+                    acc(grads, *b, neg);
                 }
                 Op::Mul(a, b) => {
                     let da = grad.clone().hadamard(self.value(*b));
                     let db = grad.hadamard(self.value(*a));
-                    acc(&mut grads, *a, da);
-                    acc(&mut grads, *b, db);
+                    acc(grads, *a, da);
+                    acc(grads, *b, db);
                 }
                 Op::Scale(x, alpha) => {
                     let mut g = grad;
                     g.scale(*alpha);
-                    acc(&mut grads, *x, g);
+                    acc(grads, *x, g);
                 }
                 Op::LeakyRelu(x, slope) => {
                     let input = self.value(*x);
@@ -480,14 +548,14 @@ impl Tape {
                             *gv *= slope;
                         }
                     }
-                    acc(&mut grads, *x, g);
+                    acc(grads, *x, g);
                 }
                 Op::Concat(parts) => {
                     let mut offset = 0;
                     for &p in parts {
                         let width = self.value(p).cols();
                         let g = grad.columns(offset, width);
-                        acc(&mut grads, p, g);
+                        acc(grads, p, g);
                         offset += width;
                     }
                 }
@@ -497,7 +565,7 @@ impl Tape {
                     for r in 0..rows {
                         g.row_mut(r)[*start..start + width].copy_from_slice(grad.row(r));
                     }
-                    acc(&mut grads, *input, g);
+                    acc(grads, *input, g);
                 }
                 Op::SoftmaxRows(x) => {
                     // dX[b,i] = y[b,i] * (g[b,i] - Σ_j g[b,j] y[b,j])
@@ -514,7 +582,7 @@ impl Tape {
                             *o = yv * (gv - dot);
                         }
                     }
-                    acc(&mut grads, *x, g);
+                    acc(grads, *x, g);
                 }
                 Op::Gather { table, indices } => {
                     let (rows, cols) = self.shape(*table);
@@ -526,7 +594,7 @@ impl Tape {
                             *d += s;
                         }
                     }
-                    acc(&mut grads, *table, g);
+                    acc(grads, *table, g);
                 }
                 Op::WeightedCombine { weights, basis, dim } => {
                     let (b, k) = self.shape(*weights);
@@ -543,11 +611,11 @@ impl Tape {
                             g.set(r, ki, s);
                         }
                     }
-                    acc(&mut grads, *weights, g);
+                    acc(grads, *weights, g);
                 }
                 Op::Dropout { input, mask } => {
                     let g = grad.hadamard(mask);
-                    acc(&mut grads, *input, g);
+                    acc(grads, *input, g);
                 }
                 Op::MseLoss { pred, target } => {
                     let scalar = grad.get(0, 0);
@@ -555,7 +623,7 @@ impl Tape {
                     let n = p.len().max(1) as f32;
                     let mut g = p.clone().sub(target);
                     g.scale(2.0 * scalar / n);
-                    acc(&mut grads, *pred, g);
+                    acc(grads, *pred, g);
                 }
                 Op::MaeLoss { pred, target } => {
                     let scalar = grad.get(0, 0);
@@ -570,7 +638,7 @@ impl Tape {
                     {
                         *o = (a - b).signum() * scalar / n;
                     }
-                    acc(&mut grads, *pred, g);
+                    acc(grads, *pred, g);
                 }
                 Op::HuberLoss { pred, target, delta } => {
                     let scalar = grad.get(0, 0);
@@ -586,21 +654,20 @@ impl Tape {
                         let d = a - b;
                         *o = if d.abs() <= *delta { d } else { delta * d.signum() } * scalar / n;
                     }
-                    acc(&mut grads, *pred, g);
+                    acc(grads, *pred, g);
                 }
                 Op::Mean(x) => {
                     let (rows, cols) = self.shape(*x);
                     let scalar = grad.get(0, 0) / (rows * cols).max(1) as f32;
-                    acc(&mut grads, *x, Matrix::full(rows, cols, scalar));
+                    acc(grads, *x, Matrix::full(rows, cols, scalar));
                 }
                 Op::Sum(x) => {
                     let (rows, cols) = self.shape(*x);
                     let scalar = grad.get(0, 0);
-                    acc(&mut grads, *x, Matrix::full(rows, cols, scalar));
+                    acc(grads, *x, Matrix::full(rows, cols, scalar));
                 }
             }
         }
-        params
     }
 }
 
@@ -875,6 +942,48 @@ mod tests {
         let grads = tape.backward(loss);
         assert!((grads.get(a).unwrap().get(0, 0) - 3.0).abs() < 1e-6);
         assert!((grads.get(b).unwrap().get(0, 0) + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_into_reuses_buffers_and_matches_backward() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+        let mut scratch = BackwardScratch::default();
+        let mut reused = GradMap::default();
+        for step in 0..3 {
+            let mut tape = Tape::new();
+            let x = tape.input(Matrix::from_vec(1, 2, vec![1.0 + step as f32, 2.0]));
+            let wn = tape.param(&store, w);
+            let pred = tape.matmul(x, wn);
+            let loss = tape.mse_loss(pred, &Matrix::from_vec(1, 1, vec![0.0]));
+            tape.backward_into(loss, &mut scratch, &mut reused);
+            let fresh = tape.backward(loss);
+            let g = reused.get(w).expect("reused gradient");
+            assert!(g.max_abs_diff(fresh.get(w).unwrap()) == 0.0);
+        }
+    }
+
+    #[test]
+    fn tape_reset_clears_nodes() {
+        let mut tape = Tape::new();
+        let _ = tape.input(Matrix::zeros(2, 2));
+        assert_eq!(tape.len(), 1);
+        tape.reset();
+        assert!(tape.is_empty());
+    }
+
+    #[test]
+    fn grad_map_reset_for_reuse_empties_but_recycles() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let mut tape = Tape::new();
+        let p = tape.param(&store, w);
+        let loss = tape.sum(p);
+        let mut grads = tape.backward(loss);
+        assert_eq!(grads.len(), 1);
+        grads.reset_for_reuse();
+        assert!(grads.is_empty());
+        assert!(grads.get(w).is_none());
     }
 
     #[test]

@@ -1,10 +1,23 @@
 //! Property-based tests for the NN substrate.
 
-use deepsd_nn::{seeded_rng, Init, Matrix, ParamStore, Snapshot, Tape};
+use deepsd_nn::{
+    matmul_nt_ref, matmul_ref, matmul_tn_ref, seeded_rng, Init, Matrix, ParamStore, Snapshot, Tape,
+};
 use proptest::prelude::*;
 
 fn small_dim() -> impl Strategy<Value = usize> {
     1usize..8
+}
+
+/// Dimensions that exercise every kernel path: empty, single row/col
+/// (degenerate tiles), and sizes past the blocking and parallelism
+/// thresholds with ragged remainders.
+fn ragged_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(0usize), Just(1usize), 2usize..70]
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
 }
 
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -51,6 +64,38 @@ proptest! {
         let lhs = a.matmul(&b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
         prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn blocked_matmul_bits_match_reference(
+        (m, k, n) in (ragged_dim(), ragged_dim(), ragged_dim())
+    ) {
+        let mut rng = seeded_rng(7);
+        let a = Init::Uniform(1.0).sample(m, k, &mut rng);
+        let b = Init::Uniform(1.0).sample(k, n, &mut rng);
+        prop_assert_eq!(bits(&a.matmul(&b)), bits(&matmul_ref(&a, &b)));
+    }
+
+    #[test]
+    fn blocked_matmul_tn_bits_match_reference(
+        (m, k, n) in (ragged_dim(), ragged_dim(), ragged_dim())
+    ) {
+        let mut rng = seeded_rng(8);
+        // `a` is stored transposed (k x m); matmul_tn computes aᵀ @ b.
+        let a = Init::Uniform(1.0).sample(k, m, &mut rng);
+        let b = Init::Uniform(1.0).sample(k, n, &mut rng);
+        prop_assert_eq!(bits(&a.matmul_tn(&b)), bits(&matmul_tn_ref(&a, &b)));
+    }
+
+    #[test]
+    fn blocked_matmul_nt_bits_match_reference(
+        (m, k, n) in (ragged_dim(), ragged_dim(), ragged_dim())
+    ) {
+        let mut rng = seeded_rng(9);
+        // `b` is stored transposed (n x k); matmul_nt computes a @ bᵀ.
+        let a = Init::Uniform(1.0).sample(m, k, &mut rng);
+        let b = Init::Uniform(1.0).sample(n, k, &mut rng);
+        prop_assert_eq!(bits(&a.matmul_nt(&b)), bits(&matmul_nt_ref(&a, &b)));
     }
 
     #[test]
