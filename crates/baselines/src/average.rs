@@ -71,12 +71,19 @@ mod tests {
         let ds = SimDataset::generate(&SimConfig::smoke(61));
         let fx = FeatureExtractor::new(&ds, FeatureConfig::default());
         let keys: Vec<ItemKey> = (2..10)
-            .map(|day| ItemKey { area: 1, day, t: 480 })
+            .map(|day| ItemKey {
+                area: 1,
+                day,
+                t: 480,
+            })
             .collect();
         let avg = EmpiricalAverage::fit(&fx, &keys);
-        let manual: f64 =
-            keys.iter().map(|&k| fx.gap(k) as f64).sum::<f64>() / keys.len() as f64;
-        let pred = avg.predict(ItemKey { area: 1, day: 13, t: 480 });
+        let manual: f64 = keys.iter().map(|&k| fx.gap(k) as f64).sum::<f64>() / keys.len() as f64;
+        let pred = avg.predict(ItemKey {
+            area: 1,
+            day: 13,
+            t: 480,
+        });
         assert!((pred as f64 - manual).abs() < 1e-4);
     }
 
@@ -84,13 +91,32 @@ mod tests {
     fn fallback_chain() {
         let ds = SimDataset::generate(&SimConfig::smoke(62));
         let fx = FeatureExtractor::new(&ds, FeatureConfig::default());
-        let keys = vec![ItemKey { area: 0, day: 3, t: 480 }];
+        let keys = vec![ItemKey {
+            area: 0,
+            day: 3,
+            t: 480,
+        }];
         let avg = EmpiricalAverage::fit(&fx, &keys);
         // Unseen slot of a seen area → area average == slot average here.
-        let area_fallback = avg.predict(ItemKey { area: 0, day: 4, t: 990 });
-        assert_eq!(area_fallback, avg.predict(ItemKey { area: 0, day: 9, t: 480 }));
+        let area_fallback = avg.predict(ItemKey {
+            area: 0,
+            day: 4,
+            t: 990,
+        });
+        assert_eq!(
+            area_fallback,
+            avg.predict(ItemKey {
+                area: 0,
+                day: 9,
+                t: 480
+            })
+        );
         // Unseen area → global mean.
-        let global = avg.predict(ItemKey { area: 5, day: 4, t: 990 });
+        let global = avg.predict(ItemKey {
+            area: 5,
+            day: 4,
+            t: 990,
+        });
         assert_eq!(global, avg.global);
     }
 
@@ -99,7 +125,11 @@ mod tests {
         let ds = SimDataset::generate(&SimConfig::smoke(63));
         let fx = FeatureExtractor::new(&ds, FeatureConfig::default());
         let keys: Vec<ItemKey> = (0..6)
-            .map(|a| ItemKey { area: a, day: 5, t: 600 })
+            .map(|a| ItemKey {
+                area: a,
+                day: 5,
+                t: 600,
+            })
             .collect();
         let avg = EmpiricalAverage::fit(&fx, &keys);
         let batch = avg.predict_all(&keys);

@@ -43,13 +43,21 @@ impl Binned {
                 codes[i * tab.d + f] = bin_of(&edges[f], v);
             }
         }
-        Binned { codes, n: tab.n, d: tab.d, edges }
+        Binned {
+            codes,
+            n: tab.n,
+            d: tab.d,
+            edges,
+        }
     }
 
     /// Bins a single raw feature row with the training edges.
     pub fn encode_row(&self, row: &[f32]) -> Vec<u8> {
         assert_eq!(row.len(), self.d, "row width mismatch");
-        row.iter().enumerate().map(|(f, &v)| bin_of(&self.edges[f], v)).collect()
+        row.iter()
+            .enumerate()
+            .map(|(f, &v)| bin_of(&self.edges[f], v))
+            .collect()
     }
 
     /// Bin codes of row `i`.
@@ -137,7 +145,10 @@ mod tests {
     #[test]
     fn encode_row_matches_training_codes() {
         let t = tab(
-            vec![(0..64).map(|v| (v * v) as f32).collect(), (0..64).map(|v| -(v as f32)).collect()],
+            vec![
+                (0..64).map(|v| (v * v) as f32).collect(),
+                (0..64).map(|v| -(v as f32)).collect(),
+            ],
             vec![0.0; 64],
         );
         let b = Binned::from_tabular(&t);

@@ -59,7 +59,12 @@ pub fn tree_features(items: &[Item]) -> Tabular {
             assert_eq!(d, row_d, "inconsistent item dims");
         }
     }
-    Tabular { n: items.len(), d, x, y }
+    Tabular {
+        n: items.len(),
+        d,
+        x,
+        y,
+    }
 }
 
 /// Number of half-hour buckets used to one-hot the timeslot for linear
@@ -82,8 +87,7 @@ pub fn lasso_features(items: &[Item], n_areas: usize) -> Tabular {
         x.extend_from_slice(&area);
         // One-hot half-hour bucket.
         let mut bucket = vec![0.0f32; LASSO_TIME_BUCKETS];
-        bucket[(item.key.t as usize * LASSO_TIME_BUCKETS / 1440).min(LASSO_TIME_BUCKETS - 1)] =
-            1.0;
+        bucket[(item.key.t as usize * LASSO_TIME_BUCKETS / 1440).min(LASSO_TIME_BUCKETS - 1)] = 1.0;
         x.extend_from_slice(&bucket);
         // One-hot weekday.
         let mut week = vec![0.0f32; 7];
@@ -106,7 +110,12 @@ pub fn lasso_features(items: &[Item], n_areas: usize) -> Tabular {
             assert_eq!(d, row_d, "inconsistent item dims");
         }
     }
-    Tabular { n: items.len(), d, x, y }
+    Tabular {
+        n: items.len(),
+        d,
+        x,
+        y,
+    }
 }
 
 #[cfg(test)]

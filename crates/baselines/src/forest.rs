@@ -26,7 +26,12 @@ impl Default for ForestParams {
     fn default() -> Self {
         ForestParams {
             n_trees: 40,
-            tree: TreeParams { max_depth: 12, min_samples_leaf: 5, min_gain: 1e-9, colsample: 0.2 },
+            tree: TreeParams {
+                max_depth: 12,
+                min_samples_leaf: 5,
+                min_gain: 1e-9,
+                colsample: 0.2,
+            },
             seed: 9,
         }
     }
@@ -56,12 +61,18 @@ impl RandomForest {
                 RegressionTree::fit(&binned, &rows, &data.y, &params.tree, &mut rng)
             })
             .collect();
-        RandomForest { trees, binner: Some(binned) }
+        RandomForest {
+            trees,
+            binner: Some(binned),
+        }
     }
 
     /// Predicts one raw feature row (mean of trees, clamped at zero).
     pub fn predict_row(&self, row: &[f32]) -> f32 {
-        let binner = self.binner.as_ref().expect("fitted model retains its binner");
+        let binner = self
+            .binner
+            .as_ref()
+            .expect("fitted model retains its binner");
         let codes = binner.encode_row(row);
         let sum: f32 = self.trees.iter().map(|t| t.predict_codes(&codes)).sum();
         (sum / self.trees.len() as f32).max(0.0)
@@ -98,7 +109,12 @@ mod tests {
     fn params(n_trees: usize) -> ForestParams {
         ForestParams {
             n_trees,
-            tree: TreeParams { max_depth: 8, min_samples_leaf: 2, min_gain: 1e-9, colsample: 1.0 },
+            tree: TreeParams {
+                max_depth: 8,
+                min_samples_leaf: 2,
+                min_gain: 1e-9,
+                colsample: 1.0,
+            },
             seed: 2,
         }
     }

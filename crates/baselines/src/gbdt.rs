@@ -34,7 +34,12 @@ impl Default for GbdtParams {
             n_trees: 80,
             shrinkage: 0.1,
             subsample: 0.7,
-            tree: TreeParams { max_depth: 6, min_samples_leaf: 20, min_gain: 1e-6, colsample: 0.3 },
+            tree: TreeParams {
+                max_depth: 6,
+                min_samples_leaf: 20,
+                min_gain: 1e-6,
+                colsample: 0.3,
+            },
             seed: 5,
         }
     }
@@ -58,7 +63,10 @@ impl Gbdt {
     pub fn fit(data: &Tabular, params: &GbdtParams) -> Gbdt {
         assert!(data.n > 0, "empty dataset");
         assert!(params.n_trees > 0, "need at least one tree");
-        assert!(params.subsample > 0.0 && params.subsample <= 1.0, "bad subsample");
+        assert!(
+            params.subsample > 0.0 && params.subsample <= 1.0,
+            "bad subsample"
+        );
         let binned = Binned::from_tabular(data);
         let mut rng = StdRng::seed_from_u64(params.seed);
 
@@ -88,13 +96,21 @@ impl Gbdt {
             }
             trees.push(tree);
         }
-        Gbdt { base, shrinkage: params.shrinkage, trees, binner: Some(binned) }
+        Gbdt {
+            base,
+            shrinkage: params.shrinkage,
+            trees,
+            binner: Some(binned),
+        }
     }
 
     /// Predicts one raw feature row. Predictions are clamped at zero
     /// (gaps are non-negative).
     pub fn predict_row(&self, row: &[f32]) -> f32 {
-        let binner = self.binner.as_ref().expect("fitted model retains its binner");
+        let binner = self
+            .binner
+            .as_ref()
+            .expect("fitted model retains its binner");
         let codes = binner.encode_row(row);
         let mut out = self.base;
         for tree in &self.trees {
@@ -136,7 +152,12 @@ mod tests {
             n_trees,
             shrinkage: 0.3,
             subsample: 1.0,
-            tree: TreeParams { max_depth: 4, min_samples_leaf: 4, min_gain: 1e-9, colsample: 1.0 },
+            tree: TreeParams {
+                max_depth: 4,
+                min_samples_leaf: 4,
+                min_gain: 1e-9,
+                colsample: 1.0,
+            },
             seed: 1,
         }
     }

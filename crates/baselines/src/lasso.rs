@@ -20,7 +20,11 @@ pub struct LassoParams {
 
 impl Default for LassoParams {
     fn default() -> Self {
-        LassoParams { alpha: 0.01, max_iter: 60, tol: 1e-4 }
+        LassoParams {
+            alpha: 0.01,
+            max_iter: 60,
+            tol: 1e-4,
+        }
     }
 }
 
@@ -124,7 +128,13 @@ impl Lasso {
             }
         }
 
-        Lasso { intercept: y_mean, coef, mean, scale, iterations }
+        Lasso {
+            intercept: y_mean,
+            coef,
+            mean,
+            scale,
+            iterations,
+        }
     }
 
     /// Predicts one raw feature row (clamped at zero — gaps are
@@ -191,7 +201,14 @@ mod tests {
     #[test]
     fn recovers_linear_signal() {
         let data = toy(400, 0.0);
-        let model = Lasso::fit(&data, &LassoParams { alpha: 1e-4, max_iter: 300, tol: 1e-7 });
+        let model = Lasso::fit(
+            &data,
+            &LassoParams {
+                alpha: 1e-4,
+                max_iter: 300,
+                tol: 1e-7,
+            },
+        );
         let preds = model.predict(&data);
         // Predictions are clamped at 0; all targets here are ≥ 0.
         let mae: f32 = preds
@@ -214,7 +231,13 @@ mod tests {
     #[test]
     fn large_alpha_zeroes_everything() {
         let data = toy(200, 0.1);
-        let model = Lasso::fit(&data, &LassoParams { alpha: 100.0, ..LassoParams::default() });
+        let model = Lasso::fit(
+            &data,
+            &LassoParams {
+                alpha: 100.0,
+                ..LassoParams::default()
+            },
+        );
         assert_eq!(model.nnz(), 0);
         // Prediction degenerates to the target mean.
         let mean = data.y.iter().sum::<f32>() / data.n as f32;
@@ -225,7 +248,15 @@ mod tests {
     fn sparsity_increases_with_alpha() {
         let data = toy(300, 0.2);
         let nnz = |alpha: f32| {
-            Lasso::fit(&data, &LassoParams { alpha, max_iter: 200, tol: 1e-7 }).nnz()
+            Lasso::fit(
+                &data,
+                &LassoParams {
+                    alpha,
+                    max_iter: 200,
+                    tol: 1e-7,
+                },
+            )
+            .nnz()
         };
         assert!(nnz(0.0001) >= nnz(0.5));
     }
@@ -233,7 +264,14 @@ mod tests {
     #[test]
     fn irrelevant_feature_is_dropped() {
         let data = toy(500, 0.0);
-        let model = Lasso::fit(&data, &LassoParams { alpha: 0.05, max_iter: 300, tol: 1e-7 });
+        let model = Lasso::fit(
+            &data,
+            &LassoParams {
+                alpha: 0.05,
+                max_iter: 300,
+                tol: 1e-7,
+            },
+        );
         let coefs = model.coefficients();
         assert!(coefs[2].abs() < 0.05, "x2 is irrelevant: {coefs:?}");
         assert!(coefs[0] > 0.0 && coefs[1] < 0.0);
@@ -255,7 +293,11 @@ mod tests {
         // At the optimum: |x_fᵀ r / n| ≤ alpha for zero coefficients,
         // and = alpha (in sign direction) for active ones.
         let data = toy(300, 0.05);
-        let params = LassoParams { alpha: 0.02, max_iter: 500, tol: 1e-8 };
+        let params = LassoParams {
+            alpha: 0.02,
+            max_iter: 500,
+            tol: 1e-8,
+        };
         let model = Lasso::fit(&data, &params);
         // Rebuild standardised design and residual.
         let n = data.n;
@@ -271,7 +313,10 @@ mod tests {
             }
             let grad = dot / n as f32;
             if model.coef[f] == 0.0 {
-                assert!(grad.abs() <= params.alpha + 1e-3, "KKT violated at {f}: {grad}");
+                assert!(
+                    grad.abs() <= params.alpha + 1e-3,
+                    "KKT violated at {f}: {grad}"
+                );
             } else {
                 assert!(
                     (grad - params.alpha * model.coef[f].signum()).abs() < 1e-3,

@@ -26,14 +26,26 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 6, min_samples_leaf: 20, min_gain: 1e-7, colsample: 1.0 }
+        TreeParams {
+            max_depth: 6,
+            min_samples_leaf: 20,
+            min_gain: 1e-7,
+            colsample: 1.0,
+        }
     }
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
-    Leaf { value: f32 },
-    Split { feature: u32, bin: u8, left: u32, right: u32 },
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: u32,
+        bin: u8,
+        left: u32,
+        right: u32,
+    },
 }
 
 /// A fitted regression tree.
@@ -55,7 +67,10 @@ impl RegressionTree {
         rng: &mut StdRng,
     ) -> RegressionTree {
         assert!(!rows.is_empty(), "tree needs samples");
-        assert!(params.colsample > 0.0 && params.colsample <= 1.0, "bad colsample");
+        assert!(
+            params.colsample > 0.0 && params.colsample <= 1.0,
+            "bad colsample"
+        );
         let mut tree = RegressionTree { nodes: Vec::new() };
         let mut rows_owned: Vec<u32> = rows.to_vec();
         tree.grow(data, &mut rows_owned, targets, params, rng, 0);
@@ -101,11 +116,19 @@ impl RegressionTree {
         }
 
         let id = self.nodes.len() as u32;
-        self.nodes.push(Node::Split { feature, bin, left: 0, right: 0 });
+        self.nodes.push(Node::Split {
+            feature,
+            bin,
+            left: 0,
+            right: 0,
+        });
         let (left_rows, right_rows) = rows.split_at_mut(mid);
         let left = self.grow(data, left_rows, targets, params, rng, depth + 1);
         let right = self.grow(data, right_rows, targets, params, rng, depth + 1);
-        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[id as usize] {
+        if let Node::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[id as usize]
+        {
             *l = left;
             *r = right;
         }
@@ -179,7 +202,12 @@ impl RegressionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, bin, left, right } => {
+                Node::Split {
+                    feature,
+                    bin,
+                    left,
+                    right,
+                } => {
                     node = if codes[*feature as usize] <= *bin {
                         *left as usize
                     } else {
@@ -197,7 +225,10 @@ impl RegressionTree {
 
     /// Number of leaves.
     pub fn n_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 
     /// Maximum depth actually reached.
@@ -251,13 +282,24 @@ mod tests {
                 x.push(c[i]);
             }
         }
-        (Binned::from_tabular(&Tabular { x, n, d, y: y.clone() }), y)
+        (
+            Binned::from_tabular(&Tabular {
+                x,
+                n,
+                d,
+                y: y.clone(),
+            }),
+            y,
+        )
     }
 
     #[test]
     fn splits_a_step_function_exactly() {
         let xs: Vec<f32> = (0..200).map(|v| v as f32).collect();
-        let y: Vec<f32> = xs.iter().map(|&v| if v < 100.0 { 1.0 } else { 5.0 }).collect();
+        let y: Vec<f32> = xs
+            .iter()
+            .map(|&v| if v < 100.0 { 1.0 } else { 5.0 })
+            .collect();
         let (data, y) = binned(vec![xs], y);
         let rows: Vec<u32> = (0..200).collect();
         let mut rng = StdRng::seed_from_u64(1);
@@ -265,7 +307,11 @@ mod tests {
             &data,
             &rows,
             &y,
-            &TreeParams { max_depth: 2, min_samples_leaf: 5, ..TreeParams::default() },
+            &TreeParams {
+                max_depth: 2,
+                min_samples_leaf: 5,
+                ..TreeParams::default()
+            },
             &mut rng,
         );
         assert!((tree.predict_codes(&data.encode_row(&[10.0])) - 1.0).abs() < 0.05);
@@ -294,7 +340,11 @@ mod tests {
             &data,
             &rows,
             &y,
-            &TreeParams { max_depth: 3, min_samples_leaf: 1, ..TreeParams::default() },
+            &TreeParams {
+                max_depth: 3,
+                min_samples_leaf: 1,
+                ..TreeParams::default()
+            },
             &mut rng,
         );
         assert!(tree.depth() <= 3);
@@ -303,7 +353,10 @@ mod tests {
     #[test]
     fn respects_min_samples_leaf() {
         let xs: Vec<f32> = (0..100).map(|v| v as f32).collect();
-        let y: Vec<f32> = xs.iter().map(|&v| if v < 3.0 { 100.0 } else { 0.0 }).collect();
+        let y: Vec<f32> = xs
+            .iter()
+            .map(|&v| if v < 3.0 { 100.0 } else { 0.0 })
+            .collect();
         let (data, y) = binned(vec![xs], y);
         let rows: Vec<u32> = (0..100).collect();
         let mut rng = StdRng::seed_from_u64(4);
@@ -311,7 +364,10 @@ mod tests {
             &data,
             &rows,
             &y,
-            &TreeParams { min_samples_leaf: 10, ..TreeParams::default() },
+            &TreeParams {
+                min_samples_leaf: 10,
+                ..TreeParams::default()
+            },
             &mut rng,
         );
         // The first-3-rows split is forbidden; predictions are pooled.
@@ -332,7 +388,11 @@ mod tests {
             &data,
             &rows,
             &y,
-            &TreeParams { max_depth: 1, min_samples_leaf: 5, ..TreeParams::default() },
+            &TreeParams {
+                max_depth: 1,
+                min_samples_leaf: 5,
+                ..TreeParams::default()
+            },
             &mut rng,
         );
         assert!((tree.predict_codes(&data.encode_row(&[0.0, 0.0])) - 0.0).abs() < 0.5);

@@ -79,7 +79,13 @@ fn bench_autodiff(c: &mut Criterion) {
 
 fn bench_simulator(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let city = City::generate(CityConfig { n_areas: 8, ..CityConfig::default() }, &mut rng);
+    let city = City::generate(
+        CityConfig {
+            n_areas: 8,
+            ..CityConfig::default()
+        },
+        &mut rng,
+    );
     let weather = generate_weather(7, &WeatherConfig::default(), &mut rng);
     let area = city.areas[0].clone();
     c.bench_function("simdata/one_area_week_orders", |bench| {
@@ -98,23 +104,40 @@ fn bench_simulator(c: &mut Criterion) {
 
 fn bench_features(c: &mut Criterion) {
     let ds = SimDataset::generate(&SimConfig::smoke(9));
-    let cfg = FeatureConfig { window_l: 20, history_window: 6, ..FeatureConfig::default() };
+    let cfg = FeatureConfig {
+        window_l: 20,
+        history_window: 6,
+        ..FeatureConfig::default()
+    };
     c.bench_function("features/extract_item_cold_and_warm", |bench| {
         let mut fx = FeatureExtractor::new(&ds, cfg.clone());
         let mut t = 100u16;
         bench.iter(|| {
             t = if t >= 1400 { 100 } else { t + 5 };
-            std::hint::black_box(fx.extract(ItemKey { area: 2, day: 10, t }))
+            std::hint::black_box(fx.extract(ItemKey {
+                area: 2,
+                day: 10,
+                t,
+            }))
         })
     });
 }
 
 fn bench_model(c: &mut Criterion) {
     let ds = SimDataset::generate(&SimConfig::smoke(11));
-    let fcfg = FeatureConfig { window_l: 20, history_window: 4, ..FeatureConfig::default() };
+    let fcfg = FeatureConfig {
+        window_l: 20,
+        history_window: 4,
+        ..FeatureConfig::default()
+    };
     let mut fx = FeatureExtractor::new(&ds, fcfg);
-    let keys: Vec<ItemKey> =
-        (0..64).map(|i| ItemKey { area: i % 6, day: 8, t: 200 + i * 15 }).collect();
+    let keys: Vec<ItemKey> = (0..64)
+        .map(|i| ItemKey {
+            area: i % 6,
+            day: 8,
+            t: 200 + i * 15,
+        })
+        .collect();
     let items = fx.extract_all(&keys);
     let batch = Batch::from_items(&items);
     let targets = Matrix::col_vector(batch.targets.clone());
@@ -136,12 +159,20 @@ fn bench_model(c: &mut Criterion) {
 
 fn bench_gbdt(c: &mut Criterion) {
     let ds = SimDataset::generate(&SimConfig::smoke(13));
-    let fcfg = FeatureConfig { window_l: 12, history_window: 3, ..FeatureConfig::default() };
+    let fcfg = FeatureConfig {
+        window_l: 12,
+        history_window: 3,
+        ..FeatureConfig::default()
+    };
     let mut fx = FeatureExtractor::new(&ds, fcfg);
     let keys: Vec<ItemKey> = (7..12u16)
         .flat_map(|day| {
             (0..6u16).flat_map(move |area| {
-                (0..24u16).map(move |i| ItemKey { area, day, t: 60 + i * 55 })
+                (0..24u16).map(move |i| ItemKey {
+                    area,
+                    day,
+                    t: 60 + i * 55,
+                })
             })
         })
         .collect();
@@ -149,7 +180,12 @@ fn bench_gbdt(c: &mut Criterion) {
     let tab = tree_features(&items);
     let params = GbdtParams {
         n_trees: 10,
-        tree: TreeParams { max_depth: 5, min_samples_leaf: 10, min_gain: 1e-6, colsample: 0.3 },
+        tree: TreeParams {
+            max_depth: 5,
+            min_samples_leaf: 10,
+            min_gain: 1e-6,
+            colsample: 0.3,
+        },
         ..GbdtParams::default()
     };
     c.bench_function("baselines/gbdt_fit_10_trees", |bench| {

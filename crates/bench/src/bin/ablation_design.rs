@@ -19,15 +19,25 @@ fn main() {
     let mut fx = pipeline.extractor();
     let test_items = pipeline.test_items(&mut fx);
 
-    let mut report = Report::new("ablation_design", "Design-choice ablations (advanced DeepSD)");
+    let mut report = Report::new(
+        "ablation_design",
+        "Design-choice ablations (advanced DeepSD)",
+    );
 
     // 1. Learned vs uniform combining weights.
     report.line("1. Weekday combining weights        MAE     RMSE");
-    for (label, uniform) in [("learned softmax (paper)", false), ("uniform p = 1/7", true)] {
+    for (label, uniform) in [
+        ("learned softmax (paper)", false),
+        ("uniform p = 1/7", true),
+    ] {
         let mut cfg = pipeline.model_config(Variant::Advanced);
         cfg.uniform_combining = uniform;
         let (_, r) = pipeline.train_model(label, cfg, &mut fx, &test_items);
-        report.line(format!("   {label:<32} {} {}", f2(r.final_mae), f2(r.final_rmse)));
+        report.line(format!(
+            "   {label:<32} {} {}",
+            f2(r.final_mae),
+            f2(r.final_rmse)
+        ));
     }
     report.blank();
 
@@ -54,8 +64,13 @@ fn main() {
         let mut model = DeepSD::new(cfg);
         let mut opts = pipeline.scale.train_options();
         opts.best_k = 1;
-        let (_, r1) =
-            train_ensemble(&mut model, &mut fx, &pipeline.train_keys, &test_items, &opts);
+        let (_, r1) = train_ensemble(
+            &mut model,
+            &mut fx,
+            &pipeline.train_keys,
+            &test_items,
+            &opts,
+        );
         report.line(format!(
             "   K = 1 (single best epoch)        {} {}",
             f2(r1.final_mae),
@@ -66,8 +81,13 @@ fn main() {
         let cfg = pipeline.model_config(Variant::Advanced);
         let mut model = DeepSD::new(cfg);
         let opts = pipeline.scale.train_options();
-        let (ens, rk) =
-            train_ensemble(&mut model, &mut fx, &pipeline.train_keys, &test_items, &opts);
+        let (ens, rk) = train_ensemble(
+            &mut model,
+            &mut fx,
+            &pipeline.train_keys,
+            &test_items,
+            &opts,
+        );
         report.line(format!(
             "   K = {} (paper-style averaging)    {} {}",
             ens.len(),

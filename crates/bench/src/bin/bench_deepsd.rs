@@ -1,15 +1,21 @@
 //! Performance-regression harness: kernel GFLOP/s for all three matmul
 //! orientations (blocked vs scalar reference, multi- and single-thread),
-//! end-to-end training throughput (items/sec, ms/epoch) and prediction
-//! latency (p50/p99), emitted as machine-readable `BENCH_deepsd.json`
-//! next to the human-readable `results/` report.
+//! end-to-end training throughput (items/sec, ms/epoch), a shard-worker
+//! scaling sweep, a sparse-vs-dense optimizer cost curve over inflated
+//! vocabularies, and prediction latency (p50/p99) — emitted as
+//! machine-readable `BENCH_deepsd.json` next to the human-readable
+//! `results/` report.
 //!
-//! Usage: `cargo run --release -p deepsd-bench --bin bench_deepsd [smoke|small|paper]`
+//! Usage:
+//! `cargo run --release -p deepsd-bench --bin bench_deepsd [smoke|small|paper] [--threads N]`
 
-use deepsd::{Predictor, Variant};
+use deepsd::trainer::train_ensemble;
+use deepsd::{DeepSD, Predictor, Variant};
 use deepsd_bench::{Pipeline, Report, Scale};
 use deepsd_features::Batch;
-use deepsd_nn::{matmul_ref, set_num_threads, Matrix};
+use deepsd_nn::{
+    matmul_ref, seeded_rng, set_num_threads, Adam, Embedding, Grad, GradMap, Matrix, ParamStore,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -44,12 +50,32 @@ struct PredictStats {
     batches: usize,
 }
 
+/// Training throughput at one shard-pool worker count.
+#[derive(Debug, Serialize)]
+struct ShardScalePoint {
+    workers: usize,
+    items_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+/// Adam step cost at one vocabulary size: row-sparse gradient touching a
+/// fixed row count versus the equivalent densified gradient.
+#[derive(Debug, Serialize)]
+struct SparseOptimPoint {
+    vocab: usize,
+    touched_rows: usize,
+    sparse_us_per_step: f64,
+    dense_us_per_step: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchOutput {
     scale: String,
     threads: usize,
     kernels: KernelStats,
     training: TrainStats,
+    shard_scaling: Vec<ShardScalePoint>,
+    sparse_optim: Vec<SparseOptimPoint>,
     predict: PredictStats,
 }
 
@@ -91,6 +117,92 @@ fn kernel_stats() -> KernelStats {
     }
 }
 
+/// Trains a fresh model at each worker count and reports throughput.
+/// Short (2-epoch) runs: the sweep measures scaling, not convergence.
+fn shard_scaling(
+    pipeline: &Pipeline,
+    test_items: &[deepsd_features::Item],
+) -> Vec<ShardScalePoint> {
+    let mut points = Vec::new();
+    let mut baseline = 0.0f64;
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut opts = pipeline.scale.train_options();
+        opts.epochs = 2;
+        opts.threads = workers;
+        let mut fx = pipeline.extractor();
+        let mut model = DeepSD::new(pipeline.model_config(Variant::Advanced));
+        let (_, report) =
+            train_ensemble(&mut model, &mut fx, &pipeline.train_keys, test_items, &opts);
+        let secs: f64 = report.epochs.iter().map(|e| e.seconds).sum();
+        let items_per_sec =
+            pipeline.train_keys.len() as f64 * report.epochs.len() as f64 / secs.max(1e-9);
+        if workers == 1 {
+            baseline = items_per_sec;
+        }
+        eprintln!("[shard] workers={workers}: {items_per_sec:.1} items/sec");
+        points.push(ShardScalePoint {
+            workers,
+            items_per_sec,
+            speedup_vs_1: items_per_sec / baseline.max(1e-9),
+        });
+    }
+    points
+}
+
+/// Times Adam steps on an embedding table of growing vocabulary with a
+/// row-sparse gradient touching a fixed number of rows, against the same
+/// gradient densified. Sparse cost should stay roughly flat as the vocab
+/// grows; dense cost grows with the table.
+fn sparse_optim_curve() -> Vec<SparseOptimPoint> {
+    const DIM: usize = 16;
+    const TOUCHED: usize = 64;
+    const STEPS: usize = 500;
+    let mut points = Vec::new();
+    for &vocab in &[58usize, 512, 4096] {
+        let touched = TOUCHED.min(vocab);
+        let mut rng = seeded_rng(7);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "emb", vocab, DIM, &mut rng);
+        let id = emb.param();
+        // Evenly spread touched rows so binary search sees a realistic
+        // index distribution.
+        let indices: Vec<usize> = (0..touched).map(|i| i * vocab / touched).collect();
+        let rows = Matrix::from_fn(touched, DIM, |r, c| ((r * 31 + c) as f32 * 0.13).sin());
+        let sparse = Grad::RowSparse {
+            full_rows: vocab,
+            indices,
+            rows,
+        };
+        let dense = Grad::Dense(sparse.to_dense());
+
+        let time_steps = |grad: &Grad| -> f64 {
+            let mut grads = GradMap::default();
+            grads.accumulate(id, grad.clone());
+            let mut store = store.clone();
+            let mut adam = Adam::new(1e-3, 0.9, 0.999, 1e-8);
+            adam.step(&mut store, &grads); // warmup: allocate moments
+            let start = Instant::now();
+            for _ in 0..STEPS {
+                adam.step(&mut store, &grads);
+            }
+            start.elapsed().as_secs_f64() * 1e6 / STEPS as f64
+        };
+
+        let sparse_us = time_steps(&sparse);
+        let dense_us = time_steps(&dense);
+        eprintln!(
+            "[sparse-optim] vocab={vocab}: sparse {sparse_us:.2}us dense {dense_us:.2}us per step"
+        );
+        points.push(SparseOptimPoint {
+            vocab,
+            touched_rows: touched,
+            sparse_us_per_step: sparse_us,
+            dense_us_per_step: dense_us,
+        });
+    }
+    points
+}
+
 /// The `p`-th percentile of an unsorted sample, in the sample's unit.
 fn percentile(samples: &mut [f64], p: f64) -> f64 {
     assert!(!samples.is_empty(), "percentile of empty sample");
@@ -106,6 +218,9 @@ fn main() {
 
     eprintln!("[kernels] timing 256^3 matmul orientations");
     let kernels = kernel_stats();
+
+    eprintln!("[sparse-optim] timing Adam over inflated vocabularies");
+    let sparse_optim = sparse_optim_curve();
 
     let mut fx = pipeline.extractor();
     let test_items = pipeline.test_items(&mut fx);
@@ -124,6 +239,9 @@ fn main() {
         train_items: pipeline.train_keys.len(),
         final_rmse: train_report.final_rmse,
     };
+
+    eprintln!("[shard] sweeping shard-pool worker counts");
+    let shard_scaling = shard_scaling(&pipeline, &test_items);
 
     // Serving-shaped latency: one batch per timeslot (all areas at once),
     // like OnlinePredictor::predict_all scores them.
@@ -147,23 +265,58 @@ fn main() {
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         kernels,
         training,
+        shard_scaling,
+        sparse_optim,
         predict,
     };
     let json = serde_json::to_string_pretty(&output).expect("bench output serializes");
     std::fs::write("BENCH_deepsd.json", &json).expect("write BENCH_deepsd.json");
     eprintln!("[bench] wrote BENCH_deepsd.json");
 
-    report.kv("matmul nn GFLOP/s", format!("{:.2}", output.kernels.nn_gflops));
-    report.kv("matmul nn GFLOP/s (1 thread)", format!("{:.2}", output.kernels.nn_gflops_1thread));
-    report.kv("matmul tn GFLOP/s", format!("{:.2}", output.kernels.tn_gflops));
-    report.kv("matmul nt GFLOP/s", format!("{:.2}", output.kernels.nt_gflops));
-    report.kv("scalar reference GFLOP/s", format!("{:.2}", output.kernels.reference_gflops));
+    report.kv(
+        "matmul nn GFLOP/s",
+        format!("{:.2}", output.kernels.nn_gflops),
+    );
+    report.kv(
+        "matmul nn GFLOP/s (1 thread)",
+        format!("{:.2}", output.kernels.nn_gflops_1thread),
+    );
+    report.kv(
+        "matmul tn GFLOP/s",
+        format!("{:.2}", output.kernels.tn_gflops),
+    );
+    report.kv(
+        "matmul nt GFLOP/s",
+        format!("{:.2}", output.kernels.nt_gflops),
+    );
+    report.kv(
+        "scalar reference GFLOP/s",
+        format!("{:.2}", output.kernels.reference_gflops),
+    );
     report.kv(
         "1-thread speedup vs reference",
         format!("{:.2}x", output.kernels.speedup_1thread_vs_ref),
     );
-    report.kv("train items/sec", format!("{:.1}", output.training.items_per_sec));
+    report.kv(
+        "train items/sec",
+        format!("{:.1}", output.training.items_per_sec),
+    );
     report.kv("ms/epoch", format!("{:.1}", output.training.ms_per_epoch));
+    for p in &output.shard_scaling {
+        report.kv(
+            &format!("shard workers={}", p.workers),
+            format!("{:.1} items/sec ({:.2}x)", p.items_per_sec, p.speedup_vs_1),
+        );
+    }
+    for p in &output.sparse_optim {
+        report.kv(
+            &format!("adam vocab={}", p.vocab),
+            format!(
+                "sparse {:.2}us dense {:.2}us per step",
+                p.sparse_us_per_step, p.dense_us_per_step
+            ),
+        );
+    }
     report.kv("predict p50 ms", format!("{:.3}", output.predict.p50_ms));
     report.kv("predict p99 ms", format!("{:.3}", output.predict.p99_ms));
     report.finish(pipeline.scale.name);

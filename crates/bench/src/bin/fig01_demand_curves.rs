@@ -22,10 +22,7 @@ fn demand_series(pipeline: &Pipeline, area: u16, day: u16) -> Vec<usize> {
 fn sparkline(series: &[usize]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = series.iter().copied().max().unwrap_or(1).max(1);
-    series
-        .iter()
-        .map(|&v| BARS[(v * 7 / max).min(7)])
-        .collect()
+    series.iter().map(|&v| BARS[(v * 7 / max).min(7)]).collect()
 }
 
 fn main() {
@@ -45,7 +42,12 @@ fn main() {
     // area, the min-ratio one the commute area.
     let ratio_of = |area: u16| -> f64 {
         let count = |day: u16| {
-            pipeline.dataset.orders(area).iter().filter(|o| o.day == day).count()
+            pipeline
+                .dataset
+                .orders(area)
+                .iter()
+                .filter(|o| o.day == day)
+                .count()
         };
         count(sunday) as f64 / count(wednesday).max(1) as f64
     };
@@ -68,8 +70,16 @@ fn main() {
         let wed = demand_series(&pipeline, area, wednesday);
         let sun = demand_series(&pipeline, area, sunday);
         report.line(format!("{label} (area {area}, {arch:?})"));
-        report.line(format!("  Wed (day {wednesday}) total={:>6}  {}", wed.iter().sum::<usize>(), sparkline(&wed)));
-        report.line(format!("  Sun (day {sunday}) total={:>6}  {}", sun.iter().sum::<usize>(), sparkline(&sun)));
+        report.line(format!(
+            "  Wed (day {wednesday}) total={:>6}  {}",
+            wed.iter().sum::<usize>(),
+            sparkline(&wed)
+        ));
+        report.line(format!(
+            "  Sun (day {sunday}) total={:>6}  {}",
+            sun.iter().sum::<usize>(),
+            sparkline(&sun)
+        ));
         let wed_total: usize = wed.iter().sum();
         let sun_total: usize = sun.iter().sum();
         let ratio = sun_total as f64 / wed_total.max(1) as f64;

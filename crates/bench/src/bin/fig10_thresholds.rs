@@ -45,13 +45,21 @@ fn main() {
     thresholds.push(f32::INFINITY);
 
     let mut report = Report::new("fig10", "Fig. 10: Accuracy under different gap thresholds");
-    report.line("threshold     n(test)   GBDT-MAE  Basic-MAE  Adv-MAE | GBDT-RMSE Basic-RMSE  Adv-RMSE");
+    report.line(
+        "threshold     n(test)   GBDT-MAE  Basic-MAE  Adv-MAE | GBDT-RMSE Basic-RMSE  Adv-RMSE",
+    );
     for &thr in &thresholds {
         let n = truth.iter().filter(|&&t| t < thr).count();
-        let Some((g_mae, g_rmse)) = thresholded(&gbdt_pred, &truth, thr) else { continue };
+        let Some((g_mae, g_rmse)) = thresholded(&gbdt_pred, &truth, thr) else {
+            continue;
+        };
         let (b_mae, b_rmse) = thresholded(&basic_pred, &truth, thr).unwrap();
         let (a_mae, a_rmse) = thresholded(&adv_pred, &truth, thr).unwrap();
-        let label = if thr.is_infinite() { "all".to_string() } else { format!("{thr:<6.0}") };
+        let label = if thr.is_infinite() {
+            "all".to_string()
+        } else {
+            format!("{thr:<6.0}")
+        };
         report.line(format!(
             "{label:<12} {n:>8} {g_mae:>10.3} {b_mae:>10.3} {a_mae:>8.3} | {g_rmse:>9.3} {b_rmse:>10.3} {a_rmse:>9.3}"
         ));

@@ -38,7 +38,11 @@ fn main() {
     let keys: Vec<ItemKey> = (0..144u16)
         .map(|i| i * 10)
         .filter(|&t| t >= l && t + 10 <= 1440)
-        .map(|t| ItemKey { area: busiest, day, t })
+        .map(|t| ItemKey {
+            area: busiest,
+            day,
+            t,
+        })
         .collect();
     let curve_items = fx.extract_all(&keys);
     let truth: Vec<f32> = curve_items.iter().map(|i| i.gap).collect();
@@ -70,14 +74,27 @@ fn main() {
         .map(|(i, w)| (i + 1, (w[1] - w[0]).abs()))
         .collect();
     deltas.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let steep: Vec<usize> = deltas.iter().take(deltas.len() / 5).map(|&(i, _)| i).collect();
+    let steep: Vec<usize> = deltas
+        .iter()
+        .take(deltas.len() / 5)
+        .map(|&(i, _)| i)
+        .collect();
     let err = |pred: &[f32]| -> f64 {
-        steep.iter().map(|&i| (pred[i] - truth[i]).abs() as f64).sum::<f64>()
+        steep
+            .iter()
+            .map(|&i| (pred[i] - truth[i]).abs() as f64)
+            .sum::<f64>()
             / steep.len().max(1) as f64
     };
     report.blank();
-    report.kv("MAE on steepest 20% of changes (GBDT)", format!("{:.3}", err(&gbdt_pred)));
-    report.kv("MAE on steepest 20% of changes (DeepSD)", format!("{:.3}", err(&adv_pred)));
+    report.kv(
+        "MAE on steepest 20% of changes (GBDT)",
+        format!("{:.3}", err(&gbdt_pred)),
+    );
+    report.kv(
+        "MAE on steepest 20% of changes (DeepSD)",
+        format!("{:.3}", err(&adv_pred)),
+    );
     report.line("Expected shape (paper Fig. 11): GBDT over/under-shoots under rapid");
     report.line("variations; DeepSD tracks them more closely.");
     report.finish(pipeline.scale.name);

@@ -50,8 +50,10 @@ fn main() {
         })
         .expect("non-empty city");
 
-    let mut report =
-        Report::new("fig15", "Fig. 15: Learned weekday combining weights p(AreaID, WeekID)");
+    let mut report = Report::new(
+        "fig15",
+        "Fig. 15: Learned weekday combining weights p(AreaID, WeekID)",
+    );
     for (label, area) in [("idiosyncratic area", spiky), ("uniform area", uniform)] {
         report.line(format!(
             "{label} (area {}, {:?}, true weekday bias {:?})",

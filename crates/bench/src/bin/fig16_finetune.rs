@@ -19,9 +19,17 @@ fn main() {
     stage1_cfg.env = EnvBlocks::None;
     let opts = pipeline.scale.train_options();
     let mut pretrained = DeepSD::new(stage1_cfg);
-    eprintln!("[stage1 (no env)] {} parameters", pretrained.num_parameters());
-    let stage1_report =
-        train(&mut pretrained, &mut fx, &pipeline.train_keys, &test_items, &opts);
+    eprintln!(
+        "[stage1 (no env)] {} parameters",
+        pretrained.num_parameters()
+    );
+    let stage1_report = train(
+        &mut pretrained,
+        &mut fx,
+        &pipeline.train_keys,
+        &test_items,
+        &opts,
+    );
     eprintln!(
         "[stage1 (no env)] final MAE={:.3} RMSE={:.3}",
         stage1_report.final_mae, stage1_report.final_rmse
@@ -32,44 +40,80 @@ fn main() {
     pretrained.add_environment_blocks(EnvBlocks::WeatherTraffic);
     eprintln!("[fine-tune] continuing with appended env blocks");
     let start = evaluate_model(&pretrained, &test_items, 256);
-    eprintln!("[fine-tune] starting RMSE {:.3} (stage-1 knowledge retained)", start.rmse);
-    let finetune_report =
-        train(&mut pretrained, &mut fx, &pipeline.train_keys, &test_items, &opts);
+    eprintln!(
+        "[fine-tune] starting RMSE {:.3} (stage-1 knowledge retained)",
+        start.rmse
+    );
+    let finetune_report = train(
+        &mut pretrained,
+        &mut fx,
+        &pipeline.train_keys,
+        &test_items,
+        &opts,
+    );
 
     // Stage 2b: re-train the full model from scratch.
     eprintln!("[re-train] training full model from scratch");
     let mut fresh = DeepSD::new(pipeline.model_config(Variant::Advanced));
-    let retrain_report = train(&mut fresh, &mut fx, &pipeline.train_keys, &test_items, &opts);
+    let retrain_report = train(
+        &mut fresh,
+        &mut fx,
+        &pipeline.train_keys,
+        &test_items,
+        &opts,
+    );
 
     let mut report = Report::new(
         "fig16",
         "Fig. 16: Fine-tuning vs re-training after adding env blocks",
     );
     report.line("epoch   fine-tune RMSE   re-train RMSE");
-    for (f, r) in finetune_report.epochs.iter().zip(retrain_report.epochs.iter()) {
-        report.line(format!("{:>5} {:>16.3} {:>15.3}", f.epoch, f.eval_rmse, r.eval_rmse));
+    for (f, r) in finetune_report
+        .epochs
+        .iter()
+        .zip(retrain_report.epochs.iter())
+    {
+        report.line(format!(
+            "{:>5} {:>16.3} {:>15.3}",
+            f.epoch, f.eval_rmse, r.eval_rmse
+        ));
     }
     report.blank();
-    report.kv("fine-tune final MAE/RMSE", format!(
-        "{:.3} / {:.3}",
-        finetune_report.final_mae, finetune_report.final_rmse
-    ));
-    report.kv("re-train final MAE/RMSE", format!(
-        "{:.3} / {:.3}",
-        retrain_report.final_mae, retrain_report.final_rmse
-    ));
+    report.kv(
+        "fine-tune final MAE/RMSE",
+        format!(
+            "{:.3} / {:.3}",
+            finetune_report.final_mae, finetune_report.final_rmse
+        ),
+    );
+    report.kv(
+        "re-train final MAE/RMSE",
+        format!(
+            "{:.3} / {:.3}",
+            retrain_report.final_mae, retrain_report.final_rmse
+        ),
+    );
 
     // Convergence speed: first epoch at which each run gets within 5% of
     // its own best RMSE.
     let reach = |epochs: &[deepsd::trainer::EpochStats]| {
-        let best = epochs.iter().map(|e| e.eval_rmse).fold(f64::INFINITY, f64::min);
+        let best = epochs
+            .iter()
+            .map(|e| e.eval_rmse)
+            .fold(f64::INFINITY, f64::min);
         epochs
             .iter()
             .position(|e| e.eval_rmse <= best * 1.05)
             .unwrap_or(epochs.len())
     };
-    report.kv("epochs to within 5% of best (fine-tune)", reach(&finetune_report.epochs));
-    report.kv("epochs to within 5% of best (re-train)", reach(&retrain_report.epochs));
+    report.kv(
+        "epochs to within 5% of best (fine-tune)",
+        reach(&finetune_report.epochs),
+    );
+    report.kv(
+        "epochs to within 5% of best (re-train)",
+        reach(&retrain_report.epochs),
+    );
     report.blank();
     report.line("Expected shape (paper Fig. 16): fine-tuning starts from a much lower");
     report.line("error and reaches its plateau in far fewer epochs than re-training.");

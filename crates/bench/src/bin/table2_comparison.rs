@@ -28,12 +28,18 @@ fn main() {
         "  AreaID    R^{:<5} -> R^{}   (identity part, extended order part)",
         cfg.n_areas, cfg.area_dim
     ));
-    report.line(format!("  TimeID    R^1440  -> R^{}   (identity part)", cfg.time_dim));
+    report.line(format!(
+        "  TimeID    R^1440  -> R^{}   (identity part)",
+        cfg.time_dim
+    ));
     report.line(format!(
         "  WeekID    R^7     -> R^{}   (identity part, extended order part)",
         cfg.week_dim
     ));
-    report.line(format!("  wc.type   R^10    -> R^{}   (environment part)", cfg.weather_dim));
+    report.line(format!(
+        "  wc.type   R^10    -> R^{}   (environment part)",
+        cfg.weather_dim
+    ));
     report.blank();
 
     // --- Empirical Average -------------------------------------------------
@@ -56,7 +62,11 @@ fn main() {
 
     eprintln!("[lasso] fitting");
     let lasso = Lasso::fit(&lasso_train, &LassoParams::default());
-    eprintln!("[lasso] {} non-zero coefficients after {} sweeps", lasso.nnz(), lasso.iterations);
+    eprintln!(
+        "[lasso] {} non-zero coefficients after {} sweeps",
+        lasso.nnz(),
+        lasso.iterations
+    );
     let lasso_eval = evaluate(&lasso.predict(&lasso_test), &truth);
 
     eprintln!("[gbdt] fitting");
@@ -83,10 +93,26 @@ fn main() {
     );
 
     report.line("Model                MAE     RMSE");
-    report.line(format!("Average         {} {}", f2(avg_eval.mae), f2(avg_eval.rmse)));
-    report.line(format!("LASSO           {} {}", f2(lasso_eval.mae), f2(lasso_eval.rmse)));
-    report.line(format!("GBDT            {} {}", f2(gbdt_eval.mae), f2(gbdt_eval.rmse)));
-    report.line(format!("RF              {} {}", f2(rf_eval.mae), f2(rf_eval.rmse)));
+    report.line(format!(
+        "Average         {} {}",
+        f2(avg_eval.mae),
+        f2(avg_eval.rmse)
+    ));
+    report.line(format!(
+        "LASSO           {} {}",
+        f2(lasso_eval.mae),
+        f2(lasso_eval.rmse)
+    ));
+    report.line(format!(
+        "GBDT            {} {}",
+        f2(gbdt_eval.mae),
+        f2(gbdt_eval.rmse)
+    ));
+    report.line(format!(
+        "RF              {} {}",
+        f2(rf_eval.mae),
+        f2(rf_eval.rmse)
+    ));
     report.line(format!(
         "Basic DeepSD    {} {}",
         f2(basic_report.final_mae),

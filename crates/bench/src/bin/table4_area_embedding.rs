@@ -73,7 +73,10 @@ fn main() {
     report.line("least-similar pair by demand-curve correlation):");
     report.line(format!(
         "          {}",
-        sample.iter().map(|a| format!("A{a:<7}")).collect::<String>()
+        sample
+            .iter()
+            .map(|a| format!("A{a:<7}"))
+            .collect::<String>()
     ));
     for &a in &sample {
         let row: String = sample
@@ -104,7 +107,10 @@ fn main() {
     let ds: Vec<f64> = dist_corr_pairs.iter().map(|p| p.0).collect();
     let cs: Vec<f64> = dist_corr_pairs.iter().map(|p| p.1).collect();
     let relation = correlation(&ds, &cs);
-    report.kv("corr(embedding distance, curve similarity)", format!("{relation:.3}"));
+    report.kv(
+        "corr(embedding distance, curve similarity)",
+        format!("{relation:.3}"),
+    );
     report.line("Expected shape (paper §VI-D): negative — areas close in the embedding");
     report.line("space share similar supply-demand patterns, regardless of scale.");
     report.blank();

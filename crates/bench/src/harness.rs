@@ -3,9 +3,7 @@
 
 use deepsd::trainer::{evaluate_model, train_ensemble};
 use deepsd::{DeepSD, Ensemble, ModelConfig, TrainOptions, TrainReport};
-use deepsd_features::{
-    test_keys, train_keys, FeatureConfig, FeatureExtractor, Item, ItemKey,
-};
+use deepsd_features::{test_keys, train_keys, FeatureConfig, FeatureExtractor, Item, ItemKey};
 use deepsd_simdata::{CityConfig, OrderGenConfig, SimConfig, SimDataset};
 use std::ops::Range;
 
@@ -32,6 +30,9 @@ pub struct Scale {
     /// 394k-item scale; the smaller default scales overfit less with a
     /// milder rate.
     pub dropout: f32,
+    /// Worker threads for kernels, the training shard pool and batch
+    /// prediction (`0` = auto-detect). Set by the `--threads` CLI flag.
+    pub threads: usize,
 }
 
 impl Scale {
@@ -40,7 +41,10 @@ impl Scale {
         Scale {
             name: "smoke",
             sim: SimConfig {
-                city: CityConfig { n_areas: 8, seed: 2024 },
+                city: CityConfig {
+                    n_areas: 8,
+                    seed: 2024,
+                },
                 n_days: 21,
                 ..SimConfig::smoke(2024)
             },
@@ -58,6 +62,7 @@ impl Scale {
             epochs: 4,
             best_k: 2,
             dropout: 0.3,
+            threads: 0,
         }
     }
 
@@ -66,13 +71,19 @@ impl Scale {
         Scale {
             name: "small",
             sim: SimConfig {
-                city: CityConfig { n_areas: 16, seed: 2024 },
+                city: CityConfig {
+                    n_areas: 16,
+                    seed: 2024,
+                },
                 n_days: 38,
                 // Paper-like order density: the Didi areas are 3 km x 3 km
                 // districts with mean 10-minute gaps around 10-15; tripling
                 // the per-area volume moves the gap scale (and hence the
                 // pattern-to-Poisson-noise ratio) into that regime.
-                orders: OrderGenConfig { demand_volume: 3.0, supply_slack: 1.0 },
+                orders: OrderGenConfig {
+                    demand_volume: 3.0,
+                    supply_slack: 1.0,
+                },
                 ..SimConfig::smoke(2024)
             },
             features: FeatureConfig {
@@ -92,6 +103,7 @@ impl Scale {
             epochs: 16,
             best_k: 6,
             dropout: 0.3,
+            threads: 0,
         }
     }
 
@@ -101,7 +113,10 @@ impl Scale {
         Scale {
             name: "paper",
             sim: SimConfig {
-                city: CityConfig { n_areas: 58, seed: 2024 },
+                city: CityConfig {
+                    n_areas: 58,
+                    seed: 2024,
+                },
                 n_days: 52,
                 ..SimConfig::paper(2024)
             },
@@ -111,23 +126,40 @@ impl Scale {
             epochs: 50,
             best_k: 10,
             dropout: 0.5,
+            threads: 0,
         }
     }
 
-    /// Parses the first CLI argument into a scale (default `small`).
+    /// Parses the CLI arguments into a scale: an optional positional
+    /// scale name (default `small`) plus an optional `--threads N` flag
+    /// capping worker threads (kernels, shard pool, batch prediction).
     ///
     /// Environment overrides for experimentation:
     /// `DEEPSD_EPOCHS`, `DEEPSD_TRAIN_STRIDE`, `DEEPSD_BEST_K`.
     ///
     /// # Panics
-    /// Panics on an unknown scale name.
+    /// Panics on an unknown scale name or a malformed `--threads` value.
     pub fn from_args() -> Scale {
-        let mut scale = match std::env::args().nth(1).as_deref() {
+        let mut positional: Option<String> = None;
+        let mut threads = 0usize;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--threads" {
+                let v = args.next().expect("--threads needs a value");
+                threads = v.parse().expect("--threads must be an integer");
+            } else if positional.is_none() {
+                positional = Some(arg);
+            } else {
+                panic!("unexpected argument '{arg}'");
+            }
+        }
+        let mut scale = match positional.as_deref() {
             None | Some("small") => Scale::small(),
             Some("smoke") => Scale::smoke(),
             Some("paper") => Scale::paper(),
             Some(other) => panic!("unknown scale '{other}' (expected smoke|small|paper)"),
         };
+        scale.threads = threads;
         if let Some(e) = env_usize("DEEPSD_EPOCHS") {
             scale.epochs = e;
         }
@@ -146,6 +178,7 @@ impl Scale {
         let mut opts = TrainOptions {
             epochs: self.epochs,
             best_k: self.best_k,
+            threads: self.threads,
             ..TrainOptions::default()
         };
         if let Ok(v) = std::env::var("DEEPSD_LR") {
@@ -156,7 +189,10 @@ impl Scale {
 }
 
 fn env_usize(key: &str) -> Option<usize> {
-    std::env::var(key).ok().map(|v| v.parse().unwrap_or_else(|_| panic!("{key} must be an integer")))
+    std::env::var(key).ok().map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{key} must be an integer"))
+    })
 }
 
 /// A generated dataset plus its item grids.
@@ -194,7 +230,12 @@ impl Pipeline {
             train_keys.len(),
             test_keys.len()
         );
-        Pipeline { scale, dataset, train_keys, test_keys }
+        Pipeline {
+            scale,
+            dataset,
+            train_keys,
+            test_keys,
+        }
     }
 
     /// A fresh extractor over the dataset.
@@ -209,7 +250,10 @@ impl Pipeline {
 
     /// Ground-truth gaps of the test items.
     pub fn test_gaps(&self, extractor: &FeatureExtractor<'_>) -> Vec<f32> {
-        self.test_keys.iter().map(|&k| extractor.gap(k) as f32).collect()
+        self.test_keys
+            .iter()
+            .map(|&k| extractor.gap(k) as f32)
+            .collect()
     }
 
     /// A model config of the requested variant sized to this pipeline.
@@ -240,7 +284,10 @@ impl Pipeline {
         let mut model = DeepSD::new(cfg);
         eprintln!("[{label}] {} parameters", model.num_parameters());
         let before = evaluate_model(&model, eval_items, 256);
-        eprintln!("[{label}] init MAE={:.3} RMSE={:.3}", before.mae, before.rmse);
+        eprintln!(
+            "[{label}] init MAE={:.3} RMSE={:.3}",
+            before.mae, before.rmse
+        );
         let opts = self.scale.train_options();
         let (ensemble, report) =
             train_ensemble(&mut model, extractor, &self.train_keys, eval_items, &opts);

@@ -16,7 +16,11 @@ pub struct Report {
 impl Report {
     /// Creates a report for experiment `id` (e.g. `"table2"`).
     pub fn new(id: &str, title: &str) -> Report {
-        Report { id: id.to_string(), title: title.to_string(), body: String::new() }
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            body: String::new(),
+        }
     }
 
     /// Appends one line.
@@ -49,9 +53,9 @@ impl Report {
         println!("{header}{}", self.body);
         let dir = PathBuf::from("results");
         let path = dir.join(format!("{}_{}.txt", self.id, scale));
-        if let Err(e) = fs::create_dir_all(&dir).and_then(|_| {
-            fs::write(&path, format!("{header}{}", self.body))
-        }) {
+        if let Err(e) = fs::create_dir_all(&dir)
+            .and_then(|_| fs::write(&path, format!("{header}{}", self.body)))
+        {
             eprintln!("[report] could not write {}: {e}", path.display());
         } else {
             eprintln!("[report] wrote {}", path.display());

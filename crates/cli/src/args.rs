@@ -58,7 +58,8 @@ impl Args {
 
     /// Required string flag.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError(format!("missing required --{key}")))
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required --{key}")))
     }
 
     /// Typed flag with a default.
@@ -74,7 +75,8 @@ impl Args {
     /// Required typed flag.
     pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
         let raw = self.require(key)?;
-        raw.parse().map_err(|_| ArgError(format!("--{key}: cannot parse '{raw}'")))
+        raw.parse()
+            .map_err(|_| ArgError(format!("--{key}: cannot parse '{raw}'")))
     }
 
     /// A day range flag in `start..end` form.
@@ -85,10 +87,12 @@ impl Args {
                 let (a, b) = raw
                     .split_once("..")
                     .ok_or_else(|| ArgError(format!("--{key}: expected start..end")))?;
-                let start: u16 =
-                    a.parse().map_err(|_| ArgError(format!("--{key}: bad start '{a}'")))?;
-                let end: u16 =
-                    b.parse().map_err(|_| ArgError(format!("--{key}: bad end '{b}'")))?;
+                let start: u16 = a
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{key}: bad start '{a}'")))?;
+                let end: u16 = b
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{key}: bad end '{b}'")))?;
                 if start >= end {
                     return Err(ArgError(format!("--{key}: empty range {start}..{end}")));
                 }

@@ -49,9 +49,9 @@ and `--blackout-*` declares environment-feed outages (minute ranges of
 the prediction day). Feed status and ingest counters are printed with
 the predictions. `train` writes checksummed checkpoints; `evaluate` and
 `predict` verify them on load (legacy bare-JSON models still load).
-`--threads` sets the worker-thread count for the parallel kernels and
-batch scoring (0 = auto-detect); results are bit-identical at any
-thread count.
+`--threads` sets the worker-thread count for the parallel kernels, the
+training shard pool and batch scoring (0 = auto-detect); results are
+bit-identical at any thread count.
 ";
 
 /// `simulate`: generate a dataset and write it as a binary blob.
@@ -98,7 +98,8 @@ pub fn inspect(args: &Args) -> CmdResult {
     let ds = load_dataset(args)?;
     println!("areas: {}", ds.n_areas());
     println!("days:  {}", ds.n_days);
-    println!("orders: {} ({} unanswered, {:.1}%)",
+    println!(
+        "orders: {} ({} unanswered, {:.1}%)",
         ds.total_orders(),
         ds.total_invalid(),
         100.0 * ds.total_invalid() as f64 / ds.total_orders().max(1) as f64
@@ -128,8 +129,20 @@ fn feature_config(args: &Args) -> Result<FeatureConfig, ArgError> {
 /// `train`: train a model on a dataset and write a JSON checkpoint.
 pub fn train_cmd(args: &Args) -> CmdResult {
     args.check_known(&[
-        "data", "out", "variant", "env", "train-days", "eval-days", "epochs", "window",
-        "dropout", "lr", "best-k", "history-window", "stride", "threads",
+        "data",
+        "out",
+        "variant",
+        "env",
+        "train-days",
+        "eval-days",
+        "epochs",
+        "window",
+        "dropout",
+        "lr",
+        "best-k",
+        "history-window",
+        "stride",
+        "threads",
     ])?;
     let ds = load_dataset(args)?;
     let out = args.require("out")?;
@@ -194,9 +207,15 @@ pub fn train_cmd(args: &Args) -> CmdResult {
             report.divergence_recoveries
         );
     }
-    println!("final: MAE {:.3}, RMSE {:.3}", report.final_mae, report.final_rmse);
+    println!(
+        "final: MAE {:.3}, RMSE {:.3}",
+        report.final_mae, report.final_rmse
+    );
     save_checkpoint(out, &model)?;
-    println!("wrote {out} ({} parameters, checksummed)", model.num_parameters());
+    println!(
+        "wrote {out} ({} parameters, checksummed)",
+        model.num_parameters()
+    );
     Ok(())
 }
 
@@ -209,14 +228,23 @@ fn load_model(args: &Args) -> Result<DeepSD, Box<dyn std::error::Error>> {
 /// empirical-average baseline for context.
 pub fn evaluate(args: &Args) -> CmdResult {
     args.check_known(&[
-        "data", "model", "test-days", "window", "history-window", "stride", "threads",
+        "data",
+        "model",
+        "test-days",
+        "window",
+        "history-window",
+        "stride",
+        "threads",
     ])?;
     deepsd::set_num_threads(args.get_or("threads", 0usize)?);
     let ds = load_dataset(args)?;
     let model = load_model(args)?;
     let mut fcfg = feature_config(args)?;
     fcfg.window_l = model.config().window_l;
-    let test_days = args.get_range("test-days", (ds.n_days.saturating_sub(14)).max(1)..ds.n_days)?;
+    let test_days = args.get_range(
+        "test-days",
+        (ds.n_days.saturating_sub(14)).max(1)..ds.n_days,
+    )?;
 
     let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
     let te = test_keys(ds.n_areas() as u16, test_days.clone(), &fcfg);
@@ -232,7 +260,10 @@ pub fn evaluate(args: &Args) -> CmdResult {
         let avg = EmpiricalAverage::fit(&fx, &avg_keys);
         let truth: Vec<f32> = items.iter().map(|i| i.gap).collect();
         let avg_eval = deepsd::evaluate(&avg.predict_all(&te), &truth);
-        println!("average   MAE {:.3}  RMSE {:.3}", avg_eval.mae, avg_eval.rmse);
+        println!(
+            "average   MAE {:.3}  RMSE {:.3}",
+            avg_eval.mae, avg_eval.rmse
+        );
     }
     Ok(())
 }
@@ -242,9 +273,22 @@ pub fn evaluate(args: &Args) -> CmdResult {
 /// injection and feed blackouts.
 pub fn predict(args: &Args) -> CmdResult {
     args.check_known(&[
-        "data", "model", "day", "t", "area", "window", "history-window", "stride",
-        "ingest-policy", "fault-shuffle", "fault-drop", "fault-dup", "fault-seed",
-        "blackout-weather", "blackout-traffic", "threads",
+        "data",
+        "model",
+        "day",
+        "t",
+        "area",
+        "window",
+        "history-window",
+        "stride",
+        "ingest-policy",
+        "fault-shuffle",
+        "fault-drop",
+        "fault-dup",
+        "fault-seed",
+        "blackout-weather",
+        "blackout-traffic",
+        "threads",
     ])?;
     deepsd::set_num_threads(args.get_or("threads", 0usize)?);
     let ds = load_dataset(args)?;
@@ -275,9 +319,10 @@ pub fn predict(args: &Args) -> CmdResult {
         duplicate_rate: args.get_or("fault-dup", 0.0f64)?,
     };
     let mut health = FeedHealth::default();
-    for (flag, kind) in
-        [("blackout-weather", FeedKind::Weather), ("blackout-traffic", FeedKind::Traffic)]
-    {
+    for (flag, kind) in [
+        ("blackout-weather", FeedKind::Weather),
+        ("blackout-traffic", FeedKind::Traffic),
+    ] {
         if args.get(flag).is_some() {
             let r = args.get_range(flag, 0..1)?;
             health.add_day_outage(kind, day, r.start, r.end);
@@ -305,7 +350,10 @@ pub fn predict(args: &Args) -> CmdResult {
     println!("area  predicted  actual");
     for &area in &areas {
         let actual = predictor.extractor().gap(ItemKey { area, day, t });
-        println!("{:>4} {:>10.2} {:>7}", area, report.predictions[area as usize], actual);
+        println!(
+            "{:>4} {:>10.2} {:>7}",
+            area, report.predictions[area as usize], actual
+        );
     }
     Ok(())
 }

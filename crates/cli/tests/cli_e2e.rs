@@ -23,12 +23,23 @@ fn full_pipeline_roundtrip() {
     // simulate
     let out = bin()
         .args([
-            "simulate", "--out", data.to_str().unwrap(), "--areas", "4", "--days", "12",
-            "--seed", "5",
+            "simulate",
+            "--out",
+            data.to_str().unwrap(),
+            "--areas",
+            "4",
+            "--days",
+            "12",
+            "--seed",
+            "5",
         ])
         .output()
         .expect("run simulate");
-    assert!(out.status.success(), "simulate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(data.exists());
 
     // inspect
@@ -44,13 +55,31 @@ fn full_pipeline_roundtrip() {
     // train (tiny: 1 epoch, small window)
     let out = bin()
         .args([
-            "train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap(),
-            "--variant", "basic", "--epochs", "1", "--window", "8", "--train-days", "7..10",
-            "--eval-days", "10..12", "--stride", "60",
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--variant",
+            "basic",
+            "--epochs",
+            "1",
+            "--window",
+            "8",
+            "--train-days",
+            "7..10",
+            "--eval-days",
+            "10..12",
+            "--stride",
+            "60",
         ])
         .output()
         .expect("run train");
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("final: MAE"), "train output: {text}");
@@ -58,23 +87,43 @@ fn full_pipeline_roundtrip() {
     // evaluate
     let out = bin()
         .args([
-            "evaluate", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
-            "--test-days", "10..12",
+            "evaluate",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--test-days",
+            "10..12",
         ])
         .output()
         .expect("run evaluate");
-    assert!(out.status.success(), "evaluate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "evaluate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("model     MAE"));
 
     // predict
     let out = bin()
         .args([
-            "predict", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
-            "--day", "11", "--t", "480",
+            "predict",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--day",
+            "11",
+            "--t",
+            "480",
         ])
         .output()
         .expect("run predict");
-    assert!(out.status.success(), "predict failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "predict failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     // One line per area plus header.
     assert!(text.lines().count() >= 6, "predict output: {text}");
@@ -115,23 +164,50 @@ fn predict_rejects_out_of_range_day() {
     let data = dir.join("c.dsd");
     let model = dir.join("m.json");
     assert!(bin()
-        .args(["simulate", "--out", data.to_str().unwrap(), "--areas", "3", "--days", "10"])
+        .args([
+            "simulate",
+            "--out",
+            data.to_str().unwrap(),
+            "--areas",
+            "3",
+            "--days",
+            "10"
+        ])
         .status()
         .unwrap()
         .success());
     assert!(bin()
         .args([
-            "train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap(),
-            "--epochs", "1", "--window", "8", "--train-days", "7..8", "--eval-days", "8..10",
-            "--stride", "120",
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--epochs",
+            "1",
+            "--window",
+            "8",
+            "--train-days",
+            "7..8",
+            "--eval-days",
+            "8..10",
+            "--stride",
+            "120",
         ])
         .status()
         .unwrap()
         .success());
     let out = bin()
         .args([
-            "predict", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
-            "--day", "99", "--t", "480",
+            "predict",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--day",
+            "99",
+            "--t",
+            "480",
         ])
         .output()
         .unwrap();
@@ -146,15 +222,37 @@ fn predict_survives_fault_injection_and_reports_counters() {
     let data = dir.join("c.dsd");
     let model = dir.join("m.ckpt");
     assert!(bin()
-        .args(["simulate", "--out", data.to_str().unwrap(), "--areas", "4", "--days", "12"])
+        .args([
+            "simulate",
+            "--out",
+            data.to_str().unwrap(),
+            "--areas",
+            "4",
+            "--days",
+            "12"
+        ])
         .status()
         .unwrap()
         .success());
     assert!(bin()
         .args([
-            "train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap(),
-            "--variant", "basic", "--epochs", "1", "--window", "8", "--train-days", "7..9",
-            "--eval-days", "9..12", "--stride", "120",
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--variant",
+            "basic",
+            "--epochs",
+            "1",
+            "--window",
+            "8",
+            "--train-days",
+            "7..9",
+            "--eval-days",
+            "9..12",
+            "--stride",
+            "120",
         ])
         .status()
         .unwrap()
@@ -164,14 +262,31 @@ fn predict_survives_fault_injection_and_reports_counters() {
     // weather blackout over the prediction window.
     let out = bin()
         .args([
-            "predict", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
-            "--day", "11", "--t", "600",
-            "--ingest-policy", "reorder:5", "--fault-shuffle", "5", "--fault-dup", "0.2",
-            "--blackout-weather", "550..700",
+            "predict",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--day",
+            "11",
+            "--t",
+            "600",
+            "--ingest-policy",
+            "reorder:5",
+            "--fault-shuffle",
+            "5",
+            "--fault-dup",
+            "0.2",
+            "--blackout-weather",
+            "550..700",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "faulty predict failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "faulty predict failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("policy: reorder:5"), "{text}");
     assert!(text.contains("weather stale"), "{text}");
@@ -182,8 +297,17 @@ fn predict_survives_fault_injection_and_reports_counters() {
     // error, not a panic.
     let out = bin()
         .args([
-            "predict", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
-            "--day", "11", "--t", "600", "--fault-shuffle", "5",
+            "predict",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--day",
+            "11",
+            "--t",
+            "600",
+            "--fault-shuffle",
+            "5",
         ])
         .output()
         .unwrap();
@@ -199,15 +323,35 @@ fn corrupt_checkpoint_is_rejected_with_typed_error() {
     let data = dir.join("c.dsd");
     let model = dir.join("m.ckpt");
     assert!(bin()
-        .args(["simulate", "--out", data.to_str().unwrap(), "--areas", "3", "--days", "10"])
+        .args([
+            "simulate",
+            "--out",
+            data.to_str().unwrap(),
+            "--areas",
+            "3",
+            "--days",
+            "10"
+        ])
         .status()
         .unwrap()
         .success());
     assert!(bin()
         .args([
-            "train", "--data", data.to_str().unwrap(), "--out", model.to_str().unwrap(),
-            "--epochs", "1", "--window", "8", "--train-days", "7..8", "--eval-days", "8..10",
-            "--stride", "120",
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--epochs",
+            "1",
+            "--window",
+            "8",
+            "--train-days",
+            "7..8",
+            "--eval-days",
+            "8..10",
+            "--stride",
+            "120",
         ])
         .status()
         .unwrap()
@@ -221,8 +365,13 @@ fn corrupt_checkpoint_is_rejected_with_typed_error() {
 
     let out = bin()
         .args([
-            "evaluate", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
-            "--test-days", "8..10",
+            "evaluate",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--test-days",
+            "8..10",
         ])
         .output()
         .unwrap();
@@ -238,8 +387,13 @@ fn corrupt_checkpoint_is_rejected_with_typed_error() {
     std::fs::write(&model, &blob[..blob.len() - 20]).unwrap();
     let out = bin()
         .args([
-            "evaluate", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(),
-            "--test-days", "8..10",
+            "evaluate",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--test-days",
+            "8..10",
         ])
         .output()
         .unwrap();

@@ -84,7 +84,14 @@ impl Encoders {
     /// Registers all encoder parameters.
     pub fn new(store: &mut ParamStore, cfg: &ModelConfig, rng: &mut StdRng) -> Self {
         Encoders {
-            area: Encoder::new(store, "emb.area", cfg.n_areas, cfg.area_dim, cfg.encoding, rng),
+            area: Encoder::new(
+                store,
+                "emb.area",
+                cfg.n_areas,
+                cfg.area_dim,
+                cfg.encoding,
+                rng,
+            ),
             time: Encoder::new(
                 store,
                 "emb.time",
@@ -167,10 +174,21 @@ impl EnvBlock {
         rng: &mut StdRng,
     ) -> Self {
         let act = Activation::LeakyRelu(cfg.lrel_slope);
-        let in_dim = if cfg.residual { cfg.hidden2 + env_dim } else { env_dim };
+        let in_dim = if cfg.residual {
+            cfg.hidden2 + env_dim
+        } else {
+            env_dim
+        };
         EnvBlock {
             fc1: Dense::new(store, &format!("{name}.fc1"), in_dim, cfg.hidden1, act, rng),
-            fc2: Dense::new(store, &format!("{name}.fc2"), cfg.hidden1, cfg.hidden2, act, rng),
+            fc2: Dense::new(
+                store,
+                &format!("{name}.fc2"),
+                cfg.hidden1,
+                cfg.hidden2,
+                act,
+                rng,
+            ),
             residual: cfg.residual,
         }
     }
@@ -233,7 +251,11 @@ impl ExtendedBlock {
     ) -> Self {
         let act = Activation::LeakyRelu(cfg.lrel_slope);
         let feat_dim = 4 * cfg.projection_dim;
-        let in_dim = if cfg.residual && has_prev { cfg.hidden2 + feat_dim } else { feat_dim };
+        let in_dim = if cfg.residual && has_prev {
+            cfg.hidden2 + feat_dim
+        } else {
+            feat_dim
+        };
         ExtendedBlock {
             combine: SoftmaxLayer::new(
                 store,
@@ -251,7 +273,14 @@ impl ExtendedBlock {
                 rng,
             ),
             fc1: Dense::new(store, &format!("{name}.fc1"), in_dim, cfg.hidden1, act, rng),
-            fc2: Dense::new(store, &format!("{name}.fc2"), cfg.hidden1, cfg.hidden2, act, rng),
+            fc2: Dense::new(
+                store,
+                &format!("{name}.fc2"),
+                cfg.hidden1,
+                cfg.hidden2,
+                act,
+                rng,
+            ),
             residual: cfg.residual,
             has_prev,
             uniform_combining: cfg.uniform_combining,
@@ -335,8 +364,16 @@ pub fn weather_input(
     weather_scalars: Matrix,
 ) -> NodeId {
     let n = weather_scalars.rows();
-    assert_eq!(weather_types.len(), n * l, "weather type ids shape mismatch");
-    assert_eq!(weather_scalars.cols(), 2 * l, "weather scalars shape mismatch");
+    assert_eq!(
+        weather_types.len(),
+        n * l,
+        "weather type ids shape mismatch"
+    );
+    assert_eq!(
+        weather_scalars.cols(),
+        2 * l,
+        "weather scalars shape mismatch"
+    );
     let scalars = tape.input(weather_scalars);
     let mut parts = Vec::with_capacity(2 * l);
     for ell in 1..=l {
@@ -468,12 +505,28 @@ mod tests {
         let v = tape.input(Matrix::full(2, dim, 0.3));
         let h = Matrix::full(2, 7 * dim, 0.2);
         let x1 = first.forward(
-            &mut tape, &store, &enc, &[1, 2], &[0, 6], v, h.clone(), h.clone(), None,
+            &mut tape,
+            &store,
+            &enc,
+            &[1, 2],
+            &[0, 6],
+            v,
+            h.clone(),
+            h.clone(),
+            None,
         );
         assert_eq!(tape.shape(x1), (2, cfg.hidden2));
         let v2 = tape.input(Matrix::full(2, dim, 0.1));
         let x2 = second.forward(
-            &mut tape, &store, &enc, &[1, 2], &[0, 6], v2, h.clone(), h, Some(x1),
+            &mut tape,
+            &store,
+            &enc,
+            &[1, 2],
+            &[0, 6],
+            v2,
+            h.clone(),
+            h,
+            Some(x1),
         );
         assert_eq!(tape.shape(x2), (2, cfg.hidden2));
     }
@@ -534,14 +587,18 @@ mod tests {
         let v = tape.input(Matrix::full(1, dim, 0.5));
         // Distinct weekday histories so p actually matters.
         let h = Matrix::from_fn(1, 7 * dim, |_, c| (c / dim) as f32);
-        let x = block.forward(
-            &mut tape, &store, &enc, &[2], &[3], v, h.clone(), h, None,
-        );
+        let x = block.forward(&mut tape, &store, &enc, &[2], &[3], v, h.clone(), h, None);
         let loss = tape.mean(x);
         let grads = tape.backward(loss);
         let area_param = enc.area.as_embedding().unwrap().param();
-        let g = grads.get(area_param).expect("area embedding gradient");
-        assert!(g.row(2).iter().any(|&v| v != 0.0), "used row must receive gradient");
+        let g = grads
+            .get(area_param)
+            .expect("area embedding gradient")
+            .to_dense();
+        assert!(
+            g.row(2).iter().any(|&v| v != 0.0),
+            "used row must receive gradient"
+        );
         assert!(g.row(0).iter().all(|&v| v == 0.0), "unused row stays zero");
     }
 }

@@ -52,10 +52,16 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
             CheckpointError::BadMagic => {
-                write!(f, "not a {CHECKPOINT_MAGIC} checkpoint (or legacy model JSON)")
+                write!(
+                    f,
+                    "not a {CHECKPOINT_MAGIC} checkpoint (or legacy model JSON)"
+                )
             }
             CheckpointError::Truncated { expected, actual } => {
-                write!(f, "checkpoint truncated: header promises {expected} bytes, found {actual}")
+                write!(
+                    f,
+                    "checkpoint truncated: header promises {expected} bytes, found {actual}"
+                )
             }
             CheckpointError::ChecksumMismatch { expected, actual } => write!(
                 f,
@@ -95,8 +101,12 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Serialises a model into the checksummed checkpoint format.
 pub fn encode_checkpoint(model: &DeepSD) -> Vec<u8> {
     let body = model.to_json().into_bytes();
-    let mut out =
-        format!("{CHECKPOINT_MAGIC} {} {:016x}\n", body.len(), fnv1a64(&body)).into_bytes();
+    let mut out = format!(
+        "{CHECKPOINT_MAGIC} {} {:016x}\n",
+        body.len(),
+        fnv1a64(&body)
+    )
+    .into_bytes();
     out.extend_from_slice(&body);
     out
 }
@@ -118,7 +128,10 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<DeepSD, CheckpointError> {
     let newline = rest
         .iter()
         .position(|&b| b == b'\n')
-        .ok_or(CheckpointError::Truncated { expected: 1, actual: 0 })?;
+        .ok_or(CheckpointError::Truncated {
+            expected: 1,
+            actual: 0,
+        })?;
     let header = std::str::from_utf8(&rest[..newline])
         .map_err(|e| CheckpointError::Malformed(format!("header not utf-8: {e}")))?;
     let mut fields = header.split_whitespace();
@@ -137,7 +150,10 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<DeepSD, CheckpointError> {
 
     let body = &rest[newline + 1..];
     if body.len() < len {
-        return Err(CheckpointError::Truncated { expected: len, actual: body.len() });
+        return Err(CheckpointError::Truncated {
+            expected: len,
+            actual: body.len(),
+        });
     }
     if body.len() > len {
         return Err(CheckpointError::Malformed(format!(
@@ -236,7 +252,10 @@ mod tests {
     fn trailing_garbage_is_rejected() {
         let mut blob = encode_checkpoint(&tiny_model());
         blob.extend_from_slice(b"extra");
-        assert!(matches!(decode_checkpoint(&blob), Err(CheckpointError::Malformed(_))));
+        assert!(matches!(
+            decode_checkpoint(&blob),
+            Err(CheckpointError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -245,7 +264,10 @@ mod tests {
             decode_checkpoint(b"GARBAGE not a checkpoint"),
             Err(CheckpointError::BadMagic)
         ));
-        assert!(matches!(decode_checkpoint(b""), Err(CheckpointError::BadMagic)));
+        assert!(matches!(
+            decode_checkpoint(b""),
+            Err(CheckpointError::BadMagic)
+        ));
     }
 
     #[test]
@@ -274,7 +296,10 @@ mod tests {
         let loaded = load_checkpoint(&path).expect("load");
         assert_eq!(loaded.to_json(), model.to_json());
         std::fs::remove_file(&path).ok();
-        assert!(matches!(load_checkpoint(&path), Err(CheckpointError::Io(_))));
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Io(_))
+        ));
     }
 
     #[test]

@@ -116,7 +116,10 @@ impl ModelConfig {
 
     /// Paper-default advanced model for `n_areas` areas.
     pub fn advanced(n_areas: usize) -> Self {
-        ModelConfig { variant: Variant::Advanced, ..Self::basic(n_areas) }
+        ModelConfig {
+            variant: Variant::Advanced,
+            ..Self::basic(n_areas)
+        }
     }
 
     /// Width of each real-time vector (`2L`).

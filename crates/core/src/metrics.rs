@@ -66,7 +66,11 @@ pub struct Evaluation {
 
 /// Computes both metrics at once.
 pub fn evaluate(pred: &[f32], truth: &[f32]) -> Evaluation {
-    Evaluation { mae: mae(pred, truth), rmse: rmse(pred, truth), n: pred.len() }
+    Evaluation {
+        mae: mae(pred, truth),
+        rmse: rmse(pred, truth),
+        n: pred.len(),
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,7 @@
 //! concatenation wiring, and embedding or one-hot encodings.
 
 use crate::blocks::{
-    weather_input, Encoders, EnvBlock, ExtendedBlock, IdentityBlock, OutputHead,
-    SupplyDemandBlock,
+    weather_input, Encoders, EnvBlock, ExtendedBlock, IdentityBlock, OutputHead, SupplyDemandBlock,
 };
 use crate::config::{EnvBlocks, ModelConfig, Variant};
 use deepsd_features::Batch;
@@ -39,7 +38,10 @@ pub struct BlockMask {
 
 impl Default for BlockMask {
     fn default() -> Self {
-        BlockMask { weather: true, traffic: true }
+        BlockMask {
+            weather: true,
+            traffic: true,
+        }
     }
 }
 
@@ -69,11 +71,19 @@ impl DeepSD {
         let mut rng = seeded_rng(config.seed);
         let encoders = Encoders::new(&mut store, &config, &mut rng);
         let order = match config.variant {
-            Variant::Basic => OrderPart::Basic(SupplyDemandBlock::new(&mut store, &config, &mut rng)),
+            Variant::Basic => {
+                OrderPart::Basic(SupplyDemandBlock::new(&mut store, &config, &mut rng))
+            }
             Variant::Advanced => OrderPart::Advanced {
-                sd: Box::new(ExtendedBlock::new(&mut store, "ext.sd", &config, false, &mut rng)),
-                lc: Box::new(ExtendedBlock::new(&mut store, "ext.lc", &config, true, &mut rng)),
-                wt: Box::new(ExtendedBlock::new(&mut store, "ext.wt", &config, true, &mut rng)),
+                sd: Box::new(ExtendedBlock::new(
+                    &mut store, "ext.sd", &config, false, &mut rng,
+                )),
+                lc: Box::new(ExtendedBlock::new(
+                    &mut store, "ext.lc", &config, true, &mut rng,
+                )),
+                wt: Box::new(ExtendedBlock::new(
+                    &mut store, "ext.wt", &config, true, &mut rng,
+                )),
             },
         };
         let weather = config.env.has_weather().then(|| {
@@ -91,7 +101,15 @@ impl DeepSD {
             .then(|| EnvBlock::new(&mut store, "tc", &config, 4 * config.window_l, &mut rng));
         let head_in = Self::head_input_dim(&config);
         let head = OutputHead::new(&mut store, &config, head_in, &mut rng);
-        DeepSD { config, store, encoders, order, weather, traffic, head }
+        DeepSD {
+            config,
+            store,
+            encoders,
+            order,
+            weather,
+            traffic,
+            head,
+        }
     }
 
     fn head_input_dim(config: &ModelConfig) -> usize {
@@ -103,8 +121,7 @@ impl DeepSD {
                 Variant::Basic => 1,
                 Variant::Advanced => 3,
             };
-            let env_blocks =
-                config.env.has_weather() as usize + config.env.has_traffic() as usize;
+            let env_blocks = config.env.has_weather() as usize + config.env.has_traffic() as usize;
             config.identity_dim() + (order_blocks + env_blocks) * config.hidden2
         }
     }
@@ -318,8 +335,28 @@ impl DeepSD {
     /// (degraded serving; see [`BlockMask`]).
     pub fn predict_masked(&self, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
         let mut tape = Tape::new();
-        let y = self.forward_masked(&mut tape, batch, None, mask);
-        tape.value(y).as_slice().iter().map(|&v| v.max(0.0)).collect()
+        self.predict_masked_with(&mut tape, batch, mask)
+    }
+
+    /// [`DeepSD::predict_masked`] recording onto a caller-owned tape.
+    ///
+    /// The tape is reset, not replaced, so its node storage and pooled
+    /// gather buffers survive between calls — a serving loop that keeps
+    /// one tape per worker performs no per-request tape allocations in
+    /// steady state.
+    pub fn predict_masked_with(
+        &self,
+        tape: &mut Tape,
+        batch: &Batch,
+        mask: &BlockMask,
+    ) -> Vec<f32> {
+        tape.reset();
+        let y = self.forward_masked(tape, batch, None, mask);
+        tape.value(y)
+            .as_slice()
+            .iter()
+            .map(|&v| v.max(0.0))
+            .collect()
     }
 
     /// The learned weekday combining weights `p` for one
@@ -339,7 +376,10 @@ impl DeepSD {
     /// Euclidean distance of two areas in the embedding space
     /// (Table IV). `None` under one-hot encoding.
     pub fn area_distance(&self, a: usize, b: usize) -> Option<f32> {
-        self.encoders.area.as_embedding().map(|e| e.distance(&self.store, a, b))
+        self.encoders
+            .area
+            .as_embedding()
+            .map(|e| e.distance(&self.store, a, b))
     }
 
     /// Takes a parameter snapshot.
@@ -375,6 +415,15 @@ pub trait Predictor {
         let _ = mask;
         self.predict(batch)
     }
+
+    /// [`Predictor::predict_masked`] recording onto a caller-owned tape,
+    /// allowing hot loops to reuse tape storage across requests.
+    /// Predictors that do not record on a tape fall back to
+    /// [`Predictor::predict_masked`].
+    fn predict_masked_with(&self, tape: &mut Tape, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
+        let _ = tape;
+        self.predict_masked(batch, mask)
+    }
 }
 
 impl Predictor for DeepSD {
@@ -384,6 +433,10 @@ impl Predictor for DeepSD {
 
     fn predict_masked(&self, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
         DeepSD::predict_masked(self, batch, mask)
+    }
+
+    fn predict_masked_with(&self, tape: &mut Tape, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
+        DeepSD::predict_masked_with(self, tape, batch, mask)
     }
 }
 
@@ -427,9 +480,17 @@ impl Predictor for Ensemble {
     }
 
     fn predict_masked(&self, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
+        let mut tape = Tape::new();
+        self.predict_masked_with(&mut tape, batch, mask)
+    }
+
+    fn predict_masked_with(&self, tape: &mut Tape, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
         let mut acc = vec![0.0f32; batch.n];
         for member in &self.members {
-            for (a, p) in acc.iter_mut().zip(member.predict_masked(batch, mask)) {
+            for (a, p) in acc
+                .iter_mut()
+                .zip(member.predict_masked_with(tape, batch, mask))
+            {
                 *a += p;
             }
         }
@@ -459,7 +520,11 @@ mod tests {
     fn fake_item(area: u16, gap: f32, l: usize) -> Item {
         let dim = 2 * l;
         Item {
-            key: ItemKey { area, day: 8, t: 500 },
+            key: ItemKey {
+                area,
+                day: 8,
+                t: 500,
+            },
             weekday: 1,
             gap,
             v_sd: (0..dim).map(|i| 0.1 * i as f32).collect(),
@@ -478,7 +543,11 @@ mod tests {
     }
 
     fn fake_batch(l: usize) -> Batch {
-        Batch::from_items(&[fake_item(0, 3.0, l), fake_item(3, 0.0, l), fake_item(5, 7.0, l)])
+        Batch::from_items(&[
+            fake_item(0, 3.0, l),
+            fake_item(3, 0.0, l),
+            fake_item(5, 7.0, l),
+        ])
     }
 
     #[test]
@@ -500,7 +569,11 @@ mod tests {
     #[test]
     fn all_wirings_forward() {
         for variant in [Variant::Basic, Variant::Advanced] {
-            for env in [EnvBlocks::None, EnvBlocks::Weather, EnvBlocks::WeatherTraffic] {
+            for env in [
+                EnvBlocks::None,
+                EnvBlocks::Weather,
+                EnvBlocks::WeatherTraffic,
+            ] {
                 for residual in [true, false] {
                     let model = DeepSD::new(tiny_cfg(variant, env, residual));
                     let preds = model.predict(&fake_batch(4));
@@ -524,8 +597,20 @@ mod tests {
         let model = DeepSD::new(tiny_cfg(Variant::Advanced, EnvBlocks::WeatherTraffic, true));
         let batch = fake_batch(4);
         let full = model.predict(&batch);
-        let no_weather = model.predict_masked(&batch, &BlockMask { weather: false, traffic: true });
-        let no_env = model.predict_masked(&batch, &BlockMask { weather: false, traffic: false });
+        let no_weather = model.predict_masked(
+            &batch,
+            &BlockMask {
+                weather: false,
+                traffic: true,
+            },
+        );
+        let no_env = model.predict_masked(
+            &batch,
+            &BlockMask {
+                weather: false,
+                traffic: false,
+            },
+        );
         assert_ne!(full, no_weather, "weather block must contribute");
         assert_ne!(no_weather, no_env, "traffic block must contribute");
         for p in no_weather.iter().chain(no_env.iter()) {
@@ -539,7 +624,10 @@ mod tests {
     fn masking_no_env_model_is_identity() {
         let model = DeepSD::new(tiny_cfg(Variant::Advanced, EnvBlocks::None, true));
         let batch = fake_batch(4);
-        let mask = BlockMask { weather: false, traffic: false };
+        let mask = BlockMask {
+            weather: false,
+            traffic: false,
+        };
         assert_eq!(model.predict(&batch), model.predict_masked(&batch, &mask));
     }
 
@@ -547,7 +635,10 @@ mod tests {
     fn mask_is_ignored_under_concat_wiring() {
         let model = DeepSD::new(tiny_cfg(Variant::Basic, EnvBlocks::WeatherTraffic, false));
         let batch = fake_batch(4);
-        let mask = BlockMask { weather: false, traffic: false };
+        let mask = BlockMask {
+            weather: false,
+            traffic: false,
+        };
         // Concatenation wiring cannot detach blocks; the mask must not
         // change the head's input width (no panic) or the output.
         assert_eq!(model.predict(&batch), model.predict_masked(&batch, &mask));
@@ -558,7 +649,10 @@ mod tests {
         let cfg = tiny_cfg(Variant::Basic, EnvBlocks::WeatherTraffic, true);
         let model = DeepSD::new(cfg);
         let batch = fake_batch(4);
-        let mask = BlockMask { weather: false, traffic: false };
+        let mask = BlockMask {
+            weather: false,
+            traffic: false,
+        };
         let solo = model.predict_masked(&batch, &mask);
         let ens = Ensemble::new(vec![model]);
         assert_eq!(Predictor::predict_masked(&ens, &batch, &mask), solo);
@@ -602,7 +696,10 @@ mod tests {
         let y1 = model.forward(&mut t1, &batch, Some(&mut rng1));
         let mut t2 = Tape::new();
         let y2 = model.forward(&mut t2, &batch, Some(&mut rng2));
-        assert!(t1.value(y1).max_abs_diff(t2.value(y2)) > 0.0, "dropout must randomise");
+        assert!(
+            t1.value(y1).max_abs_diff(t2.value(y2)) > 0.0,
+            "dropout must randomise"
+        );
     }
 
     #[test]
@@ -663,7 +760,10 @@ mod tests {
     fn ensemble_prediction_is_mean_of_members() {
         let cfg = tiny_cfg(Variant::Basic, EnvBlocks::None, true);
         let mut a = DeepSD::new(cfg.clone());
-        let b = DeepSD::new(ModelConfig { seed: cfg.seed + 1, ..cfg });
+        let b = DeepSD::new(ModelConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        });
         // Make the members differ.
         let first = a.store().iter().next().unwrap().0;
         a.store_mut().get_mut(first).scale(1.5);

@@ -30,6 +30,7 @@ use deepsd_features::{
     Batch, FeatureExtractor, FeedState, FeedStatus, IngestError, IngestPolicy, IngestStats, Item,
     ItemKey, OnlineWindow,
 };
+use deepsd_nn::Tape;
 use deepsd_simdata::Order;
 
 /// Areas per scoring batch in [`OnlinePredictor::predict_all_report`].
@@ -58,6 +59,10 @@ pub struct OnlinePredictor<'a, P: Predictor> {
     policy: IngestPolicy,
     /// Counters for orders no window ever saw (unknown areas).
     stray: IngestStats,
+    /// Tape reused by the single-area hot path; keeps node storage and
+    /// pooled gather buffers alive so steady-state serving performs no
+    /// per-request tape allocations.
+    serve_tape: Tape,
 }
 
 impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
@@ -76,7 +81,14 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
         let windows = (0..extractor.n_areas() as u16)
             .map(|area| OnlineWindow::with_policy(area, &cfg, policy))
             .collect();
-        OnlinePredictor { model, extractor, windows, policy, stray: IngestStats::default() }
+        OnlinePredictor {
+            model,
+            extractor,
+            windows,
+            policy,
+            stray: IngestStats::default(),
+            serve_tape: Tape::new(),
+        }
     }
 
     /// Ingests one order from the live stream.
@@ -92,9 +104,10 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
         if area >= self.windows.len() {
             self.stray.unknown_area += 1;
             return match self.policy {
-                IngestPolicy::Reject => {
-                    Err(IngestError::UnknownArea { area: order.loc_start, n_areas: self.windows.len() })
-                }
+                IngestPolicy::Reject => Err(IngestError::UnknownArea {
+                    area: order.loc_start,
+                    n_areas: self.windows.len(),
+                }),
                 _ => Ok(()),
             };
         }
@@ -118,7 +131,9 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
     /// Cumulative ingest counters: all per-area windows plus
     /// unknown-area strays.
     pub fn ingest_stats(&self) -> IngestStats {
-        self.windows.iter().fold(self.stray, |acc, w| acc.merge(&w.stats()))
+        self.windows
+            .iter()
+            .fold(self.stray, |acc, w| acc.merge(&w.stats()))
     }
 
     /// The wrapped feature extractor (feed health, ground truth).
@@ -165,7 +180,11 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
         let chunks: Vec<&[Item]> = items.chunks(SERVE_BATCH).collect();
         let predictions =
             crate::trainer::predict_chunks_masked(&self.model, &chunks, &mask).concat();
-        ServingReport { predictions, feeds, ingest: self.ingest_stats() }
+        ServingReport {
+            predictions,
+            feeds,
+            ingest: self.ingest_stats(),
+        }
     }
 
     /// Predicts the gap of every area for the window `[t, t + C)` of
@@ -178,7 +197,8 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
     pub fn predict_area(&mut self, area: u16, day: u16, t: u16) -> f32 {
         let item = self.item(area, day, t);
         let mask = Self::mask_for(&self.extractor.feed_status(day, t));
-        self.model.predict_masked(&Batch::from_items(&[item]), &mask)[0]
+        self.model
+            .predict_masked_with(&mut self.serve_tape, &Batch::from_items(&[item]), &mask)[0]
     }
 
     /// The wrapped model.
@@ -198,7 +218,11 @@ mod tests {
 
     fn setup(seed: u64) -> (SimDataset, FeatureConfig, DeepSD) {
         let ds = SimDataset::generate(&SimConfig::smoke(seed));
-        let fcfg = FeatureConfig { window_l: 10, history_window: 3, ..FeatureConfig::default() };
+        let fcfg = FeatureConfig {
+            window_l: 10,
+            history_window: 3,
+            ..FeatureConfig::default()
+        };
         let mut mcfg = ModelConfig::advanced(ds.n_areas());
         mcfg.window_l = fcfg.window_l;
         (ds, fcfg, DeepSD::new(mcfg))
@@ -229,7 +253,9 @@ mod tests {
         let serving_fx = FeatureExtractor::new(&ds, fcfg);
         let mut predictor = OnlinePredictor::new(model, serving_fx);
         for area in 0..ds.n_areas() as u16 {
-            predictor.observe_all(&day_stream(&ds, area, day, 600)).unwrap();
+            predictor
+                .observe_all(&day_stream(&ds, area, day, 600))
+                .unwrap();
         }
         let report = predictor.predict_all_report(day, 600);
 
@@ -260,7 +286,10 @@ mod tests {
         assert!(!stream.is_empty());
         fed.observe_all(&stream).unwrap();
         let p_fed = fed.predict_area(area, day, 540);
-        assert_ne!(p_empty, p_fed, "streamed orders must influence the prediction");
+        assert_ne!(
+            p_empty, p_fed,
+            "streamed orders must influence the prediction"
+        );
     }
 
     #[test]
@@ -298,11 +327,12 @@ mod tests {
         let (ds, fcfg, model) = setup(125);
         let n_areas = ds.n_areas();
         let fx = FeatureExtractor::new(&ds, fcfg);
-        let mut predictor =
-            OnlinePredictor::with_policy(model, fx, IngestPolicy::DropLate);
+        let mut predictor = OnlinePredictor::with_policy(model, fx, IngestPolicy::DropLate);
         let mut bad = ds.orders(0)[0];
         bad.loc_start = 999;
-        predictor.observe(bad).expect("tolerant policy swallows unknown areas");
+        predictor
+            .observe(bad)
+            .expect("tolerant policy swallows unknown areas");
         let stats = predictor.ingest_stats();
         assert_eq!(stats.unknown_area, 1);
         assert_eq!(stats.accepted, 0);
@@ -334,7 +364,9 @@ mod tests {
         serving_fx.set_feed_health(health);
         let mut predictor = OnlinePredictor::new(model, serving_fx);
         for area in 0..ds.n_areas() as u16 {
-            predictor.observe_all(&day_stream(&ds, area, day, 600)).unwrap();
+            predictor
+                .observe_all(&day_stream(&ds, area, day, 600))
+                .unwrap();
         }
         let report = predictor.predict_all_report(day, 600);
 
@@ -368,14 +400,19 @@ mod tests {
             .map(|area| ItemKey { area, day, t: 600 })
             .collect();
         let offline_items = offline_fx.extract_all(&keys);
-        let mask = BlockMask { weather: false, traffic: true };
+        let mask = BlockMask {
+            weather: false,
+            traffic: true,
+        };
         let offline = model.predict_masked(&Batch::from_items(&offline_items), &mask);
 
         let mut serving_fx = FeatureExtractor::new(&ds, fcfg.clone());
         serving_fx.set_feed_health(health);
         let mut predictor = OnlinePredictor::new(model.clone(), serving_fx);
         for area in 0..ds.n_areas() as u16 {
-            predictor.observe_all(&day_stream(&ds, area, day, 600)).unwrap();
+            predictor
+                .observe_all(&day_stream(&ds, area, day, 600))
+                .unwrap();
         }
         let report = predictor.predict_all_report(day, 600);
 

@@ -4,8 +4,9 @@
 use crate::metrics::{evaluate, Evaluation};
 use crate::model::{BlockMask, DeepSD, Ensemble, Predictor};
 use deepsd_features::{Batch, FeatureExtractor, Item, ItemKey};
-use deepsd_nn::{seeded_rng, Adam, BackwardScratch, GradMap, Matrix, Snapshot, Tape};
+use deepsd_nn::{seeded_rng, Adam, GradMap, Matrix, ShardPool, Snapshot, Tape};
 use rand::seq::SliceRandom;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::rc::Rc;
 
@@ -47,9 +48,10 @@ pub struct TrainOptions {
     /// halved learning rate before training stops early.
     #[serde(default = "default_max_divergence_recoveries")]
     pub max_divergence_recoveries: usize,
-    /// Worker threads for the parallel matmul kernels and batch-level
-    /// prediction (`0` = auto-detect). Results are bit-identical at any
-    /// setting; this only trades latency for CPU.
+    /// Worker threads for the parallel matmul kernels, the training
+    /// shard pool and batch-level prediction (`0` = auto-detect).
+    /// Results are bit-identical at any setting; this only trades
+    /// latency for CPU.
     #[serde(default)]
     pub threads: usize,
 }
@@ -108,7 +110,10 @@ pub struct TrainReport {
 impl TrainReport {
     /// Best (lowest) per-epoch evaluation MAE.
     pub fn best_epoch_mae(&self) -> f64 {
-        self.epochs.iter().map(|e| e.eval_mae).fold(f64::INFINITY, f64::min)
+        self.epochs
+            .iter()
+            .map(|e| e.eval_mae)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Mean epoch duration in seconds.
@@ -159,7 +164,10 @@ pub fn train_ensemble(
 ) -> (Ensemble, TrainReport) {
     assert!(!train_keys.is_empty(), "no training keys");
     assert!(!eval_items.is_empty(), "no evaluation items");
-    assert!(options.batch_size > 0 && options.epochs > 0, "degenerate options");
+    assert!(
+        options.batch_size > 0 && options.epochs > 0,
+        "degenerate options"
+    );
 
     deepsd_nn::set_num_threads(options.threads);
 
@@ -174,11 +182,13 @@ pub fn train_ensemble(
     let mut epochs = Vec::with_capacity(options.epochs);
     let mut snapshots: Vec<(f64, Rc<Snapshot>)> = Vec::new();
 
-    // Reused across every batch of every epoch: the tape keeps its node
-    // storage, and backward writes into long-lived scratch/gradient
-    // buffers instead of reallocating them per step.
-    let mut tape = Tape::new();
-    let mut scratch = BackwardScratch::default();
+    // Data-parallel shard engine (DESIGN.md §4.3). Each batch is split
+    // into fixed-size shards processed by persistent workers; shard
+    // gradients are reduced into `grads` in shard order, so the update
+    // is bit-identical at any worker count. Tapes, backward scratch and
+    // per-shard gradient maps are owned by the pool and reused across
+    // every batch of every epoch.
+    let mut pool = ShardPool::new(options.threads);
     let mut grads = GradMap::default();
 
     // Divergence guard: the parameters we can safely fall back to when a
@@ -192,29 +202,61 @@ pub fn train_ensemble(
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         let mut diverged = false;
+        let mut t_run = 0.0f64;
+        let mut t_step = 0.0f64;
         for chunk in cached.chunks(options.batch_size) {
-            let batch = Batch::from_items(chunk);
-            let targets = Matrix::col_vector(batch.targets.clone());
-            tape.reset();
-            let pred = model.forward(&mut tape, &batch, Some(&mut rng));
-            let loss = match options.loss {
-                Loss::Mse => tape.mse_loss(pred, &targets),
-                Loss::Huber => tape.huber_loss(pred, &targets, 5.0),
-            };
-            let loss_value = tape.value(loss).get(0, 0) as f64;
+            // Pre-split the dropout RNG: one seed per shard, drawn from
+            // the batch RNG in shard order before dispatch. The seed
+            // sequence depends only on the batch partition, never on
+            // which worker runs a shard, preserving bit-identity across
+            // worker counts.
+            let shards = ShardPool::num_shards(chunk.len());
+            let seeds: Vec<u64> = (0..shards).map(|_| rng.gen::<u64>()).collect();
+            let model_ref = &*model;
+            let loss_fn = options.loss;
+            let t0 = std::time::Instant::now();
+            let shard_losses = pool.run(chunk.len(), &mut grads, |job| {
+                let batch = Batch::from_items(&chunk[job.range.clone()]);
+                let targets = Matrix::col_vector(batch.targets.clone());
+                let mut shard_rng = seeded_rng(seeds[job.shard]);
+                let pred = model_ref.forward(job.tape, &batch, Some(&mut shard_rng));
+                let loss = match loss_fn {
+                    Loss::Mse => job.tape.mse_loss(pred, &targets),
+                    Loss::Huber => job.tape.huber_loss(pred, &targets, 5.0),
+                };
+                // Scale each shard's mean loss by its share of the batch
+                // so the summed shard losses (and therefore the reduced
+                // gradients) equal the whole-batch mean loss.
+                let factor = job.range.len() as f32 / chunk.len() as f32;
+                let scaled = if factor == 1.0 {
+                    loss
+                } else {
+                    job.tape.scale(loss, factor)
+                };
+                job.tape.backward_into(scaled, job.scratch, job.grads);
+                job.tape.value(scaled).get(0, 0) as f64
+            });
+            t_run += t0.elapsed().as_secs_f64();
+            let loss_value: f64 = shard_losses.iter().sum();
             if !loss_value.is_finite() {
                 diverged = true;
                 break;
             }
             loss_sum += loss_value;
             batches += 1;
-            tape.backward_into(loss, &mut scratch, &mut grads);
             if let Some(clip) = options.grad_clip {
                 grads.clip_max_abs(clip);
             }
+            let t1 = std::time::Instant::now();
             adam.step(model.store_mut(), &grads);
+            t_step += t1.elapsed().as_secs_f64();
         }
         let seconds = started.elapsed().as_secs_f64();
+        if std::env::var("DEEPSD_SHARD_PROF").is_ok() {
+            eprintln!(
+                "[prof] epoch {epoch}: total={seconds:.3}s run={t_run:.3}s step={t_step:.3}s"
+            );
+        }
 
         if !diverged {
             adam.lr *= options.lr_decay;
@@ -323,27 +365,29 @@ pub(crate) fn predict_chunks_masked<P: Predictor + Sync>(
     let mut outputs: Vec<Vec<f32>> = vec![Vec::new(); chunks.len()];
     let threads = worker_threads(chunks.len());
     if threads <= 1 {
+        let mut tape = Tape::new();
         for (out, chunk) in outputs.iter_mut().zip(chunks) {
-            *out = model.predict_masked(&Batch::from_items(chunk), mask);
+            *out = model.predict_masked_with(&mut tape, &Batch::from_items(chunk), mask);
         }
         return outputs;
     }
     let work: Vec<(&[Item], &mut Vec<f32>)> =
         chunks.iter().copied().zip(outputs.iter_mut()).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let per_thread = work.len().div_ceil(threads);
         let mut rest = work;
         while !rest.is_empty() {
             let take = per_thread.min(rest.len());
             let batch: Vec<_> = rest.drain(..take).collect();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
+                // One tape per worker, reused across its chunks.
+                let mut tape = Tape::new();
                 for (chunk, out) in batch {
-                    *out = model.predict_masked(&Batch::from_items(chunk), mask);
+                    *out = model.predict_masked_with(&mut tape, &Batch::from_items(chunk), mask);
                 }
             });
         }
-    })
-    .expect("prediction worker panicked");
+    });
     outputs
 }
 
@@ -364,7 +408,11 @@ pub fn evaluate_model<P: Predictor + Sync>(
 
 /// Predicts gaps for pre-extracted items, batching for throughput and
 /// scoring batches on the configured worker threads.
-pub fn predict_items<P: Predictor + Sync>(model: &P, items: &[Item], batch_size: usize) -> Vec<f32> {
+pub fn predict_items<P: Predictor + Sync>(
+    model: &P,
+    items: &[Item],
+    batch_size: usize,
+) -> Vec<f32> {
     let chunks: Vec<&[Item]> = items.chunks(batch_size.max(1)).collect();
     predict_chunks_masked(model, &chunks, &BlockMask::all()).concat()
 }
@@ -406,10 +454,17 @@ mod tests {
             &mut fx,
             &tr_keys,
             &eval_items,
-            &TrainOptions { epochs: 3, best_k: 2, ..TrainOptions::default() },
+            &TrainOptions {
+                epochs: 3,
+                best_k: 2,
+                ..TrainOptions::default()
+            },
         );
         assert_eq!(report.epochs.len(), 3);
-        assert_eq!(report.divergence_recoveries, 0, "healthy run must not roll back");
+        assert_eq!(
+            report.divergence_recoveries, 0,
+            "healthy run must not roll back"
+        );
         assert!(
             report.final_mae < before.mae,
             "training must beat init: {} vs {}",
@@ -448,17 +503,26 @@ mod tests {
                 ..TrainOptions::default()
             },
         );
-        assert!(report.divergence_recoveries >= 1, "run at lr=1e12 must diverge");
+        assert!(
+            report.divergence_recoveries >= 1,
+            "run at lr=1e12 must diverge"
+        );
         assert!(report.final_mae.is_finite() && report.final_rmse.is_finite());
         let preds = predict_items(&model, &eval_items, 64);
-        assert!(preds.iter().all(|p| p.is_finite()), "returned model must be usable");
+        assert!(
+            preds.iter().all(|p| p.is_finite()),
+            "returned model must be usable"
+        );
         // If every epoch diverged, the model is exactly the last good
         // (here: initial) parameters.
         if report.epochs.is_empty() {
             let mut reference = model.clone();
             reference.restore(&init_snapshot);
             let a = predict_items(&reference, &eval_items, 64);
-            assert_eq!(a, preds, "all-diverged run must fall back to last good snapshot");
+            assert_eq!(
+                a, preds,
+                "all-diverged run must fall back to last good snapshot"
+            );
         }
     }
 
@@ -479,7 +543,12 @@ mod tests {
                 &mut fx,
                 &tr_keys,
                 &eval_items,
-                &TrainOptions { epochs: 2, best_k: 1, threads, ..TrainOptions::default() },
+                &TrainOptions {
+                    epochs: 2,
+                    best_k: 1,
+                    threads,
+                    ..TrainOptions::default()
+                },
             );
             (model, report)
         };
@@ -488,7 +557,27 @@ mod tests {
         let (m8, r8) = run(8);
         deepsd_nn::set_num_threads(0);
         for ((other, report), label) in [(&(m2, r2), "2"), (&(m8, r8), "8")] {
-            assert_eq!(r1.final_rmse, report.final_rmse, "{label} threads: RMSE drifted");
+            assert_eq!(
+                r1.final_rmse, report.final_rmse,
+                "{label} threads: RMSE drifted"
+            );
+            assert_eq!(r1.epochs.len(), report.epochs.len());
+            for (e1, e2) in r1.epochs.iter().zip(report.epochs.iter()) {
+                // The per-epoch trace — not just the end state — must be
+                // bit-identical across shard-worker counts.
+                assert_eq!(
+                    e1.eval_mae, e2.eval_mae,
+                    "{label} threads: epoch MAE drifted"
+                );
+                assert_eq!(
+                    e1.eval_rmse, e2.eval_rmse,
+                    "{label} threads: epoch RMSE drifted"
+                );
+                assert_eq!(
+                    e1.train_loss, e2.train_loss,
+                    "{label} threads: train loss drifted"
+                );
+            }
             for ((_, name, v1), (_, _, v2)) in m1.store().iter().zip(other.store().iter()) {
                 assert!(
                     v1.max_abs_diff(v2) == 0.0,
@@ -526,15 +615,33 @@ mod tests {
         let mut mcfg = ModelConfig::basic(ds.n_areas());
         mcfg.window_l = fcfg.window_l;
         let mut model = DeepSD::new(mcfg);
-        let _ = train(&mut model, &mut fx, &[], &eval_items, &TrainOptions::default());
+        let _ = train(
+            &mut model,
+            &mut fx,
+            &[],
+            &eval_items,
+            &TrainOptions::default(),
+        );
     }
 
     #[test]
     fn report_helpers() {
         let report = TrainReport {
             epochs: vec![
-                EpochStats { epoch: 0, train_loss: 5.0, eval_mae: 2.0, eval_rmse: 4.0, seconds: 1.0 },
-                EpochStats { epoch: 1, train_loss: 3.0, eval_mae: 1.5, eval_rmse: 3.0, seconds: 3.0 },
+                EpochStats {
+                    epoch: 0,
+                    train_loss: 5.0,
+                    eval_mae: 2.0,
+                    eval_rmse: 4.0,
+                    seconds: 1.0,
+                },
+                EpochStats {
+                    epoch: 1,
+                    train_loss: 3.0,
+                    eval_mae: 1.5,
+                    eval_rmse: 3.0,
+                    seconds: 3.0,
+                },
             ],
             final_mae: 1.4,
             final_rmse: 2.9,

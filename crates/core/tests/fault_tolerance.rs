@@ -20,7 +20,11 @@ const T: u16 = 600;
 
 fn setup(seed: u64) -> (SimDataset, FeatureConfig, DeepSD) {
     let ds = SimDataset::generate(&SimConfig::smoke(seed));
-    let fcfg = FeatureConfig { window_l: 10, history_window: 3, ..FeatureConfig::default() };
+    let fcfg = FeatureConfig {
+        window_l: 10,
+        history_window: 3,
+        ..FeatureConfig::default()
+    };
     let mut mcfg = ModelConfig::advanced(ds.n_areas());
     mcfg.window_l = fcfg.window_l;
     (ds, fcfg, DeepSD::new(mcfg))
@@ -44,7 +48,9 @@ fn clean_predictions(ds: &SimDataset, fcfg: &FeatureConfig, model: &DeepSD) -> V
     let fx = FeatureExtractor::new(ds, fcfg.clone());
     let mut predictor = OnlinePredictor::new(model.clone(), fx);
     for stream in area_streams(ds) {
-        predictor.observe_all(&stream).expect("clean stream is chronological");
+        predictor
+            .observe_all(&stream)
+            .expect("clean stream is chronological");
     }
     predictor.predict_all(DAY, T)
 }
@@ -59,20 +65,36 @@ fn shuffled_stream_reproduces_clean_predictions_bit_identically() {
     let mut predictor = OnlinePredictor::with_policy(
         model,
         fx,
-        IngestPolicy::ReorderWithinSlack { slack_minutes: slack },
+        IngestPolicy::ReorderWithinSlack {
+            slack_minutes: slack,
+        },
     );
     let mut shuffled_any = false;
     for (i, stream) in area_streams(&ds).iter().enumerate() {
         let shuffled = shuffle_within_slack(stream, slack, 900 + i as u64);
         shuffled_any |= shuffled != *stream;
-        predictor.observe_all(&shuffled).expect("tolerant policy never errors");
+        predictor
+            .observe_all(&shuffled)
+            .expect("tolerant policy never errors");
     }
-    assert!(shuffled_any, "fault injection must actually permute some stream");
+    assert!(
+        shuffled_any,
+        "fault injection must actually permute some stream"
+    );
 
     let report = predictor.predict_all_report(DAY, T);
-    assert_eq!(report.predictions, clean, "reorder-within-slack must be lossless");
-    assert!(report.ingest.reordered > 0, "some orders must have arrived late");
-    assert_eq!(report.ingest.dropped_late, 0, "slack matches the injected bound");
+    assert_eq!(
+        report.predictions, clean,
+        "reorder-within-slack must be lossless"
+    );
+    assert!(
+        report.ingest.reordered > 0,
+        "some orders must have arrived late"
+    );
+    assert_eq!(
+        report.ingest.dropped_late, 0,
+        "slack matches the injected bound"
+    );
     assert_eq!(report.ingest.lost(), 0);
 }
 
@@ -81,7 +103,11 @@ fn dropped_orders_degrade_gracefully() {
     let (ds, fcfg, model) = setup(302);
     let clean = clean_predictions(&ds, &fcfg, &model);
 
-    let plan = FaultPlan { seed: 77, drop_rate: 0.2, ..FaultPlan::default() };
+    let plan = FaultPlan {
+        seed: 77,
+        drop_rate: 0.2,
+        ..FaultPlan::default()
+    };
     let fx = FeatureExtractor::new(&ds, fcfg.clone());
     let mut predictor = OnlinePredictor::with_policy(model, fx, IngestPolicy::DropLate);
     let mut fed = 0usize;
@@ -90,15 +116,23 @@ fn dropped_orders_degrade_gracefully() {
         let faulty = plan.apply(&stream);
         total += stream.len();
         fed += faulty.len();
-        predictor.observe_all(&faulty).expect("drops keep the stream chronological");
+        predictor
+            .observe_all(&faulty)
+            .expect("drops keep the stream chronological");
     }
     assert!(fed < total, "drop injection must lose some orders");
 
     let preds = predictor.predict_all(DAY, T);
     assert_eq!(preds.len(), clean.len());
     for (p, c) in preds.iter().zip(clean.iter()) {
-        assert!(p.is_finite(), "prediction must stay finite under order loss");
-        assert!((p - c).abs() < 100.0, "lossy prediction {p} wandered off clean {c}");
+        assert!(
+            p.is_finite(),
+            "prediction must stay finite under order loss"
+        );
+        assert!(
+            (p - c).abs() < 100.0,
+            "lossy prediction {p} wandered off clean {c}"
+        );
     }
 }
 
@@ -107,7 +141,11 @@ fn duplicated_orders_are_dropped_and_predictions_match_clean() {
     let (ds, fcfg, model) = setup(303);
     let clean = clean_predictions(&ds, &fcfg, &model);
 
-    let plan = FaultPlan { seed: 5, duplicate_rate: 0.3, ..FaultPlan::default() };
+    let plan = FaultPlan {
+        seed: 5,
+        duplicate_rate: 0.3,
+        ..FaultPlan::default()
+    };
     let fx = FeatureExtractor::new(&ds, fcfg.clone());
     let mut predictor = OnlinePredictor::with_policy(
         model,
@@ -115,12 +153,20 @@ fn duplicated_orders_are_dropped_and_predictions_match_clean() {
         IngestPolicy::ReorderWithinSlack { slack_minutes: 3 },
     );
     for stream in area_streams(&ds) {
-        predictor.observe_all(&plan.apply(&stream)).expect("tolerant policy never errors");
+        predictor
+            .observe_all(&plan.apply(&stream))
+            .expect("tolerant policy never errors");
     }
 
     let report = predictor.predict_all_report(DAY, T);
-    assert!(report.ingest.duplicates_dropped > 0, "duplicates must be detected");
-    assert_eq!(report.predictions, clean, "at-least-once delivery must be deduplicated");
+    assert!(
+        report.ingest.duplicates_dropped > 0,
+        "duplicates must be detected"
+    );
+    assert_eq!(
+        report.predictions, clean,
+        "at-least-once delivery must be deduplicated"
+    );
 }
 
 #[test]
@@ -136,12 +182,17 @@ fn unknown_area_orders_are_counted_not_fatal() {
         // A malformed order pointing at a non-existent area.
         let mut stray = stream[0];
         stray.loc_start = (n_areas + 1 + i) as u16;
-        predictor.observe(stray).expect("tolerant policy swallows unknown areas");
+        predictor
+            .observe(stray)
+            .expect("tolerant policy swallows unknown areas");
     }
 
     let report = predictor.predict_all_report(DAY, T);
     assert_eq!(report.ingest.unknown_area, n_areas as u64);
-    assert_eq!(report.predictions, clean, "strays must not perturb real areas");
+    assert_eq!(
+        report.predictions, clean,
+        "strays must not perturb real areas"
+    );
 }
 
 #[test]
@@ -164,7 +215,11 @@ fn reject_policy_surfaces_typed_error_for_late_order() {
     let mut predictor = OnlinePredictor::new(model, fx);
     predictor.observe(late).unwrap();
     match predictor.observe(early) {
-        Err(IngestError::NonChronological { area: a, arrived, cursor }) => {
+        Err(IngestError::NonChronological {
+            area: a,
+            arrived,
+            cursor,
+        }) => {
             assert_eq!(a as usize, area);
             assert!(arrived.absolute_minute() < cursor.absolute_minute());
         }
@@ -226,10 +281,17 @@ fn fully_down_feed_masks_block_and_matches_masked_offline() {
     let mut offline_fx = FeatureExtractor::new(&ds, fcfg.clone());
     offline_fx.set_feed_health(health.clone());
     let keys: Vec<deepsd_features::ItemKey> = (0..ds.n_areas() as u16)
-        .map(|area| deepsd_features::ItemKey { area, day: DAY, t: T })
+        .map(|area| deepsd_features::ItemKey {
+            area,
+            day: DAY,
+            t: T,
+        })
         .collect();
     let items = offline_fx.extract_all(&keys);
-    let mask = BlockMask { weather: true, traffic: false };
+    let mask = BlockMask {
+        weather: true,
+        traffic: false,
+    };
     let offline = model.predict_masked(&deepsd_features::Batch::from_items(&items), &mask);
 
     let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
@@ -249,7 +311,12 @@ fn fully_down_feed_masks_block_and_matches_masked_offline() {
 fn combined_fault_storm_degrades_gracefully() {
     let (ds, fcfg, model) = setup(308);
     let slack = 5u16;
-    let plan = FaultPlan { seed: 13, shuffle_slack: slack, drop_rate: 0.05, duplicate_rate: 0.05 };
+    let plan = FaultPlan {
+        seed: 13,
+        shuffle_slack: slack,
+        drop_rate: 0.05,
+        duplicate_rate: 0.05,
+    };
 
     let mut health = FeedHealth::default();
     health.add_day_outage(FeedKind::Weather, DAY, T - 40, T + 40);
@@ -259,7 +326,9 @@ fn combined_fault_storm_degrades_gracefully() {
     let mut predictor = OnlinePredictor::with_policy(
         model,
         fx,
-        IngestPolicy::ReorderWithinSlack { slack_minutes: slack },
+        IngestPolicy::ReorderWithinSlack {
+            slack_minutes: slack,
+        },
     );
     for (i, stream) in area_streams(&ds).iter().enumerate() {
         let mut faulty = plan.apply(stream);
@@ -269,12 +338,17 @@ fn combined_fault_storm_degrades_gracefully() {
             stray.loc_start = 200 + i as u16;
             faulty.insert(faulty.len() / 2, stray);
         }
-        predictor.observe_all(&faulty).expect("tolerant policy never errors");
+        predictor
+            .observe_all(&faulty)
+            .expect("tolerant policy never errors");
     }
 
     let report = predictor.predict_all_report(DAY, T);
     assert!(report.predictions.iter().all(|p| p.is_finite()));
-    assert!(report.feeds.degraded(), "weather outage covers the query time");
+    assert!(
+        report.feeds.degraded(),
+        "weather outage covers the query time"
+    );
     assert_eq!(report.feeds.weather, FeedState::Stale { age_minutes: 40 });
     assert!(report.ingest.accepted > 0);
     assert!(report.ingest.unknown_area > 0);

@@ -24,10 +24,16 @@ fn tiny_cfg(variant: Variant, env: EnvBlocks, residual: bool) -> ModelConfig {
 fn deterministic_item(i: usize, l: usize) -> Item {
     let dim = 2 * l;
     let wave = |k: usize, scale: f32| -> Vec<f32> {
-        (0..k).map(|j| ((i * 7 + j) as f32 * 0.31).sin().abs() * scale).collect()
+        (0..k)
+            .map(|j| ((i * 7 + j) as f32 * 0.31).sin().abs() * scale)
+            .collect()
     };
     Item {
-        key: ItemKey { area: (i % 5) as u16, day: 8, t: (300 + 50 * i) as u16 },
+        key: ItemKey {
+            area: (i % 5) as u16,
+            day: 8,
+            t: (300 + 50 * i) as u16,
+        },
         weekday: (i % 7) as u8,
         gap: (i % 4) as f32,
         v_sd: wave(dim, 0.8),
@@ -71,6 +77,7 @@ fn gradcheck_model(cfg: ModelConfig) {
     let mut probe = model.clone();
     let mut rels: Vec<f32> = Vec::new();
     for id in ids {
+        let analytic_dense = analytic.get(id).map(|g| g.to_dense());
         let n = probe.store().get(id).len();
         // Sample entries to keep runtime bounded: all for small params,
         // strided for big tables.
@@ -84,7 +91,7 @@ fn gradcheck_model(cfg: ModelConfig) {
             probe.store_mut().get_mut(id).as_mut_slice()[k] = original;
 
             let numeric = (f_plus - f_minus) / (2.0 * eps);
-            let a = analytic.get(id).map_or(0.0, |g| g.as_slice()[k]);
+            let a = analytic_dense.as_ref().map_or(0.0, |g| g.as_slice()[k]);
             rels.push((numeric - a).abs() / numeric.abs().max(1.0));
         }
     }
@@ -98,7 +105,10 @@ fn gradcheck_model(cfg: ModelConfig) {
     let p95 = rels[checked * 95 / 100];
     eprintln!("checked {checked} entries: median rel err {median}, p95 {p95}");
     assert!(median < 5e-3, "median relative error too large: {median}");
-    assert!(p95 < 0.05, "95th-percentile relative error too large: {p95}");
+    assert!(
+        p95 < 0.05,
+        "95th-percentile relative error too large: {p95}"
+    );
 }
 
 #[test]
@@ -113,7 +123,11 @@ fn advanced_full_model_gradients_are_exact() {
 
 #[test]
 fn advanced_no_residual_gradients_are_exact() {
-    gradcheck_model(tiny_cfg(Variant::Advanced, EnvBlocks::WeatherTraffic, false));
+    gradcheck_model(tiny_cfg(
+        Variant::Advanced,
+        EnvBlocks::WeatherTraffic,
+        false,
+    ));
 }
 
 #[test]
@@ -146,6 +160,7 @@ fn finetuned_extension_gradients_are_exact() {
         .map(|(id, _, _)| id)
         .expect("weather block registered");
     let mut probe = model.clone();
+    let analytic_dense = analytic.get(wc_param).map(|g| g.to_dense());
     for k in 0..probe.store().get(wc_param).len().min(12) {
         let original = probe.store().get(wc_param).as_slice()[k];
         let eval = |p: &DeepSD| {
@@ -160,7 +175,7 @@ fn finetuned_extension_gradients_are_exact() {
         let f_minus = eval(&probe);
         probe.store_mut().get_mut(wc_param).as_mut_slice()[k] = original;
         let numeric = (f_plus - f_minus) / (2.0 * eps);
-        let a = analytic.get(wc_param).map_or(0.0, |g| g.as_slice()[k]);
+        let a = analytic_dense.as_ref().map_or(0.0, |g| g.as_slice()[k]);
         assert!(
             (numeric - a).abs() / numeric.abs().max(1.0) < 0.05,
             "entry {k}: numeric {numeric} vs analytic {a}"

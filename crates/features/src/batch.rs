@@ -96,7 +96,9 @@ impl Batch {
     /// Weather-type ids of lag `ell` (1-based) across the batch.
     pub fn weather_type_ids_at_lag(&self, ell: usize) -> Vec<usize> {
         assert!(ell >= 1 && ell <= self.l, "lag out of range");
-        (0..self.n).map(|i| self.weather_types[i * self.l + ell - 1]).collect()
+        (0..self.n)
+            .map(|i| self.weather_types[i * self.l + ell - 1])
+            .collect()
     }
 }
 
@@ -108,7 +110,11 @@ mod tests {
     fn item(area: u16, gap: f32, l: usize) -> Item {
         let dim = 2 * l;
         Item {
-            key: ItemKey { area, day: 7, t: 300 },
+            key: ItemKey {
+                area,
+                day: 7,
+                t: 300,
+            },
             weekday: 0,
             gap,
             v_sd: vec![1.0; dim],

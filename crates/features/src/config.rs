@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn train_slots_respect_horizon() {
-        let cfg = FeatureConfig { horizon: 30, ..FeatureConfig::default() };
+        let cfg = FeatureConfig {
+            horizon: 30,
+            ..FeatureConfig::default()
+        };
         for t in cfg.train_slots() {
             assert!(t as usize + 30 <= 1440);
         }

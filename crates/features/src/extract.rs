@@ -64,7 +64,8 @@ impl<'a> FeatureExtractor<'a> {
     /// `(day, t)` — evaluated at the most recent environment input
     /// minute, `t - 1`.
     pub fn feed_status(&self, day: u16, t: u16) -> FeedStatus {
-        self.feed_health.status_at(SlotTime::new(day, t.saturating_sub(1)))
+        self.feed_health
+            .status_at(SlotTime::new(day, t.saturating_sub(1)))
     }
 
     /// The underlying dataset.
@@ -104,8 +105,15 @@ impl<'a> FeatureExtractor<'a> {
         let mut h_wt = history.stack(index, &cfg, VectorKind::WaitingTime, key.day, key.t);
         let mut h_wt_next = history.stack(index, &cfg, VectorKind::WaitingTime, key.day, t_next);
         for v in [
-            &mut v_sd, &mut v_lc, &mut v_wt, &mut h_sd, &mut h_sd_next, &mut h_lc,
-            &mut h_lc_next, &mut h_wt, &mut h_wt_next,
+            &mut v_sd,
+            &mut v_lc,
+            &mut v_wt,
+            &mut h_sd,
+            &mut h_sd_next,
+            &mut h_lc,
+            &mut h_lc_next,
+            &mut h_wt,
+            &mut h_wt_next,
         ] {
             scale_counts(v);
         }
@@ -211,7 +219,11 @@ mod tests {
     use deepsd_simdata::SimConfig;
 
     fn small_config() -> FeatureConfig {
-        FeatureConfig { window_l: 10, history_window: 4, ..FeatureConfig::default() }
+        FeatureConfig {
+            window_l: 10,
+            history_window: 4,
+            ..FeatureConfig::default()
+        }
     }
 
     #[test]
@@ -219,13 +231,21 @@ mod tests {
         let ds = SimDataset::generate(&SimConfig::smoke(31));
         let cfg = small_config();
         let mut fx = FeatureExtractor::new(&ds, cfg.clone());
-        let item = fx.extract(ItemKey { area: 0, day: 8, t: 480 });
+        let item = fx.extract(ItemKey {
+            area: 0,
+            day: 8,
+            t: 480,
+        });
         let dim = cfg.vector_dim();
         assert_eq!(item.v_sd.len(), dim);
         assert_eq!(item.v_lc.len(), dim);
         assert_eq!(item.v_wt.len(), dim);
         for h in [
-            &item.h_sd, &item.h_sd_next, &item.h_lc, &item.h_lc_next, &item.h_wt,
+            &item.h_sd,
+            &item.h_sd_next,
+            &item.h_lc,
+            &item.h_lc_next,
+            &item.h_wt,
             &item.h_wt_next,
         ] {
             assert_eq!(h.len(), 7 * dim);
@@ -240,7 +260,11 @@ mod tests {
     fn gap_matches_manual_count() {
         let ds = SimDataset::generate(&SimConfig::smoke(32));
         let mut fx = FeatureExtractor::new(&ds, small_config());
-        let key = ItemKey { area: 2, day: 5, t: 500 };
+        let key = ItemKey {
+            area: 2,
+            day: 5,
+            t: 500,
+        };
         let manual = ds
             .orders(2)
             .iter()
@@ -259,9 +283,19 @@ mod tests {
         let busiest = (0..ds.n_areas() as u16)
             .max_by_key(|&a| ds.orders(a).len())
             .unwrap();
-        let item = fx.extract(ItemKey { area: busiest, day: 10, t: 8 * 60 + 30 });
-        assert!(item.v_sd.iter().sum::<f32>() > 0.0, "morning window should have orders");
-        assert!(item.h_sd.iter().sum::<f32>() > 0.0, "history should be populated by day 10");
+        let item = fx.extract(ItemKey {
+            area: busiest,
+            day: 10,
+            t: 8 * 60 + 30,
+        });
+        assert!(
+            item.v_sd.iter().sum::<f32>() > 0.0,
+            "morning window should have orders"
+        );
+        assert!(
+            item.h_sd.iter().sum::<f32>() > 0.0,
+            "history should be populated by day 10"
+        );
         assert!(item.traffic.iter().sum::<f32>() > 0.0);
     }
 
@@ -269,7 +303,11 @@ mod tests {
     fn weather_types_are_in_vocab() {
         let ds = SimDataset::generate(&SimConfig::smoke(34));
         let mut fx = FeatureExtractor::new(&ds, small_config());
-        let item = fx.extract(ItemKey { area: 1, day: 3, t: 700 });
+        let item = fx.extract(ItemKey {
+            area: 1,
+            day: 3,
+            t: 700,
+        });
         assert!(item.weather_types.iter().all(|&id| id < 10));
     }
 
@@ -277,7 +315,11 @@ mod tests {
     fn traffic_fractions_sum_to_one_per_minute() {
         let ds = SimDataset::generate(&SimConfig::smoke(35));
         let mut fx = FeatureExtractor::new(&ds, small_config());
-        let item = fx.extract(ItemKey { area: 0, day: 2, t: 600 });
+        let item = fx.extract(ItemKey {
+            area: 0,
+            day: 2,
+            t: 600,
+        });
         for chunk in item.traffic.chunks(4) {
             let s: f32 = chunk.iter().sum();
             assert!((s - 1.0).abs() < 0.05, "traffic fractions sum to {s}");
@@ -288,7 +330,11 @@ mod tests {
     fn extraction_is_deterministic_and_cache_transparent() {
         let ds = SimDataset::generate(&SimConfig::smoke(36));
         let mut fx = FeatureExtractor::new(&ds, small_config());
-        let key = ItemKey { area: 3, day: 9, t: 1000 };
+        let key = ItemKey {
+            area: 3,
+            day: 9,
+            t: 1000,
+        };
         let a = fx.extract(key);
         let b = fx.extract(key); // second call served from cache
         assert_eq!(a.v_lc, b.v_lc);
@@ -300,18 +346,25 @@ mod tests {
     fn stale_feed_serves_last_known_value() {
         let ds = SimDataset::generate(&SimConfig::smoke(38));
         let cfg = small_config();
-        let key = ItemKey { area: 1, day: 6, t: 600 };
+        let key = ItemKey {
+            area: 1,
+            day: 6,
+            t: 600,
+        };
         let mut live_fx = FeatureExtractor::new(&ds, cfg.clone());
         let live = live_fx.extract(key);
 
         let mut stale_fx = FeatureExtractor::new(&ds, cfg.clone());
         // Outage covering the whole look-back window; last good minute
         // is 500, well within the default staleness budget.
-        stale_fx.feed_health_mut().add_day_outage(FeedKind::Weather, 6, 501, 700);
+        stale_fx
+            .feed_health_mut()
+            .add_day_outage(FeedKind::Weather, 6, 501, 700);
         let stale = stale_fx.extract(key);
-        assert_eq!(stale_fx.feed_status(6, 600).weather, crate::FeedState::Stale {
-            age_minutes: 99
-        });
+        assert_eq!(
+            stale_fx.feed_status(6, 600).weather,
+            crate::FeedState::Stale { age_minutes: 99 }
+        );
         // Every lag minute now reads the minute-500 observation.
         let w500 = ds.weather_at(SlotTime::new(6, 500));
         assert!(stale.weather_types.iter().all(|&id| id == w500.kind.id()));
@@ -333,8 +386,13 @@ mod tests {
         let mut fx = FeatureExtractor::new(&ds, cfg);
         // Traffic out since the start of the day, far beyond the budget.
         fx.feed_health_mut().set_max_staleness(30);
-        fx.feed_health_mut().add_day_outage(FeedKind::Traffic, 6, 0, 1439);
-        let item = fx.extract(ItemKey { area: 0, day: 6, t: 600 });
+        fx.feed_health_mut()
+            .add_day_outage(FeedKind::Traffic, 6, 0, 1439);
+        let item = fx.extract(ItemKey {
+            area: 0,
+            day: 6,
+            t: 600,
+        });
         assert_eq!(fx.feed_status(6, 600).traffic, crate::FeedState::Down);
         assert!(item.traffic.iter().all(|&v| v == 0.0));
         assert!(item.weather_scalars.iter().all(|v| v.is_finite()));
@@ -347,7 +405,11 @@ mod tests {
         let busiest = (0..ds.n_areas() as u16)
             .max_by_key(|&a| ds.orders(a).len())
             .unwrap();
-        let item = fx.extract(ItemKey { area: busiest, day: 12, t: 8 * 60 });
+        let item = fx.extract(ItemKey {
+            area: busiest,
+            day: 12,
+            t: 8 * 60,
+        });
         // At the rising edge of the morning peak the history at t+10 must
         // differ from the history at t.
         assert_ne!(item.h_sd, item.h_sd_next);

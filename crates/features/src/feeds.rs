@@ -67,7 +67,10 @@ pub struct FeedStatus {
 impl FeedStatus {
     /// Both feeds live.
     pub fn all_live() -> FeedStatus {
-        FeedStatus { weather: FeedState::Live, traffic: FeedState::Live }
+        FeedStatus {
+            weather: FeedState::Live,
+            traffic: FeedState::Live,
+        }
     }
 
     /// True when any feed is stale or down.
@@ -113,7 +116,10 @@ impl Default for FeedHealth {
 impl FeedHealth {
     /// An all-live schedule with an explicit staleness budget.
     pub fn with_max_staleness(max_staleness: u32) -> FeedHealth {
-        FeedHealth { max_staleness, ..FeedHealth::default() }
+        FeedHealth {
+            max_staleness,
+            ..FeedHealth::default()
+        }
     }
 
     /// The staleness budget in minutes.
@@ -139,7 +145,11 @@ impl FeedHealth {
     /// Declares an outage covering minutes `[from_ts, until_ts)` of one
     /// day.
     pub fn add_day_outage(&mut self, kind: FeedKind, day: u16, from_ts: u16, until_ts: u16) {
-        self.add_outage(kind, SlotTime::new(day, from_ts), SlotTime::new(day, until_ts));
+        self.add_outage(
+            kind,
+            SlotTime::new(day, from_ts),
+            SlotTime::new(day, until_ts),
+        );
     }
 
     fn outages(&self, kind: FeedKind) -> &[(u32, u32)] {
@@ -158,7 +168,9 @@ impl FeedHealth {
 
     /// True when the feed has no observation at this absolute minute.
     pub fn is_out(&self, kind: FeedKind, abs_minute: u32) -> bool {
-        self.outages(kind).iter().any(|&(a, b)| abs_minute >= a && abs_minute < b)
+        self.outages(kind)
+            .iter()
+            .any(|&(a, b)| abs_minute >= a && abs_minute < b)
     }
 
     /// The most recent minute `<= abs_minute` with a live observation,
@@ -188,9 +200,9 @@ impl FeedHealth {
             return FeedState::Live;
         }
         match self.last_good(kind, abs_minute) {
-            Some(good) if abs_minute - good <= self.max_staleness => {
-                FeedState::Stale { age_minutes: abs_minute - good }
-            }
+            Some(good) if abs_minute - good <= self.max_staleness => FeedState::Stale {
+                age_minutes: abs_minute - good,
+            },
             _ => FeedState::Down,
         }
     }
@@ -234,7 +246,12 @@ mod tests {
         for abs in [0u32, 100, 10_000] {
             assert_eq!(h.state_at(FeedKind::Weather, abs), FeedState::Live);
             assert_eq!(h.state_at(FeedKind::Traffic, abs), FeedState::Live);
-            assert_eq!(h.read_slot(FeedKind::Weather, abs).unwrap().absolute_minute(), abs);
+            assert_eq!(
+                h.read_slot(FeedKind::Weather, abs)
+                    .unwrap()
+                    .absolute_minute(),
+                abs
+            );
         }
         assert!(!FeedStatus::all_live().degraded());
     }
@@ -244,8 +261,14 @@ mod tests {
         let mut h = FeedHealth::with_max_staleness(30);
         h.add_day_outage(FeedKind::Weather, 0, 100, 200);
         assert_eq!(h.state_at(FeedKind::Weather, 99), FeedState::Live);
-        assert_eq!(h.state_at(FeedKind::Weather, 100), FeedState::Stale { age_minutes: 1 });
-        assert_eq!(h.state_at(FeedKind::Weather, 129), FeedState::Stale { age_minutes: 30 });
+        assert_eq!(
+            h.state_at(FeedKind::Weather, 100),
+            FeedState::Stale { age_minutes: 1 }
+        );
+        assert_eq!(
+            h.state_at(FeedKind::Weather, 129),
+            FeedState::Stale { age_minutes: 30 }
+        );
         assert_eq!(h.state_at(FeedKind::Weather, 130), FeedState::Down);
         assert_eq!(h.state_at(FeedKind::Weather, 200), FeedState::Live);
         // Traffic untouched.
@@ -284,13 +307,20 @@ mod tests {
         assert!(status.degraded());
         assert_eq!(status.traffic, FeedState::Live);
         let text = status.to_string();
-        assert!(text.contains("stale") && text.contains("traffic live"), "{text}");
+        assert!(
+            text.contains("stale") && text.contains("traffic live"),
+            "{text}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "empty outage")]
     fn rejects_reversed_window() {
         let mut h = FeedHealth::default();
-        h.add_outage(FeedKind::Weather, SlotTime::new(0, 100), SlotTime::new(0, 100));
+        h.add_outage(
+            FeedKind::Weather,
+            SlotTime::new(0, 100),
+            SlotTime::new(0, 100),
+        );
     }
 }

@@ -28,8 +28,11 @@ pub enum VectorKind {
 
 impl VectorKind {
     /// All kinds, in block order.
-    pub const ALL: [VectorKind; 3] =
-        [VectorKind::SupplyDemand, VectorKind::LastCall, VectorKind::WaitingTime];
+    pub const ALL: [VectorKind; 3] = [
+        VectorKind::SupplyDemand,
+        VectorKind::LastCall,
+        VectorKind::WaitingTime,
+    ];
 }
 
 /// History computation over one area, with a per-`(kind, day, t)` cache
@@ -48,7 +51,9 @@ impl Default for AreaHistory {
 impl AreaHistory {
     /// Creates an empty history cache.
     pub fn new() -> Self {
-        AreaHistory { cache: HashMap::new() }
+        AreaHistory {
+            cache: HashMap::new(),
+        }
     }
 
     /// Real-time vector of `kind` at `(day, t)` (cached for lc/wt).
@@ -161,7 +166,10 @@ mod tests {
     use deepsd_simdata::Order;
 
     fn cfg() -> FeatureConfig {
-        FeatureConfig { window_l: 4, ..FeatureConfig::default() }
+        FeatureConfig {
+            window_l: 4,
+            ..FeatureConfig::default()
+        }
     }
 
     /// Days 0..14; on each day put `day + 1` valid orders at minute 99.
@@ -261,8 +269,7 @@ mod tests {
         let cfg = cfg();
         let index = index_with_daily_counts(5);
         let mut hist = AreaHistory::new();
-        let via_history =
-            hist.realtime(&index, &cfg, VectorKind::SupplyDemand, 4, 100);
+        let via_history = hist.realtime(&index, &cfg, VectorKind::SupplyDemand, 4, 100);
         let direct = crate::vectors::v_sd(&index, 4, 100, cfg.window_l);
         assert_eq!(via_history, direct);
     }

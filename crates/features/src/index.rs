@@ -43,8 +43,7 @@ impl AreaIndex {
         let mut day_start = 0u32;
         let mut current_day = 0u16;
         // Per-day pid -> last order index map, reset at day boundaries.
-        let mut last_of_pid: std::collections::HashMap<u32, u32> =
-            std::collections::HashMap::new();
+        let mut last_of_pid: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
 
         for (i, o) in orders.iter().enumerate() {
             assert!(o.day < n_days, "order day {} out of {n_days}", o.day);
@@ -108,7 +107,9 @@ impl AreaIndex {
     /// invalid orders in the window (Definition 2).
     pub fn gap(&self, day: u16, t: u16, horizon: usize) -> u32 {
         let end = (t as usize + horizon).min(MINUTES_PER_DAY as usize);
-        (t as usize..end).map(|m| self.invalid_at(day, m as u16) as u32).sum()
+        (t as usize..end)
+            .map(|m| self.invalid_at(day, m as u16) as u32)
+            .sum()
     }
 
     /// Orders of one day, chronological.
@@ -162,7 +163,14 @@ mod tests {
     use super::*;
 
     fn o(day: u16, ts: u16, pid: u32, valid: bool) -> Order {
-        Order { day, ts, pid, loc_start: 0, loc_dest: 0, valid }
+        Order {
+            day,
+            ts,
+            pid,
+            loc_start: 0,
+            loc_dest: 0,
+            valid,
+        }
     }
 
     #[test]

@@ -12,10 +12,11 @@ use deepsd_simdata::SlotTime;
 use serde::{Deserialize, Serialize};
 
 /// How the streaming ingest path treats anomalous orders.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IngestPolicy {
     /// Strict: any non-chronological or unknown-area order is an error.
     /// This is the historical behaviour, minus the panic.
+    #[default]
     Reject,
     /// Tolerant: late and unknown-area orders are silently dropped and
     /// counted.
@@ -29,12 +30,6 @@ pub enum IngestPolicy {
         /// Maximum tolerated lateness in minutes.
         slack_minutes: u16,
     },
-}
-
-impl Default for IngestPolicy {
-    fn default() -> Self {
-        IngestPolicy::Reject
-    }
 }
 
 impl IngestPolicy {
@@ -93,13 +88,20 @@ pub enum IngestError {
 impl std::fmt::Display for IngestError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IngestError::NonChronological { area, arrived, cursor } => write!(
+            IngestError::NonChronological {
+                area,
+                arrived,
+                cursor,
+            } => write!(
                 f,
                 "area {area}: order at day {} t {} behind cursor day {} t {}",
                 arrived.day, arrived.ts, cursor.day, cursor.ts
             ),
             IngestError::UnknownArea { area, n_areas } => {
-                write!(f, "order for unknown area {area} (deployment has {n_areas})")
+                write!(
+                    f,
+                    "order for unknown area {area} (deployment has {n_areas})"
+                )
             }
         }
     }
@@ -178,8 +180,18 @@ mod tests {
 
     #[test]
     fn stats_merge_and_lost() {
-        let a = IngestStats { accepted: 10, reordered: 2, dropped_late: 1, ..Default::default() };
-        let b = IngestStats { accepted: 5, unknown_area: 3, rejected: 1, ..Default::default() };
+        let a = IngestStats {
+            accepted: 10,
+            reordered: 2,
+            dropped_late: 1,
+            ..Default::default()
+        };
+        let b = IngestStats {
+            accepted: 5,
+            unknown_area: 3,
+            rejected: 1,
+            ..Default::default()
+        };
         let m = a.merge(&b);
         assert_eq!(m.accepted, 15);
         assert_eq!(m.reordered, 2);
@@ -195,7 +207,11 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("area 3") && msg.contains("200"));
-        let u = IngestError::UnknownArea { area: 99, n_areas: 6 }.to_string();
+        let u = IngestError::UnknownArea {
+            area: 99,
+            n_areas: 6,
+        }
+        .to_string();
         assert!(u.contains("99") && u.contains('6'));
     }
 }

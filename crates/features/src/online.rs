@@ -229,11 +229,21 @@ mod tests {
     use deepsd_simdata::{shuffle_within_slack, SimConfig, SimDataset};
 
     fn cfg(l: usize) -> FeatureConfig {
-        FeatureConfig { window_l: l, ..FeatureConfig::default() }
+        FeatureConfig {
+            window_l: l,
+            ..FeatureConfig::default()
+        }
     }
 
     fn order(day: u16, ts: u16, pid: u32, valid: bool) -> Order {
-        Order { day, ts, pid, loc_start: 0, loc_dest: 0, valid }
+        Order {
+            day,
+            ts,
+            pid,
+            loc_start: 0,
+            loc_dest: 0,
+            valid,
+        }
     }
 
     #[test]
@@ -270,11 +280,25 @@ mod tests {
     #[test]
     fn ignores_other_areas() {
         let mut w = OnlineWindow::new(2, &cfg(5));
-        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 3, loc_dest: 0, valid: true })
-            .unwrap();
+        w.observe(Order {
+            day: 0,
+            ts: 100,
+            pid: 1,
+            loc_start: 3,
+            loc_dest: 0,
+            valid: true,
+        })
+        .unwrap();
         assert!(w.is_empty());
-        w.observe(Order { day: 0, ts: 100, pid: 1, loc_start: 2, loc_dest: 0, valid: true })
-            .unwrap();
+        w.observe(Order {
+            day: 0,
+            ts: 100,
+            pid: 1,
+            loc_start: 2,
+            loc_dest: 0,
+            valid: true,
+        })
+        .unwrap();
         assert_eq!(w.len(), 1);
     }
 
@@ -308,7 +332,11 @@ mod tests {
         w.observe(order(0, 100, 1, true)).unwrap();
         let err = w.observe(order(0, 50, 2, true)).unwrap_err();
         match err {
-            IngestError::NonChronological { area, arrived, cursor } => {
+            IngestError::NonChronological {
+                area,
+                arrived,
+                cursor,
+            } => {
                 assert_eq!(area, 0);
                 assert_eq!(arrived, SlotTime::new(0, 50));
                 assert_eq!(cursor, SlotTime::new(0, 100));
@@ -345,7 +373,11 @@ mod tests {
 
         // Same orders in clean order give identical vectors.
         let mut clean = OnlineWindow::new(0, &cfg(8));
-        for o in [order(0, 100, 1, true), order(0, 101, 3, true), order(0, 104, 2, false)] {
+        for o in [
+            order(0, 100, 1, true),
+            order(0, 101, 3, true),
+            order(0, 104, 2, false),
+        ] {
             clean.observe(o).unwrap();
         }
         clean.advance_to(0, 105);
@@ -370,8 +402,12 @@ mod tests {
         let l = 10usize;
         let day = 8u16;
         let area = 0u16;
-        let stream: Vec<Order> =
-            ds.orders(area).iter().filter(|o| o.day == day && o.ts < 700).copied().collect();
+        let stream: Vec<Order> = ds
+            .orders(area)
+            .iter()
+            .filter(|o| o.day == day && o.ts < 700)
+            .copied()
+            .collect();
         assert!(stream.len() > 50, "need a busy stream");
         let shuffled = shuffle_within_slack(&stream, 6, 1234);
         assert_ne!(shuffled, stream);
@@ -387,7 +423,11 @@ mod tests {
         }
         clean.advance_to(day, 700);
         faulty.advance_to(day, 700);
-        assert_eq!(clean.vectors(700), faulty.vectors(700), "reorder must be lossless");
+        assert_eq!(
+            clean.vectors(700),
+            faulty.vectors(700),
+            "reorder must be lossless"
+        );
         assert_eq!(faulty.stats().dropped_late, 0);
     }
 

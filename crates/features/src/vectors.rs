@@ -15,7 +15,10 @@ use crate::index::AreaIndex;
 /// # Panics
 /// Panics if `t < L` (the window would cross midnight backwards).
 pub fn v_sd(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
-    assert!(t as usize >= l, "window [t-L, t) crosses midnight: t={t}, L={l}");
+    assert!(
+        t as usize >= l,
+        "window [t-L, t) crosses midnight: t={t}, L={l}"
+    );
     let mut out = vec![0.0f32; 2 * l];
     for ell in 1..=l {
         let minute = t - ell as u16;
@@ -33,7 +36,10 @@ pub fn v_sd(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
 /// unanswered. A failed last call near `t` is the strongest predictor of
 /// an imminent gap.
 pub fn v_lc(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
-    assert!(t as usize >= l, "window [t-L, t) crosses midnight: t={t}, L={l}");
+    assert!(
+        t as usize >= l,
+        "window [t-L, t) crosses midnight: t={t}, L={l}"
+    );
     let mut out = vec![0.0f32; 2 * l];
     let from = t - l as u16;
     let (window, offset) = index.day_orders_in(day, from, t);
@@ -63,7 +69,10 @@ pub fn v_lc(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
 /// counts passengers with wait `w` who got a ride on their last request;
 /// entry `L + w` counts those who did not.
 pub fn v_wt(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
-    assert!(t as usize >= l, "window [t-L, t) crosses midnight: t={t}, L={l}");
+    assert!(
+        t as usize >= l,
+        "window [t-L, t) crosses midnight: t={t}, L={l}"
+    );
     let mut out = vec![0.0f32; 2 * l];
     let from = t - l as u16;
     let (window, offset) = index.day_orders_in(day, from, t);
@@ -101,7 +110,14 @@ mod tests {
     use deepsd_simdata::Order;
 
     fn o(ts: u16, pid: u32, valid: bool) -> Order {
-        Order { day: 0, ts, pid, loc_start: 0, loc_dest: 0, valid }
+        Order {
+            day: 0,
+            ts,
+            pid,
+            loc_start: 0,
+            loc_dest: 0,
+            valid,
+        }
     }
 
     fn idx(orders: Vec<Order>) -> AreaIndex {

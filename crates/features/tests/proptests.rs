@@ -1,8 +1,8 @@
 //! Property-based tests for the feature pipeline: conservation laws and
 //! consistency invariants that must hold for arbitrary order streams.
 
-use deepsd_features::{AreaIndex, FeatureConfig, VectorKind};
 use deepsd_features::vectors::{v_lc, v_sd, v_wt};
+use deepsd_features::{AreaIndex, FeatureConfig, VectorKind};
 use deepsd_simdata::Order;
 use proptest::prelude::*;
 
@@ -11,11 +11,7 @@ const T: u16 = 200;
 
 /// Arbitrary chronological one-day order stream near the query window.
 fn orders_strategy() -> impl Strategy<Value = Vec<Order>> {
-    proptest::collection::vec(
-        (180u16..220, 0u32..12, any::<bool>()),
-        0..40,
-    )
-    .prop_map(|mut raw| {
+    proptest::collection::vec((180u16..220, 0u32..12, any::<bool>()), 0..40).prop_map(|mut raw| {
         raw.sort_by_key(|&(ts, _, _)| ts);
         raw.into_iter()
             .map(|(ts, pid, valid)| Order {

@@ -34,7 +34,11 @@ pub fn check_gradients(
     // Analytic pass.
     let mut tape = Tape::new();
     let loss = forward(&mut tape, store);
-    assert_eq!(tape.shape(loss), (1, 1), "gradient check needs a scalar loss");
+    assert_eq!(
+        tape.shape(loss),
+        (1, 1),
+        "gradient check needs a scalar loss"
+    );
     let analytic = tape.backward(loss);
 
     let mut max_abs_err = 0.0f32;
@@ -43,6 +47,8 @@ pub fn check_gradients(
 
     let ids: Vec<_> = store.iter().map(|(id, _, _)| id).collect();
     for id in ids {
+        // Densify once per parameter (gather gradients arrive row-sparse).
+        let analytic_dense = analytic.get(id).map(|g| g.to_dense());
         let n = store.get(id).len();
         for k in 0..n {
             let original = store.get(id).as_slice()[k];
@@ -60,7 +66,7 @@ pub fn check_gradients(
             store.get_mut(id).as_mut_slice()[k] = original;
 
             let numeric = (f_plus - f_minus) / (2.0 * eps);
-            let analytic_entry = analytic.get(id).map_or(0.0, |g| g.as_slice()[k]);
+            let analytic_entry = analytic_dense.as_ref().map_or(0.0, |g| g.as_slice()[k]);
             let abs_err = (numeric - analytic_entry).abs();
             let rel_err = abs_err / numeric.abs().max(1.0);
             max_abs_err = max_abs_err.max(abs_err);
@@ -69,7 +75,11 @@ pub fn check_gradients(
         }
     }
 
-    GradCheckReport { max_abs_err, max_rel_err, entries_checked: entries }
+    GradCheckReport {
+        max_abs_err,
+        max_rel_err,
+        entries_checked: entries,
+    }
 }
 
 /// Panics with a diagnostic if the gradient check exceeds `tol` relative

@@ -18,7 +18,7 @@
 //!    the previous kernels there is no `a == 0.0` skip: on dense data the
 //!    branch mispredicts, and it silently turned `0.0 * NaN` into `0.0`.
 //! 3. **Fixed partition parallelism.** Output rows are split into `MC`-row
-//!    blocks and distributed over `crossbeam::thread::scope` workers in
+//!    blocks and distributed over `std::thread::scope` workers in
 //!    contiguous runs (the seeded-per-area pattern of
 //!    `deepsd_simdata::SimDataset::generate`). Blocks never share output
 //!    cells, so no synchronisation is needed and determinism is structural.
@@ -93,20 +93,19 @@ where
         return;
     }
     let work_ref = &work;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let per_thread = blocks.len().div_ceil(threads);
         let mut rest = blocks;
         while !rest.is_empty() {
             let take = per_thread.min(rest.len());
             let batch: Vec<_> = rest.drain(..take).collect();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (row0, chunk) in batch {
                     work_ref(row0, chunk);
                 }
             });
         }
-    })
-    .expect("matmul worker panicked");
+    });
 }
 
 /// Applies one reduction panel to an `h x n` output block.
@@ -145,6 +144,7 @@ fn panel_update(
 /// Full `MR x NR` register tile: accumulators live in registers for the
 /// whole panel, and the `NR`-wide inner loop vectorizes.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn micro_tile(
     out: &mut [f32],
     n: usize,
@@ -384,7 +384,13 @@ mod tests {
 
     #[test]
     fn blocked_nn_matches_reference_bitwise() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 130, 33), (70, 257, 9), (128, 40, 17)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (65, 130, 33),
+            (70, 257, 9),
+            (128, 40, 17),
+        ] {
             let a = mat(m, k, 1 + m as u32);
             let b = mat(k, n, 2 + n as u32);
             assert_bits_eq(&a.matmul(&b), &matmul_ref(&a, &b));

@@ -52,10 +52,21 @@ impl Dense {
         activation: Activation,
         rng: &mut StdRng,
     ) -> Self {
-        let weight =
-            store.add_init(format!("{name}.weight"), in_dim, out_dim, Init::HeUniform, rng);
+        let weight = store.add_init(
+            format!("{name}.weight"),
+            in_dim,
+            out_dim,
+            Init::HeUniform,
+            rng,
+        );
         let bias = store.add_init(format!("{name}.bias"), 1, out_dim, Init::Zeros, rng);
-        Dense { weight, bias, in_dim, out_dim, activation }
+        Dense {
+            weight,
+            bias,
+            in_dim,
+            out_dim,
+            activation,
+        }
     }
 
     /// Records `f(x W + b)` on the tape.
@@ -113,8 +124,13 @@ impl Embedding {
         dim: usize,
         rng: &mut StdRng,
     ) -> Self {
-        let table =
-            store.add_init(format!("{name}.table"), vocab, dim, Init::Uniform(0.05), rng);
+        let table = store.add_init(
+            format!("{name}.table"),
+            vocab,
+            dim,
+            Init::Uniform(0.05),
+            rng,
+        );
         Embedding { table, vocab, dim }
     }
 
@@ -123,8 +139,13 @@ impl Embedding {
     /// # Panics
     /// Panics if any id is out of vocabulary.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, ids: &[usize]) -> NodeId {
-        for &id in ids {
-            assert!(id < self.vocab, "embedding id {id} out of vocab {}", self.vocab);
+        // One branch for the whole batch instead of a per-id assert.
+        if let Some(&max_id) = ids.iter().max() {
+            assert!(
+                max_id < self.vocab,
+                "embedding id {max_id} out of vocab {}",
+                self.vocab
+            );
         }
         let t = tape.param(store, self.table);
         tape.gather(t, ids)
@@ -148,7 +169,11 @@ impl Embedding {
     /// The current embedding vector of one id (for the paper's embedding
     /// space analyses, Table IV / Fig. 12).
     pub fn vector<'s>(&self, store: &'s ParamStore, id: usize) -> &'s [f32] {
-        assert!(id < self.vocab, "embedding id {id} out of vocab {}", self.vocab);
+        assert!(
+            id < self.vocab,
+            "embedding id {id} out of vocab {}",
+            self.vocab
+        );
         store.get(self.table).row(id)
     }
 
@@ -190,7 +215,11 @@ impl OneHot {
     pub fn forward(&self, tape: &mut Tape, ids: &[usize]) -> NodeId {
         let mut m = Matrix::zeros(ids.len(), self.vocab);
         for (r, &id) in ids.iter().enumerate() {
-            assert!(id < self.vocab, "one-hot id {id} out of vocab {}", self.vocab);
+            assert!(
+                id < self.vocab,
+                "one-hot id {id} out of vocab {}",
+                self.vocab
+            );
             m.set(r, id, 1.0);
         }
         tape.constant(m)
@@ -215,14 +244,27 @@ impl SoftmaxLayer {
         out_dim: usize,
         rng: &mut StdRng,
     ) -> Self {
-        let weight =
-            store.add_init(format!("{name}.weight"), in_dim, out_dim, Init::XavierUniform, rng);
-        SoftmaxLayer { weight, in_dim, out_dim }
+        let weight = store.add_init(
+            format!("{name}.weight"),
+            in_dim,
+            out_dim,
+            Init::XavierUniform,
+            rng,
+        );
+        SoftmaxLayer {
+            weight,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Records `softmax(x W)` on the tape.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
-        assert_eq!(tape.shape(x).1, self.in_dim, "SoftmaxLayer input width mismatch");
+        assert_eq!(
+            tape.shape(x).1,
+            self.in_dim,
+            "SoftmaxLayer input width mismatch"
+        );
         let w = tape.param(store, self.weight);
         let logits = tape.matmul(x, w);
         tape.softmax_rows(logits)

@@ -55,6 +55,7 @@ pub mod layers;
 pub mod matrix;
 pub mod optim;
 pub mod params;
+pub mod shard;
 pub mod tape;
 
 pub use init::{seeded_rng, Init};
@@ -63,4 +64,5 @@ pub use layers::{Activation, Dense, Embedding, OneHot, SoftmaxLayer};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
 pub use params::{ParamId, ParamStore, Snapshot};
-pub use tape::{BackwardScratch, GradMap, NodeId, Tape};
+pub use shard::{ShardJob, ShardPool, SHARD_ROWS};
+pub use tape::{BackwardScratch, Grad, GradMap, NodeId, Tape};

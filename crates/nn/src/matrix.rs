@@ -35,12 +35,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -62,13 +70,21 @@ impl Matrix {
     /// Creates a `1 x n` row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Matrix { rows: 1, cols, data }
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Creates a `n x 1` column vector.
     pub fn col_vector(data: Vec<f32>) -> Self {
         let rows = data.len();
-        Matrix { rows, cols: 1, data }
+        Matrix {
+            rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// Creates a matrix by evaluating `f(row, col)` for each entry.
@@ -190,7 +206,13 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        crate::kernels::gemm_nn(&self.data, self.cols, &other.data, other.cols, &mut out.data);
+        crate::kernels::gemm_nn(
+            &self.data,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
         out
     }
 
@@ -233,7 +255,13 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        crate::kernels::gemm_nt(&self.data, self.cols, &other.data, other.rows, &mut out.data);
+        crate::kernels::gemm_nt(
+            &self.data,
+            self.cols,
+            &other.data,
+            other.rows,
+            &mut out.data,
+        );
         out
     }
 
@@ -420,7 +448,8 @@ impl Matrix {
         assert!(start + width <= self.cols, "column slice out of range");
         let mut out = Matrix::zeros(self.rows, width);
         for r in 0..self.rows {
-            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + width]);
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + width]);
         }
         out
     }
@@ -430,12 +459,30 @@ impl Matrix {
     /// # Panics
     /// Panics if any index is out of range.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < self.rows, "gather_rows: index {idx} out of {}", self.rows);
-            out.row_mut(i).copy_from_slice(self.row(idx));
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.gather_rows_into(indices, &mut out);
         out
+    }
+
+    /// Gathers rows by index into `out`, reusing its allocation
+    /// (`out.row(i) = self.row(indices[i])`). `out` is resized to
+    /// `indices.len() x self.cols`.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
+        for &idx in indices {
+            assert!(
+                idx < self.rows,
+                "gather_rows: index {idx} out of {}",
+                self.rows
+            );
+            out.data.extend_from_slice(self.row(idx));
+        }
     }
 
     /// True if any entry is NaN or infinite.

@@ -7,8 +7,59 @@
 
 use crate::matrix::Matrix;
 use crate::params::ParamStore;
-use crate::tape::GradMap;
+use crate::tape::{Grad, GradMap};
 use serde::{Deserialize, Serialize};
+
+/// One Adam update over a contiguous slice of weights/gradients/moments.
+///
+/// Both the dense path (whole parameter) and the row-sparse path (one
+/// touched row at a time) funnel through this helper, so the two produce
+/// bit-identical arithmetic on the elements they touch.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn adam_update_slice(
+    w: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    lr: f32,
+    b1: f32,
+    b2: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+) {
+    for ((w, g), (mm, vv)) in w
+        .iter_mut()
+        .zip(g.iter())
+        .zip(m.iter_mut().zip(v.iter_mut()))
+    {
+        *mm = b1 * *mm + (1.0 - b1) * g;
+        *vv = b2 * *vv + (1.0 - b2) * g * g;
+        let m_hat = *mm / bc1;
+        let v_hat = *vv / bc2;
+        *w -= lr * m_hat / (v_hat.sqrt() + eps);
+    }
+}
+
+/// One momentum-SGD update over a contiguous slice (shared by the dense
+/// and row-sparse paths; see [`adam_update_slice`]).
+#[inline]
+fn sgd_momentum_slice(w: &mut [f32], g: &[f32], vel: &mut [f32], lr: f32, momentum: f32) {
+    for ((w, g), v) in w.iter_mut().zip(g.iter()).zip(vel.iter_mut()) {
+        *v = momentum * *v + g;
+        *w -= lr * *v;
+    }
+}
+
+/// One plain-SGD update over a contiguous slice (`w += -lr * g`, matching
+/// [`Matrix::axpy`] element arithmetic exactly).
+#[inline]
+fn sgd_plain_slice(w: &mut [f32], g: &[f32], lr: f32) {
+    for (w, g) in w.iter_mut().zip(g.iter()) {
+        *w += -lr * g;
+    }
+}
 
 /// Adaptive Moment Estimation (Kingma & Ba, 2014).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,7 +80,15 @@ pub struct Adam {
 impl Adam {
     /// Creates an Adam optimiser with explicit hyper-parameters.
     pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
-        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Default hyper-parameters sized to a store.
@@ -49,7 +108,16 @@ impl Adam {
     ///
     /// Parameters without a gradient this step keep their moment state
     /// untouched (their bias-correction still advances with `t`, matching
-    /// the common sparse-Adam simplification).
+    /// the common sparse-Adam simplification). Row-sparse gradients — the
+    /// output of embedding gathers — extend the same rule to individual
+    /// rows: only the gathered rows' weights and moments are read or
+    /// written, so the step costs O(touched rows · cols) regardless of
+    /// vocabulary size, and an untouched row's moments stay frozen until
+    /// its next touch, at which point the *global* `t` drives its bias
+    /// correction. For any step in which a row is touched, the arithmetic
+    /// is bit-identical to densifying the gradient first (zero-gradient
+    /// rows under a dense update decay their moments toward zero, which
+    /// the lazy scheme skips — that is the single, deliberate divergence).
     pub fn step(&mut self, store: &mut ParamStore, grads: &GradMap) {
         self.t += 1;
         if self.m.len() < store.len() {
@@ -64,20 +132,43 @@ impl Adam {
             let (rows, cols) = value.shape();
             let m = self.m[idx].get_or_insert_with(|| Matrix::zeros(rows, cols));
             let v = self.v[idx].get_or_insert_with(|| Matrix::zeros(rows, cols));
-            debug_assert_eq!(m.shape(), grad.shape(), "Adam moment shape mismatch");
+            debug_assert_eq!(m.shape(), (rows, cols), "Adam moment shape mismatch");
+            debug_assert_eq!(grad.shape(), (rows, cols), "Adam gradient shape mismatch");
             let lr = self.lr;
             let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
-            for ((w, g), (mm, vv)) in value
-                .as_mut_slice()
-                .iter_mut()
-                .zip(grad.as_slice().iter())
-                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
-            {
-                *mm = b1 * *mm + (1.0 - b1) * g;
-                *vv = b2 * *vv + (1.0 - b2) * g * g;
-                let m_hat = *mm / bc1;
-                let v_hat = *vv / bc2;
-                *w -= lr * m_hat / (v_hat.sqrt() + eps);
+            match grad {
+                Grad::Dense(g) => adam_update_slice(
+                    value.as_mut_slice(),
+                    g.as_slice(),
+                    m.as_mut_slice(),
+                    v.as_mut_slice(),
+                    lr,
+                    b1,
+                    b2,
+                    eps,
+                    bc1,
+                    bc2,
+                ),
+                Grad::RowSparse {
+                    indices,
+                    rows: packed,
+                    ..
+                } => {
+                    for (i, &r) in indices.iter().enumerate() {
+                        adam_update_slice(
+                            value.row_mut(r),
+                            packed.row(i),
+                            m.row_mut(r),
+                            v.row_mut(r),
+                            lr,
+                            b1,
+                            b2,
+                            eps,
+                            bc1,
+                            bc2,
+                        );
+                    }
+                }
             }
         }
     }
@@ -103,10 +194,18 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimiser.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one SGD update.
+    ///
+    /// Row-sparse gradients update only the touched rows (and their
+    /// velocity rows), mirroring the lazy scheme documented on
+    /// [`Adam::step`].
     pub fn step(&mut self, store: &mut ParamStore, grads: &GradMap) {
         if self.velocity.len() < store.len() {
             self.velocity.resize_with(store.len(), || None);
@@ -116,20 +215,52 @@ impl Sgd {
             let value = store.get_mut(id);
             let (rows, cols) = value.shape();
             if self.momentum == 0.0 {
-                value.axpy(-self.lr, grad);
+                match grad {
+                    Grad::Dense(g) => sgd_plain_slice(value.as_mut_slice(), g.as_slice(), self.lr),
+                    Grad::RowSparse {
+                        indices,
+                        rows: packed,
+                        ..
+                    } => {
+                        for (i, &r) in indices.iter().enumerate() {
+                            sgd_plain_slice(value.row_mut(r), packed.row(i), self.lr);
+                        }
+                    }
+                }
                 continue;
             }
             let vel = self.velocity[idx].get_or_insert_with(|| Matrix::zeros(rows, cols));
-            for ((w, g), v) in value
-                .as_mut_slice()
-                .iter_mut()
-                .zip(grad.as_slice().iter())
-                .zip(vel.as_mut_slice().iter_mut())
-            {
-                *v = self.momentum * *v + g;
-                *w -= self.lr * *v;
+            match grad {
+                Grad::Dense(g) => sgd_momentum_slice(
+                    value.as_mut_slice(),
+                    g.as_slice(),
+                    vel.as_mut_slice(),
+                    self.lr,
+                    self.momentum,
+                ),
+                Grad::RowSparse {
+                    indices,
+                    rows: packed,
+                    ..
+                } => {
+                    for (i, &r) in indices.iter().enumerate() {
+                        sgd_momentum_slice(
+                            value.row_mut(r),
+                            packed.row(i),
+                            vel.row_mut(r),
+                            self.lr,
+                            self.momentum,
+                        );
+                    }
+                }
             }
         }
+    }
+
+    /// Resets velocity state (parity with [`Adam::reset`], used when
+    /// restarting training).
+    pub fn reset(&mut self) {
+        self.velocity.clear();
     }
 }
 
@@ -224,5 +355,129 @@ mod tests {
         adam.step(&mut store, &grads);
         adam.reset();
         assert_eq!(adam.steps(), 0);
+    }
+
+    #[test]
+    fn sgd_reset_clears_velocity() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 1, vec![10.0]));
+        let mut sgd = Sgd::new(0.1, 0.9);
+        let (_, grads) = quadratic_grad(&store, id);
+        sgd.step(&mut store, &grads);
+        let after_first = store.get(id).get(0, 0);
+        sgd.reset();
+        // With zeroed velocity the next step from the same point repeats
+        // the first step's arithmetic exactly.
+        store.get_mut(id).as_mut_slice()[0] = 10.0;
+        let (_, grads) = quadratic_grad(&store, id);
+        sgd.step(&mut store, &grads);
+        assert_eq!(store.get(id).get(0, 0), after_first);
+    }
+
+    fn build_embedding_model() -> (ParamStore, crate::params::ParamId) {
+        use crate::init::seeded_rng;
+        use crate::layers::Embedding;
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(42);
+        let emb = Embedding::new(&mut store, "emb", 6, 3, &mut rng);
+        (store, emb.param())
+    }
+
+    /// Forward: gather rows (with duplicates) from the table twice —
+    /// modelling a table shared by two inputs — and take the mean.
+    fn shared_embedding_grads(store: &ParamStore, ids_a: &[usize], ids_b: &[usize]) -> GradMap {
+        let table = store.find("emb.table").unwrap();
+        let mut tape = Tape::new();
+        let t = tape.param(store, table);
+        let a = tape.gather(t, ids_a);
+        let b = tape.gather(t, ids_b);
+        let cat = tape.concat(&[a, b]);
+        let target = Matrix::zeros(ids_a.len(), 6);
+        let loss = tape.mse_loss(cat, &target);
+        tape.backward(loss)
+    }
+
+    fn densify(grads: &GradMap) -> GradMap {
+        let mut out = GradMap::default();
+        for (id, g) in grads.iter() {
+            out.accumulate(id, crate::tape::Grad::Dense(g.to_dense()));
+        }
+        out
+    }
+
+    #[test]
+    fn sparse_adam_first_step_matches_dense_bitwise() {
+        // From fresh moments, a dense zero-gradient row moves nothing, so
+        // sparse and dense first steps agree on every row, bit for bit.
+        let (store_a, table) = build_embedding_model();
+        let mut store_b = store_a.clone();
+        let mut store_a = store_a;
+        // Duplicate ids in one batch; rows 0 and 5 untouched.
+        let grads = shared_embedding_grads(&store_a, &[1, 2, 2], &[3, 4, 1]);
+        assert!(grads.get(table).unwrap().is_sparse());
+        let dense = densify(&grads);
+
+        let mut adam_a = Adam::new(0.01, 0.9, 0.999, 1e-8);
+        let mut adam_b = Adam::new(0.01, 0.9, 0.999, 1e-8);
+        adam_a.step(&mut store_a, &grads);
+        adam_b.step(&mut store_b, &dense);
+        assert!(store_a.get(table).max_abs_diff(store_b.get(table)) == 0.0);
+    }
+
+    #[test]
+    fn sparse_adam_matches_dense_when_every_row_is_touched() {
+        // When every row is gathered each step, the lazy scheme never
+        // freezes a moment, so multi-step trajectories agree bitwise.
+        let (store_a, table) = build_embedding_model();
+        let mut store_b = store_a.clone();
+        let mut store_a = store_a;
+        let mut adam_a = Adam::new(0.01, 0.9, 0.999, 1e-8);
+        let mut adam_b = Adam::new(0.01, 0.9, 0.999, 1e-8);
+        for _ in 0..5 {
+            let grads = shared_embedding_grads(&store_a, &[0, 1, 2], &[3, 4, 5]);
+            let dense = densify(&shared_embedding_grads(&store_b, &[0, 1, 2], &[3, 4, 5]));
+            adam_a.step(&mut store_a, &grads);
+            adam_b.step(&mut store_b, &dense);
+        }
+        assert!(store_a.get(table).max_abs_diff(store_b.get(table)) == 0.0);
+    }
+
+    #[test]
+    fn sparse_sgd_matches_dense_bitwise() {
+        for momentum in [0.0, 0.9] {
+            let (store_a, table) = build_embedding_model();
+            let mut store_b = store_a.clone();
+            let mut store_a = store_a;
+            let mut sgd_a = Sgd::new(0.05, momentum);
+            let mut sgd_b = Sgd::new(0.05, momentum);
+            for _ in 0..4 {
+                let grads = shared_embedding_grads(&store_a, &[0, 1, 2], &[3, 4, 5]);
+                let dense = densify(&shared_embedding_grads(&store_b, &[0, 1, 2], &[3, 4, 5]));
+                sgd_a.step(&mut store_a, &grads);
+                sgd_b.step(&mut store_b, &dense);
+            }
+            assert!(
+                store_a.get(table).max_abs_diff(store_b.get(table)) == 0.0,
+                "momentum {momentum}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_adam_leaves_untouched_rows_and_moments_alone() {
+        let (store, table) = build_embedding_model();
+        let mut store = store;
+        let before = store.get(table).clone();
+        let mut adam = Adam::new(0.01, 0.9, 0.999, 1e-8);
+        let grads = shared_embedding_grads(&store, &[1, 2, 2], &[3, 1, 2]);
+        adam.step(&mut store, &grads);
+        // Rows 0, 4, 5 were never gathered: identical bits.
+        for r in [0usize, 4, 5] {
+            assert_eq!(store.get(table).row(r), before.row(r), "row {r} moved");
+        }
+        // Touched rows moved.
+        for r in [1usize, 2, 3] {
+            assert_ne!(store.get(table).row(r), before.row(r), "row {r} frozen");
+        }
     }
 }

@@ -55,7 +55,10 @@ impl ParamStore {
     /// Registers a parameter with an explicit initial value.
     pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let id = ParamId(self.params.len());
-        self.params.push(Param { name: name.into(), value });
+        self.params.push(Param {
+            name: name.into(),
+            value,
+        });
         id
     }
 
@@ -116,7 +119,9 @@ impl ParamStore {
 
     /// Copies every current value into a [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot { values: self.params.iter().map(|p| p.value.clone()).collect() }
+        Snapshot {
+            values: self.params.iter().map(|p| p.value.clone()).collect(),
+        }
     }
 
     /// Restores values from a snapshot taken on this store.
@@ -135,7 +140,12 @@ impl ParamStore {
             self.params.len()
         );
         for (p, v) in self.params.iter_mut().zip(snapshot.values.iter()) {
-            assert_eq!(p.value.shape(), v.shape(), "snapshot shape mismatch for {}", p.name);
+            assert_eq!(
+                p.value.shape(),
+                v.shape(),
+                "snapshot shape mismatch for {}",
+                p.name
+            );
             p.value = v.clone();
         }
     }

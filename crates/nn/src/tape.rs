@@ -49,7 +49,11 @@ enum Op {
     /// Column-wise concatenation.
     Concat(Vec<NodeId>),
     /// Column slice `[start, start + width)`.
-    Slice { input: NodeId, start: usize, width: usize },
+    Slice {
+        input: NodeId,
+        start: usize,
+        width: usize,
+    },
     /// Row-wise softmax; stores nothing extra (output is on the node).
     SoftmaxRows(NodeId),
     /// Row gather from a (parameter) table; `indices[b]` selects the row
@@ -59,7 +63,11 @@ enum Op {
     ///
     /// `basis` is data (the stacked per-weekday history vectors), not a
     /// differentiable node.
-    WeightedCombine { weights: NodeId, basis: Matrix, dim: usize },
+    WeightedCombine {
+        weights: NodeId,
+        basis: Matrix,
+        dim: usize,
+    },
     /// Inverted dropout; `mask` entries are `0` or `1 / keep_prob`.
     Dropout { input: NodeId, mask: Matrix },
     /// Mean of `(pred - target)^2`.
@@ -67,7 +75,11 @@ enum Op {
     /// Mean of `|pred - target|`.
     MaeLoss { pred: NodeId, target: Matrix },
     /// Mean Huber loss with threshold `delta`.
-    HuberLoss { pred: NodeId, target: Matrix, delta: f32 },
+    HuberLoss {
+        pred: NodeId,
+        target: Matrix,
+        delta: f32,
+    },
     /// Mean of all entries (scalar).
     Mean(NodeId),
     /// Sum of all entries (scalar).
@@ -80,27 +92,195 @@ struct Node {
     param: Option<ParamId>,
 }
 
+/// A single parameter gradient: dense, or row-sparse.
+///
+/// Embedding tables only receive gradient mass on the rows actually
+/// gathered in a batch, so [`Op::Gather`]'s backward emits the
+/// `RowSparse` form instead of materialising a full `vocab x dim` zero
+/// matrix. Every other op produces `Dense`. Optimisers apply row-sparse
+/// gradients by touching only the listed rows, making the per-step cost
+/// O(touched rows) instead of O(vocab).
+#[derive(Debug, Clone)]
+pub enum Grad {
+    /// Fully materialised gradient.
+    Dense(Matrix),
+    /// Row-sparse gradient: only `indices` rows carry mass, every other
+    /// row of the virtual `full_rows x rows.cols()` gradient is zero.
+    RowSparse {
+        /// Row count of the full (virtual) gradient.
+        full_rows: usize,
+        /// Strictly increasing row indices with gradient mass.
+        indices: Vec<usize>,
+        /// `indices.len() x cols` packed rows; row `i` is the gradient
+        /// of full row `indices[i]`.
+        rows: Matrix,
+    },
+}
+
+impl Grad {
+    /// Shape of the full (virtual) gradient.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Grad::Dense(m) => m.shape(),
+            Grad::RowSparse {
+                full_rows, rows, ..
+            } => (*full_rows, rows.cols()),
+        }
+    }
+
+    /// True for the row-sparse representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Grad::RowSparse { .. })
+    }
+
+    /// Entry of the full gradient (zero for unlisted sparse rows).
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        match self {
+            Grad::Dense(m) => m.get(r, c),
+            Grad::RowSparse { indices, rows, .. } => match indices.binary_search(&r) {
+                Ok(i) => rows.get(i, c),
+                Err(_) => 0.0,
+            },
+        }
+    }
+
+    /// Materialises the full gradient as a matrix, borrowing `self`.
+    pub fn to_dense(&self) -> Matrix {
+        match self {
+            Grad::Dense(m) => m.clone(),
+            Grad::RowSparse {
+                full_rows,
+                indices,
+                rows,
+            } => {
+                let mut out = Matrix::zeros(*full_rows, rows.cols());
+                for (i, &r) in indices.iter().enumerate() {
+                    out.row_mut(r).copy_from_slice(rows.row(i));
+                }
+                out
+            }
+        }
+    }
+
+    /// Materialises the full gradient, consuming `self` (no copy when
+    /// already dense).
+    pub fn into_dense(self) -> Matrix {
+        match self {
+            Grad::Dense(m) => m,
+            sparse => sparse.to_dense(),
+        }
+    }
+
+    /// Largest absolute entry (implicit zero rows cannot raise it).
+    pub fn max_abs(&self) -> f32 {
+        match self {
+            Grad::Dense(m) => m.max_abs(),
+            Grad::RowSparse { rows, .. } => rows.max_abs(),
+        }
+    }
+
+    /// Multiplies every entry by a scalar.
+    pub fn scale(&mut self, factor: f32) {
+        match self {
+            Grad::Dense(m) => m.scale(factor),
+            Grad::RowSparse { rows, .. } => rows.scale(factor),
+        }
+    }
+
+    /// Adds `incoming` into `self` (`self += incoming`).
+    ///
+    /// Sparse + sparse stays sparse (sorted union of the row sets);
+    /// every mixed combination densifies. The per-entry fold order is
+    /// `existing + incoming`, matching what dense scatter-accumulation
+    /// would compute.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree.
+    pub fn accumulate(&mut self, incoming: Grad) {
+        assert_eq!(
+            self.shape(),
+            incoming.shape(),
+            "Grad::accumulate shape mismatch"
+        );
+        match (&mut *self, incoming) {
+            (Grad::Dense(a), Grad::Dense(b)) => a.add_assign(&b),
+            (Grad::Dense(a), Grad::RowSparse { indices, rows, .. }) => {
+                for (i, &r) in indices.iter().enumerate() {
+                    for (d, &s) in a.row_mut(r).iter_mut().zip(rows.row(i)) {
+                        *d += s;
+                    }
+                }
+            }
+            (me @ Grad::RowSparse { .. }, Grad::Dense(b)) => {
+                let mut dense =
+                    std::mem::replace(me, Grad::Dense(Matrix::zeros(0, 0))).into_dense();
+                dense.add_assign(&b);
+                *me = Grad::Dense(dense);
+            }
+            (
+                Grad::RowSparse {
+                    indices: ia,
+                    rows: ra,
+                    ..
+                },
+                Grad::RowSparse {
+                    indices: ib,
+                    rows: rb,
+                    ..
+                },
+            ) => {
+                let cols = ra.cols();
+                let mut indices = Vec::with_capacity(ia.len() + ib.len());
+                let mut data = Vec::with_capacity((ia.len() + ib.len()) * cols);
+                let (mut i, mut j) = (0, 0);
+                while i < ia.len() || j < ib.len() {
+                    let take_a = j >= ib.len() || (i < ia.len() && ia[i] <= ib[j]);
+                    if take_a && j < ib.len() && i < ia.len() && ia[i] == ib[j] {
+                        // Row in both: existing + incoming.
+                        indices.push(ia[i]);
+                        data.extend(ra.row(i).iter().zip(rb.row(j)).map(|(&a, &b)| a + b));
+                        i += 1;
+                        j += 1;
+                    } else if take_a {
+                        indices.push(ia[i]);
+                        data.extend_from_slice(ra.row(i));
+                        i += 1;
+                    } else {
+                        indices.push(ib[j]);
+                        data.extend_from_slice(rb.row(j));
+                        j += 1;
+                    }
+                }
+                let merged = Matrix::from_vec(indices.len(), cols, data);
+                *ia = indices;
+                *ra = merged;
+            }
+        }
+    }
+}
+
 /// Gradients keyed by parameter id, produced by [`Tape::backward`].
 ///
-/// A `GradMap` can be reused across batches via [`Tape::backward_into`]:
-/// buffers from the previous batch are parked internally and recycled on
-/// the next accumulation, so steady-state training performs no per-batch
-/// parameter-gradient allocations.
+/// Entries are [`Grad`]s: dense for ordinary parameters, row-sparse for
+/// embedding tables reached only through gathers. A `GradMap` can be
+/// reused across batches via [`Tape::backward_into`]; gradient buffers
+/// are moved out of the backward pass's scratch rather than cloned, so
+/// steady-state training performs no per-batch parameter-gradient
+/// copies.
 #[derive(Debug, Default)]
 pub struct GradMap {
-    by_index: Vec<Option<Matrix>>,
-    /// Parked buffers from a previous batch, recycled by `accumulate`.
-    pool: Vec<Option<Matrix>>,
+    by_index: Vec<Option<Grad>>,
 }
 
 impl GradMap {
     /// Gradient for a parameter, if it participated in the computation.
-    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+    pub fn get(&self, id: ParamId) -> Option<&Grad> {
         self.by_index.get(id.index()).and_then(|g| g.as_ref())
     }
 
-    /// Iterates over `(id, gradient)` pairs that are present.
-    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+    /// Iterates over `(id, gradient)` pairs that are present, in
+    /// ascending parameter order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Grad)> {
         self.by_index
             .iter()
             .enumerate()
@@ -139,40 +319,42 @@ impl GradMap {
         factor
     }
 
-    /// Parks every gradient buffer for recycling and empties the map.
-    ///
-    /// After this call the map reports no gradients; the next
-    /// `accumulate` for a parameter reuses its parked buffer (when the
-    /// shape still matches) instead of allocating.
+    /// Empties the map, keeping the slot vector's allocation.
     pub fn reset_for_reuse(&mut self) {
-        if self.pool.len() < self.by_index.len() {
-            self.pool.resize_with(self.by_index.len(), || None);
-        }
-        for (slot, parked) in self.by_index.iter_mut().zip(self.pool.iter_mut()) {
-            if let Some(g) = slot.take() {
-                *parked = Some(g);
-            }
+        for slot in self.by_index.iter_mut() {
+            *slot = None;
         }
     }
 
-    fn accumulate(&mut self, id: ParamId, grad: &Matrix) {
+    /// Adds `grad` into the entry for `id` (`entry += grad`), taking the
+    /// buffer by value. Public so shard reducers can merge per-shard
+    /// gradient maps; within the tape it collects parameter-leaf
+    /// gradients.
+    pub fn accumulate(&mut self, id: ParamId, grad: Grad) {
         let idx = id.index();
         if self.by_index.len() <= idx {
             self.by_index.resize_with(idx + 1, || None);
         }
-        if let Some(existing) = &mut self.by_index[idx] {
-            existing.add_assign(grad);
-            return;
+        match &mut self.by_index[idx] {
+            Some(existing) => existing.accumulate(grad),
+            slot @ None => *slot = Some(grad),
         }
-        let recycled = self.pool.get_mut(idx).and_then(|p| p.take());
-        let buf = match recycled {
-            Some(mut buf) if buf.shape() == grad.shape() => {
-                buf.as_mut_slice().copy_from_slice(grad.as_slice());
-                buf
+    }
+
+    /// Moves every entry of `other` into `self`, accumulating where both
+    /// maps carry a gradient for the same parameter, in ascending
+    /// parameter order. `other` is left empty (allocations retained).
+    ///
+    /// This is the deterministic reduction primitive of the shard
+    /// engine: reducing shard maps `0, 1, …, S-1` left-to-right gives a
+    /// fold whose order depends only on the shard partition, never on
+    /// how shards were scheduled across worker threads.
+    pub fn merge_from(&mut self, other: &mut GradMap) {
+        for (idx, slot) in other.by_index.iter_mut().enumerate() {
+            if let Some(g) = slot.take() {
+                self.accumulate(ParamId(idx), g);
             }
-            _ => grad.clone(),
-        };
-        self.by_index[idx] = Some(buf);
+        }
     }
 }
 
@@ -181,13 +363,18 @@ impl GradMap {
 /// reallocate them every batch.
 #[derive(Default)]
 pub struct BackwardScratch {
-    node_grads: Vec<Option<Matrix>>,
+    node_grads: Vec<Option<Grad>>,
 }
 
 /// A recording of one forward computation.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Index buffers reclaimed from gather nodes on [`Tape::reset`],
+    /// recycled by the next [`Tape::gather`] call.
+    gather_indices_pool: Vec<Vec<usize>>,
+    /// Output matrices reclaimed from gather nodes on [`Tape::reset`].
+    gather_values_pool: Vec<Matrix>,
 }
 
 impl Tape {
@@ -218,7 +405,11 @@ impl Tape {
 
     fn push(&mut self, value: Matrix, op: Op) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { value, op, param: None });
+        self.nodes.push(Node {
+            value,
+            op,
+            param: None,
+        });
         id
     }
 
@@ -296,7 +487,14 @@ impl Tape {
     /// Column slice `[start, start + width)`.
     pub fn slice_cols(&mut self, x: NodeId, start: usize, width: usize) -> NodeId {
         let value = self.value(x).columns(start, width);
-        self.push(value, Op::Slice { input: x, start, width })
+        self.push(
+            value,
+            Op::Slice {
+                input: x,
+                start,
+                width,
+            },
+        )
     }
 
     /// Row-wise softmax (numerically stabilised).
@@ -322,11 +520,28 @@ impl Tape {
 
     /// Embedding lookup: output row `b` is `table.row(indices[b])`.
     ///
+    /// Index and output buffers are recycled across [`Tape::reset`]
+    /// cycles, so the serving hot loop performs no per-request gather
+    /// allocations in steady state.
+    ///
     /// # Panics
     /// Panics if any index is out of range for the table.
     pub fn gather(&mut self, table: NodeId, indices: &[usize]) -> NodeId {
-        let value = self.value(table).gather_rows(indices);
-        self.push(value, Op::Gather { table, indices: indices.to_vec() })
+        let mut idx_buf = self.gather_indices_pool.pop().unwrap_or_default();
+        idx_buf.clear();
+        idx_buf.extend_from_slice(indices);
+        let mut value = self
+            .gather_values_pool
+            .pop()
+            .unwrap_or_else(|| Matrix::zeros(0, 0));
+        self.value(table).gather_rows_into(indices, &mut value);
+        self.push(
+            value,
+            Op::Gather {
+                table,
+                indices: idx_buf,
+            },
+        )
     }
 
     /// Per-sample weighted combination of `k` stacked basis vectors:
@@ -343,7 +558,11 @@ impl Tape {
         let w = self.value(weights);
         let (b, k) = w.shape();
         assert_eq!(basis.rows(), b, "weighted_combine: batch mismatch");
-        assert_eq!(basis.cols(), k * dim, "weighted_combine: basis width mismatch");
+        assert_eq!(
+            basis.cols(),
+            k * dim,
+            "weighted_combine: basis width mismatch"
+        );
         let mut value = Matrix::zeros(b, dim);
         for r in 0..b {
             let w_row = w.row(r);
@@ -359,7 +578,14 @@ impl Tape {
                 }
             }
         }
-        self.push(value, Op::WeightedCombine { weights, basis, dim })
+        self.push(
+            value,
+            Op::WeightedCombine {
+                weights,
+                basis,
+                dim,
+            },
+        )
     }
 
     /// Inverted dropout for training: zeroes each entry with probability
@@ -400,7 +626,10 @@ impl Tape {
             / n;
         self.push(
             Matrix::from_vec(1, 1, vec![loss]),
-            Op::MseLoss { pred, target: target.clone() },
+            Op::MseLoss {
+                pred,
+                target: target.clone(),
+            },
         )
     }
 
@@ -418,7 +647,10 @@ impl Tape {
             / n;
         self.push(
             Matrix::from_vec(1, 1, vec![loss]),
-            Op::MaeLoss { pred, target: target.clone() },
+            Op::MaeLoss {
+                pred,
+                target: target.clone(),
+            },
         )
     }
 
@@ -444,7 +676,11 @@ impl Tape {
             / n;
         self.push(
             Matrix::from_vec(1, 1, vec![loss]),
-            Op::HuberLoss { pred, target: target.clone(), delta },
+            Op::HuberLoss {
+                pred,
+                target: target.clone(),
+                delta,
+            },
         )
     }
 
@@ -461,9 +697,16 @@ impl Tape {
     }
 
     /// Clears the recorded computation while keeping the node storage
-    /// allocation, so one tape can be reused across batches.
+    /// allocation, so one tape can be reused across batches. Gather
+    /// index and output buffers are parked for recycling by the next
+    /// [`Tape::gather`].
     pub fn reset(&mut self) {
-        self.nodes.clear();
+        for node in self.nodes.drain(..) {
+            if let Op::Gather { indices, .. } = node.op {
+                self.gather_indices_pool.push(indices);
+                self.gather_values_pool.push(node.value);
+            }
+        }
     }
 
     /// Runs reverse-mode differentiation from a scalar node, returning the
@@ -492,21 +735,36 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not `1 x 1`.
     pub fn backward_into(&self, loss: NodeId, scratch: &mut BackwardScratch, params: &mut GradMap) {
-        assert_eq!(self.shape(loss), (1, 1), "backward expects a scalar loss node");
+        assert_eq!(
+            self.shape(loss),
+            (1, 1),
+            "backward expects a scalar loss node"
+        );
         params.reset_for_reuse();
         let grads = &mut scratch.node_grads;
         grads.clear();
         grads.resize_with(self.nodes.len(), || None);
-        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        grads[loss.0] = Some(Grad::Dense(Matrix::from_vec(1, 1, vec![1.0])));
 
         for idx in (0..self.nodes.len()).rev() {
-            let Some(grad) = grads[idx].take() else { continue };
+            let Some(grad) = grads[idx].take() else {
+                continue;
+            };
             let node = &self.nodes[idx];
             if let Some(pid) = node.param {
-                params.accumulate(pid, &grad);
+                // Parameter nodes are always leaves: move the gradient
+                // (dense or row-sparse) straight into the map.
+                params.accumulate(pid, grad);
+                continue;
             }
+            if matches!(node.op, Op::Leaf) {
+                continue;
+            }
+            // Only Gather emits sparse gradients and only leaves receive
+            // them in practice; densify defensively for every other op.
+            let grad = grad.into_dense();
             match &node.op {
-                Op::Leaf => {}
+                Op::Leaf => unreachable!("leaf handled above"),
                 Op::MatMul(a, b) => {
                     // dA = G @ Bᵀ ; dB = Aᵀ @ G
                     let da = grad.matmul_nt(self.value(*b));
@@ -559,7 +817,11 @@ impl Tape {
                         offset += width;
                     }
                 }
-                Op::Slice { input, start, width } => {
+                Op::Slice {
+                    input,
+                    start,
+                    width,
+                } => {
                     let (rows, cols) = self.shape(*input);
                     let mut g = Matrix::zeros(rows, cols);
                     for r in 0..rows {
@@ -574,8 +836,7 @@ impl Tape {
                     for r in 0..y.rows() {
                         let y_row = y.row(r);
                         let g_row = grad.row(r);
-                        let dot: f32 =
-                            y_row.iter().zip(g_row.iter()).map(|(a, b)| a * b).sum();
+                        let dot: f32 = y_row.iter().zip(g_row.iter()).map(|(a, b)| a * b).sum();
                         for ((o, &yv), &gv) in
                             g.row_mut(r).iter_mut().zip(y_row.iter()).zip(g_row.iter())
                         {
@@ -585,18 +846,46 @@ impl Tape {
                     acc(grads, *x, g);
                 }
                 Op::Gather { table, indices } => {
-                    let (rows, cols) = self.shape(*table);
-                    let mut g = Matrix::zeros(rows, cols);
-                    for (b, &idx) in indices.iter().enumerate() {
-                        let src = grad.row(b);
-                        let dst = g.row_mut(idx);
-                        for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                            *d += s;
+                    // Row-sparse scatter: sort (table row, batch row)
+                    // pairs so each touched row's contributions fold in
+                    // increasing batch order — the exact per-cell sum
+                    // the dense zero-matrix scatter would produce.
+                    let (table_rows, cols) = self.shape(*table);
+                    let mut order: Vec<(usize, usize)> = indices
+                        .iter()
+                        .enumerate()
+                        .map(|(b, &idx)| (idx, b))
+                        .collect();
+                    order.sort_unstable();
+                    let mut uniq: Vec<usize> = Vec::with_capacity(order.len());
+                    let mut data: Vec<f32> = Vec::with_capacity(order.len() * cols);
+                    for &(idx, b) in &order {
+                        if uniq.last() == Some(&idx) {
+                            let base = data.len() - cols;
+                            for (d, &s) in data[base..].iter_mut().zip(grad.row(b)) {
+                                *d += s;
+                            }
+                        } else {
+                            uniq.push(idx);
+                            data.extend_from_slice(grad.row(b));
                         }
                     }
-                    acc(grads, *table, g);
+                    let packed = Matrix::from_vec(uniq.len(), cols, data);
+                    acc_grad(
+                        grads,
+                        *table,
+                        Grad::RowSparse {
+                            full_rows: table_rows,
+                            indices: uniq,
+                            rows: packed,
+                        },
+                    );
                 }
-                Op::WeightedCombine { weights, basis, dim } => {
+                Op::WeightedCombine {
+                    weights,
+                    basis,
+                    dim,
+                } => {
                     let (b, k) = self.shape(*weights);
                     let mut g = Matrix::zeros(b, k);
                     for r in 0..b {
@@ -640,7 +929,11 @@ impl Tape {
                     }
                     acc(grads, *pred, g);
                 }
-                Op::HuberLoss { pred, target, delta } => {
+                Op::HuberLoss {
+                    pred,
+                    target,
+                    delta,
+                } => {
                     let scalar = grad.get(0, 0);
                     let p = self.value(*pred);
                     let n = p.len().max(1) as f32;
@@ -652,7 +945,12 @@ impl Tape {
                         .zip(target.as_slice().iter())
                     {
                         let d = a - b;
-                        *o = if d.abs() <= *delta { d } else { delta * d.signum() } * scalar / n;
+                        *o = if d.abs() <= *delta {
+                            d
+                        } else {
+                            delta * d.signum()
+                        } * scalar
+                            / n;
                     }
                     acc(grads, *pred, g);
                 }
@@ -671,9 +969,13 @@ impl Tape {
     }
 }
 
-fn acc(grads: &mut [Option<Matrix>], id: NodeId, grad: Matrix) {
+fn acc(grads: &mut [Option<Grad>], id: NodeId, grad: Matrix) {
+    acc_grad(grads, id, Grad::Dense(grad));
+}
+
+fn acc_grad(grads: &mut [Option<Grad>], id: NodeId, grad: Grad) {
     match &mut grads[id.0] {
-        Some(existing) => existing.add_assign(&grad),
+        Some(existing) => existing.accumulate(grad),
         slot @ None => *slot = Some(grad),
     }
 }
@@ -787,9 +1089,9 @@ mod tests {
         let s = tape.slice_cols(c, 2, 3);
         let loss = tape.sum(s);
         let grads = tape.backward(loss);
-        let g1 = grads.get(w1).unwrap();
+        let g1 = grads.get(w1).unwrap().to_dense();
         assert!(g1.as_slice().iter().all(|&v| v == 0.0));
-        let g2 = grads.get(w2).unwrap();
+        let g2 = grads.get(w2).unwrap().to_dense();
         assert!(g2.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
     }
 
@@ -803,9 +1105,12 @@ mod tests {
         let loss = tape.sum(e);
         let grads = tape.backward(loss);
         let g = grads.get(table).unwrap();
-        assert_eq!(g.row(0), &[0.0, 0.0]);
-        assert_eq!(g.row(1), &[2.0, 2.0]); // used twice
-        assert_eq!(g.row(2), &[1.0, 1.0]);
+        assert!(g.is_sparse(), "gather gradient must be row-sparse");
+        assert_eq!(g.shape(), (3, 2));
+        let dense = g.to_dense();
+        assert_eq!(dense.row(0), &[0.0, 0.0]);
+        assert_eq!(dense.row(1), &[2.0, 2.0]); // used twice
+        assert_eq!(dense.row(2), &[1.0, 1.0]);
     }
 
     #[test]
@@ -852,7 +1157,10 @@ mod tests {
         let y = tape.dropout(x, 0.5, &mut rng);
         let out = tape.value(y);
         // Each survivor is 2.0, each dropped entry 0.0.
-        assert!(out.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(out
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
         // Expectation preserved to within sampling noise.
         assert!((out.mean() - 1.0).abs() < 0.15);
     }
@@ -900,7 +1208,7 @@ mod tests {
         let loss = tape.sum(y);
         let grads = tape.backward(loss);
         for id in [a, b] {
-            let g = grads.get(id).unwrap();
+            let g = grads.get(id).unwrap().to_dense();
             assert!(g.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
         }
     }
@@ -958,8 +1266,8 @@ mod tests {
             let loss = tape.mse_loss(pred, &Matrix::from_vec(1, 1, vec![0.0]));
             tape.backward_into(loss, &mut scratch, &mut reused);
             let fresh = tape.backward(loss);
-            let g = reused.get(w).expect("reused gradient");
-            assert!(g.max_abs_diff(fresh.get(w).unwrap()) == 0.0);
+            let g = reused.get(w).expect("reused gradient").to_dense();
+            assert!(g.max_abs_diff(&fresh.get(w).unwrap().to_dense()) == 0.0);
         }
     }
 
@@ -994,7 +1302,128 @@ mod tests {
         let p = tape.param(&store, w);
         let m = tape.mean(p);
         let grads = tape.backward(m);
-        let g = grads.get(w).unwrap();
+        let g = grads.get(w).unwrap().to_dense();
         assert!(g.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    fn sparse(full_rows: usize, indices: Vec<usize>, rows: Matrix) -> Grad {
+        Grad::RowSparse {
+            full_rows,
+            indices,
+            rows,
+        }
+    }
+
+    #[test]
+    fn grad_accumulate_covers_all_four_variant_pairs() {
+        let dense = |v: Vec<f32>| Grad::Dense(Matrix::from_vec(4, 1, v));
+
+        // Dense += Dense.
+        let mut g = dense(vec![1.0, 2.0, 3.0, 4.0]);
+        g.accumulate(dense(vec![10.0, 10.0, 10.0, 10.0]));
+        assert_eq!(g.to_dense().as_slice(), &[11.0, 12.0, 13.0, 14.0]);
+
+        // Dense += RowSparse (scatter-add, stays dense).
+        let mut g = dense(vec![1.0, 2.0, 3.0, 4.0]);
+        g.accumulate(sparse(
+            4,
+            vec![1, 3],
+            Matrix::from_vec(2, 1, vec![5.0, 7.0]),
+        ));
+        assert!(!g.is_sparse());
+        assert_eq!(g.to_dense().as_slice(), &[1.0, 7.0, 3.0, 11.0]);
+
+        // RowSparse += Dense (densifies).
+        let mut g = sparse(4, vec![0, 2], Matrix::from_vec(2, 1, vec![1.0, 2.0]));
+        g.accumulate(dense(vec![10.0, 20.0, 30.0, 40.0]));
+        assert!(!g.is_sparse());
+        assert_eq!(g.to_dense().as_slice(), &[11.0, 20.0, 32.0, 40.0]);
+
+        // RowSparse += RowSparse (sorted union, stays sparse).
+        let mut g = sparse(6, vec![1, 4], Matrix::from_vec(2, 1, vec![1.0, 2.0]));
+        g.accumulate(sparse(
+            6,
+            vec![0, 4, 5],
+            Matrix::from_vec(3, 1, vec![10.0, 20.0, 30.0]),
+        ));
+        assert!(g.is_sparse());
+        assert_eq!(g.shape(), (6, 1));
+        assert_eq!(g.to_dense().as_slice(), &[10.0, 1.0, 0.0, 0.0, 22.0, 30.0]);
+    }
+
+    #[test]
+    fn grad_get_and_max_abs_see_through_sparsity() {
+        let g = sparse(
+            5,
+            vec![1, 3],
+            Matrix::from_vec(2, 2, vec![1.0, -9.0, 2.0, 3.0]),
+        );
+        assert_eq!(g.get(1, 1), -9.0);
+        assert_eq!(g.get(3, 0), 2.0);
+        assert_eq!(g.get(2, 0), 0.0); // untouched row reads as zero
+        assert_eq!(g.max_abs(), 9.0);
+        let mut g = g;
+        g.scale(0.5);
+        assert_eq!(g.get(1, 1), -4.5);
+    }
+
+    #[test]
+    fn merge_from_accumulates_and_drains_in_order() {
+        let w0 = ParamId(0);
+        let w2 = ParamId(2);
+        let mut a = GradMap::default();
+        a.accumulate(w0, Grad::Dense(Matrix::from_vec(1, 2, vec![1.0, 2.0])));
+        let mut b = GradMap::default();
+        b.accumulate(w0, Grad::Dense(Matrix::from_vec(1, 2, vec![10.0, 20.0])));
+        b.accumulate(w2, sparse(3, vec![1], Matrix::from_vec(1, 1, vec![5.0])));
+        a.merge_from(&mut b);
+        assert!(b.is_empty());
+        assert_eq!(a.get(w0).unwrap().to_dense().as_slice(), &[11.0, 22.0]);
+        assert!(a.get(w2).unwrap().is_sparse());
+        assert_eq!(a.get(w2).unwrap().to_dense().as_slice(), &[0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_max_abs_spans_mixed_dense_and_sparse_entries() {
+        let mut grads = GradMap::default();
+        grads.accumulate(
+            ParamId(0),
+            Grad::Dense(Matrix::from_vec(1, 2, vec![1.0, -2.0])),
+        );
+        grads.accumulate(
+            ParamId(1),
+            sparse(10, vec![7], Matrix::from_vec(1, 1, vec![-8.0])),
+        );
+        // The global max lives in the sparse entry.
+        assert_eq!(grads.max_abs(), 8.0);
+        let factor = grads.clip_max_abs(4.0);
+        assert_eq!(factor, 0.5);
+        assert_eq!(
+            grads.get(ParamId(0)).unwrap().to_dense().as_slice(),
+            &[0.5, -1.0]
+        );
+        assert_eq!(grads.get(ParamId(1)).unwrap().get(7, 0), -4.0);
+        assert!(grads.get(ParamId(1)).unwrap().is_sparse());
+        // Already within the limit: untouched.
+        assert_eq!(grads.clip_max_abs(100.0), 1.0);
+    }
+
+    #[test]
+    fn gather_reuses_pooled_buffers_after_reset() {
+        let mut store = ParamStore::new();
+        let table = store.add(
+            "t",
+            Matrix::from_vec(4, 2, vec![0., 1., 2., 3., 4., 5., 6., 7.]),
+        );
+        let mut tape = Tape::new();
+        for round in 0..3 {
+            tape.reset();
+            let t = tape.param(&store, table);
+            let e = tape.gather(t, &[3, 0, 3]);
+            let v = tape.value(e);
+            assert_eq!(v.shape(), (3, 2), "round {round}");
+            assert_eq!(v.row(0), &[6.0, 7.0]);
+            assert_eq!(v.row(1), &[0.0, 1.0]);
+        }
     }
 }

@@ -153,7 +153,7 @@ proptest! {
         let y = tape.add(x, x);
         let loss = tape.sum(y);
         let grads = tape.backward(loss);
-        let g = grads.get(id).unwrap();
+        let g = grads.get(id).unwrap().to_dense();
         prop_assert!(g.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-5));
     }
 

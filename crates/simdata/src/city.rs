@@ -113,7 +113,10 @@ pub struct CityConfig {
 
 impl Default for CityConfig {
     fn default() -> Self {
-        CityConfig { n_areas: 58, seed: 7 }
+        CityConfig {
+            n_areas: 58,
+            seed: 7,
+        }
     }
 }
 
@@ -228,10 +231,7 @@ mod tests {
 
     fn city(n: u16, seed: u64) -> City {
         let mut rng = StdRng::seed_from_u64(seed);
-        City::generate(
-            CityConfig { n_areas: n, seed },
-            &mut rng,
-        )
+        City::generate(CityConfig { n_areas: n, seed }, &mut rng)
     }
 
     #[test]

@@ -108,8 +108,8 @@ pub fn decode_dataset(blob: &[u8]) -> Result<SimDataset, CodecError> {
     if buf.remaining() < city_len {
         return Err(CodecError::Truncated);
     }
-    let city: City = serde_json::from_slice(&buf[..city_len])
-        .map_err(|e| CodecError::BadCity(e.to_string()))?;
+    let city: City =
+        serde_json::from_slice(&buf[..city_len]).map_err(|e| CodecError::BadCity(e.to_string()))?;
     buf.advance(city_len);
     let n_days = read_u16(&mut buf)?;
     if n_days == 0 {
@@ -170,12 +170,25 @@ pub fn decode_dataset(blob: &[u8]) -> Result<SimDataset, CodecError> {
             if loc_start != area || loc_dest as usize >= n_areas {
                 return Err(CodecError::InvalidField("order area"));
             }
-            orders.push(Order { day, ts, pid, loc_start, loc_dest, valid });
+            orders.push(Order {
+                day,
+                ts,
+                pid,
+                loc_start,
+                loc_dest,
+                valid,
+            });
         }
         orders_by_area.push(orders);
     }
 
-    Ok(SimDataset::from_parts(city, n_days, weather, traffic, orders_by_area))
+    Ok(SimDataset::from_parts(
+        city,
+        n_days,
+        weather,
+        traffic,
+        orders_by_area,
+    ))
 }
 
 fn read_u32(buf: &mut &[u8]) -> Result<u32, CodecError> {
@@ -235,7 +248,10 @@ mod tests {
         for cut in [3, 5, 20, blob.len() / 2, blob.len() - 1] {
             let err = decode_dataset(&blob[..cut]).unwrap_err();
             assert!(
-                matches!(err, CodecError::Truncated | CodecError::BadMagic | CodecError::BadCity(_)),
+                matches!(
+                    err,
+                    CodecError::Truncated | CodecError::BadMagic | CodecError::BadCity(_)
+                ),
                 "cut {cut}: {err:?}"
             );
         }

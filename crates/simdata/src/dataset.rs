@@ -83,7 +83,9 @@ impl SimDataset {
 
         // Parallel per-area generation. Each area writes to disjoint
         // output slices, so a scoped spawn per chunk is race-free.
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(n_areas.max(1));
+        let threads = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(n_areas.max(1));
         let traffic_chunks: Vec<&mut [TrafficObs]> =
             traffic.chunks_mut(n_days as usize * slots).collect();
         let order_slots: Vec<&mut Vec<Order>> = orders_by_area.iter_mut().collect();
@@ -97,17 +99,22 @@ impl SimDataset {
         let weather_ref = &weather;
         let order_cfg = &config.orders;
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let per_thread = work.len().div_ceil(threads);
             let mut rest = work;
             while !rest.is_empty() {
                 let take = per_thread.min(rest.len());
                 let batch: Vec<_> = rest.drain(..take).collect();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (area_idx, traffic_out, orders_out) in batch {
                         let area = &city_ref.areas[area_idx];
                         *orders_out = generate_area_orders(
-                            city_ref, area, n_days, weather_ref, order_cfg, seed,
+                            city_ref,
+                            area,
+                            n_days,
+                            weather_ref,
+                            order_cfg,
+                            seed,
                         );
                         let mut trng = StdRng::seed_from_u64(
                             seed.wrapping_add(0xabcd).wrapping_mul(area_idx as u64 + 3),
@@ -116,12 +123,7 @@ impl SimDataset {
                             let weekday = SlotTime::new(day, 0).weekday();
                             for minute in 0..slots {
                                 let obs = &weather_ref[day as usize * slots + minute];
-                                let p = congestion_pressure(
-                                    area,
-                                    weekday,
-                                    minute as u32,
-                                    obs,
-                                );
+                                let p = congestion_pressure(area, weekday, minute as u32, obs);
                                 traffic_out[day as usize * slots + minute] =
                                     traffic_obs(area, p, &mut trng);
                             }
@@ -129,10 +131,15 @@ impl SimDataset {
                     }
                 });
             }
-        })
-        .expect("simulation worker panicked");
+        });
 
-        SimDataset { city, n_days, weather, traffic, orders_by_area }
+        SimDataset {
+            city,
+            n_days,
+            weather,
+            traffic,
+            orders_by_area,
+        }
     }
 
     /// Reassembles a dataset from decoded parts (used by the binary
@@ -155,7 +162,13 @@ impl SimDataset {
             "traffic length"
         );
         assert_eq!(orders_by_area.len(), city.n_areas(), "order buckets");
-        SimDataset { city, n_days, weather, traffic, orders_by_area }
+        SimDataset {
+            city,
+            n_days,
+            weather,
+            traffic,
+            orders_by_area,
+        }
     }
 
     /// Number of areas.

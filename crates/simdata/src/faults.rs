@@ -31,7 +31,12 @@ pub struct FaultPlan {
 
 impl Default for FaultPlan {
     fn default() -> Self {
-        FaultPlan { seed: 0, shuffle_slack: 0, drop_rate: 0.0, duplicate_rate: 0.0 }
+        FaultPlan {
+            seed: 0,
+            shuffle_slack: 0,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+        }
     }
 }
 
@@ -65,9 +70,7 @@ pub fn shuffle_within_slack(orders: &[Order], slack: u16, seed: u64) -> Vec<Orde
         let base = abs_minute(&out[start]);
         let day = out[start].day;
         let mut end = start + 1;
-        while end < out.len()
-            && out[end].day == day
-            && abs_minute(&out[end]) - base <= slack as u32
+        while end < out.len() && out[end].day == day && abs_minute(&out[end]) - base <= slack as u32
         {
             end += 1;
         }
@@ -83,7 +86,11 @@ pub fn drop_orders(orders: &[Order], rate: f64, seed: u64) -> Vec<Order> {
         return orders.to_vec();
     }
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x94d0_49bb));
-    orders.iter().filter(|_| rng.gen::<f64>() >= rate).copied().collect()
+    orders
+        .iter()
+        .filter(|_| rng.gen::<f64>() >= rate)
+        .copied()
+        .collect()
 }
 
 /// Emits each order twice (back to back, preserving chronology) with
@@ -107,7 +114,12 @@ pub fn duplicate_orders(orders: &[Order], rate: f64, seed: u64) -> Vec<Order> {
 /// inside `n_days`, each at most `max_len` minutes long. Returned as
 /// half-open `[from, until)` slot pairs for
 /// `deepsd_features::FeedHealth::add_outage`.
-pub fn blackout_windows(n_days: u16, count: usize, max_len: u16, seed: u64) -> Vec<(SlotTime, SlotTime)> {
+pub fn blackout_windows(
+    n_days: u16,
+    count: usize,
+    max_len: u16,
+    seed: u64,
+) -> Vec<(SlotTime, SlotTime)> {
     assert!(n_days > 0, "blackouts need at least one day");
     let max_len = max_len.clamp(1, (MINUTES_PER_DAY - 1) as u16);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xff51_afd7));
@@ -175,7 +187,10 @@ mod tests {
         let a = shuffle_within_slack(&orders, 10, 5);
         let b = shuffle_within_slack(&orders, 10, 5);
         assert_eq!(a, b);
-        assert_ne!(a, orders, "slack 10 over a dense stream must permute something");
+        assert_ne!(
+            a, orders,
+            "slack 10 over a dense stream must permute something"
+        );
         assert_eq!(shuffle_within_slack(&orders, 0, 5), orders);
     }
 
@@ -209,7 +224,12 @@ mod tests {
     #[test]
     fn plan_applies_all_faults_deterministically() {
         let orders = stream(400);
-        let plan = FaultPlan { seed: 3, shuffle_slack: 5, drop_rate: 0.1, duplicate_rate: 0.1 };
+        let plan = FaultPlan {
+            seed: 3,
+            shuffle_slack: 5,
+            drop_rate: 0.1,
+            duplicate_rate: 0.1,
+        };
         let a = plan.apply(&orders);
         let b = plan.apply(&orders);
         assert_eq!(a, b);

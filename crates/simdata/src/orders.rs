@@ -40,7 +40,10 @@ pub struct OrderGenConfig {
 
 impl Default for OrderGenConfig {
     fn default() -> Self {
-        OrderGenConfig { demand_volume: 1.0, supply_slack: 1.0 }
+        OrderGenConfig {
+            demand_volume: 1.0,
+            supply_slack: 1.0,
+        }
     }
 }
 
@@ -67,7 +70,8 @@ pub fn generate_area_orders(
         days as usize * MINUTES_PER_DAY as usize,
         "weather stream length mismatch"
     );
-    let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(area.id as u64 + 1)));
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(area.id as u64 + 1)));
     let destinations = Categorical::new(&city.destination_weights());
     let supply_floor = weekly_mean_intensity(area.archetype);
 
@@ -77,11 +81,11 @@ pub fn generate_area_orders(
     let ring_len = (*RETRY_DELAY.end() + 1) as usize;
     let mut retry_ring: Vec<Vec<PendingRetry>> = (0..ring_len).map(|_| Vec::new()).collect();
     let mut requests: Vec<(u32, u8)> = Vec::new(); // (pid, attempts)
-    // Standing pool of idle drivers. Inflow is Poisson(µ) per minute;
-    // each idle driver drifts to another area with probability
-    // 1 - POOL_RETAIN per minute, so the pool buffers short demand spikes
-    // but cannot absorb sustained overload (classic queueing behaviour:
-    // under sustained λ > µ the service rate converges to the inflow µ).
+                                                   // Standing pool of idle drivers. Inflow is Poisson(µ) per minute;
+                                                   // each idle driver drifts to another area with probability
+                                                   // 1 - POOL_RETAIN per minute, so the pool buffers short demand spikes
+                                                   // but cannot absorb sustained overload (classic queueing behaviour:
+                                                   // under sustained λ > µ the service rate converges to the inflow µ).
     let mut driver_pool: u32 = 0;
     const POOL_RETAIN: f64 = 0.9;
 
@@ -160,7 +164,10 @@ pub fn generate_area_orders(
                     // gives up with the day).
                     if minute + delay < MINUTES_PER_DAY {
                         let target = ((minute + delay) as usize) % ring_len;
-                        retry_ring[target].push(PendingRetry { pid, attempts: attempts + 1 });
+                        retry_ring[target].push(PendingRetry {
+                            pid,
+                            attempts: attempts + 1,
+                        });
                     }
                 }
             }
@@ -181,10 +188,7 @@ mod tests {
 
     fn setup(days: u16, seed: u64) -> (City, Vec<WeatherObs>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let city = City::generate(
-            CityConfig { n_areas: 6, seed },
-            &mut rng,
-        );
+        let city = City::generate(CityConfig { n_areas: 6, seed }, &mut rng);
         let weather = generate_weather(days, &WeatherConfig::default(), &mut rng);
         (city, weather)
     }
@@ -193,8 +197,7 @@ mod tests {
     fn orders_are_chronological_and_well_formed() {
         let (city, weather) = setup(3, 11);
         let area = &city.areas[0];
-        let orders =
-            generate_area_orders(&city, area, 3, &weather, &OrderGenConfig::default(), 11);
+        let orders = generate_area_orders(&city, area, 3, &weather, &OrderGenConfig::default(), 11);
         assert!(!orders.is_empty());
         let mut prev = 0u32;
         for o in &orders {
@@ -246,8 +249,7 @@ mod tests {
     fn failed_passengers_retry() {
         let (city, weather) = setup(5, 14);
         let area = &city.areas[0];
-        let orders =
-            generate_area_orders(&city, area, 5, &weather, &OrderGenConfig::default(), 14);
+        let orders = generate_area_orders(&city, area, 5, &weather, &OrderGenConfig::default(), 14);
         // A pid appearing more than once means a retry happened.
         let mut counts = std::collections::HashMap::new();
         for o in &orders {
@@ -263,8 +265,7 @@ mod tests {
     fn retry_orders_follow_the_first_call() {
         let (city, weather) = setup(3, 15);
         let area = &city.areas[2];
-        let orders =
-            generate_area_orders(&city, area, 3, &weather, &OrderGenConfig::default(), 15);
+        let orders = generate_area_orders(&city, area, 3, &weather, &OrderGenConfig::default(), 15);
         let mut first_seen = std::collections::HashMap::new();
         for o in &orders {
             let abs = o.day as u32 * MINUTES_PER_DAY + o.ts as u32;
@@ -286,7 +287,10 @@ mod tests {
             area,
             2,
             &weather,
-            &OrderGenConfig { demand_volume: 0.5, supply_slack: 1.0 },
+            &OrderGenConfig {
+                demand_volume: 0.5,
+                supply_slack: 1.0,
+            },
             16,
         );
         let high = generate_area_orders(
@@ -294,7 +298,10 @@ mod tests {
             area,
             2,
             &weather,
-            &OrderGenConfig { demand_volume: 2.0, supply_slack: 1.0 },
+            &OrderGenConfig {
+                demand_volume: 2.0,
+                supply_slack: 1.0,
+            },
             16,
         );
         assert!(high.len() as f64 > 2.5 * low.len() as f64);
@@ -310,7 +317,10 @@ mod tests {
                 area,
                 4,
                 &weather,
-                &OrderGenConfig { demand_volume: 1.0, supply_slack: slack },
+                &OrderGenConfig {
+                    demand_volume: 1.0,
+                    supply_slack: slack,
+                },
                 17,
             )
             .iter()

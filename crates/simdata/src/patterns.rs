@@ -35,32 +35,96 @@ const NIGHT: f64 = 22.5 * 60.0;
 fn weekday_bumps(archetype: Archetype) -> Vec<Bump> {
     match archetype {
         Archetype::Residential => vec![
-            Bump { centre: MORNING_PEAK, sigma: 55.0, height: 1.0 },
-            Bump { centre: EVENING_PEAK, sigma: 80.0, height: 0.45 },
-            Bump { centre: NOON, sigma: 120.0, height: 0.15 },
+            Bump {
+                centre: MORNING_PEAK,
+                sigma: 55.0,
+                height: 1.0,
+            },
+            Bump {
+                centre: EVENING_PEAK,
+                sigma: 80.0,
+                height: 0.45,
+            },
+            Bump {
+                centre: NOON,
+                sigma: 120.0,
+                height: 0.15,
+            },
         ],
         Archetype::Business => vec![
-            Bump { centre: MORNING_PEAK + 30.0, sigma: 50.0, height: 0.45 },
-            Bump { centre: EVENING_PEAK, sigma: 60.0, height: 1.0 },
-            Bump { centre: NOON, sigma: 90.0, height: 0.35 },
+            Bump {
+                centre: MORNING_PEAK + 30.0,
+                sigma: 50.0,
+                height: 0.45,
+            },
+            Bump {
+                centre: EVENING_PEAK,
+                sigma: 60.0,
+                height: 1.0,
+            },
+            Bump {
+                centre: NOON,
+                sigma: 90.0,
+                height: 0.35,
+            },
         ],
         Archetype::Entertainment => vec![
-            Bump { centre: NOON, sigma: 100.0, height: 0.25 },
-            Bump { centre: NIGHT, sigma: 90.0, height: 0.5 },
+            Bump {
+                centre: NOON,
+                sigma: 100.0,
+                height: 0.25,
+            },
+            Bump {
+                centre: NIGHT,
+                sigma: 90.0,
+                height: 0.5,
+            },
         ],
         Archetype::Suburban => vec![
-            Bump { centre: MORNING_PEAK, sigma: 90.0, height: 0.4 },
-            Bump { centre: EVENING_PEAK, sigma: 110.0, height: 0.35 },
+            Bump {
+                centre: MORNING_PEAK,
+                sigma: 90.0,
+                height: 0.4,
+            },
+            Bump {
+                centre: EVENING_PEAK,
+                sigma: 110.0,
+                height: 0.35,
+            },
         ],
         Archetype::Mixed => vec![
-            Bump { centre: MORNING_PEAK, sigma: 60.0, height: 0.7 },
-            Bump { centre: EVENING_PEAK, sigma: 70.0, height: 0.7 },
-            Bump { centre: NOON, sigma: 110.0, height: 0.25 },
+            Bump {
+                centre: MORNING_PEAK,
+                sigma: 60.0,
+                height: 0.7,
+            },
+            Bump {
+                centre: EVENING_PEAK,
+                sigma: 70.0,
+                height: 0.7,
+            },
+            Bump {
+                centre: NOON,
+                sigma: 110.0,
+                height: 0.25,
+            },
         ],
         Archetype::TransportHub => vec![
-            Bump { centre: 9.5 * 60.0, sigma: 120.0, height: 0.8 },
-            Bump { centre: 15.0 * 60.0, sigma: 150.0, height: 0.6 },
-            Bump { centre: 20.5 * 60.0, sigma: 100.0, height: 0.75 },
+            Bump {
+                centre: 9.5 * 60.0,
+                sigma: 120.0,
+                height: 0.8,
+            },
+            Bump {
+                centre: 15.0 * 60.0,
+                sigma: 150.0,
+                height: 0.6,
+            },
+            Bump {
+                centre: 20.5 * 60.0,
+                sigma: 100.0,
+                height: 0.75,
+            },
         ],
     }
 }
@@ -68,22 +132,62 @@ fn weekday_bumps(archetype: Archetype) -> Vec<Bump> {
 fn weekend_bumps(archetype: Archetype) -> Vec<Bump> {
     match archetype {
         Archetype::Residential => vec![
-            Bump { centre: 10.5 * 60.0, sigma: 110.0, height: 0.4 },
-            Bump { centre: EVENING_PEAK, sigma: 120.0, height: 0.35 },
+            Bump {
+                centre: 10.5 * 60.0,
+                sigma: 110.0,
+                height: 0.4,
+            },
+            Bump {
+                centre: EVENING_PEAK,
+                sigma: 120.0,
+                height: 0.35,
+            },
         ],
-        Archetype::Business => vec![Bump { centre: NOON, sigma: 150.0, height: 0.18 }],
+        Archetype::Business => vec![Bump {
+            centre: NOON,
+            sigma: 150.0,
+            height: 0.18,
+        }],
         Archetype::Entertainment => vec![
-            Bump { centre: 14.0 * 60.0, sigma: 120.0, height: 0.85 },
-            Bump { centre: NIGHT, sigma: 100.0, height: 1.0 },
+            Bump {
+                centre: 14.0 * 60.0,
+                sigma: 120.0,
+                height: 0.85,
+            },
+            Bump {
+                centre: NIGHT,
+                sigma: 100.0,
+                height: 1.0,
+            },
         ],
-        Archetype::Suburban => vec![Bump { centre: 13.0 * 60.0, sigma: 160.0, height: 0.3 }],
+        Archetype::Suburban => vec![Bump {
+            centre: 13.0 * 60.0,
+            sigma: 160.0,
+            height: 0.3,
+        }],
         Archetype::Mixed => vec![
-            Bump { centre: 13.0 * 60.0, sigma: 140.0, height: 0.45 },
-            Bump { centre: NIGHT, sigma: 110.0, height: 0.4 },
+            Bump {
+                centre: 13.0 * 60.0,
+                sigma: 140.0,
+                height: 0.45,
+            },
+            Bump {
+                centre: NIGHT,
+                sigma: 110.0,
+                height: 0.4,
+            },
         ],
         Archetype::TransportHub => vec![
-            Bump { centre: 10.0 * 60.0, sigma: 130.0, height: 0.7 },
-            Bump { centre: 17.5 * 60.0, sigma: 140.0, height: 0.75 },
+            Bump {
+                centre: 10.0 * 60.0,
+                sigma: 130.0,
+                height: 0.7,
+            },
+            Bump {
+                centre: 17.5 * 60.0,
+                sigma: 140.0,
+                height: 0.75,
+            },
         ],
     }
 }
@@ -113,11 +217,19 @@ pub fn intensity(archetype: Archetype, weekday: usize, minute: u32) -> f64 {
     assert!(minute < MINUTES_PER_DAY, "minute out of range");
     let m = minute as f64;
     let is_weekend = weekday >= 5;
-    let bumps = if is_weekend { weekend_bumps(archetype) } else { weekday_bumps(archetype) };
+    let bumps = if is_weekend {
+        weekend_bumps(archetype)
+    } else {
+        weekday_bumps(archetype)
+    };
     // Friday evenings behave half-way to a weekend for entertainment.
-    let friday_boost = if weekday == 4 && archetype == Archetype::Entertainment && m > 17.0 * 60.0
-    {
-        0.35 * Bump { centre: NIGHT, sigma: 100.0, height: 1.0 }.eval(m)
+    let friday_boost = if weekday == 4 && archetype == Archetype::Entertainment && m > 17.0 * 60.0 {
+        0.35 * Bump {
+            centre: NIGHT,
+            sigma: 100.0,
+            height: 1.0,
+        }
+        .eval(m)
     } else {
         0.0
     };
@@ -206,7 +318,11 @@ mod tests {
     #[test]
     fn weekly_means_are_ordered_sensibly() {
         let sub = weekly_mean_intensity(Archetype::Suburban);
-        for archetype in [Archetype::Business, Archetype::Residential, Archetype::Mixed] {
+        for archetype in [
+            Archetype::Business,
+            Archetype::Residential,
+            Archetype::Mixed,
+        ] {
             assert!(weekly_mean_intensity(archetype) > sub);
         }
     }

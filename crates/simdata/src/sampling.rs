@@ -101,8 +101,7 @@ mod tests {
     fn poisson_mean_is_close_small_lambda() {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(2.5, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| poisson(2.5, &mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 2.5).abs() < 0.1, "mean = {mean}");
     }
 
@@ -110,8 +109,7 @@ mod tests {
     fn poisson_mean_is_close_large_lambda() {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(50.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| poisson(50.0, &mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 50.0).abs() < 0.5, "mean = {mean}");
     }
 

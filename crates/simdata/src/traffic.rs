@@ -15,12 +15,7 @@ use rand::Rng;
 
 /// Congestion pressure in `[0, 1]` for an area at a given weekday/minute
 /// under given weather.
-pub fn congestion_pressure(
-    area: &Area,
-    weekday: usize,
-    minute: u32,
-    weather: &WeatherObs,
-) -> f64 {
+pub fn congestion_pressure(area: &Area, weekday: usize, minute: u32, weather: &WeatherObs) -> f64 {
     let demand_shape = intensity(area.archetype, weekday, minute); // ~[0, 1.2]
     let weather_factor = match weather.kind {
         WeatherType::HeavyRain | WeatherType::Storm | WeatherType::Snow => 0.25,
@@ -68,16 +63,30 @@ mod tests {
 
     fn test_area() -> Area {
         let mut rng = StdRng::seed_from_u64(1);
-        let city = City::generate(CityConfig { n_areas: 4, ..CityConfig::default() }, &mut rng);
+        let city = City::generate(
+            CityConfig {
+                n_areas: 4,
+                ..CityConfig::default()
+            },
+            &mut rng,
+        );
         city.areas[0].clone()
     }
 
     fn sunny() -> WeatherObs {
-        WeatherObs { kind: WeatherType::Sunny, temperature: 15.0, pm25: 50.0 }
+        WeatherObs {
+            kind: WeatherType::Sunny,
+            temperature: 15.0,
+            pm25: 50.0,
+        }
     }
 
     fn storm() -> WeatherObs {
-        WeatherObs { kind: WeatherType::Storm, temperature: 12.0, pm25: 40.0 }
+        WeatherObs {
+            kind: WeatherType::Storm,
+            temperature: 12.0,
+            pm25: 40.0,
+        }
     }
 
     #[test]

@@ -234,15 +234,18 @@ mod tests {
         assert!(WeatherType::Storm.demand_multiplier() > WeatherType::Sunny.demand_multiplier());
         assert!(WeatherType::Storm.supply_multiplier() < WeatherType::Sunny.supply_multiplier());
         assert!(
-            WeatherType::HeavyRain.demand_multiplier()
-                > WeatherType::LightRain.demand_multiplier()
+            WeatherType::HeavyRain.demand_multiplier() > WeatherType::LightRain.demand_multiplier()
         );
     }
 
     #[test]
     fn traffic_congestion_score_extremes() {
-        let all_jammed = TrafficObs { levels: [10, 0, 0, 0] };
-        let all_free = TrafficObs { levels: [0, 0, 0, 10] };
+        let all_jammed = TrafficObs {
+            levels: [10, 0, 0, 0],
+        };
+        let all_free = TrafficObs {
+            levels: [0, 0, 0, 10],
+        };
         assert!((all_jammed.congestion_score() - 1.0).abs() < 1e-9);
         assert!(all_free.congestion_score().abs() < 1e-9);
         let empty = TrafficObs::default();
@@ -252,8 +255,12 @@ mod tests {
 
     #[test]
     fn traffic_score_monotone_in_congestion() {
-        let lighter = TrafficObs { levels: [1, 2, 3, 4] };
-        let heavier = TrafficObs { levels: [4, 3, 2, 1] };
+        let lighter = TrafficObs {
+            levels: [1, 2, 3, 4],
+        };
+        let heavier = TrafficObs {
+            levels: [4, 3, 2, 1],
+        };
         assert!(heavier.congestion_score() > lighter.congestion_score());
     }
 

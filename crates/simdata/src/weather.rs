@@ -46,7 +46,11 @@ pub struct WeatherConfig {
 
 impl Default for WeatherConfig {
     fn default() -> Self {
-        WeatherConfig { mean_temperature: 15.0, diurnal_amplitude: 5.0, mean_pm25: 70.0 }
+        WeatherConfig {
+            mean_temperature: 15.0,
+            diurnal_amplitude: 5.0,
+            mean_pm25: 70.0,
+        }
     }
 }
 
@@ -78,7 +82,11 @@ pub fn generate_weather(days: u16, config: &WeatherConfig, rng: &mut StdRng) -> 
             // Mild seasonal drift across the simulation.
             let seasonal = 0.05 * day as f32;
             let temperature = config.mean_temperature + diurnal + temp_anomaly + seasonal;
-            out.push(WeatherObs { kind, temperature, pm25: pm });
+            out.push(WeatherObs {
+                kind,
+                temperature,
+                pm25: pm,
+            });
         }
     }
     out
@@ -145,8 +153,8 @@ mod tests {
             .count() as f64
             / w.len() as f64;
         assert!(sunny_ish > 0.35, "sunny+cloudy fraction = {sunny_ish}");
-        let storm = w.iter().filter(|o| o.kind == WeatherType::Storm).count() as f64
-            / w.len() as f64;
+        let storm =
+            w.iter().filter(|o| o.kind == WeatherType::Storm).count() as f64 / w.len() as f64;
         assert!(storm < 0.1, "storm fraction = {storm}");
     }
 

@@ -12,7 +12,10 @@ use deepsd_simdata::{CityConfig, SimConfig, SimDataset};
 
 fn main() {
     let sim = SimConfig {
-        city: CityConfig { n_areas: 14, seed: 1234 },
+        city: CityConfig {
+            n_areas: 14,
+            seed: 1234,
+        },
         n_days: 21,
         ..SimConfig::smoke(1234)
     };
@@ -37,9 +40,16 @@ fn main() {
         &mut fx,
         &train_ks,
         &test_items,
-        &TrainOptions { epochs: 6, best_k: 3, ..TrainOptions::default() },
+        &TrainOptions {
+            epochs: 6,
+            best_k: 3,
+            ..TrainOptions::default()
+        },
     );
-    println!("final MAE {:.3}, RMSE {:.3}\n", report.final_mae, report.final_rmse);
+    println!(
+        "final MAE {:.3}, RMSE {:.3}\n",
+        report.final_mae, report.final_rmse
+    );
 
     // Nearest neighbour of every area in the embedding space.
     let n = dataset.n_areas();

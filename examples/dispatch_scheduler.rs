@@ -22,7 +22,10 @@ const STANDBY_PER_ROUND: f32 = 12.0;
 
 fn main() {
     let sim = SimConfig {
-        city: CityConfig { n_areas: 12, seed: 7 },
+        city: CityConfig {
+            n_areas: 12,
+            seed: 7,
+        },
         n_days: 25,
         ..SimConfig::smoke(7)
     };
@@ -43,15 +46,25 @@ fn main() {
     cfg.window_l = fcfg.window_l;
     cfg.dropout = 0.3;
     let mut model = DeepSD::new(cfg);
-    println!("training dispatcher model ({} params)…", model.num_parameters());
+    println!(
+        "training dispatcher model ({} params)…",
+        model.num_parameters()
+    );
     let report = train(
         &mut model,
         &mut fx,
         &train_ks,
         &eval_items,
-        &TrainOptions { epochs: 5, best_k: 3, ..TrainOptions::default() },
+        &TrainOptions {
+            epochs: 5,
+            best_k: 3,
+            ..TrainOptions::default()
+        },
     );
-    println!("model test MAE {:.2}, RMSE {:.2}\n", report.final_mae, report.final_rmse);
+    println!(
+        "model test MAE {:.2}, RMSE {:.2}\n",
+        report.final_mae, report.final_rmse
+    );
 
     // Play the policy across day 22, rounds every 10 minutes 7:00–23:00.
     let day = 22u16;
@@ -62,8 +75,7 @@ fn main() {
     let mut total_gap = 0.0f32;
 
     for &t in &rounds {
-        let keys: Vec<ItemKey> =
-            (0..n_areas).map(|area| ItemKey { area, day, t }).collect();
+        let keys: Vec<ItemKey> = (0..n_areas).map(|area| ItemKey { area, day, t }).collect();
         let items = fx.extract_all(&keys);
         let pred = predict_items(&model, &items, 64);
         let truth: Vec<f32> = items.iter().map(|i| i.gap).collect();
@@ -87,12 +99,24 @@ fn main() {
         covered_uniform += absorbed(&vec![1.0; n_areas as usize]);
     }
 
-    println!("pre-dispatch simulation, day {day}, {} rounds:", rounds.len());
+    println!(
+        "pre-dispatch simulation, day {day}, {} rounds:",
+        rounds.len()
+    );
     println!("  total realised gap           {total_gap:>8.0} unanswered requests");
     let pct = |v: f32| 100.0 * v / total_gap.max(1.0);
-    println!("  absorbed by uniform policy   {covered_uniform:>8.0} ({:.1}%)", pct(covered_uniform));
-    println!("  absorbed by DeepSD policy    {covered_model:>8.0} ({:.1}%)", pct(covered_model));
-    println!("  absorbed by oracle           {covered_oracle:>8.0} ({:.1}%)", pct(covered_oracle));
+    println!(
+        "  absorbed by uniform policy   {covered_uniform:>8.0} ({:.1}%)",
+        pct(covered_uniform)
+    );
+    println!(
+        "  absorbed by DeepSD policy    {covered_model:>8.0} ({:.1}%)",
+        pct(covered_model)
+    );
+    println!(
+        "  absorbed by oracle           {covered_oracle:>8.0} ({:.1}%)",
+        pct(covered_oracle)
+    );
     assert!(
         covered_model > covered_uniform,
         "prediction-guided dispatch must beat uniform dispatch"

@@ -11,7 +11,10 @@ use deepsd_simdata::{CityConfig, SimConfig, SimDataset};
 
 fn main() {
     let sim = SimConfig {
-        city: CityConfig { n_areas: 10, seed: 99 },
+        city: CityConfig {
+            n_areas: 10,
+            seed: 99,
+        },
         n_days: 21,
         ..SimConfig::smoke(99)
     };
@@ -25,7 +28,11 @@ fn main() {
     let mut fx = FeatureExtractor::new(&dataset, fcfg.clone());
     let train_ks = train_keys(dataset.n_areas() as u16, 7..14, &fcfg);
     let test_items = fx.extract_all(&test_keys(dataset.n_areas() as u16, 14..21, &fcfg));
-    let opts = TrainOptions { epochs: 4, best_k: 2, ..TrainOptions::default() };
+    let opts = TrainOptions {
+        epochs: 4,
+        best_k: 2,
+        ..TrainOptions::default()
+    };
 
     // Stage 1: the weather/traffic feeds do not exist yet — train on
     // order data alone.
@@ -36,7 +43,10 @@ fn main() {
     let mut model = DeepSD::new(cfg.clone());
     println!("stage 1: training on order data only…");
     let stage1 = train(&mut model, &mut fx, &train_ks, &test_items, &opts);
-    println!("stage 1 final: MAE {:.3}, RMSE {:.3}", stage1.final_mae, stage1.final_rmse);
+    println!(
+        "stage 1 final: MAE {:.3}, RMSE {:.3}",
+        stage1.final_mae, stage1.final_rmse
+    );
 
     // Stage 2: weather and traffic feeds arrive. Append the blocks and
     // fine-tune — the trained parameters are reused as-is.

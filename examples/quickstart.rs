@@ -12,7 +12,10 @@ use deepsd_simdata::{CityConfig, SimConfig, SimDataset};
 fn main() {
     // 1. Simulate three weeks of car-hailing activity in a 10-area city.
     let sim = SimConfig {
-        city: CityConfig { n_areas: 10, seed: 42 },
+        city: CityConfig {
+            n_areas: 10,
+            seed: 42,
+        },
         n_days: 21,
         ..SimConfig::smoke(42)
     };
@@ -34,7 +37,11 @@ fn main() {
     let train_ks = train_keys(dataset.n_areas() as u16, 7..14, &fcfg);
     let test_ks = test_keys(dataset.n_areas() as u16, 14..21, &fcfg);
     let test_items = fx.extract_all(&test_ks);
-    println!("{} training items, {} test items", train_ks.len(), test_items.len());
+    println!(
+        "{} training items, {} test items",
+        train_ks.len(),
+        test_items.len()
+    );
 
     // 3. Train a basic DeepSD model (order + weather + traffic blocks).
     let mut cfg = ModelConfig::basic(dataset.n_areas());
@@ -49,7 +56,11 @@ fn main() {
         &mut fx,
         &train_ks,
         &test_items,
-        &TrainOptions { epochs: 5, best_k: 3, ..TrainOptions::default() },
+        &TrainOptions {
+            epochs: 5,
+            best_k: 3,
+            ..TrainOptions::default()
+        },
     );
     for e in &report.epochs {
         println!(
@@ -67,7 +78,10 @@ fn main() {
 
     println!("\n                MAE    RMSE");
     println!("average      {:>6.3} {:>7.3}", avg_eval.mae, avg_eval.rmse);
-    println!("DeepSD       {:>6.3} {:>7.3}", model_eval.mae, model_eval.rmse);
+    println!(
+        "DeepSD       {:>6.3} {:>7.3}",
+        model_eval.mae, model_eval.rmse
+    );
     assert!(
         model_eval.mae < avg_eval.mae,
         "even a briefly trained DeepSD should beat the empirical average"

@@ -17,11 +17,20 @@ fn dataset(seed: u64) -> SimDataset {
 }
 
 fn fcfg() -> FeatureConfig {
-    FeatureConfig { window_l: 10, history_window: 3, train_stride: 30, ..FeatureConfig::default() }
+    FeatureConfig {
+        window_l: 10,
+        history_window: 3,
+        train_stride: 30,
+        ..FeatureConfig::default()
+    }
 }
 
 fn quick_opts(epochs: usize) -> TrainOptions {
-    TrainOptions { epochs, best_k: 2, ..TrainOptions::default() }
+    TrainOptions {
+        epochs,
+        best_k: 2,
+        ..TrainOptions::default()
+    }
 }
 
 #[test]
@@ -64,7 +73,10 @@ fn advanced_variant_trains_end_to_end() {
     let mut model = DeepSD::new(cfg);
     let before = evaluate_model(&model, &eval_items, 128);
     let report = train(&mut model, &mut fx, &tr, &eval_items, &quick_opts(3));
-    assert!(report.final_rmse <= before.rmse, "training must not make RMSE worse");
+    assert!(
+        report.final_rmse <= before.rmse,
+        "training must not make RMSE worse"
+    );
     // Combining weights are valid distributions after training.
     for area in 0..ds.n_areas() {
         for week in 0..7 {
