@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_design-5a27e32e8243b8e2.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/debug/deps/ablation_design-5a27e32e8243b8e2: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_design-8885be1a937cc5af.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/debug/deps/ablation_design-8885be1a937cc5af: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_design-f2d2cf6af0028685.d: crates/bench/src/bin/ablation_design.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_design-f2d2cf6af0028685.rmeta: crates/bench/src/bin/ablation_design.rs Cargo.toml
+
+crates/bench/src/bin/ablation_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

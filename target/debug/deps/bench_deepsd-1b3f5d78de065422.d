@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_deepsd-1b3f5d78de065422.d: crates/bench/src/bin/bench_deepsd.rs
+
+/root/repo/target/debug/deps/bench_deepsd-1b3f5d78de065422: crates/bench/src/bin/bench_deepsd.rs
+
+crates/bench/src/bin/bench_deepsd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_deepsd-5d0d04904056873b.d: crates/bench/src/bin/bench_deepsd.rs
+
+/root/repo/target/debug/deps/bench_deepsd-5d0d04904056873b: crates/bench/src/bin/bench_deepsd.rs
+
+crates/bench/src/bin/bench_deepsd.rs:

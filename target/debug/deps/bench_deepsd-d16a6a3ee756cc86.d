@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_deepsd-d16a6a3ee756cc86.d: crates/bench/src/bin/bench_deepsd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_deepsd-d16a6a3ee756cc86.rmeta: crates/bench/src/bin/bench_deepsd.rs Cargo.toml
+
+crates/bench/src/bin/bench_deepsd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-6d8deedbca5011a6.d: offline-stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-6d8deedbca5011a6.rlib: offline-stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-6d8deedbca5011a6.rmeta: offline-stubs/bytes/src/lib.rs
+
+offline-stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-d24f62209c920333.d: offline-stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-d24f62209c920333.rmeta: offline-stubs/bytes/src/lib.rs
+
+offline-stubs/bytes/src/lib.rs:

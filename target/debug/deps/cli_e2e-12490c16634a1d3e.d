@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_e2e-12490c16634a1d3e.d: crates/cli/tests/cli_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_e2e-12490c16634a1d3e.rmeta: crates/cli/tests/cli_e2e.rs Cargo.toml
+
+crates/cli/tests/cli_e2e.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_deepsd-cli=placeholder:deepsd-cli
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

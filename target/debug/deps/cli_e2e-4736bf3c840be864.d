@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_e2e-4736bf3c840be864.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/debug/deps/cli_e2e-4736bf3c840be864: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_deepsd-cli=/root/repo/target/debug/deepsd-cli

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-79b3fce3ae8a0c41.d: offline-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-79b3fce3ae8a0c41.rmeta: offline-stubs/criterion/src/lib.rs
+
+offline-stubs/criterion/src/lib.rs:

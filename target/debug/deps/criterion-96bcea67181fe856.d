@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-96bcea67181fe856.d: offline-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-96bcea67181fe856.rlib: offline-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-96bcea67181fe856.rmeta: offline-stubs/criterion/src/lib.rs
+
+offline-stubs/criterion/src/lib.rs:

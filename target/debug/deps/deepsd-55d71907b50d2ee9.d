@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/deepsd-55d71907b50d2ee9.d: crates/core/src/lib.rs crates/core/src/blocks.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/serving.rs crates/core/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeepsd-55d71907b50d2ee9.rmeta: crates/core/src/lib.rs crates/core/src/blocks.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/serving.rs crates/core/src/trainer.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/blocks.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/serving.rs:
+crates/core/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

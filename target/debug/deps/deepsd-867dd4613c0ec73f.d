@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/deepsd-867dd4613c0ec73f.d: crates/core/src/lib.rs crates/core/src/blocks.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/libdeepsd-867dd4613c0ec73f.rlib: crates/core/src/lib.rs crates/core/src/blocks.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/libdeepsd-867dd4613c0ec73f.rmeta: crates/core/src/lib.rs crates/core/src/blocks.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/blocks.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/serving.rs:
+crates/core/src/trainer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/deepsd_baselines-2750a311dced3c54.d: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs
+
+/root/repo/target/debug/deps/libdeepsd_baselines-2750a311dced3c54.rlib: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs
+
+/root/repo/target/debug/deps/libdeepsd_baselines-2750a311dced3c54.rmeta: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/average.rs:
+crates/baselines/src/binning.rs:
+crates/baselines/src/features.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gbdt.rs:
+crates/baselines/src/lasso.rs:
+crates/baselines/src/tree.rs:

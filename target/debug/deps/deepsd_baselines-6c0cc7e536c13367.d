@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/deepsd_baselines-6c0cc7e536c13367.d: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeepsd_baselines-6c0cc7e536c13367.rmeta: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/average.rs:
+crates/baselines/src/binning.rs:
+crates/baselines/src/features.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gbdt.rs:
+crates/baselines/src/lasso.rs:
+crates/baselines/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

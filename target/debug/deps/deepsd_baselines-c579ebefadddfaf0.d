@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/deepsd_baselines-c579ebefadddfaf0.d: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs
+
+/root/repo/target/debug/deps/deepsd_baselines-c579ebefadddfaf0: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/average.rs:
+crates/baselines/src/binning.rs:
+crates/baselines/src/features.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gbdt.rs:
+crates/baselines/src/lasso.rs:
+crates/baselines/src/tree.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/deepsd_bench-2c416c9bf3d94c99.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeepsd_bench-2c416c9bf3d94c99.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

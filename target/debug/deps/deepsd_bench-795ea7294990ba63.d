@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deepsd_bench-795ea7294990ba63.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdeepsd_bench-795ea7294990ba63.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libdeepsd_bench-795ea7294990ba63.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

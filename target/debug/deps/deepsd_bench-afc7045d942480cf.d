@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/deepsd_bench-afc7045d942480cf.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/deepsd_bench-afc7045d942480cf: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/deepsd_cli-08b0c937287676b6.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/deepsd_cli-08b0c937287676b6: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/deepsd_cli-962ea5744f412a2c.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/deepsd_cli-962ea5744f412a2c: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/deepsd_features-b921490d6589af27.d: crates/features/src/lib.rs crates/features/src/batch.rs crates/features/src/config.rs crates/features/src/extract.rs crates/features/src/feeds.rs crates/features/src/history.rs crates/features/src/index.rs crates/features/src/ingest.rs crates/features/src/items.rs crates/features/src/online.rs crates/features/src/scaling.rs crates/features/src/vectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeepsd_features-b921490d6589af27.rmeta: crates/features/src/lib.rs crates/features/src/batch.rs crates/features/src/config.rs crates/features/src/extract.rs crates/features/src/feeds.rs crates/features/src/history.rs crates/features/src/index.rs crates/features/src/ingest.rs crates/features/src/items.rs crates/features/src/online.rs crates/features/src/scaling.rs crates/features/src/vectors.rs Cargo.toml
+
+crates/features/src/lib.rs:
+crates/features/src/batch.rs:
+crates/features/src/config.rs:
+crates/features/src/extract.rs:
+crates/features/src/feeds.rs:
+crates/features/src/history.rs:
+crates/features/src/index.rs:
+crates/features/src/ingest.rs:
+crates/features/src/items.rs:
+crates/features/src/online.rs:
+crates/features/src/scaling.rs:
+crates/features/src/vectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

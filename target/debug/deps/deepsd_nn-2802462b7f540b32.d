@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/deepsd_nn-2802462b7f540b32.d: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/shard.rs crates/nn/src/tape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeepsd_nn-2802462b7f540b32.rmeta: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/shard.rs crates/nn/src/tape.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/init.rs:
+crates/nn/src/kernels.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:
+crates/nn/src/shard.rs:
+crates/nn/src/tape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/deepsd_nn-564d03eb0619c84d.d: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/shard.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libdeepsd_nn-564d03eb0619c84d.rlib: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/shard.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libdeepsd_nn-564d03eb0619c84d.rmeta: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/shard.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/init.rs:
+crates/nn/src/kernels.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:
+crates/nn/src/shard.rs:
+crates/nn/src/tape.rs:

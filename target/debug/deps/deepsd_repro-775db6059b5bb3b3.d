@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deepsd_repro-775db6059b5bb3b3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeepsd_repro-775db6059b5bb3b3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

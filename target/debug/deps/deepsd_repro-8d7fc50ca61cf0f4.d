@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deepsd_repro-8d7fc50ca61cf0f4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeepsd_repro-8d7fc50ca61cf0f4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

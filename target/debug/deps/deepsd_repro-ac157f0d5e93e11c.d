@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/deepsd_repro-ac157f0d5e93e11c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdeepsd_repro-ac157f0d5e93e11c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdeepsd_repro-ac157f0d5e93e11c.rmeta: src/lib.rs
+
+src/lib.rs:

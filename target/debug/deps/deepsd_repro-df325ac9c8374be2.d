@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deepsd_repro-df325ac9c8374be2.d: src/lib.rs
+
+/root/repo/target/debug/deps/deepsd_repro-df325ac9c8374be2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/deepsd_simdata-4fd2d1e8ea871c1f.d: crates/simdata/src/lib.rs crates/simdata/src/city.rs crates/simdata/src/codec.rs crates/simdata/src/dataset.rs crates/simdata/src/faults.rs crates/simdata/src/orders.rs crates/simdata/src/patterns.rs crates/simdata/src/sampling.rs crates/simdata/src/traffic.rs crates/simdata/src/types.rs crates/simdata/src/weather.rs
+
+/root/repo/target/debug/deps/libdeepsd_simdata-4fd2d1e8ea871c1f.rlib: crates/simdata/src/lib.rs crates/simdata/src/city.rs crates/simdata/src/codec.rs crates/simdata/src/dataset.rs crates/simdata/src/faults.rs crates/simdata/src/orders.rs crates/simdata/src/patterns.rs crates/simdata/src/sampling.rs crates/simdata/src/traffic.rs crates/simdata/src/types.rs crates/simdata/src/weather.rs
+
+/root/repo/target/debug/deps/libdeepsd_simdata-4fd2d1e8ea871c1f.rmeta: crates/simdata/src/lib.rs crates/simdata/src/city.rs crates/simdata/src/codec.rs crates/simdata/src/dataset.rs crates/simdata/src/faults.rs crates/simdata/src/orders.rs crates/simdata/src/patterns.rs crates/simdata/src/sampling.rs crates/simdata/src/traffic.rs crates/simdata/src/types.rs crates/simdata/src/weather.rs
+
+crates/simdata/src/lib.rs:
+crates/simdata/src/city.rs:
+crates/simdata/src/codec.rs:
+crates/simdata/src/dataset.rs:
+crates/simdata/src/faults.rs:
+crates/simdata/src/orders.rs:
+crates/simdata/src/patterns.rs:
+crates/simdata/src/sampling.rs:
+crates/simdata/src/traffic.rs:
+crates/simdata/src/types.rs:
+crates/simdata/src/weather.rs:

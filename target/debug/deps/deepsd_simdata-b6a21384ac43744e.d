@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/deepsd_simdata-b6a21384ac43744e.d: crates/simdata/src/lib.rs crates/simdata/src/city.rs crates/simdata/src/codec.rs crates/simdata/src/dataset.rs crates/simdata/src/faults.rs crates/simdata/src/orders.rs crates/simdata/src/patterns.rs crates/simdata/src/sampling.rs crates/simdata/src/traffic.rs crates/simdata/src/types.rs crates/simdata/src/weather.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeepsd_simdata-b6a21384ac43744e.rmeta: crates/simdata/src/lib.rs crates/simdata/src/city.rs crates/simdata/src/codec.rs crates/simdata/src/dataset.rs crates/simdata/src/faults.rs crates/simdata/src/orders.rs crates/simdata/src/patterns.rs crates/simdata/src/sampling.rs crates/simdata/src/traffic.rs crates/simdata/src/types.rs crates/simdata/src/weather.rs Cargo.toml
+
+crates/simdata/src/lib.rs:
+crates/simdata/src/city.rs:
+crates/simdata/src/codec.rs:
+crates/simdata/src/dataset.rs:
+crates/simdata/src/faults.rs:
+crates/simdata/src/orders.rs:
+crates/simdata/src/patterns.rs:
+crates/simdata/src/sampling.rs:
+crates/simdata/src/traffic.rs:
+crates/simdata/src/types.rs:
+crates/simdata/src/weather.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

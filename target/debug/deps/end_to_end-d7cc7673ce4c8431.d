@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d7cc7673ce4c8431.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d7cc7673ce4c8431: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-9ecde9d98c739ed5.d: crates/core/tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-9ecde9d98c739ed5.rmeta: crates/core/tests/fault_tolerance.rs Cargo.toml
+
+crates/core/tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

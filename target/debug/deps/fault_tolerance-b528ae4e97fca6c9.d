@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-b528ae4e97fca6c9.d: crates/core/tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-b528ae4e97fca6c9: crates/core/tests/fault_tolerance.rs
+
+crates/core/tests/fault_tolerance.rs:

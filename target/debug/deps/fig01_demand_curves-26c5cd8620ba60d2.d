@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_demand_curves-26c5cd8620ba60d2.d: crates/bench/src/bin/fig01_demand_curves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_demand_curves-26c5cd8620ba60d2.rmeta: crates/bench/src/bin/fig01_demand_curves.rs Cargo.toml
+
+crates/bench/src/bin/fig01_demand_curves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_demand_curves-3b13f8c08ceac0d5.d: crates/bench/src/bin/fig01_demand_curves.rs
+
+/root/repo/target/debug/deps/fig01_demand_curves-3b13f8c08ceac0d5: crates/bench/src/bin/fig01_demand_curves.rs
+
+crates/bench/src/bin/fig01_demand_curves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_demand_curves-3d430d6fa4f5e02e.d: crates/bench/src/bin/fig01_demand_curves.rs
+
+/root/repo/target/debug/deps/fig01_demand_curves-3d430d6fa4f5e02e: crates/bench/src/bin/fig01_demand_curves.rs
+
+crates/bench/src/bin/fig01_demand_curves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_thresholds-97fe27d0bea13125.d: crates/bench/src/bin/fig10_thresholds.rs
+
+/root/repo/target/debug/deps/fig10_thresholds-97fe27d0bea13125: crates/bench/src/bin/fig10_thresholds.rs
+
+crates/bench/src/bin/fig10_thresholds.rs:

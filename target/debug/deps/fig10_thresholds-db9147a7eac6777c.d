@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_thresholds-db9147a7eac6777c.d: crates/bench/src/bin/fig10_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_thresholds-db9147a7eac6777c.rmeta: crates/bench/src/bin/fig10_thresholds.rs Cargo.toml
+
+crates/bench/src/bin/fig10_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

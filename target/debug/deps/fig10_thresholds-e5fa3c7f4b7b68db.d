@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_thresholds-e5fa3c7f4b7b68db.d: crates/bench/src/bin/fig10_thresholds.rs
+
+/root/repo/target/debug/deps/fig10_thresholds-e5fa3c7f4b7b68db: crates/bench/src/bin/fig10_thresholds.rs
+
+crates/bench/src/bin/fig10_thresholds.rs:

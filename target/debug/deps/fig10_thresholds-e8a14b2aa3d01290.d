@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_thresholds-e8a14b2aa3d01290.d: crates/bench/src/bin/fig10_thresholds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_thresholds-e8a14b2aa3d01290.rmeta: crates/bench/src/bin/fig10_thresholds.rs Cargo.toml
+
+crates/bench/src/bin/fig10_thresholds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_curves-01a0668fdeba2671.d: crates/bench/src/bin/fig11_curves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_curves-01a0668fdeba2671.rmeta: crates/bench/src/bin/fig11_curves.rs Cargo.toml
+
+crates/bench/src/bin/fig11_curves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_curves-02611919d1b49e94.d: crates/bench/src/bin/fig11_curves.rs
+
+/root/repo/target/debug/deps/fig11_curves-02611919d1b49e94: crates/bench/src/bin/fig11_curves.rs
+
+crates/bench/src/bin/fig11_curves.rs:

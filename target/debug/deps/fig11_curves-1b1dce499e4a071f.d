@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_curves-1b1dce499e4a071f.d: crates/bench/src/bin/fig11_curves.rs
+
+/root/repo/target/debug/deps/fig11_curves-1b1dce499e4a071f: crates/bench/src/bin/fig11_curves.rs
+
+crates/bench/src/bin/fig11_curves.rs:

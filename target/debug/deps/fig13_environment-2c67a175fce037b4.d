@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_environment-2c67a175fce037b4.d: crates/bench/src/bin/fig13_environment.rs
+
+/root/repo/target/debug/deps/fig13_environment-2c67a175fce037b4: crates/bench/src/bin/fig13_environment.rs
+
+crates/bench/src/bin/fig13_environment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_environment-371168fcd07fe0bd.d: crates/bench/src/bin/fig13_environment.rs
+
+/root/repo/target/debug/deps/fig13_environment-371168fcd07fe0bd: crates/bench/src/bin/fig13_environment.rs
+
+crates/bench/src/bin/fig13_environment.rs:

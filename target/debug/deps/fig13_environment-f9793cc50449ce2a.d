@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_environment-f9793cc50449ce2a.d: crates/bench/src/bin/fig13_environment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_environment-f9793cc50449ce2a.rmeta: crates/bench/src/bin/fig13_environment.rs Cargo.toml
+
+crates/bench/src/bin/fig13_environment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_weekday_weights-8827747d0bddbdc5.d: crates/bench/src/bin/fig15_weekday_weights.rs
+
+/root/repo/target/debug/deps/fig15_weekday_weights-8827747d0bddbdc5: crates/bench/src/bin/fig15_weekday_weights.rs
+
+crates/bench/src/bin/fig15_weekday_weights.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_weekday_weights-91975ded8f9cf9bc.d: crates/bench/src/bin/fig15_weekday_weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_weekday_weights-91975ded8f9cf9bc.rmeta: crates/bench/src/bin/fig15_weekday_weights.rs Cargo.toml
+
+crates/bench/src/bin/fig15_weekday_weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

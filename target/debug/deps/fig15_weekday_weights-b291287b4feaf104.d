@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_weekday_weights-b291287b4feaf104.d: crates/bench/src/bin/fig15_weekday_weights.rs
+
+/root/repo/target/debug/deps/fig15_weekday_weights-b291287b4feaf104: crates/bench/src/bin/fig15_weekday_weights.rs
+
+crates/bench/src/bin/fig15_weekday_weights.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_finetune-1b05e7d8359620d6.d: crates/bench/src/bin/fig16_finetune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_finetune-1b05e7d8359620d6.rmeta: crates/bench/src/bin/fig16_finetune.rs Cargo.toml
+
+crates/bench/src/bin/fig16_finetune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_finetune-6851a99b5e90e059.d: crates/bench/src/bin/fig16_finetune.rs
+
+/root/repo/target/debug/deps/fig16_finetune-6851a99b5e90e059: crates/bench/src/bin/fig16_finetune.rs
+
+crates/bench/src/bin/fig16_finetune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_finetune-7e686be9d8654a18.d: crates/bench/src/bin/fig16_finetune.rs
+
+/root/repo/target/debug/deps/fig16_finetune-7e686be9d8654a18: crates/bench/src/bin/fig16_finetune.rs
+
+crates/bench/src/bin/fig16_finetune.rs:

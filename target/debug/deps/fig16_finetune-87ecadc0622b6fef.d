@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_finetune-87ecadc0622b6fef.d: crates/bench/src/bin/fig16_finetune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_finetune-87ecadc0622b6fef.rmeta: crates/bench/src/bin/fig16_finetune.rs Cargo.toml
+
+crates/bench/src/bin/fig16_finetune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_gradcheck-2f09db3931c2a13f.d: crates/core/tests/model_gradcheck.rs
+
+/root/repo/target/debug/deps/model_gradcheck-2f09db3931c2a13f: crates/core/tests/model_gradcheck.rs
+
+crates/core/tests/model_gradcheck.rs:

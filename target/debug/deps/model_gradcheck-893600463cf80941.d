@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_gradcheck-893600463cf80941.d: crates/core/tests/model_gradcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_gradcheck-893600463cf80941.rmeta: crates/core/tests/model_gradcheck.rs Cargo.toml
+
+crates/core/tests/model_gradcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

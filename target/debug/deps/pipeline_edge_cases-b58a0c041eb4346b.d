@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_edge_cases-b58a0c041eb4346b.d: tests/pipeline_edge_cases.rs
+
+/root/repo/target/debug/deps/pipeline_edge_cases-b58a0c041eb4346b: tests/pipeline_edge_cases.rs
+
+tests/pipeline_edge_cases.rs:

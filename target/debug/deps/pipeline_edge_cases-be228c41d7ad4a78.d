@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_edge_cases-be228c41d7ad4a78.d: tests/pipeline_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_edge_cases-be228c41d7ad4a78.rmeta: tests/pipeline_edge_cases.rs Cargo.toml
+
+tests/pipeline_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-411f9619d1f1313e.d: offline-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-411f9619d1f1313e.rmeta: offline-stubs/proptest/src/lib.rs
+
+offline-stubs/proptest/src/lib.rs:

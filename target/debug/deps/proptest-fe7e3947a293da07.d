@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-fe7e3947a293da07.d: offline-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fe7e3947a293da07.rlib: offline-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-fe7e3947a293da07.rmeta: offline-stubs/proptest/src/lib.rs
+
+offline-stubs/proptest/src/lib.rs:

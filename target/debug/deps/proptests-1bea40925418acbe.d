@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1bea40925418acbe.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1bea40925418acbe: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1f73e967d6d8f30a.d: crates/simdata/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1f73e967d6d8f30a.rmeta: crates/simdata/tests/proptests.rs Cargo.toml
+
+crates/simdata/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-34397d5a9154ada1.d: crates/nn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-34397d5a9154ada1.rmeta: crates/nn/tests/proptests.rs Cargo.toml
+
+crates/nn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

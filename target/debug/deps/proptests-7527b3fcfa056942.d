@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-7527b3fcfa056942.d: crates/features/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-7527b3fcfa056942.rmeta: crates/features/tests/proptests.rs Cargo.toml
+
+crates/features/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

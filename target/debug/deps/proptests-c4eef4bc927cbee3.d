@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c4eef4bc927cbee3.d: crates/simdata/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c4eef4bc927cbee3: crates/simdata/tests/proptests.rs
+
+crates/simdata/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f72d0daf3c29cbfb.d: crates/features/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f72d0daf3c29cbfb: crates/features/tests/proptests.rs
+
+crates/features/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-bb52fcd042b1f765.d: offline-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bb52fcd042b1f765.rlib: offline-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bb52fcd042b1f765.rmeta: offline-stubs/rand/src/lib.rs
+
+offline-stubs/rand/src/lib.rs:

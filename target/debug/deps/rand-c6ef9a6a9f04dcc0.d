@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c6ef9a6a9f04dcc0.d: offline-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c6ef9a6a9f04dcc0.rmeta: offline-stubs/rand/src/lib.rs
+
+offline-stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-abed157ee261911d.d: offline-stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-abed157ee261911d.rlib: offline-stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-abed157ee261911d.rmeta: offline-stubs/serde/src/lib.rs
+
+offline-stubs/serde/src/lib.rs:

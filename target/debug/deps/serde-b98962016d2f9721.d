@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-b98962016d2f9721.d: offline-stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b98962016d2f9721.rmeta: offline-stubs/serde/src/lib.rs
+
+offline-stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-db74791898f2ed90.d: offline-stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-db74791898f2ed90.so: offline-stubs/serde_derive/src/lib.rs
+
+offline-stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-5b1c482a19eadf68.d: offline-stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5b1c482a19eadf68.rlib: offline-stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-5b1c482a19eadf68.rmeta: offline-stubs/serde_json/src/lib.rs
+
+offline-stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-837eb1a1fcc5be73.d: offline-stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-837eb1a1fcc5be73.rmeta: offline-stubs/serde_json/src/lib.rs
+
+offline-stubs/serde_json/src/lib.rs:

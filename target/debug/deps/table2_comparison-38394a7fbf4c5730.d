@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_comparison-38394a7fbf4c5730.d: crates/bench/src/bin/table2_comparison.rs
+
+/root/repo/target/debug/deps/table2_comparison-38394a7fbf4c5730: crates/bench/src/bin/table2_comparison.rs
+
+crates/bench/src/bin/table2_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_comparison-49c9efb5d96cea1a.d: crates/bench/src/bin/table2_comparison.rs
+
+/root/repo/target/debug/deps/table2_comparison-49c9efb5d96cea1a: crates/bench/src/bin/table2_comparison.rs
+
+crates/bench/src/bin/table2_comparison.rs:

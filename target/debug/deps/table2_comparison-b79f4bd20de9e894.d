@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_comparison-b79f4bd20de9e894.d: crates/bench/src/bin/table2_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_comparison-b79f4bd20de9e894.rmeta: crates/bench/src/bin/table2_comparison.rs Cargo.toml
+
+crates/bench/src/bin/table2_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_comparison-de6e2f3b8ce3860f.d: crates/bench/src/bin/table2_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_comparison-de6e2f3b8ce3860f.rmeta: crates/bench/src/bin/table2_comparison.rs Cargo.toml
+
+crates/bench/src/bin/table2_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

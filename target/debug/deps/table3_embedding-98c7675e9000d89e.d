@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_embedding-98c7675e9000d89e.d: crates/bench/src/bin/table3_embedding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_embedding-98c7675e9000d89e.rmeta: crates/bench/src/bin/table3_embedding.rs Cargo.toml
+
+crates/bench/src/bin/table3_embedding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

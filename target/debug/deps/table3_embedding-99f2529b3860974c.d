@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_embedding-99f2529b3860974c.d: crates/bench/src/bin/table3_embedding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_embedding-99f2529b3860974c.rmeta: crates/bench/src/bin/table3_embedding.rs Cargo.toml
+
+crates/bench/src/bin/table3_embedding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

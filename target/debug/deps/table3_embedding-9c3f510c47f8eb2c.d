@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_embedding-9c3f510c47f8eb2c.d: crates/bench/src/bin/table3_embedding.rs
+
+/root/repo/target/debug/deps/table3_embedding-9c3f510c47f8eb2c: crates/bench/src/bin/table3_embedding.rs
+
+crates/bench/src/bin/table3_embedding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_embedding-bd256fb17b61d24c.d: crates/bench/src/bin/table3_embedding.rs
+
+/root/repo/target/debug/deps/table3_embedding-bd256fb17b61d24c: crates/bench/src/bin/table3_embedding.rs
+
+crates/bench/src/bin/table3_embedding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_area_embedding-61e055e7efc70af1.d: crates/bench/src/bin/table4_area_embedding.rs
+
+/root/repo/target/debug/deps/table4_area_embedding-61e055e7efc70af1: crates/bench/src/bin/table4_area_embedding.rs
+
+crates/bench/src/bin/table4_area_embedding.rs:

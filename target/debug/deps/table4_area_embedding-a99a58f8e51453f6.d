@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_area_embedding-a99a58f8e51453f6.d: crates/bench/src/bin/table4_area_embedding.rs
+
+/root/repo/target/debug/deps/table4_area_embedding-a99a58f8e51453f6: crates/bench/src/bin/table4_area_embedding.rs
+
+crates/bench/src/bin/table4_area_embedding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_area_embedding-d00f801b472be18b.d: crates/bench/src/bin/table4_area_embedding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_area_embedding-d00f801b472be18b.rmeta: crates/bench/src/bin/table4_area_embedding.rs Cargo.toml
+
+crates/bench/src/bin/table4_area_embedding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

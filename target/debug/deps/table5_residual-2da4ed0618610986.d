@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_residual-2da4ed0618610986.d: crates/bench/src/bin/table5_residual.rs
+
+/root/repo/target/debug/deps/table5_residual-2da4ed0618610986: crates/bench/src/bin/table5_residual.rs
+
+crates/bench/src/bin/table5_residual.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_residual-6212699e1d86ef37.d: crates/bench/src/bin/table5_residual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_residual-6212699e1d86ef37.rmeta: crates/bench/src/bin/table5_residual.rs Cargo.toml
+
+crates/bench/src/bin/table5_residual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

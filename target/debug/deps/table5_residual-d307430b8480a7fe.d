@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_residual-d307430b8480a7fe.d: crates/bench/src/bin/table5_residual.rs
+
+/root/repo/target/debug/deps/table5_residual-d307430b8480a7fe: crates/bench/src/bin/table5_residual.rs
+
+crates/bench/src/bin/table5_residual.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_residual-ff48f8a9eee38d22.d: crates/bench/src/bin/table5_residual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_residual-ff48f8a9eee38d22.rmeta: crates/bench/src/bin/table5_residual.rs Cargo.toml
+
+crates/bench/src/bin/table5_residual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/area_similarity-38a100ba1db29f34.d: examples/area_similarity.rs
+
+/root/repo/target/debug/examples/area_similarity-38a100ba1db29f34: examples/area_similarity.rs
+
+examples/area_similarity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/area_similarity-74f6e4bb6a46b8d0.d: examples/area_similarity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarea_similarity-74f6e4bb6a46b8d0.rmeta: examples/area_similarity.rs Cargo.toml
+
+examples/area_similarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dispatch_scheduler-0906047f64fea517.d: examples/dispatch_scheduler.rs
+
+/root/repo/target/debug/examples/dispatch_scheduler-0906047f64fea517: examples/dispatch_scheduler.rs
+
+examples/dispatch_scheduler.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dispatch_scheduler-83591bc5feb0f075.d: examples/dispatch_scheduler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdispatch_scheduler-83591bc5feb0f075.rmeta: examples/dispatch_scheduler.rs Cargo.toml
+
+examples/dispatch_scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/doctest_repro-a4193e269ab08a18.d: examples/doctest_repro.rs
+
+/root/repo/target/debug/examples/doctest_repro-a4193e269ab08a18: examples/doctest_repro.rs
+
+examples/doctest_repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/extend_with_new_data-72d917339b0e6a40.d: examples/extend_with_new_data.rs Cargo.toml
+
+/root/repo/target/debug/examples/libextend_with_new_data-72d917339b0e6a40.rmeta: examples/extend_with_new_data.rs Cargo.toml
+
+examples/extend_with_new_data.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extend_with_new_data-998e28652c5d3e7e.d: examples/extend_with_new_data.rs
+
+/root/repo/target/debug/examples/extend_with_new_data-998e28652c5d3e7e: examples/extend_with_new_data.rs
+
+examples/extend_with_new_data.rs:

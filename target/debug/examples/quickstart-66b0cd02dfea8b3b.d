@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-66b0cd02dfea8b3b.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-66b0cd02dfea8b3b.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-70649bc658290a50.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-70649bc658290a50: examples/quickstart.rs
+
+examples/quickstart.rs:

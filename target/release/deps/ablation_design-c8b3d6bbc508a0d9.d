@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_design-c8b3d6bbc508a0d9.d: crates/bench/src/bin/ablation_design.rs
+
+/root/repo/target/release/deps/ablation_design-c8b3d6bbc508a0d9: crates/bench/src/bin/ablation_design.rs
+
+crates/bench/src/bin/ablation_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_deepsd-42bb870a832565a8.d: crates/bench/src/bin/bench_deepsd.rs
+
+/root/repo/target/release/deps/bench_deepsd-42bb870a832565a8: crates/bench/src/bin/bench_deepsd.rs
+
+crates/bench/src/bin/bench_deepsd.rs:

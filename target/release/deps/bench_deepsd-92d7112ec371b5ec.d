@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_deepsd-92d7112ec371b5ec.d: crates/bench/src/bin/bench_deepsd.rs
+
+/root/repo/target/release/deps/bench_deepsd-92d7112ec371b5ec: crates/bench/src/bin/bench_deepsd.rs
+
+crates/bench/src/bin/bench_deepsd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-fab3866197419aaa.d: offline-stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-fab3866197419aaa.rlib: offline-stubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-fab3866197419aaa.rmeta: offline-stubs/bytes/src/lib.rs
+
+offline-stubs/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli_e2e-af056b11ada9b8b1.d: crates/cli/tests/cli_e2e.rs
+
+/root/repo/target/release/deps/cli_e2e-af056b11ada9b8b1: crates/cli/tests/cli_e2e.rs
+
+crates/cli/tests/cli_e2e.rs:
+
+# env-dep:CARGO_BIN_EXE_deepsd-cli=/root/repo/target/release/deepsd-cli

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-0610f859479b4ace.d: offline-stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0610f859479b4ace.rlib: offline-stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-0610f859479b4ace.rmeta: offline-stubs/criterion/src/lib.rs
+
+offline-stubs/criterion/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/deepsd-999179c5793afaf2.d: crates/core/src/lib.rs crates/core/src/blocks.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/deepsd-999179c5793afaf2: crates/core/src/lib.rs crates/core/src/blocks.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/blocks.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/serving.rs:
+crates/core/src/trainer.rs:

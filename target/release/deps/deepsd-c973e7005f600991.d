@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/deepsd-c973e7005f600991.d: crates/core/src/lib.rs crates/core/src/blocks.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libdeepsd-c973e7005f600991.rlib: crates/core/src/lib.rs crates/core/src/blocks.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libdeepsd-c973e7005f600991.rmeta: crates/core/src/lib.rs crates/core/src/blocks.rs crates/core/src/checkpoint.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/blocks.rs:
+crates/core/src/checkpoint.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/serving.rs:
+crates/core/src/trainer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/deepsd_baselines-026597c29788b10f.d: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs
+
+/root/repo/target/release/deps/deepsd_baselines-026597c29788b10f: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/average.rs:
+crates/baselines/src/binning.rs:
+crates/baselines/src/features.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gbdt.rs:
+crates/baselines/src/lasso.rs:
+crates/baselines/src/tree.rs:

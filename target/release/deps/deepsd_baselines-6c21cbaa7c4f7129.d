@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/deepsd_baselines-6c21cbaa7c4f7129.d: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs
+
+/root/repo/target/release/deps/libdeepsd_baselines-6c21cbaa7c4f7129.rlib: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs
+
+/root/repo/target/release/deps/libdeepsd_baselines-6c21cbaa7c4f7129.rmeta: crates/baselines/src/lib.rs crates/baselines/src/average.rs crates/baselines/src/binning.rs crates/baselines/src/features.rs crates/baselines/src/forest.rs crates/baselines/src/gbdt.rs crates/baselines/src/lasso.rs crates/baselines/src/tree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/average.rs:
+crates/baselines/src/binning.rs:
+crates/baselines/src/features.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gbdt.rs:
+crates/baselines/src/lasso.rs:
+crates/baselines/src/tree.rs:

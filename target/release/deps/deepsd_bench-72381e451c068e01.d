@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/deepsd_bench-72381e451c068e01.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/deepsd_bench-72381e451c068e01: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

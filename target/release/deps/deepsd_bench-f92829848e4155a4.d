@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/deepsd_bench-f92829848e4155a4.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libdeepsd_bench-f92829848e4155a4.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libdeepsd_bench-f92829848e4155a4.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/deepsd_cli-c99ac6e5ce3da939.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/deepsd_cli-c99ac6e5ce3da939: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

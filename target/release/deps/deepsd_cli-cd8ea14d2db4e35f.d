@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/deepsd_cli-cd8ea14d2db4e35f.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/deepsd_cli-cd8ea14d2db4e35f: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/deepsd_features-6697a25d668a7caf.d: crates/features/src/lib.rs crates/features/src/batch.rs crates/features/src/config.rs crates/features/src/extract.rs crates/features/src/feeds.rs crates/features/src/history.rs crates/features/src/index.rs crates/features/src/ingest.rs crates/features/src/items.rs crates/features/src/online.rs crates/features/src/scaling.rs crates/features/src/vectors.rs
+
+/root/repo/target/release/deps/deepsd_features-6697a25d668a7caf: crates/features/src/lib.rs crates/features/src/batch.rs crates/features/src/config.rs crates/features/src/extract.rs crates/features/src/feeds.rs crates/features/src/history.rs crates/features/src/index.rs crates/features/src/ingest.rs crates/features/src/items.rs crates/features/src/online.rs crates/features/src/scaling.rs crates/features/src/vectors.rs
+
+crates/features/src/lib.rs:
+crates/features/src/batch.rs:
+crates/features/src/config.rs:
+crates/features/src/extract.rs:
+crates/features/src/feeds.rs:
+crates/features/src/history.rs:
+crates/features/src/index.rs:
+crates/features/src/ingest.rs:
+crates/features/src/items.rs:
+crates/features/src/online.rs:
+crates/features/src/scaling.rs:
+crates/features/src/vectors.rs:

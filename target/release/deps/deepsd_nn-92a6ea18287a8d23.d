@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/deepsd_nn-92a6ea18287a8d23.d: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/tape.rs
+
+/root/repo/target/release/deps/deepsd_nn-92a6ea18287a8d23: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/init.rs:
+crates/nn/src/kernels.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:
+crates/nn/src/tape.rs:

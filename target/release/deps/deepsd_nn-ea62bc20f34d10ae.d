@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/deepsd_nn-ea62bc20f34d10ae.d: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/shard.rs crates/nn/src/tape.rs
+
+/root/repo/target/release/deps/libdeepsd_nn-ea62bc20f34d10ae.rlib: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/shard.rs crates/nn/src/tape.rs
+
+/root/repo/target/release/deps/libdeepsd_nn-ea62bc20f34d10ae.rmeta: crates/nn/src/lib.rs crates/nn/src/gradcheck.rs crates/nn/src/init.rs crates/nn/src/kernels.rs crates/nn/src/layers.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/shard.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/init.rs:
+crates/nn/src/kernels.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:
+crates/nn/src/shard.rs:
+crates/nn/src/tape.rs:

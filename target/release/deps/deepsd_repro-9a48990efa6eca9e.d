@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/deepsd_repro-9a48990efa6eca9e.d: src/lib.rs
+
+/root/repo/target/release/deps/libdeepsd_repro-9a48990efa6eca9e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdeepsd_repro-9a48990efa6eca9e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deepsd_repro-e6d9362bc398b065.d: src/lib.rs
+
+/root/repo/target/release/deps/deepsd_repro-e6d9362bc398b065: src/lib.rs
+
+src/lib.rs:

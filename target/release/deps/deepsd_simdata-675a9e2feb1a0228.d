@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/deepsd_simdata-675a9e2feb1a0228.d: crates/simdata/src/lib.rs crates/simdata/src/city.rs crates/simdata/src/codec.rs crates/simdata/src/dataset.rs crates/simdata/src/faults.rs crates/simdata/src/orders.rs crates/simdata/src/patterns.rs crates/simdata/src/sampling.rs crates/simdata/src/traffic.rs crates/simdata/src/types.rs crates/simdata/src/weather.rs
+
+/root/repo/target/release/deps/deepsd_simdata-675a9e2feb1a0228: crates/simdata/src/lib.rs crates/simdata/src/city.rs crates/simdata/src/codec.rs crates/simdata/src/dataset.rs crates/simdata/src/faults.rs crates/simdata/src/orders.rs crates/simdata/src/patterns.rs crates/simdata/src/sampling.rs crates/simdata/src/traffic.rs crates/simdata/src/types.rs crates/simdata/src/weather.rs
+
+crates/simdata/src/lib.rs:
+crates/simdata/src/city.rs:
+crates/simdata/src/codec.rs:
+crates/simdata/src/dataset.rs:
+crates/simdata/src/faults.rs:
+crates/simdata/src/orders.rs:
+crates/simdata/src/patterns.rs:
+crates/simdata/src/sampling.rs:
+crates/simdata/src/traffic.rs:
+crates/simdata/src/types.rs:
+crates/simdata/src/weather.rs:

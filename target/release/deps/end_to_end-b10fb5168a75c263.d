@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-b10fb5168a75c263.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-b10fb5168a75c263: tests/end_to_end.rs
+
+tests/end_to_end.rs:

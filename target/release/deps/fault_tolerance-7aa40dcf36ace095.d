@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-7aa40dcf36ace095.d: crates/core/tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-7aa40dcf36ace095: crates/core/tests/fault_tolerance.rs
+
+crates/core/tests/fault_tolerance.rs:

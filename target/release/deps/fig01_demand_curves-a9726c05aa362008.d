@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_demand_curves-a9726c05aa362008.d: crates/bench/src/bin/fig01_demand_curves.rs
+
+/root/repo/target/release/deps/fig01_demand_curves-a9726c05aa362008: crates/bench/src/bin/fig01_demand_curves.rs
+
+crates/bench/src/bin/fig01_demand_curves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_thresholds-3e235a82591d9233.d: crates/bench/src/bin/fig10_thresholds.rs
+
+/root/repo/target/release/deps/fig10_thresholds-3e235a82591d9233: crates/bench/src/bin/fig10_thresholds.rs
+
+crates/bench/src/bin/fig10_thresholds.rs:

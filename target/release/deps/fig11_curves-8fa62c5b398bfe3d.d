@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_curves-8fa62c5b398bfe3d.d: crates/bench/src/bin/fig11_curves.rs
+
+/root/repo/target/release/deps/fig11_curves-8fa62c5b398bfe3d: crates/bench/src/bin/fig11_curves.rs
+
+crates/bench/src/bin/fig11_curves.rs:

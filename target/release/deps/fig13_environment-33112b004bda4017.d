@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_environment-33112b004bda4017.d: crates/bench/src/bin/fig13_environment.rs
+
+/root/repo/target/release/deps/fig13_environment-33112b004bda4017: crates/bench/src/bin/fig13_environment.rs
+
+crates/bench/src/bin/fig13_environment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_weekday_weights-bac411ec7ba13da8.d: crates/bench/src/bin/fig15_weekday_weights.rs
+
+/root/repo/target/release/deps/fig15_weekday_weights-bac411ec7ba13da8: crates/bench/src/bin/fig15_weekday_weights.rs
+
+crates/bench/src/bin/fig15_weekday_weights.rs:

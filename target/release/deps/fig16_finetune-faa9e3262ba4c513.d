@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_finetune-faa9e3262ba4c513.d: crates/bench/src/bin/fig16_finetune.rs
+
+/root/repo/target/release/deps/fig16_finetune-faa9e3262ba4c513: crates/bench/src/bin/fig16_finetune.rs
+
+crates/bench/src/bin/fig16_finetune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_gradcheck-d982600621053955.d: crates/core/tests/model_gradcheck.rs
+
+/root/repo/target/release/deps/model_gradcheck-d982600621053955: crates/core/tests/model_gradcheck.rs
+
+crates/core/tests/model_gradcheck.rs:

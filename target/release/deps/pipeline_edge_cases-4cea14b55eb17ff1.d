@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_edge_cases-4cea14b55eb17ff1.d: tests/pipeline_edge_cases.rs
+
+/root/repo/target/release/deps/pipeline_edge_cases-4cea14b55eb17ff1: tests/pipeline_edge_cases.rs
+
+tests/pipeline_edge_cases.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-49b97f695ba96e78.d: offline-stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-49b97f695ba96e78.rlib: offline-stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-49b97f695ba96e78.rmeta: offline-stubs/proptest/src/lib.rs
+
+offline-stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-57c0f83d4891ea28.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-57c0f83d4891ea28: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-9cd8df0fa595c054.d: crates/features/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-9cd8df0fa595c054: crates/features/tests/proptests.rs
+
+crates/features/tests/proptests.rs:

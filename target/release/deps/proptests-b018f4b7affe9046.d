@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-b018f4b7affe9046.d: crates/simdata/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-b018f4b7affe9046: crates/simdata/tests/proptests.rs
+
+crates/simdata/tests/proptests.rs:

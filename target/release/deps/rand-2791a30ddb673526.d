@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2791a30ddb673526.d: offline-stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2791a30ddb673526.rlib: offline-stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2791a30ddb673526.rmeta: offline-stubs/rand/src/lib.rs
+
+offline-stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-8bf613cc6d28ee11.d: offline-stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8bf613cc6d28ee11.rlib: offline-stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-8bf613cc6d28ee11.rmeta: offline-stubs/serde/src/lib.rs
+
+offline-stubs/serde/src/lib.rs:

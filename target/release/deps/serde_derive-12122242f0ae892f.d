@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-12122242f0ae892f.d: offline-stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-12122242f0ae892f.so: offline-stubs/serde_derive/src/lib.rs
+
+offline-stubs/serde_derive/src/lib.rs:

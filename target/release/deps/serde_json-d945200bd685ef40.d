@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-d945200bd685ef40.d: offline-stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d945200bd685ef40.rlib: offline-stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d945200bd685ef40.rmeta: offline-stubs/serde_json/src/lib.rs
+
+offline-stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_comparison-1f91b1634e4baf57.d: crates/bench/src/bin/table2_comparison.rs
+
+/root/repo/target/release/deps/table2_comparison-1f91b1634e4baf57: crates/bench/src/bin/table2_comparison.rs
+
+crates/bench/src/bin/table2_comparison.rs:

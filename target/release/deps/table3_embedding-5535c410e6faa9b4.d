@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_embedding-5535c410e6faa9b4.d: crates/bench/src/bin/table3_embedding.rs
+
+/root/repo/target/release/deps/table3_embedding-5535c410e6faa9b4: crates/bench/src/bin/table3_embedding.rs
+
+crates/bench/src/bin/table3_embedding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_area_embedding-f275c5538a75e1c4.d: crates/bench/src/bin/table4_area_embedding.rs
+
+/root/repo/target/release/deps/table4_area_embedding-f275c5538a75e1c4: crates/bench/src/bin/table4_area_embedding.rs
+
+crates/bench/src/bin/table4_area_embedding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_residual-b75ec4c28bdd39dd.d: crates/bench/src/bin/table5_residual.rs
+
+/root/repo/target/release/deps/table5_residual-b75ec4c28bdd39dd: crates/bench/src/bin/table5_residual.rs
+
+crates/bench/src/bin/table5_residual.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/area_similarity-5e72f47883e9ab1f.d: examples/area_similarity.rs
+
+/root/repo/target/release/examples/area_similarity-5e72f47883e9ab1f: examples/area_similarity.rs
+
+examples/area_similarity.rs:

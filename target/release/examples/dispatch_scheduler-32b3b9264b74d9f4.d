@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dispatch_scheduler-32b3b9264b74d9f4.d: examples/dispatch_scheduler.rs
+
+/root/repo/target/release/examples/dispatch_scheduler-32b3b9264b74d9f4: examples/dispatch_scheduler.rs
+
+examples/dispatch_scheduler.rs:

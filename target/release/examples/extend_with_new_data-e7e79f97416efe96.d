@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/extend_with_new_data-e7e79f97416efe96.d: examples/extend_with_new_data.rs
+
+/root/repo/target/release/examples/extend_with_new_data-e7e79f97416efe96: examples/extend_with_new_data.rs
+
+examples/extend_with_new_data.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5da384aff77c7395.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5da384aff77c7395: examples/quickstart.rs
+
+examples/quickstart.rs:
