@@ -272,6 +272,10 @@ fn main() {
     let json = serde_json::to_string_pretty(&output).expect("bench output serializes");
     std::fs::write("BENCH_deepsd.json", &json).expect("write BENCH_deepsd.json");
     eprintln!("[bench] wrote BENCH_deepsd.json");
+    deepsd::telemetry::global()
+        .write_json("TELEMETRY_deepsd.json")
+        .expect("write TELEMETRY_deepsd.json");
+    eprintln!("[bench] wrote TELEMETRY_deepsd.json");
 
     report.kv(
         "matmul nn GFLOP/s",

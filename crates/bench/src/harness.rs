@@ -136,6 +136,9 @@ impl Scale {
     ///
     /// Environment overrides for experimentation:
     /// `DEEPSD_EPOCHS`, `DEEPSD_TRAIN_STRIDE`, `DEEPSD_BEST_K`.
+    /// Malformed override values are warned about and ignored (counted
+    /// in the `env_override_invalid_total` telemetry counter) rather
+    /// than aborting the run.
     ///
     /// # Panics
     /// Panics on an unknown scale name or a malformed `--threads` value.
@@ -173,26 +176,45 @@ impl Scale {
     }
 
     /// Training options matching this scale. `DEEPSD_LR` overrides the
-    /// learning rate.
+    /// learning rate. Training metrics flow into the process-global
+    /// telemetry registry, which the bench binaries snapshot to
+    /// `TELEMETRY_deepsd.json` at exit.
     pub fn train_options(&self) -> TrainOptions {
         let mut opts = TrainOptions {
             epochs: self.epochs,
             best_k: self.best_k,
             threads: self.threads,
+            telemetry: Some(deepsd::telemetry::global().clone()),
             ..TrainOptions::default()
         };
-        if let Ok(v) = std::env::var("DEEPSD_LR") {
-            opts.learning_rate = v.parse().expect("DEEPSD_LR must be a float");
+        if let Some(v) = env_parsed::<f32>("DEEPSD_LR") {
+            opts.learning_rate = v;
         }
         opts
     }
 }
 
+/// Parses an environment override, warning and ignoring a malformed
+/// value instead of aborting mid-benchmark. Each ignored value bumps
+/// the global `env_override_invalid_total` telemetry counter so it
+/// shows up in the run's metrics snapshot.
+fn env_parsed<T: std::str::FromStr>(key: &str) -> Option<T> {
+    let raw = std::env::var(key).ok()?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring {key}={raw:?} (not a valid {})",
+                std::any::type_name::<T>()
+            );
+            deepsd::telemetry::global().inc_counter("env_override_invalid_total");
+            None
+        }
+    }
+}
+
 fn env_usize(key: &str) -> Option<usize> {
-    std::env::var(key).ok().map(|v| {
-        v.parse()
-            .unwrap_or_else(|_| panic!("{key} must be an integer"))
-    })
+    env_parsed(key)
 }
 
 /// A generated dataset plus its item grids.
@@ -265,8 +287,8 @@ impl Pipeline {
         };
         cfg.window_l = self.scale.features.window_l;
         cfg.dropout = self.scale.dropout;
-        if let Ok(v) = std::env::var("DEEPSD_DROPOUT") {
-            cfg.dropout = v.parse().expect("DEEPSD_DROPOUT must be a float");
+        if let Some(v) = env_parsed::<f32>("DEEPSD_DROPOUT") {
+            cfg.dropout = v;
         }
         cfg
     }

@@ -3,7 +3,7 @@
 use crate::args::{ArgError, Args};
 use deepsd::trainer::{evaluate_model, train};
 use deepsd::{
-    load_checkpoint, save_checkpoint, DeepSD, EnvBlocks, ModelConfig, OnlinePredictor,
+    load_checkpoint, save_checkpoint, DeepSD, EnvBlocks, ModelConfig, OnlinePredictor, Telemetry,
     TrainOptions, Variant,
 };
 use deepsd_baselines::EmpiricalAverage;
@@ -33,10 +33,11 @@ USAGE:
                       [--train-days 7..24] [--eval-days 24..38]
                       [--epochs 10] [--window 20] [--dropout 0.3]
                       [--lr 0.001] [--best-k 4] [--threads 0]
+                      [--metrics-out metrics.json]
   deepsd-cli evaluate --data data.dsd --model model.json [--test-days 24..38]
-                      [--threads 0]
+                      [--threads 0] [--metrics-out metrics.json]
   deepsd-cli predict  --data data.dsd --model model.json --day 30 --t 480
-                      [--area 3] [--threads 0]
+                      [--area 3] [--threads 0] [--metrics-out metrics.json]
                       [--ingest-policy reject|drop-late|reorder:<minutes>]
                       [--fault-shuffle 5] [--fault-drop 0.1] [--fault-dup 0.1]
                       [--fault-seed 7]
@@ -51,8 +52,21 @@ the predictions. `train` writes checksummed checkpoints; `evaluate` and
 `predict` verify them on load (legacy bare-JSON models still load).
 `--threads` sets the worker-thread count for the parallel kernels, the
 training shard pool and batch scoring (0 = auto-detect); results are
-bit-identical at any thread count.
+bit-identical at any thread count. `--metrics-out` writes a telemetry
+JSON snapshot (counters, gauges, latency histograms, per-epoch training
+events) next to the command's normal output.
 ";
+
+/// Writes the telemetry JSON snapshot to `--metrics-out` when the flag
+/// is present; a fresh registry is created either way so instrumented
+/// paths always have a sink.
+fn write_metrics_out(args: &Args, telemetry: &Telemetry) -> CmdResult {
+    if let Some(path) = args.get("metrics-out") {
+        telemetry.write_json(path)?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
+}
 
 /// `simulate`: generate a dataset and write it as a binary blob.
 pub fn simulate(args: &Args) -> CmdResult {
@@ -143,6 +157,7 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         "history-window",
         "stride",
         "threads",
+        "metrics-out",
     ])?;
     let ds = load_dataset(args)?;
     let out = args.require("out")?;
@@ -187,11 +202,13 @@ pub fn train_cmd(args: &Args) -> CmdResult {
     );
 
     let mut model = DeepSD::new(mcfg);
+    let telemetry = Telemetry::new();
     let opts = TrainOptions {
         epochs: args.get_or("epochs", 10usize)?,
         best_k: args.get_or("best-k", 4usize)?,
         learning_rate: args.get_or("lr", 1e-3f32)?,
         threads: args.get_or("threads", 0usize)?,
+        telemetry: Some(telemetry.clone()),
         ..TrainOptions::default()
     };
     let report = train(&mut model, &mut fx, &tr, &eval_items, &opts);
@@ -216,6 +233,14 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         "wrote {out} ({} parameters, checksummed)",
         model.num_parameters()
     );
+    // Training is offline — ingest counters are legitimately zero and
+    // the feed gauges reflect the eval window — but recording both
+    // keeps every snapshot section present for downstream dashboards.
+    telemetry.record_ingest(&Default::default());
+    telemetry.record_feeds(&fx.feed_status(eval_days.start, 0));
+    telemetry.set_gauge("train_final_mae", report.final_mae);
+    telemetry.set_gauge("train_final_rmse", report.final_rmse);
+    write_metrics_out(args, &telemetry)?;
     Ok(())
 }
 
@@ -235,6 +260,7 @@ pub fn evaluate(args: &Args) -> CmdResult {
         "history-window",
         "stride",
         "threads",
+        "metrics-out",
     ])?;
     deepsd::set_num_threads(args.get_or("threads", 0usize)?);
     let ds = load_dataset(args)?;
@@ -249,6 +275,13 @@ pub fn evaluate(args: &Args) -> CmdResult {
     let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
     let te = test_keys(ds.n_areas() as u16, test_days.clone(), &fcfg);
     let items = fx.extract_all(&te);
+    if items.is_empty() {
+        // Reachable with a degenerate --test-days range; a typed error
+        // beats the assertion abort inside evaluate_model.
+        return Err(Box::new(ArgError(format!(
+            "--test-days {test_days:?} yields no test items"
+        ))));
+    }
     let eval = evaluate_model(&model, &items, 256);
 
     // Context baseline: empirical average fitted on the preceding days.
@@ -265,6 +298,11 @@ pub fn evaluate(args: &Args) -> CmdResult {
             avg_eval.mae, avg_eval.rmse
         );
     }
+    let telemetry = Telemetry::new();
+    telemetry.set_gauge("eval_mae", eval.mae);
+    telemetry.set_gauge("eval_rmse", eval.rmse);
+    telemetry.set_gauge("eval_items", eval.n as f64);
+    write_metrics_out(args, &telemetry)?;
     Ok(())
 }
 
@@ -289,6 +327,7 @@ pub fn predict(args: &Args) -> CmdResult {
         "blackout-weather",
         "blackout-traffic",
         "threads",
+        "metrics-out",
     ])?;
     deepsd::set_num_threads(args.get_or("threads", 0usize)?);
     let ds = load_dataset(args)?;
@@ -331,7 +370,9 @@ pub fn predict(args: &Args) -> CmdResult {
 
     let mut fx = FeatureExtractor::new(&ds, fcfg);
     fx.set_feed_health(health);
+    let telemetry = Telemetry::new();
     let mut predictor = OnlinePredictor::with_policy(model, fx, policy);
+    predictor.set_telemetry(telemetry.clone());
     for area in 0..ds.n_areas() as u16 {
         let stream: Vec<Order> = ds
             .orders(area)
@@ -355,5 +396,6 @@ pub fn predict(args: &Args) -> CmdResult {
             area, report.predictions[area as usize], actual
         );
     }
+    write_metrics_out(args, &telemetry)?;
     Ok(())
 }

@@ -402,3 +402,154 @@ fn corrupt_checkpoint_is_rejected_with_typed_error() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn metrics_out_writes_telemetry_snapshot() {
+    let dir = tmpdir("metrics");
+    let data = dir.join("c.dsd");
+    let model = dir.join("m.ckpt");
+    let train_metrics = dir.join("train_metrics.json");
+    let predict_metrics = dir.join("predict_metrics.json");
+    assert!(bin()
+        .args([
+            "simulate",
+            "--out",
+            data.to_str().unwrap(),
+            "--areas",
+            "4",
+            "--days",
+            "12",
+            "--seed",
+            "5"
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    let out = bin()
+        .args([
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--variant",
+            "basic",
+            "--epochs",
+            "2",
+            "--window",
+            "8",
+            "--train-days",
+            "7..10",
+            "--eval-days",
+            "10..12",
+            "--stride",
+            "60",
+            "--metrics-out",
+            train_metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run train");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let snapshot = std::fs::read_to_string(&train_metrics).expect("train metrics written");
+    // The acceptance contract: per-epoch events, ingest counters and
+    // feed-health gauges are all present in one snapshot.
+    assert!(snapshot.contains("\"epochs\": ["), "snapshot: {snapshot}");
+    assert!(snapshot.contains("\"train_loss\""), "snapshot: {snapshot}");
+    assert!(snapshot.contains("\"epoch\": 0"), "snapshot: {snapshot}");
+    assert!(snapshot.contains("\"train_epochs_total\""));
+    assert!(snapshot.contains("\"ingest_accepted_total\""));
+    assert!(snapshot.contains("\"feed_weather_state\""));
+    assert!(snapshot.contains("\"time_epoch_seconds\""));
+
+    let out = bin()
+        .args([
+            "predict",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--day",
+            "10",
+            "--t",
+            "480",
+            "--metrics-out",
+            predict_metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run predict");
+    if out.status.success() {
+        // Model loading can fail independently of telemetry (e.g. a
+        // stubbed JSON codec); when predict runs, its snapshot must
+        // carry the serving instrumentation.
+        let snapshot = std::fs::read_to_string(&predict_metrics).expect("predict metrics written");
+        assert!(snapshot.contains("\"serving_predict_calls_total\": 1"));
+        assert!(snapshot.contains("time_serving_predict_latency_seconds"));
+        assert!(snapshot.contains("\"feed_weather_state\""));
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evaluate_with_empty_test_range_errors_without_panicking() {
+    let dir = tmpdir("emptyeval");
+    let data = dir.join("c.dsd");
+    let model = dir.join("m.ckpt");
+    assert!(bin()
+        .args([
+            "simulate",
+            "--out",
+            data.to_str().unwrap(),
+            "--areas",
+            "3",
+            "--days",
+            "10"
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args([
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--epochs",
+            "1",
+            "--window",
+            "8",
+            "--train-days",
+            "7..8",
+            "--eval-days",
+            "8..10",
+            "--stride",
+            "120",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    // A degenerate test window: rejected as a typed error (empty range
+    // or no test items), never an assertion abort.
+    let out = bin()
+        .args([
+            "evaluate",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+            "--test-days",
+            "9..9",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -50,6 +50,7 @@ pub mod config;
 pub mod metrics;
 pub mod model;
 pub mod serving;
+pub mod telemetry;
 pub mod trainer;
 
 pub use checkpoint::{
@@ -58,7 +59,8 @@ pub use checkpoint::{
 };
 pub use config::{Encoding, EnvBlocks, ModelConfig, Variant};
 pub use deepsd_nn::{num_threads, set_num_threads};
-pub use metrics::{evaluate, mae, rmse, thresholded, Evaluation};
+pub use metrics::{evaluate, mae, rmse, thresholded, try_evaluate, try_mae, try_rmse, Evaluation};
 pub use model::{BlockMask, DeepSD, Ensemble, Predictor};
 pub use serving::{OnlinePredictor, ServingReport};
+pub use telemetry::{parse_prometheus, EpochEvent, Telemetry};
 pub use trainer::{train, Loss, TrainOptions, TrainReport};

@@ -73,6 +73,24 @@ pub fn evaluate(pred: &[f32], truth: &[f32]) -> Evaluation {
     }
 }
 
+/// Non-panicking [`mae`]: `None` on empty or length-mismatched input.
+pub fn try_mae(pred: &[f32], truth: &[f32]) -> Option<f64> {
+    (!pred.is_empty() && pred.len() == truth.len()).then(|| mae(pred, truth))
+}
+
+/// Non-panicking [`rmse`]: `None` on empty or length-mismatched input.
+pub fn try_rmse(pred: &[f32], truth: &[f32]) -> Option<f64> {
+    (!pred.is_empty() && pred.len() == truth.len()).then(|| rmse(pred, truth))
+}
+
+/// Non-panicking [`evaluate`]: `None` on empty or length-mismatched
+/// input. The variant for call sites fed by external data (CLI paths,
+/// degraded serving) where an empty prediction set is reachable and
+/// must not abort the process.
+pub fn try_evaluate(pred: &[f32], truth: &[f32]) -> Option<Evaluation> {
+    (!pred.is_empty() && pred.len() == truth.len()).then(|| evaluate(pred, truth))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +146,18 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_panics() {
         let _ = rmse(&[], &[]);
+    }
+
+    #[test]
+    fn try_variants_reject_bad_input_without_panicking() {
+        assert_eq!(try_mae(&[], &[]), None);
+        assert_eq!(try_rmse(&[], &[]), None);
+        assert!(try_evaluate(&[], &[]).is_none());
+        assert_eq!(try_mae(&[1.0], &[1.0, 2.0]), None);
+        let p = vec![0.0, 0.0];
+        let t = vec![3.0, 4.0];
+        assert_eq!(try_mae(&p, &t), Some(mae(&p, &t)));
+        assert_eq!(try_rmse(&p, &t), Some(rmse(&p, &t)));
+        assert_eq!(try_evaluate(&p, &t).unwrap().n, 2);
     }
 }

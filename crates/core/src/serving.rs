@@ -26,6 +26,7 @@
 //! extraction when fed the same orders (see the tests).
 
 use crate::model::{BlockMask, Predictor};
+use crate::telemetry::Telemetry;
 use deepsd_features::{
     Batch, FeatureExtractor, FeedState, FeedStatus, IngestError, IngestPolicy, IngestStats, Item,
     ItemKey, OnlineWindow,
@@ -63,6 +64,9 @@ pub struct OnlinePredictor<'a, P: Predictor> {
     /// pooled gather buffers alive so steady-state serving performs no
     /// per-request tape allocations.
     serve_tape: Tape,
+    /// Metrics sink for latency histograms and health gauges (`None`
+    /// disables telemetry).
+    telemetry: Option<Telemetry>,
 }
 
 impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
@@ -88,7 +92,16 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
             policy,
             stray: IngestStats::default(),
             serve_tape: Tape::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a metrics sink: every `predict_all_report` observes its
+    /// latency into `time_serving_predict_latency_seconds`, bumps
+    /// `serving_predict_calls_total` and mirrors the report's ingest
+    /// counters and feed-health gauges.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Ingests one order from the live stream.
@@ -170,6 +183,7 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
     /// `day` and reports the feed status and ingest counters the
     /// predictions were made under.
     pub fn predict_all_report(&mut self, day: u16, t: u16) -> ServingReport {
+        let started = std::time::Instant::now();
         let n = self.windows.len() as u16;
         let items: Vec<Item> = (0..n).map(|area| self.item(area, day, t)).collect();
         let feeds = self.extractor.feed_status(day, t);
@@ -180,11 +194,21 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
         let chunks: Vec<&[Item]> = items.chunks(SERVE_BATCH).collect();
         let predictions =
             crate::trainer::predict_chunks_masked(&self.model, &chunks, &mask).concat();
-        ServingReport {
+        let report = ServingReport {
             predictions,
             feeds,
             ingest: self.ingest_stats(),
+        };
+        if let Some(tel) = &self.telemetry {
+            tel.inc_counter("serving_predict_calls_total");
+            tel.observe(
+                "time_serving_predict_latency_seconds",
+                started.elapsed().as_secs_f64(),
+            );
+            tel.record_ingest(&report.ingest);
+            tel.record_feeds(&report.feeds);
         }
+        report
     }
 
     /// Predicts the gap of every area for the window `[t, t + C)` of

@@ -3,6 +3,7 @@
 
 use crate::metrics::{evaluate, Evaluation};
 use crate::model::{BlockMask, DeepSD, Ensemble, Predictor};
+use crate::telemetry::{EpochEvent, Telemetry};
 use deepsd_features::{Batch, FeatureExtractor, Item, ItemKey};
 use deepsd_nn::{seeded_rng, Adam, GradMap, Matrix, ShardPool, Snapshot, Tape};
 use rand::seq::SliceRandom;
@@ -54,6 +55,10 @@ pub struct TrainOptions {
     /// latency for CPU.
     #[serde(default)]
     pub threads: usize,
+    /// Metrics sink for per-epoch events and shard/step timings
+    /// (`None` disables telemetry; never serialised).
+    #[serde(skip)]
+    pub telemetry: Option<Telemetry>,
 }
 
 fn default_max_divergence_recoveries() -> usize {
@@ -73,6 +78,7 @@ impl Default for TrainOptions {
             seed: 99,
             max_divergence_recoveries: default_max_divergence_recoveries(),
             threads: 0,
+            telemetry: None,
         }
     }
 }
@@ -191,6 +197,15 @@ pub fn train_ensemble(
     let mut pool = ShardPool::new(options.threads);
     let mut grads = GradMap::default();
 
+    // Telemetry sink for epoch events and shard/step timings.
+    // `DEEPSD_SHARD_PROF` keeps working without a configured sink: it
+    // gets a local registry that backs the stderr summary alone.
+    let shard_prof = std::env::var("DEEPSD_SHARD_PROF").is_ok();
+    let telemetry = options
+        .telemetry
+        .clone()
+        .or_else(|| shard_prof.then(Telemetry::new));
+
     // Divergence guard: the parameters we can safely fall back to when a
     // batch loss or evaluation turns non-finite.
     let mut last_good = Rc::new(model.snapshot());
@@ -252,10 +267,15 @@ pub fn train_ensemble(
             t_step += t1.elapsed().as_secs_f64();
         }
         let seconds = started.elapsed().as_secs_f64();
-        if std::env::var("DEEPSD_SHARD_PROF").is_ok() {
-            eprintln!(
-                "[prof] epoch {epoch}: total={seconds:.3}s run={t_run:.3}s step={t_step:.3}s"
-            );
+        let lr_used = adam.lr as f64;
+        if let Some(tel) = &telemetry {
+            tel.set_gauge("time_epoch_seconds", seconds);
+            tel.set_gauge("time_epoch_shard_run_seconds", t_run);
+            tel.set_gauge("time_epoch_step_seconds", t_step);
+            tel.observe("time_epoch_seconds_hist", seconds);
+            if shard_prof {
+                eprintln!("{}", tel.shard_prof_line(epoch));
+            }
         }
 
         if !diverged {
@@ -268,9 +288,21 @@ pub fn train_ensemble(
                 // ranking list and the divergence guard.
                 let snap = Rc::new(model.snapshot());
                 snapshots.push((eval.rmse, Rc::clone(&snap)));
+                let train_loss = loss_sum / batches.max(1) as f64;
+                if let Some(tel) = &telemetry {
+                    tel.record_epoch(EpochEvent {
+                        epoch,
+                        train_loss,
+                        eval_mae: eval.mae,
+                        eval_rmse: eval.rmse,
+                        learning_rate: lr_used,
+                        divergence_recoveries: recoveries as u64,
+                        time_seconds: seconds,
+                    });
+                }
                 epochs.push(EpochStats {
                     epoch,
-                    train_loss: loss_sum / batches.max(1) as f64,
+                    train_loss,
                     eval_mae: eval.mae,
                     eval_rmse: eval.rmse,
                     seconds,
@@ -289,10 +321,20 @@ pub fn train_ensemble(
         // were computed from the diverging trajectory).
         model.restore(&last_good);
         recoveries += 1;
+        if let Some(tel) = &telemetry {
+            tel.inc_counter("train_divergence_rollbacks_total");
+        }
         if recoveries > options.max_divergence_recoveries {
             break;
         }
         adam = Adam::new(adam.lr * 0.5, 0.9, 0.999, 1e-8);
+    }
+
+    if let Some(tel) = &telemetry {
+        let pool_stats = pool.stats();
+        tel.set_counter("train_shard_pool_runs_total", pool_stats.runs);
+        tel.set_counter("train_shard_pool_shards_total", pool_stats.shards);
+        tel.set_gauge("time_shard_pool_busy_seconds", pool_stats.busy_seconds);
     }
 
     if snapshots.is_empty() {

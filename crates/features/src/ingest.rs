@@ -140,6 +140,20 @@ impl IngestStats {
         }
     }
 
+    /// Stable `(field_name, value)` view of every counter, in
+    /// declaration order. The canonical field list for exporters (the
+    /// telemetry layer mirrors these into `ingest_<field>_total`).
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
+        [
+            ("accepted", self.accepted),
+            ("reordered", self.reordered),
+            ("dropped_late", self.dropped_late),
+            ("duplicates_dropped", self.duplicates_dropped),
+            ("unknown_area", self.unknown_area),
+            ("rejected", self.rejected),
+        ]
+    }
+
     /// Orders that did not make it into the feature windows.
     pub fn lost(&self) -> u64 {
         self.dropped_late + self.duplicates_dropped + self.unknown_area + self.rejected

@@ -64,5 +64,5 @@ pub use layers::{Activation, Dense, Embedding, OneHot, SoftmaxLayer};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
 pub use params::{ParamId, ParamStore, Snapshot};
-pub use shard::{ShardJob, ShardPool, SHARD_ROWS};
+pub use shard::{ShardJob, ShardPool, ShardPoolStats, SHARD_ROWS};
 pub use tape::{BackwardScratch, Grad, GradMap, NodeId, Tape};

@@ -88,6 +88,18 @@ pub struct ShardPool {
     /// Autodiff state for the calling thread (serial path).
     serial_state: WorkerState,
     shard_grads: Vec<GradMap>,
+    stats: ShardPoolStats,
+}
+
+/// Cumulative counters for a pool's lifetime, for telemetry export.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardPoolStats {
+    /// Completed [`ShardPool::run`] calls (batches).
+    pub runs: u64,
+    /// Shards processed across all runs.
+    pub shards: u64,
+    /// Wall-clock seconds spent inside `run` (dispatch + reduction).
+    pub busy_seconds: f64,
 }
 
 impl ShardPool {
@@ -108,7 +120,13 @@ impl ShardPool {
             done_rx,
             serial_state: WorkerState::default(),
             shard_grads: Vec::new(),
+            stats: ShardPoolStats::default(),
         }
+    }
+
+    /// Cumulative run/shard/wall-time counters since pool creation.
+    pub fn stats(&self) -> ShardPoolStats {
+        self.stats
     }
 
     /// Spawns persistent workers until at least `n` exist. Each worker
@@ -162,6 +180,7 @@ impl ShardPool {
         F: Fn(ShardJob<'_>) -> T + Sync,
     {
         assert!(n_items > 0, "ShardPool::run needs at least one item");
+        let run_started = std::time::Instant::now();
         let shards = Self::num_shards(n_items);
         let workers = self.workers.min(shards).max(1);
         if self.shard_grads.len() < shards {
@@ -257,6 +276,9 @@ impl ShardPool {
         for grads in &mut self.shard_grads[..shards] {
             out.merge_from(grads);
         }
+        self.stats.runs += 1;
+        self.stats.shards += shards as u64;
+        self.stats.busy_seconds += run_started.elapsed().as_secs_f64();
         results
             .into_iter()
             .map(|r| r.expect("every shard ran"))
