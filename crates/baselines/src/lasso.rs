@@ -115,6 +115,7 @@ impl Lasso {
                 let rho = dot / n as f32 + coef[f] * col_norm[f];
                 let new = soft_threshold(rho, params.alpha) / col_norm[f];
                 let delta = new - coef[f];
+                // deepsd-lint: allow(float-eq, reason="exact-zero skip: soft-threshold emits a bit-exact 0.0 for pruned coefficients")
                 if delta != 0.0 {
                     for (x, r) in col.iter().zip(residual.iter_mut()) {
                         *r -= delta * x;
@@ -147,6 +148,7 @@ impl Lasso {
             .zip(self.coef.iter())
             .zip(self.mean.iter().zip(self.scale.iter()))
         {
+            // deepsd-lint: allow(float-eq, reason="exact-zero skip over lasso-pruned coefficients; 0.0 is bit-exact, not approximate")
             if c != 0.0 {
                 out += c * (v - m) / s;
             }
@@ -161,6 +163,7 @@ impl Lasso {
 
     /// Number of non-zero coefficients.
     pub fn nnz(&self) -> usize {
+        // deepsd-lint: allow(float-eq, reason="sparsity count: pruned coefficients are bit-exact 0.0 by construction")
         self.coef.iter().filter(|&&c| c != 0.0).count()
     }
 

@@ -30,6 +30,8 @@
 //! ```
 
 #![warn(missing_docs)]
+// Exact float comparisons in tests assert bit-reproducibility on purpose.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 pub mod average;
 pub mod binning;

@@ -20,6 +20,20 @@ use std::fs;
 /// Top-level error type for commands.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
 
+/// Data-dependent validation failure at run time (the flags were well
+/// formed; the data disagreed). Unlike [`ArgError`] it exits 1 without
+/// the usage text.
+#[derive(Debug)]
+pub struct RunError(pub String);
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Usage text.
 pub const USAGE: &str = "\
 deepsd-cli — DeepSD (ICDE 2017) supply-demand gap prediction
@@ -278,7 +292,7 @@ pub fn evaluate(args: &Args) -> CmdResult {
     if items.is_empty() {
         // Reachable with a degenerate --test-days range; a typed error
         // beats the assertion abort inside evaluate_model.
-        return Err(Box::new(ArgError(format!(
+        return Err(Box::new(RunError(format!(
             "--test-days {test_days:?} yields no test items"
         ))));
     }
@@ -337,7 +351,7 @@ pub fn predict(args: &Args) -> CmdResult {
     let day: u16 = args.require_parsed("day")?;
     let t: u16 = args.require_parsed("t")?;
     if day >= ds.n_days {
-        return Err(Box::new(ArgError(format!(
+        return Err(Box::new(RunError(format!(
             "--day {day} out of range (dataset has {} days)",
             ds.n_days
         ))));

@@ -3,6 +3,11 @@
 //! Subcommands: `simulate`, `inspect`, `train`, `evaluate`, `predict`.
 //! Run without arguments for usage.
 
+// Serving-critical front end: production code must not unwrap/expect
+// (test code is exempt via clippy.toml's allow-unwrap-in-tests).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
 mod args;
 mod commands;
 
@@ -33,6 +38,13 @@ fn main() {
         }
     };
     if let Err(e) = result {
+        // A usage mistake (missing/garbled flag) prints the usage text
+        // and exits 2 like top-level parse failures; runtime failures
+        // (I/O, bad files) stay exit 1 without the usage wall.
+        if e.is::<args::ArgError>() {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
         eprintln!("error: {e}");
         std::process::exit(1);
     }

@@ -142,13 +142,15 @@ fn helpful_errors() {
     let out = bin().args(["frobnicate"]).output().expect("run unknown");
     assert_eq!(out.status.code(), Some(2));
 
-    // Unknown flag → clear message.
+    // Unknown flag → usage error: clear message + usage text, exit 2.
     let out = bin()
         .args(["simulate", "--oops", "1", "--out", "/tmp/never.dsd"])
         .output()
         .expect("run bad flag");
-    assert_eq!(out.status.code(), Some(1));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"));
+    assert!(stderr.contains("USAGE"));
 
     // Missing file → error, not panic.
     let out = bin()
@@ -534,8 +536,9 @@ fn evaluate_with_empty_test_range_errors_without_panicking() {
         .status()
         .unwrap()
         .success());
-    // A degenerate test window: rejected as a typed error (empty range
-    // or no test items), never an assertion abort.
+    // A degenerate test window: `9..9` is statically malformed, so it
+    // is rejected as a usage error (exit 2 + usage text), never an
+    // assertion abort.
     let out = bin()
         .args([
             "evaluate",
@@ -548,8 +551,9 @@ fn evaluate_with_empty_test_range_errors_without_panicking() {
         ])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    assert!(stderr.contains("empty range"), "stderr: {stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }

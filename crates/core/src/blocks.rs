@@ -204,6 +204,9 @@ impl EnvBlock {
         env: NodeId,
     ) -> NodeId {
         if self.residual {
+            // Invariant: the model wires residual env blocks after an
+            // order block, so `prev` is always present.
+            #[allow(clippy::expect_used)]
             let prev = prev.expect("residual env block needs a previous block");
             let cat = tape.concat(&[prev, env]);
             let h = self.fc1.forward(tape, store, cat);
@@ -340,6 +343,8 @@ impl ExtendedBlock {
         let feats = tape.concat(&[proj_v, proj_e, proj_e_next, est]);
 
         if self.residual && self.has_prev {
+            // Invariant: `has_prev` is set iff the model passes `prev`.
+            #[allow(clippy::expect_used)]
             let prev = prev.expect("extended block expects a previous block output");
             let cat = tape.concat(&[prev, feats]);
             let h1 = self.fc1.forward(tape, store, cat);

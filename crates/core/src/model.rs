@@ -315,6 +315,8 @@ impl DeepSD {
 
         // Block connections (§IV-D / Fig. 14).
         let joined = if cfg.residual {
+            // Invariant: the loop above always pushes at least one block.
+            #[allow(clippy::expect_used)]
             let last = x_prev.expect("at least one order block");
             tape.concat(&[x_id, last])
         } else {
@@ -395,6 +397,8 @@ impl DeepSD {
 
     /// Serialises the whole model (config + blocks + weights) to JSON.
     pub fn to_json(&self) -> String {
+        // Serialising an in-memory model has no fallible inputs.
+        #[allow(clippy::expect_used)]
         serde_json::to_string(self).expect("model serialisation cannot fail")
     }
 

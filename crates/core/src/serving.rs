@@ -113,18 +113,18 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
     /// window, whose policy decides the fate of late or duplicate
     /// orders.
     pub fn observe(&mut self, order: Order) -> Result<(), IngestError> {
-        let area = order.loc_start as usize;
-        if area >= self.windows.len() {
+        let n_areas = self.windows.len();
+        let Some(window) = self.windows.get_mut(order.loc_start as usize) else {
             self.stray.unknown_area += 1;
             return match self.policy {
                 IngestPolicy::Reject => Err(IngestError::UnknownArea {
                     area: order.loc_start,
-                    n_areas: self.windows.len(),
+                    n_areas,
                 }),
                 _ => Ok(()),
             };
-        }
-        self.windows[area].observe(order)
+        };
+        window.observe(order)
     }
 
     /// Ingests a slice of orders, stopping at the first error (strict
@@ -160,13 +160,15 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
     }
 
     /// Builds the feature item for one area at `(day, t)` from the
-    /// streamed state.
-    fn item(&mut self, area: u16, day: u16, t: u16) -> Item {
-        let window = &mut self.windows[area as usize];
+    /// streamed state, or `None` when `area` is outside the deployment.
+    fn item(&mut self, area: u16, day: u16, t: u16) -> Option<Item> {
+        let window = self.windows.get_mut(area as usize)?;
         window.advance_to(day, t);
         let (v_sd, v_lc, v_wt) = window.vectors(t);
-        self.extractor
-            .extract_with_realtime(ItemKey { area, day, t }, &v_sd, &v_lc, &v_wt)
+        Some(
+            self.extractor
+                .extract_with_realtime(ItemKey { area, day, t }, &v_sd, &v_lc, &v_wt),
+        )
     }
 
     /// The block mask for a feed status: a block is skipped only when
@@ -185,7 +187,7 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
     pub fn predict_all_report(&mut self, day: u16, t: u16) -> ServingReport {
         let started = std::time::Instant::now();
         let n = self.windows.len() as u16;
-        let items: Vec<Item> = (0..n).map(|area| self.item(area, day, t)).collect();
+        let items: Vec<Item> = (0..n).filter_map(|area| self.item(area, day, t)).collect();
         let feeds = self.extractor.feed_status(day, t);
         let mask = Self::mask_for(&feeds);
         // Item construction above is sequential (it mutates the per-area
@@ -217,12 +219,18 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
         self.predict_all_report(day, t).predictions
     }
 
-    /// Predicts the gap of one area.
+    /// Predicts the gap of one area. An area outside the deployment
+    /// degrades to a neutral `0.0` gap instead of panicking.
     pub fn predict_area(&mut self, area: u16, day: u16, t: u16) -> f32 {
-        let item = self.item(area, day, t);
+        let Some(item) = self.item(area, day, t) else {
+            return 0.0;
+        };
         let mask = Self::mask_for(&self.extractor.feed_status(day, t));
         self.model
-            .predict_masked_with(&mut self.serve_tape, &Batch::from_items(&[item]), &mask)[0]
+            .predict_masked_with(&mut self.serve_tape, &Batch::from_items(&[item]), &mask)
+            .first()
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// The wrapped model.

@@ -132,7 +132,10 @@ pub struct Telemetry {
 
 impl std::fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("telemetry lock");
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         f.debug_struct("Telemetry")
             .field("counters", &inner.counters.len())
             .field("gauges", &inner.gauges.len())
@@ -148,8 +151,13 @@ impl Telemetry {
         Telemetry::default()
     }
 
+    // Telemetry must never take the process down: a panic elsewhere
+    // poisons the mutex, but the counters inside are still coherent
+    // (every update happens under the lock), so recover the guard.
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("telemetry lock")
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Increments counter `name` by 1.

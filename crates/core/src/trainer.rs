@@ -243,7 +243,7 @@ pub fn train_ensemble(
                 // so the summed shard losses (and therefore the reduced
                 // gradients) equal the whole-batch mean loss.
                 let factor = job.range.len() as f32 / chunk.len() as f32;
-                let scaled = if factor == 1.0 {
+                let scaled = if job.range.len() == chunk.len() {
                     loss
                 } else {
                     job.tape.scale(loss, factor)
@@ -355,8 +355,7 @@ pub fn train_ensemble(
     }
 
     // Best-K model averaging: ensemble over the best epochs' snapshots.
-    // Only finite-RMSE epochs were recorded, so the ordering is total.
-    snapshots.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite RMSE"));
+    snapshots.sort_by(|a, b| a.0.total_cmp(&b.0));
     let k = options.best_k.max(1).min(snapshots.len());
     let members: Vec<DeepSD> = snapshots
         .iter()

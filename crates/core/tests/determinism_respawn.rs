@@ -1,0 +1,117 @@
+//! Cross-process determinism (DESIGN.md §4.4): the timing-stripped
+//! telemetry snapshot and the per-epoch MAE/RMSE trace must be byte
+//! identical across two *fresh processes*, not just two runs inside one
+//! process. This catches anything address- or environment-dependent
+//! (hasher seeds, allocation-order iteration, wall-clock leaks) that an
+//! in-process repeat can never see.
+//!
+//! The test respawns its own binary (`std::env::current_exe`) twice
+//! with an env-gated child mode; the child trains a tiny model and
+//! prints the snapshot plus an exact `f64::to_bits` trace between
+//! markers, and the parent compares the two payloads byte for byte.
+
+use std::process::Command;
+
+const CHILD_ENV: &str = "DEEPSD_DETERMINISM_CHILD";
+const BEGIN: &str = "-----BEGIN DEEPSD TRACE-----";
+const END: &str = "-----END DEEPSD TRACE-----";
+
+/// Child mode: trains a tiny model and prints the determinism payload.
+/// Without the env gate this test is an immediate no-op, so a plain
+/// `cargo test` run never trains here twice.
+#[test]
+fn child_emits_training_trace() {
+    if std::env::var_os(CHILD_ENV).is_none() {
+        return;
+    }
+    use deepsd::trainer::train;
+    use deepsd::{DeepSD, EnvBlocks, ModelConfig, Telemetry, TrainOptions};
+    use deepsd_features::{test_keys, train_keys, FeatureConfig, FeatureExtractor};
+    use deepsd_simdata::{SimConfig, SimDataset};
+
+    let ds = SimDataset::generate(&SimConfig::smoke(61));
+    let fcfg = FeatureConfig {
+        window_l: 8,
+        history_window: 3,
+        train_stride: 60,
+        ..FeatureConfig::default()
+    };
+    let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
+    let tr = train_keys(ds.n_areas() as u16, 7..11, &fcfg);
+    let te = test_keys(ds.n_areas() as u16, 11..13, &fcfg);
+    let eval_items = fx.extract_all(&te);
+
+    let mut mcfg = ModelConfig::basic(ds.n_areas());
+    mcfg.window_l = fcfg.window_l;
+    mcfg.env = EnvBlocks::None;
+    let mut model = DeepSD::new(mcfg);
+
+    let telemetry = Telemetry::new();
+    let opts = TrainOptions {
+        epochs: 2,
+        best_k: 1,
+        threads: 2,
+        telemetry: Some(telemetry.clone()),
+        ..TrainOptions::default()
+    };
+    let report = train(&mut model, &mut fx, &tr, &eval_items, &opts);
+
+    println!("{BEGIN}");
+    println!("{}", telemetry.to_json_without_timings());
+    for e in &report.epochs {
+        // Exact bit patterns: a formatted float could hide a 1-ulp
+        // divergence behind rounding.
+        println!(
+            "epoch {} loss {:016x} mae {:016x} rmse {:016x}",
+            e.epoch,
+            e.train_loss.to_bits(),
+            e.eval_mae.to_bits(),
+            e.eval_rmse.to_bits()
+        );
+    }
+    println!(
+        "final mae {:016x} rmse {:016x}",
+        report.final_mae.to_bits(),
+        report.final_rmse.to_bits()
+    );
+    println!("{END}");
+}
+
+/// Respawns this test binary in child mode and returns the payload
+/// between the markers.
+fn spawn_child() -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(exe)
+        .args(["--exact", "child_emits_training_trace", "--nocapture"])
+        .env(CHILD_ENV, "1")
+        .output()
+        .expect("respawn test binary");
+    assert!(
+        out.status.success(),
+        "child process failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("child stdout is UTF-8");
+    let begin = stdout.find(BEGIN).expect("payload BEGIN marker");
+    let end = stdout.find(END).expect("payload END marker");
+    stdout[begin..end].to_string()
+}
+
+/// Two fresh processes produce byte-identical snapshots and traces.
+#[test]
+fn training_trace_is_byte_identical_across_processes() {
+    let first = spawn_child();
+    assert!(
+        first.contains("train_epochs_total") && first.contains("epoch 0 loss"),
+        "payload looks wrong:\n{first}"
+    );
+    assert!(
+        !first.contains("time_"),
+        "timing metrics leaked into the stripped snapshot"
+    );
+    let second = spawn_child();
+    assert_eq!(
+        first, second,
+        "fresh processes diverged: training or telemetry depends on process state"
+    );
+}

@@ -2,6 +2,9 @@
 //! contract of the snapshot, serving instrumentation, and the
 //! Prometheus exposition round-trip on real training output.
 
+// Exact float comparisons here assert bit-reproducibility on purpose.
+#![allow(clippy::float_cmp)]
+
 use deepsd::trainer::train;
 use deepsd::{
     parse_prometheus, DeepSD, EnvBlocks, ModelConfig, OnlinePredictor, Telemetry, TrainOptions,

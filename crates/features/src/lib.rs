@@ -28,6 +28,11 @@
 //! ```
 
 #![warn(missing_docs)]
+// Serving-critical crate: production code must not unwrap/expect (test
+// code is exempt via clippy.toml's allow-unwrap-in-tests). Exact float
+// comparisons in tests assert bit-reproducibility on purpose.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 pub mod batch;
 pub mod config;

@@ -138,10 +138,11 @@ impl OnlineWindow {
 
     /// Inserts a late order keeping the buffer sorted by `ts`.
     fn insert_sorted(&mut self, order: Order) {
-        let mut idx = self.buffer.len();
-        while idx > 0 && self.buffer[idx - 1].ts > order.ts {
-            idx -= 1;
-        }
+        let idx = self
+            .buffer
+            .iter()
+            .rposition(|o| o.ts <= order.ts)
+            .map_or(0, |p| p + 1);
         self.buffer.insert(idx, order);
     }
 
@@ -183,17 +184,22 @@ impl OnlineWindow {
     /// of the current day — unscaled counts, exactly matching the offline
     /// [`crate::vectors`] semantics.
     ///
-    /// # Panics
-    /// Panics if `t < L`.
+    /// When `t < L` the window would cross midnight; there is no valid
+    /// data to count and the vectors degrade to all-zero instead of
+    /// panicking on the request path.
     pub fn vectors(&self, t: u16) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
         let l = self.l as usize;
-        assert!(t >= self.l, "window [t-L, t) crosses midnight: t={t}");
-        let from = t - self.l;
         let mut v_sd = vec![0.0f32; 2 * l];
         let mut v_lc = vec![0.0f32; 2 * l];
         let mut v_wt = vec![0.0f32; 2 * l];
+        if t < self.l {
+            return (v_sd, v_lc, v_wt);
+        }
+        let from = t - self.l;
 
         // Group the in-window orders per passenger, preserving order.
+        // (Iteration order of the map only feeds commutative integer
+        // `+= 1.0` accumulations, so the vectors stay deterministic.)
         let mut per_pid: std::collections::HashMap<u32, Vec<&Order>> =
             std::collections::HashMap::new();
         for o in &self.buffer {
@@ -202,20 +208,27 @@ impl OnlineWindow {
             }
             let ell = (t - o.ts) as usize;
             let slot = if o.valid { ell - 1 } else { l + ell - 1 };
-            v_sd[slot] += 1.0;
+            if let Some(c) = v_sd.get_mut(slot) {
+                *c += 1.0;
+            }
             per_pid.entry(o.pid).or_default().push(o);
         }
         for chain in per_pid.values() {
-            let first = chain[0];
-            let last = chain[chain.len() - 1];
+            let (Some(first), Some(last)) = (chain.first(), chain.last()) else {
+                continue;
+            };
             // Last-call vector: the pid counts at its final in-window call.
             let ell = (t - last.ts) as usize;
             let slot = if last.valid { ell - 1 } else { l + ell - 1 };
-            v_lc[slot] += 1.0;
+            if let Some(c) = v_lc.get_mut(slot) {
+                *c += 1.0;
+            }
             // Waiting-time vector: span from first to last in-window call.
-            let wait = ((last.ts - first.ts) as usize).min(l - 1);
+            let wait = ((last.ts - first.ts) as usize).min(l.saturating_sub(1));
             let slot = if last.valid { wait } else { l + wait };
-            v_wt[slot] += 1.0;
+            if let Some(c) = v_wt.get_mut(slot) {
+                *c += 1.0;
+            }
         }
         (v_sd, v_lc, v_wt)
     }

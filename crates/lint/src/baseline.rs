@@ -1,0 +1,157 @@
+//! The ratchet baseline: `lint-baseline.txt`.
+//!
+//! The baseline records, per `(rule, file)`, how many findings are
+//! tolerated. `--check` fails only when a pair's live count exceeds its
+//! baselined count (or a new pair appears), so the tool lands green on
+//! an imperfect tree and every subsequent PR may only hold the line or
+//! shrink it. Counts instead of line numbers keep the file stable under
+//! unrelated edits that shift code up or down.
+//!
+//! Format: one `rule<TAB>path<TAB>count` per line, sorted by rule then
+//! path, `#` comments and blank lines ignored. Output is byte-stable:
+//! the same tree always serialises to the same file.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Baseline key: rule name and workspace-relative path.
+pub type Key = (String, String);
+
+/// Parsed baseline: tolerated finding count per (rule, path).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<Key, usize>,
+}
+
+impl Baseline {
+    /// Parses the baseline file format. Unparseable lines are errors —
+    /// a silently dropped entry would loosen the ratchet.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let (rule, path, count) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(p), Some(c)) => (r, p, c),
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected rule<TAB>path<TAB>count, got '{line}'",
+                        idx + 1
+                    ))
+                }
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count '{count}'", idx + 1))?;
+            counts.insert((rule.to_string(), path.to_string()), count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Builds a baseline from live findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<Key, usize> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.rule.to_string(), f.path.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Serialises to the canonical sorted text form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# deepsd-lint ratchet baseline — tolerated findings per (rule, file).\n\
+             # Regenerate with `cargo run -p deepsd-lint -- --update-baseline`.\n\
+             # Shrinking a count (or deleting a line) is always allowed; growing one fails CI.\n",
+        );
+        for ((rule, path), count) in &self.counts {
+            out.push_str(&format!("{rule}\t{path}\t{count}\n"));
+        }
+        out
+    }
+
+    /// Compares live findings against the baseline. Returns the
+    /// regressions (pairs over budget, with the excess) and the stale
+    /// entries (baselined pairs whose live count shrank — informational
+    /// only).
+    pub fn check(&self, live: &Baseline) -> (Vec<(Key, usize, usize)>, Vec<(Key, usize, usize)>) {
+        let mut over = Vec::new();
+        let mut stale = Vec::new();
+        for (key, &n) in &live.counts {
+            let allowed = self.counts.get(key).copied().unwrap_or(0);
+            if n > allowed {
+                over.push((key.clone(), n, allowed));
+            }
+        }
+        for (key, &allowed) in &self.counts {
+            let n = live.counts.get(key).copied().unwrap_or(0);
+            if n < allowed {
+                stale.push((key.clone(), n, allowed));
+            }
+        }
+        (over, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            msg: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_stable() {
+        let findings = vec![
+            finding("cast-truncate", "crates/simdata/src/types.rs"),
+            finding("cast-truncate", "crates/simdata/src/types.rs"),
+            finding("float-eq", "crates/core/src/metrics.rs"),
+        ];
+        let b = Baseline::from_findings(&findings);
+        let text = b.render();
+        let reparsed = Baseline::parse(&text).unwrap();
+        assert_eq!(b, reparsed);
+        assert_eq!(text, reparsed.render());
+        assert!(text.contains("cast-truncate\tcrates/simdata/src/types.rs\t2"));
+    }
+
+    #[test]
+    fn over_budget_and_new_pairs_fail() {
+        let base = Baseline::from_findings(&[finding("float-eq", "a.rs")]);
+        let live = Baseline::from_findings(&[
+            finding("float-eq", "a.rs"),
+            finding("float-eq", "a.rs"),
+            finding("cast-truncate", "b.rs"),
+        ]);
+        let (over, stale) = base.check(&live);
+        assert_eq!(over.len(), 2);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn shrinking_is_allowed_and_reported_as_stale() {
+        let base = Baseline::parse("float-eq\ta.rs\t3\n").unwrap();
+        let live = Baseline::from_findings(&[finding("float-eq", "a.rs")]);
+        let (over, stale) = base.check(&live);
+        assert!(over.is_empty());
+        assert_eq!(stale, vec![(("float-eq".into(), "a.rs".into()), 1, 3)]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored_but_garbage_rejected() {
+        assert!(Baseline::parse("# comment\n\nfloat-eq\ta.rs\t1\n").is_ok());
+        assert!(Baseline::parse("not a baseline line\n").is_err());
+        assert!(Baseline::parse("float-eq\ta.rs\tmany\n").is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! `deepsd-lint` — workspace invariant checker (DESIGN.md §4.5).
+//!
+//! Walks every `crates/*/src/**/*.rs` file and enforces the repo's
+//! determinism, panic-safety and telemetry-hygiene invariants as named
+//! rules, ratcheted against the committed `lint-baseline.txt`.
+//!
+//! ```text
+//! cargo run -p deepsd-lint -- --check            # CI gate (exit 1 on regression)
+//! cargo run -p deepsd-lint -- --list             # print every live finding
+//! cargo run -p deepsd-lint -- --update-baseline  # rewrite lint-baseline.txt
+//! ```
+//!
+//! Output is byte-identical across runs on the same tree: files are
+//! walked in sorted order and findings are reported in (path, line,
+//! rule) order.
+
+mod baseline;
+mod lexer;
+mod rules;
+
+use baseline::Baseline;
+use rules::Finding;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "lint-baseline.txt";
+
+const USAGE: &str = "\
+deepsd-lint — DeepSD workspace invariant checker
+
+USAGE:
+    deepsd-lint [--root DIR] (--check | --list | --update-baseline | --list-rules)
+
+MODES:
+    --check            exit 1 if any finding exceeds lint-baseline.txt (CI gate)
+    --list             print every live finding
+    --update-baseline  rewrite lint-baseline.txt from the current tree
+    --list-rules       print the rule names
+
+OPTIONS:
+    --root DIR         workspace root (default: nearest ancestor with a crates/ dir)
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("deepsd-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let mut mode: Option<&str> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" | "--list" | "--update-baseline" | "--list-rules" => {
+                if mode.is_some() {
+                    return Err("more than one mode given".to_string());
+                }
+                mode = Some(match arg.as_str() {
+                    "--check" => "check",
+                    "--list" => "list",
+                    "--update-baseline" => "update",
+                    _ => "rules",
+                });
+            }
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory")?;
+                root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    let Some(mode) = mode else {
+        print!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+
+    if mode == "rules" {
+        for rule in rules::RULES {
+            println!("{rule}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    let findings = lint_workspace(&root)?;
+
+    match mode {
+        "list" => {
+            for f in &findings {
+                println!("{}", f.render());
+            }
+            println!("{} finding(s)", findings.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        "update" => {
+            let text = Baseline::from_findings(&findings).render();
+            std::fs::write(root.join(BASELINE_FILE), &text)
+                .map_err(|e| format!("writing {BASELINE_FILE}: {e}"))?;
+            println!(
+                "wrote {BASELINE_FILE}: {} finding(s) across {} (rule, file) pair(s)",
+                findings.len(),
+                Baseline::from_findings(&findings).counts.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let base_path = root.join(BASELINE_FILE);
+            let base = match std::fs::read_to_string(&base_path) {
+                Ok(text) => Baseline::parse(&text)?,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+                Err(e) => return Err(format!("reading {BASELINE_FILE}: {e}")),
+            };
+            let live = Baseline::from_findings(&findings);
+            let (over, stale) = base.check(&live);
+            for ((rule, path), n, _) in &stale {
+                println!("note: baseline for {rule} in {path} can shrink to {n}");
+            }
+            if over.is_empty() {
+                println!(
+                    "deepsd-lint: clean ({} finding(s), all within baseline)",
+                    findings.len()
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            println!("deepsd-lint: {} regression(s) over baseline:", over.len());
+            for ((rule, path), n, allowed) in &over {
+                println!("  {rule} in {path}: {n} finding(s), baseline allows {allowed}");
+                for f in findings
+                    .iter()
+                    .filter(|f| f.rule == rule && &f.path == path)
+                {
+                    println!("    {}:{} {}", f.path, f.line, f.msg);
+                }
+            }
+            println!(
+                "fix the findings, add `// deepsd-lint: allow(rule, reason=\"…\")`, or run \
+                 `cargo run -p deepsd-lint -- --update-baseline` and justify the growth in review"
+            );
+            Ok(ExitCode::FAILURE)
+        }
+        _ => unreachable!("mode is validated above"),
+    }
+}
+
+/// Nearest ancestor of the current directory containing `crates/`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        if dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no workspace root with a crates/ directory found; use --root".to_string());
+        }
+    }
+}
+
+/// Lints every `crates/*/src/**/*.rs` file under `root`, in sorted
+/// order, and returns the findings sorted by (path, line, rule).
+fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let crates =
+        sorted_dir(&crates_dir).map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+    for krate in crates {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files).map_err(|e| format!("walking {}: {e}", src.display()))?;
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        findings.extend(rules::lint_file(&rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Directory entries, sorted by path for deterministic walking.
+fn sorted_dir(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+/// Recursively collects `.rs` files.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for path in sorted_dir(dir)? {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

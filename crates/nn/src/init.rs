@@ -42,6 +42,7 @@ impl Init {
 }
 
 fn sample_uniform(rows: usize, cols: usize, a: f32, rng: &mut StdRng) -> Matrix {
+    // deepsd-lint: allow(float-eq, reason="exact-identity fast path for a degenerate zero-width uniform range")
     if a == 0.0 {
         return Matrix::zeros(rows, cols);
     }

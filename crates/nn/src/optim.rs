@@ -214,6 +214,7 @@ impl Sgd {
             let idx = id.index();
             let value = store.get_mut(id);
             let (rows, cols) = value.shape();
+            // deepsd-lint: allow(float-eq, reason="exact-identity check selecting the momentum-free SGD kernel; 0.0 is a configured constant")
             if self.momentum == 0.0 {
                 match grad {
                     Grad::Dense(g) => sgd_plain_slice(value.as_mut_slice(), g.as_slice(), self.lr),

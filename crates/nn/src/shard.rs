@@ -180,6 +180,7 @@ impl ShardPool {
         F: Fn(ShardJob<'_>) -> T + Sync,
     {
         assert!(n_items > 0, "ShardPool::run needs at least one item");
+        // deepsd-lint: allow(determinism-wallclock, reason="measures pool wall time for the trainer's time_shard_run_seconds gauge; never branches on the reading")
         let run_started = std::time::Instant::now();
         let shards = Self::num_shards(n_items);
         let workers = self.workers.min(shards).max(1);
@@ -245,6 +246,9 @@ impl ShardPool {
                 // reported completion (even a panicking one, which the
                 // worker catches and forwards), so no task can run after
                 // those borrows end.
+                // The one sanctioned `unsafe` in the workspace (the
+                // `[workspace.lints]` table denies it everywhere else).
+                #[allow(unsafe_code)]
                 let task: Task = unsafe {
                     std::mem::transmute::<
                         Box<dyn FnOnce(&mut WorkerState) + Send + '_>,

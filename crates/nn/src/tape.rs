@@ -309,6 +309,7 @@ impl GradMap {
     /// Returns the factor applied (1.0 when no clipping was needed).
     pub fn clip_max_abs(&mut self, limit: f32) -> f32 {
         let max = self.max_abs();
+        // deepsd-lint: allow(float-eq, reason="exact-zero guard against dividing by a zero gradient norm")
         if max <= limit || max == 0.0 {
             return 1.0;
         }
@@ -569,6 +570,7 @@ impl Tape {
             let basis_row = basis.row(r);
             let out_row = value.row_mut(r);
             for (ki, &wk) in w_row.iter().enumerate() {
+                // deepsd-lint: allow(float-eq, reason="exact-zero skip over structurally-sparse weights")
                 if wk == 0.0 {
                     continue;
                 }
@@ -596,6 +598,7 @@ impl Tape {
     /// Panics unless `0 <= rate < 1`.
     pub fn dropout(&mut self, x: NodeId, rate: f32, rng: &mut StdRng) -> NodeId {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        // deepsd-lint: allow(float-eq, reason="exact-identity fast path: rate is a configured constant, 0.0 means dropout disabled")
         if rate == 0.0 {
             return x;
         }

@@ -2,6 +2,9 @@
 //! evaluate, exercising the public APIs exactly as a downstream user
 //! would.
 
+// Exact float comparisons here assert bit-reproducibility on purpose.
+#![allow(clippy::float_cmp)]
+
 use deepsd::trainer::{evaluate_model, predict_items, train};
 use deepsd::{DeepSD, EnvBlocks, ModelConfig, TrainOptions};
 use deepsd_baselines::EmpiricalAverage;

@@ -1,6 +1,9 @@
 //! Edge-case and failure-injection integration tests: degenerate
 //! simulations, cold-start histories, and API misuse panics.
 
+// Exact float comparisons here assert bit-reproducibility on purpose.
+#![allow(clippy::float_cmp)]
+
 use deepsd::{DeepSD, ModelConfig, Predictor};
 use deepsd_features::{Batch, FeatureConfig, FeatureExtractor, ItemKey};
 use deepsd_simdata::{CityConfig, OrderGenConfig, SimConfig, SimDataset};
