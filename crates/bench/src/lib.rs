@@ -8,7 +8,9 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod loadgen;
 pub mod report;
 
 pub use harness::{Pipeline, Scale};
+pub use loadgen::{run_load, LoadGenConfig, LoadReport};
 pub use report::Report;

@@ -1,0 +1,333 @@
+//! Closed-loop load generator and chaos-client executors for the
+//! `deepsd-serve` daemon.
+//!
+//! The generator is *closed-loop*: each client thread issues its next
+//! request only after the previous one resolves, with exponential
+//! backoff + seeded jitter on shed (`429`) responses — the polite-client
+//! protocol the daemon's `Retry-After` advertises. Which requests turn
+//! hostile is decided by a pure [`NetFaultPlan`] from `deepsd-simdata`,
+//! so a drill replays the same fault schedule for the same seed; this
+//! module only *executes* those faults at the socket layer (garbage
+//! bytes, truncated bodies, mid-head stalls, silent resets).
+
+use deepsd_simdata::{NetFault, NetFaultPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One load-generation run against a bound daemon.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Requests each client issues (before retries).
+    pub requests_per_client: usize,
+    /// Seed for per-client jitter and slot choice.
+    pub seed: u64,
+    /// Network-fault schedule (default = all requests clean).
+    pub plan: NetFaultPlan,
+    /// Day queried by predict requests.
+    pub day: u16,
+    /// Half-open minute range predict requests draw `t` from.
+    pub t_range: (u16, u16),
+    /// Retry budget per logical request after a shed or IO error.
+    pub max_retries: u32,
+    /// Base backoff; attempt `k` waits `base * 2^k` plus jitter.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            clients: 4,
+            requests_per_client: 25,
+            seed: 0,
+            plan: NetFaultPlan::default(),
+            day: 10,
+            t_range: (600, 1000),
+            max_retries: 3,
+            base_backoff_ms: 5,
+        }
+    }
+}
+
+/// Aggregated outcome of a run (merged across client threads).
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Logical requests issued (hostile ones included).
+    pub attempted: u64,
+    /// `200` responses.
+    pub ok: u64,
+    /// `429` shed responses observed (per attempt, before retries).
+    pub shed: u64,
+    /// `503` responses (deadline expiry, drain, breaker).
+    pub unavailable: u64,
+    /// `4xx` answers to deliberately hostile requests.
+    pub rejected: u64,
+    /// `408` answers to stalled (slow-loris) requests.
+    pub timed_out: u64,
+    /// Sockets that failed mid-request.
+    pub io_errors: u64,
+    /// Retries spent after sheds and IO errors.
+    pub retries: u64,
+    /// Hostile requests injected by the fault plan.
+    pub chaos_sent: u64,
+    /// Wall-clock seconds the run took.
+    pub elapsed_secs: f64,
+    /// End-to-end latency (ms) of each successful clean request,
+    /// including its backoff/retry time — the client-perceived number.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl LoadReport {
+    fn absorb(&mut self, other: LoadReport) {
+        self.attempted += other.attempted;
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.unavailable += other.unavailable;
+        self.rejected += other.rejected;
+        self.timed_out += other.timed_out;
+        self.io_errors += other.io_errors;
+        self.retries += other.retries;
+        self.chaos_sent += other.chaos_sent;
+        self.latencies_ms.extend(other.latencies_ms);
+    }
+
+    /// Fraction of attempts that were shed (0 when nothing attempted).
+    pub fn shed_rate(&self) -> f64 {
+        let denom = self.attempted + self.retries;
+        if denom == 0 {
+            0.0
+        } else {
+            self.shed as f64 / denom as f64
+        }
+    }
+
+    /// Successful clean requests per second over the run.
+    pub fn achieved_rps(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / self.elapsed_secs
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of successful-request latency in
+    /// milliseconds; 0 when no request succeeded.
+    pub fn latency_quantile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted.get(idx).copied().unwrap_or(0.0)
+    }
+}
+
+/// Runs the configured load against `addr`, blocking until every
+/// client finishes, and returns the merged report.
+pub fn run_load(addr: SocketAddr, config: &LoadGenConfig) -> LoadReport {
+    let started = Instant::now();
+    let mut merged = LoadReport::default();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.clients.max(1))
+            .map(|client| scope.spawn(move || run_client(addr, config, client)))
+            .collect();
+        for worker in workers {
+            if let Ok(part) = worker.join() {
+                merged.absorb(part);
+            }
+        }
+    });
+    merged.elapsed_secs = started.elapsed().as_secs_f64();
+    merged
+}
+
+/// One closed-loop client: issues its share of requests sequentially,
+/// executing whatever fault the plan assigns to each global index.
+fn run_client(addr: SocketAddr, config: &LoadGenConfig, client: usize) -> LoadReport {
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_add(client as u64)
+            .wrapping_mul(0x9e3779b97f4a7c15),
+    );
+    let mut report = LoadReport::default();
+    for r in 0..config.requests_per_client {
+        let index = (client * config.requests_per_client + r) as u64;
+        report.attempted += 1;
+        match config.plan.fault_for(index) {
+            NetFault::None => clean_request(addr, config, &mut rng, &mut report),
+            fault => {
+                report.chaos_sent += 1;
+                chaos_request(addr, fault, &mut report);
+            }
+        }
+    }
+    report
+}
+
+/// A well-formed predict request with retry/backoff-with-jitter.
+fn clean_request(
+    addr: SocketAddr,
+    config: &LoadGenConfig,
+    rng: &mut StdRng,
+    report: &mut LoadReport,
+) {
+    let (lo, hi) = config.t_range;
+    let t = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+    let raw = format!(
+        "GET /predict?day={}&t={t} HTTP/1.1\r\nhost: bench\r\n\r\n",
+        config.day
+    );
+    let started = Instant::now();
+    for attempt in 0..=config.max_retries {
+        if attempt > 0 {
+            report.retries += 1;
+            let base = config.base_backoff_ms << (attempt - 1).min(6);
+            let jitter = rng.gen_range(0..=config.base_backoff_ms.max(1));
+            std::thread::sleep(Duration::from_millis(base + jitter));
+        }
+        match exchange(addr, raw.as_bytes()) {
+            Err(()) => report.io_errors += 1,
+            Ok(status) => match status {
+                200 => {
+                    report.ok += 1;
+                    report
+                        .latencies_ms
+                        .push(started.elapsed().as_secs_f64() * 1000.0);
+                    return;
+                }
+                429 => report.shed += 1,
+                503 => {
+                    report.unavailable += 1;
+                    return;
+                }
+                _ => {
+                    report.rejected += 1;
+                    return;
+                }
+            },
+        }
+    }
+}
+
+/// Executes one hostile request; never retries (the fault *is* the
+/// request) and records how the daemon answered.
+fn chaos_request(addr: SocketAddr, fault: NetFault, report: &mut LoadReport) {
+    let outcome = match fault {
+        NetFault::None => return,
+        NetFault::MalformedRequest => exchange(addr, b"*%&! garbage\r\n\r\n"),
+        NetFault::TruncatedBody => {
+            // Promise 64 body bytes, deliver 9, half-close.
+            let raw = b"POST /observe HTTP/1.1\r\ncontent-length: 64\r\n\r\n{\"orders\"";
+            match TcpStream::connect(addr) {
+                Err(_) => Err(()),
+                Ok(mut s) => {
+                    let sent = s
+                        .write_all(raw)
+                        .and_then(|()| s.shutdown(std::net::Shutdown::Write));
+                    match sent {
+                        Err(_) => Err(()),
+                        Ok(()) => read_status(&mut s),
+                    }
+                }
+            }
+        }
+        NetFault::SlowClient { stall_ms } => match TcpStream::connect(addr) {
+            Err(_) => Err(()),
+            Ok(mut s) => {
+                let first = s.write_all(b"GET /healthz HTTP/1.1\r\nho");
+                std::thread::sleep(Duration::from_millis(stall_ms as u64));
+                match first.and_then(|()| s.write_all(b"st: loris\r\n\r\n")) {
+                    Err(_) => Err(()),
+                    Ok(()) => read_status(&mut s),
+                }
+            }
+        },
+        NetFault::Reset => {
+            // Connect then vanish; the server sees a closed socket.
+            match TcpStream::connect(addr) {
+                Err(_) => Err(()),
+                Ok(s) => {
+                    drop(s);
+                    return;
+                }
+            }
+        }
+    };
+    match outcome {
+        Err(()) => report.io_errors += 1,
+        Ok(200) => report.ok += 1,
+        Ok(408) => report.timed_out += 1,
+        Ok(429) => report.shed += 1,
+        Ok(503) => report.unavailable += 1,
+        Ok(_) => report.rejected += 1,
+    }
+}
+
+/// Writes `raw`, reads the full response, returns the status code.
+fn exchange(addr: SocketAddr, raw: &[u8]) -> Result<u16, ()> {
+    let mut s = TcpStream::connect(addr).map_err(|_| ())?;
+    s.set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|_| ())?;
+    s.write_all(raw).map_err(|_| ())?;
+    read_status(&mut s)
+}
+
+/// Drains the response and parses the status line.
+fn read_status(s: &mut TcpStream) -> Result<u16, ()> {
+    let _ = s.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(()),
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    text.split(' ')
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .ok_or(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_quantiles_and_rates_are_zero() {
+        let r = LoadReport::default();
+        assert_eq!(r.latency_quantile_ms(0.99), 0.0);
+        assert_eq!(r.shed_rate(), 0.0);
+        assert_eq!(r.achieved_rps(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_pick_from_sorted_latencies() {
+        let r = LoadReport {
+            latencies_ms: vec![5.0, 1.0, 3.0, 2.0, 4.0],
+            ..LoadReport::default()
+        };
+        assert_eq!(r.latency_quantile_ms(0.0), 1.0);
+        assert_eq!(r.latency_quantile_ms(0.5), 3.0);
+        assert_eq!(r.latency_quantile_ms(1.0), 5.0);
+    }
+
+    #[test]
+    fn shed_rate_counts_retries_in_the_denominator() {
+        let r = LoadReport {
+            attempted: 10,
+            retries: 10,
+            shed: 5,
+            ..LoadReport::default()
+        };
+        assert!((r.shed_rate() - 0.25).abs() < 1e-12);
+    }
+}

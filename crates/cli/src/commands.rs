@@ -11,6 +11,7 @@ use deepsd_features::{
     test_keys, train_keys, FeatureConfig, FeatureExtractor, FeedHealth, FeedKind, IngestPolicy,
     ItemKey,
 };
+use deepsd_serve::{ServeConfig, Server};
 use deepsd_simdata::{
     decode_dataset, encode_dataset, CityConfig, FaultPlan, Order, OrderGenConfig, SimConfig,
     SimDataset,
@@ -56,6 +57,11 @@ USAGE:
                       [--fault-shuffle 5] [--fault-drop 0.1] [--fault-dup 0.1]
                       [--fault-seed 7]
                       [--blackout-weather 400..600] [--blackout-traffic 0..1439]
+  deepsd-cli serve    --data data.dsd --model model.json [--addr 127.0.0.1:8017]
+                      [--queue 64] [--deadline-ms 500] [--read-timeout-ms 1000]
+                      [--max-batch 64] [--breaker-trip 3] [--breaker-restore 2]
+                      [--ingest-policy reject|drop-late|reorder:<minutes>]
+                      [--threads 0] [--metrics-out metrics.json]
 
 `predict` streams the day's orders through the online serving path:
 `--ingest-policy` selects how late/duplicate/unknown-area orders are
@@ -394,7 +400,12 @@ pub fn predict(args: &Args) -> CmdResult {
             .filter(|o| o.day == day && o.ts < t)
             .copied()
             .collect();
-        predictor.observe_all(&plan.apply(&stream))?;
+        let batch = predictor.observe_all(&plan.apply(&stream));
+        // Policy-aware partial ingest: the whole tick is applied and any
+        // rejected orders are summarised instead of aborting the run.
+        if !batch.is_clean() {
+            eprintln!("area {area}: {batch}");
+        }
     }
 
     let report = predictor.predict_all_report(day, t);
@@ -410,6 +421,71 @@ pub fn predict(args: &Args) -> CmdResult {
             area, report.predictions[area as usize], actual
         );
     }
+    write_metrics_out(args, &telemetry)?;
+    Ok(())
+}
+
+/// `serve`: run the fault-contained HTTP daemon over a checkpoint.
+///
+/// Binds the address, serves `/predict`, `/observe`, `/metrics`,
+/// `/healthz` and `/readyz` until `POST /shutdown`, then drains in-flight
+/// connections and prints the engine's lifetime stats.
+pub fn serve(args: &Args) -> CmdResult {
+    args.check_known(&[
+        "data",
+        "model",
+        "addr",
+        "queue",
+        "deadline-ms",
+        "read-timeout-ms",
+        "max-batch",
+        "breaker-trip",
+        "breaker-restore",
+        "ingest-policy",
+        "window",
+        "history-window",
+        "stride",
+        "threads",
+        "metrics-out",
+    ])?;
+    deepsd::set_num_threads(args.get_or("threads", 0usize)?);
+    let ds = load_dataset(args)?;
+    let model = load_model(args)?;
+    let mut fcfg = feature_config(args)?;
+    fcfg.window_l = model.config().window_l;
+    let policy = match args.get("ingest-policy") {
+        None => IngestPolicy::Reject,
+        Some(raw) => IngestPolicy::parse(raw).map_err(ArgError)?,
+    };
+
+    let read_timeout_ms = args.get_or("read-timeout-ms", 1_000u64)?;
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8017").to_string(),
+        queue_capacity: args.get_or("queue", 64usize)?,
+        deadline_ms: args.get_or("deadline-ms", 500u64)?,
+        read_timeout_ms,
+        write_timeout_ms: read_timeout_ms,
+        max_batch: args.get_or("max-batch", 64usize)?,
+        breaker_trip: args.get_or("breaker-trip", 3u32)?,
+        breaker_restore: args.get_or("breaker-restore", 2u32)?,
+        ..ServeConfig::default()
+    };
+
+    let telemetry = Telemetry::new();
+    let fx = FeatureExtractor::new(&ds, fcfg);
+    let mut predictor = OnlinePredictor::with_policy(model, fx, policy);
+    predictor.set_telemetry(telemetry.clone());
+
+    let server = Server::bind(config, telemetry.clone())?;
+    println!("serving on http://{}", server.local_addr());
+    println!("policy: {policy}");
+    println!("endpoints: GET /predict?day=D&t=T[&area=A]  POST /observe");
+    println!("           GET /metrics /healthz /readyz    POST /shutdown");
+    let stats = server.run(&mut predictor)?;
+    println!(
+        "drained: {} served, {} predict calls ({} coalesced), {} expired, {} observe batches",
+        stats.served, stats.predict_calls, stats.coalesced, stats.expired, stats.observes
+    );
     write_metrics_out(args, &telemetry)?;
     Ok(())
 }

@@ -1,6 +1,7 @@
 //! `deepsd-cli` — command-line front end for the DeepSD reproduction.
 //!
-//! Subcommands: `simulate`, `inspect`, `train`, `evaluate`, `predict`.
+//! Subcommands: `simulate`, `inspect`, `train`, `evaluate`, `predict`,
+//! `serve`.
 //! Run without arguments for usage.
 
 // Serving-critical front end: production code must not unwrap/expect
@@ -32,6 +33,7 @@ fn main() {
         "train" => commands::train_cmd(&parsed),
         "evaluate" => commands::evaluate(&parsed),
         "predict" => commands::predict(&parsed),
+        "serve" => commands::serve(&parsed),
         other => {
             eprintln!("error: unknown subcommand '{other}'\n\n{}", commands::USAGE);
             std::process::exit(2);

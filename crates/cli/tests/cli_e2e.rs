@@ -295,8 +295,9 @@ fn predict_survives_fault_injection_and_reports_counters() {
     assert!(text.contains("ingest:"), "{text}");
     assert!(text.lines().count() >= 8, "{text}");
 
-    // The same shuffled stream under the strict policy is a typed
-    // error, not a panic.
+    // The same shuffled stream under the strict policy: the whole tick
+    // is still served, with the rejected orders summarised per area on
+    // stderr (batch ingest reports failures instead of aborting).
     let out = bin()
         .args([
             "predict",
@@ -313,8 +314,14 @@ fn predict_survives_fault_injection_and_reports_counters() {
         ])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("behind cursor"));
+    assert!(
+        out.status.success(),
+        "strict-policy predict must degrade, not abort: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("behind cursor"), "{err}");
+    assert!(err.contains("failed"), "{err}");
 
     std::fs::remove_dir_all(&dir).ok();
 }

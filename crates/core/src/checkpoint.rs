@@ -178,9 +178,22 @@ fn strip_prefix_bytes<'a>(bytes: &'a [u8], prefix: &[u8]) -> Option<&'a [u8]> {
     }
 }
 
-/// Writes a checksummed checkpoint to disk.
+/// Writes a checksummed checkpoint to disk atomically.
+///
+/// The bytes go to a sibling temp file first and are renamed over
+/// `path` only after the write succeeds, so a crash, full disk or
+/// concurrent reader never observes a half-written checkpoint at
+/// `path` — it sees either the previous complete file or the new one.
 pub fn save_checkpoint(path: &str, model: &DeepSD) -> Result<(), CheckpointError> {
-    std::fs::write(path, encode_checkpoint(model))?;
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    if let Err(e) = std::fs::write(&tmp, encode_checkpoint(model)) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(CheckpointError::Io(e));
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(CheckpointError::Io(e));
+    }
     Ok(())
 }
 
@@ -300,6 +313,93 @@ mod tests {
             load_checkpoint(&path),
             Err(CheckpointError::Io(_))
         ));
+    }
+
+    #[test]
+    fn save_is_atomic_rename_with_no_temp_residue() {
+        let model = tiny_model();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("deepsd-ckpt-atomic-{}.ckpt", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        // Pre-existing checkpoint is replaced wholesale, not appended.
+        std::fs::write(&path, b"OLD GARBAGE").unwrap();
+        save_checkpoint(&path_str, &model).expect("save over existing");
+        let loaded = load_checkpoint(&path_str).expect("replacement loads");
+        assert_eq!(loaded.to_json(), model.to_json());
+        // No temp file left behind next to the checkpoint.
+        let stem = path.file_name().unwrap().to_str().unwrap().to_string();
+        let residue: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&stem) && n != &stem)
+            .collect();
+        assert!(residue.is_empty(), "temp residue: {residue:?}");
+        // Saving into a directory that does not exist is a typed Io
+        // error and leaves no stray temp file at the destination.
+        let bad = dir
+            .join("deepsd-no-such-dir")
+            .join("x.ckpt")
+            .to_str()
+            .unwrap()
+            .to_string();
+        assert!(matches!(
+            save_checkpoint(&bad, &model),
+            Err(CheckpointError::Io(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn on_disk_truncation_is_a_typed_error() {
+        let model = tiny_model();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("deepsd-ckpt-trunc-{}.ckpt", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        save_checkpoint(&path, &model).expect("save");
+        let full = std::fs::read(&path).unwrap();
+        // Chop the file at several points — simulating a crashed
+        // non-atomic writer or a torn download — and load from disk.
+        for keep in [full.len() - 1, full.len() * 3 / 4, full.len() / 3, 5] {
+            std::fs::write(&path, &full[..keep]).unwrap();
+            match load_checkpoint(&path) {
+                Err(
+                    CheckpointError::Truncated { .. }
+                    | CheckpointError::Malformed(_)
+                    | CheckpointError::BadMagic,
+                ) => {}
+                Err(other) => panic!("on-disk truncation to {keep} gave {other}"),
+                Ok(_) => panic!("on-disk truncation to {keep} loaded a model"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn on_disk_bit_flips_are_typed_errors() {
+        let model = tiny_model();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("deepsd-ckpt-flip-{}.ckpt", std::process::id()));
+        let path = path.to_str().unwrap().to_string();
+        save_checkpoint(&path, &model).expect("save");
+        let full = std::fs::read(&path).unwrap();
+        let header_end = full.iter().position(|&b| b == b'\n').unwrap() + 1;
+        // Flip bits in the header and scattered through the body.
+        for (region, idx) in [
+            ("magic", 2usize),
+            ("header-len", CHECKPOINT_MAGIC.len() + 2),
+            ("body", header_end + 11),
+            ("body-tail", full.len() - 3),
+        ] {
+            let mut bad = full.clone();
+            bad[idx] ^= 0x08;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                load_checkpoint(&path).is_err(),
+                "{region} bit flip at {idx} must not load"
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

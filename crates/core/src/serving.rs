@@ -28,8 +28,8 @@
 use crate::model::{BlockMask, Predictor};
 use crate::telemetry::Telemetry;
 use deepsd_features::{
-    Batch, FeatureExtractor, FeedState, FeedStatus, IngestError, IngestPolicy, IngestStats, Item,
-    ItemKey, OnlineWindow,
+    Batch, BatchIngestReport, FeatureExtractor, FeedState, FeedStatus, IngestError, IngestPolicy,
+    IngestStats, Item, ItemKey, OnlineWindow,
 };
 use deepsd_nn::Tape;
 use deepsd_simdata::Order;
@@ -127,13 +127,22 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
         window.observe(order)
     }
 
-    /// Ingests a slice of orders, stopping at the first error (strict
-    /// policy only; tolerant policies never error).
-    pub fn observe_all(&mut self, orders: &[Order]) -> Result<(), IngestError> {
-        for &o in orders {
-            self.observe(o)?;
+    /// Ingests a slice of orders, always processing the full batch.
+    ///
+    /// Under the tolerant policies no order ever errors; under
+    /// [`IngestPolicy::Reject`] each rejected order is recorded in the
+    /// returned [`BatchIngestReport`] (index + typed error, sampled up
+    /// to a cap) while the remaining orders are still applied — one bad
+    /// order cannot discard the rest of a feed tick.
+    pub fn observe_all(&mut self, orders: &[Order]) -> BatchIngestReport {
+        let mut report = BatchIngestReport::new(orders.len());
+        for (i, &o) in orders.iter().enumerate() {
+            match self.observe(o) {
+                Ok(()) => report.applied += 1,
+                Err(e) => report.record_failure(i, e),
+            }
         }
-        Ok(())
+        report
     }
 
     /// The ingest policy every window runs under.
@@ -285,9 +294,9 @@ mod tests {
         let serving_fx = FeatureExtractor::new(&ds, fcfg);
         let mut predictor = OnlinePredictor::new(model, serving_fx);
         for area in 0..ds.n_areas() as u16 {
-            predictor
+            assert!(predictor
                 .observe_all(&day_stream(&ds, area, day, 600))
-                .unwrap();
+                .is_clean());
         }
         let report = predictor.predict_all_report(day, 600);
 
@@ -316,7 +325,7 @@ mod tests {
         let mut fed = OnlinePredictor::new(model, fx2);
         let stream = day_stream(&ds, area, day, 540);
         assert!(!stream.is_empty());
-        fed.observe_all(&stream).unwrap();
+        assert!(fed.observe_all(&stream).is_clean());
         let p_fed = fed.predict_area(area, day, 540);
         assert_ne!(
             p_empty, p_fed,
@@ -396,9 +405,9 @@ mod tests {
         serving_fx.set_feed_health(health);
         let mut predictor = OnlinePredictor::new(model, serving_fx);
         for area in 0..ds.n_areas() as u16 {
-            predictor
+            assert!(predictor
                 .observe_all(&day_stream(&ds, area, day, 600))
-                .unwrap();
+                .is_clean());
         }
         let report = predictor.predict_all_report(day, 600);
 
@@ -442,9 +451,9 @@ mod tests {
         serving_fx.set_feed_health(health);
         let mut predictor = OnlinePredictor::new(model.clone(), serving_fx);
         for area in 0..ds.n_areas() as u16 {
-            predictor
+            assert!(predictor
                 .observe_all(&day_stream(&ds, area, day, 600))
-                .unwrap();
+                .is_clean());
         }
         let report = predictor.predict_all_report(day, 600);
 
@@ -459,7 +468,9 @@ mod tests {
         let live_fx = FeatureExtractor::new(&ds, fcfg);
         let mut live = OnlinePredictor::new(model, live_fx);
         for area in 0..ds.n_areas() as u16 {
-            live.observe_all(&day_stream(&ds, area, day, 600)).unwrap();
+            assert!(live
+                .observe_all(&day_stream(&ds, area, day, 600))
+                .is_clean());
         }
         let live_preds = live.predict_all(day, 600);
         assert!(

@@ -48,9 +48,10 @@ fn clean_predictions(ds: &SimDataset, fcfg: &FeatureConfig, model: &DeepSD) -> V
     let fx = FeatureExtractor::new(ds, fcfg.clone());
     let mut predictor = OnlinePredictor::new(model.clone(), fx);
     for stream in area_streams(ds) {
-        predictor
-            .observe_all(&stream)
-            .expect("clean stream is chronological");
+        assert!(
+            predictor.observe_all(&stream).is_clean(),
+            "clean stream is chronological"
+        );
     }
     predictor.predict_all(DAY, T)
 }
@@ -73,9 +74,10 @@ fn shuffled_stream_reproduces_clean_predictions_bit_identically() {
     for (i, stream) in area_streams(&ds).iter().enumerate() {
         let shuffled = shuffle_within_slack(stream, slack, 900 + i as u64);
         shuffled_any |= shuffled != *stream;
-        predictor
-            .observe_all(&shuffled)
-            .expect("tolerant policy never errors");
+        assert!(
+            predictor.observe_all(&shuffled).is_clean(),
+            "tolerant policy never errors"
+        );
     }
     assert!(
         shuffled_any,
@@ -116,9 +118,10 @@ fn dropped_orders_degrade_gracefully() {
         let faulty = plan.apply(&stream);
         total += stream.len();
         fed += faulty.len();
-        predictor
-            .observe_all(&faulty)
-            .expect("drops keep the stream chronological");
+        assert!(
+            predictor.observe_all(&faulty).is_clean(),
+            "drops keep the stream chronological"
+        );
     }
     assert!(fed < total, "drop injection must lose some orders");
 
@@ -153,9 +156,10 @@ fn duplicated_orders_are_dropped_and_predictions_match_clean() {
         IngestPolicy::ReorderWithinSlack { slack_minutes: 3 },
     );
     for stream in area_streams(&ds) {
-        predictor
-            .observe_all(&plan.apply(&stream))
-            .expect("tolerant policy never errors");
+        assert!(
+            predictor.observe_all(&plan.apply(&stream)).is_clean(),
+            "tolerant policy never errors"
+        );
     }
 
     let report = predictor.predict_all_report(DAY, T);
@@ -178,7 +182,7 @@ fn unknown_area_orders_are_counted_not_fatal() {
     let fx = FeatureExtractor::new(&ds, fcfg.clone());
     let mut predictor = OnlinePredictor::with_policy(model, fx, IngestPolicy::DropLate);
     for (i, stream) in area_streams(&ds).iter().enumerate() {
-        predictor.observe_all(stream).unwrap();
+        assert!(predictor.observe_all(stream).is_clean());
         // A malformed order pointing at a non-existent area.
         let mut stray = stream[0];
         stray.loc_start = (n_areas + 1 + i) as u16;
@@ -245,7 +249,7 @@ fn feed_blackouts_report_status_and_never_crash() {
     fx.set_feed_health(health.clone());
     let mut predictor = OnlinePredictor::new(model, fx);
     for stream in area_streams(&ds) {
-        predictor.observe_all(&stream).unwrap();
+        assert!(predictor.observe_all(&stream).is_clean());
     }
 
     let mut saw_degraded = false;
@@ -298,13 +302,53 @@ fn fully_down_feed_masks_block_and_matches_masked_offline() {
     fx.set_feed_health(health);
     let mut predictor = OnlinePredictor::new(model, fx);
     for stream in area_streams(&ds) {
-        predictor.observe_all(&stream).unwrap();
+        assert!(predictor.observe_all(&stream).is_clean());
     }
     let report = predictor.predict_all_report(DAY, T);
     assert_eq!(report.feeds.traffic, FeedState::Down);
     assert_eq!(report.feeds.weather, FeedState::Live);
     assert_eq!(report.predictions, offline);
     assert!(report.predictions.iter().all(|p| p.is_finite()));
+}
+
+#[test]
+fn strict_batch_ingest_applies_survivors_and_samples_errors() {
+    let (ds, fcfg, model) = setup(309);
+    let clean = clean_predictions(&ds, &fcfg, &model);
+    let n_areas = ds.n_areas();
+
+    let fx = FeatureExtractor::new(&ds, fcfg.clone());
+    let mut predictor = OnlinePredictor::new(model, fx); // strict Reject
+    for (i, stream) in area_streams(&ds).iter().enumerate() {
+        // Poison the middle of each batch with an unknown-area order;
+        // everything after it must still be applied.
+        let mut poisoned = stream.clone();
+        let stray_at = poisoned.len() / 2;
+        if let Some(&first) = poisoned.first() {
+            let mut stray = first;
+            stray.loc_start = (n_areas + 50 + i) as u16;
+            poisoned.insert(stray_at, stray);
+        }
+        let report = predictor.observe_all(&poisoned);
+        assert_eq!(report.attempted, poisoned.len());
+        assert_eq!(report.failed, 1, "exactly the stray order fails");
+        assert_eq!(report.applied, poisoned.len() - 1);
+        assert_eq!(report.errors.len(), 1);
+        let (idx, err) = &report.errors[0];
+        assert_eq!(*idx, stray_at);
+        assert!(matches!(err, IngestError::UnknownArea { .. }));
+        assert!(!report.is_clean());
+        assert!(report.to_string().contains("failed"));
+    }
+
+    // The orders after each stray made it in: predictions match the
+    // clean stream exactly, rather than a half-ingested one.
+    let report = predictor.predict_all_report(DAY, T);
+    assert_eq!(
+        report.predictions, clean,
+        "orders after a rejected one must still be applied"
+    );
+    assert_eq!(report.ingest.unknown_area, n_areas as u64);
 }
 
 #[test]
@@ -338,9 +382,10 @@ fn combined_fault_storm_degrades_gracefully() {
             stray.loc_start = 200 + i as u16;
             faulty.insert(faulty.len() / 2, stray);
         }
-        predictor
-            .observe_all(&faulty)
-            .expect("tolerant policy never errors");
+        assert!(
+            predictor.observe_all(&faulty).is_clean(),
+            "tolerant policy never errors"
+        );
     }
 
     let report = predictor.predict_all_report(DAY, T);

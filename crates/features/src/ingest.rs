@@ -160,6 +160,67 @@ impl IngestStats {
     }
 }
 
+/// Outcome of ingesting one batch of orders: the whole slice is always
+/// processed, and per-item failures are collected instead of aborting
+/// at the first one — one bad order cannot discard the rest of a feed
+/// tick. The first [`BATCH_ERROR_SAMPLE_CAP`] errors are kept verbatim
+/// (with their slice index) for logging; the rest are only counted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchIngestReport {
+    /// Orders in the batch.
+    pub attempted: usize,
+    /// Orders the windows accepted (including reorders).
+    pub applied: usize,
+    /// Orders that came back with an [`IngestError`] (strict policy).
+    pub failed: usize,
+    /// Up to [`BATCH_ERROR_SAMPLE_CAP`] sampled `(index, error)` pairs.
+    pub errors: Vec<(usize, IngestError)>,
+}
+
+/// How many per-item errors a [`BatchIngestReport`] retains verbatim.
+pub const BATCH_ERROR_SAMPLE_CAP: usize = 16;
+
+impl BatchIngestReport {
+    /// A report for a batch of `attempted` orders with no outcomes yet.
+    pub fn new(attempted: usize) -> BatchIngestReport {
+        BatchIngestReport {
+            attempted,
+            ..BatchIngestReport::default()
+        }
+    }
+
+    /// Records one rejected order, sampling the error if under the cap.
+    pub fn record_failure(&mut self, index: usize, error: IngestError) {
+        self.failed += 1;
+        if self.errors.len() < BATCH_ERROR_SAMPLE_CAP {
+            self.errors.push((index, error));
+        }
+    }
+
+    /// True when every order in the batch was applied.
+    pub fn is_clean(&self) -> bool {
+        self.failed == 0
+    }
+
+    /// The first sampled error, if any order failed.
+    pub fn first_error(&self) -> Option<&IngestError> {
+        self.errors.first().map(|(_, e)| e)
+    }
+}
+
+impl std::fmt::Display for BatchIngestReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "applied {}/{} orders", self.applied, self.attempted)?;
+        if self.failed > 0 {
+            write!(f, ", {} failed", self.failed)?;
+            if let Some((i, e)) = self.errors.first() {
+                write!(f, " (first at [{i}]: {e})")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Display for IngestStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

@@ -52,6 +52,8 @@ pub use extract::FeatureExtractor;
 pub use feeds::{FeedHealth, FeedKind, FeedState, FeedStatus, DEFAULT_MAX_STALENESS};
 pub use history::{AreaHistory, VectorKind};
 pub use index::AreaIndex;
-pub use ingest::{IngestError, IngestPolicy, IngestStats};
+pub use ingest::{
+    BatchIngestReport, IngestError, IngestPolicy, IngestStats, BATCH_ERROR_SAMPLE_CAP,
+};
 pub use items::{test_keys, train_keys, Item, ItemKey};
 pub use online::OnlineWindow;

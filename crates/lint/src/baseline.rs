@@ -17,6 +17,9 @@ use std::collections::BTreeMap;
 /// Baseline key: rule name and workspace-relative path.
 pub type Key = (String, String);
 
+/// One baseline deviation: `(key, live_count, baselined_count)`.
+pub type Deviation = (Key, usize, usize);
+
 /// Parsed baseline: tolerated finding count per (rule, path).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Baseline {
@@ -79,7 +82,7 @@ impl Baseline {
     /// regressions (pairs over budget, with the excess) and the stale
     /// entries (baselined pairs whose live count shrank — informational
     /// only).
-    pub fn check(&self, live: &Baseline) -> (Vec<(Key, usize, usize)>, Vec<(Key, usize, usize)>) {
+    pub fn check(&self, live: &Baseline) -> (Vec<Deviation>, Vec<Deviation>) {
         let mut over = Vec::new();
         let mut stale = Vec::new();
         for (key, &n) in &live.counts {

@@ -51,6 +51,9 @@ const SERVING_PATHS: &[&str] = &[
     "crates/features/src/online.rs",
     "crates/features/src/feeds.rs",
 ];
+/// The whole serving daemon is a hot path: every connection handler and
+/// the batching engine must answer with a status code, never a panic.
+const SERVING_PATHS_PREFIX: &[&str] = &["crates/serve/src/"];
 
 /// Files where narrowing casts in index arithmetic are audited.
 const CAST_PATHS_EXACT: &[&str] = &["crates/features/src/index.rs"];
@@ -58,6 +61,12 @@ const CAST_PATHS_PREFIX: &[&str] = &["crates/simdata/src/"];
 
 /// Crates whose whole purpose is wall-clock measurement.
 const WALLCLOCK_ALLOWLIST_PREFIX: &[&str] = &["crates/bench/", "crates/lint/"];
+
+/// The daemon's one sanctioned wall-clock module: `Deadline` and
+/// `Stopwatch` wrap `Instant` so the rest of `crates/serve` stays under
+/// the wallclock rule (deadline arithmetic is inherently wall-clock;
+/// everything else must go through these helpers or `time_` metrics).
+const WALLCLOCK_ALLOWLIST_EXACT: &[&str] = &["crates/serve/src/deadline.rs"];
 
 /// Map-iteration methods whose order is the hasher's.
 const MAP_ITER_METHODS: &[&str] = &[
@@ -113,10 +122,11 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
     if !WALLCLOCK_ALLOWLIST_PREFIX
         .iter()
         .any(|p| path.starts_with(p))
+        && !WALLCLOCK_ALLOWLIST_EXACT.contains(&path)
     {
         rule_wallclock(path, toks, &skip, &mut findings);
     }
-    if SERVING_PATHS.contains(&path) {
+    if SERVING_PATHS.contains(&path) || SERVING_PATHS_PREFIX.iter().any(|p| path.starts_with(p)) {
         rule_no_panic(path, toks, &skip, &mut findings);
     }
     rule_float_eq(path, toks, &skip, &mut findings);
@@ -751,6 +761,41 @@ mod tests {
         let f = lint_file("crates/features/src/feeds.rs", src);
         // `.unwrap_or` is not `.unwrap` — no finding.
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn serve_crate_is_in_no_panic_scope() {
+        let src = r#"
+            fn route(paths: &[String], i: usize) -> String {
+                paths[i].clone()
+            }
+        "#;
+        let f = lint_file("crates/serve/src/server.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_SERVING_NO_PANIC]);
+    }
+
+    #[test]
+    fn serve_deadline_module_is_wallclock_exempt_but_not_panic_exempt() {
+        let src = r#"
+            fn remaining(at: std::time::Instant) -> std::time::Duration {
+                at.saturating_duration_since(std::time::Instant::now())
+            }
+            fn bad(v: &[u8]) -> u8 { v.first().copied().unwrap() }
+        "#;
+        let f = lint_file("crates/serve/src/deadline.rs", src);
+        // The Instant reads pass (this is the sanctioned module); the
+        // unwrap is still a serving-no-panic finding.
+        assert_eq!(rules_of(&f), vec![RULE_SERVING_NO_PANIC]);
+    }
+
+    #[test]
+    fn serve_crate_outside_deadline_is_wallclock_scoped() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let f = lint_file("crates/serve/src/engine.rs", src);
+        assert!(
+            f.iter().any(|x| x.rule == RULE_DETERMINISM_WALLCLOCK),
+            "{f:?}"
+        );
     }
 
     #[test]

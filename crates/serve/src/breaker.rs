@@ -1,0 +1,189 @@
+//! Count-driven circuit breaker over environment-feed health.
+//!
+//! Every batched prediction yields a `ServingReport` whose
+//! `FeedStatus::degraded()` says whether the features were built from
+//! stale or dead feeds. The breaker folds that stream of booleans into
+//! a readiness signal for `/readyz`:
+//!
+//! ```text
+//!            trip_threshold consecutive degraded
+//!   Closed ────────────────────────────────────────▶ Open
+//!     ▲                                               │ first healthy
+//!     │ restore_threshold consecutive healthy         ▼
+//!     └──────────────────────────────────────────  HalfOpen
+//!                 (any degraded ──▶ back to Open)
+//! ```
+//!
+//! Deliberately **count-driven, not time-driven**: the breaker advances
+//! only when a prediction is served, so the same request sequence
+//! always produces the same state transitions — the chaos harness
+//! depends on that. Liveness (`/healthz`) is unaffected; a tripped
+//! breaker only tells load balancers to stop routing until the feeds
+//! recover.
+
+/// Breaker position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Feeds healthy; serving normally.
+    Closed,
+    /// Too many consecutive degraded predictions; `/readyz` is 503.
+    Open,
+    /// Seen healthy feeds again; probing before declaring recovery.
+    HalfOpen,
+}
+
+/// See the module docs for the state machine.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    trip_threshold: u32,
+    restore_threshold: u32,
+    consecutive_degraded: u32,
+    consecutive_healthy: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `trip_threshold` consecutive
+    /// degraded observations and closing again after
+    /// `restore_threshold` consecutive healthy ones (both clamped to at
+    /// least 1).
+    pub fn new(trip_threshold: u32, restore_threshold: u32) -> CircuitBreaker {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            trip_threshold: trip_threshold.max(1),
+            restore_threshold: restore_threshold.max(1),
+            consecutive_degraded: 0,
+            consecutive_healthy: 0,
+            trips: 0,
+        }
+    }
+
+    /// Folds one served prediction's feed health into the breaker and
+    /// returns the state after the transition.
+    pub fn record(&mut self, degraded: bool) -> BreakerState {
+        match (self.state, degraded) {
+            (BreakerState::Closed, true) => {
+                self.consecutive_degraded += 1;
+                if self.consecutive_degraded >= self.trip_threshold {
+                    self.state = BreakerState::Open;
+                    self.trips += 1;
+                    self.consecutive_healthy = 0;
+                }
+            }
+            (BreakerState::Closed, false) => {
+                self.consecutive_degraded = 0;
+            }
+            (BreakerState::Open, false) => {
+                // First healthy probe: start confirming recovery.
+                self.state = BreakerState::HalfOpen;
+                self.consecutive_healthy = 1;
+                self.maybe_close();
+            }
+            (BreakerState::Open, true) => {}
+            (BreakerState::HalfOpen, false) => {
+                self.consecutive_healthy += 1;
+                self.maybe_close();
+            }
+            (BreakerState::HalfOpen, true) => {
+                // Recovery was premature.
+                self.state = BreakerState::Open;
+                self.consecutive_healthy = 0;
+            }
+        }
+        self.state
+    }
+
+    fn maybe_close(&mut self) {
+        if self.consecutive_healthy >= self.restore_threshold {
+            self.state = BreakerState::Closed;
+            self.consecutive_degraded = 0;
+            self.consecutive_healthy = 0;
+        }
+    }
+
+    /// Current position.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Readiness for `/readyz`: only a fully closed breaker is ready.
+    pub fn is_ready(&self) -> bool {
+        self.state == BreakerState::Closed
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_degraded() {
+        let mut b = CircuitBreaker::new(3, 2);
+        assert_eq!(b.record(true), BreakerState::Closed);
+        assert_eq!(b.record(true), BreakerState::Closed);
+        assert_eq!(b.record(true), BreakerState::Open);
+        assert!(!b.is_ready());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn interleaved_healthy_resets_the_count() {
+        let mut b = CircuitBreaker::new(3, 1);
+        b.record(true);
+        b.record(true);
+        b.record(false); // reset
+        b.record(true);
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.record(true), BreakerState::Open);
+    }
+
+    #[test]
+    fn recovery_goes_through_half_open() {
+        let mut b = CircuitBreaker::new(1, 2);
+        assert_eq!(b.record(true), BreakerState::Open);
+        assert_eq!(b.record(false), BreakerState::HalfOpen);
+        assert!(!b.is_ready(), "half-open is not ready yet");
+        assert_eq!(b.record(false), BreakerState::Closed);
+        assert!(b.is_ready());
+    }
+
+    #[test]
+    fn degraded_probe_reopens() {
+        let mut b = CircuitBreaker::new(1, 3);
+        b.record(true);
+        b.record(false); // half-open, 1/3
+        assert_eq!(b.record(true), BreakerState::Open);
+        // And a full recovery still works afterwards.
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.record(false), BreakerState::Closed);
+    }
+
+    #[test]
+    fn restore_threshold_one_closes_on_first_probe() {
+        let mut b = CircuitBreaker::new(2, 1);
+        b.record(true);
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.record(false), BreakerState::Closed);
+    }
+
+    #[test]
+    fn same_sequence_same_transitions() {
+        let seq = [true, true, false, true, true, true, false, false, true];
+        let run = |mut b: CircuitBreaker| -> Vec<BreakerState> {
+            seq.iter().map(|&d| b.record(d)).collect()
+        };
+        assert_eq!(
+            run(CircuitBreaker::new(3, 2)),
+            run(CircuitBreaker::new(3, 2))
+        );
+    }
+}

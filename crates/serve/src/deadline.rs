@@ -1,0 +1,82 @@
+//! Deadline arithmetic — the only module in this crate that reads the
+//! wall clock outside a `time_` telemetry observation.
+//!
+//! Everything else in the daemon is count-driven so the chaos harness
+//! stays deterministic; real time is unavoidable exactly twice — "has
+//! this request's budget run out?" and "how long did this take?" — and
+//! both live here, where the `determinism-wallclock` lint scopes its
+//! serve-crate exemption (DESIGN.md §4.6).
+
+use std::time::{Duration, Instant};
+
+/// An absolute point in time a request must be answered by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `ms` milliseconds from now.
+    pub fn after_ms(ms: u64) -> Deadline {
+        Deadline {
+            at: Instant::now() + Duration::from_millis(ms),
+        }
+    }
+
+    /// True once the budget has run out.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Budget left (zero once expired; never negative).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// Elapsed-time probe feeding `time_`-namespaced histograms.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since [`Stopwatch::start`], for a `time_…` metric.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_is_unexpired_and_has_budget() {
+        let d = Deadline::after_ms(60_000);
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(1));
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let d = Deadline::after_ms(0);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let w = Stopwatch::start();
+        let a = w.elapsed_seconds();
+        let b = w.elapsed_seconds();
+        assert!(a >= 0.0 && b >= a);
+    }
+}

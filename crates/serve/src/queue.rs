@@ -1,0 +1,193 @@
+//! The bounded admission queue between connection handlers and the
+//! engine thread.
+//!
+//! Admission control happens at `push`: a full queue rejects the job
+//! immediately ([`PushError::Full`]) so the handler can shed with
+//! `429 Too Many Requests` + `Retry-After` instead of letting latency
+//! grow without bound. The engine drains jobs in FIFO order, up to a
+//! batch at a time; a `Condvar` keeps the engine asleep while idle and
+//! lets shutdown wake it promptly.
+
+use crate::deadline::{Deadline, Stopwatch};
+use crate::http::Response;
+use deepsd_simdata::Order;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// What an admitted request asks of the engine.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Score `(day, t)` — one area or the whole city.
+    Predict {
+        /// Day of the prediction slot.
+        day: u16,
+        /// Minute-of-day of the prediction slot.
+        t: u16,
+        /// Restrict the response to one area (`None` = all areas).
+        area: Option<u16>,
+    },
+    /// Ingest a batch of streamed orders.
+    Observe {
+        /// The decoded orders, in arrival order.
+        orders: Vec<Order>,
+    },
+}
+
+/// One admitted unit of work.
+#[derive(Debug)]
+pub struct Job {
+    /// The request payload.
+    pub kind: JobKind,
+    /// When the client stops waiting.
+    pub deadline: Deadline,
+    /// Where the engine sends the response (a dead receiver is fine —
+    /// the handler may have timed out and answered 503 on its own).
+    pub reply: Sender<Response>,
+    /// Started at admission; feeds `time_serve_queue_wait_seconds`.
+    pub queued: Stopwatch,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity: shed the request.
+    Full,
+}
+
+/// Bounded multi-producer queue drained by the single engine thread.
+#[derive(Debug)]
+pub struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            jobs: Mutex::new(VecDeque::with_capacity(capacity)),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn locked(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        // A poisoned lock only means another thread panicked while
+        // holding it; the queue itself is still structurally sound.
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.locked().len()
+    }
+
+    /// True when no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.locked().is_empty()
+    }
+
+    /// Admits a job, or refuses immediately when at capacity.
+    pub fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut jobs = self.locked();
+        if jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Removes up to `max` jobs in FIFO order, waiting up to `timeout`
+    /// when the queue is empty. Returns an empty vec on timeout or
+    /// spurious wake — callers loop.
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> Vec<Job> {
+        let mut jobs = self.locked();
+        if jobs.is_empty() {
+            let (guard, _) = self
+                .cond
+                .wait_timeout(jobs, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            jobs = guard;
+        }
+        let take = jobs.len().min(max.max(1));
+        jobs.drain(..take).collect()
+    }
+
+    /// Wakes a sleeping engine (used by shutdown so drain starts
+    /// immediately instead of after the poll timeout).
+    pub fn wake(&self) {
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn job(day: u16) -> Job {
+        let (tx, _rx) = mpsc::channel();
+        Job {
+            kind: JobKind::Predict {
+                day,
+                t: 600,
+                area: None,
+            },
+            deadline: Deadline::after_ms(60_000),
+            reply: tx,
+            queued: Stopwatch::start(),
+        }
+    }
+
+    #[test]
+    fn push_sheds_at_capacity() {
+        let q = JobQueue::new(2);
+        assert!(q.push(job(0)).is_ok());
+        assert!(q.push(job(1)).is_ok());
+        assert_eq!(q.push(job(2)), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_is_fifo_and_bounded() {
+        let q = JobQueue::new(8);
+        for day in 0..5 {
+            q.push(job(day)).unwrap();
+        }
+        let batch = q.pop_batch(3, Duration::from_millis(1));
+        let days: Vec<u16> = batch
+            .iter()
+            .map(|j| match j.kind {
+                JobKind::Predict { day, .. } => day,
+                _ => u16::MAX,
+            })
+            .collect();
+        assert_eq!(days, vec![0, 1, 2]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_times_out_empty() {
+        let q = JobQueue::new(2);
+        let batch = q.pop_batch(4, Duration::from_millis(5));
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.push(job(0)).is_ok());
+        assert_eq!(q.push(job(1)), Err(PushError::Full));
+    }
+}

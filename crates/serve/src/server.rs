@@ -1,0 +1,538 @@
+//! The daemon itself: listener, connection handlers, routing, and the
+//! drain protocol that ties them to the engine.
+//!
+//! Thread model: `Server::run` keeps the caller's thread for the
+//! engine (so the `&mut OnlinePredictor` never crosses a thread
+//! unprotected), spawns one acceptor thread, and one short-lived
+//! handler thread per connection. Handlers never touch the model —
+//! they parse, validate, admit into the bounded queue, and wait on a
+//! per-request reply channel with the request's own deadline.
+//!
+//! Endpoints (all `Connection: close`):
+//!
+//! | route             | meaning                                      |
+//! |-------------------|----------------------------------------------|
+//! | `GET /predict`    | score `day`/`t` (optional `area`)            |
+//! | `POST /observe`   | ingest `{"orders":[[day,ts,pid,s,d,v],…]}`   |
+//! | `GET /metrics`    | Prometheus text exposition                   |
+//! | `GET /healthz`    | liveness — 200 while the process runs        |
+//! | `GET /readyz`     | readiness — 503 when the breaker is open     |
+//! | `POST /shutdown`  | begin graceful drain                         |
+
+use crate::breaker::CircuitBreaker;
+use crate::deadline::{Deadline, Stopwatch};
+use crate::engine::{Engine, EngineStats};
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::queue::{Job, JobKind, JobQueue, PushError};
+use crate::ServeConfig;
+use deepsd::model::Predictor;
+use deepsd::serving::OnlinePredictor;
+use deepsd::telemetry::Telemetry;
+use deepsd_simdata::{Order, MINUTES_PER_DAY};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Extra time a handler waits beyond the request deadline for the
+/// engine's reply (covers the engine's own 503 arriving just-in-time).
+const REPLY_GRACE: Duration = Duration::from_millis(100);
+
+/// How long [`Server::run`] waits for in-flight handlers after drain.
+const DRAIN_WAIT: Duration = Duration::from_secs(5);
+
+/// Why the daemon could not start or stop cleanly.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listen address failed.
+    Bind {
+        /// The configured address.
+        addr: String,
+        /// The underlying socket error.
+        source: std::io::Error,
+    },
+    /// The listener socket failed after binding.
+    Listener(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            ServeError::Listener(e) => write!(f, "listener failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Dataset bounds handlers validate against before admitting work.
+#[derive(Debug, Clone, Copy)]
+struct Limits {
+    n_days: u16,
+    n_areas: usize,
+}
+
+/// State shared by the acceptor, handlers, engine, and handles.
+#[derive(Debug)]
+struct Shared {
+    queue: JobQueue,
+    shutdown: AtomicBool,
+    ready: AtomicBool,
+    active: AtomicUsize,
+    telemetry: Telemetry,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Raises the drain flag and wakes both the engine (condvar) and
+    /// the acceptor (self-connect unblocks `accept`).
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.wake();
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+/// A clonable remote control for a running daemon.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Begins graceful drain: stop accepting, serve what's queued,
+    /// then let [`Server::run`] return.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Current `/readyz` verdict.
+    pub fn is_ready(&self) -> bool {
+        self.shared.ready.load(Ordering::SeqCst) && !self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound (but not yet serving) daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds the configured address. The daemon does not accept
+    /// connections until [`Server::run`].
+    pub fn bind(config: ServeConfig, telemetry: Telemetry) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
+            addr: config.addr.clone(),
+            source,
+        })?;
+        let addr = listener.local_addr().map_err(ServeError::Listener)?;
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            ready: AtomicBool::new(true),
+            active: AtomicUsize::new(0),
+            telemetry,
+            addr,
+        });
+        Ok(Server {
+            listener,
+            shared,
+            config,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A remote control usable from other threads (shutdown, probes).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serves until a graceful shutdown completes: runs the engine on
+    /// the calling thread (which owns the predictor) and the acceptor
+    /// on a spawned thread. Returns the engine's lifetime stats once
+    /// the queue is drained and in-flight handlers have finished.
+    pub fn run<P: Predictor + Sync>(
+        self,
+        predictor: &mut OnlinePredictor<'_, P>,
+    ) -> Result<EngineStats, ServeError> {
+        let limits = Limits {
+            n_days: predictor.extractor().dataset().n_days,
+            n_areas: predictor.extractor().n_areas(),
+        };
+        let shared = Arc::clone(&self.shared);
+        let config = self.config.clone();
+        let listener = self.listener;
+        let acceptor = std::thread::Builder::new()
+            .name("deepsd-serve-acceptor".to_string())
+            .spawn(move || accept_loop(listener, shared, config, limits))
+            .map_err(ServeError::Listener)?;
+
+        let breaker = CircuitBreaker::new(self.config.breaker_trip, self.config.breaker_restore);
+        let engine = Engine::new(
+            self.shared.telemetry.clone(),
+            breaker,
+            self.config.max_batch,
+        );
+        let stats = engine.run(
+            predictor,
+            &self.shared.queue,
+            &self.shared.shutdown,
+            &self.shared.ready,
+        );
+
+        // Drain: the engine only returns once shutdown was requested
+        // and the queue is empty; now wait for in-flight handlers.
+        let waited = Stopwatch::start();
+        while self.shared.active.load(Ordering::SeqCst) > 0
+            && waited.elapsed_seconds() < DRAIN_WAIT.as_secs_f64()
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // A second wakeup in case the acceptor was already blocked in
+        // `accept` when the first self-connect was consumed.
+        let _ = TcpStream::connect_timeout(&self.shared.addr, Duration::from_millis(200));
+        let _ = acceptor.join();
+        Ok(stats)
+    }
+}
+
+/// Accepts connections until drain, spawning one handler thread each.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, config: ServeConfig, limits: Limits) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.telemetry.inc_counter("serve_connections_total");
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let worker = Arc::clone(&shared);
+        let config = config.clone();
+        let spawned = std::thread::Builder::new()
+            .name("deepsd-serve-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, &worker, &config, limits);
+                worker.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // Could not spawn a handler; undo the bookkeeping. The
+            // client sees a reset, which its retry policy absorbs.
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Reads one request, routes it, writes one response.
+fn handle_connection(mut stream: TcpStream, shared: &Shared, config: &ServeConfig, limits: Limits) {
+    let timer = Stopwatch::start();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms.max(1))));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms.max(1))));
+
+    let resp = match read_request(&mut stream, config.max_body_bytes) {
+        Ok(req) => route(&req, shared, config, limits),
+        Err(HttpError::Timeout) => {
+            shared.telemetry.inc_counter("serve_read_timeouts_total");
+            Response::error(408, "timed out reading the request")
+        }
+        Err(HttpError::TooLarge(n)) => {
+            shared.telemetry.inc_counter("serve_malformed_total");
+            Response::error(413, &format!("request too large ({n} bytes)"))
+        }
+        Err(HttpError::Malformed(m)) => {
+            shared.telemetry.inc_counter("serve_malformed_total");
+            Response::error(400, &m)
+        }
+        Err(HttpError::Io(_)) => {
+            // Connection died before a request arrived (includes the
+            // shutdown self-connect); nothing to answer.
+            shared.telemetry.inc_counter("serve_io_errors_total");
+            return;
+        }
+    };
+
+    shared
+        .telemetry
+        .observe("time_serve_request_seconds", timer.elapsed_seconds());
+    shared
+        .telemetry
+        .inc_counter(&format!("serve_responses_{}xx_total", resp.status / 100));
+    if write_response(&mut stream, &resp).is_err() {
+        shared.telemetry.inc_counter("serve_write_errors_total");
+    }
+}
+
+fn route(req: &Request, shared: &Shared, config: &ServeConfig, limits: Limits) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                Response::error(503, "draining")
+            } else if shared.ready.load(Ordering::SeqCst) {
+                Response::text(200, "ready\n")
+            } else {
+                Response::error(503, "circuit breaker open: feeds degraded")
+            }
+        }
+        ("GET", "/metrics") => Response::text(200, &shared.telemetry.to_prometheus()),
+        ("POST", "/shutdown") => {
+            shared.begin_shutdown();
+            Response::json(200, "{\"draining\":true}".to_string())
+        }
+        ("GET", "/predict") => predict(req, shared, config, limits),
+        ("POST", "/observe") => observe(req, shared, config),
+        ("POST", "/predict") | ("GET" | "PUT" | "DELETE", "/observe" | "/shutdown") => {
+            Response::error(405, &format!("method {} not allowed here", req.method))
+        }
+        (_, path) => Response::error(404, &format!("no route for {path}")),
+    }
+}
+
+/// Parses a required integer query parameter, or a ready-made `400`.
+fn required_param<T: std::str::FromStr>(req: &Request, key: &str) -> Result<T, Response> {
+    match req.param(key) {
+        None => Err(Response::error(
+            400,
+            &format!("missing query parameter '{key}'"),
+        )),
+        Some(raw) => raw
+            .parse::<T>()
+            .map_err(|_| Response::error(400, &format!("parameter '{key}'='{raw}' is not valid"))),
+    }
+}
+
+fn predict(req: &Request, shared: &Shared, config: &ServeConfig, limits: Limits) -> Response {
+    let day: u16 = match required_param(req, "day") {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let t: u16 = match required_param(req, "t") {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if day >= limits.n_days {
+        return Response::error(
+            400,
+            &format!(
+                "day {day} out of range (dataset has {} days)",
+                limits.n_days
+            ),
+        );
+    }
+    if u32::from(t) >= MINUTES_PER_DAY {
+        return Response::error(400, &format!("t {t} out of range (0..{MINUTES_PER_DAY})"));
+    }
+    let area: Option<u16> = match req.param("area") {
+        None => None,
+        Some(raw) => match raw.parse::<u16>() {
+            Err(_) => {
+                return Response::error(400, &format!("parameter 'area'='{raw}' is not valid"))
+            }
+            Ok(a) if usize::from(a) >= limits.n_areas => {
+                return Response::error(
+                    404,
+                    &format!("area {a} out of range (city has {} areas)", limits.n_areas),
+                )
+            }
+            Ok(a) => Some(a),
+        },
+    };
+    submit(shared, config, JobKind::Predict { day, t, area })
+}
+
+fn observe(req: &Request, shared: &Shared, config: &ServeConfig) -> Response {
+    let orders = match parse_orders(&req.body) {
+        Ok(orders) => orders,
+        Err(msg) => {
+            shared.telemetry.inc_counter("serve_malformed_total");
+            return Response::error(400, &msg);
+        }
+    };
+    if orders.is_empty() {
+        return Response::json(
+            200,
+            "{\"attempted\":0,\"applied\":0,\"failed\":0}".to_string(),
+        );
+    }
+    submit(shared, config, JobKind::Observe { orders })
+}
+
+/// Admission: shed (`429`) when the queue is full, otherwise enqueue
+/// and wait for the engine's reply within the request deadline.
+fn submit(shared: &Shared, config: &ServeConfig, kind: JobKind) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::error(503, "server is draining");
+    }
+    let deadline = Deadline::after_ms(config.deadline_ms);
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        kind,
+        deadline,
+        reply: tx,
+        queued: Stopwatch::start(),
+    };
+    match shared.queue.push(job) {
+        Err(PushError::Full) => {
+            shared.telemetry.inc_counter("serve_shed_total");
+            let mut resp = Response::error(429, "request queue full; shed to protect latency");
+            resp.retry_after = Some(config.retry_after_secs);
+            resp
+        }
+        Ok(()) => {
+            shared.telemetry.inc_counter("serve_admitted_total");
+            match rx.recv_timeout(deadline.remaining() + REPLY_GRACE) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    shared.telemetry.inc_counter("serve_reply_timeouts_total");
+                    Response::error(503, "deadline expired waiting for the engine")
+                }
+            }
+        }
+    }
+}
+
+/// Decodes the `/observe` body: `{"orders":[[day,ts,pid,start,dest,valid],…]}`.
+///
+/// Hand-rolled (the crate takes no serde dependency) but strict:
+/// every malformed row is a typed message naming the offending index.
+fn parse_orders(body: &[u8]) -> Result<Vec<Order>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not utf-8".to_string())?;
+    let key = text
+        .find("\"orders\"")
+        .ok_or_else(|| "missing \"orders\" key".to_string())?;
+    let after = text.get(key..).unwrap_or_default();
+    let open = after
+        .find('[')
+        .ok_or_else(|| "missing orders array".to_string())?;
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut row = String::new();
+    let mut depth = 0usize;
+    let mut closed = false;
+    for c in after.get(open..).unwrap_or_default().chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                if depth == 2 {
+                    row.clear();
+                } else if depth > 2 {
+                    return Err("orders rows must be flat arrays".to_string());
+                }
+            }
+            ']' => {
+                if depth == 2 {
+                    rows.push(std::mem::take(&mut row));
+                }
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    closed = true;
+                    break;
+                }
+            }
+            _ if depth == 2 => row.push(c),
+            _ => {}
+        }
+    }
+    if !closed {
+        return Err("unterminated orders array".to_string());
+    }
+    rows.iter()
+        .enumerate()
+        .map(|(i, r)| parse_order_row(r).map_err(|e| format!("order[{i}]: {e}")))
+        .collect()
+}
+
+fn parse_order_row(row: &str) -> Result<Order, String> {
+    let fields: Vec<&str> = row.split(',').map(str::trim).collect();
+    if fields.len() != 6 {
+        return Err(format!(
+            "expected 6 fields [day,ts,pid,start,dest,valid], got {}",
+            fields.len()
+        ));
+    }
+    fn field<T: std::str::FromStr>(fields: &[&str], idx: usize, name: &str) -> Result<T, String> {
+        fields
+            .get(idx)
+            .copied()
+            .unwrap_or_default()
+            .parse::<T>()
+            .map_err(|_| format!("field '{name}' is malformed"))
+    }
+    let valid = match fields.get(5).copied().unwrap_or_default() {
+        "true" | "1" => true,
+        "false" | "0" => false,
+        other => return Err(format!("field 'valid' must be a bool, got '{other}'")),
+    };
+    Ok(Order {
+        day: field(&fields, 0, "day")?,
+        ts: field(&fields, 1, "ts")?,
+        pid: field(&fields, 2, "pid")?,
+        loc_start: field(&fields, 3, "start")?,
+        loc_dest: field(&fields, 4, "dest")?,
+        valid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_orders_round_trips_well_formed_bodies() {
+        let body = br#"{"orders":[[3,600,7,0,1,true],[3, 601, 8, 1, 0, false]]}"#;
+        let orders = parse_orders(body).unwrap();
+        assert_eq!(orders.len(), 2);
+        assert_eq!(orders[0].day, 3);
+        assert_eq!(orders[0].ts, 600);
+        assert_eq!(orders[0].pid, 7);
+        assert!(orders[0].valid);
+        assert_eq!(orders[1].loc_start, 1);
+        assert!(!orders[1].valid);
+    }
+
+    #[test]
+    fn parse_orders_accepts_numeric_bools_and_empty() {
+        let orders = parse_orders(br#"{"orders":[[0,0,1,0,0,1]]}"#).unwrap();
+        assert!(orders[0].valid);
+        assert!(parse_orders(br#"{"orders":[]}"#).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_orders_rejects_malformed_bodies() {
+        for (body, needle) in [
+            (&b"not json"[..], "missing \"orders\""),
+            (b"{\"orders\":", "missing orders array"),
+            (b"{\"orders\":[[1,2,3", "unterminated"),
+            (b"{\"orders\":[[1,2,3,4,5]]}", "expected 6 fields"),
+            (b"{\"orders\":[[1,2,3,4,5,maybe]]}", "must be a bool"),
+            (b"{\"orders\":[[x,2,3,4,5,true]]}", "'day' is malformed"),
+            (b"{\"orders\":[[[1],2,3,4,5,true]]}", "flat arrays"),
+            (b"\xff\xfe", "not utf-8"),
+        ] {
+            let err = parse_orders(body).unwrap_err();
+            assert!(err.contains(needle), "body {body:?}: got '{err}'");
+        }
+    }
+
+    #[test]
+    fn parse_orders_names_the_bad_row() {
+        let err = parse_orders(br#"{"orders":[[0,0,1,0,0,1],[9,9,bad,0,0,1]]}"#).unwrap_err();
+        assert!(err.starts_with("order[1]:"), "{err}");
+    }
+}

@@ -133,6 +133,112 @@ pub fn blackout_windows(
         .collect()
 }
 
+/// One way a chaos client perturbs a single request at the network
+/// layer. The plan only *decides* faults; executing them (writing the
+/// garbage bytes, stalling, resetting) is the load generator's job, so
+/// this stays pure and testable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Send the request unperturbed.
+    None,
+    /// Send a garbage request line the server must answer `400`.
+    MalformedRequest,
+    /// Advertise a `Content-Length` larger than the bytes sent, then
+    /// half-close — the server must detect the truncation.
+    TruncatedBody,
+    /// Stall mid-head for `stall_ms` before (maybe never) finishing —
+    /// the slow-loris probe for the server's read timeout.
+    SlowClient {
+        /// Milliseconds to stall before continuing.
+        stall_ms: u16,
+    },
+    /// Connect and abort without sending a byte.
+    Reset,
+}
+
+/// Seeded per-request fault schedule for the network chaos harness.
+///
+/// `fault_for(i)` is a pure function of `(seed, i)`, so a drill that
+/// replays the same request indices sees the same faults regardless of
+/// thread interleaving — determinism lives in the plan, concurrency in
+/// the executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaultPlan {
+    /// Seed for every per-request decision.
+    pub seed: u64,
+    /// Probability of a garbage request line.
+    pub malformed_rate: f64,
+    /// Probability of a truncated body.
+    pub truncated_rate: f64,
+    /// Probability of a mid-head stall.
+    pub slow_rate: f64,
+    /// Probability of a connect-then-abort.
+    pub reset_rate: f64,
+    /// Upper bound on the stall injected by [`NetFault::SlowClient`].
+    pub max_stall_ms: u16,
+}
+
+impl Default for NetFaultPlan {
+    fn default() -> Self {
+        NetFaultPlan {
+            seed: 0,
+            malformed_rate: 0.0,
+            truncated_rate: 0.0,
+            slow_rate: 0.0,
+            reset_rate: 0.0,
+            max_stall_ms: 0,
+        }
+    }
+}
+
+impl NetFaultPlan {
+    /// A drill-strength preset: ~20% of requests are hostile, split
+    /// evenly across the four fault categories.
+    pub fn chaos(seed: u64) -> NetFaultPlan {
+        NetFaultPlan {
+            seed,
+            malformed_rate: 0.05,
+            truncated_rate: 0.05,
+            slow_rate: 0.05,
+            reset_rate: 0.05,
+            max_stall_ms: 400,
+        }
+    }
+
+    /// The fault (usually [`NetFault::None`]) assigned to request
+    /// `index`. Pure: same plan + index, same answer.
+    pub fn fault_for(&self, index: u64) -> NetFault {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(index.wrapping_mul(0xff51_afd7_ed55_8ccd)),
+        );
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        let mut edge = self.malformed_rate;
+        if roll < edge {
+            return NetFault::MalformedRequest;
+        }
+        edge += self.truncated_rate;
+        if roll < edge {
+            return NetFault::TruncatedBody;
+        }
+        edge += self.slow_rate;
+        if roll < edge {
+            let stall_ms = if self.max_stall_ms == 0 {
+                0
+            } else {
+                rng.gen_range(1..=self.max_stall_ms)
+            };
+            return NetFault::SlowClient { stall_ms };
+        }
+        edge += self.reset_rate;
+        if roll < edge {
+            return NetFault::Reset;
+        }
+        NetFault::None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +353,36 @@ mod tests {
             assert!(until.ts - from.ts <= 180);
         }
         assert_eq!(wins, blackout_windows(14, 5, 180, 11));
+    }
+
+    #[test]
+    fn net_fault_plan_is_pure_per_index() {
+        let plan = NetFaultPlan::chaos(17);
+        for i in 0..256u64 {
+            assert_eq!(plan.fault_for(i), plan.fault_for(i), "index {i}");
+        }
+        let other = NetFaultPlan::chaos(18);
+        let same: usize = (0..256u64)
+            .filter(|&i| plan.fault_for(i) == other.fault_for(i))
+            .count();
+        assert!(same < 256, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn net_fault_default_is_benign_and_chaos_injects() {
+        let benign = NetFaultPlan::default();
+        assert!((0..512u64).all(|i| benign.fault_for(i) == NetFault::None));
+
+        let chaos = NetFaultPlan::chaos(5);
+        let hostile = (0..512u64)
+            .filter(|&i| chaos.fault_for(i) != NetFault::None)
+            .count();
+        // ~20% of 512 ≈ 102; accept a generous band.
+        assert!((40..200).contains(&hostile), "hostile = {hostile}");
+        let stalls_bounded = (0..512u64).all(|i| match chaos.fault_for(i) {
+            NetFault::SlowClient { stall_ms } => (1..=400).contains(&stall_ms),
+            _ => true,
+        });
+        assert!(stalls_bounded);
     }
 }

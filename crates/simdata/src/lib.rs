@@ -48,7 +48,8 @@ pub use city::{Archetype, Area, City, CityConfig};
 pub use codec::{decode_dataset, encode_dataset, CodecError};
 pub use dataset::{SimConfig, SimDataset};
 pub use faults::{
-    blackout_windows, drop_orders, duplicate_orders, shuffle_within_slack, FaultPlan,
+    blackout_windows, drop_orders, duplicate_orders, shuffle_within_slack, FaultPlan, NetFault,
+    NetFaultPlan,
 };
 pub use orders::OrderGenConfig;
 pub use types::{Order, SlotTime, TrafficObs, WeatherObs, WeatherType, MINUTES_PER_DAY};
