@@ -14,7 +14,8 @@ use deepsd::{DeepSD, Ensemble, OnlinePredictor, Predictor, Variant};
 use deepsd_bench::{run_load, LoadGenConfig, Pipeline, Report, Scale};
 use deepsd_features::Batch;
 use deepsd_nn::{
-    matmul_ref, seeded_rng, set_num_threads, Adam, Embedding, Grad, GradMap, Matrix, ParamStore,
+    matmul_ref, seeded_rng, set_num_threads, with_kernel_path, Adam, Embedding, Grad, GradMap,
+    KernelPath, Matrix, ParamStore,
 };
 use deepsd_serve::{ServeConfig, Server};
 use serde::Serialize;
@@ -30,6 +31,42 @@ struct KernelStats {
     reference_gflops: f64,
     /// Blocked single-thread over scalar reference at 256³.
     speedup_1thread_vs_ref: f64,
+    /// Forced scalar-dispatch blocked kernel (single thread).
+    scalar_path_gflops: f64,
+    /// Forced lane-fold dispatch (single thread).
+    lane_path_gflops: f64,
+    /// Forced AVX2 dispatch (single thread); absent off x86-64/AVX2.
+    avx2_path_gflops: Option<f64>,
+}
+
+/// The machine this run measured, so artifacts from different hosts
+/// are comparable.
+#[derive(Debug, Serialize)]
+struct HardwareInfo {
+    /// Logical cores visible to the process.
+    cores: usize,
+    /// Detected CPU features relevant to kernel dispatch.
+    cpu_features: Vec<String>,
+    /// The microkernel path auto-dispatch resolves to on this host.
+    kernel_path: String,
+    /// Whether the startup autotune sweep ran (`DEEPSD_TUNE=0` skips it).
+    autotuned: bool,
+    /// Autotune sweep cost in milliseconds (0 when skipped).
+    autotune_sweep_ms: f64,
+    /// Parallel block height in rows (autotuned or default).
+    tuned_mc: usize,
+    /// Reduction panel length (autotuned or default).
+    tuned_kc: usize,
+    /// Multiply-add count below which GEMMs stay on the calling thread.
+    tuned_par_flop_threshold: usize,
+}
+
+/// How many GEMM calls ran on each microkernel path during the bench.
+#[derive(Debug, Serialize)]
+struct DispatchReport {
+    scalar: u64,
+    lane: u64,
+    avx2: u64,
 }
 
 /// End-to-end training throughput.
@@ -85,7 +122,9 @@ struct SparseOptimPoint {
 struct BenchOutput {
     scale: String,
     threads: usize,
+    hardware: HardwareInfo,
     kernels: KernelStats,
+    kernel_dispatch: DispatchReport,
     training: TrainStats,
     shard_scaling: Vec<ShardScalePoint>,
     sparse_optim: Vec<SparseOptimPoint>,
@@ -178,6 +217,13 @@ fn kernel_stats() -> KernelStats {
     let nt_gflops = gflops(flops, REPS, || a.matmul_nt(&bt));
     set_num_threads(1);
     let nn_gflops_1thread = gflops(flops, REPS, || a.matmul(&b));
+    // Per-path single-thread throughput: force each microkernel in turn
+    // (results are bit-identical; only the instruction mix changes).
+    let forced =
+        |path: KernelPath| with_kernel_path(path, || gflops(flops, REPS, || a.matmul(&b))).ok();
+    let scalar_path_gflops = forced(KernelPath::Scalar).unwrap_or(0.0);
+    let lane_path_gflops = forced(KernelPath::Lane).unwrap_or(0.0);
+    let avx2_path_gflops = forced(KernelPath::Avx2);
     set_num_threads(0);
     let reference_gflops = gflops(flops, REPS.min(5), || matmul_ref(&a, &b));
 
@@ -188,6 +234,61 @@ fn kernel_stats() -> KernelStats {
         nt_gflops,
         reference_gflops,
         speedup_1thread_vs_ref: nn_gflops_1thread / reference_gflops,
+        scalar_path_gflops,
+        lane_path_gflops,
+        avx2_path_gflops,
+    }
+}
+
+/// Detected CPU features relevant to kernel dispatch.
+fn cpu_features() -> Vec<String> {
+    let mut features = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, have) in [
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+        ] {
+            if have {
+                features.push(name.to_string());
+            }
+        }
+    }
+    features
+}
+
+/// Runs the startup autotune sweep (skipped by `DEEPSD_TUNE=0`; any
+/// other malformed value warns and tunes anyway) and snapshots the
+/// hardware context.
+fn hardware_info() -> HardwareInfo {
+    let tune_enabled = match std::env::var("DEEPSD_TUNE") {
+        Err(_) => true,
+        Ok(v) if v == "0" => false,
+        Ok(v) if v == "1" => true,
+        Ok(v) => {
+            eprintln!("warning: ignoring DEEPSD_TUNE={v:?} (expected 0 or 1); tuning");
+            deepsd::telemetry::global().inc_counter("env_override_invalid_total");
+            true
+        }
+    };
+    let (autotuned, sweep_ms) = if tune_enabled {
+        let report = deepsd::tune();
+        (true, report.sweep_ms)
+    } else {
+        eprintln!("[kernels] DEEPSD_TUNE=0: keeping default block sizes");
+        (false, 0.0)
+    };
+    let t = deepsd::tuning();
+    HardwareInfo {
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cpu_features: cpu_features(),
+        kernel_path: deepsd::kernel_path().as_str().to_string(),
+        autotuned,
+        autotune_sweep_ms: sweep_ms,
+        tuned_mc: t.mc,
+        tuned_kc: t.kc,
+        tuned_par_flop_threshold: t.par_flop_threshold,
     }
 }
 
@@ -287,8 +388,21 @@ fn percentile(samples: &mut [f64], p: f64) -> f64 {
 
 fn main() {
     let scale = Scale::from_args();
+    let scaling_floor = scale.scaling_floor;
     let pipeline = Pipeline::build(scale);
     let mut report = Report::new("bench_deepsd", "Performance-regression bench");
+
+    let hardware = hardware_info();
+    eprintln!(
+        "[kernels] dispatch path: {} (cores={}, features=[{}], mc={} kc={} par_threshold={})",
+        hardware.kernel_path,
+        hardware.cores,
+        hardware.cpu_features.join(","),
+        hardware.tuned_mc,
+        hardware.tuned_kc,
+        hardware.tuned_par_flop_threshold,
+    );
+    deepsd_nn::reset_dispatch_counts();
 
     eprintln!("[kernels] timing 256^3 matmul orientations");
     let kernels = kernel_stats();
@@ -337,10 +451,23 @@ fn main() {
     eprintln!("[serving] daemon latency-vs-offered-load sweep");
     let serving = serving_load_curve(&pipeline, ensemble);
 
+    let d = deepsd_nn::dispatch_counts();
+    let kernel_dispatch = DispatchReport {
+        scalar: d.scalar,
+        lane: d.lane,
+        avx2: d.avx2,
+    };
+    eprintln!(
+        "[kernels] dispatch counts: scalar={} lane={} avx2={}",
+        kernel_dispatch.scalar, kernel_dispatch.lane, kernel_dispatch.avx2
+    );
+
     let output = BenchOutput {
         scale: pipeline.scale.name.to_string(),
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        hardware,
         kernels,
+        kernel_dispatch,
         training,
         shard_scaling,
         sparse_optim,
@@ -350,10 +477,32 @@ fn main() {
     let json = serde_json::to_string_pretty(&output).expect("bench output serializes");
     std::fs::write("BENCH_deepsd.json", &json).expect("write BENCH_deepsd.json");
     eprintln!("[bench] wrote BENCH_deepsd.json");
+    deepsd::telemetry::global().record_kernel_telemetry();
     deepsd::telemetry::global()
         .write_json("TELEMETRY_deepsd.json")
         .expect("write TELEMETRY_deepsd.json");
     eprintln!("[bench] wrote TELEMETRY_deepsd.json");
+
+    // Multicore-CI ratchet: the 2-worker shard speedup must not regress
+    // below the floor. Meaningless on a single core, so skip there.
+    if let Some(floor) = scaling_floor {
+        let two = output
+            .shard_scaling
+            .iter()
+            .find(|p| p.workers == 2)
+            .map_or(0.0, |p| p.speedup_vs_1);
+        if output.hardware.cores < 2 {
+            eprintln!(
+                "[scaling-check] skipped: host has {} core(s); need >= 2 to measure scaling",
+                output.hardware.cores
+            );
+        } else if two < floor {
+            eprintln!("[scaling-check] FAIL: 2-worker shard speedup {two:.2}x < floor {floor:.2}x");
+            std::process::exit(3);
+        } else {
+            eprintln!("[scaling-check] ok: 2-worker shard speedup {two:.2}x >= floor {floor:.2}x");
+        }
+    }
 
     report.kv(
         "matmul nn GFLOP/s",
@@ -378,6 +527,19 @@ fn main() {
     report.kv(
         "1-thread speedup vs reference",
         format!("{:.2}x", output.kernels.speedup_1thread_vs_ref),
+    );
+    report.kv("kernel path", output.hardware.kernel_path.clone());
+    report.kv(
+        "per-path GFLOP/s (scalar/lane/avx2)",
+        format!(
+            "{:.2}/{:.2}/{}",
+            output.kernels.scalar_path_gflops,
+            output.kernels.lane_path_gflops,
+            output
+                .kernels
+                .avx2_path_gflops
+                .map_or("n/a".to_string(), |g| format!("{g:.2}")),
+        ),
     );
     report.kv(
         "train items/sec",

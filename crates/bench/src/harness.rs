@@ -33,6 +33,12 @@ pub struct Scale {
     /// Worker threads for kernels, the training shard pool and batch
     /// prediction (`0` = auto-detect). Set by the `--threads` CLI flag.
     pub threads: usize,
+    /// Minimum acceptable 2-worker shard speedup, set by the
+    /// `--check-scaling FLOOR` flag. When set (and the host has at
+    /// least 2 cores), `bench_deepsd` exits non-zero if the measured
+    /// 2-worker `speedup_vs_1` falls below it — the ratchet the
+    /// multicore CI job enforces.
+    pub scaling_floor: Option<f64>,
 }
 
 impl Scale {
@@ -63,6 +69,7 @@ impl Scale {
             best_k: 2,
             dropout: 0.3,
             threads: 0,
+            scaling_floor: None,
         }
     }
 
@@ -104,6 +111,7 @@ impl Scale {
             best_k: 6,
             dropout: 0.3,
             threads: 0,
+            scaling_floor: None,
         }
     }
 
@@ -127,6 +135,7 @@ impl Scale {
             best_k: 10,
             dropout: 0.5,
             threads: 0,
+            scaling_floor: None,
         }
     }
 
@@ -141,15 +150,20 @@ impl Scale {
     /// than aborting the run.
     ///
     /// # Panics
-    /// Panics on an unknown scale name or a malformed `--threads` value.
+    /// Panics on an unknown scale name or a malformed `--threads` /
+    /// `--check-scaling` value.
     pub fn from_args() -> Scale {
         let mut positional: Option<String> = None;
         let mut threads = 0usize;
+        let mut scaling_floor = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             if arg == "--threads" {
                 let v = args.next().expect("--threads needs a value");
                 threads = v.parse().expect("--threads must be an integer");
+            } else if arg == "--check-scaling" {
+                let v = args.next().expect("--check-scaling needs a value");
+                scaling_floor = Some(v.parse().expect("--check-scaling must be a number"));
             } else if positional.is_none() {
                 positional = Some(arg);
             } else {
@@ -163,6 +177,7 @@ impl Scale {
             Some(other) => panic!("unknown scale '{other}' (expected smoke|small|paper)"),
         };
         scale.threads = threads;
+        scale.scaling_floor = scaling_floor;
         if let Some(e) = env_usize("DEEPSD_EPOCHS") {
             scale.epochs = e;
         }

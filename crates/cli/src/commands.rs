@@ -47,12 +47,13 @@ USAGE:
                       [--variant basic|advanced] [--env none|weather|full]
                       [--train-days 7..24] [--eval-days 24..38]
                       [--epochs 10] [--window 20] [--dropout 0.3]
-                      [--lr 0.001] [--best-k 4] [--threads 0]
+                      [--lr 0.001] [--best-k 4] [--threads 0] [--autotune 1]
                       [--metrics-out metrics.json]
   deepsd-cli evaluate --data data.dsd --model model.json [--test-days 24..38]
-                      [--threads 0] [--metrics-out metrics.json]
+                      [--threads 0] [--autotune 1] [--metrics-out metrics.json]
   deepsd-cli predict  --data data.dsd --model model.json --day 30 --t 480
-                      [--area 3] [--threads 0] [--metrics-out metrics.json]
+                      [--area 3] [--threads 0] [--autotune 1]
+                      [--metrics-out metrics.json]
                       [--ingest-policy reject|drop-late|reorder:<minutes>]
                       [--fault-shuffle 5] [--fault-drop 0.1] [--fault-dup 0.1]
                       [--fault-seed 7]
@@ -61,7 +62,7 @@ USAGE:
                       [--queue 64] [--deadline-ms 500] [--read-timeout-ms 1000]
                       [--max-batch 64] [--breaker-trip 3] [--breaker-restore 2]
                       [--ingest-policy reject|drop-late|reorder:<minutes>]
-                      [--threads 0] [--metrics-out metrics.json]
+                      [--threads 0] [--autotune 1] [--metrics-out metrics.json]
 
 `predict` streams the day's orders through the online serving path:
 `--ingest-policy` selects how late/duplicate/unknown-area orders are
@@ -72,10 +73,33 @@ the predictions. `train` writes checksummed checkpoints; `evaluate` and
 `predict` verify them on load (legacy bare-JSON models still load).
 `--threads` sets the worker-thread count for the parallel kernels, the
 training shard pool and batch scoring (0 = auto-detect); results are
-bit-identical at any thread count. `--metrics-out` writes a telemetry
+bit-identical at any thread count. `--autotune 1` runs a bounded startup
+sweep that picks the GEMM block sizes for this machine (tens of ms;
+blocking can only change speed, never result bits). `--metrics-out` writes a telemetry
 JSON snapshot (counters, gauges, latency histograms, per-epoch training
 events) next to the command's normal output.
 ";
+
+/// Applies the shared performance flags: `--threads N` caps kernel and
+/// shard-pool workers, `--autotune 1` runs the startup GEMM block-size
+/// sweep ([`deepsd::tune`]). Off by default: the sweep costs tens of
+/// milliseconds and its outcome is machine-dependent, but it can only
+/// move throughput — results are bit-identical under any tuning.
+fn apply_perf_flags(args: &Args) -> CmdResult {
+    deepsd::set_num_threads(args.get_or("threads", 0usize)?);
+    if args.get_or("autotune", 0u8)? != 0 {
+        let report = deepsd::tune();
+        eprintln!(
+            "[autotune] kernel path {}: mc={} kc={} par_flop_threshold={} (sweep {:.1} ms)",
+            deepsd::kernel_path(),
+            report.tuning.mc,
+            report.tuning.kc,
+            report.tuning.par_flop_threshold,
+            report.sweep_ms,
+        );
+    }
+    Ok(())
+}
 
 /// Writes the telemetry JSON snapshot to `--metrics-out` when the flag
 /// is present; a fresh registry is created either way so instrumented
@@ -177,8 +201,10 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         "history-window",
         "stride",
         "threads",
+        "autotune",
         "metrics-out",
     ])?;
+    apply_perf_flags(args)?;
     let ds = load_dataset(args)?;
     let out = args.require("out")?;
     let fcfg = feature_config(args)?;
@@ -280,9 +306,10 @@ pub fn evaluate(args: &Args) -> CmdResult {
         "history-window",
         "stride",
         "threads",
+        "autotune",
         "metrics-out",
     ])?;
-    deepsd::set_num_threads(args.get_or("threads", 0usize)?);
+    apply_perf_flags(args)?;
     let ds = load_dataset(args)?;
     let model = load_model(args)?;
     let mut fcfg = feature_config(args)?;
@@ -347,9 +374,10 @@ pub fn predict(args: &Args) -> CmdResult {
         "blackout-weather",
         "blackout-traffic",
         "threads",
+        "autotune",
         "metrics-out",
     ])?;
-    deepsd::set_num_threads(args.get_or("threads", 0usize)?);
+    apply_perf_flags(args)?;
     let ds = load_dataset(args)?;
     let model = load_model(args)?;
     let mut fcfg = feature_config(args)?;
@@ -446,9 +474,10 @@ pub fn serve(args: &Args) -> CmdResult {
         "history-window",
         "stride",
         "threads",
+        "autotune",
         "metrics-out",
     ])?;
-    deepsd::set_num_threads(args.get_or("threads", 0usize)?);
+    apply_perf_flags(args)?;
     let ds = load_dataset(args)?;
     let model = load_model(args)?;
     let mut fcfg = feature_config(args)?;

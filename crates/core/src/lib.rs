@@ -63,7 +63,10 @@ pub use checkpoint::{
     CHECKPOINT_MAGIC,
 };
 pub use config::{Encoding, EnvBlocks, ModelConfig, Variant};
-pub use deepsd_nn::{num_threads, set_num_threads};
+pub use deepsd_nn::{
+    avx2_supported, dispatch_counts, kernel_path, num_threads, set_num_threads, tune, tuned,
+    tuning, with_kernel_path, DispatchCounts, KernelPath, TuneReport, Tuning,
+};
 pub use metrics::{evaluate, mae, rmse, thresholded, try_evaluate, try_mae, try_rmse, Evaluation};
 pub use model::{BlockMask, DeepSD, Ensemble, Predictor};
 pub use serving::{OnlinePredictor, ServingReport};

@@ -275,6 +275,39 @@ impl Telemetry {
         self.set_gauge("feeds_degraded", f64::from(degraded));
     }
 
+    /// Records the kernel execution context so perf artifacts from
+    /// different machines are comparable: logical core count, AVX2
+    /// availability, the microkernel path dispatch currently resolves
+    /// to (one-hot `kernel_path_*` gauges), and the per-path GEMM
+    /// dispatch counters (incremented once per GEMM call, so identical
+    /// at every worker count). The blocking parameters land in the
+    /// `time_` namespace: when autotuned they derive from wall-clock
+    /// measurement, and the deterministic snapshot must not see them.
+    pub fn record_kernel_telemetry(&self) {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.set_gauge("kernel_cores", cores as f64);
+        let avx2 = deepsd_nn::avx2_supported();
+        self.set_gauge("kernel_avx2_supported", if avx2 { 1.0 } else { 0.0 });
+        let path = deepsd_nn::kernel_path();
+        for p in deepsd_nn::KernelPath::ALL {
+            let hot = if p == path { 1.0 } else { 0.0 };
+            self.set_gauge(&format!("kernel_path_{}", p.as_str()), hot);
+        }
+        let d = deepsd_nn::dispatch_counts();
+        self.set_counter("kernel_dispatch_scalar_total", d.scalar);
+        self.set_counter("kernel_dispatch_lane_total", d.lane);
+        self.set_counter("kernel_dispatch_avx2_total", d.avx2);
+        let t = deepsd_nn::tuning();
+        self.set_gauge("time_kernel_tuned_mc", t.mc as f64);
+        self.set_gauge("time_kernel_tuned_kc", t.kc as f64);
+        self.set_gauge(
+            "time_kernel_tuned_par_flop_threshold",
+            t.par_flop_threshold as f64,
+        );
+        let tuned = deepsd_nn::tuned();
+        self.set_gauge("time_kernel_autotuned", if tuned { 1.0 } else { 0.0 });
+    }
+
     /// One-line shard-profiling summary for epoch `epoch`, sourced from
     /// the `time_epoch_*` gauges (the `DEEPSD_SHARD_PROF` stderr
     /// output).

@@ -23,16 +23,20 @@ pub const RULE_DETERMINISM_WALLCLOCK: &str = "determinism-wallclock";
 pub const RULE_SERVING_NO_PANIC: &str = "serving-no-panic";
 pub const RULE_FLOAT_EQ: &str = "float-eq";
 pub const RULE_CAST_TRUNCATE: &str = "cast-truncate";
+pub const RULE_UNSAFE_SCOPE: &str = "unsafe-scope";
 /// Malformed or unknown allow directive.
 pub const RULE_LINT_DIRECTIVE: &str = "lint-directive";
 
 /// All suppressible rules (everything except `lint-directive`).
+/// `unsafe-scope` is suppressible only inside [`UNSAFE_ALLOWED_FILES`];
+/// elsewhere the directive parses but the finding stands.
 pub const RULES: &[&str] = &[
     RULE_DETERMINISM_MAP_ITER,
     RULE_DETERMINISM_WALLCLOCK,
     RULE_SERVING_NO_PANIC,
     RULE_FLOAT_EQ,
     RULE_CAST_TRUNCATE,
+    RULE_UNSAFE_SCOPE,
 ];
 
 /// Modules where `HashMap`/`HashSet` iteration order would leak into
@@ -58,6 +62,13 @@ const SERVING_PATHS_PREFIX: &[&str] = &["crates/serve/src/"];
 /// Files where narrowing casts in index arithmetic are audited.
 const CAST_PATHS_EXACT: &[&str] = &["crates/features/src/index.rs"];
 const CAST_PATHS_PREFIX: &[&str] = &["crates/simdata/src/"];
+
+/// The only files where `unsafe` is sanctioned: the audited AVX2
+/// microkernel in `kernels.rs` and the one lifetime transmute in
+/// `shard.rs`. Every site must still carry an
+/// `allow(unsafe-scope, reason="…")` audit note; anywhere else the
+/// finding cannot be suppressed at all — move the code here instead.
+const UNSAFE_ALLOWED_FILES: &[&str] = &["crates/nn/src/kernels.rs", "crates/nn/src/shard.rs"];
 
 /// Crates whose whole purpose is wall-clock measurement.
 const WALLCLOCK_ALLOWLIST_PREFIX: &[&str] = &["crates/bench/", "crates/lint/"];
@@ -133,13 +144,21 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
     if CAST_PATHS_EXACT.contains(&path) || CAST_PATHS_PREFIX.iter().any(|p| path.starts_with(p)) {
         rule_cast_truncate(path, toks, &skip, &mut findings);
     }
+    rule_unsafe_scope(path, toks, &skip, &mut findings);
 
     // Apply suppressions: a directive covers its own line and the next.
+    // `unsafe-scope` findings outside the sanctioned files are
+    // unsuppressible — the fix is moving the code, not annotating it.
     findings.retain(|f| {
-        f.rule == RULE_LINT_DIRECTIVE
-            || !allows
-                .iter()
-                .any(|a| a.rule == f.rule && (f.line == a.line || f.line == a.line + 1))
+        if f.rule == RULE_LINT_DIRECTIVE {
+            return true;
+        }
+        if f.rule == RULE_UNSAFE_SCOPE && !UNSAFE_ALLOWED_FILES.contains(&path) {
+            return true;
+        }
+        !allows
+            .iter()
+            .any(|a| a.rule == f.rule && (f.line == a.line || f.line == a.line + 1))
     });
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
@@ -607,6 +626,29 @@ fn rule_cast_truncate(path: &str, toks: &[Tok], skip: &[bool], out: &mut Vec<Fin
     }
 }
 
+fn rule_unsafe_scope(path: &str, toks: &[Tok], skip: &[bool], out: &mut Vec<Finding>) {
+    let sanctioned = UNSAFE_ALLOWED_FILES.contains(&path);
+    for (i, t) in toks.iter().enumerate() {
+        if skip[i] || !t.is_ident("unsafe") {
+            continue;
+        }
+        let msg = if sanctioned {
+            "`unsafe` must carry an audited allow(unsafe-scope, reason=\"…\") annotation on the same or preceding line".to_string()
+        } else {
+            format!(
+                "`unsafe` is confined to {}; move the code there or find a safe formulation (this finding cannot be suppressed)",
+                UNSAFE_ALLOWED_FILES.join(", ")
+            )
+        };
+        out.push(Finding {
+            rule: RULE_UNSAFE_SCOPE,
+            path: path.to_string(),
+            line: t.line,
+            msg,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -916,6 +958,88 @@ mod tests {
         "#;
         let f = lint_file("crates/core/src/serving.rs", src);
         assert_eq!(rules_of(&f), vec![RULE_FLOAT_EQ]);
+    }
+
+    // --- unsafe-scope ---------------------------------------------------
+
+    #[test]
+    fn unsafe_outside_sanctioned_files_is_flagged() {
+        let src = r#"
+            fn f(p: *const f32) -> f32 {
+                unsafe { *p }
+            }
+        "#;
+        let f = lint_file("crates/core/src/trainer.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_UNSAFE_SCOPE]);
+    }
+
+    #[test]
+    fn unsafe_outside_sanctioned_files_cannot_be_suppressed() {
+        let src = r#"
+            fn f(p: *const f32) -> f32 {
+                // deepsd-lint: allow(unsafe-scope, reason="nice try")
+                unsafe { *p }
+            }
+        "#;
+        let f = lint_file("crates/core/src/trainer.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_UNSAFE_SCOPE], "{f:?}");
+    }
+
+    #[test]
+    fn unannotated_unsafe_in_kernels_is_flagged() {
+        let src = r#"
+            fn f(p: *const f32) -> f32 {
+                unsafe { *p }
+            }
+        "#;
+        let f = lint_file("crates/nn/src/kernels.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_UNSAFE_SCOPE]);
+    }
+
+    #[test]
+    fn annotated_unsafe_in_kernels_is_clean() {
+        let src = r#"
+            fn f(p: *const f32) -> f32 {
+                // deepsd-lint: allow(unsafe-scope, reason="caller guarantees p is in bounds")
+                unsafe { *p }
+            }
+        "#;
+        let f = lint_file("crates/nn/src/kernels.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn annotated_unsafe_fn_in_shard_is_clean() {
+        let src = r#"
+            // deepsd-lint: allow(unsafe-scope, reason="lifetime-only transmute, joined before expiry")
+            unsafe fn erase(x: u32) -> u32 { x }
+        "#;
+        let f = lint_file("crates/nn/src/shard.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_in_test_code_is_skipped() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                fn f(p: *const f32) -> f32 {
+                    unsafe { *p }
+                }
+            }
+        "#;
+        let f = lint_file("crates/core/src/trainer.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_not_flagged() {
+        let src = r#"
+            // unsafe is discussed here but never written
+            fn f() -> &'static str { "unsafe" }
+        "#;
+        let f = lint_file("crates/core/src/trainer.rs", src);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     // --- determinism of the linter itself -------------------------------

@@ -9,6 +9,7 @@
 //! The three general matrix products delegate to the cache-blocked,
 //! deterministically parallel kernels in [`crate::kernels`].
 
+use crate::simd;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -275,20 +276,16 @@ impl Matrix {
         self
     }
 
-    /// Element-wise in-place addition.
+    /// Element-wise in-place addition (lane-folded).
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        simd::add_assign(&mut self.data, &other.data);
     }
 
-    /// Element-wise in-place subtraction.
+    /// Element-wise in-place subtraction (lane-folded).
     pub fn sub_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a -= b;
-        }
+        simd::sub_assign(&mut self.data, &other.data);
     }
 
     /// Element-wise subtraction, consuming `self`.
@@ -298,28 +295,22 @@ impl Matrix {
         self
     }
 
-    /// `self += alpha * other` (AXPY).
+    /// `self += alpha * other` (AXPY, lane-folded).
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        simd::axpy(&mut self.data, alpha, &other.data);
     }
 
-    /// Element-wise (Hadamard) product, consuming `self`.
+    /// Element-wise (Hadamard) product, consuming `self` (lane-folded).
     pub fn hadamard(mut self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a *= b;
-        }
+        simd::hadamard(&mut self.data, &other.data);
         self
     }
 
-    /// Multiplies every entry by a scalar, in place.
+    /// Multiplies every entry by a scalar, in place (lane-folded).
     pub fn scale(&mut self, alpha: f32) {
-        for a in self.data.iter_mut() {
-            *a *= alpha;
-        }
+        simd::scale(&mut self.data, alpha);
     }
 
     /// Returns a scaled copy.
@@ -336,22 +327,16 @@ impl Matrix {
     pub fn add_row_broadcast(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "bias width mismatch");
-        for r in 0..self.rows {
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (a, &b) in row.iter_mut().zip(bias.data.iter()) {
-                *a += b;
-            }
+        for row in self.data.chunks_exact_mut(self.cols.max(1)) {
+            simd::add_assign(row, &bias.data);
         }
     }
 
     /// Sums all rows into a `1 x cols` row vector.
     pub fn sum_rows(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
-        for r in 0..self.rows {
-            let row = self.row(r);
-            for (o, &v) in out.data.iter_mut().zip(row.iter()) {
-                *o += v;
-            }
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            simd::add_assign(&mut out.data, row);
         }
         out
     }

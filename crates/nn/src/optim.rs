@@ -7,10 +7,14 @@
 
 use crate::matrix::Matrix;
 use crate::params::ParamStore;
+use crate::simd::LANES;
 use crate::tape::{Grad, GradMap};
 use serde::{Deserialize, Serialize};
 
-/// One Adam update over a contiguous slice of weights/gradients/moments.
+/// One Adam update over a contiguous slice of weights/gradients/moments,
+/// lane-folded over fixed-width `[f32; LANES]` chunks so the per-element
+/// rule (`vsqrtps`/`vdivps` included) autovectorizes; the rule itself is
+/// per-element independent, so lane width cannot change any bit.
 ///
 /// Both the dense path (whole parameter) and the row-sparse path (one
 /// touched row at a time) funnel through this helper, so the two produce
@@ -29,36 +33,74 @@ fn adam_update_slice(
     bc1: f32,
     bc2: f32,
 ) {
-    for ((w, g), (mm, vv)) in w
-        .iter_mut()
-        .zip(g.iter())
-        .zip(m.iter_mut().zip(v.iter_mut()))
-    {
+    let step = |w: &mut f32, g: f32, mm: &mut f32, vv: &mut f32| {
         *mm = b1 * *mm + (1.0 - b1) * g;
         *vv = b2 * *vv + (1.0 - b2) * g * g;
         let m_hat = *mm / bc1;
         let v_hat = *vv / bc2;
         *w -= lr * m_hat / (v_hat.sqrt() + eps);
+    };
+    let mut wc = w.chunks_exact_mut(LANES);
+    let mut gc = g.chunks_exact(LANES);
+    let mut mc = m.chunks_exact_mut(LANES);
+    let mut vc = v.chunks_exact_mut(LANES);
+    for (((wl, gl), ml), vl) in (&mut wc).zip(&mut gc).zip(&mut mc).zip(&mut vc) {
+        let wl: &mut [f32; LANES] = wl.try_into().expect("chunk is LANES wide");
+        let gl: &[f32; LANES] = gl.try_into().expect("chunk is LANES wide");
+        let ml: &mut [f32; LANES] = ml.try_into().expect("chunk is LANES wide");
+        let vl: &mut [f32; LANES] = vl.try_into().expect("chunk is LANES wide");
+        for ((wi, (&gi, mi)), vi) in wl
+            .iter_mut()
+            .zip(gl.iter().zip(ml.iter_mut()))
+            .zip(vl.iter_mut())
+        {
+            step(wi, gi, mi, vi);
+        }
+    }
+    for ((wi, (&gi, mi)), vi) in wc
+        .into_remainder()
+        .iter_mut()
+        .zip(gc.remainder().iter().zip(mc.into_remainder().iter_mut()))
+        .zip(vc.into_remainder().iter_mut())
+    {
+        step(wi, gi, mi, vi);
     }
 }
 
-/// One momentum-SGD update over a contiguous slice (shared by the dense
-/// and row-sparse paths; see [`adam_update_slice`]).
+/// One momentum-SGD update over a contiguous slice, lane-folded like
+/// [`adam_update_slice`] (shared by the dense and row-sparse paths).
 #[inline]
 fn sgd_momentum_slice(w: &mut [f32], g: &[f32], vel: &mut [f32], lr: f32, momentum: f32) {
-    for ((w, g), v) in w.iter_mut().zip(g.iter()).zip(vel.iter_mut()) {
+    let step = |w: &mut f32, g: f32, v: &mut f32| {
         *v = momentum * *v + g;
         *w -= lr * *v;
+    };
+    let mut wc = w.chunks_exact_mut(LANES);
+    let mut gc = g.chunks_exact(LANES);
+    let mut vc = vel.chunks_exact_mut(LANES);
+    for ((wl, gl), vl) in (&mut wc).zip(&mut gc).zip(&mut vc) {
+        let wl: &mut [f32; LANES] = wl.try_into().expect("chunk is LANES wide");
+        let gl: &[f32; LANES] = gl.try_into().expect("chunk is LANES wide");
+        let vl: &mut [f32; LANES] = vl.try_into().expect("chunk is LANES wide");
+        for ((wi, &gi), vi) in wl.iter_mut().zip(gl).zip(vl.iter_mut()) {
+            step(wi, gi, vi);
+        }
+    }
+    for ((wi, &gi), vi) in wc
+        .into_remainder()
+        .iter_mut()
+        .zip(gc.remainder())
+        .zip(vc.into_remainder().iter_mut())
+    {
+        step(wi, gi, vi);
     }
 }
 
 /// One plain-SGD update over a contiguous slice (`w += -lr * g`, matching
-/// [`Matrix::axpy`] element arithmetic exactly).
+/// [`Matrix::axpy`] element arithmetic exactly — and the same lane fold).
 #[inline]
 fn sgd_plain_slice(w: &mut [f32], g: &[f32], lr: f32) {
-    for (w, g) in w.iter_mut().zip(g.iter()) {
-        *w += -lr * g;
-    }
+    crate::simd::axpy(w, -lr, g);
 }
 
 /// Adaptive Moment Estimation (Kingma & Ba, 2014).

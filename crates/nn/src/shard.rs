@@ -249,6 +249,7 @@ impl ShardPool {
                 // The one sanctioned `unsafe` in the workspace (the
                 // `[workspace.lints]` table denies it everywhere else).
                 #[allow(unsafe_code)]
+                // deepsd-lint: allow(unsafe-scope, reason="lifetime-only transmute; run_batch joins every dispatched task before the borrow it erases can expire")
                 let task: Task = unsafe {
                     std::mem::transmute::<
                         Box<dyn FnOnce(&mut WorkerState) + Send + '_>,

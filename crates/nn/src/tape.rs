@@ -206,9 +206,7 @@ impl Grad {
             (Grad::Dense(a), Grad::Dense(b)) => a.add_assign(&b),
             (Grad::Dense(a), Grad::RowSparse { indices, rows, .. }) => {
                 for (i, &r) in indices.iter().enumerate() {
-                    for (d, &s) in a.row_mut(r).iter_mut().zip(rows.row(i)) {
-                        *d += s;
-                    }
+                    crate::simd::add_assign(a.row_mut(r), rows.row(i));
                 }
             }
             (me @ Grad::RowSparse { .. }, Grad::Dense(b)) => {
@@ -512,9 +510,7 @@ impl Tape {
                 *o = e;
                 denom += e;
             }
-            for o in out.iter_mut() {
-                *o /= denom;
-            }
+            crate::simd::map_fold(out, |o| *o /= denom);
         }
         self.push(value, Op::SoftmaxRows(x))
     }
@@ -575,9 +571,7 @@ impl Tape {
                     continue;
                 }
                 let seg = &basis_row[ki * dim..(ki + 1) * dim];
-                for (o, &v) in out_row.iter_mut().zip(seg.iter()) {
-                    *o += wk * v;
-                }
+                crate::simd::axpy(out_row, wk, seg);
             }
         }
         self.push(
@@ -803,12 +797,13 @@ impl Tape {
                 }
                 Op::LeakyRelu(x, slope) => {
                     let input = self.value(*x);
+                    let slope = *slope;
                     let mut g = grad;
-                    for (gv, &iv) in g.as_mut_slice().iter_mut().zip(input.as_slice().iter()) {
+                    crate::simd::zip_fold(g.as_mut_slice(), input.as_slice(), |gv, iv| {
                         if iv <= 0.0 {
                             *gv *= slope;
                         }
-                    }
+                    });
                     acc(grads, *x, g);
                 }
                 Op::Concat(parts) => {
@@ -840,11 +835,9 @@ impl Tape {
                         let y_row = y.row(r);
                         let g_row = grad.row(r);
                         let dot: f32 = y_row.iter().zip(g_row.iter()).map(|(a, b)| a * b).sum();
-                        for ((o, &yv), &gv) in
-                            g.row_mut(r).iter_mut().zip(y_row.iter()).zip(g_row.iter())
-                        {
-                            *o = yv * (gv - dot);
-                        }
+                        let out_row = g.row_mut(r);
+                        out_row.copy_from_slice(g_row);
+                        crate::simd::zip_fold(out_row, y_row, |o, yv| *o = yv * (*o - dot));
                     }
                     acc(grads, *x, g);
                 }
@@ -865,9 +858,7 @@ impl Tape {
                     for &(idx, b) in &order {
                         if uniq.last() == Some(&idx) {
                             let base = data.len() - cols;
-                            for (d, &s) in data[base..].iter_mut().zip(grad.row(b)) {
-                                *d += s;
-                            }
+                            crate::simd::add_assign(&mut data[base..], grad.row(b));
                         } else {
                             uniq.push(idx);
                             data.extend_from_slice(grad.row(b));
@@ -921,15 +912,10 @@ impl Tape {
                     let scalar = grad.get(0, 0);
                     let p = self.value(*pred);
                     let n = p.len().max(1) as f32;
-                    let mut g = Matrix::zeros(p.rows(), p.cols());
-                    for ((o, &a), &b) in g
-                        .as_mut_slice()
-                        .iter_mut()
-                        .zip(p.as_slice().iter())
-                        .zip(target.as_slice().iter())
-                    {
-                        *o = (a - b).signum() * scalar / n;
-                    }
+                    let mut g = p.clone();
+                    crate::simd::zip_fold(g.as_mut_slice(), target.as_slice(), |o, b| {
+                        *o = (*o - b).signum() * scalar / n;
+                    });
                     acc(grads, *pred, g);
                 }
                 Op::HuberLoss {
@@ -940,21 +926,17 @@ impl Tape {
                     let scalar = grad.get(0, 0);
                     let p = self.value(*pred);
                     let n = p.len().max(1) as f32;
-                    let mut g = Matrix::zeros(p.rows(), p.cols());
-                    for ((o, &a), &b) in g
-                        .as_mut_slice()
-                        .iter_mut()
-                        .zip(p.as_slice().iter())
-                        .zip(target.as_slice().iter())
-                    {
-                        let d = a - b;
-                        *o = if d.abs() <= *delta {
+                    let delta = *delta;
+                    let mut g = p.clone();
+                    crate::simd::zip_fold(g.as_mut_slice(), target.as_slice(), |o, b| {
+                        let d = *o - b;
+                        *o = if d.abs() <= delta {
                             d
                         } else {
                             delta * d.signum()
                         } * scalar
                             / n;
-                    }
+                    });
                     acc(grads, *pred, g);
                 }
                 Op::Mean(x) => {

@@ -1,9 +1,19 @@
 //! Property-based tests for the NN substrate.
 
 use deepsd_nn::{
-    matmul_nt_ref, matmul_ref, matmul_tn_ref, seeded_rng, Init, Matrix, ParamStore, Snapshot, Tape,
+    matmul_nt_ref, matmul_ref, matmul_tn_ref, seeded_rng, set_num_threads, with_kernel_path, Init,
+    KernelPath, Matrix, ParamStore, Snapshot, Tape,
 };
 use proptest::prelude::*;
+
+/// The microkernel paths the host can execute (scalar and lane always;
+/// AVX2 when the CPU has it).
+fn supported_paths() -> Vec<KernelPath> {
+    KernelPath::ALL
+        .into_iter()
+        .filter(|p| p.supported())
+        .collect()
+}
 
 fn small_dim() -> impl Strategy<Value = usize> {
     1usize..8
@@ -96,6 +106,53 @@ proptest! {
         let a = Init::Uniform(1.0).sample(m, k, &mut rng);
         let b = Init::Uniform(1.0).sample(n, k, &mut rng);
         prop_assert_eq!(bits(&a.matmul_nt(&b)), bits(&matmul_nt_ref(&a, &b)));
+    }
+
+    #[test]
+    fn every_kernel_path_matches_reference_at_every_thread_count(
+        (m, k, n) in (ragged_dim(), ragged_dim(), ragged_dim())
+    ) {
+        let mut rng = seeded_rng(10);
+        let a = Init::Uniform(1.0).sample(m, k, &mut rng);
+        let b = Init::Uniform(1.0).sample(k, n, &mut rng);
+        let reference = matmul_ref(&a, &b);
+        for threads in [1usize, 2, 8] {
+            set_num_threads(threads);
+            for path in supported_paths() {
+                let got = with_kernel_path(path, || a.matmul(&b)).expect("path supported");
+                prop_assert_eq!(
+                    bits(&got),
+                    bits(&reference),
+                    "path {} at {} threads diverged from the scalar reference",
+                    path,
+                    threads
+                );
+            }
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn every_kernel_path_matches_reference_tn_nt(
+        (m, k, n) in (ragged_dim(), ragged_dim(), ragged_dim())
+    ) {
+        let mut rng = seeded_rng(11);
+        let at = Init::Uniform(1.0).sample(k, m, &mut rng); // stored transposed
+        let b = Init::Uniform(1.0).sample(k, n, &mut rng);
+        let bt = Init::Uniform(1.0).sample(n, k, &mut rng); // stored transposed
+        let a = Init::Uniform(1.0).sample(m, k, &mut rng);
+        let tn_ref = matmul_tn_ref(&at, &b);
+        let nt_ref = matmul_nt_ref(&a, &bt);
+        for threads in [1usize, 2, 8] {
+            set_num_threads(threads);
+            for path in supported_paths() {
+                let (tn, nt) = with_kernel_path(path, || (at.matmul_tn(&b), a.matmul_nt(&bt)))
+                    .expect("path supported");
+                prop_assert_eq!(bits(&tn), bits(&tn_ref), "tn path {} threads {}", path, threads);
+                prop_assert_eq!(bits(&nt), bits(&nt_ref), "nt path {} threads {}", path, threads);
+            }
+        }
+        set_num_threads(0);
     }
 
     #[test]
