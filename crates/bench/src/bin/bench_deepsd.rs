@@ -7,17 +7,35 @@
 //! `results/` report.
 //!
 //! Usage:
-//! `cargo run --release -p deepsd-bench --bin bench_deepsd [smoke|small|paper] [--threads N]`
+//! `cargo run --release -p deepsd-bench --bin bench_deepsd [smoke|small|paper] [--threads N] [--max-resident-mb N]`
+//!
+//! `--scale-sweep` instead runs the city-size memory sweep: one child
+//! process per city size (58 / 1 000 / 10 000 areas), each training one
+//! epoch through the bounded streaming path (chunked container →
+//! `StreamingExtractor` → windowed epochs) and reporting items/sec plus
+//! peak RSS (`VmHWM`). Children are separate processes because `VmHWM`
+//! is a per-process high-water mark — rows measured in one process
+//! would all inherit the largest city's peak. The parent enforces that
+//! the 10k-area peak stays within 2× of the 58-area peak (exit 3
+//! otherwise) — the "memory does not scale with city size" ratchet.
 
-use deepsd::trainer::train_ensemble;
-use deepsd::{DeepSD, Ensemble, OnlinePredictor, Predictor, Variant};
+use deepsd::trainer::{train, train_ensemble};
+use deepsd::{
+    DeepSD, Ensemble, EnvBlocks, ModelConfig, OnlinePredictor, Predictor, TrainOptions, Variant,
+};
 use deepsd_bench::{run_load, LoadGenConfig, Pipeline, Report, Scale};
-use deepsd_features::Batch;
+use deepsd_features::{
+    test_keys, train_keys, Batch, FeatureConfig, ItemSource, StreamingExtractor,
+};
 use deepsd_nn::{
     matmul_ref, seeded_rng, set_num_threads, with_kernel_path, Adam, Embedding, Grad, GradMap,
     KernelPath, Matrix, ParamStore,
 };
 use deepsd_serve::{ServeConfig, Server};
+use deepsd_simdata::{
+    AreaSource, ChunkReader, ChunkWriter, CityConfig, OrderGenConfig, SimConfig, StreamGenerator,
+    WeatherConfig,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -378,6 +396,275 @@ fn sparse_optim_curve() -> Vec<SparseOptimPoint> {
     points
 }
 
+/// One city size of the streaming scale sweep, measured in its own
+/// child process (see the module docs for why).
+#[derive(Debug, Serialize)]
+struct ScaleSweepPoint {
+    areas: usize,
+    train_items: usize,
+    items_per_sec: f64,
+    /// Child-process peak RSS in MiB (`VmHWM` from `/proc/self/status`).
+    time_peak_rss_mb: f64,
+    data_chunks_read_total: u64,
+    data_bytes_read_total: u64,
+}
+
+/// `BENCH_deepsd.json` payload for `--scale-sweep` runs.
+#[derive(Debug, Serialize)]
+struct SweepOutput {
+    mode: String,
+    max_resident_mb: usize,
+    scale_sweep: Vec<ScaleSweepPoint>,
+    /// Peak-RSS ratio of the largest city over the smallest; the flat-
+    /// memory ratchet fails the run when this exceeds 2.0.
+    rss_ratio_max_vs_min: f64,
+}
+
+/// City sizes the sweep measures: the paper's 58 areas, then 1 000 and
+/// 10 000 to show memory stays flat two orders of magnitude up.
+const SWEEP_AREAS: [usize; 3] = [58, 1_000, 10_000];
+
+/// Resident-item budget (MiB) for both the extractor window state and
+/// the trainer's epoch cache during sweep rows.
+const SWEEP_RESIDENT_MB: usize = 4;
+
+/// Env var carrying the area count to a sweep child process.
+const SWEEP_CHILD_ENV: &str = "DEEPSD_SCALE_SWEEP_CHILD";
+
+/// Sweep simulation: 9 days (7 warmup + 1 train + 1 eval) at a light
+/// order volume so the 10k-area row generates in seconds, not minutes.
+fn sweep_sim_config(areas: usize) -> SimConfig {
+    SimConfig {
+        city: CityConfig {
+            n_areas: areas as u16,
+            seed: 2024,
+        },
+        n_days: 9,
+        weather: WeatherConfig::default(),
+        orders: OrderGenConfig {
+            demand_volume: 0.25,
+            supply_slack: 1.0,
+        },
+    }
+}
+
+fn sweep_feature_config() -> FeatureConfig {
+    FeatureConfig {
+        window_l: 8,
+        history_window: 3,
+        train_stride: 30,
+        ..FeatureConfig::default()
+    }
+}
+
+/// Child mode: generates a chunked container for `areas` areas, trains
+/// one epoch through the bounded streaming path and prints one
+/// machine-parseable `SWEEP_ROW` line.
+fn scale_sweep_child(areas: usize) {
+    let live_rss = || -> f64 {
+        let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("VmRSS:"))
+            .and_then(|r| r.trim().trim_end_matches("kB").trim().parse::<f64>().ok())
+            .unwrap_or(0.0)
+            / 1024.0
+    };
+    let config = sweep_sim_config(areas);
+    let fcfg = sweep_feature_config();
+
+    // Stream-generate straight into the chunked container: per-area
+    // blocks are dropped as soon as they are written, so even the
+    // 10k-area file is produced under the same bounded footprint the
+    // training path runs in.
+    let path =
+        std::env::temp_dir().join(format!("deepsd-sweep-{}-{areas}.dsd", std::process::id()));
+    let mut sg = StreamGenerator::new(&config).without_traffic();
+    eprintln!(
+        "[sweep-child] areas={areas} after city+weather: peak RSS {:.1} MiB (live {:.1})",
+        deepsd::telemetry::peak_rss_mb(),
+        live_rss()
+    );
+    {
+        let file = std::fs::File::create(&path).expect("create sweep container");
+        let mut writer = ChunkWriter::new(
+            std::io::BufWriter::new(file),
+            sg.city(),
+            sg.n_days(),
+            sg.weather(),
+            false,
+        )
+        .expect("write sweep header");
+        eprintln!(
+            "[sweep-child] areas={areas} after header write: peak RSS {:.1} MiB (live {:.1})",
+            deepsd::telemetry::peak_rss_mb(),
+            live_rss()
+        );
+        for area in 0..areas as u16 {
+            let block = sg.area_block(area).expect("generated block");
+            writer.write_area(&block).expect("write sweep area");
+        }
+        writer.finish().expect("finish sweep container");
+    }
+    drop(sg);
+    eprintln!(
+        "[sweep-child] areas={areas} after generate+write: peak RSS {:.1} MiB (live {:.1})",
+        deepsd::telemetry::peak_rss_mb(),
+        live_rss()
+    );
+
+    let reader = ChunkReader::open(std::io::BufReader::new(
+        std::fs::File::open(&path).expect("open sweep container"),
+    ))
+    .expect("sweep container decodes");
+    let mut sx =
+        StreamingExtractor::new(reader, fcfg.clone()).with_max_resident_mb(SWEEP_RESIDENT_MB);
+
+    let tr = train_keys(areas as u16, 7..8, &fcfg);
+    // Evaluate on a ~58-area subset regardless of city size: evaluation
+    // items are materialized, so a full 10k-area eval set would dominate
+    // the very peak RSS the row is measuring.
+    let step = (areas / SWEEP_AREAS[0]).max(1);
+    let te: Vec<_> = test_keys(areas as u16, 8..9, &fcfg)
+        .into_iter()
+        .filter(|k| (k.area as usize).is_multiple_of(step))
+        .collect();
+    let eval_items = sx.extract_all(&te);
+    eprintln!(
+        "[sweep-child] areas={areas} after eval extract: peak RSS {:.1} MiB (live {:.1})",
+        deepsd::telemetry::peak_rss_mb(),
+        live_rss()
+    );
+
+    let mut mcfg = ModelConfig::basic(areas);
+    mcfg.window_l = fcfg.window_l;
+    mcfg.env = EnvBlocks::None;
+    let mut model = DeepSD::new(mcfg);
+    eprintln!(
+        "[sweep-child] areas={areas} after model init: peak RSS {:.1} MiB (live {:.1})",
+        deepsd::telemetry::peak_rss_mb(),
+        live_rss()
+    );
+    let opts = TrainOptions {
+        epochs: 1,
+        best_k: 1,
+        max_resident_mb: SWEEP_RESIDENT_MB,
+        ..TrainOptions::default()
+    };
+    let report = train(&mut model, &mut sx, &tr, &eval_items, &opts);
+
+    let secs: f64 = report.epochs.iter().map(|e| e.seconds).sum();
+    let io = sx.io_stats();
+    let _ = std::fs::remove_file(&path);
+    println!(
+        "SWEEP_ROW areas={areas} train_items={} items_per_sec={:.3} \
+         time_peak_rss_mb={:.3} data_chunks_read_total={} data_bytes_read_total={}",
+        tr.len(),
+        tr.len() as f64 / secs.max(1e-9),
+        deepsd::telemetry::peak_rss_mb(),
+        io.chunks_read,
+        io.bytes_read,
+    );
+}
+
+/// Extracts `key=` from a `SWEEP_ROW` line and parses it.
+fn sweep_field<T: std::str::FromStr>(line: &str, key: &str) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    let tag = format!("{key}=");
+    let rest = line
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&tag))
+        .unwrap_or_else(|| panic!("SWEEP_ROW missing field {key}: {line}"));
+    rest.parse()
+        .unwrap_or_else(|e| panic!("SWEEP_ROW field {key} unparseable ({e:?}): {line}"))
+}
+
+/// Parent mode: one child process per city size, flat-memory ratchet,
+/// `BENCH_deepsd.json` + human report.
+fn run_scale_sweep() {
+    let exe = std::env::current_exe().expect("bench binary path");
+    let mut rows: Vec<ScaleSweepPoint> = Vec::new();
+    for areas in SWEEP_AREAS {
+        eprintln!("[scale-sweep] measuring {areas}-area city in a child process");
+        let out = std::process::Command::new(&exe)
+            .env(SWEEP_CHILD_ENV, areas.to_string())
+            .output()
+            .expect("spawn sweep child");
+        assert!(
+            out.status.success(),
+            "sweep child ({areas} areas) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with("SWEEP_ROW "))
+            .unwrap_or_else(|| {
+                panic!("sweep child ({areas} areas) printed no SWEEP_ROW:\n{stdout}")
+            });
+        let point = ScaleSweepPoint {
+            areas: sweep_field(line, "areas"),
+            train_items: sweep_field(line, "train_items"),
+            items_per_sec: sweep_field(line, "items_per_sec"),
+            time_peak_rss_mb: sweep_field(line, "time_peak_rss_mb"),
+            data_chunks_read_total: sweep_field(line, "data_chunks_read_total"),
+            data_bytes_read_total: sweep_field(line, "data_bytes_read_total"),
+        };
+        eprintln!(
+            "[scale-sweep] areas={}: {:.1} items/sec, peak RSS {:.1} MiB, {} chunks / {} bytes read",
+            point.areas,
+            point.items_per_sec,
+            point.time_peak_rss_mb,
+            point.data_chunks_read_total,
+            point.data_bytes_read_total,
+        );
+        rows.push(point);
+    }
+
+    let rss_min = rows.first().map_or(0.0, |p| p.time_peak_rss_mb);
+    let rss_max = rows.last().map_or(0.0, |p| p.time_peak_rss_mb);
+    let ratio = rss_max / rss_min.max(1e-9);
+    let output = SweepOutput {
+        mode: "scale-sweep".to_string(),
+        max_resident_mb: SWEEP_RESIDENT_MB,
+        scale_sweep: rows,
+        rss_ratio_max_vs_min: ratio,
+    };
+    let json = serde_json::to_string_pretty(&output).expect("sweep output serializes");
+    std::fs::write("BENCH_deepsd.json", &json).expect("write BENCH_deepsd.json");
+    eprintln!("[scale-sweep] wrote BENCH_deepsd.json");
+
+    let mut report = Report::new(
+        "bench_deepsd_scale_sweep",
+        "City-scale streaming memory sweep",
+    );
+    for p in &output.scale_sweep {
+        report.kv(
+            &format!("areas={}", p.areas),
+            format!(
+                "{:.1} items/sec, peak RSS {:.1} MiB ({} train items)",
+                p.items_per_sec, p.time_peak_rss_mb, p.train_items
+            ),
+        );
+    }
+    report.kv(
+        "peak-RSS ratio (10k vs 58 areas)",
+        format!("{ratio:.2}x (budget {SWEEP_RESIDENT_MB} MiB, floor 2.00x)"),
+    );
+    report.finish("scale-sweep");
+
+    if ratio > 2.0 {
+        eprintln!(
+            "[scale-sweep] FAIL: 10k-area peak RSS is {ratio:.2}x the 58-area peak (> 2.0x): \
+             memory is scaling with city size"
+        );
+        std::process::exit(3);
+    }
+    eprintln!("[scale-sweep] ok: peak RSS flat across city sizes ({ratio:.2}x <= 2.0x)");
+}
+
 /// The `p`-th percentile of an unsorted sample, in the sample's unit.
 fn percentile(samples: &mut [f64], p: f64) -> f64 {
     assert!(!samples.is_empty(), "percentile of empty sample");
@@ -387,6 +674,17 @@ fn percentile(samples: &mut [f64], p: f64) -> f64 {
 }
 
 fn main() {
+    if let Ok(v) = std::env::var(SWEEP_CHILD_ENV) {
+        let areas: usize = v
+            .parse()
+            .expect("DEEPSD_SCALE_SWEEP_CHILD must be an area count");
+        scale_sweep_child(areas);
+        return;
+    }
+    if std::env::args().skip(1).any(|a| a == "--scale-sweep") {
+        run_scale_sweep();
+        return;
+    }
     let scale = Scale::from_args();
     let scaling_floor = scale.scaling_floor;
     let pipeline = Pipeline::build(scale);

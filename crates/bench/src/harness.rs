@@ -39,6 +39,11 @@ pub struct Scale {
     /// 2-worker `speedup_vs_1` falls below it — the ratchet the
     /// multicore CI job enforces.
     pub scaling_floor: Option<f64>,
+    /// Approximate cap, in MiB, on trainer-resident extracted items
+    /// (`0` = unbounded). Set by the `--max-resident-mb N` flag and
+    /// forwarded into [`TrainOptions::max_resident_mb`]; results are
+    /// bit-identical at any cap.
+    pub max_resident_mb: usize,
 }
 
 impl Scale {
@@ -70,6 +75,7 @@ impl Scale {
             dropout: 0.3,
             threads: 0,
             scaling_floor: None,
+            max_resident_mb: 0,
         }
     }
 
@@ -112,6 +118,7 @@ impl Scale {
             dropout: 0.3,
             threads: 0,
             scaling_floor: None,
+            max_resident_mb: 0,
         }
     }
 
@@ -136,6 +143,7 @@ impl Scale {
             dropout: 0.5,
             threads: 0,
             scaling_floor: None,
+            max_resident_mb: 0,
         }
     }
 
@@ -156,6 +164,7 @@ impl Scale {
         let mut positional: Option<String> = None;
         let mut threads = 0usize;
         let mut scaling_floor = None;
+        let mut max_resident_mb = 0usize;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             if arg == "--threads" {
@@ -164,6 +173,9 @@ impl Scale {
             } else if arg == "--check-scaling" {
                 let v = args.next().expect("--check-scaling needs a value");
                 scaling_floor = Some(v.parse().expect("--check-scaling must be a number"));
+            } else if arg == "--max-resident-mb" {
+                let v = args.next().expect("--max-resident-mb needs a value");
+                max_resident_mb = v.parse().expect("--max-resident-mb must be an integer");
             } else if positional.is_none() {
                 positional = Some(arg);
             } else {
@@ -178,6 +190,7 @@ impl Scale {
         };
         scale.threads = threads;
         scale.scaling_floor = scaling_floor;
+        scale.max_resident_mb = max_resident_mb;
         if let Some(e) = env_usize("DEEPSD_EPOCHS") {
             scale.epochs = e;
         }
@@ -199,6 +212,7 @@ impl Scale {
             epochs: self.epochs,
             best_k: self.best_k,
             threads: self.threads,
+            max_resident_mb: self.max_resident_mb,
             telemetry: Some(deepsd::telemetry::global().clone()),
             ..TrainOptions::default()
         };

@@ -9,14 +9,15 @@ use deepsd::{
 use deepsd_baselines::EmpiricalAverage;
 use deepsd_features::{
     test_keys, train_keys, FeatureConfig, FeatureExtractor, FeedHealth, FeedKind, IngestPolicy,
-    ItemKey,
+    ItemKey, ItemSource, StreamingExtractor,
 };
 use deepsd_serve::{ServeConfig, Server};
 use deepsd_simdata::{
-    decode_dataset, encode_dataset, CityConfig, FaultPlan, Order, OrderGenConfig, SimConfig,
-    SimDataset,
+    decode_dataset, encode_dataset, AreaSource, ChunkReader, ChunkWriter, CityConfig, FaultPlan,
+    Order, OrderGenConfig, SimConfig, SimDataset, StreamGenerator,
 };
 use std::fs;
+use std::io::{Read, Seek};
 
 /// Top-level error type for commands.
 pub type CmdResult = Result<(), Box<dyn std::error::Error>>;
@@ -41,19 +42,19 @@ deepsd-cli — DeepSD (ICDE 2017) supply-demand gap prediction
 
 USAGE:
   deepsd-cli simulate --out data.dsd [--areas 16] [--days 38] [--seed 7]
-                      [--volume 1.0] [--slack 1.0]
+                      [--volume 1.0] [--slack 1.0] [--format chunked|legacy]
   deepsd-cli inspect  --data data.dsd
   deepsd-cli train    --data data.dsd --out model.json
                       [--variant basic|advanced] [--env none|weather|full]
                       [--train-days 7..24] [--eval-days 24..38]
                       [--epochs 10] [--window 20] [--dropout 0.3]
                       [--lr 0.001] [--best-k 4] [--threads 0] [--autotune 1]
-                      [--metrics-out metrics.json]
+                      [--max-resident-mb 0] [--metrics-out metrics.json]
   deepsd-cli evaluate --data data.dsd --model model.json [--test-days 24..38]
                       [--threads 0] [--autotune 1] [--metrics-out metrics.json]
   deepsd-cli predict  --data data.dsd --model model.json --day 30 --t 480
                       [--area 3] [--threads 0] [--autotune 1]
-                      [--metrics-out metrics.json]
+                      [--max-resident-mb 0] [--metrics-out metrics.json]
                       [--ingest-policy reject|drop-late|reorder:<minutes>]
                       [--fault-shuffle 5] [--fault-drop 0.1] [--fault-dup 0.1]
                       [--fault-seed 7]
@@ -62,7 +63,8 @@ USAGE:
                       [--queue 64] [--deadline-ms 500] [--read-timeout-ms 1000]
                       [--max-batch 64] [--breaker-trip 3] [--breaker-restore 2]
                       [--ingest-policy reject|drop-late|reorder:<minutes>]
-                      [--threads 0] [--autotune 1] [--metrics-out metrics.json]
+                      [--max-resident-mb 0] [--threads 0] [--autotune 1]
+                      [--metrics-out metrics.json]
 
 `predict` streams the day's orders through the online serving path:
 `--ingest-policy` selects how late/duplicate/unknown-area orders are
@@ -71,6 +73,13 @@ and `--blackout-*` declares environment-feed outages (minute ranges of
 the prediction day). Feed status and ingest counters are printed with
 the predictions. `train` writes checksummed checkpoints; `evaluate` and
 `predict` verify them on load (legacy bare-JSON models still load).
+`simulate` writes the chunked `DEEPSD-DATA2` container by default,
+streamed area by area in bounded memory (`--format legacy` keeps the
+old whole-blob format; both formats load everywhere). `train`, `predict`
+and `serve` stream chunked containers area by area instead of
+materialising the dataset; `--max-resident-mb` caps both the extractor's
+per-area state and the trainer's item cache (0 = unbounded), trading
+extraction time for flat memory — results are bit-identical at any cap.
 `--threads` sets the worker-thread count for the parallel kernels, the
 training shard pool and batch scoring (0 = auto-detect); results are
 bit-identical at any thread count. `--autotune 1` runs a bounded startup
@@ -112,9 +121,13 @@ fn write_metrics_out(args: &Args, telemetry: &Telemetry) -> CmdResult {
     Ok(())
 }
 
-/// `simulate`: generate a dataset and write it as a binary blob.
+/// `simulate`: generate a dataset and write it to disk. The default
+/// `chunked` format streams area by area through a [`ChunkWriter`], so
+/// peak memory stays flat no matter how many areas the city has;
+/// `legacy` materialises the whole dataset and writes the old
+/// single-blob format.
 pub fn simulate(args: &Args) -> CmdResult {
-    args.check_known(&["out", "areas", "days", "seed", "volume", "slack"])?;
+    args.check_known(&["out", "areas", "days", "seed", "volume", "slack", "format"])?;
     let out = args.require("out")?;
     let config = SimConfig {
         city: CityConfig {
@@ -132,14 +145,36 @@ pub fn simulate(args: &Args) -> CmdResult {
         "simulating {} areas x {} days (seed {})…",
         config.city.n_areas, config.n_days, config.city.seed
     );
-    let ds = SimDataset::generate(&config);
-    let blob = encode_dataset(&ds);
-    fs::write(out, &blob)?;
+    let format = args.get("format").unwrap_or("chunked");
+    let (total, invalid) = match format {
+        "chunked" => {
+            let mut gen = StreamGenerator::new(&config);
+            let file = std::io::BufWriter::new(fs::File::create(out)?);
+            let mut w = ChunkWriter::new(file, gen.city(), config.n_days, gen.weather(), true)?;
+            let (mut total, mut invalid) = (0u64, 0u64);
+            for area in 0..gen.n_areas() as u16 {
+                let block = gen.area_block(area)?;
+                total += block.orders.len() as u64;
+                invalid += block.orders.iter().filter(|o| !o.valid).count() as u64;
+                w.write_area(&block)?;
+            }
+            w.finish()?;
+            (total, invalid)
+        }
+        "legacy" => {
+            let ds = SimDataset::generate(&config);
+            fs::write(out, encode_dataset(&ds))?;
+            (ds.total_orders() as u64, ds.total_invalid() as u64)
+        }
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown format '{other}' (expected chunked|legacy)"
+            ))))
+        }
+    };
     println!(
-        "wrote {out}: {} orders ({} unanswered), {:.1} MiB",
-        ds.total_orders(),
-        ds.total_invalid(),
-        blob.len() as f64 / (1024.0 * 1024.0)
+        "wrote {out}: {total} orders ({invalid} unanswered), {:.1} MiB ({format})",
+        fs::metadata(out)?.len() as f64 / (1024.0 * 1024.0)
     );
     Ok(())
 }
@@ -148,6 +183,25 @@ fn load_dataset(args: &Args) -> Result<SimDataset, Box<dyn std::error::Error>> {
     let path = args.require("data")?;
     let blob = fs::read(path)?;
     Ok(decode_dataset(&blob)?)
+}
+
+/// Opens `--data` as a bounded-memory [`AreaSource`]: chunked
+/// `DEEPSD-DATA2` containers are read lazily chunk by chunk (checksums
+/// verified on every read), legacy whole-blob files are decoded and
+/// adapted. Only the chunked path keeps memory flat; the legacy path
+/// exists so old datasets keep working.
+fn open_area_source(args: &Args) -> Result<Box<dyn AreaSource>, Box<dyn std::error::Error>> {
+    let path = args.require("data")?;
+    let mut file = fs::File::open(path)?;
+    let mut magic = [0u8; 12];
+    let n = file.read(&mut magic)?;
+    file.seek(std::io::SeekFrom::Start(0))?;
+    if n == magic.len() && &magic == b"DEEPSD-DATA2" {
+        Ok(Box::new(ChunkReader::open(std::io::BufReader::new(file))?))
+    } else {
+        drop(file);
+        Ok(Box::new(load_dataset(args)?))
+    }
 }
 
 /// `inspect`: print a dataset summary.
@@ -202,18 +256,22 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         "stride",
         "threads",
         "autotune",
+        "max-resident-mb",
         "metrics-out",
     ])?;
     apply_perf_flags(args)?;
-    let ds = load_dataset(args)?;
+    let max_resident_mb = args.get_or("max-resident-mb", 0usize)?;
+    let source = open_area_source(args)?;
+    let n_days = source.n_days();
+    let n_areas = source.n_areas();
     let out = args.require("out")?;
     let fcfg = feature_config(args)?;
-    let train_days = args.get_range("train-days", 7..(ds.n_days.saturating_sub(14)).max(8))?;
-    let eval_days = args.get_range("eval-days", train_days.end..ds.n_days)?;
-    if eval_days.end > ds.n_days {
+    let train_days = args.get_range("train-days", 7..(n_days.saturating_sub(14)).max(8))?;
+    let eval_days = args.get_range("eval-days", train_days.end..n_days)?;
+    if eval_days.end > n_days {
         return Err(Box::new(ArgError(format!(
             "--eval-days ends at {} but the dataset has {} days",
-            eval_days.end, ds.n_days
+            eval_days.end, n_days
         ))));
     }
 
@@ -230,16 +288,20 @@ pub fn train_cmd(args: &Args) -> CmdResult {
     };
 
     let mut mcfg = match variant {
-        Variant::Basic => ModelConfig::basic(ds.n_areas()),
-        Variant::Advanced => ModelConfig::advanced(ds.n_areas()),
+        Variant::Basic => ModelConfig::basic(n_areas),
+        Variant::Advanced => ModelConfig::advanced(n_areas),
     };
     mcfg.window_l = fcfg.window_l;
     mcfg.env = env;
     mcfg.dropout = args.get_or("dropout", 0.3f32)?;
 
-    let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
-    let tr = train_keys(ds.n_areas() as u16, train_days.clone(), &fcfg);
-    let te = test_keys(ds.n_areas() as u16, eval_days.clone(), &fcfg);
+    // Stream items from the source instead of materialising the whole
+    // dataset; the resident budget caps per-area feature state and
+    // (through TrainOptions) the trainer's epoch item cache.
+    let mut fx =
+        StreamingExtractor::new(source, fcfg.clone()).with_max_resident_mb(max_resident_mb);
+    let tr = train_keys(n_areas as u16, train_days.clone(), &fcfg);
+    let te = test_keys(n_areas as u16, eval_days.clone(), &fcfg);
     let eval_items = fx.extract_all(&te);
     eprintln!(
         "training {variant:?} on {} items (days {train_days:?}), evaluating on {} items",
@@ -254,6 +316,7 @@ pub fn train_cmd(args: &Args) -> CmdResult {
         best_k: args.get_or("best-k", 4usize)?,
         learning_rate: args.get_or("lr", 1e-3f32)?,
         threads: args.get_or("threads", 0usize)?,
+        max_resident_mb,
         telemetry: Some(telemetry.clone()),
         ..TrainOptions::default()
     };
@@ -373,26 +436,28 @@ pub fn predict(args: &Args) -> CmdResult {
         "fault-seed",
         "blackout-weather",
         "blackout-traffic",
+        "max-resident-mb",
         "threads",
         "autotune",
         "metrics-out",
     ])?;
     apply_perf_flags(args)?;
-    let ds = load_dataset(args)?;
+    let mut source = open_area_source(args)?;
     let model = load_model(args)?;
     let mut fcfg = feature_config(args)?;
     fcfg.window_l = model.config().window_l;
     let day: u16 = args.require_parsed("day")?;
     let t: u16 = args.require_parsed("t")?;
-    if day >= ds.n_days {
+    let n_days = source.n_days();
+    if day >= n_days {
         return Err(Box::new(RunError(format!(
-            "--day {day} out of range (dataset has {} days)",
-            ds.n_days
+            "--day {day} out of range (dataset has {n_days} days)"
         ))));
     }
+    let n_areas = source.n_areas();
     let areas: Vec<u16> = match args.get("area") {
         Some(_) => vec![args.require_parsed("area")?],
-        None => (0..ds.n_areas() as u16).collect(),
+        None => (0..n_areas as u16).collect(),
     };
 
     let policy = match args.get("ingest-policy") {
@@ -416,25 +481,36 @@ pub fn predict(args: &Args) -> CmdResult {
         }
     }
 
-    let mut fx = FeatureExtractor::new(&ds, fcfg);
+    // Replay snapshot: one pass over the source keeping only the target
+    // day's pre-window orders per area, so replaying a 10k-area city
+    // never materializes more than the tick being replayed.
+    let mut replay: Vec<Vec<Order>> = Vec::with_capacity(n_areas);
+    for area in 0..n_areas as u16 {
+        let block = source.area_block(area)?;
+        replay.push(
+            block
+                .orders
+                .into_iter()
+                .filter(|o| o.day == day && o.ts < t)
+                .collect(),
+        );
+    }
+
+    let mut fx = StreamingExtractor::new(source, fcfg)
+        .with_max_resident_mb(args.get_or("max-resident-mb", 0usize)?);
     fx.set_feed_health(health);
     let telemetry = Telemetry::new();
     let mut predictor = OnlinePredictor::with_policy(model, fx, policy);
     predictor.set_telemetry(telemetry.clone());
-    for area in 0..ds.n_areas() as u16 {
-        let stream: Vec<Order> = ds
-            .orders(area)
-            .iter()
-            .filter(|o| o.day == day && o.ts < t)
-            .copied()
-            .collect();
-        let batch = predictor.observe_all(&plan.apply(&stream));
+    for (area, stream) in replay.iter().enumerate() {
+        let batch = predictor.observe_all(&plan.apply(stream));
         // Policy-aware partial ingest: the whole tick is applied and any
         // rejected orders are summarised instead of aborting the run.
         if !batch.is_clean() {
             eprintln!("area {area}: {batch}");
         }
     }
+    drop(replay);
 
     let report = predictor.predict_all_report(day, t);
     println!("day {day}, window [{t}, {}):", t + 10);
@@ -443,7 +519,7 @@ pub fn predict(args: &Args) -> CmdResult {
     println!("ingest: {}", report.ingest);
     println!("area  predicted  actual");
     for &area in &areas {
-        let actual = predictor.extractor().gap(ItemKey { area, day, t });
+        let actual = predictor.extractor_mut().gap(ItemKey { area, day, t });
         println!(
             "{:>4} {:>10.2} {:>7}",
             area, report.predictions[area as usize], actual
@@ -473,12 +549,13 @@ pub fn serve(args: &Args) -> CmdResult {
         "window",
         "history-window",
         "stride",
+        "max-resident-mb",
         "threads",
         "autotune",
         "metrics-out",
     ])?;
     apply_perf_flags(args)?;
-    let ds = load_dataset(args)?;
+    let source = open_area_source(args)?;
     let model = load_model(args)?;
     let mut fcfg = feature_config(args)?;
     fcfg.window_l = model.config().window_l;
@@ -501,7 +578,8 @@ pub fn serve(args: &Args) -> CmdResult {
     };
 
     let telemetry = Telemetry::new();
-    let fx = FeatureExtractor::new(&ds, fcfg);
+    let fx = StreamingExtractor::new(source, fcfg)
+        .with_max_resident_mb(args.get_or("max-resident-mb", 0usize)?);
     let mut predictor = OnlinePredictor::with_policy(model, fx, policy);
     predictor.set_telemetry(telemetry.clone());
 

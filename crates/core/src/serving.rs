@@ -28,8 +28,8 @@
 use crate::model::{BlockMask, Predictor};
 use crate::telemetry::Telemetry;
 use deepsd_features::{
-    Batch, BatchIngestReport, FeatureExtractor, FeedState, FeedStatus, IngestError, IngestPolicy,
-    IngestStats, Item, ItemKey, OnlineWindow,
+    Batch, BatchIngestReport, FeedState, FeedStatus, IngestError, IngestPolicy, IngestStats, Item,
+    ItemKey, ItemSource, OnlineWindow,
 };
 use deepsd_nn::Tape;
 use deepsd_simdata::Order;
@@ -53,9 +53,16 @@ pub struct ServingReport {
 }
 
 /// Streaming gap predictor over all areas of a city.
-pub struct OnlinePredictor<'a, P: Predictor> {
+///
+/// Generic over the [`ItemSource`] supplying histories, environment
+/// feeds and ground truth: the classic whole-dataset
+/// [`FeatureExtractor`](deepsd_features::FeatureExtractor) or the
+/// bounded-memory
+/// [`StreamingExtractor`](deepsd_features::StreamingExtractor), which
+/// keeps serving viable at 10k-area city scale.
+pub struct OnlinePredictor<P: Predictor, X: ItemSource> {
     model: P,
-    extractor: FeatureExtractor<'a>,
+    extractor: X,
     windows: Vec<OnlineWindow>,
     policy: IngestPolicy,
     /// Counters for orders no window ever saw (unknown areas).
@@ -69,18 +76,18 @@ pub struct OnlinePredictor<'a, P: Predictor> {
     telemetry: Option<Telemetry>,
 }
 
-impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
+impl<P: Predictor + Sync, X: ItemSource> OnlinePredictor<P, X> {
     /// Creates a predictor with the strict [`IngestPolicy::Reject`]
     /// policy. `extractor` supplies weekday histories, weather/traffic
     /// feeds and ground truth; the real-time order state comes
     /// exclusively from [`OnlinePredictor::observe`].
-    pub fn new(model: P, extractor: FeatureExtractor<'a>) -> Self {
+    pub fn new(model: P, extractor: X) -> Self {
         OnlinePredictor::with_policy(model, extractor, IngestPolicy::Reject)
     }
 
     /// Creates a predictor with an explicit ingest policy governing how
     /// late, duplicate and unknown-area orders are handled.
-    pub fn with_policy(model: P, extractor: FeatureExtractor<'a>, policy: IngestPolicy) -> Self {
+    pub fn with_policy(model: P, extractor: X, policy: IngestPolicy) -> Self {
         let cfg = extractor.config().clone();
         let windows = (0..extractor.n_areas() as u16)
             .map(|area| OnlineWindow::with_policy(area, &cfg, policy))
@@ -158,13 +165,14 @@ impl<'a, P: Predictor + Sync> OnlinePredictor<'a, P> {
             .fold(self.stray, |acc, w| acc.merge(&w.stats()))
     }
 
-    /// The wrapped feature extractor (feed health, ground truth).
-    pub fn extractor(&self) -> &FeatureExtractor<'a> {
+    /// The wrapped item source (feed health, ground truth).
+    pub fn extractor(&self) -> &X {
         &self.extractor
     }
 
-    /// Mutable access to the extractor, e.g. to declare feed outages.
-    pub fn extractor_mut(&mut self) -> &mut FeatureExtractor<'a> {
+    /// Mutable access to the item source, e.g. to declare feed outages
+    /// or read ground truth.
+    pub fn extractor_mut(&mut self) -> &mut X {
         &mut self.extractor
     }
 
@@ -254,7 +262,7 @@ mod tests {
     use crate::config::ModelConfig;
     use crate::model::DeepSD;
     use crate::trainer::predict_items;
-    use deepsd_features::{FeatureConfig, FeedKind};
+    use deepsd_features::{FeatureConfig, FeatureExtractor, FeedKind};
     use deepsd_simdata::{SimConfig, SimDataset};
 
     fn setup(seed: u64) -> (SimDataset, FeatureConfig, DeepSD) {
@@ -307,6 +315,40 @@ mod tests {
         assert!(!report.feeds.degraded());
         assert_eq!(report.ingest.lost(), 0);
         assert!(report.ingest.accepted > 0);
+    }
+
+    #[test]
+    fn streamed_source_serving_is_bit_identical() {
+        use deepsd_features::StreamingExtractor;
+
+        let (ds, fcfg, model) = setup(127);
+        let day = 11u16;
+        let t = 540u16;
+        let streams: Vec<Vec<Order>> = (0..ds.n_areas() as u16)
+            .map(|area| day_stream(&ds, area, day, t))
+            .collect();
+
+        // Reference: serving over the materialized extractor.
+        let fx = FeatureExtractor::new(&ds, fcfg.clone());
+        let mut reference = OnlinePredictor::new(model.clone(), fx);
+        for stream in &streams {
+            assert!(reference.observe_all(stream).is_clean());
+        }
+        let expected = reference.predict_all_report(day, t);
+        drop(reference);
+
+        // Same model, same orders, but the city-scale path: a
+        // StreamingExtractor over the dataset with a tight resident
+        // budget, so areas are rebuilt mid-serve.
+        let sx = StreamingExtractor::new(ds, fcfg).with_max_resident_mb(1);
+        let mut streamed = OnlinePredictor::new(model, sx);
+        for stream in &streams {
+            assert!(streamed.observe_all(stream).is_clean());
+        }
+        let got = streamed.predict_all_report(day, t);
+
+        assert_eq!(expected.predictions, got.predictions);
+        assert_eq!(expected.ingest, got.ingest);
     }
 
     #[test]

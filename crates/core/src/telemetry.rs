@@ -446,6 +446,30 @@ pub fn feed_stale_age_minutes(state: FeedState) -> f64 {
     }
 }
 
+/// Peak resident set size of this process in MiB, read from the `VmHWM`
+/// line of `/proc/self/status` (0.0 when unavailable, e.g. on
+/// non-Linux). The kernel high-water mark is monotonic per process, so
+/// scale sweeps that want per-configuration peaks must run each
+/// configuration in a fresh child process.
+pub fn peak_rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    peak_rss_kb_from(&status) / 1024.0
+}
+
+fn peak_rss_kb_from(status: &str) -> f64 {
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<f64>()
+                .unwrap_or(0.0);
+        }
+    }
+    0.0
+}
+
 /// Process-wide registry for code without an explicit handle (e.g. the
 /// bench harness's env-override counters).
 pub fn global() -> &'static Telemetry {
@@ -655,6 +679,15 @@ mod tests {
         assert_eq!(parsed["deepsd_latency_seconds_bucket{le=\"+Inf\"}"], 2.0);
         assert_eq!(parsed["deepsd_latency_seconds_count"], 2.0);
         assert!(parse_prometheus("garbage").is_err());
+    }
+
+    #[test]
+    fn peak_rss_parses_proc_status() {
+        let status = "Name:\tdeepsd\nVmPeak:\t  123 kB\nVmHWM:\t   2048 kB\nVmRSS:\t 1024 kB\n";
+        assert_eq!(peak_rss_kb_from(status), 2048.0);
+        assert_eq!(peak_rss_kb_from("no such line"), 0.0);
+        #[cfg(target_os = "linux")]
+        assert!(peak_rss_mb() > 0.0, "live VmHWM must be positive");
     }
 
     #[test]

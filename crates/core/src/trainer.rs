@@ -4,12 +4,22 @@
 use crate::metrics::{evaluate, Evaluation};
 use crate::model::{BlockMask, DeepSD, Ensemble, Predictor};
 use crate::telemetry::{EpochEvent, Telemetry};
-use deepsd_features::{Batch, FeatureExtractor, Item, ItemKey};
+use deepsd_features::{Batch, Item, ItemKey, ItemSource};
 use deepsd_nn::{seeded_rng, Adam, GradMap, Matrix, ShardPool, Snapshot, Tape};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::rc::Rc;
+
+/// Items per epoch block: the unit whose order is shuffled each epoch by
+/// the streaming epoch iterator (DESIGN.md §4.8).
+pub const EPOCH_BLOCK_ITEMS: usize = 256;
+
+/// Blocks per shuffle window: items are fully shuffled within a window
+/// of this many consecutive (post-shuffle) blocks. The window is the
+/// only item set that must be resident when streaming —
+/// `8 × 256 = 2048` items, a few MB at `L = 8`.
+pub const SHUFFLE_WINDOW_BLOCKS: usize = 8;
 
 /// Loss function minimised during training.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,6 +65,14 @@ pub struct TrainOptions {
     /// latency for CPU.
     #[serde(default)]
     pub threads: usize,
+    /// Approximate cap, in MiB, on trainer-resident extracted feature
+    /// items (`0` = unbounded). When the whole-epoch item cache would
+    /// exceed the cap, items are instead re-extracted one shuffle
+    /// window at a time each epoch — batches and results are
+    /// bit-identical either way, only memory and extraction time
+    /// change.
+    #[serde(default)]
+    pub max_resident_mb: usize,
     /// Metrics sink for per-epoch events and shard/step timings
     /// (`None` disables telemetry; never serialised).
     #[serde(skip)]
@@ -78,6 +96,7 @@ impl Default for TrainOptions {
             seed: 99,
             max_divergence_recoveries: default_max_divergence_recoveries(),
             threads: 0,
+            max_resident_mb: 0,
             telemetry: None,
         }
     }
@@ -134,9 +153,9 @@ impl TrainReport {
 /// Trains `model` in place and returns only the report; the model is
 /// left at the single best epoch's parameters. See [`train_ensemble`]
 /// for the paper's best-K model averaging.
-pub fn train(
+pub fn train<X: ItemSource>(
     model: &mut DeepSD,
-    extractor: &mut FeatureExtractor<'_>,
+    extractor: &mut X,
     train_keys: &[ItemKey],
     eval_items: &[Item],
     options: &TrainOptions,
@@ -145,9 +164,18 @@ pub fn train(
     report
 }
 
-/// Trains `model` on `train_keys` (features extracted once up front and
-/// cached for every epoch) and evaluates after each epoch on
+/// Trains `model` on `train_keys` and evaluates after each epoch on
 /// pre-extracted `eval_items`.
+///
+/// Features come from any [`ItemSource`] — the classic whole-dataset
+/// [`deepsd_features::FeatureExtractor`] or the bounded-memory
+/// [`deepsd_features::StreamingExtractor`]. When the extracted items fit
+/// [`TrainOptions::max_resident_mb`] they are extracted once and cached
+/// for every epoch; otherwise each epoch re-extracts one shuffle window
+/// at a time, so trainer-resident feature memory stays bounded by
+/// `SHUFFLE_WINDOW_BLOCKS × EPOCH_BLOCK_ITEMS` items. Both modes draw
+/// the same RNG sequence and build the same batches, so they are
+/// bit-identical.
 ///
 /// After the last epoch, the `best_k` epochs with the lowest evaluation
 /// RMSE form a prediction-averaging [`Ensemble`] — the paper's "final
@@ -161,9 +189,9 @@ pub fn train(
 /// [`TrainOptions::max_divergence_recoveries`] times. If every epoch
 /// diverges the last good parameters are returned instead of NaN
 /// weights.
-pub fn train_ensemble(
+pub fn train_ensemble<X: ItemSource>(
     model: &mut DeepSD,
-    extractor: &mut FeatureExtractor<'_>,
+    extractor: &mut X,
     train_keys: &[ItemKey],
     eval_items: &[Item],
     options: &TrainOptions,
@@ -179,12 +207,33 @@ pub fn train_ensemble(
 
     let mut adam = Adam::new(options.learning_rate, 0.9, 0.999, 1e-8);
     let mut rng = seeded_rng(options.seed);
-    // Epoch feature cache: an item depends only on its key, so extraction
-    // runs exactly once per key here. Epochs shuffle the cached items in
-    // place (a pointer-level swap per item, no re-extraction, no clones);
-    // shuffling items instead of keys draws the same RNG sequence, so the
-    // batch composition per epoch is unchanged.
-    let mut cached: Vec<Item> = extractor.extract_all(train_keys);
+    // Block-shuffled epoch iterator (DESIGN.md §4.8): keys split into
+    // fixed EPOCH_BLOCK_ITEMS-sized blocks; each epoch shuffles the
+    // block order, then fully shuffles items within each consecutive
+    // window of SHUFFLE_WINDOW_BLOCKS blocks. All RNG draws depend only
+    // on `train_keys.len()` — never on the worker count or the caching
+    // mode — so training is bit-identical at any thread count and any
+    // `max_resident_mb`. This is a deliberate RNG-stream change from
+    // the old whole-cache `Vec::shuffle`: the window shuffle permutes
+    // within a bounded horizon, so same-seed runs of older releases
+    // produce different (equally valid) batch orders.
+    let n_items = train_keys.len();
+    let n_blocks = n_items.div_ceil(EPOCH_BLOCK_ITEMS);
+
+    // An item depends only on its key, so when the whole epoch cache
+    // fits the memory budget it is extracted exactly once up front
+    // (`max_resident_mb == 0` means unbounded). Otherwise `cached`
+    // stays empty and each epoch re-extracts one window at a time.
+    let cache_all = options.max_resident_mb == 0 || {
+        let budget = options.max_resident_mb.saturating_mul(1024 * 1024);
+        let per_item = approx_item_bytes(&extractor.extract(train_keys[0]));
+        per_item.saturating_mul(n_items) <= budget
+    };
+    let cached: Vec<Item> = if cache_all {
+        extractor.extract_all(train_keys)
+    } else {
+        Vec::new()
+    };
     let mut epochs = Vec::with_capacity(options.epochs);
     let mut snapshots: Vec<(f64, Rc<Snapshot>)> = Vec::new();
 
@@ -213,58 +262,95 @@ pub fn train_ensemble(
 
     for epoch in 0..options.epochs {
         let started = std::time::Instant::now();
-        cached.shuffle(&mut rng);
+        let mut block_order: Vec<u32> = (0..n_blocks as u32).collect();
+        block_order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         let mut diverged = false;
         let mut t_run = 0.0f64;
         let mut t_step = 0.0f64;
-        for chunk in cached.chunks(options.batch_size) {
-            // Pre-split the dropout RNG: one seed per shard, drawn from
-            // the batch RNG in shard order before dispatch. The seed
-            // sequence depends only on the batch partition, never on
-            // which worker runs a shard, preserving bit-identity across
-            // worker counts.
-            let shards = ShardPool::num_shards(chunk.len());
-            let seeds: Vec<u64> = (0..shards).map(|_| rng.gen::<u64>()).collect();
-            let model_ref = &*model;
-            let loss_fn = options.loss;
-            let t0 = std::time::Instant::now();
-            let shard_losses = pool.run(chunk.len(), &mut grads, |job| {
-                let batch = Batch::from_items(&chunk[job.range.clone()]);
-                let targets = Matrix::col_vector(batch.targets.clone());
-                let mut shard_rng = seeded_rng(seeds[job.shard]);
-                let pred = model_ref.forward(job.tape, &batch, Some(&mut shard_rng));
-                let loss = match loss_fn {
-                    Loss::Mse => job.tape.mse_loss(pred, &targets),
-                    Loss::Huber => job.tape.huber_loss(pred, &targets, 5.0),
-                };
-                // Scale each shard's mean loss by its share of the batch
-                // so the summed shard losses (and therefore the reduced
-                // gradients) equal the whole-batch mean loss.
-                let factor = job.range.len() as f32 / chunk.len() as f32;
-                let scaled = if job.range.len() == chunk.len() {
-                    loss
-                } else {
-                    job.tape.scale(loss, factor)
-                };
-                job.tape.backward_into(scaled, job.scratch, job.grads);
-                job.tape.value(scaled).get(0, 0) as f64
-            });
-            t_run += t0.elapsed().as_secs_f64();
-            let loss_value: f64 = shard_losses.iter().sum();
-            if !loss_value.is_finite() {
-                diverged = true;
-                break;
+        'windows: for window in block_order.chunks(SHUFFLE_WINDOW_BLOCKS) {
+            // Global item indices covered by this window, in shuffled
+            // block order, then a full within-window shuffle. Both draw
+            // sequences depend only on the item count.
+            let window_global: Vec<usize> = window
+                .iter()
+                .flat_map(|&b| {
+                    let start = b as usize * EPOCH_BLOCK_ITEMS;
+                    start..(start + EPOCH_BLOCK_ITEMS).min(n_items)
+                })
+                .collect();
+            let mut locals: Vec<usize> = (0..window_global.len()).collect();
+            locals.shuffle(&mut rng);
+            // Streaming mode: only this window's items are resident.
+            // The same keys are extracted every epoch, so re-extraction
+            // yields the same items the cache would have served.
+            let window_items: Vec<Item> = if cache_all {
+                Vec::new()
+            } else {
+                window_global
+                    .iter()
+                    .map(|&g| extractor.extract(train_keys[g]))
+                    .collect()
+            };
+            for batch_locals in locals.chunks(options.batch_size) {
+                let chunk: Vec<&Item> = batch_locals
+                    .iter()
+                    .map(|&p| {
+                        if cache_all {
+                            &cached[window_global[p]]
+                        } else {
+                            &window_items[p]
+                        }
+                    })
+                    .collect();
+                // Pre-split the dropout RNG: one seed per shard, drawn
+                // from the batch RNG in shard order before dispatch. The
+                // seed sequence depends only on the batch partition,
+                // never on which worker runs a shard, preserving
+                // bit-identity across worker counts.
+                let shards = ShardPool::num_shards(chunk.len());
+                let seeds: Vec<u64> = (0..shards).map(|_| rng.gen::<u64>()).collect();
+                let model_ref = &*model;
+                let loss_fn = options.loss;
+                let t0 = std::time::Instant::now();
+                let shard_losses = pool.run(chunk.len(), &mut grads, |job| {
+                    let batch = Batch::from_refs(&chunk[job.range.clone()]);
+                    let targets = Matrix::col_vector(batch.targets.clone());
+                    let mut shard_rng = seeded_rng(seeds[job.shard]);
+                    let pred = model_ref.forward(job.tape, &batch, Some(&mut shard_rng));
+                    let loss = match loss_fn {
+                        Loss::Mse => job.tape.mse_loss(pred, &targets),
+                        Loss::Huber => job.tape.huber_loss(pred, &targets, 5.0),
+                    };
+                    // Scale each shard's mean loss by its share of the
+                    // batch so the summed shard losses (and therefore
+                    // the reduced gradients) equal the whole-batch mean
+                    // loss.
+                    let factor = job.range.len() as f32 / chunk.len() as f32;
+                    let scaled = if job.range.len() == chunk.len() {
+                        loss
+                    } else {
+                        job.tape.scale(loss, factor)
+                    };
+                    job.tape.backward_into(scaled, job.scratch, job.grads);
+                    job.tape.value(scaled).get(0, 0) as f64
+                });
+                t_run += t0.elapsed().as_secs_f64();
+                let loss_value: f64 = shard_losses.iter().sum();
+                if !loss_value.is_finite() {
+                    diverged = true;
+                    break 'windows;
+                }
+                loss_sum += loss_value;
+                batches += 1;
+                if let Some(clip) = options.grad_clip {
+                    grads.clip_max_abs(clip);
+                }
+                let t1 = std::time::Instant::now();
+                adam.step(model.store_mut(), &grads);
+                t_step += t1.elapsed().as_secs_f64();
             }
-            loss_sum += loss_value;
-            batches += 1;
-            if let Some(clip) = options.grad_clip {
-                grads.clip_max_abs(clip);
-            }
-            let t1 = std::time::Instant::now();
-            adam.step(model.store_mut(), &grads);
-            t_step += t1.elapsed().as_secs_f64();
         }
         let seconds = started.elapsed().as_secs_f64();
         let lr_used = adam.lr as f64;
@@ -335,6 +421,14 @@ pub fn train_ensemble(
         tel.set_counter("train_shard_pool_runs_total", pool_stats.runs);
         tel.set_counter("train_shard_pool_shards_total", pool_stats.shards);
         tel.set_gauge("time_shard_pool_busy_seconds", pool_stats.busy_seconds);
+        // Data-plane I/O (zeros for in-memory sources) and the process
+        // peak RSS. The counters are deterministic for a given source
+        // and budget; peak RSS is wall-clock-class and stays in the
+        // `time_` namespace.
+        let io = extractor.io_stats();
+        tel.set_counter("data_chunks_read_total", io.chunks_read);
+        tel.set_counter("data_bytes_read_total", io.bytes_read);
+        tel.set_gauge("time_peak_rss_mb", crate::telemetry::peak_rss_mb());
     }
 
     if snapshots.is_empty() {
@@ -379,6 +473,25 @@ pub fn train_ensemble(
             divergence_recoveries: recoveries,
         },
     )
+}
+
+/// Rough resident size of one extracted item, for deciding whether the
+/// whole epoch cache fits [`TrainOptions::max_resident_mb`].
+fn approx_item_bytes(item: &Item) -> usize {
+    let floats = item.v_sd.len()
+        + item.v_lc.len()
+        + item.v_wt.len()
+        + item.h_sd.len()
+        + item.h_sd_next.len()
+        + item.h_lc.len()
+        + item.h_lc_next.len()
+        + item.h_wt.len()
+        + item.h_wt_next.len()
+        + item.weather_scalars.len()
+        + item.traffic.len();
+    std::mem::size_of::<Item>()
+        + floats * std::mem::size_of::<f32>()
+        + item.weather_types.len() * std::mem::size_of::<usize>()
 }
 
 /// Worker-thread count for batch-level parallelism, honouring the global
@@ -462,7 +575,7 @@ pub fn predict_items<P: Predictor + Sync>(
 mod tests {
     use super::*;
     use crate::config::{EnvBlocks, ModelConfig};
-    use deepsd_features::{test_keys, train_keys, FeatureConfig};
+    use deepsd_features::{test_keys, train_keys, FeatureConfig, FeatureExtractor};
     use deepsd_simdata::{SimConfig, SimDataset};
 
     fn tiny_setup() -> (SimDataset, FeatureConfig) {
@@ -625,6 +738,65 @@ mod tests {
                     "final weights differ at {label} threads: {name}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn streamed_bounded_training_is_bit_identical() {
+        use deepsd_features::StreamingExtractor;
+        use deepsd_simdata::StreamGenerator;
+
+        let config = SimConfig::smoke(51);
+        let (ds, fcfg) = tiny_setup();
+        let tr_keys = train_keys(ds.n_areas() as u16, 7..12, &fcfg);
+        let te_keys = test_keys(ds.n_areas() as u16, 12..14, &fcfg);
+        let mut fx = FeatureExtractor::new(&ds, fcfg.clone());
+        let eval_items = fx.extract_all(&te_keys);
+
+        let mut mcfg = ModelConfig::basic(ds.n_areas());
+        mcfg.window_l = fcfg.window_l;
+        mcfg.env = EnvBlocks::None;
+        let opts = TrainOptions {
+            epochs: 2,
+            best_k: 1,
+            ..TrainOptions::default()
+        };
+
+        // Reference: whole-dataset extractor, unbounded epoch cache.
+        let mut m_ref = DeepSD::new(mcfg.clone());
+        let r_ref = train(&mut m_ref, &mut fx, &tr_keys, &eval_items, &opts);
+
+        // Streamed: chunked generator behind a bounded-window extractor,
+        // with a trainer budget small enough to force per-window
+        // re-extraction every epoch instead of the whole-epoch cache.
+        let mut sx = StreamingExtractor::new(StreamGenerator::new(&config), fcfg.clone())
+            .with_max_resident_mb(1);
+        let mut m_str = DeepSD::new(mcfg);
+        let r_str = train(
+            &mut m_str,
+            &mut sx,
+            &tr_keys,
+            &eval_items,
+            &TrainOptions {
+                max_resident_mb: 1,
+                ..opts
+            },
+        );
+
+        assert_eq!(r_ref.epochs.len(), r_str.epochs.len());
+        for (a, b) in r_ref.epochs.iter().zip(r_str.epochs.iter()) {
+            // Bitwise trace equality, not approximate: the streamed
+            // iterator must build the exact same batches.
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+            assert_eq!(a.eval_mae.to_bits(), b.eval_mae.to_bits());
+            assert_eq!(a.eval_rmse.to_bits(), b.eval_rmse.to_bits());
+        }
+        assert_eq!(r_ref.final_rmse.to_bits(), r_str.final_rmse.to_bits());
+        for ((_, name, v1), (_, _, v2)) in m_ref.store().iter().zip(m_str.store().iter()) {
+            assert!(
+                v1.max_abs_diff(v2) == 0.0,
+                "streamed weights differ: {name}"
+            );
         }
     }
 

@@ -13,6 +13,8 @@
 use std::process::Command;
 
 const CHILD_ENV: &str = "DEEPSD_DETERMINISM_CHILD";
+const STREAM_CHILD_ENV: &str = "DEEPSD_DETERMINISM_STREAM_CHILD";
+const THREADS_ENV: &str = "DEEPSD_DETERMINISM_THREADS";
 const BEGIN: &str = "-----BEGIN DEEPSD TRACE-----";
 const END: &str = "-----END DEEPSD TRACE-----";
 
@@ -77,15 +79,87 @@ fn child_emits_training_trace() {
     println!("{END}");
 }
 
-/// Respawns this test binary in child mode and returns the payload
+/// Child mode: trains through the bounded-memory streaming data path
+/// (chunked generator → `StreamingExtractor` → windowed epoch iterator)
+/// at the worker count named by `DEEPSD_DETERMINISM_THREADS` and prints
+/// the same payload as the classic child. The stripped snapshot now
+/// also carries the `data_*_read_total` counters, which must not depend
+/// on the worker count.
+#[test]
+fn child_emits_streamed_trace() {
+    if std::env::var_os(STREAM_CHILD_ENV).is_none() {
+        return;
+    }
+    use deepsd::trainer::train;
+    use deepsd::{DeepSD, EnvBlocks, ModelConfig, Telemetry, TrainOptions};
+    use deepsd_features::{
+        test_keys, train_keys, FeatureConfig, FeatureExtractor, StreamingExtractor,
+    };
+    use deepsd_simdata::{SimConfig, SimDataset, StreamGenerator};
+
+    let threads: usize = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let config = SimConfig::smoke(61);
+    let ds = SimDataset::generate(&config);
+    let fcfg = FeatureConfig {
+        window_l: 8,
+        history_window: 3,
+        train_stride: 60,
+        ..FeatureConfig::default()
+    };
+    let tr = train_keys(ds.n_areas() as u16, 7..11, &fcfg);
+    let te = test_keys(ds.n_areas() as u16, 11..13, &fcfg);
+    let eval_items = FeatureExtractor::new(&ds, fcfg.clone()).extract_all(&te);
+
+    let mut sx = StreamingExtractor::new(StreamGenerator::new(&config), fcfg.clone())
+        .with_max_resident_mb(1);
+    let mut mcfg = ModelConfig::basic(ds.n_areas());
+    mcfg.window_l = fcfg.window_l;
+    mcfg.env = EnvBlocks::None;
+    let mut model = DeepSD::new(mcfg);
+
+    let telemetry = Telemetry::new();
+    let opts = TrainOptions {
+        epochs: 2,
+        best_k: 1,
+        threads,
+        max_resident_mb: 1,
+        telemetry: Some(telemetry.clone()),
+        ..TrainOptions::default()
+    };
+    let report = train(&mut model, &mut sx, &tr, &eval_items, &opts);
+
+    println!("{BEGIN}");
+    println!("{}", telemetry.to_json_without_timings());
+    for e in &report.epochs {
+        println!(
+            "epoch {} loss {:016x} mae {:016x} rmse {:016x}",
+            e.epoch,
+            e.train_loss.to_bits(),
+            e.eval_mae.to_bits(),
+            e.eval_rmse.to_bits()
+        );
+    }
+    println!(
+        "final mae {:016x} rmse {:016x}",
+        report.final_mae.to_bits(),
+        report.final_rmse.to_bits()
+    );
+    println!("{END}");
+}
+
+/// Respawns this test binary in a child mode and returns the payload
 /// between the markers.
-fn spawn_child() -> String {
+fn spawn_child_with(test_name: &str, envs: &[(&str, &str)]) -> String {
     let exe = std::env::current_exe().expect("test binary path");
-    let out = Command::new(exe)
-        .args(["--exact", "child_emits_training_trace", "--nocapture"])
-        .env(CHILD_ENV, "1")
-        .output()
-        .expect("respawn test binary");
+    let mut cmd = Command::new(exe);
+    cmd.args(["--exact", test_name, "--nocapture"]);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("respawn test binary");
     assert!(
         out.status.success(),
         "child process failed:\n{}",
@@ -95,6 +169,10 @@ fn spawn_child() -> String {
     let begin = stdout.find(BEGIN).expect("payload BEGIN marker");
     let end = stdout.find(END).expect("payload END marker");
     stdout[begin..end].to_string()
+}
+
+fn spawn_child() -> String {
+    spawn_child_with("child_emits_training_trace", &[(CHILD_ENV, "1")])
 }
 
 /// Two fresh processes produce byte-identical snapshots and traces.
@@ -113,5 +191,36 @@ fn training_trace_is_byte_identical_across_processes() {
     assert_eq!(
         first, second,
         "fresh processes diverged: training or telemetry depends on process state"
+    );
+}
+
+/// Streamed bounded-memory training produces the same trace, snapshot
+/// and data-plane counters at 1, 2 and 8 shard workers, and across a
+/// fresh process at the same worker count.
+#[test]
+fn streamed_trace_is_identical_across_workers_and_processes() {
+    let spawn = |threads: &str| {
+        spawn_child_with(
+            "child_emits_streamed_trace",
+            &[(STREAM_CHILD_ENV, "1"), (THREADS_ENV, threads)],
+        )
+    };
+    let w1 = spawn("1");
+    assert!(
+        w1.contains("data_chunks_read_total") && w1.contains("epoch 0 loss"),
+        "payload looks wrong:\n{w1}"
+    );
+    assert!(
+        !w1.contains("time_"),
+        "timing metrics leaked into the stripped snapshot"
+    );
+    let w2 = spawn("2");
+    let w8 = spawn("8");
+    assert_eq!(w1, w2, "streamed trace diverged between 1 and 2 workers");
+    assert_eq!(w1, w8, "streamed trace diverged between 1 and 8 workers");
+    let w2_again = spawn("2");
+    assert_eq!(
+        w2, w2_again,
+        "fresh processes diverged on the streamed data path"
     );
 }

@@ -51,12 +51,30 @@ impl Batch {
     /// # Panics
     /// Panics if `items` is empty or dimensions disagree across items.
     pub fn from_items(items: &[Item]) -> Batch {
-        assert!(!items.is_empty(), "empty batch");
-        let l = items[0].weather_types.len();
-        let dim = items[0].v_sd.len();
-        let hdim = items[0].h_sd.len();
+        Self::collect(items.len(), items.iter())
+    }
+
+    /// Flattens a slice of item references into one batch — the
+    /// gather-by-reference path the block-shuffled epoch iterator uses,
+    /// so shuffling never moves item payloads.
+    ///
+    /// # Panics
+    /// Panics if `items` is empty or dimensions disagree across items.
+    pub fn from_refs(items: &[&Item]) -> Batch {
+        Self::collect(items.len(), items.iter().copied())
+    }
+
+    fn collect<'a>(n: usize, items: impl Iterator<Item = &'a Item> + Clone) -> Batch {
+        assert!(n > 0, "empty batch");
+        let first = match items.clone().next() {
+            Some(f) => f,
+            None => panic!("empty batch"),
+        };
+        let l = first.weather_types.len();
+        let dim = first.v_sd.len();
+        let hdim = first.h_sd.len();
         let mut b = Batch {
-            n: items.len(),
+            n,
             l,
             ..Batch::default()
         };

@@ -7,7 +7,7 @@ use crate::history::{AreaHistory, VectorKind};
 use crate::index::AreaIndex;
 use crate::items::{Item, ItemKey};
 use crate::scaling::{scale_counts, scale_pm25, scale_temperature};
-use deepsd_simdata::{SimDataset, SlotTime};
+use deepsd_simdata::{SimDataset, SlotTime, TrafficObs, WeatherObs, MINUTES_PER_DAY};
 
 /// Stateful extractor over one dataset. Holds per-area order indexes and
 /// history caches; extraction of an item is O(window) plus cached
@@ -89,90 +89,17 @@ impl<'a> FeatureExtractor<'a> {
     /// Panics if `t < L` or the key addresses a day/area outside the
     /// dataset.
     pub fn extract(&mut self, key: ItemKey) -> Item {
-        let cfg = self.config.clone();
-        let l = cfg.window_l;
         let index = &self.indexes[key.area as usize];
         let history = &mut self.histories[key.area as usize];
-        let t_next = key.t + cfg.horizon as u16;
-
-        let mut v_sd = history.realtime(index, &cfg, VectorKind::SupplyDemand, key.day, key.t);
-        let mut v_lc = history.realtime(index, &cfg, VectorKind::LastCall, key.day, key.t);
-        let mut v_wt = history.realtime(index, &cfg, VectorKind::WaitingTime, key.day, key.t);
-        let mut h_sd = history.stack(index, &cfg, VectorKind::SupplyDemand, key.day, key.t);
-        let mut h_sd_next = history.stack(index, &cfg, VectorKind::SupplyDemand, key.day, t_next);
-        let mut h_lc = history.stack(index, &cfg, VectorKind::LastCall, key.day, key.t);
-        let mut h_lc_next = history.stack(index, &cfg, VectorKind::LastCall, key.day, t_next);
-        let mut h_wt = history.stack(index, &cfg, VectorKind::WaitingTime, key.day, key.t);
-        let mut h_wt_next = history.stack(index, &cfg, VectorKind::WaitingTime, key.day, t_next);
-        for v in [
-            &mut v_sd,
-            &mut v_lc,
-            &mut v_wt,
-            &mut h_sd,
-            &mut h_sd_next,
-            &mut h_lc,
-            &mut h_lc_next,
-            &mut h_wt,
-            &mut h_wt_next,
-        ] {
-            scale_counts(v);
-        }
-
-        // Environment features over the look-back window, most recent
-        // minute first (lag ℓ = 1..=L). Each lookup routes through the
-        // feed health schedule: live minutes read directly, stale
-        // minutes read the last known observation, down minutes yield
-        // neutral zeros (the serving layer additionally skips the
-        // affected residual block).
-        let mut weather_types = Vec::with_capacity(l);
-        let mut weather_scalars = Vec::with_capacity(2 * l);
-        let mut traffic = Vec::with_capacity(4 * l);
-        for ell in 1..=l {
-            let minute = key.t - ell as u16;
-            let abs = SlotTime::new(key.day, minute).absolute_minute();
-            match self.feed_health.read_slot(FeedKind::Weather, abs) {
-                Some(read) => {
-                    let w = self.dataset.weather_at(read);
-                    weather_types.push(w.kind.id());
-                    weather_scalars.push(scale_temperature(w.temperature));
-                    weather_scalars.push(scale_pm25(w.pm25));
-                }
-                None => {
-                    weather_types.push(0);
-                    weather_scalars.push(0.0);
-                    weather_scalars.push(0.0);
-                }
-            }
-            match self.feed_health.read_slot(FeedKind::Traffic, abs) {
-                Some(read) => {
-                    let tr = self.dataset.traffic_at(key.area, read);
-                    let total = tr.total_segments().max(1) as f32;
-                    for lev in tr.levels {
-                        traffic.push(lev as f32 / total);
-                    }
-                }
-                None => traffic.extend_from_slice(&[0.0; 4]),
-            }
-        }
-
-        let gap = self.gap(key) as f32;
-        Item {
+        assemble_item(
+            &self.config,
+            &self.feed_health,
+            index,
+            history,
+            self.dataset.weather(),
+            self.dataset.area_traffic(key.area),
             key,
-            weekday: SlotTime::new(key.day, key.t).weekday() as u8,
-            gap,
-            v_sd,
-            v_lc,
-            v_wt,
-            h_sd,
-            h_sd_next,
-            h_lc,
-            h_lc_next,
-            h_wt,
-            h_wt_next,
-            weather_types,
-            weather_scalars,
-            traffic,
-        }
+        )
     }
 
     /// Extracts many items at once.
@@ -210,6 +137,109 @@ impl<'a> FeatureExtractor<'a> {
         item.v_lc = v_lc;
         item.v_wt = v_wt;
         item
+    }
+}
+
+/// Assembles one feature item from per-area state plus the shared
+/// environment streams. This is the single extraction code path: both
+/// [`FeatureExtractor`] and the bounded-memory
+/// [`crate::stream::StreamingExtractor`] call it, which is what makes
+/// the two bit-identical by construction.
+///
+/// `weather` is the city-wide stream (`day * 1440 + minute`); `traffic`
+/// is the area's day-major stream, or empty when no traffic data exists
+/// (traffic features then degrade to the same neutral zeros a down feed
+/// yields).
+pub(crate) fn assemble_item(
+    cfg: &FeatureConfig,
+    feed_health: &FeedHealth,
+    index: &AreaIndex,
+    history: &mut AreaHistory,
+    weather: &[WeatherObs],
+    traffic: &[TrafficObs],
+    key: ItemKey,
+) -> Item {
+    let l = cfg.window_l;
+    let t_next = key.t + cfg.horizon as u16;
+    let slots = MINUTES_PER_DAY as usize;
+
+    let mut v_sd = history.realtime(index, cfg, VectorKind::SupplyDemand, key.day, key.t);
+    let mut v_lc = history.realtime(index, cfg, VectorKind::LastCall, key.day, key.t);
+    let mut v_wt = history.realtime(index, cfg, VectorKind::WaitingTime, key.day, key.t);
+    let mut h_sd = history.stack(index, cfg, VectorKind::SupplyDemand, key.day, key.t);
+    let mut h_sd_next = history.stack(index, cfg, VectorKind::SupplyDemand, key.day, t_next);
+    let mut h_lc = history.stack(index, cfg, VectorKind::LastCall, key.day, key.t);
+    let mut h_lc_next = history.stack(index, cfg, VectorKind::LastCall, key.day, t_next);
+    let mut h_wt = history.stack(index, cfg, VectorKind::WaitingTime, key.day, key.t);
+    let mut h_wt_next = history.stack(index, cfg, VectorKind::WaitingTime, key.day, t_next);
+    for v in [
+        &mut v_sd,
+        &mut v_lc,
+        &mut v_wt,
+        &mut h_sd,
+        &mut h_sd_next,
+        &mut h_lc,
+        &mut h_lc_next,
+        &mut h_wt,
+        &mut h_wt_next,
+    ] {
+        scale_counts(v);
+    }
+
+    // Environment features over the look-back window, most recent
+    // minute first (lag ℓ = 1..=L). Each lookup routes through the
+    // feed health schedule: live minutes read directly, stale
+    // minutes read the last known observation, down minutes yield
+    // neutral zeros (the serving layer additionally skips the
+    // affected residual block).
+    let mut weather_types = Vec::with_capacity(l);
+    let mut weather_scalars = Vec::with_capacity(2 * l);
+    let mut traffic_out = Vec::with_capacity(4 * l);
+    for ell in 1..=l {
+        let minute = key.t - ell as u16;
+        let abs = SlotTime::new(key.day, minute).absolute_minute();
+        match feed_health.read_slot(FeedKind::Weather, abs) {
+            Some(read) => {
+                let w = &weather[read.day as usize * slots + read.ts as usize];
+                weather_types.push(w.kind.id());
+                weather_scalars.push(scale_temperature(w.temperature));
+                weather_scalars.push(scale_pm25(w.pm25));
+            }
+            None => {
+                weather_types.push(0);
+                weather_scalars.push(0.0);
+                weather_scalars.push(0.0);
+            }
+        }
+        match feed_health.read_slot(FeedKind::Traffic, abs) {
+            Some(read) if !traffic.is_empty() => {
+                let tr = &traffic[read.day as usize * slots + read.ts as usize];
+                let total = tr.total_segments().max(1) as f32;
+                for lev in tr.levels {
+                    traffic_out.push(lev as f32 / total);
+                }
+            }
+            _ => traffic_out.extend_from_slice(&[0.0; 4]),
+        }
+    }
+
+    let gap = index.gap(key.day, key.t, cfg.horizon) as f32;
+    Item {
+        key,
+        weekday: SlotTime::new(key.day, key.t).weekday() as u8,
+        gap,
+        v_sd,
+        v_lc,
+        v_wt,
+        h_sd,
+        h_sd_next,
+        h_lc,
+        h_lc_next,
+        h_wt,
+        h_wt_next,
+        weather_types,
+        weather_scalars,
+        traffic: traffic_out,
     }
 }
 

@@ -180,7 +180,7 @@ mod tests {
                 orders.push(Order {
                     day,
                     ts: 99,
-                    pid: (day as u32) * 100 + k as u32,
+                    pid: (day as u64) * 100 + k as u64,
                     loc_start: 0,
                     loc_dest: 0,
                     valid: true,

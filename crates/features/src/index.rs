@@ -43,7 +43,7 @@ impl AreaIndex {
         let mut day_start = 0u32;
         let mut current_day = 0u16;
         // Per-day pid -> last order index map, reset at day boundaries.
-        let mut last_of_pid: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut last_of_pid: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
 
         for (i, o) in orders.iter().enumerate() {
             assert!(o.day < n_days, "order day {} out of {n_days}", o.day);
@@ -162,7 +162,7 @@ impl AreaIndex {
 mod tests {
     use super::*;
 
-    fn o(day: u16, ts: u16, pid: u32, valid: bool) -> Order {
+    fn o(day: u16, ts: u16, pid: u64, valid: bool) -> Order {
         Order {
             day,
             ts,

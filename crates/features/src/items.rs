@@ -17,7 +17,7 @@ pub struct ItemKey {
 }
 
 /// One fully extracted training/test instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Item {
     /// Which prediction this is.
     pub key: ItemKey,

@@ -44,6 +44,7 @@ pub mod ingest;
 pub mod items;
 pub mod online;
 pub mod scaling;
+pub mod stream;
 pub mod vectors;
 
 pub use batch::Batch;
@@ -57,3 +58,4 @@ pub use ingest::{
 };
 pub use items::{test_keys, train_keys, Item, ItemKey};
 pub use online::OnlineWindow;
+pub use stream::{ItemSource, StreamingExtractor};

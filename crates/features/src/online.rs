@@ -200,7 +200,7 @@ impl OnlineWindow {
         // Group the in-window orders per passenger, preserving order.
         // (Iteration order of the map only feeds commutative integer
         // `+= 1.0` accumulations, so the vectors stay deterministic.)
-        let mut per_pid: std::collections::HashMap<u32, Vec<&Order>> =
+        let mut per_pid: std::collections::HashMap<u64, Vec<&Order>> =
             std::collections::HashMap::new();
         for o in &self.buffer {
             if o.ts < from || o.ts >= t {
@@ -248,7 +248,7 @@ mod tests {
         }
     }
 
-    fn order(day: u16, ts: u16, pid: u32, valid: bool) -> Order {
+    fn order(day: u16, ts: u16, pid: u64, valid: bool) -> Order {
         Order {
             day,
             ts,

@@ -1,0 +1,451 @@
+//! Bounded-memory feature extraction over an [`AreaSource`], plus the
+//! [`ItemSource`] abstraction the trainer consumes.
+//!
+//! [`crate::FeatureExtractor`] pre-builds indexes for *every* area of a
+//! materialized dataset — fine at the paper's 58 areas, hopeless at 10k.
+//! [`StreamingExtractor`] keeps a bounded window of per-area state
+//! (order index, history cache, traffic stream) resident, loading areas
+//! on demand from any [`AreaSource`] (chunked container reader, chunked
+//! generator, or a legacy in-memory dataset) and evicting in
+//! deterministic FIFO order when over budget.
+//!
+//! Evictions are invisible in the output: per-area state is a pure
+//! function of the source, so a rebuilt area yields bit-identical items.
+//! Both extractors funnel through the same `assemble_item` code path,
+//! which makes streamed and whole-dataset extraction bit-identical by
+//! construction (asserted in tests).
+
+use crate::config::FeatureConfig;
+use crate::extract::{assemble_item, FeatureExtractor};
+use crate::feeds::{FeedHealth, FeedStatus};
+use crate::history::AreaHistory;
+use crate::index::AreaIndex;
+use crate::items::{Item, ItemKey};
+use crate::scaling::scale_counts;
+use deepsd_simdata::codec::ReadStats;
+use deepsd_simdata::stream::AreaSource;
+use deepsd_simdata::{SlotTime, TrafficObs, MINUTES_PER_DAY};
+use std::collections::VecDeque;
+
+/// Anything that can turn [`ItemKey`]s into [`Item`]s. The trainer is
+/// generic over this, so it drives the classic whole-dataset
+/// [`FeatureExtractor`] and the bounded-memory [`StreamingExtractor`]
+/// through one code path.
+pub trait ItemSource {
+    /// The feature configuration in use.
+    fn config(&self) -> &FeatureConfig;
+    /// Extracts the full feature item for a key.
+    fn extract(&mut self, key: ItemKey) -> Item;
+    /// Extracts many items at once.
+    fn extract_all(&mut self, keys: &[ItemKey]) -> Vec<Item> {
+        keys.iter().map(|&k| self.extract(k)).collect()
+    }
+    /// Number of areas the source covers.
+    fn n_areas(&self) -> usize;
+    /// Number of days the source covers.
+    fn n_days(&self) -> u16;
+    /// Status of both environment feeds as seen by an extraction at
+    /// `(day, t)`.
+    fn feed_status(&self, day: u16, t: u16) -> FeedStatus;
+    /// Replaces the environment feed-health schedule.
+    fn set_feed_health(&mut self, health: FeedHealth);
+    /// Ground-truth gap for a key (Definition 2).
+    fn gap(&mut self, key: ItemKey) -> u32;
+    /// Extracts an item using externally supplied *raw* real-time
+    /// vectors (e.g. from an `OnlineWindow` fed by a live order stream)
+    /// while histories, environment features and the target come from
+    /// the source's data. Scaling is applied here, so callers pass
+    /// unscaled counts. This is what lets the serving path run over any
+    /// item source, streamed or materialized.
+    ///
+    /// # Panics
+    /// Panics if vector lengths do not match `2L`.
+    fn extract_with_realtime(
+        &mut self,
+        key: ItemKey,
+        v_sd_raw: &[f32],
+        v_lc_raw: &[f32],
+        v_wt_raw: &[f32],
+    ) -> Item {
+        let dim = self.config().vector_dim();
+        assert_eq!(v_sd_raw.len(), dim, "v_sd width");
+        assert_eq!(v_lc_raw.len(), dim, "v_lc width");
+        assert_eq!(v_wt_raw.len(), dim, "v_wt width");
+        let mut item = self.extract(key);
+        let mut v_sd = v_sd_raw.to_vec();
+        let mut v_lc = v_lc_raw.to_vec();
+        let mut v_wt = v_wt_raw.to_vec();
+        for v in [&mut v_sd, &mut v_lc, &mut v_wt] {
+            scale_counts(v);
+        }
+        item.v_sd = v_sd;
+        item.v_lc = v_lc;
+        item.v_wt = v_wt;
+        item
+    }
+    /// Cumulative data-plane I/O statistics (zeros for in-memory
+    /// sources); feeds the `data_chunks_read_total` /
+    /// `data_bytes_read_total` telemetry counters.
+    fn io_stats(&self) -> ReadStats {
+        ReadStats::default()
+    }
+}
+
+impl ItemSource for FeatureExtractor<'_> {
+    fn config(&self) -> &FeatureConfig {
+        FeatureExtractor::config(self)
+    }
+
+    fn extract(&mut self, key: ItemKey) -> Item {
+        FeatureExtractor::extract(self, key)
+    }
+
+    fn extract_all(&mut self, keys: &[ItemKey]) -> Vec<Item> {
+        FeatureExtractor::extract_all(self, keys)
+    }
+
+    fn n_areas(&self) -> usize {
+        FeatureExtractor::n_areas(self)
+    }
+
+    fn n_days(&self) -> u16 {
+        self.dataset().n_days
+    }
+
+    fn feed_status(&self, day: u16, t: u16) -> FeedStatus {
+        FeatureExtractor::feed_status(self, day, t)
+    }
+
+    fn set_feed_health(&mut self, health: FeedHealth) {
+        FeatureExtractor::set_feed_health(self, health)
+    }
+
+    fn gap(&mut self, key: ItemKey) -> u32 {
+        FeatureExtractor::gap(self, key)
+    }
+
+    fn extract_with_realtime(
+        &mut self,
+        key: ItemKey,
+        v_sd_raw: &[f32],
+        v_lc_raw: &[f32],
+        v_wt_raw: &[f32],
+    ) -> Item {
+        FeatureExtractor::extract_with_realtime(self, key, v_sd_raw, v_lc_raw, v_wt_raw)
+    }
+}
+
+/// Resident per-area extraction state: everything needed to assemble
+/// items for one area without touching the source again.
+struct AreaState {
+    index: AreaIndex,
+    history: AreaHistory,
+    traffic: Vec<TrafficObs>,
+    approx_bytes: usize,
+}
+
+/// Feature extractor over an [`AreaSource`] with a bounded resident
+/// window of per-area state.
+///
+/// The memory knob changes *when* state is rebuilt, never *what* is
+/// extracted: items are bit-identical at any budget (and to
+/// [`FeatureExtractor`] on the same data).
+pub struct StreamingExtractor<S: AreaSource> {
+    source: S,
+    config: FeatureConfig,
+    states: Vec<Option<AreaState>>,
+    resident: VecDeque<u16>,
+    resident_bytes: usize,
+    max_resident_bytes: usize,
+    feed_health: FeedHealth,
+}
+
+impl<S: AreaSource> StreamingExtractor<S> {
+    /// Wraps a source with an unbounded resident window (state for every
+    /// touched area stays cached, mirroring [`FeatureExtractor`]).
+    pub fn new(source: S, config: FeatureConfig) -> StreamingExtractor<S> {
+        let n_areas = source.n_areas();
+        let mut states = Vec::with_capacity(n_areas);
+        states.resize_with(n_areas, || None);
+        StreamingExtractor {
+            source,
+            config,
+            states,
+            resident: VecDeque::new(),
+            resident_bytes: 0,
+            max_resident_bytes: usize::MAX,
+            feed_health: FeedHealth::default(),
+        }
+    }
+
+    /// Caps resident per-area state at roughly `mb` MiB (`0` =
+    /// unbounded). At least one area always stays resident.
+    pub fn with_max_resident_mb(mut self, mb: usize) -> StreamingExtractor<S> {
+        self.max_resident_bytes = if mb == 0 {
+            usize::MAX
+        } else {
+            mb.saturating_mul(1024 * 1024)
+        };
+        self
+    }
+
+    /// The feature configuration in use.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// The underlying area source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Number of areas.
+    pub fn n_areas(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of areas currently resident (for tests and telemetry).
+    pub fn resident_areas(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Mutable access to the feed health schedule (for declaring
+    /// outages).
+    pub fn feed_health_mut(&mut self) -> &mut FeedHealth {
+        &mut self.feed_health
+    }
+
+    /// Replaces the feed health schedule.
+    pub fn set_feed_health(&mut self, health: FeedHealth) {
+        self.feed_health = health;
+    }
+
+    /// Status of both environment feeds as seen by an extraction at
+    /// `(day, t)` — evaluated at the most recent environment input
+    /// minute, `t - 1`.
+    pub fn feed_status(&self, day: u16, t: u16) -> FeedStatus {
+        self.feed_health
+            .status_at(SlotTime::new(day, t.saturating_sub(1)))
+    }
+
+    /// Ground-truth gap for a key (Definition 2).
+    ///
+    /// # Panics
+    /// Panics if the key addresses an area outside the source or the
+    /// source fails to produce the area's block.
+    pub fn gap(&mut self, key: ItemKey) -> u32 {
+        let horizon = self.config.horizon;
+        let state = self.ensure_area(key.area);
+        state.index.gap(key.day, key.t, horizon)
+    }
+
+    /// Loads (or finds) the area's resident state, evicting the oldest
+    /// resident areas if the budget is exceeded. Eviction order is a
+    /// deterministic function of the access pattern — and rebuilding is
+    /// deterministic — so the budget never changes extracted items.
+    fn ensure_area(&mut self, area: u16) -> &mut AreaState {
+        let slot = area as usize;
+        assert!(slot < self.states.len(), "area {area} out of range");
+        if self.states[slot].is_none() {
+            let block = match self.source.area_block(area) {
+                Ok(b) => b,
+                Err(e) => panic!("loading area {area}: {e}"),
+            };
+            let n_days = self.source.n_days();
+            // Rough but deterministic state size: orders (index copy +
+            // retry links), per-minute counters, traffic, fixed slack
+            // for the history cache.
+            let approx_bytes = block.orders.len() * 48
+                + n_days as usize * MINUTES_PER_DAY as usize * 6
+                + block.traffic.len() * 8
+                + 4096;
+            let index = AreaIndex::build(&block.orders, n_days);
+            self.states[slot] = Some(AreaState {
+                index,
+                history: AreaHistory::new(),
+                traffic: block.traffic,
+                approx_bytes,
+            });
+            self.resident.push_back(area);
+            self.resident_bytes += approx_bytes;
+            while self.resident_bytes > self.max_resident_bytes && self.resident.len() > 1 {
+                if let Some(victim) = self.resident.pop_front() {
+                    if let Some(s) = self.states[victim as usize].take() {
+                        self.resident_bytes -= s.approx_bytes;
+                    }
+                }
+            }
+        }
+        match self.states[slot].as_mut() {
+            Some(s) => s,
+            None => unreachable!("state ensured above"),
+        }
+    }
+}
+
+impl<S: AreaSource> ItemSource for StreamingExtractor<S> {
+    fn config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Extracts the full feature item for a key.
+    ///
+    /// # Panics
+    /// Panics if `t < L`, the key addresses a day/area outside the
+    /// source, or the source fails to produce the area's block (corrupt
+    /// chunk).
+    fn extract(&mut self, key: ItemKey) -> Item {
+        self.ensure_area(key.area);
+        let state = match self.states[key.area as usize].as_mut() {
+            Some(s) => s,
+            None => unreachable!("state ensured above"),
+        };
+        assemble_item(
+            &self.config,
+            &self.feed_health,
+            &state.index,
+            &mut state.history,
+            self.source.weather(),
+            &state.traffic,
+            key,
+        )
+    }
+
+    fn n_areas(&self) -> usize {
+        StreamingExtractor::n_areas(self)
+    }
+
+    fn n_days(&self) -> u16 {
+        self.source.n_days()
+    }
+
+    fn feed_status(&self, day: u16, t: u16) -> FeedStatus {
+        StreamingExtractor::feed_status(self, day, t)
+    }
+
+    fn set_feed_health(&mut self, health: FeedHealth) {
+        StreamingExtractor::set_feed_health(self, health)
+    }
+
+    fn gap(&mut self, key: ItemKey) -> u32 {
+        StreamingExtractor::gap(self, key)
+    }
+
+    fn io_stats(&self) -> ReadStats {
+        self.source.read_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::{test_keys, train_keys};
+    use deepsd_simdata::codec::{encode_dataset_v2, ChunkReader};
+    use deepsd_simdata::{SimConfig, SimDataset, StreamGenerator};
+    use std::io::Cursor;
+
+    fn small_config() -> FeatureConfig {
+        FeatureConfig {
+            window_l: 10,
+            history_window: 4,
+            ..FeatureConfig::default()
+        }
+    }
+
+    fn all_keys(ds: &SimDataset, cfg: &FeatureConfig) -> Vec<ItemKey> {
+        let mut keys = train_keys(ds.n_areas() as u16, 7..ds.n_days - 1, cfg);
+        keys.extend(test_keys(
+            ds.n_areas() as u16,
+            ds.n_days - 1..ds.n_days,
+            cfg,
+        ));
+        keys
+    }
+
+    #[test]
+    fn streamed_extraction_matches_whole_dataset_extractor() {
+        let config = SimConfig::smoke(41);
+        let ds = SimDataset::generate(&config);
+        let cfg = small_config();
+        let mut fx = FeatureExtractor::new(&ds, cfg.clone());
+        let mut sx = StreamingExtractor::new(StreamGenerator::new(&config), cfg.clone());
+        for key in all_keys(&ds, &cfg) {
+            assert_eq!(
+                ItemSource::extract(&mut sx, key),
+                fx.extract(key),
+                "key {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn resident_budget_never_changes_items() {
+        let config = SimConfig::smoke(42);
+        let ds = SimDataset::generate(&config);
+        let cfg = small_config();
+        let keys = all_keys(&ds, &cfg);
+        let mut unbounded = StreamingExtractor::new(StreamGenerator::new(&config), cfg.clone());
+        // 1 MiB forces constant eviction at 14 days of traffic/orders.
+        let mut tight = StreamingExtractor::new(StreamGenerator::new(&config), cfg.clone())
+            .with_max_resident_mb(1);
+        let a = unbounded.extract_all(&keys);
+        let b = tight.extract_all(&keys);
+        assert_eq!(a, b);
+        assert_eq!(unbounded.resident_areas(), ds.n_areas());
+        assert!(
+            tight.resident_areas() < ds.n_areas(),
+            "tight budget should have evicted ({} areas resident)",
+            tight.resident_areas()
+        );
+    }
+
+    #[test]
+    fn chunked_container_source_matches_and_reports_io() {
+        let config = SimConfig::smoke(43);
+        let ds = SimDataset::generate(&config);
+        let cfg = small_config();
+        let blob = encode_dataset_v2(&ds);
+        let reader = ChunkReader::open(Cursor::new(blob.to_vec())).expect("open");
+        let mut sx = StreamingExtractor::new(reader, cfg.clone());
+        let mut fx = FeatureExtractor::new(&ds, cfg.clone());
+        let keys = all_keys(&ds, &cfg);
+        assert_eq!(sx.extract_all(&keys), fx.extract_all(&keys));
+        let stats = sx.io_stats();
+        assert!(stats.chunks_read >= ds.n_areas() as u64);
+        assert!(stats.bytes_read > 0);
+    }
+
+    #[test]
+    fn missing_traffic_degrades_to_neutral_zeros() {
+        let config = SimConfig::smoke(44);
+        let cfg = small_config();
+        let mut sx =
+            StreamingExtractor::new(StreamGenerator::new(&config).without_traffic(), cfg.clone());
+        let item = ItemSource::extract(
+            &mut sx,
+            ItemKey {
+                area: 0,
+                day: 8,
+                t: 480,
+            },
+        );
+        assert!(item.traffic.iter().all(|&v| v == 0.0));
+        assert!(item.v_sd.iter().any(|&v| v != 0.0) || item.h_sd.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn gap_and_feed_status_match_classic_extractor() {
+        let config = SimConfig::smoke(45);
+        let ds = SimDataset::generate(&config);
+        let cfg = small_config();
+        let fx = FeatureExtractor::new(&ds, cfg.clone());
+        let mut sx = StreamingExtractor::new(StreamGenerator::new(&config), cfg);
+        let key = ItemKey {
+            area: 2,
+            day: 9,
+            t: 700,
+        };
+        assert_eq!(sx.gap(key), fx.gap(key));
+        assert_eq!(sx.feed_status(9, 700), fx.feed_status(9, 700));
+    }
+}

@@ -109,7 +109,7 @@ mod tests {
     use super::*;
     use deepsd_simdata::Order;
 
-    fn o(ts: u16, pid: u32, valid: bool) -> Order {
+    fn o(ts: u16, pid: u64, valid: bool) -> Order {
         Order {
             day: 0,
             ts,

@@ -11,7 +11,7 @@ const T: u16 = 200;
 
 /// Arbitrary chronological one-day order stream near the query window.
 fn orders_strategy() -> impl Strategy<Value = Vec<Order>> {
-    proptest::collection::vec((180u16..220, 0u32..12, any::<bool>()), 0..40).prop_map(|mut raw| {
+    proptest::collection::vec((180u16..220, 0u64..12, any::<bool>()), 0..40).prop_map(|mut raw| {
         raw.sort_by_key(|&(ts, _, _)| ts);
         raw.into_iter()
             .map(|(ts, pid, valid)| Order {
@@ -44,7 +44,7 @@ proptest! {
     fn v_lc_counts_each_windowed_pid_once(orders in orders_strategy()) {
         let index = AreaIndex::build(&orders, 1);
         let v = v_lc(&index, 0, T, L);
-        let pids: std::collections::HashSet<u32> = orders
+        let pids: std::collections::HashSet<u64> = orders
             .iter()
             .filter(|o| o.ts >= T - L as u16 && o.ts < T)
             .map(|o| o.pid)
@@ -60,7 +60,7 @@ proptest! {
         let index = AreaIndex::build(&orders, 1);
         let wt = v_wt(&index, 0, T, L);
         let lc = v_lc(&index, 0, T, L);
-        let pids: std::collections::HashSet<u32> = orders
+        let pids: std::collections::HashSet<u64> = orders
             .iter()
             .filter(|o| o.ts >= T - L as u16 && o.ts < T)
             .map(|o| o.pid)
@@ -101,7 +101,7 @@ proptest! {
     ) {
         // Build 14 days with `counts[d]` valid orders at minute T-1.
         let mut orders = Vec::new();
-        let mut pid = 0u32;
+        let mut pid = 0u64;
         for (day, &c) in counts.iter().enumerate() {
             for _ in 0..c {
                 orders.push(Order {

@@ -60,7 +60,10 @@ const SERVING_PATHS: &[&str] = &[
 const SERVING_PATHS_PREFIX: &[&str] = &["crates/serve/src/"];
 
 /// Files where narrowing casts in index arithmetic are audited.
-const CAST_PATHS_EXACT: &[&str] = &["crates/features/src/index.rs"];
+const CAST_PATHS_EXACT: &[&str] = &[
+    "crates/features/src/index.rs",
+    "crates/features/src/stream.rs",
+];
 const CAST_PATHS_PREFIX: &[&str] = &["crates/simdata/src/"];
 
 /// The only files where `unsafe` is sanctioned: the audited AVX2

@@ -21,6 +21,7 @@ use crate::queue::{Job, JobKind, JobQueue};
 use deepsd::model::Predictor;
 use deepsd::serving::{OnlinePredictor, ServingReport};
 use deepsd::telemetry::Telemetry;
+use deepsd_features::ItemSource;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -71,9 +72,9 @@ impl Engine {
     /// Drains the queue until `shutdown` is set *and* the queue is
     /// empty (graceful drain: already-admitted jobs are still served).
     /// Mirrors breaker readiness into `ready` after every predict call.
-    pub fn run<P: Predictor + Sync>(
+    pub fn run<P: Predictor + Sync, X: ItemSource>(
         mut self,
-        predictor: &mut OnlinePredictor<'_, P>,
+        predictor: &mut OnlinePredictor<P, X>,
         queue: &JobQueue,
         shutdown: &AtomicBool,
         ready: &AtomicBool,
@@ -95,9 +96,9 @@ impl Engine {
 
     /// One batch: observes in arrival order, then predicts coalesced by
     /// `(day, t)` in first-seen order.
-    fn process<P: Predictor + Sync>(
+    fn process<P: Predictor + Sync, X: ItemSource>(
         &mut self,
-        predictor: &mut OnlinePredictor<'_, P>,
+        predictor: &mut OnlinePredictor<P, X>,
         jobs: Vec<Job>,
         ready: &AtomicBool,
     ) {
@@ -130,9 +131,9 @@ impl Engine {
         }
     }
 
-    fn run_observe<P: Predictor + Sync>(
+    fn run_observe<P: Predictor + Sync, X: ItemSource>(
         &mut self,
-        predictor: &mut OnlinePredictor<'_, P>,
+        predictor: &mut OnlinePredictor<P, X>,
         job: Job,
     ) {
         if self.expire_if_late(&job) {
@@ -161,9 +162,9 @@ impl Engine {
         let _ = job.reply.send(Response::json(200, body));
     }
 
-    fn run_predict_group<P: Predictor + Sync>(
+    fn run_predict_group<P: Predictor + Sync, X: ItemSource>(
         &mut self,
-        predictor: &mut OnlinePredictor<'_, P>,
+        predictor: &mut OnlinePredictor<P, X>,
         day: u16,
         t: u16,
         members: Vec<Job>,

@@ -28,6 +28,7 @@ use crate::ServeConfig;
 use deepsd::model::Predictor;
 use deepsd::serving::OnlinePredictor;
 use deepsd::telemetry::Telemetry;
+use deepsd_features::ItemSource;
 use deepsd_simdata::{Order, MINUTES_PER_DAY};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -166,12 +167,12 @@ impl Server {
     /// the calling thread (which owns the predictor) and the acceptor
     /// on a spawned thread. Returns the engine's lifetime stats once
     /// the queue is drained and in-flight handlers have finished.
-    pub fn run<P: Predictor + Sync>(
+    pub fn run<P: Predictor + Sync, X: ItemSource>(
         self,
-        predictor: &mut OnlinePredictor<'_, P>,
+        predictor: &mut OnlinePredictor<P, X>,
     ) -> Result<EngineStats, ServeError> {
         let limits = Limits {
-            n_days: predictor.extractor().dataset().n_days,
+            n_days: predictor.extractor().n_days(),
             n_areas: predictor.extractor().n_areas(),
         };
         let shared = Arc::clone(&self.shared);
@@ -290,7 +291,15 @@ fn route(req: &Request, shared: &Shared, config: &ServeConfig, limits: Limits) -
                 Response::error(503, "circuit breaker open: feeds degraded")
             }
         }
-        ("GET", "/metrics") => Response::text(200, &shared.telemetry.to_prometheus()),
+        ("GET", "/metrics") => {
+            // Refresh the process peak-RSS gauge at scrape time so the
+            // exposition reflects per-area state growth; `time_`-
+            // namespaced, so determinism snapshots never see it.
+            shared
+                .telemetry
+                .set_gauge("time_peak_rss_mb", deepsd::telemetry::peak_rss_mb());
+            Response::text(200, &shared.telemetry.to_prometheus())
+        }
         ("POST", "/shutdown") => {
             shared.begin_shutdown();
             Response::json(200, "{\"draining\":true}".to_string())

@@ -212,6 +212,64 @@ impl City {
         &self.areas[id as usize]
     }
 
+    /// Row-major grid width for `n` areas: the smallest `g` with
+    /// `g * g >= n`, identical to the `ceil(sqrt(n))` used by
+    /// [`City::generate`] (exact for every `n <= u16::MAX`).
+    fn grid_width(n: usize) -> u32 {
+        let mut g = 1u32;
+        while u64::from(g) * u64::from(g) < n as u64 {
+            g += 1;
+        }
+        g
+    }
+
+    /// Grid-adjacent neighbour ids of an area (4-neighbourhood), in
+    /// ascending id order. The grid is laid out row-major with width
+    /// `ceil(sqrt(n_areas))`, so the last row may be ragged; a cell
+    /// only neighbours coordinates that hold a real area.
+    pub fn neighbors(&self, id: u16) -> Vec<u16> {
+        let grid_w = Self::grid_width(self.areas.len());
+        let (col, row) = self.areas[usize::from(id)].grid;
+        let (col, row) = (u32::from(col), u32::from(row));
+        let mut out = Vec::with_capacity(4);
+        let candidates = [
+            (row > 0).then(|| (col, row - 1)),
+            (col > 0).then(|| (col - 1, row)),
+            Some((col + 1, row)),
+            Some((col, row + 1)),
+        ];
+        for (c, r) in candidates.into_iter().flatten() {
+            if c >= grid_w {
+                continue;
+            }
+            let neighbor = r * grid_w + c;
+            if u64::from(neighbor) < self.areas.len() as u64 {
+                if let Ok(nid) = u16::try_from(neighbor) {
+                    out.push(nid);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The full area-graph topology as undirected grid-adjacency edges
+    /// `(a, b)` with `a < b`, sorted. This is the topology the chunked
+    /// container emits alongside per-area data so spatial models can
+    /// consume neighbour structure without re-deriving the grid layout.
+    pub fn adjacency_edges(&self) -> Vec<(u16, u16)> {
+        let mut edges = Vec::new();
+        for area in &self.areas {
+            for n in self.neighbors(area.id) {
+                if area.id < n {
+                    edges.push((area.id, n));
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges
+    }
+
     /// Destination sampling weights (attractiveness × scale), normalised.
     pub fn destination_weights(&self) -> Vec<f64> {
         let raw: Vec<f64> = self
@@ -317,5 +375,50 @@ mod tests {
     #[should_panic(expected = "at least one area")]
     fn rejects_zero_areas() {
         let _ = city(0, 1);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_grid_local() {
+        // 58 areas on an 8-wide grid: a ragged last row.
+        let c = city(58, 9);
+        for a in &c.areas {
+            for n in c.neighbors(a.id) {
+                assert_ne!(n, a.id);
+                assert!((n as usize) < c.n_areas());
+                // Symmetry: if n is my neighbour, I am n's neighbour.
+                assert!(c.neighbors(n).contains(&a.id), "{} <-> {n}", a.id);
+                // Grid locality: Manhattan distance exactly 1.
+                let (ac, ar) = c.areas[a.id as usize].grid;
+                let (nc, nr) = c.areas[n as usize].grid;
+                let dist = (ac as i32 - nc as i32).abs() + (ar as i32 - nr as i32).abs();
+                assert_eq!(dist, 1, "{:?} vs {:?}", (ac, ar), (nc, nr));
+            }
+        }
+        // Interior cells have 4 neighbours; corners 2.
+        assert_eq!(c.neighbors(0).len(), 2);
+        assert_eq!(c.neighbors(9).len(), 4);
+    }
+
+    #[test]
+    fn adjacency_edges_cover_the_grid() {
+        let c = city(16, 10); // perfect 4x4 grid
+        let edges = c.adjacency_edges();
+        // 4x4 grid: 2 * 4 * 3 = 24 undirected edges.
+        assert_eq!(edges.len(), 24);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        assert!(edges.iter().all(|&(a, b)| a < b));
+    }
+
+    #[test]
+    fn ten_thousand_area_city_generates_with_valid_ids() {
+        let c = city(10_000, 11);
+        assert_eq!(c.n_areas(), 10_000);
+        // Ids survive the u16 grid arithmetic without truncation.
+        for (i, a) in c.areas.iter().enumerate() {
+            assert_eq!(a.id as usize, i);
+        }
+        let last = &c.areas[9_999];
+        assert_eq!(last.grid, (9_999 % 100, 9_999 / 100));
+        assert!(!c.neighbors(9_999).is_empty());
     }
 }

@@ -1,11 +1,11 @@
 //! Compact binary serialisation of simulated datasets.
 //!
 //! JSON is fine for model checkpoints but far too bulky for multi-million
-//! order datasets; this codec writes a versioned little-endian binary
-//! format (~13 bytes per order) so datasets can be exported once and
-//! reloaded by the CLI or downstream tools.
+//! order datasets. Two binary formats live here:
 //!
-//! Layout:
+//! ## `DSD1` — legacy whole-blob format
+//!
+//! A single unchecksummed little-endian blob, decoded in one piece:
 //! ```text
 //! magic   "DSD1"            4 bytes
 //! city    JSON blob         u32 length + bytes (small; reuses serde)
@@ -15,15 +15,77 @@
 //! orders  n_areas blocks of u32 count + count x
 //!         (u16 day, u16 ts, u32 pid, u16 loc_start, u16 loc_dest, u8 valid)
 //! ```
+//!
+//! ## `DEEPSD-DATA2` — chunked container format
+//!
+//! The city-scale format: length-prefixed, per-chunk FNV-1a-checksummed
+//! chunks (the same checksum the checkpoint format uses), one chunk per
+//! area, so readers and writers never hold more than one area's data plus
+//! the small shared header. [`ChunkWriter`] streams a dataset out area by
+//! area; [`ChunkReader`] scans the chunk table on open and then serves
+//! random-access per-area reads — which is what lets multi-epoch training
+//! revisit areas without materializing the city.
+//! ```text
+//! magic   "DEEPSD-DATA2"    12 bytes
+//! header  chunk:            u32 len | payload | u64 fnv1a64(payload)
+//!   payload = city: u64 seed | u16 n_areas + n_areas x
+//!             (u16 gx, u16 gy, u8 archetype,
+//!              f64 demand_scale, f64 supply_tightness,
+//!              7 x f64 weekday_bias)   (fixed width — not JSON, so the
+//!             header stays ~80 B/area and a 10k-area open never spikes
+//!             multi-MB transient buffers; f64s as raw bits, exact)
+//!           | u16 n_days
+//!           | u8 flags               (bit 0: area chunks carry traffic)
+//!           | u32 n_edges + n_edges x (u16 a, u16 b)   adjacency, a < b
+//!           | weather n_days*1440 x (u8 kind, f32 temp, f32 pm25)
+//! areas   one chunk per area, in id order: u32 len | payload | u64 fnv
+//!   payload = u16 area
+//!           | [traffic n_days*1440 x 4 x u16]          (iff flags bit 0)
+//!           | u32 count + count x
+//!             (u16 day, u16 ts, u64 pid, u16 loc_start, u16 loc_dest, u8 valid)
+//! ```
+//!
+//! Every declared count is validated against the bytes actually present
+//! before any allocation sized from it, so hostile headers cannot force
+//! huge allocations (they fail with [`CodecError::Truncated`] instead).
 
-use crate::city::City;
+use crate::city::{Archetype, Area, City, CityConfig};
 use crate::dataset::SimDataset;
+use crate::stream::{AreaBlock, AreaSource, SourceError};
 use crate::types::{Order, TrafficObs, WeatherObs, WeatherType, MINUTES_PER_DAY};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Seek, SeekFrom, Write};
 
 const MAGIC: &[u8; 4] = b"DSD1";
+const MAGIC2: &[u8; 12] = b"DEEPSD-DATA2";
 
-/// Errors produced when decoding a dataset blob.
+/// Flag bit: area chunks carry a traffic stream.
+const FLAG_TRAFFIC: u8 = 0b0000_0001;
+
+/// Bytes per serialised weather observation.
+const WEATHER_BYTES: usize = 9;
+/// Bytes per serialised traffic observation.
+const TRAFFIC_BYTES: usize = 8;
+/// Bytes per serialised DSD1 order record (32-bit pid).
+const ORDER_BYTES_V1: usize = 13;
+/// Bytes per serialised DATA2 order record (64-bit pid).
+const ORDER_BYTES_V2: usize = 17;
+/// Bytes of per-chunk framing: u32 length prefix + u64 checksum.
+const CHUNK_FRAMING: u64 = 12;
+
+/// 64-bit FNV-1a over a byte slice — the same checksum the checkpoint
+/// format uses (`deepsd::checkpoint`), duplicated here because the
+/// dependency points the other way (core depends on simdata).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Errors produced when decoding a dataset blob or container.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// The magic header did not match.
@@ -34,28 +96,54 @@ pub enum CodecError {
     BadCity(String),
     /// A field held an out-of-range value.
     InvalidField(&'static str),
+    /// A chunk's FNV checksum did not match its payload.
+    ChecksumMismatch,
+    /// An underlying I/O operation failed (file readers only).
+    Io(String),
 }
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CodecError::BadMagic => write!(f, "not a DSD1 dataset blob"),
+            CodecError::BadMagic => write!(f, "not a DSD1/DEEPSD-DATA2 dataset"),
             CodecError::Truncated => write!(f, "dataset blob truncated"),
             CodecError::BadCity(e) => write!(f, "embedded city invalid: {e}"),
             CodecError::InvalidField(name) => write!(f, "invalid field: {name}"),
+            CodecError::ChecksumMismatch => write!(f, "chunk checksum mismatch"),
+            CodecError::Io(e) => write!(f, "dataset i/o failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
 
-/// Encodes a dataset into a standalone binary blob.
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> CodecError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CodecError::Truncated
+        } else {
+            CodecError::Io(e.to_string())
+        }
+    }
+}
+
+/// Encodes a dataset into a standalone legacy `DSD1` blob.
+///
+/// Kept for backwards compatibility with existing exports; new exports
+/// should prefer [`encode_dataset_v2`] / [`ChunkWriter`].
+///
+/// # Panics
+/// Panics if any order pid exceeds `u32::MAX` — the legacy record layout
+/// stores 32-bit pids, which only cities with < 4096 areas produce. Use
+/// the chunked format for wider cities.
 pub fn encode_dataset(ds: &SimDataset) -> Bytes {
     let slots = MINUTES_PER_DAY as usize;
     let n_areas = ds.n_areas();
     let n_days = ds.n_days as usize;
     let mut buf = BytesMut::with_capacity(
-        64 + n_days * slots * 9 + n_areas * n_days * slots * 8 + ds.total_orders() * 13,
+        64 + n_days * slots * WEATHER_BYTES
+            + n_areas * n_days * slots * TRAFFIC_BYTES
+            + ds.total_orders() * ORDER_BYTES_V1,
     );
     buf.put_slice(MAGIC);
     let city_json = serde_json::to_vec(&ds.city).expect("city serialises");
@@ -72,12 +160,9 @@ pub fn encode_dataset(ds: &SimDataset) -> Bytes {
         }
     }
     for area in 0..n_areas as u16 {
-        for day in 0..ds.n_days {
-            for minute in 0..MINUTES_PER_DAY as u16 {
-                let t = ds.traffic_at(area, crate::types::SlotTime::new(day, minute));
-                for level in t.levels {
-                    buf.put_u16_le(level);
-                }
+        for t in ds.area_traffic(area) {
+            for level in t.levels {
+                buf.put_u16_le(level);
             }
         }
     }
@@ -87,7 +172,9 @@ pub fn encode_dataset(ds: &SimDataset) -> Bytes {
         for o in orders {
             buf.put_u16_le(o.day);
             buf.put_u16_le(o.ts);
-            buf.put_u32_le(o.pid);
+            let pid = u32::try_from(o.pid)
+                .expect("DSD1 stores 32-bit pids; use the chunked DATA2 format for wide cities");
+            buf.put_u32_le(pid);
             buf.put_u16_le(o.loc_start);
             buf.put_u16_le(o.loc_dest);
             buf.put_u8(o.valid as u8);
@@ -96,8 +183,70 @@ pub fn encode_dataset(ds: &SimDataset) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a dataset from a blob produced by [`encode_dataset`].
+/// Encodes a materialized dataset into a `DEEPSD-DATA2` chunked
+/// container held in memory. Streaming producers should drive a
+/// [`ChunkWriter`] directly instead.
+pub fn encode_dataset_v2(ds: &SimDataset) -> Bytes {
+    let mut w = ChunkWriter::new(
+        Vec::new(),
+        &ds.city,
+        ds.n_days,
+        SimDataset::weather(ds),
+        true,
+    )
+    .expect("in-memory writes cannot fail");
+    for area in 0..ds.n_areas() as u16 {
+        let block = AreaBlock {
+            area,
+            orders: ds.orders(area).to_vec(),
+            traffic: ds.area_traffic(area).to_vec(),
+        };
+        w.write_area(&block).expect("in-memory writes cannot fail");
+    }
+    Bytes::from(w.finish().expect("in-memory writes cannot fail"))
+}
+
+/// Decodes a dataset from either format, dispatching on the magic.
+///
+/// `DEEPSD-DATA2` containers are materialized whole (areas without
+/// stored traffic get all-zero traffic observations); for bounded-memory
+/// access open a [`ChunkReader`] instead.
 pub fn decode_dataset(blob: &[u8]) -> Result<SimDataset, CodecError> {
+    if blob.len() >= MAGIC2.len() && &blob[..MAGIC2.len()] == MAGIC2 {
+        return decode_dataset_v2(blob);
+    }
+    decode_dataset_v1(blob)
+}
+
+fn decode_dataset_v2(blob: &[u8]) -> Result<SimDataset, CodecError> {
+    let mut reader = ChunkReader::open(std::io::Cursor::new(blob))?;
+    let n_areas = reader.city().n_areas();
+    let n_days = reader.n_days();
+    let slots = MINUTES_PER_DAY as usize;
+    let span = n_days as usize * slots;
+    let mut traffic = vec![TrafficObs::default(); n_areas * span];
+    let mut orders_by_area = Vec::with_capacity(n_areas);
+    for area in 0..n_areas as u16 {
+        let block = reader.read_area(area)?;
+        if !block.traffic.is_empty() {
+            let start = area as usize * span;
+            traffic[start..start + span].copy_from_slice(&block.traffic);
+        }
+        orders_by_area.push(block.orders);
+    }
+    let weather = reader.weather().to_vec();
+    let (city, _) = reader.into_parts();
+    Ok(SimDataset::from_parts(
+        city,
+        n_days,
+        weather,
+        traffic,
+        orders_by_area,
+    ))
+}
+
+/// Decodes a legacy `DSD1` blob.
+fn decode_dataset_v1(blob: &[u8]) -> Result<SimDataset, CodecError> {
     let mut buf = blob;
     if buf.remaining() < 4 || &buf[..4] != MAGIC {
         return Err(CodecError::BadMagic);
@@ -115,30 +264,19 @@ pub fn decode_dataset(blob: &[u8]) -> Result<SimDataset, CodecError> {
     if n_days == 0 {
         return Err(CodecError::InvalidField("n_days"));
     }
+    let n_areas = validated_n_areas(&city)?;
     let slots = MINUTES_PER_DAY as usize;
-    let n_areas = city.n_areas();
 
-    let mut weather = Vec::with_capacity(n_days as usize * slots);
-    for _ in 0..n_days as usize * slots {
-        if buf.remaining() < 9 {
-            return Err(CodecError::Truncated);
-        }
-        let kind = buf.get_u8();
-        if kind >= 10 {
-            return Err(CodecError::InvalidField("weather kind"));
-        }
-        weather.push(WeatherObs {
-            kind: WeatherType::from_id(kind as usize),
-            temperature: buf.get_f32_le(),
-            pm25: buf.get_f32_le(),
-        });
+    let weather = parse_weather(&mut buf, n_days)?;
+
+    let n_traffic = n_areas * n_days as usize * slots;
+    // Never trust a declared count for an allocation: a corrupt header
+    // could otherwise demand gigabytes before the first bounds check.
+    if buf.remaining() < n_traffic * TRAFFIC_BYTES {
+        return Err(CodecError::Truncated);
     }
-
-    let mut traffic = Vec::with_capacity(n_areas * n_days as usize * slots);
-    for _ in 0..n_areas * n_days as usize * slots {
-        if buf.remaining() < 8 {
-            return Err(CodecError::Truncated);
-        }
+    let mut traffic = Vec::with_capacity(n_traffic);
+    for _ in 0..n_traffic {
         let mut levels = [0u16; 4];
         for l in levels.iter_mut() {
             *l = buf.get_u16_le();
@@ -149,37 +287,7 @@ pub fn decode_dataset(blob: &[u8]) -> Result<SimDataset, CodecError> {
     let mut orders_by_area = Vec::with_capacity(n_areas);
     for area in 0..n_areas as u16 {
         let count = read_u32(&mut buf)? as usize;
-        if buf.remaining() < count * 13 {
-            return Err(CodecError::Truncated);
-        }
-        let mut orders = Vec::with_capacity(count);
-        for _ in 0..count {
-            let day = buf.get_u16_le();
-            let ts = buf.get_u16_le();
-            let pid = buf.get_u32_le();
-            let loc_start = buf.get_u16_le();
-            let loc_dest = buf.get_u16_le();
-            let valid = match buf.get_u8() {
-                0 => false,
-                1 => true,
-                _ => return Err(CodecError::InvalidField("valid flag")),
-            };
-            if day >= n_days || ts as u32 >= MINUTES_PER_DAY {
-                return Err(CodecError::InvalidField("order time"));
-            }
-            if loc_start != area || loc_dest as usize >= n_areas {
-                return Err(CodecError::InvalidField("order area"));
-            }
-            orders.push(Order {
-                day,
-                ts,
-                pid,
-                loc_start,
-                loc_dest,
-                valid,
-            });
-        }
-        orders_by_area.push(orders);
+        orders_by_area.push(parse_orders(&mut buf, count, area, n_days, n_areas, false)?);
     }
 
     Ok(SimDataset::from_parts(
@@ -189,6 +297,587 @@ pub fn decode_dataset(blob: &[u8]) -> Result<SimDataset, CodecError> {
         traffic,
         orders_by_area,
     ))
+}
+
+/// I/O statistics of a [`ChunkReader`]: fuel for the
+/// `data_chunks_read_total` / `data_bytes_read_total` telemetry
+/// counters. Both are deterministic functions of the access pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Chunks decoded (header chunk included).
+    pub chunks_read: u64,
+    /// Payload + framing bytes decoded.
+    pub bytes_read: u64,
+}
+
+/// Streams a `DEEPSD-DATA2` container out, one area chunk at a time.
+///
+/// Peak writer memory is one area's serialised payload, independent of
+/// the number of areas.
+pub struct ChunkWriter<W: Write> {
+    w: W,
+    n_days: u16,
+    n_areas: u16,
+    next_area: u16,
+    include_traffic: bool,
+}
+
+impl<W: Write> ChunkWriter<W> {
+    /// Writes the magic and the checksummed header chunk (city layout,
+    /// adjacency topology, weather).
+    ///
+    /// # Panics
+    /// Panics if `n_days == 0`, the weather stream length disagrees with
+    /// `n_days`, or the city is empty.
+    pub fn new(
+        mut w: W,
+        city: &City,
+        n_days: u16,
+        weather: &[WeatherObs],
+        include_traffic: bool,
+    ) -> std::io::Result<ChunkWriter<W>> {
+        assert!(n_days > 0, "dataset needs at least one day");
+        assert!(city.n_areas() > 0, "city has no areas");
+        let slots = MINUTES_PER_DAY as usize;
+        assert_eq!(weather.len(), n_days as usize * slots, "weather length");
+        let n_areas = city.n_areas() as u16;
+
+        w.write_all(MAGIC2)?;
+        let edges = city.adjacency_edges();
+        // Exact capacity: the header must never trigger growth reallocs —
+        // at 10k areas a doubling Vec would transiently double the
+        // process peak RSS the scale sweep measures.
+        let mut payload = BytesMut::with_capacity(
+            10 + city.areas.len() * CITY_AREA_BYTES
+                + 7
+                + edges.len() * 4
+                + weather.len() * WEATHER_BYTES,
+        );
+        put_city(&mut payload, city);
+        payload.put_u16_le(n_days);
+        payload.put_u8(if include_traffic { FLAG_TRAFFIC } else { 0 });
+        payload.put_u32_le(edges.len() as u32);
+        for (a, b) in edges {
+            payload.put_u16_le(a);
+            payload.put_u16_le(b);
+        }
+        for obs in weather {
+            payload.put_u8(obs.kind.id() as u8);
+            payload.put_f32_le(obs.temperature);
+            payload.put_f32_le(obs.pm25);
+        }
+        write_chunk(&mut w, &payload)?;
+        Ok(ChunkWriter {
+            w,
+            n_days,
+            n_areas,
+            next_area: 0,
+            include_traffic,
+        })
+    }
+
+    /// Appends one area's chunk. Areas must arrive in id order.
+    ///
+    /// # Panics
+    /// Panics on out-of-order areas or a traffic stream whose length
+    /// disagrees with the header (present when traffic was enabled,
+    /// `n_days * 1440` observations).
+    pub fn write_area(&mut self, block: &AreaBlock) -> std::io::Result<()> {
+        assert_eq!(
+            block.area, self.next_area,
+            "area chunks must be written in id order"
+        );
+        let slots = MINUTES_PER_DAY as usize;
+        let expected_traffic = if self.include_traffic {
+            self.n_days as usize * slots
+        } else {
+            0
+        };
+        assert_eq!(
+            block.traffic.len(),
+            expected_traffic,
+            "traffic stream length for area {}",
+            block.area
+        );
+        let mut payload = BytesMut::with_capacity(
+            2 + 4 + block.traffic.len() * TRAFFIC_BYTES + block.orders.len() * ORDER_BYTES_V2,
+        );
+        payload.put_u16_le(block.area);
+        for t in &block.traffic {
+            for level in t.levels {
+                payload.put_u16_le(level);
+            }
+        }
+        payload.put_u32_le(block.orders.len() as u32);
+        for o in &block.orders {
+            payload.put_u16_le(o.day);
+            payload.put_u16_le(o.ts);
+            payload.put_u64_le(o.pid);
+            payload.put_u16_le(o.loc_start);
+            payload.put_u16_le(o.loc_dest);
+            payload.put_u8(o.valid as u8);
+        }
+        write_chunk(&mut self.w, &payload)?;
+        self.next_area += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Panics
+    /// Panics if not every area chunk was written.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        assert_eq!(
+            self.next_area, self.n_areas,
+            "container is missing area chunks"
+        );
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+fn write_chunk<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "chunk exceeds 4 GiB")
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&fnv1a64(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Random-access streaming reader over a `DEEPSD-DATA2` container.
+///
+/// `open` reads and verifies the header chunk, then scans the chunk
+/// table (length prefixes only — no payloads) to build a per-area offset
+/// index. [`ChunkReader::read_area`] then decodes single chunks on
+/// demand, so resident memory is the shared header plus one area,
+/// independent of city size. Chunk checksums are verified on every read.
+pub struct ChunkReader<R: Read + Seek> {
+    r: R,
+    city: City,
+    n_days: u16,
+    flags: u8,
+    weather: Vec<WeatherObs>,
+    edges: Vec<(u16, u16)>,
+    offsets: Vec<u64>,
+    total: u64,
+    stats: ReadStats,
+    /// Reused per-read payload buffer (see [`read_chunk_into`]).
+    scratch: Vec<u8>,
+}
+
+impl<R: Read + Seek> ChunkReader<R> {
+    /// Opens a container: verifies magic and header chunk, scans the
+    /// area chunk table.
+    pub fn open(mut r: R) -> Result<ChunkReader<R>, CodecError> {
+        let total = r.seek(SeekFrom::End(0))?;
+        r.seek(SeekFrom::Start(0))?;
+        let mut magic = [0u8; 12];
+        if total < MAGIC2.len() as u64 {
+            return Err(CodecError::BadMagic);
+        }
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC2 {
+            return Err(CodecError::BadMagic);
+        }
+
+        let mut stats = ReadStats::default();
+        let (header, after_header) = read_chunk_at(&mut r, MAGIC2.len() as u64, total, &mut stats)?;
+        let mut buf: &[u8] = &header;
+
+        let city = parse_city(&mut buf)?;
+        let n_areas = validated_n_areas(&city)?;
+        let n_days = read_u16(&mut buf)?;
+        if n_days == 0 {
+            return Err(CodecError::InvalidField("n_days"));
+        }
+        if buf.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        let flags = buf.get_u8();
+        if flags & !FLAG_TRAFFIC != 0 {
+            return Err(CodecError::InvalidField("flags"));
+        }
+        let n_edges = read_u32(&mut buf)? as usize;
+        if buf.remaining() < n_edges * 4 {
+            return Err(CodecError::Truncated);
+        }
+        let mut edges = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            let a = buf.get_u16_le();
+            let b = buf.get_u16_le();
+            if a >= b || b as usize >= n_areas {
+                return Err(CodecError::InvalidField("adjacency edge"));
+            }
+            edges.push((a, b));
+        }
+        let weather = parse_weather(&mut buf, n_days)?;
+        if buf.remaining() != 0 {
+            return Err(CodecError::InvalidField("header trailing bytes"));
+        }
+
+        // Scan the chunk table: read each length prefix, skip payloads.
+        let mut offsets = Vec::with_capacity(n_areas);
+        let mut pos = after_header;
+        let mut len_bytes = [0u8; 4];
+        for _ in 0..n_areas {
+            if pos + CHUNK_FRAMING > total {
+                return Err(CodecError::Truncated);
+            }
+            offsets.push(pos);
+            r.seek(SeekFrom::Start(pos))?;
+            r.read_exact(&mut len_bytes)?;
+            let len = u64::from(u32::from_le_bytes(len_bytes));
+            pos = pos
+                .checked_add(CHUNK_FRAMING + len)
+                .ok_or(CodecError::Truncated)?;
+            if pos > total {
+                return Err(CodecError::Truncated);
+            }
+        }
+        if pos != total {
+            return Err(CodecError::InvalidField("trailing bytes"));
+        }
+
+        Ok(ChunkReader {
+            r,
+            city,
+            n_days,
+            flags,
+            weather,
+            edges,
+            offsets,
+            total,
+            stats,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The instantiated city layout.
+    pub fn city(&self) -> &City {
+        &self.city
+    }
+
+    /// Number of simulated days.
+    pub fn n_days(&self) -> u16 {
+        self.n_days
+    }
+
+    /// City-wide weather stream, `day * 1440 + minute`.
+    pub fn weather(&self) -> &[WeatherObs] {
+        &self.weather
+    }
+
+    /// Undirected area adjacency edges (`a < b`), from the header.
+    pub fn edges(&self) -> &[(u16, u16)] {
+        &self.edges
+    }
+
+    /// Whether area chunks carry traffic streams.
+    pub fn has_traffic(&self) -> bool {
+        self.flags & FLAG_TRAFFIC != 0
+    }
+
+    /// Cumulative read statistics.
+    pub fn stats(&self) -> ReadStats {
+        self.stats
+    }
+
+    /// Decodes one area's chunk, verifying its checksum.
+    pub fn read_area(&mut self, area: u16) -> Result<AreaBlock, CodecError> {
+        let off = *self
+            .offsets
+            .get(area as usize)
+            .ok_or(CodecError::InvalidField("area id"))?;
+        read_chunk_into(
+            &mut self.r,
+            off,
+            self.total,
+            &mut self.stats,
+            &mut self.scratch,
+        )?;
+        let mut buf: &[u8] = &self.scratch;
+        let n_areas = self.city.n_areas();
+        let stored_area = read_u16(&mut buf)?;
+        if stored_area != area {
+            return Err(CodecError::InvalidField("area id"));
+        }
+        let traffic = if self.has_traffic() {
+            let n = self.n_days as usize * MINUTES_PER_DAY as usize;
+            if buf.remaining() < n * TRAFFIC_BYTES {
+                return Err(CodecError::Truncated);
+            }
+            let mut traffic = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut levels = [0u16; 4];
+                for l in levels.iter_mut() {
+                    *l = buf.get_u16_le();
+                }
+                traffic.push(TrafficObs { levels });
+            }
+            traffic
+        } else {
+            Vec::new()
+        };
+        let count = read_u32(&mut buf)? as usize;
+        let orders = parse_orders(&mut buf, count, area, self.n_days, n_areas, true)?;
+        if buf.remaining() != 0 {
+            return Err(CodecError::InvalidField("chunk trailing bytes"));
+        }
+        Ok(AreaBlock {
+            area,
+            orders,
+            traffic,
+        })
+    }
+
+    /// Verifies every area chunk's checksum (a full sequential pass in
+    /// bounded memory). Lets callers fail fast on corrupt containers
+    /// before starting a long training run.
+    pub fn verify_all(&mut self) -> Result<(), CodecError> {
+        for area in 0..self.offsets.len() as u16 {
+            self.read_area(area)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the reader, returning the city and its adjacency edges.
+    pub fn into_parts(self) -> (City, Vec<(u16, u16)>) {
+        (self.city, self.edges)
+    }
+}
+
+impl<R: Read + Seek> AreaSource for ChunkReader<R> {
+    fn city(&self) -> &City {
+        &self.city
+    }
+
+    fn n_days(&self) -> u16 {
+        self.n_days
+    }
+
+    fn weather(&self) -> &[WeatherObs] {
+        &self.weather
+    }
+
+    fn has_traffic(&self) -> bool {
+        ChunkReader::has_traffic(self)
+    }
+
+    fn area_block(&mut self, area: u16) -> Result<AreaBlock, SourceError> {
+        self.read_area(area).map_err(|e| SourceError(e.to_string()))
+    }
+
+    fn read_stats(&self) -> ReadStats {
+        self.stats
+    }
+}
+
+/// Reads and checksum-verifies the chunk starting at `off`; returns the
+/// payload and the offset one past the chunk. The declared length is
+/// validated against `total` before the payload allocation.
+fn read_chunk_at<R: Read + Seek>(
+    r: &mut R,
+    off: u64,
+    total: u64,
+    stats: &mut ReadStats,
+) -> Result<(Vec<u8>, u64), CodecError> {
+    let mut payload = Vec::new();
+    let end = read_chunk_into(r, off, total, stats, &mut payload)?;
+    Ok((payload, end))
+}
+
+/// [`read_chunk_at`] into a caller-owned scratch buffer, so hot readers
+/// (multi-epoch training re-reads every area chunk each window) reuse
+/// one allocation instead of churning a fresh ~50 kB payload per read.
+/// The declared length is still validated against `total` before the
+/// buffer is grown.
+fn read_chunk_into<R: Read + Seek>(
+    r: &mut R,
+    off: u64,
+    total: u64,
+    stats: &mut ReadStats,
+    payload: &mut Vec<u8>,
+) -> Result<u64, CodecError> {
+    if off + CHUNK_FRAMING > total {
+        return Err(CodecError::Truncated);
+    }
+    r.seek(SeekFrom::Start(off))?;
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u64::from(u32::from_le_bytes(len_bytes));
+    let end = off
+        .checked_add(CHUNK_FRAMING + len)
+        .ok_or(CodecError::Truncated)?;
+    if end > total {
+        return Err(CodecError::Truncated);
+    }
+    payload.clear();
+    payload.resize(len as usize, 0);
+    r.read_exact(payload)?;
+    let mut sum_bytes = [0u8; 8];
+    r.read_exact(&mut sum_bytes)?;
+    if fnv1a64(payload) != u64::from_le_bytes(sum_bytes) {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    stats.chunks_read += 1;
+    stats.bytes_read += CHUNK_FRAMING + len;
+    Ok(end)
+}
+
+/// Fixed width of one area in the binary city encoding: grid (2×u16),
+/// archetype (u8), demand_scale + supply_tightness + 7 weekday biases
+/// (9×f64 as raw bits).
+const CITY_AREA_BYTES: usize = 2 + 2 + 1 + 9 * 8;
+
+/// Writes the fixed-width binary city encoding (see the module docs).
+/// Area ids are implicit — they are the write order — so they are
+/// neither stored nor trusted from the wire.
+fn put_city(payload: &mut BytesMut, city: &City) {
+    payload.put_u64_le(city.config.seed);
+    payload.put_u16_le(city.n_areas() as u16);
+    for (i, a) in city.areas.iter().enumerate() {
+        debug_assert_eq!(a.id as usize, i, "area ids are their indices");
+        payload.put_u16_le(a.grid.0);
+        payload.put_u16_le(a.grid.1);
+        let archetype = Archetype::ALL
+            .iter()
+            .position(|x| *x == a.archetype)
+            .expect("archetype is in Archetype::ALL") as u8;
+        payload.put_u8(archetype);
+        payload.put_u64_le(a.demand_scale.to_bits());
+        payload.put_u64_le(a.supply_tightness.to_bits());
+        for b in a.weekday_bias {
+            payload.put_u64_le(b.to_bits());
+        }
+    }
+}
+
+/// Parses the binary city encoding. Bounds-checked up front from the
+/// declared area count — at most `u16::MAX * CITY_AREA_BYTES` (~5 MB)
+/// can ever be demanded, and only after the buffer is known to hold it.
+fn parse_city(buf: &mut &[u8]) -> Result<City, CodecError> {
+    if buf.remaining() < 10 {
+        return Err(CodecError::Truncated);
+    }
+    let seed = buf.get_u64_le();
+    let n_areas = buf.get_u16_le();
+    if n_areas == 0 {
+        return Err(CodecError::InvalidField("n_areas"));
+    }
+    if buf.remaining() < n_areas as usize * CITY_AREA_BYTES {
+        return Err(CodecError::Truncated);
+    }
+    let mut areas = Vec::with_capacity(n_areas as usize);
+    for id in 0..n_areas {
+        let grid = (buf.get_u16_le(), buf.get_u16_le());
+        let archetype = *Archetype::ALL
+            .get(buf.get_u8() as usize)
+            .ok_or(CodecError::InvalidField("archetype"))?;
+        let demand_scale = f64::from_bits(buf.get_u64_le());
+        let supply_tightness = f64::from_bits(buf.get_u64_le());
+        let mut weekday_bias = [0f64; 7];
+        for b in weekday_bias.iter_mut() {
+            *b = f64::from_bits(buf.get_u64_le());
+        }
+        areas.push(Area {
+            id,
+            grid,
+            archetype,
+            demand_scale,
+            supply_tightness,
+            weekday_bias,
+        });
+    }
+    Ok(City {
+        config: CityConfig { n_areas, seed },
+        areas,
+    })
+}
+
+/// n_areas, validated to fit the u16 area-id space.
+fn validated_n_areas(city: &City) -> Result<usize, CodecError> {
+    let n = city.n_areas();
+    if n == 0 || n > u16::MAX as usize {
+        return Err(CodecError::InvalidField("n_areas"));
+    }
+    Ok(n)
+}
+
+fn parse_weather(buf: &mut &[u8], n_days: u16) -> Result<Vec<WeatherObs>, CodecError> {
+    let n = n_days as usize * MINUTES_PER_DAY as usize;
+    if buf.remaining() < n * WEATHER_BYTES {
+        return Err(CodecError::Truncated);
+    }
+    let mut weather = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = buf.get_u8();
+        if kind >= 10 {
+            return Err(CodecError::InvalidField("weather kind"));
+        }
+        weather.push(WeatherObs {
+            kind: WeatherType::from_id(kind as usize),
+            temperature: buf.get_f32_le(),
+            pm25: buf.get_f32_le(),
+        });
+    }
+    Ok(weather)
+}
+
+/// Parses `count` order records, validating time and area fields.
+/// `wide_pid` selects the 64-bit (DATA2) vs 32-bit (DSD1) pid layout.
+fn parse_orders(
+    buf: &mut &[u8],
+    count: usize,
+    area: u16,
+    n_days: u16,
+    n_areas: usize,
+    wide_pid: bool,
+) -> Result<Vec<Order>, CodecError> {
+    let record = if wide_pid {
+        ORDER_BYTES_V2
+    } else {
+        ORDER_BYTES_V1
+    };
+    // Capacity is only trusted after the byte-level bound holds, so a
+    // hostile count cannot force an allocation larger than the blob.
+    match count.checked_mul(record) {
+        Some(need) if buf.remaining() >= need => {}
+        _ => return Err(CodecError::Truncated),
+    }
+    let mut orders = Vec::with_capacity(count);
+    for _ in 0..count {
+        let day = buf.get_u16_le();
+        let ts = buf.get_u16_le();
+        let pid = if wide_pid {
+            buf.get_u64_le()
+        } else {
+            u64::from(buf.get_u32_le())
+        };
+        let loc_start = buf.get_u16_le();
+        let loc_dest = buf.get_u16_le();
+        let valid = match buf.get_u8() {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError::InvalidField("valid flag")),
+        };
+        if day >= n_days || ts as u32 >= MINUTES_PER_DAY {
+            return Err(CodecError::InvalidField("order time"));
+        }
+        if loc_start != area || loc_dest as usize >= n_areas {
+            return Err(CodecError::InvalidField("order area"));
+        }
+        orders.push(Order {
+            day,
+            ts,
+            pid,
+            loc_start,
+            loc_dest,
+            valid,
+        });
+    }
+    Ok(orders)
 }
 
 fn read_u32(buf: &mut &[u8]) -> Result<u32, CodecError> {
@@ -209,7 +898,16 @@ fn read_u16(buf: &mut &[u8]) -> Result<u16, CodecError> {
 mod tests {
     use super::*;
     use crate::dataset::SimConfig;
+    use crate::stream::StreamGenerator;
     use crate::types::SlotTime;
+    use std::io::Cursor;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Same vectors the checkpoint format pins (DESIGN.md §4.2).
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
 
     #[test]
     fn roundtrip_preserves_everything() {
@@ -234,8 +932,108 @@ mod tests {
     }
 
     #[test]
+    fn chunked_roundtrip_is_byte_identical() {
+        let ds = SimDataset::generate(&SimConfig::smoke(95));
+        let blob = encode_dataset_v2(&ds);
+        let back = decode_dataset(&blob).expect("v2 roundtrip");
+        assert_eq!(back.n_days, ds.n_days);
+        for area in 0..ds.n_areas() as u16 {
+            assert_eq!(back.orders(area), ds.orders(area));
+            assert_eq!(back.area_traffic(area), ds.area_traffic(area));
+        }
+        assert_eq!(SimDataset::weather(&back), SimDataset::weather(&ds));
+        // Re-encoding the decoded dataset reproduces the container
+        // byte for byte.
+        assert_eq!(encode_dataset_v2(&back), blob);
+    }
+
+    #[test]
+    fn chunk_reader_serves_random_access_with_stats() {
+        let ds = SimDataset::generate(&SimConfig::smoke(96));
+        let blob = encode_dataset_v2(&ds);
+        let mut r = ChunkReader::open(Cursor::new(&blob[..])).expect("open");
+        assert!(r.has_traffic());
+        assert_eq!(r.n_days(), ds.n_days);
+        assert_eq!(r.edges(), &ds.city.adjacency_edges()[..]);
+        // Out of order and repeated reads both work.
+        for &area in &[3u16, 0, 5, 3] {
+            let block = r.read_area(area).expect("read");
+            assert_eq!(block.orders, ds.orders(area));
+            assert_eq!(block.traffic, ds.area_traffic(area));
+        }
+        let stats = r.stats();
+        assert_eq!(stats.chunks_read, 1 + 4); // header + 4 reads
+        assert!(stats.bytes_read > 0);
+    }
+
+    #[test]
+    fn chunk_writer_streams_from_generator() {
+        let config = SimConfig::smoke(97);
+        let ds = SimDataset::generate(&config);
+        let mut sg = StreamGenerator::new(&config);
+        let mut w = ChunkWriter::new(
+            Vec::new(),
+            AreaSource::city(&sg),
+            sg.n_days(),
+            sg.weather(),
+            true,
+        )
+        .expect("header");
+        for area in 0..sg.n_areas() as u16 {
+            let block = sg.area_block(area).expect("generate");
+            w.write_area(&block).expect("chunk");
+        }
+        let blob = w.finish().expect("finish");
+        assert_eq!(Bytes::from(blob), encode_dataset_v2(&ds));
+    }
+
+    #[test]
+    fn containers_without_traffic_decode_to_zero_traffic() {
+        let config = SimConfig::smoke(98);
+        let mut sg = StreamGenerator::new(&config).without_traffic();
+        let mut w = ChunkWriter::new(
+            Vec::new(),
+            AreaSource::city(&sg),
+            sg.n_days(),
+            sg.weather(),
+            false,
+        )
+        .expect("header");
+        for area in 0..sg.n_areas() as u16 {
+            let block = sg.area_block(area).expect("generate");
+            w.write_area(&block).expect("chunk");
+        }
+        let blob = w.finish().expect("finish");
+        let mut r = ChunkReader::open(Cursor::new(&blob[..])).expect("open");
+        assert!(!ChunkReader::has_traffic(&r));
+        assert!(r.read_area(0).expect("read").traffic.is_empty());
+        let ds = decode_dataset(&blob).expect("materialize");
+        assert_eq!(ds.traffic_at(0, SlotTime::new(0, 0)).total_segments(), 0);
+    }
+
+    #[test]
+    fn corrupt_chunks_fail_with_checksum_mismatch() {
+        let ds = SimDataset::generate(&SimConfig::smoke(99));
+        let mut blob = encode_dataset_v2(&ds).to_vec();
+        // Flip a byte deep inside the last area chunk's payload.
+        let n = blob.len();
+        blob[n - 20] ^= 0xff;
+        let mut r = ChunkReader::open(Cursor::new(&blob[..])).expect("open");
+        let last = (ds.n_areas() - 1) as u16;
+        assert_eq!(r.read_area(last).unwrap_err(), CodecError::ChecksumMismatch);
+        // Earlier chunks are untouched and still verify.
+        assert!(r.read_area(0).is_ok());
+        assert_eq!(r.verify_all().unwrap_err(), CodecError::ChecksumMismatch);
+    }
+
+    #[test]
     fn rejects_bad_magic() {
         let err = decode_dataset(b"NOPE....").unwrap_err();
+        assert_eq!(err, CodecError::BadMagic);
+        let err = match ChunkReader::open(Cursor::new(&b"DEEPSD-DATAX____"[..])) {
+            Ok(_) => panic!("bogus magic accepted"),
+            Err(e) => e,
+        };
         assert_eq!(err, CodecError::BadMagic);
     }
 
@@ -255,6 +1053,54 @@ mod tests {
                 "cut {cut}: {err:?}"
             );
         }
+        let blob2 = encode_dataset_v2(&ds);
+        for cut in [4, 13, 40, blob2.len() / 2, blob2.len() - 1] {
+            let err = decode_dataset(&blob2[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CodecError::Truncated | CodecError::BadMagic | CodecError::BadCity(_)
+                ),
+                "v2 cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    /// Fuzz-style hostile-header regression: declared counts far larger
+    /// than the blob must fail with `Truncated` *before* any allocation
+    /// sized from them (a 0xFFFF-day header would otherwise demand an
+    /// ~850 MB weather vector up front).
+    #[test]
+    fn hostile_counts_fail_before_allocating() {
+        let ds = SimDataset::generate(&SimConfig::smoke(90));
+        let blob = encode_dataset(&ds).to_vec();
+        let city_json_len = u32::from_le_bytes(blob[4..8].try_into().unwrap()) as usize;
+        let n_days_at = 8 + city_json_len;
+
+        // Overgrown n_days (drives weather + traffic counts).
+        let mut evil = blob.clone();
+        evil[n_days_at] = 0xff;
+        evil[n_days_at + 1] = 0xff;
+        assert_eq!(decode_dataset(&evil).unwrap_err(), CodecError::Truncated);
+
+        // Overgrown order count: the first area's count field sits right
+        // after weather + traffic.
+        let slots = MINUTES_PER_DAY as usize;
+        let count_at = n_days_at
+            + 2
+            + ds.n_days as usize * slots * WEATHER_BYTES
+            + ds.n_areas() * ds.n_days as usize * slots * TRAFFIC_BYTES;
+        let mut evil = blob.clone();
+        evil[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_dataset(&evil).unwrap_err(), CodecError::Truncated);
+
+        // Same attack on the chunked format: an overgrown chunk length
+        // must not out-allocate the file.
+        let blob2 = encode_dataset_v2(&ds).to_vec();
+        let mut evil = blob2.clone();
+        let header_len_at = MAGIC2.len();
+        evil[header_len_at..header_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_dataset(&evil).unwrap_err(), CodecError::Truncated);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::city::{City, CityConfig};
 use crate::orders::{generate_area_orders, OrderGenConfig};
-use crate::traffic::{congestion_pressure, traffic_obs};
+use crate::traffic::generate_area_traffic;
 use crate::types::{Order, SlotTime, TrafficObs, WeatherObs, MINUTES_PER_DAY};
 use crate::weather::{generate_weather, WeatherConfig};
 use rand::rngs::StdRng;
@@ -116,18 +116,9 @@ impl SimDataset {
                             order_cfg,
                             seed,
                         );
-                        let mut trng = StdRng::seed_from_u64(
-                            seed.wrapping_add(0xabcd).wrapping_mul(area_idx as u64 + 3),
-                        );
-                        for day in 0..n_days {
-                            let weekday = SlotTime::new(day, 0).weekday();
-                            for minute in 0..slots {
-                                let obs = &weather_ref[day as usize * slots + minute];
-                                let p = congestion_pressure(area, weekday, minute as u32, obs);
-                                traffic_out[day as usize * slots + minute] =
-                                    traffic_obs(area, p, &mut trng);
-                            }
-                        }
+                        let stream =
+                            generate_area_traffic(area, area_idx, n_days, weather_ref, seed);
+                        traffic_out.copy_from_slice(&stream);
                     }
                 });
             }
@@ -179,6 +170,18 @@ impl SimDataset {
     /// Weather at a timeslot.
     pub fn weather_at(&self, t: SlotTime) -> &WeatherObs {
         &self.weather[t.day as usize * MINUTES_PER_DAY as usize + t.ts as usize]
+    }
+
+    /// The full city-wide weather stream, indexed by `day * 1440 + minute`.
+    pub fn weather(&self) -> &[WeatherObs] {
+        &self.weather
+    }
+
+    /// One area's full traffic stream, day-major (`day * 1440 + minute`).
+    pub fn area_traffic(&self, area: u16) -> &[TrafficObs] {
+        let span = self.n_days as usize * MINUTES_PER_DAY as usize;
+        let start = area as usize * span;
+        &self.traffic[start..start + span]
     }
 
     /// Traffic condition of an area at a timeslot.

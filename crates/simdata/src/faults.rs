@@ -248,7 +248,7 @@ mod tests {
             .map(|i| Order {
                 day: (i / 600) as u16,
                 ts: ((i % 600) * 2) as u16,
-                pid: i as u32,
+                pid: i as u64,
                 loc_start: 0,
                 loc_dest: 1,
                 valid: i % 3 != 0,

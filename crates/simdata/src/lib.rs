@@ -40,17 +40,22 @@ pub mod faults;
 pub mod orders;
 pub mod patterns;
 pub mod sampling;
+pub mod stream;
 pub mod traffic;
 pub mod types;
 pub mod weather;
 
 pub use city::{Archetype, Area, City, CityConfig};
-pub use codec::{decode_dataset, encode_dataset, CodecError};
+pub use codec::{
+    decode_dataset, encode_dataset, encode_dataset_v2, ChunkReader, ChunkWriter, CodecError,
+    ReadStats,
+};
 pub use dataset::{SimConfig, SimDataset};
 pub use faults::{
     blackout_windows, drop_orders, duplicate_orders, shuffle_within_slack, FaultPlan, NetFault,
     NetFaultPlan,
 };
 pub use orders::OrderGenConfig;
+pub use stream::{AreaBlock, AreaSource, SourceError, StreamGenerator};
 pub use types::{Order, SlotTime, TrafficObs, WeatherObs, WeatherType, MINUTES_PER_DAY};
 pub use weather::WeatherConfig;

@@ -48,7 +48,7 @@ impl Default for OrderGenConfig {
 }
 
 struct PendingRetry {
-    pid: u32,
+    pid: u64,
     attempts: u8,
 }
 
@@ -76,11 +76,14 @@ pub fn generate_area_orders(
     let supply_floor = weekly_mean_intensity(area.archetype);
 
     let mut orders = Vec::new();
-    let mut next_pid: u32 = (area.id as u32) << 20;
+    // 64-bit pid namespace: 20 bits of per-area counter below the area
+    // id. A u32 namespace wraps for area ids >= 4096, colliding pids
+    // across areas in 10k-area cities.
+    let mut next_pid: u64 = (area.id as u64) << 20;
     // Ring buffer of retries keyed by minute mod (max delay + 1).
     let ring_len = (*RETRY_DELAY.end() + 1) as usize;
     let mut retry_ring: Vec<Vec<PendingRetry>> = (0..ring_len).map(|_| Vec::new()).collect();
-    let mut requests: Vec<(u32, u8)> = Vec::new(); // (pid, attempts)
+    let mut requests: Vec<(u64, u8)> = Vec::new(); // (pid, attempts)
                                                    // Standing pool of idle drivers. Inflow is Poisson(µ) per minute;
                                                    // each idle driver drifts to another area with probability
                                                    // 1 - POOL_RETAIN per minute, so the pool buffers short demand spikes
@@ -336,7 +339,21 @@ mod tests {
         let cfg = OrderGenConfig::default();
         let a0 = generate_area_orders(&city, &city.areas[0], 1, &weather, &cfg, 18);
         let a1 = generate_area_orders(&city, &city.areas[1], 1, &weather, &cfg, 18);
-        let set0: std::collections::HashSet<u32> = a0.iter().map(|o| o.pid).collect();
+        let set0: std::collections::HashSet<u64> = a0.iter().map(|o| o.pid).collect();
         assert!(a1.iter().all(|o| !set0.contains(&o.pid)));
+    }
+
+    #[test]
+    fn pid_namespace_survives_wide_area_ids() {
+        // Area ids >= 4096 overflowed the old u32 pid namespace
+        // (`(id as u32) << 20` wrapped); the u64 namespace must keep the
+        // area id recoverable from every pid.
+        let (city, weather) = setup(1, 19);
+        let mut area = city.areas[0].clone();
+        area.id = 9_999;
+        let orders =
+            generate_area_orders(&city, &area, 1, &weather, &OrderGenConfig::default(), 19);
+        assert!(!orders.is_empty());
+        assert!(orders.iter().all(|o| o.pid >> 20 == 9_999));
     }
 }

@@ -1,0 +1,275 @@
+//! Chunked, per-area data production — the streaming face of the
+//! simulator.
+//!
+//! A 10k-area city is ~170× the paper's 58 areas; holding its orders and
+//! traffic whole (as [`SimDataset`] does) costs tens of gigabytes. The
+//! [`AreaSource`] trait is the bounded-memory alternative: the city
+//! layout and the city-wide weather stream stay resident (both are
+//! small — weather is `n_days * 1440` observations regardless of city
+//! size), while per-area [`AreaBlock`]s are produced on demand and can
+//! be dropped by the caller as soon as they are consumed.
+//!
+//! Three sources implement the trait:
+//!
+//! * [`StreamGenerator`] — generates blocks area by area, bit-identical
+//!   to [`SimDataset::generate`] because both key their per-area RNG
+//!   streams by `(seed, area)`;
+//! * `ChunkReader` (in [`crate::codec`]) — reads blocks from a
+//!   `DEEPSD-DATA2` chunked container;
+//! * [`SimDataset`] itself — an adapter for legacy whole-blob datasets.
+
+use crate::city::City;
+use crate::dataset::{SimConfig, SimDataset};
+use crate::orders::generate_area_orders;
+use crate::traffic::generate_area_traffic;
+use crate::types::{Order, TrafficObs, WeatherObs};
+use crate::weather::generate_weather;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One area's complete data: chronological orders plus (optionally) the
+/// per-minute traffic stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AreaBlock {
+    /// Area id.
+    pub area: u16,
+    /// Chronological orders starting in this area.
+    pub orders: Vec<Order>,
+    /// Traffic stream, day-major (`day * 1440 + minute`,
+    /// `n_days * 1440` entries), or empty when traffic was not
+    /// generated / stored.
+    pub traffic: Vec<TrafficObs>,
+}
+
+/// Error surfaced by fallible area sources (e.g. a corrupt or truncated
+/// chunk on disk). Generated and in-memory sources never fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError(pub String);
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "area source: {}", self.0)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Bounded-memory access to a (possibly enormous) dataset.
+///
+/// Implementations keep only the shared small parts resident (city
+/// layout, weather); everything that scales with the number of areas is
+/// delivered one [`AreaBlock`] at a time via [`AreaSource::area_block`].
+pub trait AreaSource {
+    /// The instantiated city layout.
+    fn city(&self) -> &City;
+    /// Number of simulated days.
+    fn n_days(&self) -> u16;
+    /// City-wide weather stream, indexed by `day * 1440 + minute`.
+    fn weather(&self) -> &[WeatherObs];
+    /// Whether [`AreaSource::area_block`] yields traffic observations.
+    fn has_traffic(&self) -> bool;
+    /// Produces one area's block.
+    fn area_block(&mut self, area: u16) -> Result<AreaBlock, SourceError>;
+    /// Number of areas.
+    fn n_areas(&self) -> usize {
+        self.city().n_areas()
+    }
+    /// Cumulative I/O statistics, for sources that actually read bytes
+    /// (the chunked container reader). Generated and in-memory sources
+    /// report zeros.
+    fn read_stats(&self) -> crate::codec::ReadStats {
+        crate::codec::ReadStats::default()
+    }
+}
+
+/// Boxed sources are sources: lets callers dispatch between a generated
+/// city, a chunked container and a legacy in-memory dataset at run time
+/// (`Box<dyn AreaSource>`).
+impl<S: AreaSource + ?Sized> AreaSource for Box<S> {
+    fn city(&self) -> &City {
+        (**self).city()
+    }
+
+    fn n_days(&self) -> u16 {
+        (**self).n_days()
+    }
+
+    fn weather(&self) -> &[WeatherObs] {
+        (**self).weather()
+    }
+
+    fn has_traffic(&self) -> bool {
+        (**self).has_traffic()
+    }
+
+    fn area_block(&mut self, area: u16) -> Result<AreaBlock, SourceError> {
+        (**self).area_block(area)
+    }
+
+    fn n_areas(&self) -> usize {
+        (**self).n_areas()
+    }
+
+    fn read_stats(&self) -> crate::codec::ReadStats {
+        (**self).read_stats()
+    }
+}
+
+/// Generates a dataset one area at a time, never holding more than one
+/// area's orders and traffic.
+///
+/// Bit-identical to [`SimDataset::generate`]: the city and weather come
+/// from the same seeded RNG in the same order, and per-area order /
+/// traffic streams are keyed by `(seed, area)` exactly as the whole-city
+/// generator keys its parallel workers.
+pub struct StreamGenerator {
+    config: SimConfig,
+    city: City,
+    weather: Vec<WeatherObs>,
+    include_traffic: bool,
+}
+
+impl StreamGenerator {
+    /// Instantiates the city and weather (the small, shared parts).
+    ///
+    /// # Panics
+    /// Panics if `config.n_days == 0`.
+    pub fn new(config: &SimConfig) -> StreamGenerator {
+        assert!(config.n_days > 0, "dataset needs at least one day");
+        let mut rng = StdRng::seed_from_u64(config.city.seed);
+        let city = City::generate(config.city.clone(), &mut rng);
+        let weather = generate_weather(config.n_days, &config.weather, &mut rng);
+        StreamGenerator {
+            config: config.clone(),
+            city,
+            weather,
+            include_traffic: true,
+        }
+    }
+
+    /// Disables traffic generation: blocks come back with empty traffic
+    /// streams.
+    ///
+    /// Traffic dominates generation cost and storage (1440 observations
+    /// per area-day), so very large scale sweeps can skip it and train
+    /// without the environment block.
+    pub fn without_traffic(mut self) -> StreamGenerator {
+        self.include_traffic = false;
+        self
+    }
+}
+
+impl AreaSource for StreamGenerator {
+    fn city(&self) -> &City {
+        &self.city
+    }
+
+    fn n_days(&self) -> u16 {
+        self.config.n_days
+    }
+
+    fn weather(&self) -> &[WeatherObs] {
+        &self.weather
+    }
+
+    fn has_traffic(&self) -> bool {
+        self.include_traffic
+    }
+
+    fn area_block(&mut self, area: u16) -> Result<AreaBlock, SourceError> {
+        let a = &self.city.areas[area as usize];
+        let orders = generate_area_orders(
+            &self.city,
+            a,
+            self.config.n_days,
+            &self.weather,
+            &self.config.orders,
+            self.config.city.seed,
+        );
+        let traffic = if self.include_traffic {
+            generate_area_traffic(
+                a,
+                area as usize,
+                self.config.n_days,
+                &self.weather,
+                self.config.city.seed,
+            )
+        } else {
+            Vec::new()
+        };
+        Ok(AreaBlock {
+            area,
+            orders,
+            traffic,
+        })
+    }
+}
+
+/// Adapter: a fully materialized [`SimDataset`] viewed as an
+/// [`AreaSource`], so legacy whole-blob datasets feed the same streaming
+/// consumers.
+impl AreaSource for SimDataset {
+    fn city(&self) -> &City {
+        &self.city
+    }
+
+    fn n_days(&self) -> u16 {
+        self.n_days
+    }
+
+    fn weather(&self) -> &[WeatherObs] {
+        SimDataset::weather(self)
+    }
+
+    fn has_traffic(&self) -> bool {
+        true
+    }
+
+    fn area_block(&mut self, area: u16) -> Result<AreaBlock, SourceError> {
+        Ok(AreaBlock {
+            area,
+            orders: self.orders(area).to_vec(),
+            traffic: self.area_traffic(area).to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_generator_matches_whole_city_generation() {
+        let config = SimConfig::smoke(11);
+        let ds = SimDataset::generate(&config);
+        let mut sg = StreamGenerator::new(&config);
+        assert_eq!(sg.n_days(), ds.n_days);
+        assert_eq!(sg.n_areas(), ds.n_areas());
+        assert_eq!(sg.weather(), SimDataset::weather(&ds));
+        for area in 0..ds.n_areas() as u16 {
+            let block = sg.area_block(area).unwrap();
+            assert_eq!(block.area, area);
+            assert_eq!(block.orders, ds.orders(area), "orders area {area}");
+            assert_eq!(block.traffic, ds.area_traffic(area), "traffic area {area}");
+        }
+    }
+
+    #[test]
+    fn without_traffic_skips_the_expensive_stream() {
+        let mut sg = StreamGenerator::new(&SimConfig::smoke(11)).without_traffic();
+        assert!(!sg.has_traffic());
+        let block = sg.area_block(0).unwrap();
+        assert!(block.traffic.is_empty());
+        assert!(!block.orders.is_empty());
+    }
+
+    #[test]
+    fn dataset_adapter_yields_identical_blocks() {
+        let config = SimConfig::smoke(12);
+        let mut ds = SimDataset::generate(&config);
+        let mut sg = StreamGenerator::new(&config);
+        for area in 0..AreaSource::n_areas(&ds) as u16 {
+            assert_eq!(ds.area_block(area), sg.area_block(area));
+        }
+    }
+}

@@ -9,9 +9,9 @@
 
 use crate::city::Area;
 use crate::patterns::intensity;
-use crate::types::{TrafficObs, WeatherObs, WeatherType};
+use crate::types::{SlotTime, TrafficObs, WeatherObs, WeatherType, MINUTES_PER_DAY};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// Congestion pressure in `[0, 1]` for an area at a given weekday/minute
 /// under given weather.
@@ -52,6 +52,34 @@ pub fn traffic_obs(area: &Area, pressure: f64, rng: &mut StdRng) -> TrafficObs {
     let l4 = counts[3] as i64 + diff;
     counts[3] = l4.max(0) as u16;
     TrafficObs { levels: counts }
+}
+
+/// Generates one area's complete traffic stream: `n_days * 1440`
+/// observations, day-major (`day * 1440 + minute`).
+///
+/// The RNG stream is keyed by `(seed, area_idx)` exactly as the whole-city
+/// generator keys its per-area workers, so chunked (per-area) generation
+/// and `SimDataset::generate` agree bit for bit.
+pub fn generate_area_traffic(
+    area: &Area,
+    area_idx: usize,
+    n_days: u16,
+    weather: &[WeatherObs],
+    seed: u64,
+) -> Vec<TrafficObs> {
+    let slots = MINUTES_PER_DAY as usize;
+    let mut trng =
+        StdRng::seed_from_u64(seed.wrapping_add(0xabcd).wrapping_mul(area_idx as u64 + 3));
+    let mut out = Vec::with_capacity(n_days as usize * slots);
+    for day in 0..n_days {
+        let weekday = SlotTime::new(day, 0).weekday();
+        for minute in 0..slots {
+            let obs = &weather[day as usize * slots + minute];
+            let p = congestion_pressure(area, weekday, minute as u32, obs);
+            out.push(traffic_obs(area, p, &mut trng));
+        }
+    }
+    out
 }
 
 #[cfg(test)]

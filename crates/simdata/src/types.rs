@@ -27,8 +27,10 @@ pub struct Order {
     pub day: u16,
     /// Timeslot within the day, `0..MINUTES_PER_DAY`.
     pub ts: u16,
-    /// Passenger id.
-    pub pid: u32,
+    /// Passenger id. 64-bit: pids are namespaced per area
+    /// (`area_id << 20 | counter`), and a 10k-area city overflows the
+    /// old 32-bit namespace (any area id ≥ 4096 silently wrapped).
+    pub pid: u64,
     /// Area id of the start location.
     pub loc_start: u16,
     /// Area id of the destination.
