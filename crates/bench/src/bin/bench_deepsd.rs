@@ -444,6 +444,7 @@ fn sweep_sim_config(areas: usize) -> SimConfig {
         orders: OrderGenConfig {
             demand_volume: 0.25,
             supply_slack: 1.0,
+            ..OrderGenConfig::default()
         },
     }
 }

@@ -96,6 +96,7 @@ impl Scale {
                 orders: OrderGenConfig {
                     demand_volume: 3.0,
                     supply_slack: 1.0,
+                    ..OrderGenConfig::default()
                 },
                 ..SimConfig::smoke(2024)
             },

@@ -6,6 +6,8 @@
 //! pipeline, and result reporting.
 
 #![warn(missing_docs)]
+// Exact float comparisons in tests assert bit-reproducibility on purpose.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 pub mod harness;
 pub mod loadgen;

@@ -43,6 +43,7 @@ deepsd-cli — DeepSD (ICDE 2017) supply-demand gap prediction
 USAGE:
   deepsd-cli simulate --out data.dsd [--areas 16] [--days 38] [--seed 7]
                       [--volume 1.0] [--slack 1.0] [--format chunked|legacy]
+                      [--shift-day N] [--shift-demand 1.6] [--shift-supply 0.6]
   deepsd-cli inspect  --data data.dsd
   deepsd-cli train    --data data.dsd --out model.json
                       [--variant basic|advanced] [--env none|weather|full]
@@ -65,6 +66,10 @@ USAGE:
                       [--ingest-policy reject|drop-late|reorder:<minutes>]
                       [--max-resident-mb 0] [--threads 0] [--autotune 1]
                       [--metrics-out metrics.json]
+                      [--continual 1] [--continual-window 36]
+                      [--continual-cadence 512] [--continual-margin 0.01]
+                      [--continual-epochs 2] [--continual-lr 0.0002]
+                      [--shadow-checkpoint shadow.ckpt] [--training-mae M]
 
 `predict` streams the day's orders through the online serving path:
 `--ingest-policy` selects how late/duplicate/unknown-area orders are
@@ -86,7 +91,16 @@ bit-identical at any thread count. `--autotune 1` runs a bounded startup
 sweep that picks the GEMM block sizes for this machine (tens of ms;
 blocking can only change speed, never result bits). `--metrics-out` writes a telemetry
 JSON snapshot (counters, gauges, latency histograms, per-epoch training
-events) next to the command's normal output.
+events) next to the command's normal output. `serve --continual 1` runs
+online continual learning: a background shadow copy of the model
+fine-tunes on a sliding window of recently observed orders and is
+promoted into serving (between micro-batches, atomically) only when it
+beats the live weights by `--continual-margin` on a held-out recent
+slice; `--shadow-checkpoint` persists promoted shadows and resumes from
+them on restart, and `--training-mae` seeds the drift gauges exposed on
+`/metrics`. `simulate --shift-day N` injects a persistent demand/supply
+regime shift at day N for drift drills (pre-shift days stay
+byte-identical to an unshifted run).
 ";
 
 /// Applies the shared performance flags: `--threads N` caps kernel and
@@ -127,8 +141,30 @@ fn write_metrics_out(args: &Args, telemetry: &Telemetry) -> CmdResult {
 /// `legacy` materialises the whole dataset and writes the old
 /// single-blob format.
 pub fn simulate(args: &Args) -> CmdResult {
-    args.check_known(&["out", "areas", "days", "seed", "volume", "slack", "format"])?;
+    args.check_known(&[
+        "out",
+        "areas",
+        "days",
+        "seed",
+        "volume",
+        "slack",
+        "format",
+        "shift-day",
+        "shift-demand",
+        "shift-supply",
+    ])?;
     let out = args.require("out")?;
+    // `--shift-day N` injects a persistent regime shift (drift drill
+    // scenario): demand and supply change levels from day N on while
+    // the pre-shift days stay byte-identical to an unshifted run.
+    let shift = match args.get("shift-day") {
+        None => None,
+        Some(_) => Some(deepsd_simdata::RegimeShift {
+            day: args.require_parsed("shift-day")?,
+            demand_factor: args.get_or("shift-demand", 1.6f64)?,
+            supply_factor: args.get_or("shift-supply", 0.6f64)?,
+        }),
+    };
     let config = SimConfig {
         city: CityConfig {
             n_areas: args.get_or("areas", 16u16)?,
@@ -138,6 +174,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         orders: OrderGenConfig {
             demand_volume: args.get_or("volume", 1.0f64)?,
             supply_slack: args.get_or("slack", 1.0f64)?,
+            shift,
         },
         ..SimConfig::smoke(0)
     };
@@ -190,7 +227,7 @@ fn load_dataset(args: &Args) -> Result<SimDataset, Box<dyn std::error::Error>> {
 /// verified on every read), legacy whole-blob files are decoded and
 /// adapted. Only the chunked path keeps memory flat; the legacy path
 /// exists so old datasets keep working.
-fn open_area_source(args: &Args) -> Result<Box<dyn AreaSource>, Box<dyn std::error::Error>> {
+fn open_area_source(args: &Args) -> Result<Box<dyn AreaSource + Send>, Box<dyn std::error::Error>> {
     let path = args.require("data")?;
     let mut file = fs::File::open(path)?;
     let mut magic = [0u8; 12];
@@ -553,6 +590,14 @@ pub fn serve(args: &Args) -> CmdResult {
         "threads",
         "autotune",
         "metrics-out",
+        "continual",
+        "continual-window",
+        "continual-cadence",
+        "continual-margin",
+        "continual-epochs",
+        "continual-lr",
+        "shadow-checkpoint",
+        "training-mae",
     ])?;
     apply_perf_flags(args)?;
     let source = open_area_source(args)?;
@@ -563,6 +608,19 @@ pub fn serve(args: &Args) -> CmdResult {
         None => IngestPolicy::Reject,
         Some(raw) => IngestPolicy::parse(raw).map_err(ArgError)?,
     };
+    let continual_on = args.get_or("continual", 0u8)? != 0;
+    // The shadow starts from the serving weights (or a previously
+    // promoted shadow checkpoint, letting a restart resume where
+    // continual learning left off).
+    let shadow_model = if continual_on {
+        Some(match args.get("shadow-checkpoint") {
+            Some(path) if fs::metadata(path).is_ok() => load_checkpoint(path)?,
+            _ => model.clone(),
+        })
+    } else {
+        None
+    };
+    let shadow_fcfg = fcfg.clone();
 
     let read_timeout_ms = args.get_or("read-timeout-ms", 1_000u64)?;
     let config = ServeConfig {
@@ -583,7 +641,56 @@ pub fn serve(args: &Args) -> CmdResult {
     let mut predictor = OnlinePredictor::with_policy(model, fx, policy);
     predictor.set_telemetry(telemetry.clone());
 
-    let server = Server::bind(config, telemetry.clone())?;
+    let mut server = Server::bind(config, telemetry.clone())?;
+
+    // Continual learning: a background shadow trainer consumes the
+    // observed order stream, fine-tunes a shadow model on a sliding
+    // recent window and promotes it through the handoff slot; the
+    // engine installs promotions between micro-batches.
+    let mut shadow_worker = None;
+    if let Some(shadow) = shadow_model {
+        let (orders_tx, orders_rx) = std::sync::mpsc::channel::<Vec<Order>>();
+        let handoff = deepsd::Handoff::new();
+        server.set_continual(orders_tx, handoff.clone());
+        let shadow_source = open_area_source(args)?;
+        let shadow_fx = StreamingExtractor::new(shadow_source, shadow_fcfg)
+            .with_max_resident_mb(args.get_or("max-resident-mb", 0usize)?);
+        let ccfg = deepsd::ContinualConfig {
+            window_ticks: args.get_or("continual-window", 36usize)?,
+            cadence: args.get_or("continual-cadence", 512u64)?,
+            margin: args.get_or("continual-margin", 0.01f64)?,
+            epochs: args.get_or("continual-epochs", 2usize)?,
+            learning_rate: args.get_or("continual-lr", 2e-4f32)?,
+            shadow_path: args.get("shadow-checkpoint").map(str::to_string),
+            threads: args.get_or("threads", 0usize)?,
+            ..deepsd::ContinualConfig::default()
+        };
+        println!(
+            "continual: window {} ticks, cadence {} orders, margin {}, {} epochs/round",
+            ccfg.window_ticks, ccfg.cadence, ccfg.margin, ccfg.epochs
+        );
+        let mut trainer = deepsd::ShadowTrainer::new(shadow, shadow_fx, ccfg, handoff);
+        trainer.set_telemetry(telemetry.clone());
+        let training_mae = args.get_or("training-mae", f64::NAN)?;
+        if training_mae.is_finite() {
+            trainer.set_training_mae(training_mae);
+        }
+        shadow_worker = Some(
+            std::thread::Builder::new()
+                .name("deepsd-continual".to_string())
+                .spawn(move || {
+                    // The channel closes when the engine (the only
+                    // sender) drains; the worker then reports totals.
+                    while let Ok(orders) = orders_rx.recv() {
+                        for event in trainer.ingest(&orders) {
+                            eprintln!("[continual] {}", event.render());
+                        }
+                    }
+                    (trainer.rounds(), trainer.generation())
+                })?,
+        );
+    }
+
     println!("serving on http://{}", server.local_addr());
     println!("policy: {policy}");
     println!("endpoints: GET /predict?day=D&t=T[&area=A]  POST /observe");
@@ -593,6 +700,14 @@ pub fn serve(args: &Args) -> CmdResult {
         "drained: {} served, {} predict calls ({} coalesced), {} expired, {} observe batches",
         stats.served, stats.predict_calls, stats.coalesced, stats.expired, stats.observes
     );
+    if let Some(worker) = shadow_worker {
+        if let Ok((rounds, generation)) = worker.join() {
+            println!(
+                "continual: {rounds} fine-tune rounds, {} swaps installed, final generation {generation}",
+                stats.swaps
+            );
+        }
+    }
     write_metrics_out(args, &telemetry)?;
     Ok(())
 }

@@ -52,6 +52,7 @@
 pub mod blocks;
 pub mod checkpoint;
 pub mod config;
+pub mod continual;
 pub mod metrics;
 pub mod model;
 pub mod serving;
@@ -63,6 +64,7 @@ pub use checkpoint::{
     CHECKPOINT_MAGIC,
 };
 pub use config::{Encoding, EnvBlocks, ModelConfig, Variant};
+pub use continual::{ContinualConfig, ContinualEvent, Handoff, PromotedModel, ShadowTrainer};
 pub use deepsd_nn::{
     avx2_supported, dispatch_counts, kernel_path, num_threads, set_num_threads, tune, tuned,
     tuning, with_kernel_path, DispatchCounts, KernelPath, TuneReport, Tuning,

@@ -428,6 +428,14 @@ pub trait Predictor {
         let _ = tape;
         self.predict_masked(batch, mask)
     }
+
+    /// Hot-swaps this predictor's parameters from a snapshot (continual
+    /// learning promotion). Returns `false` when the predictor has no
+    /// swappable parameter store, in which case it is unchanged.
+    fn install_snapshot(&mut self, snapshot: &Snapshot) -> bool {
+        let _ = snapshot;
+        false
+    }
 }
 
 impl Predictor for DeepSD {
@@ -441,6 +449,11 @@ impl Predictor for DeepSD {
 
     fn predict_masked_with(&self, tape: &mut Tape, batch: &Batch, mask: &BlockMask) -> Vec<f32> {
         DeepSD::predict_masked_with(self, tape, batch, mask)
+    }
+
+    fn install_snapshot(&mut self, snapshot: &Snapshot) -> bool {
+        self.restore(snapshot);
+        true
     }
 }
 

@@ -254,6 +254,15 @@ impl<P: Predictor + Sync, X: ItemSource> OnlinePredictor<P, X> {
     pub fn model(&self) -> &P {
         &self.model
     }
+
+    /// Hot-swaps the serving model's parameters from a promoted
+    /// continual-learning snapshot. Callers must only invoke this
+    /// between prediction batches (the serving engine does so at
+    /// micro-batch boundaries); returns `false` — leaving the model
+    /// untouched — when the predictor has no swappable parameters.
+    pub fn install_snapshot(&mut self, snapshot: &deepsd_nn::Snapshot) -> bool {
+        self.model.install_snapshot(snapshot)
+    }
 }
 
 #[cfg(test)]

@@ -252,10 +252,17 @@ impl Telemetry {
     }
 
     /// Mirrors an [`IngestStats`] snapshot into `ingest_*_total`
-    /// counters (absolute set: the stats are already cumulative).
+    /// counters (absolute set: the stats are already cumulative). The
+    /// `slot_clamped` tripwire keeps its own `online_slot_clamped_total`
+    /// name: it counts defensive slot clamps in the online vector path,
+    /// not an ingest outcome.
     pub fn record_ingest(&self, stats: &IngestStats) {
         for (field, value) in stats.fields() {
-            self.set_counter(&format!("ingest_{field}_total"), value);
+            if field == "slot_clamped" {
+                self.set_counter("online_slot_clamped_total", value);
+            } else {
+                self.set_counter(&format!("ingest_{field}_total"), value);
+            }
         }
     }
 

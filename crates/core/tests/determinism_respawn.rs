@@ -14,6 +14,7 @@ use std::process::Command;
 
 const CHILD_ENV: &str = "DEEPSD_DETERMINISM_CHILD";
 const STREAM_CHILD_ENV: &str = "DEEPSD_DETERMINISM_STREAM_CHILD";
+const CONTINUAL_CHILD_ENV: &str = "DEEPSD_DETERMINISM_CONTINUAL_CHILD";
 const THREADS_ENV: &str = "DEEPSD_DETERMINISM_THREADS";
 const BEGIN: &str = "-----BEGIN DEEPSD TRACE-----";
 const END: &str = "-----END DEEPSD TRACE-----";
@@ -150,6 +151,72 @@ fn child_emits_streamed_trace() {
     println!("{END}");
 }
 
+/// Child mode: runs the continual-learning loop over a fixed observed
+/// order stream at the worker count named by `DEEPSD_DETERMINISM_THREADS`
+/// and prints the full promotion/rollback event log with exact MAE bit
+/// patterns. Promotion decisions must be a pure function of the stream:
+/// same orders, same events, at any worker count and across processes.
+#[test]
+fn child_emits_continual_trace() {
+    if std::env::var_os(CONTINUAL_CHILD_ENV).is_none() {
+        return;
+    }
+    use deepsd::{ContinualConfig, DeepSD, EnvBlocks, Handoff, ModelConfig, ShadowTrainer};
+    use deepsd_features::{FeatureConfig, FeatureExtractor};
+    use deepsd_simdata::{Order, SimConfig, SimDataset};
+
+    let threads: usize = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let ds = SimDataset::generate(&SimConfig::smoke(61));
+    let fcfg = FeatureConfig {
+        window_l: 8,
+        history_window: 3,
+        train_stride: 60,
+        ..FeatureConfig::default()
+    };
+    let fx = FeatureExtractor::new(&ds, fcfg.clone());
+
+    let mut mcfg = ModelConfig::basic(ds.n_areas());
+    mcfg.window_l = fcfg.window_l;
+    mcfg.env = EnvBlocks::None;
+    let shadow = DeepSD::new(mcfg);
+
+    let cfg = ContinualConfig {
+        window_ticks: 6,
+        cadence: 200,
+        epochs: 1,
+        threads,
+        ..ContinualConfig::default()
+    };
+    let handoff = Handoff::new();
+    let mut trainer = ShadowTrainer::new(shadow, fx, cfg, handoff);
+
+    // A fixed, fully ordered observed stream: two days of orders.
+    let mut orders: Vec<Order> = (0..ds.n_areas() as u16)
+        .flat_map(|a| ds.orders(a).iter().copied())
+        .filter(|o| (10..12).contains(&o.day))
+        .collect();
+    orders.sort_by_key(|o| (o.day, o.ts, o.loc_start, o.pid));
+    orders.truncate(1000);
+    // Deliberately uneven batching: the event log must not see it.
+    for chunk in orders.chunks(173) {
+        trainer.ingest(chunk);
+    }
+
+    println!("{BEGIN}");
+    for event in trainer.events() {
+        println!("{}", event.render());
+    }
+    println!(
+        "rounds {} generation {}",
+        trainer.rounds(),
+        trainer.generation()
+    );
+    println!("{END}");
+}
+
 /// Respawns this test binary in a child mode and returns the payload
 /// between the markers.
 fn spawn_child_with(test_name: &str, envs: &[(&str, &str)]) -> String {
@@ -222,5 +289,34 @@ fn streamed_trace_is_identical_across_workers_and_processes() {
     assert_eq!(
         w2, w2_again,
         "fresh processes diverged on the streamed data path"
+    );
+}
+
+/// The continual-learning promotion/rollback event log is byte
+/// identical at 1, 2 and 8 fine-tune workers, and across a fresh
+/// process at the same worker count: promotion decisions depend only on
+/// the observed order stream, never on timing, batching or thread
+/// scheduling.
+#[test]
+fn continual_event_log_is_identical_across_workers_and_processes() {
+    let spawn = |threads: &str| {
+        spawn_child_with(
+            "child_emits_continual_trace",
+            &[(CONTINUAL_CHILD_ENV, "1"), (THREADS_ENV, threads)],
+        )
+    };
+    let w1 = spawn("1");
+    assert!(
+        w1.contains("rounds ") && (w1.contains("promoted") || w1.contains("rolledback")),
+        "payload looks wrong:\n{w1}"
+    );
+    let w2 = spawn("2");
+    let w8 = spawn("8");
+    assert_eq!(w1, w2, "continual events diverged between 1 and 2 workers");
+    assert_eq!(w1, w8, "continual events diverged between 1 and 8 workers");
+    let w2_again = spawn("2");
+    assert_eq!(
+        w2, w2_again,
+        "fresh processes diverged on the continual-learning path"
     );
 }

@@ -189,7 +189,8 @@ impl FeedHealth {
             match covering {
                 None => return Some(candidate),
                 Some(0) => return None,
-                Some(start) => candidate = start - 1,
+                // `start >= 1`: the `Some(0)` arm above returned already.
+                Some(start) => candidate = start.saturating_sub(1),
             }
         }
     }
@@ -201,9 +202,13 @@ impl FeedHealth {
             return FeedState::Live;
         }
         match self.last_good(kind, abs_minute) {
-            Some(good) if abs_minute - good <= self.max_staleness => FeedState::Stale {
-                age_minutes: abs_minute - good,
-            },
+            // `last_good` never returns a minute ahead of `abs_minute`;
+            // saturating keeps the age arithmetic panic-free regardless.
+            Some(good) if abs_minute.saturating_sub(good) <= self.max_staleness => {
+                FeedState::Stale {
+                    age_minutes: abs_minute.saturating_sub(good),
+                }
+            }
             _ => FeedState::Down,
         }
     }
@@ -223,7 +228,7 @@ impl FeedHealth {
     pub fn read_slot(&self, kind: FeedKind, abs_minute: u32) -> Option<SlotTime> {
         let good = if self.is_out(kind, abs_minute) {
             let good = self.last_good(kind, abs_minute)?;
-            if abs_minute - good > self.max_staleness {
+            if abs_minute.saturating_sub(good) > self.max_staleness {
                 return None;
             }
             good

@@ -99,7 +99,8 @@ impl AreaHistory {
         for w in 0..7u16 {
             let mut acc = vec![0.0f32; dim];
             let mut count = 0usize;
-            // Walk backwards over past days of weekday w.
+            // Walk backwards over past days of weekday w. Underflow
+            // audit: the `m > 0` loop guard bounds the decrement.
             let mut m = day;
             while m > 0 && count < cfg.history_window {
                 m -= 1;
@@ -143,6 +144,7 @@ pub fn uniform_history(
     let dim = cfg.vector_dim();
     let mut acc = vec![0.0f32; dim];
     let mut count = 0usize;
+    // Underflow audit: `lookback <= day` by the `.min` above.
     let lookback = (cfg.history_window * 7).min(day as usize);
     for m in (day as usize - lookback)..day as usize {
         let v = history.realtime(index, cfg, kind, m as u16, t);

@@ -125,6 +125,11 @@ pub struct IngestStats {
     pub unknown_area: u64,
     /// Orders refused with an error (`Reject` policy).
     pub rejected: u64,
+    /// Feature-vector slots clamped into range by the online path's
+    /// defensive lag arithmetic. Always zero when the window invariants
+    /// hold; a non-zero value is a tripwire, not a loss (the order is
+    /// still counted in the nearest valid slot).
+    pub slot_clamped: u64,
 }
 
 impl IngestStats {
@@ -137,13 +142,14 @@ impl IngestStats {
             duplicates_dropped: self.duplicates_dropped + other.duplicates_dropped,
             unknown_area: self.unknown_area + other.unknown_area,
             rejected: self.rejected + other.rejected,
+            slot_clamped: self.slot_clamped + other.slot_clamped,
         }
     }
 
     /// Stable `(field_name, value)` view of every counter, in
     /// declaration order. The canonical field list for exporters (the
     /// telemetry layer mirrors these into `ingest_<field>_total`).
-    pub fn fields(&self) -> [(&'static str, u64); 6] {
+    pub fn fields(&self) -> [(&'static str, u64); 7] {
         [
             ("accepted", self.accepted),
             ("reordered", self.reordered),
@@ -151,10 +157,12 @@ impl IngestStats {
             ("duplicates_dropped", self.duplicates_dropped),
             ("unknown_area", self.unknown_area),
             ("rejected", self.rejected),
+            ("slot_clamped", self.slot_clamped),
         ]
     }
 
-    /// Orders that did not make it into the feature windows.
+    /// Orders that did not make it into the feature windows. Clamped
+    /// slots are excluded: a clamped order still lands in a window slot.
     pub fn lost(&self) -> u64 {
         self.dropped_late + self.duplicates_dropped + self.unknown_area + self.rejected
     }
@@ -225,13 +233,14 @@ impl std::fmt::Display for IngestStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "accepted {}, reordered {}, dropped-late {}, duplicates {}, unknown-area {}, rejected {}",
+            "accepted {}, reordered {}, dropped-late {}, duplicates {}, unknown-area {}, rejected {}, slot-clamped {}",
             self.accepted,
             self.reordered,
             self.dropped_late,
             self.duplicates_dropped,
             self.unknown_area,
-            self.rejected
+            self.rejected,
+            self.slot_clamped
         )
     }
 }

@@ -80,7 +80,8 @@ impl OnlineWindow {
         let abs_new = order.day as u32 * MINUTES_PER_DAY + order.ts as u32;
         let abs_cur = self.day as u32 * MINUTES_PER_DAY + self.cursor as u32;
         if abs_new < abs_cur {
-            return self.observe_late(order, abs_cur - abs_new);
+            // Exact under the guard above; saturating is the audited form.
+            return self.observe_late(order, abs_cur.saturating_sub(abs_new));
         }
         if order.day != self.day {
             self.buffer.clear();
@@ -93,7 +94,11 @@ impl OnlineWindow {
         self.cursor = order.ts;
         self.buffer.push_back(order);
         self.stats.accepted += 1;
-        self.evict(order.ts.saturating_add(1));
+        // Evict to the cursor itself, not past it: `vectors(t)` with
+        // `t == cursor` still needs the `ts == t - L` edge order, and an
+        // order admitted at `ts == cursor` (same minute, not late) must
+        // not push that edge out of the buffer.
+        self.evict(order.ts);
         Ok(())
     }
 
@@ -125,7 +130,8 @@ impl OnlineWindow {
                 }
                 self.insert_sorted(order);
                 self.stats.reordered += 1;
-                self.evict(self.cursor.saturating_add(1));
+                // Same edge rule as `observe`: keep `ts == cursor - L`.
+                self.evict(self.cursor);
                 Ok(())
             }
         }
@@ -187,15 +193,22 @@ impl OnlineWindow {
     /// When `t < L` the window would cross midnight; there is no valid
     /// data to count and the vectors degrade to all-zero instead of
     /// panicking on the request path.
-    pub fn vectors(&self, t: u16) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    ///
+    /// All lag/wait arithmetic is saturating with an explicit
+    /// clamp-and-count: a lag outside `[1, L]` (impossible while the
+    /// buffer invariants hold) is clamped into the nearest valid slot
+    /// and bumps the `slot_clamped` tripwire counter instead of
+    /// panicking in debug or wrapping to a silently dropped count in
+    /// release.
+    pub fn vectors(&mut self, t: u16) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
         let l = self.l as usize;
         let mut v_sd = vec![0.0f32; 2 * l];
         let mut v_lc = vec![0.0f32; 2 * l];
         let mut v_wt = vec![0.0f32; 2 * l];
-        if t < self.l {
+        if t < self.l || l == 0 {
             return (v_sd, v_lc, v_wt);
         }
-        let from = t - self.l;
+        let from = t.saturating_sub(self.l);
 
         // Group the in-window orders per passenger, preserving order.
         // (Iteration order of the map only feeds commutative integer
@@ -206,8 +219,7 @@ impl OnlineWindow {
             if o.ts < from || o.ts >= t {
                 continue;
             }
-            let ell = (t - o.ts) as usize;
-            let slot = if o.valid { ell - 1 } else { l + ell - 1 };
+            let slot = Self::lag_slot(l, t, o.ts, o.valid, &mut self.stats.slot_clamped);
             if let Some(c) = v_sd.get_mut(slot) {
                 *c += 1.0;
             }
@@ -218,19 +230,44 @@ impl OnlineWindow {
                 continue;
             };
             // Last-call vector: the pid counts at its final in-window call.
-            let ell = (t - last.ts) as usize;
-            let slot = if last.valid { ell - 1 } else { l + ell - 1 };
+            let slot = Self::lag_slot(l, t, last.ts, last.valid, &mut self.stats.slot_clamped);
             if let Some(c) = v_lc.get_mut(slot) {
                 *c += 1.0;
             }
-            // Waiting-time vector: span from first to last in-window call.
-            let wait = ((last.ts - first.ts) as usize).min(l.saturating_sub(1));
+            // Waiting-time vector: span from first to last in-window call
+            // (the buffer is ts-sorted, so the span is non-negative; the
+            // saturation is the defensive form the lint rule asks for).
+            let wait = (last.ts as usize)
+                .saturating_sub(first.ts as usize)
+                .min(l.saturating_sub(1));
             let slot = if last.valid { wait } else { l + wait };
             if let Some(c) = v_wt.get_mut(slot) {
                 *c += 1.0;
             }
         }
         (v_sd, v_lc, v_wt)
+    }
+
+    /// Maps an order's lag within the window ending at `t` to its slot.
+    ///
+    /// A lag `ell = t - ts` of `k ∈ [1, L]` counts in slot `k - 1`
+    /// (valid orders) or `L + k - 1` (invalid orders). Lags outside that
+    /// range cannot occur while the buffer invariants hold; if one does,
+    /// it is clamped to the nearest in-range slot and `clamped` (the
+    /// window's `slot_clamped` tripwire) is incremented — never a panic
+    /// or a wrapped index on the request path.
+    fn lag_slot(l: usize, t: u16, ts: u16, valid: bool, clamped: &mut u64) -> usize {
+        let ell = (t as usize).saturating_sub(ts as usize);
+        let ell_clamped = ell.clamp(1, l.max(1));
+        if ell_clamped != ell {
+            *clamped += 1;
+        }
+        let base = ell_clamped.saturating_sub(1);
+        if valid {
+            base
+        } else {
+            l + base
+        }
     }
 }
 
@@ -442,6 +479,74 @@ mod tests {
             "reorder must be lossless"
         );
         assert_eq!(faulty.stats().dropped_late, 0);
+    }
+
+    #[test]
+    fn order_at_cursor_keeps_window_edge_and_matches_offline() {
+        // Regression: an order admitted at `ts == cursor` (same minute as
+        // the high-water mark — not late, so it takes the normal path even
+        // under reorder-within-slack) used to evict past the cursor and
+        // silently drop the `ts == t - L` window-edge order. Feed such a
+        // stream through observe → advance_to → vectors and check slot
+        // accounting against the offline extractor.
+        let l = 5usize;
+        let day = 0u16;
+        let t = 105u16;
+        let stream = [
+            order(day, 100, 1, true), // ts == t - L: must stay countable
+            order(day, 103, 2, false),
+            order(day, 105, 3, true),  // advances cursor to t
+            order(day, 105, 4, false), // ts == cursor: must not evict 100
+            order(day, 104, 5, true),  // 1 minute late: reordered in
+        ];
+        let policy = IngestPolicy::ReorderWithinSlack { slack_minutes: 2 };
+        let mut w = OnlineWindow::with_policy(0, &cfg(l), policy);
+        for o in stream {
+            w.observe(o).unwrap();
+        }
+        w.advance_to(day, t);
+        let (sd, lc, wt) = w.vectors(t);
+
+        // Window [100, 105): orders at 100, 103, 104 are in; the two
+        // ts == 105 orders are outside (counted only at later t).
+        assert_eq!(sd.iter().sum::<f32>(), 3.0, "sd {sd:?}");
+        assert_eq!(sd[l - 1], 1.0, "ts == t - L order must fill the last slot");
+        assert_eq!(lc.iter().sum::<f32>(), 3.0, "lc {lc:?}");
+        assert_eq!(wt.iter().sum::<f32>(), 3.0, "wt {wt:?}");
+
+        let mut chronological = stream;
+        chronological.sort_by_key(|o| (o.day, o.ts));
+        let index = AreaIndex::build(&chronological, 1);
+        assert_eq!(sd, v_sd(&index, day, t, l), "offline equivalence (sd)");
+        assert_eq!(lc, v_lc(&index, day, t, l), "offline equivalence (lc)");
+        assert_eq!(wt, v_wt(&index, day, t, l), "offline equivalence (wt)");
+
+        // The defensive clamp is a tripwire: quiet on a healthy stream.
+        assert_eq!(w.stats().slot_clamped, 0);
+
+        // And at the next minute the ts == 105 orders become countable.
+        w.advance_to(day, 106);
+        let (sd_next, _, _) = w.vectors(106);
+        assert_eq!(sd_next.iter().sum::<f32>(), 4.0, "sd {sd_next:?}");
+    }
+
+    #[test]
+    fn lag_slot_clamps_out_of_range_lags_and_counts() {
+        let mut clamped = 0u64;
+        // In-range lags map without touching the tripwire.
+        assert_eq!(OnlineWindow::lag_slot(5, 105, 104, true, &mut clamped), 0);
+        assert_eq!(OnlineWindow::lag_slot(5, 105, 100, true, &mut clamped), 4);
+        assert_eq!(OnlineWindow::lag_slot(5, 105, 100, false, &mut clamped), 9);
+        assert_eq!(clamped, 0);
+        // Lag 0 (ts == t) clamps up to slot 0 instead of wrapping.
+        assert_eq!(OnlineWindow::lag_slot(5, 105, 105, true, &mut clamped), 0);
+        assert_eq!(clamped, 1);
+        // Lag > L clamps down to the last slot instead of out of range.
+        assert_eq!(OnlineWindow::lag_slot(5, 105, 90, false, &mut clamped), 9);
+        assert_eq!(clamped, 2);
+        // ts ahead of t saturates to lag 0 → clamps to slot 0.
+        assert_eq!(OnlineWindow::lag_slot(5, 105, 200, true, &mut clamped), 0);
+        assert_eq!(clamped, 3);
     }
 
     #[test]

@@ -3,6 +3,14 @@
 //! All three vectors are `2L`-dimensional: the first `L` entries describe
 //! "successful" passengers/orders per look-back minute (or wait length),
 //! the second `L` entries the unsuccessful ones.
+//!
+//! Underflow audit: every subtraction below is range-guarded — `t >= L`
+//! is asserted at each entry point (offline extraction runs off the
+//! request path, so the assert is the right failure mode here),
+//! `day_orders_in(day, from, t)` bounds `o.ts ∈ [from, t)` so lags stay
+//! in `1..=L`, and passenger chains walk forward so `last.ts >= o.ts`.
+//! The serving-path twin ([`crate::online`]) cannot assert and uses
+//! saturating clamp-and-count arithmetic instead.
 
 use crate::index::AreaIndex;
 

@@ -1,6 +1,9 @@
 //! Property-based tests for the feature pipeline: conservation laws and
 //! consistency invariants that must hold for arbitrary order streams.
 
+// Exact float comparisons assert conservation laws bit-for-bit on purpose.
+#![allow(clippy::float_cmp)]
+
 use deepsd_features::vectors::{v_lc, v_sd, v_wt};
 use deepsd_features::{AreaIndex, FeatureConfig, VectorKind};
 use deepsd_simdata::Order;

@@ -21,6 +21,7 @@ use crate::lexer::{lex, Comment, Tok, TokKind};
 pub const RULE_DETERMINISM_MAP_ITER: &str = "determinism-map-iter";
 pub const RULE_DETERMINISM_WALLCLOCK: &str = "determinism-wallclock";
 pub const RULE_SERVING_NO_PANIC: &str = "serving-no-panic";
+pub const RULE_ARITH_UNDERFLOW: &str = "arith-underflow";
 pub const RULE_FLOAT_EQ: &str = "float-eq";
 pub const RULE_CAST_TRUNCATE: &str = "cast-truncate";
 pub const RULE_UNSAFE_SCOPE: &str = "unsafe-scope";
@@ -34,6 +35,7 @@ pub const RULES: &[&str] = &[
     RULE_DETERMINISM_MAP_ITER,
     RULE_DETERMINISM_WALLCLOCK,
     RULE_SERVING_NO_PANIC,
+    RULE_ARITH_UNDERFLOW,
     RULE_FLOAT_EQ,
     RULE_CAST_TRUNCATE,
     RULE_UNSAFE_SCOPE,
@@ -142,6 +144,7 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
     }
     if SERVING_PATHS.contains(&path) || SERVING_PATHS_PREFIX.iter().any(|p| path.starts_with(p)) {
         rule_no_panic(path, toks, &skip, &mut findings);
+        rule_arith_underflow(path, toks, &skip, &mut findings);
     }
     rule_float_eq(path, toks, &skip, &mut findings);
     if CAST_PATHS_EXACT.contains(&path) || CAST_PATHS_PREFIX.iter().any(|p| path.starts_with(p)) {
@@ -552,6 +555,49 @@ fn rule_no_panic(path: &str, toks: &[Tok], skip: &[bool], out: &mut Vec<Finding>
     }
 }
 
+/// Flags bare binary `-` on serving paths: slot/lag arithmetic there is
+/// overwhelmingly unsigned, where a reordered operand pair panics in
+/// debug and wraps to a bogus index in release. The fix is
+/// `checked_sub`/`saturating_sub` (which this rule never matches) or an
+/// audited `allow(arith-underflow, reason="…")` when the subtraction is
+/// provably in range. Float *literals* on either side are exempt —
+/// underflow is an integer hazard — but idents of float type cannot be
+/// told apart lexically, so float expression arithmetic on these paths
+/// also needs the saturating form or an allow.
+fn rule_arith_underflow(path: &str, toks: &[Tok], skip: &[bool], out: &mut Vec<Finding>) {
+    for i in 1..toks.len() {
+        if skip[i] || !toks[i].is_punct("-") {
+            continue;
+        }
+        // Binary minus only: the left neighbour must end an expression;
+        // anything else (`(`, `,`, `=`, `return`, …) makes it unary.
+        let left = &toks[i - 1];
+        let left_ends_expr = (left.kind == TokKind::Ident && !is_keyword(&left.text))
+            || left.kind == TokKind::Num
+            || left.is_punct(")")
+            || left.is_punct("]");
+        if !left_ends_expr || left.is_float_literal() {
+            continue;
+        }
+        let Some(right) = toks.get(i + 1) else {
+            continue;
+        };
+        let right_is_float = right.is_float_literal()
+            || right.is_ident("f32")
+            || right.is_ident("f64")
+            || (right.is_punct("-") && toks.get(i + 2).is_some_and(Tok::is_float_literal));
+        if right_is_float {
+            continue;
+        }
+        out.push(Finding {
+            rule: RULE_ARITH_UNDERFLOW,
+            path: path.to_string(),
+            line: toks[i].line,
+            msg: "unchecked `-` between (likely unsigned) integer expressions on a serving path can underflow — debug panic, release wrap; use checked_sub/saturating_sub or an audited allow".to_string(),
+        });
+    }
+}
+
 /// Keywords that may directly precede a `[` without forming an index
 /// expression (`return [a, b]`, `break [..]` are arrays).
 fn is_keyword(s: &str) -> bool {
@@ -860,6 +906,70 @@ mod tests {
             }
         "#;
         assert!(lint_file("crates/core/src/serving.rs", src).is_empty());
+    }
+
+    // --- arith-underflow ------------------------------------------------
+
+    #[test]
+    fn unsigned_subtraction_flagged_on_serving_path() {
+        let src = "fn slot(t: u16, ts: u16) -> usize { (t - ts) as usize }";
+        let f = lint_file("crates/features/src/online.rs", src);
+        assert_eq!(rules_of(&f), vec![RULE_ARITH_UNDERFLOW]);
+    }
+
+    #[test]
+    fn saturating_and_checked_sub_are_clean() {
+        let src = r#"
+            fn slot(t: u16, ts: u16) -> usize {
+                t.saturating_sub(ts) as usize + t.checked_sub(1).unwrap_or(0) as usize
+            }
+        "#;
+        let f = lint_file("crates/features/src/feeds.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unary_minus_and_float_literals_are_not_flagged() {
+        let src = r#"
+            fn f(x: f32) -> f32 { x - 1.0 }
+            fn g(x: f32) -> f32 { x - -2.5 }
+            fn h(x: i32) -> i32 { -x }
+            fn k(x: f64) -> f64 { x - f64::EPSILON }
+        "#;
+        let f = lint_file("crates/features/src/online.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn underflow_rule_scoped_to_serving_files() {
+        let src = "fn f(a: u32, b: u32) -> u32 { a - b }";
+        assert!(lint_file("crates/nn/src/matrix.rs", src).is_empty());
+        assert_eq!(
+            rules_of(&lint_file("crates/serve/src/engine.rs", src)),
+            vec![RULE_ARITH_UNDERFLOW]
+        );
+    }
+
+    #[test]
+    fn underflow_finding_is_suppressible_with_reason() {
+        let src = r#"
+            fn f(a: u32, b: u32) -> u32 {
+                // deepsd-lint: allow(arith-underflow, reason="a >= b guarded by the caller")
+                a - b
+            }
+        "#;
+        assert!(lint_file("crates/core/src/serving.rs", src).is_empty());
+    }
+
+    #[test]
+    fn underflow_in_test_code_is_skipped() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                fn f(a: u32, b: u32) -> u32 { a - b }
+            }
+        "#;
+        assert!(lint_file("crates/features/src/online.rs", src).is_empty());
     }
 
     // --- float-eq -------------------------------------------------------

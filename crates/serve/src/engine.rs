@@ -18,11 +18,14 @@ use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::deadline::Stopwatch;
 use crate::http::{json_string, Response};
 use crate::queue::{Job, JobKind, JobQueue};
+use deepsd::continual::Handoff;
 use deepsd::model::Predictor;
 use deepsd::serving::{OnlinePredictor, ServingReport};
 use deepsd::telemetry::Telemetry;
 use deepsd_features::ItemSource;
-use std::sync::atomic::{AtomicBool, Ordering};
+use deepsd_simdata::Order;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 /// How long an idle engine sleeps before re-checking the shutdown flag
@@ -46,6 +49,23 @@ pub struct EngineStats {
     pub expired: u64,
     /// Requests answered `200`.
     pub served: u64,
+    /// Promoted continual-learning snapshots installed between batches.
+    pub swaps: u64,
+}
+
+/// Wiring between the engine and a background continual-learning
+/// shadow trainer (see `deepsd::continual`).
+#[derive(Debug, Clone)]
+pub struct ContinualHooks {
+    /// Every observed order batch is forwarded here so the shadow
+    /// trainer sees exactly the stream serving validated. Send errors
+    /// are ignored: a finished trainer must not break serving.
+    pub orders: mpsc::Sender<Vec<Order>>,
+    /// Promoted snapshots arrive through this slot.
+    pub handoff: Handoff,
+    /// Generation currently installed in serving, mirrored for
+    /// `/readyz`. Only the engine writes it.
+    pub generation: Arc<AtomicU64>,
 }
 
 /// The micro-batching loop. Construct with [`Engine::new`], then call
@@ -56,6 +76,8 @@ pub struct Engine {
     breaker: CircuitBreaker,
     max_batch: usize,
     stats: EngineStats,
+    continual: Option<ContinualHooks>,
+    generation: u64,
 }
 
 impl Engine {
@@ -66,7 +88,16 @@ impl Engine {
             breaker,
             max_batch: max_batch.max(1),
             stats: EngineStats::default(),
+            continual: None,
+            generation: 0,
         }
+    }
+
+    /// Attaches continual-learning wiring: observed orders are forwarded
+    /// to the shadow trainer and promoted snapshots are installed
+    /// between micro-batches.
+    pub fn set_continual(&mut self, hooks: ContinualHooks) {
+        self.continual = Some(hooks);
     }
 
     /// Drains the queue until `shutdown` is set *and* the queue is
@@ -81,6 +112,10 @@ impl Engine {
     ) -> EngineStats {
         loop {
             let jobs = queue.pop_batch(self.max_batch, IDLE_POLL);
+            // Model swaps happen here, strictly between micro-batches:
+            // every job in the batch below is answered by one model
+            // generation, so no response mixes old and new weights.
+            self.install_promotion(predictor);
             if jobs.is_empty() {
                 if shutdown.load(Ordering::SeqCst) && queue.is_empty() {
                     break;
@@ -92,6 +127,30 @@ impl Engine {
             self.process(predictor, jobs, ready);
         }
         self.stats
+    }
+
+    /// Installs the latest promoted snapshot, if any. Called only at
+    /// micro-batch boundaries by [`Engine::run`].
+    fn install_promotion<P: Predictor + Sync, X: ItemSource>(
+        &mut self,
+        predictor: &mut OnlinePredictor<P, X>,
+    ) {
+        let Some(hooks) = &self.continual else {
+            return;
+        };
+        let Some(promoted) = hooks.handoff.take() else {
+            return;
+        };
+        if predictor.install_snapshot(&promoted.snapshot) {
+            self.generation = promoted.generation;
+            hooks
+                .generation
+                .store(promoted.generation, Ordering::SeqCst);
+            self.stats.swaps += 1;
+            self.telemetry
+                .set_gauge("serve_model_generation", promoted.generation as f64);
+            self.telemetry.inc_counter("serve_model_swaps_total");
+        }
     }
 
     /// One batch: observes in arrival order, then predicts coalesced by
@@ -160,6 +219,11 @@ impl Engine {
         }
         body.push('}');
         let _ = job.reply.send(Response::json(200, body));
+        if let Some(hooks) = &self.continual {
+            // The reply is already on its way; trainer backpressure or
+            // shutdown must not affect the client.
+            let _ = hooks.orders.send(orders);
+        }
     }
 
     fn run_predict_group<P: Predictor + Sync, X: ItemSource>(
@@ -208,7 +272,7 @@ impl Engine {
                 JobKind::Predict { area, .. } => area,
                 JobKind::Observe { .. } => None,
             };
-            let resp = render_prediction(&report, day, t, area, state);
+            let resp = render_prediction(&report, day, t, area, state, self.generation);
             if resp.status == 200 {
                 self.stats.served += 1;
             }
@@ -246,15 +310,18 @@ fn breaker_label(state: BreakerState) -> &'static str {
 }
 
 /// Renders one predict reply from a (possibly shared) serving report.
+/// `generation` is the continual-learning model generation that
+/// produced the prediction (0 until a first promotion is installed).
 fn render_prediction(
     report: &ServingReport,
     day: u16,
     t: u16,
     area: Option<u16>,
     state: BreakerState,
+    generation: u64,
 ) -> Response {
     let tail = format!(
-        "\"degraded\":{},\"breaker\":{},\"feeds\":{{\"weather\":{},\"traffic\":{}}}",
+        "\"degraded\":{},\"breaker\":{},\"generation\":{generation},\"feeds\":{{\"weather\":{},\"traffic\":{}}}",
         report.feeds.degraded(),
         json_string(breaker_label(state)),
         json_string(&report.feeds.weather.to_string()),
@@ -315,21 +382,23 @@ mod tests {
     #[test]
     fn render_full_city_and_single_area() {
         let r = report(vec![1.5, 2.25], false);
-        let full = render_prediction(&r, 3, 600, None, BreakerState::Closed);
+        let full = render_prediction(&r, 3, 600, None, BreakerState::Closed, 0);
         assert_eq!(full.status, 200);
         assert!(full.body.contains("\"gaps\":[1.5,2.25]"), "{}", full.body);
         assert!(full.body.contains("\"breaker\":\"closed\""));
+        assert!(full.body.contains("\"generation\":0"), "{}", full.body);
 
-        let one = render_prediction(&r, 3, 600, Some(1), BreakerState::Closed);
+        let one = render_prediction(&r, 3, 600, Some(1), BreakerState::Closed, 7);
         assert_eq!(one.status, 200);
         assert!(one.body.contains("\"area\":1"), "{}", one.body);
         assert!(one.body.contains("\"gap\":2.25"), "{}", one.body);
+        assert!(one.body.contains("\"generation\":7"), "{}", one.body);
     }
 
     #[test]
     fn render_area_out_of_range_is_404() {
         let r = report(vec![0.0; 4], false);
-        let resp = render_prediction(&r, 0, 0, Some(9), BreakerState::Closed);
+        let resp = render_prediction(&r, 0, 0, Some(9), BreakerState::Closed, 0);
         assert_eq!(resp.status, 404);
         assert!(resp.body.contains("out of range"), "{}", resp.body);
     }
@@ -337,7 +406,7 @@ mod tests {
     #[test]
     fn render_marks_degraded_feeds() {
         let r = report(vec![1.0], true);
-        let resp = render_prediction(&r, 0, 0, None, BreakerState::Open);
+        let resp = render_prediction(&r, 0, 0, None, BreakerState::Open, 0);
         assert!(resp.body.contains("\"degraded\":true"), "{}", resp.body);
         assert!(resp.body.contains("\"breaker\":\"open\""), "{}", resp.body);
         assert!(resp.body.contains("\"weather\":\"down\""), "{}", resp.body);

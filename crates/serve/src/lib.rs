@@ -51,7 +51,7 @@ pub mod server;
 
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use deadline::Deadline;
-pub use engine::EngineStats;
+pub use engine::{ContinualHooks, EngineStats};
 pub use http::{Request, Response};
 pub use queue::{Job, JobQueue, PushError};
 pub use server::{ServeError, Server, ServerHandle};

@@ -21,17 +21,18 @@
 
 use crate::breaker::CircuitBreaker;
 use crate::deadline::{Deadline, Stopwatch};
-use crate::engine::{Engine, EngineStats};
+use crate::engine::{ContinualHooks, Engine, EngineStats};
 use crate::http::{read_request, write_response, HttpError, Request, Response};
 use crate::queue::{Job, JobKind, JobQueue, PushError};
 use crate::ServeConfig;
+use deepsd::continual::Handoff;
 use deepsd::model::Predictor;
 use deepsd::serving::OnlinePredictor;
 use deepsd::telemetry::Telemetry;
 use deepsd_features::ItemSource;
 use deepsd_simdata::{Order, MINUTES_PER_DAY};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -83,6 +84,10 @@ struct Shared {
     active: AtomicUsize,
     telemetry: Telemetry,
     addr: SocketAddr,
+    /// Continual-learning model generation currently serving (0 until a
+    /// promotion is installed). Written only by the engine, surfaced on
+    /// `/readyz`.
+    generation: Arc<AtomicU64>,
 }
 
 impl Shared {
@@ -125,6 +130,7 @@ pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     config: ServeConfig,
+    continual: Option<(mpsc::Sender<Vec<Order>>, Handoff)>,
 }
 
 impl Server {
@@ -143,12 +149,22 @@ impl Server {
             active: AtomicUsize::new(0),
             telemetry,
             addr,
+            generation: Arc::new(AtomicU64::new(0)),
         });
         Ok(Server {
             listener,
             shared,
             config,
+            continual: None,
         })
+    }
+
+    /// Attaches continual learning: the engine forwards every observed
+    /// order batch through `orders` (for the shadow trainer) and
+    /// installs snapshots promoted through `handoff` between
+    /// micro-batches.
+    pub fn set_continual(&mut self, orders: mpsc::Sender<Vec<Order>>, handoff: Handoff) {
+        self.continual = Some((orders, handoff));
     }
 
     /// The address actually bound (resolves port 0).
@@ -184,11 +200,18 @@ impl Server {
             .map_err(ServeError::Listener)?;
 
         let breaker = CircuitBreaker::new(self.config.breaker_trip, self.config.breaker_restore);
-        let engine = Engine::new(
+        let mut engine = Engine::new(
             self.shared.telemetry.clone(),
             breaker,
             self.config.max_batch,
         );
+        if let Some((orders, handoff)) = self.continual.clone() {
+            engine.set_continual(ContinualHooks {
+                orders,
+                handoff,
+                generation: Arc::clone(&self.shared.generation),
+            });
+        }
         let stats = engine.run(
             predictor,
             &self.shared.queue,
@@ -286,7 +309,8 @@ fn route(req: &Request, shared: &Shared, config: &ServeConfig, limits: Limits) -
             if shared.shutdown.load(Ordering::SeqCst) {
                 Response::error(503, "draining")
             } else if shared.ready.load(Ordering::SeqCst) {
-                Response::text(200, "ready\n")
+                let generation = shared.generation.load(Ordering::SeqCst);
+                Response::text(200, &format!("ready generation={generation}\n"))
             } else {
                 Response::error(503, "circuit breaker open: feeds degraded")
             }

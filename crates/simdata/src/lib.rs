@@ -55,7 +55,7 @@ pub use faults::{
     blackout_windows, drop_orders, duplicate_orders, shuffle_within_slack, FaultPlan, NetFault,
     NetFaultPlan,
 };
-pub use orders::OrderGenConfig;
+pub use orders::{OrderGenConfig, RegimeShift};
 pub use stream::{AreaBlock, AreaSource, SourceError, StreamGenerator};
 pub use types::{Order, SlotTime, TrafficObs, WeatherObs, WeatherType, MINUTES_PER_DAY};
 pub use weather::WeatherConfig;

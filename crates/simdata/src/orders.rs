@@ -36,6 +36,9 @@ pub struct OrderGenConfig {
     pub demand_volume: f64,
     /// Global supply slack; < 1.0 widens gaps, > 1.0 narrows them.
     pub supply_slack: f64,
+    /// Optional persistent regime shift (drift scenario). `None`
+    /// reproduces the historical stream byte-for-byte.
+    pub shift: Option<RegimeShift>,
 }
 
 impl Default for OrderGenConfig {
@@ -43,8 +46,27 @@ impl Default for OrderGenConfig {
         OrderGenConfig {
             demand_volume: 1.0,
             supply_slack: 1.0,
+            shift: None,
         }
     }
+}
+
+/// A persistent demand/supply regime change starting at `day` — the
+/// drift scenario continual learning exists for. From the shift day on,
+/// demand intensity is multiplied by `demand_factor` while supply is
+/// multiplied by `demand_factor * supply_factor`: with
+/// `supply_factor < 1` the fleet fails to keep up with the new demand
+/// level and the gap distribution moves, so a model frozen on pre-shift
+/// data drifts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeShift {
+    /// First day (0-based) the new regime applies to.
+    pub day: u16,
+    /// Demand multiplier from the shift day on.
+    pub demand_factor: f64,
+    /// Supply multiplier *relative to the shifted demand*; < 1.0 widens
+    /// post-shift gaps.
+    pub supply_factor: f64,
 }
 
 struct PendingRetry {
@@ -97,7 +119,7 @@ pub fn generate_area_orders(
         for minute in 0..MINUTES_PER_DAY {
             let obs = &weather[day as usize * MINUTES_PER_DAY as usize + minute as usize];
             let shape = intensity(area.archetype, weekday, minute);
-            let lambda = area.archetype.base_rate()
+            let mut lambda = area.archetype.base_rate()
                 * area.demand_scale
                 * area.weekday_bias[weekday]
                 * shape
@@ -111,7 +133,7 @@ pub fn generate_area_orders(
             // staying home — so gaps concentrate on special days, bad
             // weather and sharp peaks.
             let anticipated_bias = 0.5 + 0.5 * area.weekday_bias[weekday];
-            let mu = area.archetype.base_rate()
+            let mut mu = area.archetype.base_rate()
                 * area.demand_scale
                 * (0.95 * shape + 0.2 * supply_floor + 0.05)
                 * anticipated_bias
@@ -121,6 +143,15 @@ pub fn generate_area_orders(
                 // `supply_slack` then modulates relative tightness.
                 * config.demand_volume
                 * config.supply_slack;
+            if let Some(shift) = &config.shift {
+                if day >= shift.day {
+                    // Pre-shift days draw exactly the same RNG sequence
+                    // as an unshifted run, so the historical prefix is
+                    // byte-identical and only the future drifts.
+                    lambda *= shift.demand_factor;
+                    mu *= shift.demand_factor * shift.supply_factor;
+                }
+            }
 
             // Binomial retention keeps the pool an integer without the
             // rounding starvation a fractional floor would cause at low
@@ -293,6 +324,7 @@ mod tests {
             &OrderGenConfig {
                 demand_volume: 0.5,
                 supply_slack: 1.0,
+                ..OrderGenConfig::default()
             },
             16,
         );
@@ -304,6 +336,7 @@ mod tests {
             &OrderGenConfig {
                 demand_volume: 2.0,
                 supply_slack: 1.0,
+                ..OrderGenConfig::default()
             },
             16,
         );
@@ -323,6 +356,7 @@ mod tests {
                 &OrderGenConfig {
                     demand_volume: 1.0,
                     supply_slack: slack,
+                    ..OrderGenConfig::default()
                 },
                 17,
             )
@@ -331,6 +365,44 @@ mod tests {
             .count()
         };
         assert!(invalid(0.6) > invalid(1.4));
+    }
+
+    #[test]
+    fn regime_shift_leaves_pre_shift_days_byte_identical() {
+        let (city, weather) = setup(4, 21);
+        let area = &city.areas[0];
+        let frozen = generate_area_orders(&city, area, 4, &weather, &OrderGenConfig::default(), 21);
+        let shifted = generate_area_orders(
+            &city,
+            area,
+            4,
+            &weather,
+            &OrderGenConfig {
+                shift: Some(RegimeShift {
+                    day: 2,
+                    demand_factor: 1.6,
+                    supply_factor: 0.6,
+                }),
+                ..OrderGenConfig::default()
+            },
+            21,
+        );
+        // Days before the shift replay the exact historical stream.
+        let pre = |os: &[Order]| os.iter().filter(|o| o.day < 2).copied().collect::<Vec<_>>();
+        assert_eq!(pre(&frozen), pre(&shifted));
+
+        // From the shift day on, demand is up and supply lags: more
+        // orders overall and a larger invalid share.
+        let post_count = |os: &[Order]| os.iter().filter(|o| o.day >= 2).count();
+        let post_invalid = |os: &[Order]| os.iter().filter(|o| o.day >= 2 && !o.valid).count();
+        assert!(post_count(&shifted) > post_count(&frozen));
+        let frac = |os: &[Order]| post_invalid(os) as f64 / post_count(os).max(1) as f64;
+        assert!(
+            frac(&shifted) > frac(&frozen),
+            "shifted {} vs frozen {}",
+            frac(&shifted),
+            frac(&frozen)
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn near_zero_demand_city_still_works() {
         orders: OrderGenConfig {
             demand_volume: 0.001,
             supply_slack: 1.0,
+            ..OrderGenConfig::default()
         },
         ..SimConfig::smoke(77)
     });
@@ -58,6 +59,7 @@ fn oversupplied_city_has_zero_gaps() {
         orders: OrderGenConfig {
             demand_volume: 1.0,
             supply_slack: 10.0,
+            ..OrderGenConfig::default()
         },
         ..SimConfig::smoke(78)
     });
@@ -79,6 +81,7 @@ fn starved_supply_maximises_gaps() {
         orders: OrderGenConfig {
             demand_volume: 1.0,
             supply_slack: 0.05,
+            ..OrderGenConfig::default()
         },
         ..SimConfig::smoke(79)
     });
