@@ -61,6 +61,7 @@ impl Binned {
     }
 
     /// Bin codes of row `i`.
+    // deepsd-lint: allow(panic-reach, reason="row index bounded by the caller iterating this store's own n rows")
     pub fn row(&self, i: usize) -> &[u8] {
         &self.codes[i * self.d..(i + 1) * self.d]
     }

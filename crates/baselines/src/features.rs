@@ -22,6 +22,7 @@ pub struct Tabular {
 
 impl Tabular {
     /// Feature row `i`.
+    // deepsd-lint: allow(panic-reach, reason="row index bounded by the caller iterating this store's own n rows")
     pub fn row(&self, i: usize) -> &[f32] {
         &self.x[i * self.d..(i + 1) * self.d]
     }

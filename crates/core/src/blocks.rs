@@ -196,6 +196,7 @@ impl EnvBlock {
     /// Records the block. With residual wiring `prev` is required and the
     /// output is `prev ⊕ R`; without it, `prev` is ignored and the raw
     /// `FC` output is returned for later concatenation.
+    // deepsd-lint: allow(panic-reach, reason="block wiring is fixed at model build; residual env blocks always receive a predecessor")
     pub fn forward(
         &self,
         tape: &mut Tape,
@@ -317,6 +318,7 @@ impl ExtendedBlock {
     ///   (`B × 7·2L`), consumed as data by the weighted combination,
     /// * `prev` — previous block output when `has_prev`.
     #[allow(clippy::too_many_arguments)]
+    // deepsd-lint: allow(panic-reach, reason="extended block is wired after part 1 at model build; prev is always Some")
     pub fn forward(
         &self,
         tape: &mut Tape,
@@ -360,6 +362,7 @@ impl ExtendedBlock {
 /// Assembles the weather condition vector `V_wc` on the tape (§IV-C,
 /// Fig. 6): per look-back minute, the encoded weather type concatenated
 /// with (temperature, pm2.5).
+// deepsd-lint: allow(panic-reach, reason="width guards; weather slice widths are fixed by ModelConfig at load")
 pub fn weather_input(
     tape: &mut Tape,
     store: &ParamStore,

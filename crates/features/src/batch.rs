@@ -64,6 +64,7 @@ impl Batch {
         Self::collect(items.len(), items.iter().copied())
     }
 
+    // deepsd-lint: allow(panic-reach, reason="callers batch at least one item by construction; an empty batch is programmer error")
     fn collect<'a>(n: usize, items: impl Iterator<Item = &'a Item> + Clone) -> Batch {
         assert!(n > 0, "empty batch");
         let first = match items.clone().next() {

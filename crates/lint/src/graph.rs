@@ -1,0 +1,497 @@
+//! The workspace call graph (DESIGN.md §4.10).
+//!
+//! Nodes are the parsed [`FnDef`]s of every non-test function in the
+//! workspace; edges are call sites resolved by name against a
+//! workspace-wide index. Resolution is deliberately an
+//! over-approximation (trait dispatch, fn pointers and closures cannot
+//! be resolved lexically) but scope-aware to keep the noise down:
+//!
+//! - `Qualified("Type", "f")` resolves to `impl Type { fn f }` defs
+//!   anywhere in the workspace; if none exist, to defs in files named
+//!   `type.rs` (module-qualified free fns); else to any `f`.
+//! - `Bare("f")` prefers same-file defs, then same-crate, then any.
+//! - `Method("f")` prefers same-file defs, then any workspace def.
+//!   Methods that only exist in `std` (`push`, `get`, …) resolve to
+//!   nothing and vanish — `std` is assumed panic-free at the API
+//!   contract level; panics *visible in workspace code* (`.unwrap()`,
+//!   indexing) are recorded as sites by the parser instead.
+//!
+//! Everything is ordered (`BTreeMap`/sorted `Vec`s) so walks, chains
+//! and findings are byte-identical across runs.
+
+use crate::parse::{BodyEvent, CalleeRef, FnDef, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Node index into [`Graph::fns`].
+pub type NodeId = usize;
+
+/// One body event with its call targets resolved, in lexical order.
+/// The lock-order analysis consumes the interleaving.
+#[derive(Debug, Clone)]
+pub enum ResolvedEvent {
+    /// A call whose possible workspace targets are known (empty for
+    /// std-only names).
+    Call { targets: Vec<NodeId>, line: u32 },
+    /// A `Mutex`/`RwLock` acquisition.
+    Lock { lock: String, line: u32 },
+}
+
+/// The resolved workspace call graph.
+pub struct Graph {
+    /// All non-test fns, in (file, line) order.
+    pub fns: Vec<FnDef>,
+    /// Out-edges per node, sorted and deduplicated.
+    pub calls: Vec<Vec<NodeId>>,
+    /// In-edges per node, sorted and deduplicated.
+    pub callers: Vec<Vec<NodeId>>,
+    /// Ordered resolved body events per node.
+    pub events: Vec<Vec<ResolvedEvent>>,
+    /// `allow(rule)` directive lines per file: file → [(rule, line)].
+    pub allows: BTreeMap<String, Vec<(String, u32)>>,
+}
+
+impl Graph {
+    /// Builds the graph with no crate-dependency information: every
+    /// crate may call every other. Unit tests use this.
+    #[cfg(test)]
+    pub fn build(files: Vec<ParsedFile>) -> Graph {
+        Graph::build_with_deps(files, &BTreeMap::new())
+    }
+
+    /// Builds the graph from every parsed file. `deps` maps a crate
+    /// directory name to the workspace crates it depends on (from its
+    /// `Cargo.toml`); resolution discards cross-crate targets the
+    /// build graph would reject — `core` code can never call into
+    /// `serve`, so a method-name collision must not fabricate that
+    /// edge. Crates absent from `deps` are left unfiltered.
+    pub fn build_with_deps(
+        files: Vec<ParsedFile>,
+        deps: &BTreeMap<String, BTreeSet<String>>,
+    ) -> Graph {
+        // Transitive closure: `serve` depends on `core` depends on
+        // `nn`, so a call in `serve` may land in `nn`.
+        let mut closure: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for k in deps.keys() {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut stack: Vec<&str> = vec![k.as_str()];
+            while let Some(c) = stack.pop() {
+                if let Some(ds) = deps.get(c) {
+                    for d in ds {
+                        if seen.insert(d.as_str()) {
+                            stack.push(d.as_str());
+                        }
+                    }
+                }
+            }
+            closure.insert(k.as_str(), seen);
+        }
+        let may_call = |from: &str, to: &str| -> bool {
+            from == to
+                || match closure.get(from) {
+                    Some(set) => set.contains(to),
+                    None => true,
+                }
+        };
+        let mut fns: Vec<FnDef> = Vec::new();
+        let mut allows: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+        for pf in files {
+            if !pf.allows.is_empty() {
+                allows.insert(pf.file.clone(), pf.allows.clone());
+            }
+            fns.extend(pf.fns.into_iter().filter(|f| !f.is_test));
+        }
+        fns.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+        // Name indices. All value vectors end up sorted because `fns`
+        // is iterated in sorted order.
+        let mut by_name: BTreeMap<&str, Vec<NodeId>> = BTreeMap::new();
+        let mut by_type_name: BTreeMap<(&str, &str), Vec<NodeId>> = BTreeMap::new();
+        let mut by_file_name: BTreeMap<(&str, &str), Vec<NodeId>> = BTreeMap::new();
+        let mut by_crate_name: BTreeMap<(&str, &str), Vec<NodeId>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(id);
+            if let Some(ty) = &f.type_name {
+                by_type_name.entry((ty, &f.name)).or_default().push(id);
+            }
+            by_file_name.entry((&f.file, &f.name)).or_default().push(id);
+            by_crate_name
+                .entry((&f.krate, &f.name))
+                .or_default()
+                .push(id);
+        }
+
+        let mut calls: Vec<Vec<NodeId>> = vec![Vec::new(); fns.len()];
+        let mut events: Vec<Vec<ResolvedEvent>> = vec![Vec::new(); fns.len()];
+        for (id, f) in fns.iter().enumerate() {
+            let mut out: BTreeSet<NodeId> = BTreeSet::new();
+            for ev in &f.events {
+                let BodyEvent::Call { callee, line } = ev else {
+                    if let BodyEvent::Lock { lock, line } = ev {
+                        events[id].push(ResolvedEvent::Lock {
+                            lock: lock.clone(),
+                            line: *line,
+                        });
+                    }
+                    continue;
+                };
+                let targets: Vec<NodeId> = match callee {
+                    CalleeRef::Qualified(q, name) => {
+                        // `Self::f()` means the enclosing impl type.
+                        let q: &str = if q == "Self" {
+                            f.type_name.as_deref().unwrap_or(q)
+                        } else {
+                            q
+                        };
+                        let typed = by_type_name
+                            .get(&(q, name.as_str()))
+                            .cloned()
+                            .unwrap_or_default();
+                        if !typed.is_empty() {
+                            typed
+                        } else {
+                            // `module::f` — match defs whose file stem is
+                            // the module name.
+                            let modfile: Vec<NodeId> = by_name
+                                .get(name.as_str())
+                                .map(|ids| {
+                                    ids.iter()
+                                        .copied()
+                                        .filter(|&i| file_stem(&fns[i].file) == q)
+                                        .collect()
+                                })
+                                .unwrap_or_default();
+                            if !modfile.is_empty() {
+                                modfile
+                            } else if let Some(krate) = crate_qualifier(q) {
+                                // `deepsd::f` / `deepsd_nn::f` — a
+                                // workspace-crate-qualified call.
+                                by_crate_name
+                                    .get(&(krate, name.as_str()))
+                                    .cloned()
+                                    .unwrap_or_default()
+                            } else {
+                                // Neither an impl block, a module file,
+                                // nor a workspace crate defines the
+                                // qualifier: treat it as an external
+                                // (std) type. Resolving `VecDeque::new`
+                                // by bare name would fabricate an edge
+                                // to every workspace `new`.
+                                Vec::new()
+                            }
+                        }
+                    }
+                    CalleeRef::Bare(name) => resolve_scoped(
+                        &by_file_name,
+                        &by_crate_name,
+                        &by_name,
+                        &f.file,
+                        &f.krate,
+                        name,
+                    ),
+                    CalleeRef::Method(name) => {
+                        let same_file = by_file_name
+                            .get(&(f.file.as_str(), name.as_str()))
+                            .cloned()
+                            .unwrap_or_default();
+                        if !same_file.is_empty() {
+                            same_file
+                        } else {
+                            by_name.get(name.as_str()).cloned().unwrap_or_default()
+                        }
+                    }
+                };
+                let resolved: Vec<NodeId> = targets
+                    .into_iter()
+                    .filter(|&t| t != id && may_call(&f.krate, &fns[t].krate))
+                    .collect();
+                for &t in &resolved {
+                    out.insert(t);
+                }
+                events[id].push(ResolvedEvent::Call {
+                    targets: resolved,
+                    line: *line,
+                });
+            }
+            calls[id] = out.into_iter().collect();
+        }
+
+        let mut callers: Vec<Vec<NodeId>> = vec![Vec::new(); fns.len()];
+        for (id, outs) in calls.iter().enumerate() {
+            for &t in outs {
+                callers[t].push(id);
+            }
+        }
+        for c in callers.iter_mut() {
+            c.sort_unstable();
+            c.dedup();
+        }
+
+        Graph {
+            fns,
+            calls,
+            callers,
+            events,
+            allows,
+        }
+    }
+
+    /// Nodes matching a `Type::name` or bare-name pattern in a file
+    /// prefix. Used to pick entry points and sinks.
+    pub fn find(&self, file_prefix: &str, type_name: Option<&str>, name: &str) -> Vec<NodeId> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.file.starts_with(file_prefix)
+                    && f.name == name
+                    && match type_name {
+                        Some(t) => f.type_name.as_deref() == Some(t),
+                        None => true,
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Deterministic multi-source BFS. Returns, for every reachable
+    /// node, its predecessor on a shortest path (sources map to
+    /// themselves). Neighbour order is the sorted edge order, so the
+    /// chosen shortest paths are stable across runs.
+    pub fn bfs(&self, sources: &[NodeId], reversed: bool) -> BTreeMap<NodeId, NodeId> {
+        let mut pred: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        let mut sorted_sources: Vec<NodeId> = sources.to_vec();
+        sorted_sources.sort_unstable();
+        sorted_sources.dedup();
+        for &s in &sorted_sources {
+            pred.insert(s, s);
+            queue.push_back(s);
+        }
+        while let Some(n) = queue.pop_front() {
+            let edges = if reversed {
+                &self.callers[n]
+            } else {
+                &self.calls[n]
+            };
+            for &m in edges {
+                if let std::collections::btree_map::Entry::Vacant(e) = pred.entry(m) {
+                    e.insert(n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Walks predecessors from `node` back to its BFS source and
+    /// renders the chain `source → … → node` as qualified names.
+    pub fn chain(&self, pred: &BTreeMap<NodeId, NodeId>, node: NodeId) -> Vec<NodeId> {
+        let mut chain = vec![node];
+        let mut cur = node;
+        while let Some(&p) = pred.get(&cur) {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Renders a node chain as `a::b → c::d → …`.
+    pub fn render_chain(&self, chain: &[NodeId]) -> String {
+        chain
+            .iter()
+            .map(|&n| self.fns[n].qual_name())
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+
+    /// True when a graph finding at `(file, line)` is suppressed by an
+    /// `allow(rule)` directive on the same or the preceding line.
+    pub fn is_allowed(&self, rule: &str, file: &str, line: u32) -> bool {
+        self.allows.get(file).is_some_and(|list| {
+            list.iter()
+                .any(|(r, l)| r == rule && (line == *l || line == *l + 1))
+        })
+    }
+}
+
+/// Scope-aware bare-name resolution: same file, then same crate, then
+/// the whole workspace.
+fn resolve_scoped(
+    by_file_name: &BTreeMap<(&str, &str), Vec<NodeId>>,
+    by_crate_name: &BTreeMap<(&str, &str), Vec<NodeId>>,
+    by_name: &BTreeMap<&str, Vec<NodeId>>,
+    file: &str,
+    krate: &str,
+    name: &str,
+) -> Vec<NodeId> {
+    if let Some(ids) = by_file_name.get(&(file, name)) {
+        return ids.clone();
+    }
+    if let Some(ids) = by_crate_name.get(&(krate, name)) {
+        return ids.clone();
+    }
+    by_name.get(name).cloned().unwrap_or_default()
+}
+
+/// Maps a path qualifier that names a workspace crate to its directory
+/// name under `crates/`: the core crate's lib is `deepsd`, every other
+/// crate is `deepsd_<dir>`.
+fn crate_qualifier(q: &str) -> Option<&str> {
+    if q == "deepsd" {
+        Some("core")
+    } else {
+        q.strip_prefix("deepsd_")
+    }
+}
+
+/// `crates/serve/src/engine.rs` → `engine`.
+fn file_stem(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        Graph::build(
+            files
+                .iter()
+                .map(|(p, s)| parse_file(p, s))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn node(g: &Graph, name: &str) -> NodeId {
+        g.fns
+            .iter()
+            .position(|f| f.qual_name() == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn cross_file_bare_and_qualified_calls_resolve() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() { helper(); util::shared(); }\nfn helper() {}",
+            ),
+            ("crates/a/src/util.rs", "pub fn shared() {}"),
+        ]);
+        let e = node(&g, "entry");
+        let h = node(&g, "helper");
+        let s = node(&g, "shared");
+        assert!(g.calls[e].contains(&h));
+        assert!(g.calls[e].contains(&s));
+        assert!(g.callers[s].contains(&e));
+    }
+
+    #[test]
+    fn method_calls_resolve_to_workspace_impls_only() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry(q: &Q) { q.pop(); v.push(1); }",
+            ),
+            ("crates/b/src/q.rs", "impl Q { pub fn pop(&self) {} }"),
+        ]);
+        let e = node(&g, "entry");
+        let p = node(&g, "Q::pop");
+        assert_eq!(g.calls[e], vec![p], "push has no workspace def → no edge");
+    }
+
+    #[test]
+    fn same_file_method_preferred_over_foreign() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/t.rs",
+                "impl T { fn go(&self) { self.lock(); } fn lock(&self) {} }",
+            ),
+            ("crates/b/src/h.rs", "impl H { pub fn lock(&self) {} }"),
+        ]);
+        let go = node(&g, "T::go");
+        let tl = node(&g, "T::lock");
+        assert_eq!(g.calls[go], vec![tl]);
+    }
+
+    #[test]
+    fn type_qualified_calls_prefer_the_impl() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() { Widget::new(); }",
+            ),
+            (
+                "crates/b/src/w.rs",
+                "impl Widget { pub fn new() -> Widget { Widget } }\nimpl Gadget { pub fn new() -> Gadget { Gadget } }",
+            ),
+        ]);
+        let e = node(&g, "entry");
+        let w = node(&g, "Widget::new");
+        assert_eq!(g.calls[e], vec![w]);
+    }
+
+    #[test]
+    fn bfs_shortest_chain_is_deterministic() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            pub fn entry() { mid_a(); mid_b(); }
+            fn mid_a() { deep(); }
+            fn mid_b() { mid_a(); }
+            fn deep() { sink(); }
+            fn sink() {}
+            "#,
+        )]);
+        let e = node(&g, "entry");
+        let s = node(&g, "sink");
+        let pred = g.bfs(&[e], false);
+        let chain = g.chain(&pred, s);
+        assert_eq!(g.render_chain(&chain), "entry → mid_a → deep → sink");
+        // Repeat — identical.
+        let pred2 = g.bfs(&[e], false);
+        assert_eq!(g.chain(&pred2, s), chain);
+    }
+
+    #[test]
+    fn reversed_bfs_walks_callers() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn top() { mid(); }\nfn mid() { bottom(); }\nfn bottom() {}",
+        )]);
+        let b = node(&g, "bottom");
+        let t = node(&g, "top");
+        let pred = g.bfs(&[b], true);
+        assert!(pred.contains_key(&t));
+    }
+
+    #[test]
+    fn test_fns_are_excluded() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn prod() {}\n#[cfg(test)]\nmod tests { fn t() { prod(); } }",
+        )]);
+        assert_eq!(g.fns.len(), 1);
+        assert_eq!(g.fns[0].name, "prod");
+    }
+
+    #[test]
+    fn allow_lines_suppress_same_and_next_line() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "// deepsd-lint: allow(panic-reach, reason=\"audited\")\nfn f() {}\n",
+        )]);
+        assert!(g.is_allowed("panic-reach", "crates/a/src/lib.rs", 1));
+        assert!(g.is_allowed("panic-reach", "crates/a/src/lib.rs", 2));
+        assert!(!g.is_allowed("panic-reach", "crates/a/src/lib.rs", 3));
+        assert!(!g.is_allowed("lock-order", "crates/a/src/lib.rs", 2));
+    }
+}

@@ -64,9 +64,14 @@ impl Tok {
         if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
             return false;
         }
+        // Strip an integer-suffix tail (`7usize`, `3u16`, `9i64`) before
+        // looking for an exponent: the `e` in `usize` is not an exponent.
+        // A real exponent (`1e9`, `2E-3`) is always followed by a digit,
+        // so it survives the trim.
+        let core = t.trim_end_matches(|c: char| c.is_ascii_alphabetic());
         // `1.0`, `1.`, `1e3`, `1.5e-3` — but not `1..2` (lexed as Num `1`
         // then Punct `..`) and not tuple access (`.0` never starts a Num).
-        t.contains('.') || t.contains('e') || t.contains('E')
+        core.contains('.') || core.contains('e') || core.contains('E')
     }
 }
 
@@ -271,9 +276,13 @@ pub fn lex(src: &str) -> Lexed {
             while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
                 j += 1;
             }
+            // Raw identifiers keep their `r#` prefix: `r#fn` is an
+            // ordinary identifier and must never satisfy
+            // `is_ident("fn")` — a stripped prefix would let it spoof a
+            // keyword in the item parser.
             out.tokens.push(Tok {
                 kind: TokKind::Ident,
-                text: src[s..j].to_string(),
+                text: src[i..j].to_string(),
                 line: start_line,
             });
             let n = j - i;
@@ -283,10 +292,17 @@ pub fn lex(src: &str) -> Lexed {
 
         // Punctuation; fuse the two-character operators the rules use.
         let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
-        let fused = matches!(
+        let mut fused = matches!(
             two,
             "==" | "!=" | "<=" | ">=" | "::" | "->" | "=>" | ".." | "&&" | "||"
         );
+        // `>>=` / `<<=` (shift-assign, or `Vec<Vec<u8>>=` closing nested
+        // generics) must not fabricate a `>=` / `<=` comparison out of
+        // their last two characters: after a same-direction angle
+        // bracket, the `=` is its own token.
+        if fused && (two == ">=" || two == "<=") && i > 0 && b[i - 1] == b[i] {
+            fused = false;
+        }
         let len = if fused { 2 } else { 1 };
         out.tokens.push(Tok {
             kind: TokKind::Punct,
@@ -447,6 +463,62 @@ mod tests {
             .map(|t| t.text.clone())
             .collect();
         assert_eq!(puncts, vec!["==", "!=", "::", ".."]);
+    }
+
+    #[test]
+    fn shift_assign_does_not_fabricate_a_comparison() {
+        // `Vec<Vec<u8>>= x` (or `a >>= 2`): the `>>=` tail must lex as
+        // `>` `>` `=`, never `>` `>=` — a fused `>=` here fabricates a
+        // comparison that confuses generic tracking and float-eq.
+        let lexed = lex("let v: Vec<Vec<u8>>= x; a <<= 2;");
+        let puncts: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && (t.text.contains('>') || t.text.contains('<')))
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, vec!["<", "<", ">", ">", "<", "<"]);
+        // Real comparisons still fuse.
+        let lexed = lex("if a >= b && c <= d {}");
+        assert!(lexed.tokens.iter().any(|t| t.is_punct(">=")));
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("<=")));
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_prefix() {
+        let lexed = lex("let r#type = 1; let r#fn = 2;");
+        let idents: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text.starts_with("r#"))
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(idents, vec!["r#type", "r#fn"]);
+        // `r#fn` must never satisfy the keyword check the item parser
+        // uses to find function items.
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn exponent_floats_and_suffixed_integers_are_told_apart() {
+        let lexed = lex(
+            "const A: f64 = 1e9; const B: f64 = 2E-3; const N: usize = 7usize; let m = 4096u64;",
+        );
+        let nums: Vec<(String, bool)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| (t.text.clone(), t.is_float_literal()))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                ("1e9".to_string(), true),
+                ("2E-3".to_string(), true),
+                ("7usize".to_string(), false),
+                ("4096u64".to_string(), false),
+            ]
+        );
     }
 
     #[test]

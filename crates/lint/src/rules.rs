@@ -25,6 +25,11 @@ pub const RULE_ARITH_UNDERFLOW: &str = "arith-underflow";
 pub const RULE_FLOAT_EQ: &str = "float-eq";
 pub const RULE_CAST_TRUNCATE: &str = "cast-truncate";
 pub const RULE_UNSAFE_SCOPE: &str = "unsafe-scope";
+/// Interprocedural rules (DESIGN.md §4.10) — findings come from the
+/// workspace call graph, not single-file token patterns.
+pub const RULE_PANIC_REACH: &str = "panic-reach";
+pub const RULE_DETERMINISM_TAINT: &str = "determinism-taint";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
 /// Malformed or unknown allow directive.
 pub const RULE_LINT_DIRECTIVE: &str = "lint-directive";
 
@@ -39,7 +44,102 @@ pub const RULES: &[&str] = &[
     RULE_FLOAT_EQ,
     RULE_CAST_TRUNCATE,
     RULE_UNSAFE_SCOPE,
+    RULE_PANIC_REACH,
+    RULE_DETERMINISM_TAINT,
+    RULE_LOCK_ORDER,
 ];
+
+/// One paragraph per rule for `--explain <rule>`, so a CI failure is
+/// self-documenting.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    match rule {
+        RULE_DETERMINISM_MAP_ITER => Some(
+            "Iterating a HashMap/HashSet visits entries in the hasher's order, which \
+             varies between processes. In a determinism-critical module (gradient \
+             reduction, trainer, telemetry snapshot) that order leaks into results and \
+             breaks the repo's bit-identity contract (same seed → same bytes at any \
+             worker count). Fix: collect and sort the keys first, or use a \
+             BTreeMap/BTreeSet. Scope: nn/{shard,tape,optim}, core/{trainer,telemetry}.",
+        ),
+        RULE_DETERMINISM_WALLCLOCK => Some(
+            "Instant::now/SystemTime reads outside the telemetry `time_` namespace let \
+             real time influence deterministic code. Wall-clock readings are fine when \
+             the enclosing fn publishes a `time_…` metric (that namespace is excluded \
+             from the deterministic snapshot) or in the sanctioned modules \
+             (crates/bench, crates/lint, crates/serve/src/deadline.rs). Fix: route \
+             timing through a `time_` metric or the Deadline/Stopwatch helpers.",
+        ),
+        RULE_SERVING_NO_PANIC => Some(
+            "Code on the serving hot path must degrade, never panic: a panic in a \
+             handler kills the connection (or the daemon) instead of returning a \
+             status code. unwrap/expect, panic!-family macros and direct indexing are \
+             flagged in core/serving.rs, features/{online,feeds}.rs and all of \
+             crates/serve. Fix: .get() with a degraded fallback, typed errors, or an \
+             audited allow with a reason proving the site cannot fire.",
+        ),
+        RULE_ARITH_UNDERFLOW => Some(
+            "Bare `-` between (likely unsigned) integers on a serving path panics in \
+             debug and wraps to a bogus index in release when the operands arrive \
+             reordered. Fix: checked_sub/saturating_sub (never flagged), or an audited \
+             allow when the subtraction is provably in range.",
+        ),
+        RULE_FLOAT_EQ => Some(
+            "`==`/`!=` against float literals or f32/f64 consts is almost always a \
+             rounding bug. Compare with an epsilon, or to_bits() for exact-identity \
+             checks (the intent is then explicit). Workspace-wide.",
+        ),
+        RULE_CAST_TRUNCATE => Some(
+            "`as u8/u16/u32/usize` in index arithmetic silently truncates out-of-range \
+             values. In the audited files (features/{index,stream}.rs, crates/simdata) \
+             use try_from with a typed error, a widening From conversion, or document \
+             the bound with an allow.",
+        ),
+        RULE_UNSAFE_SCOPE => Some(
+            "`unsafe` is confined to the audited AVX2 microkernel (nn/kernels.rs) and \
+             the lifetime transmute in nn/shard.rs; each site must carry an \
+             allow(unsafe-scope, reason=…) audit note. Anywhere else the finding \
+             cannot be suppressed — move the code or find a safe formulation.",
+        ),
+        RULE_PANIC_REACH => Some(
+            "Interprocedural panic-reachability (DESIGN.md §4.10): the workspace call \
+             graph is walked from the serving entry points (crates/serve handlers and \
+             engine, OnlinePredictor::{observe*,predict*}, the ShadowTrainer round \
+             path). Any reachable fn still containing a panic site — unwrap/expect, \
+             panic!-family, direct indexing — is reported with the shortest call chain \
+             from the nearest entry, so a helper in deepsd-nn that a handler reaches \
+             transitively no longer sails through. Fix: degrade at the site, or audit \
+             the containing fn with allow(panic-reach, reason=…) when the site \
+             provably cannot fire; site-level allow(serving-no-panic) audits carry \
+             over. Trait dispatch and fn pointers are over-approximated by name.",
+        ),
+        RULE_DETERMINISM_TAINT => Some(
+            "Interprocedural determinism taint (DESIGN.md §4.10): wall-clock reads, \
+             HashMap/HashSet iteration, RandomState and env-var reads are taint \
+             sources; the deterministic telemetry snapshot, the trainer epoch loop \
+             and the continual promotion decision are sinks. A source transitively \
+             reachable from a sink makes the sink's output depend on real time, hash \
+             order or the environment, breaking the promotions-are-a-pure-function-of-\
+             the-stream contract. Sanitizers: publishing a `time_…` metric in the \
+             same fn (wall-clock only) or an audited allow(determinism-taint, \
+             reason=…); per-file determinism-rule allows carry over.",
+        ),
+        RULE_LOCK_ORDER => Some(
+            "Interprocedural lock-order analysis (DESIGN.md §4.10): every \
+             Mutex/RwLock acquisition order is extracted per fn (guards \
+             over-approximated as held to end of fn) and propagated through the call \
+             graph. Two fns that can acquire the same two locks in opposite orders — \
+             directly or via callees — are a cross-thread deadlock window. Fix: \
+             acquire in one global order, narrow a guard's scope, or audit with \
+             allow(lock-order, reason=…) when the fns provably never race.",
+        ),
+        RULE_LINT_DIRECTIVE => Some(
+            "A `// deepsd-lint: allow(rule, reason=\"…\")` directive failed to parse: \
+             unknown rule name, missing reason, or malformed syntax. Suppressions \
+             must stay auditable, so a broken directive is itself a finding.",
+        ),
+        _ => None,
+    }
+}
 
 /// Modules where `HashMap`/`HashSet` iteration order would leak into
 /// gradients, update order or the telemetry snapshot.

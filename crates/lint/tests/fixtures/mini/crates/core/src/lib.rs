@@ -1,0 +1,17 @@
+//! Fixture core crate: panic sources for the reachability analysis.
+//! Test data for `tests/fixtures.rs` — linted, never compiled.
+
+/// Reached from `serve::handle` — its panic must be reported.
+pub fn helper(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+
+// deepsd-lint: allow(panic-reach, reason="fixture: audited on purpose")
+pub fn audited_helper(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+
+/// False-positive guard: panics, but nothing serving-side calls it.
+pub fn offline_only(v: &[u8]) -> u8 {
+    v[0]
+}

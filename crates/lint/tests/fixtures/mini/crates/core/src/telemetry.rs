@@ -1,0 +1,36 @@
+//! Fixture telemetry: determinism-taint cases around the snapshot sink.
+//! Test data for `tests/fixtures.rs` — linted, never compiled.
+
+use std::collections::HashMap;
+
+/// The deterministic snapshot sink the taint analysis anchors on.
+pub fn to_json_without_timings(m: &HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    out.push_str(&tainted_names(m));
+    out.push_str(&audited_names(m));
+    out
+}
+
+/// True positive: unordered map iteration flowing into the sink.
+fn tainted_names(m: &HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    for k in m.keys() {
+        out.push_str(k);
+    }
+    out
+}
+
+/// Suppressed: the iteration is audited at the site.
+fn audited_names(m: &HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    // deepsd-lint: allow(determinism-taint, reason="fixture: audited on purpose")
+    for k in m.keys() {
+        out.push_str(k);
+    }
+    out
+}
+
+/// False-positive guard: taints, but no sink can reach it.
+pub fn unreachable_map_walk(m: &HashMap<String, f64>) -> usize {
+    m.values().count()
+}

@@ -1,0 +1,41 @@
+//! Fixture serving crate: panic-reachability and lock-order cases.
+//! This tree is test data for `tests/fixtures.rs` — it is linted by the
+//! deepsd-lint binary, never compiled.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub jobs: Mutex<Vec<u32>>,
+    pub slot: Mutex<Option<u32>>,
+}
+
+/// True positive: reaches a panic two crates deep.
+pub fn handle() {
+    deepsd::helper();
+}
+
+/// Suppressed: the callee is audited at the definition.
+pub fn handle_audited() {
+    deepsd::audited_helper();
+}
+
+/// True positive: acquires jobs before slot…
+pub fn enqueue(s: &Shared) {
+    let j = s.jobs.lock();
+    let sl = s.slot.lock();
+    drop((j, sl));
+}
+
+/// …while this fn acquires slot before jobs: a lock-order conflict.
+pub fn promote(s: &Shared) {
+    let sl = s.slot.lock();
+    let j = s.jobs.lock();
+    drop((sl, j));
+}
+
+/// False-positive guard: same order as `enqueue` — no conflict.
+pub fn drain(s: &Shared) {
+    let j = s.jobs.lock();
+    let sl = s.slot.lock();
+    drop((j, sl));
+}

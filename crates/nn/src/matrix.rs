@@ -56,6 +56,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
+    // deepsd-lint: allow(panic-reach, reason="deliberate constructor contract: data length must equal rows*cols")
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(
             data.len(),
@@ -148,6 +149,7 @@ impl Matrix {
 
     /// Entry accessor.
     #[inline]
+    // deepsd-lint: allow(panic-reach, reason="r,c bounded by the rows*cols invariant of the data buffer")
     pub fn get(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c]
@@ -162,6 +164,7 @@ impl Matrix {
 
     /// Immutable slice of row `r`.
     #[inline]
+    // deepsd-lint: allow(panic-reach, reason="r bounded by the rows*cols invariant of the data buffer")
     pub fn row(&self, r: usize) -> &[f32] {
         debug_assert!(r < self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]
@@ -169,6 +172,7 @@ impl Matrix {
 
     /// Mutable slice of row `r`.
     #[inline]
+    // deepsd-lint: allow(panic-reach, reason="r bounded by the rows*cols invariant of the data buffer")
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         debug_assert!(r < self.rows);
         let c = self.cols;
@@ -277,12 +281,14 @@ impl Matrix {
     }
 
     /// Element-wise in-place addition (lane-folded).
+    // deepsd-lint: allow(panic-reach, reason="shape guard; operand shapes are fixed by the model graph")
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
         simd::add_assign(&mut self.data, &other.data);
     }
 
     /// Element-wise in-place subtraction (lane-folded).
+    // deepsd-lint: allow(panic-reach, reason="shape guard; operand shapes are fixed by the model graph")
     pub fn sub_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
         simd::sub_assign(&mut self.data, &other.data);
@@ -302,6 +308,7 @@ impl Matrix {
     }
 
     /// Element-wise (Hadamard) product, consuming `self` (lane-folded).
+    // deepsd-lint: allow(panic-reach, reason="shape guard; operand shapes are fixed by the model graph")
     pub fn hadamard(mut self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
         simd::hadamard(&mut self.data, &other.data);
@@ -390,6 +397,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `parts` is empty or row counts differ.
+    // deepsd-lint: allow(panic-reach, reason="non-empty/equal-rows asserts; parts come from the model's fixed block list")
     pub fn hconcat(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "hconcat of zero matrices");
         let rows = parts[0].rows;
@@ -429,6 +437,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if the range exceeds the matrix width.
+    // deepsd-lint: allow(panic-reach, reason="explicit range assert; column slices are driven by ModelConfig widths")
     pub fn columns(&self, start: usize, width: usize) -> Matrix {
         assert!(start + width <= self.cols, "column slice out of range");
         let mut out = Matrix::zeros(self.rows, width);

@@ -90,16 +90,19 @@ impl ParamStore {
     }
 
     /// Immutable access to a parameter value.
+    // deepsd-lint: allow(panic-reach, reason="ParamId is only minted by this store's add_init; ids cannot dangle")
     pub fn get(&self, id: ParamId) -> &Matrix {
         &self.params[id.0].value
     }
 
     /// Mutable access to a parameter value.
+    // deepsd-lint: allow(panic-reach, reason="ParamId is only minted by this store's add_init; ids cannot dangle")
     pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
         &mut self.params[id.0].value
     }
 
     /// Name a parameter was registered under.
+    // deepsd-lint: allow(panic-reach, reason="ParamId is only minted by this store's add_init; ids cannot dangle")
     pub fn name(&self, id: ParamId) -> &str {
         &self.params[id.0].name
     }

@@ -21,6 +21,7 @@ pub const LANES: usize = 8;
 
 /// Applies `f(&mut out[i], src[i])` for every `i`, lane-folded.
 #[inline]
+// deepsd-lint: allow(panic-reach, reason="chunks_exact(LANES) guarantees the try_into width")
 pub fn zip_fold(out: &mut [f32], src: &[f32], f: impl Fn(&mut f32, f32)) {
     debug_assert_eq!(out.len(), src.len());
     let mut oc = out.chunks_exact_mut(LANES);

@@ -393,11 +393,13 @@ impl Tape {
     }
 
     /// Value held by a node.
+    // deepsd-lint: allow(panic-reach, reason="NodeId is only minted by this tape's push; ids cannot dangle")
     pub fn value(&self, id: NodeId) -> &Matrix {
         &self.nodes[id.0].value
     }
 
     /// Shape of a node's value.
+    // deepsd-lint: allow(panic-reach, reason="NodeId is only minted by this tape's push; ids cannot dangle")
     pub fn shape(&self, id: NodeId) -> (usize, usize) {
         self.nodes[id.0].value.shape()
     }
@@ -426,6 +428,7 @@ impl Tape {
 
     /// Records a parameter leaf whose gradient will be reported under its
     /// [`ParamId`].
+    // deepsd-lint: allow(panic-reach, reason="NodeId is only minted by this tape's push; ids cannot dangle")
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
         let node = self.push(store.get(id).clone(), Op::Leaf);
         self.nodes[node.0].param = Some(id);
@@ -476,6 +479,7 @@ impl Tape {
     }
 
     /// Column-wise concatenation of several nodes with equal row counts.
+    // deepsd-lint: allow(panic-reach, reason="non-empty assert; parts come from the model's fixed block list")
     pub fn concat(&mut self, parts: &[NodeId]) -> NodeId {
         assert!(!parts.is_empty(), "concat of zero nodes");
         let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
@@ -551,6 +555,7 @@ impl Tape {
     /// # Panics
     /// Panics if shapes disagree (`basis` must be `B x (k * dim)` for
     /// `weights` `B x k`).
+    // deepsd-lint: allow(panic-reach, reason="shape guards; basis dimensions are fixed by model wiring")
     pub fn weighted_combine(&mut self, weights: NodeId, basis: Matrix, dim: usize) -> NodeId {
         let w = self.value(weights);
         let (b, k) = w.shape();
@@ -590,6 +595,7 @@ impl Tape {
     ///
     /// # Panics
     /// Panics unless `0 <= rate < 1`.
+    // deepsd-lint: allow(panic-reach, reason="rate is a model-config constant validated to [0,1) here by design")
     pub fn dropout(&mut self, x: NodeId, rate: f32, rng: &mut StdRng) -> NodeId {
         assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
         // deepsd-lint: allow(float-eq, reason="exact-identity fast path: rate is a configured constant, 0.0 means dropout disabled")

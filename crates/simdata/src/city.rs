@@ -133,8 +133,8 @@ impl City {
     /// Instantiates a city deterministically from its config.
     pub fn generate(config: CityConfig, rng: &mut StdRng) -> City {
         assert!(config.n_areas > 0, "city needs at least one area");
-        let grid_w = (config.n_areas as f64).sqrt().ceil() as u16;
-        let mut areas = Vec::with_capacity(config.n_areas as usize);
+        let grid_w = Self::grid_width(usize::from(config.n_areas));
+        let mut areas = Vec::with_capacity(usize::from(config.n_areas));
         for id in 0..config.n_areas {
             let grid = (id % grid_w, id / grid_w);
             let archetype = Self::assign_archetype(grid, grid_w, rng);
@@ -209,15 +209,16 @@ impl City {
 
     /// Area accessor.
     pub fn area(&self, id: u16) -> &Area {
-        &self.areas[id as usize]
+        &self.areas[usize::from(id)]
     }
 
     /// Row-major grid width for `n` areas: the smallest `g` with
-    /// `g * g >= n`, identical to the `ceil(sqrt(n))` used by
-    /// [`City::generate`] (exact for every `n <= u16::MAX`).
-    fn grid_width(n: usize) -> u32 {
-        let mut g = 1u32;
-        while u64::from(g) * u64::from(g) < n as u64 {
+    /// `g * g >= n` — an exact integer `ceil(sqrt(n))`, used by both
+    /// [`City::generate`] and the neighbour queries. For `n <= u16::MAX`
+    /// the width is at most 256, so `u16` cannot truncate.
+    fn grid_width(n: usize) -> u16 {
+        let mut g = 1u16;
+        while usize::from(g) * usize::from(g) < n {
             g += 1;
         }
         g
@@ -228,7 +229,7 @@ impl City {
     /// `ceil(sqrt(n_areas))`, so the last row may be ragged; a cell
     /// only neighbours coordinates that hold a real area.
     pub fn neighbors(&self, id: u16) -> Vec<u16> {
-        let grid_w = Self::grid_width(self.areas.len());
+        let grid_w = u32::from(Self::grid_width(self.areas.len()));
         let (col, row) = self.areas[usize::from(id)].grid;
         let (col, row) = (u32::from(col), u32::from(row));
         let mut out = Vec::with_capacity(4);

@@ -57,5 +57,7 @@ pub use faults::{
 };
 pub use orders::{OrderGenConfig, RegimeShift};
 pub use stream::{AreaBlock, AreaSource, SourceError, StreamGenerator};
-pub use types::{Order, SlotTime, TrafficObs, WeatherObs, WeatherType, MINUTES_PER_DAY};
+pub use types::{
+    Order, SlotTime, TrafficObs, WeatherObs, WeatherType, MINUTES_PER_DAY, MINUTES_PER_DAY_USIZE,
+};
 pub use weather::WeatherConfig;

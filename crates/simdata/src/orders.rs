@@ -79,6 +79,7 @@ struct PendingRetry {
 /// `weather` must hold `days * 1440` city-wide observations. The RNG is
 /// owned per-area so areas can be generated independently (and in
 /// parallel) while staying deterministic.
+// deepsd-lint: allow(panic-reach, reason="shape guards on generator tables sized by the same config")
 pub fn generate_area_orders(
     city: &City,
     area: &Area,

@@ -212,6 +212,7 @@ fn floor_level(minute: f64) -> f64 {
 ///
 /// # Panics
 /// Panics if `weekday >= 7` or `minute >= 1440`.
+// deepsd-lint: allow(panic-reach, reason="weekday is computed day % 7 at every call site")
 pub fn intensity(archetype: Archetype, weekday: usize, minute: u32) -> f64 {
     assert!(weekday < 7, "weekday out of range");
     assert!(minute < MINUTES_PER_DAY, "minute out of range");

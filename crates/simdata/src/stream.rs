@@ -176,6 +176,7 @@ impl AreaSource for StreamGenerator {
         self.include_traffic
     }
 
+    // deepsd-lint: allow(panic-reach, reason="area < n_areas is checked by the extractor before a block is requested")
     fn area_block(&mut self, area: u16) -> Result<AreaBlock, SourceError> {
         let a = &self.city.areas[area as usize];
         let orders = generate_area_orders(

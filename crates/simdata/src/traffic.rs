@@ -30,6 +30,7 @@ pub fn congestion_pressure(area: &Area, weekday: usize, minute: u32, weather: &W
 ///
 /// At pressure 0 nearly all segments sit at level 4 (free-flowing); at
 /// pressure 1 the mass shifts towards level 1 (jammed).
+// deepsd-lint: allow(panic-reach, reason="i ranges over 0..4 into fixed [_; 4] speed tables")
 pub fn traffic_obs(area: &Area, pressure: f64, rng: &mut StdRng) -> TrafficObs {
     let total = area.archetype.road_segments() as f64;
     let p = pressure.clamp(0.0, 1.0);
@@ -60,6 +61,7 @@ pub fn traffic_obs(area: &Area, pressure: f64, rng: &mut StdRng) -> TrafficObs {
 /// The RNG stream is keyed by `(seed, area_idx)` exactly as the whole-city
 /// generator keys its per-area workers, so chunked (per-area) generation
 /// and `SimDataset::generate` agree bit for bit.
+// deepsd-lint: allow(panic-reach, reason="weather table is sized n_days*slots by the generator")
 pub fn generate_area_traffic(
     area: &Area,
     area_idx: usize,

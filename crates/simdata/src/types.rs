@@ -17,6 +17,10 @@ use serde::{Deserialize, Serialize};
 /// timeslots").
 pub const MINUTES_PER_DAY: u32 = 1440;
 
+/// [`MINUTES_PER_DAY`] as a `usize` for table sizing and indexing,
+/// so callers never need a cast (equality is unit-tested).
+pub const MINUTES_PER_DAY_USIZE: usize = 1440;
+
 /// Days per week.
 pub const DAYS_PER_WEEK: u32 = 7;
 
@@ -189,6 +193,7 @@ impl SlotTime {
     ///
     /// # Panics
     /// Panics if `ts >= MINUTES_PER_DAY`.
+    // deepsd-lint: allow(panic-reach, reason="constructor contract; callers compute ts mod MINUTES_PER_DAY or validate at admission")
     pub fn new(day: u16, ts: u16) -> Self {
         assert!((ts as u32) < MINUTES_PER_DAY, "timeslot {ts} out of range");
         SlotTime { day, ts }
@@ -223,6 +228,11 @@ impl SlotTime {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn minutes_per_day_constants_agree() {
+        assert_eq!(u64::from(MINUTES_PER_DAY), MINUTES_PER_DAY_USIZE as u64);
+    }
 
     #[test]
     fn weather_type_id_roundtrip() {
